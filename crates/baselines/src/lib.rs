@@ -1,0 +1,20 @@
+//! Comparator implementations — the roles MKL 2017.0 and FFTW 3.3.6
+//! play in the paper's evaluation.
+//!
+//! The paper characterizes the libraries it compares against by
+//! algorithm class, not by implementation detail: pencil–pencil
+//! decompositions where *every* thread both moves data and computes,
+//! with temporal memory accesses (read-for-ownership on writes) and no
+//! compute/communication overlap; FFTW additionally picks a
+//! slab–pencil plan on large-cache AMD parts (§V). This crate
+//! implements those classes:
+//!
+//! * [`reference_impl`] — real, correctness-checked row-column MDFTs
+//!   (also the medium-size oracle for `bwfft-core` tests);
+//! * [`sim`] — the same algorithm classes as discrete-event machine
+//!   programs, producing the MKL/FFTW bars of Figs. 1, 9, 10, 11.
+
+pub mod reference_impl;
+pub mod sim;
+
+pub use sim::{simulate_baseline, BaselineKind};

@@ -1,0 +1,293 @@
+//! Simulated baselines: MKL-like, FFTW-like, and slab–pencil plans on
+//! the machine model.
+//!
+//! The mechanisms that keep the libraries below ~50% of achievable
+//! peak (Fig. 1) are modeled explicitly:
+//!
+//! * temporal stores ⇒ read-for-ownership + writeback (3× the payload
+//!   per written byte instead of 1×);
+//! * strided pencil passes ⇒ imperfect cacheline utilization, conflict
+//!   pressure at power-of-two strides, and TLB overflow for very long
+//!   pencils (all from `bwfft_machine::patterns::pencil_pass_cost`);
+//! * demand-miss limited per-thread memory rates (`MLP·line/latency`)
+//!   instead of streaming — compute threads chase misses instead of
+//!   being fed by dedicated streaming threads;
+//! * no compute/transfer overlap within a thread — compute and memory
+//!   phases alternate (partial overlap *across* threads still emerges
+//!   in the engine, as on real machines).
+//!
+//! The MKL-like and FFTW-like variants differ by calibration: MKL's
+//! hand-tuned kernels sustain more outstanding misses (higher MLP) and
+//! better blocking than FFTW 3.3.6's generated code, matching their
+//! relative order in the paper's figures.
+
+use bwfft_core::metrics;
+use bwfft_core::plan::Dims;
+use bwfft_machine::patterns::{pencil_pass_cost, TrafficCost};
+use bwfft_machine::spec::MachineSpec;
+use bwfft_machine::stats::PerfReport;
+use bwfft_machine::{Engine, ThreadProg};
+
+/// Which baseline library class to model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BaselineKind {
+    /// MKL-style pencil–pencil: well-blocked, high-MLP kernels.
+    MklLike,
+    /// FFTW-style pencil–pencil: generated code, lower MLP.
+    FftwLike,
+    /// FFTW's slab–pencil plan (chosen on large-cache parts): fuses
+    /// stages 1+2 into an in-cache 2D FFT per slab when it fits.
+    SlabPencil,
+}
+
+impl BaselineKind {
+    pub fn label(&self) -> &'static str {
+        match self {
+            BaselineKind::MklLike => "MKL-like",
+            BaselineKind::FftwLike => "FFTW-like",
+            BaselineKind::SlabPencil => "FFTW slab-pencil",
+        }
+    }
+
+    /// Sustained outstanding-miss parallelism of the library's strided
+    /// kernels (calibration constants; see module docs).
+    fn mlp(&self) -> f64 {
+        match self {
+            BaselineKind::MklLike => 6.0,
+            BaselineKind::FftwLike => 4.0,
+            BaselineKind::SlabPencil => 4.0,
+        }
+    }
+}
+
+/// One full-array pass of the baseline: its memory traffic and the
+/// pencil geometry it walks.
+struct Pass {
+    traffic: TrafficCost,
+    flops: f64,
+}
+
+fn passes(kind: BaselineKind, dims: Dims, spec: &MachineSpec) -> Vec<Pass> {
+    let total = dims.total();
+    let n_f = total as f64;
+    match dims {
+        Dims::Two { n, m } => vec![
+            Pass {
+                traffic: pencil_pass_cost(total, 1, m, spec, 16),
+                flops: 5.0 * n_f * (m.max(2) as f64).log2(),
+            },
+            Pass {
+                traffic: pencil_pass_cost(total, m, n, spec, 16),
+                flops: 5.0 * n_f * (n.max(2) as f64).log2(),
+            },
+        ],
+        Dims::Three { k, n, m } => {
+            if kind == BaselineKind::SlabPencil && slab_fits(n, m, spec) {
+                // Fused stages 1+2: one pass reads and writes each slab
+                // once; the in-cache 2D FFT costs the flops of both.
+                vec![
+                    Pass {
+                        traffic: pencil_pass_cost(total, 1, m, spec, 16),
+                        flops: 5.0 * n_f * ((m.max(2) as f64).log2() + (n.max(2) as f64).log2()),
+                    },
+                    Pass {
+                        traffic: pencil_pass_cost(total, n * m, k, spec, 16),
+                        flops: 5.0 * n_f * (k.max(2) as f64).log2(),
+                    },
+                ]
+            } else {
+                vec![
+                    Pass {
+                        traffic: pencil_pass_cost(total, 1, m, spec, 16),
+                        flops: 5.0 * n_f * (m.max(2) as f64).log2(),
+                    },
+                    Pass {
+                        traffic: pencil_pass_cost(total, m, n, spec, 16),
+                        flops: 5.0 * n_f * (n.max(2) as f64).log2(),
+                    },
+                    Pass {
+                        traffic: pencil_pass_cost(total, n * m, k, spec, 16),
+                        flops: 5.0 * n_f * (k.max(2) as f64).log2(),
+                    },
+                ]
+            }
+        }
+    }
+}
+
+/// A z-slab fits "in cache" for the slab–pencil plan if half the LLC
+/// holds it (the paper's AMD observation).
+fn slab_fits(n: usize, m: usize, spec: &MachineSpec) -> bool {
+    n * m * 16 <= spec.llc().size_bytes / 2
+}
+
+/// Simulates a baseline transform using all hardware threads of the
+/// machine (the libraries' own threading), returning the paper-style
+/// report.
+pub fn simulate_baseline(kind: BaselineKind, dims: Dims, spec: &MachineSpec) -> PerfReport {
+    let total = dims.total();
+    let p = spec.total_threads();
+    let threads_per_core = spec.threads_per_core;
+    let sk = spec.sockets;
+    let threads_per_socket = p / sk;
+    let demand_rate = kind.mlp() * spec.llc().line_bytes as f64 / spec.dram_latency_ns;
+
+    let mut time_ns = 0.0;
+    let mut dram_bytes = 0.0;
+    // Each pass is bulk-synchronous; simulate passes independently.
+    for pass in passes(kind, dims, spec) {
+        let mut engine = Engine::new();
+        let mut dram = Vec::new();
+        for s in 0..sk {
+            dram.push(engine.add_resource(format!("dram{s}"), spec.dram_bytes_per_ns()));
+        }
+        // One compute resource per physical core, shared by its
+        // hardware threads.
+        let mut cores = Vec::new();
+        for c in 0..spec.total_cores() {
+            cores.push(engine.add_resource(
+                format!("core{c}"),
+                spec.fft_flops_per_core_ns(),
+            ));
+        }
+        // Chunked alternation of memory and compute per thread; the
+        // TLB walk surplus is serialized into each chunk.
+        const CHUNKS: usize = 32;
+        let mem_per_chunk = pass.traffic.dram_bytes / p as f64 / CHUNKS as f64;
+        let flops_per_chunk = pass.flops / p as f64 / CHUNKS as f64;
+        let walk_per_chunk = pass.traffic.extra_ns / p as f64 / CHUNKS as f64;
+        let mut progs = Vec::new();
+        for t in 0..p {
+            let socket = t / threads_per_socket;
+            let core = t / threads_per_core;
+            let mut prog = ThreadProg::new();
+            for _ in 0..CHUNKS {
+                prog.use_capped(dram[socket], mem_per_chunk, demand_rate);
+                prog.delay(walk_per_chunk);
+                prog.use_res(cores[core], flops_per_chunk);
+            }
+            progs.push(prog);
+        }
+        let stats = engine.run(progs);
+        time_ns += stats.total_ns;
+        dram_bytes += pass.traffic.dram_bytes;
+    }
+
+    PerfReport {
+        machine: spec.name.to_string(),
+        problem: format!("{} [{}]", dims.label(), kind.label()),
+        time_ns,
+        pseudo_flops: metrics::pseudo_flops(total),
+        dram_bytes,
+        link_bytes: 0.0,
+        achievable_peak_gflops: metrics::achievable_peak_gflops(
+            total,
+            dims.stages(),
+            spec.total_dram_bw_gbs(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwfft_core::exec_sim::{simulate, SimOptions};
+    use bwfft_core::FftPlan;
+    use bwfft_machine::presets;
+
+    #[test]
+    fn mkl_like_lands_in_the_paper_band_on_kaby_lake() {
+        // Fig. 1: MKL at most ~47% of achievable peak.
+        let spec = presets::kaby_lake_7700k();
+        let r = simulate_baseline(BaselineKind::MklLike, Dims::d3(512, 512, 512), &spec);
+        let pct = r.percent_of_peak();
+        assert!((30.0..55.0).contains(&pct), "MKL-like at {pct:.1}% ({r})");
+    }
+
+    #[test]
+    fn fftw_like_is_slower_than_mkl_like() {
+        let spec = presets::kaby_lake_7700k();
+        let d = Dims::d3(512, 512, 512);
+        let mkl = simulate_baseline(BaselineKind::MklLike, d, &spec);
+        let fftw = simulate_baseline(BaselineKind::FftwLike, d, &spec);
+        assert!(fftw.time_ns > mkl.time_ns);
+    }
+
+    #[test]
+    fn double_buffered_beats_both_baselines() {
+        // The paper's headline: 1.2×–3× over MKL/FFTW.
+        let spec = presets::kaby_lake_7700k();
+        let d = Dims::d3(512, 512, 512);
+        let plan = FftPlan::builder(d)
+            .buffer_elems(spec.default_buffer_elems())
+            .threads(4, 4)
+            .build()
+            .unwrap();
+        let ours = simulate(&plan, &spec, &SimOptions::default()).report;
+        let mkl = simulate_baseline(BaselineKind::MklLike, d, &spec);
+        let fftw = simulate_baseline(BaselineKind::FftwLike, d, &spec);
+        let vs_mkl = mkl.time_ns / ours.time_ns;
+        let vs_fftw = fftw.time_ns / ours.time_ns;
+        assert!(
+            (1.2..3.5).contains(&vs_mkl),
+            "speedup vs MKL-like {vs_mkl:.2}"
+        );
+        assert!(
+            (1.2..3.5).contains(&vs_fftw),
+            "speedup vs FFTW-like {vs_fftw:.2}"
+        );
+        assert!(vs_fftw > vs_mkl);
+    }
+
+    #[test]
+    fn slab_pencil_helps_on_amd() {
+        // §V: FFTW's slab–pencil suits AMD's larger caches, shrinking
+        // our advantage to ~1.6×.
+        let amd = presets::amd_fx_8350();
+        let d = Dims::d3(512, 512, 512);
+        let slab = simulate_baseline(BaselineKind::SlabPencil, d, &amd);
+        let pencil = simulate_baseline(BaselineKind::FftwLike, d, &amd);
+        assert!(
+            slab.time_ns < pencil.time_ns,
+            "slab {} vs pencil {}",
+            slab.time_ns,
+            pencil.time_ns
+        );
+        let plan = FftPlan::builder(d)
+            .buffer_elems(amd.default_buffer_elems())
+            .threads(4, 4)
+            .build()
+            .unwrap();
+        let ours = simulate(&plan, &amd, &SimOptions::default()).report;
+        let speedup = slab.time_ns / ours.time_ns;
+        assert!(
+            (1.1..2.2).contains(&speedup),
+            "AMD speedup vs slab-pencil {speedup:.2}"
+        );
+    }
+
+    #[test]
+    fn slab_pencil_falls_back_when_slab_does_not_fit() {
+        // 2048² slabs (64 MB) cannot fit an 8 MB LLC: three passes.
+        let spec = presets::kaby_lake_7700k();
+        let small = simulate_baseline(BaselineKind::SlabPencil, Dims::d3(64, 512, 512), &spec);
+        let big = simulate_baseline(BaselineKind::SlabPencil, Dims::d3(64, 2048, 2048), &spec);
+        // Per-element time degrades when the fusion is lost.
+        let per_small = small.time_ns / (64.0 * 512.0 * 512.0);
+        let per_big = big.time_ns / (64.0 * 2048.0 * 2048.0);
+        assert!(per_big > per_small * 1.2, "{per_big} vs {per_small}");
+    }
+
+    #[test]
+    fn baseline_traffic_exceeds_ideal() {
+        let spec = presets::kaby_lake_7700k();
+        let d = Dims::d3(256, 256, 256);
+        let r = simulate_baseline(BaselineKind::MklLike, d, &spec);
+        let ideal = metrics::ideal_traffic_bytes(d.total(), 3);
+        assert!(
+            r.dram_bytes > 1.3 * ideal,
+            "RFO and strided waste must inflate traffic: {} vs {ideal}",
+            r.dram_bytes
+        );
+    }
+}

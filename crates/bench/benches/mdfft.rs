@@ -1,0 +1,73 @@
+//! Host microbenchmark of whole multidimensional transforms at sizes
+//! the build host can hold: the double-buffered implementation against
+//! the pencil–pencil baseline. On a many-core host the gap widens with
+//! the soft-DMA overlap; the figure-level comparisons on the paper's
+//! machines come from the simulator harnesses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use bwfft_baselines::reference_impl::pencil_fft_3d;
+use bwfft_core::{exec_real, Dims, FftPlan};
+use bwfft_kernels::Direction;
+use bwfft_num::signal::random_complex;
+use bwfft_num::{AlignedVec, Complex64};
+
+fn bench_3d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft3d_host");
+    for dim in [32usize, 64] {
+        let total = dim * dim * dim;
+        let x = random_complex(total, 7);
+        let flops = (5.0 * total as f64 * (total as f64).log2()) as u64;
+        group.throughput(Throughput::Elements(flops));
+        group.bench_with_input(
+            BenchmarkId::new("double_buffered", dim),
+            &dim,
+            |b, &dim| {
+                let plan = FftPlan::builder(Dims::d3(dim, dim, dim))
+                    .buffer_elems((dim * dim * dim / 8).max(1024))
+                    .threads(1, 1)
+                    .build()
+                    .unwrap();
+                let mut data = AlignedVec::from_slice(&x);
+                let mut work = AlignedVec::<Complex64>::zeroed(total);
+                b.iter(|| exec_real::execute(&plan, &mut data, &mut work));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fused_no_overlap", dim),
+            &dim,
+            |b, &dim| {
+                let plan = FftPlan::builder(Dims::d3(dim, dim, dim))
+                    .buffer_elems((dim * dim * dim / 8).max(1024))
+                    .threads(1, 1)
+                    .build()
+                    .unwrap();
+                let mut data = AlignedVec::from_slice(&x);
+                let mut work = AlignedVec::<Complex64>::zeroed(total);
+                b.iter(|| exec_real::execute_fused(&plan, &mut data, &mut work));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("pencil_pencil", dim),
+            &dim,
+            |b, &dim| {
+                let mut data = AlignedVec::from_slice(&x);
+                b.iter(|| pencil_fft_3d(&mut data, dim, dim, dim, Direction::Forward));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_3d
+}
+criterion_main!(benches);

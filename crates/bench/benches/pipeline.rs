@@ -1,0 +1,59 @@
+//! Host microbenchmark of the pipeline executor's orchestration
+//! overhead: an empty-work pipeline isolates the barrier and
+//! scheduling cost per step (the `sync_ns` parameter of the
+//! simulator).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bwfft_num::Complex64;
+use bwfft_pipeline::exec::{ComputeFn, LoadFn, PipelineCallbacks, PipelineConfig, StoreFn};
+use bwfft_pipeline::{run_pipeline, DoubleBuffer};
+
+fn bench_pipeline_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_overhead");
+    for (p_d, p_c) in [(1usize, 1usize), (2, 2)] {
+        group.bench_with_input(
+            BenchmarkId::new("empty_steps", format!("{p_d}d{p_c}c")),
+            &(p_d, p_c),
+            |b, &(p_d, p_c)| {
+                let buffer = DoubleBuffer::new(64);
+                b.iter(|| {
+                    let loaders: Vec<LoadFn> =
+                        (0..p_d).map(|_| Box::new(|_, _, _: &mut [Complex64]| {}) as LoadFn).collect();
+                    let storers: Vec<StoreFn> =
+                        (0..p_d).map(|_| Box::new(|_, _: &[Complex64]| {}) as StoreFn).collect();
+                    let computes: Vec<ComputeFn> =
+                        (0..p_c).map(|_| Box::new(|_, _, _: &mut [Complex64]| {}) as ComputeFn).collect();
+                    run_pipeline(
+                        &buffer,
+                        &PipelineConfig {
+                            iters: 16,
+                            load_unit: 1,
+                            compute_unit: 1,
+                            pin_cpus: None,
+                        },
+                        PipelineCallbacks {
+                            loaders,
+                            storers,
+                            computes,
+                        },
+                    );
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1000))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_pipeline_overhead
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Host microbenchmarks of the data-movement kernels: cacheline-blocked
+//! vs element-wise reshapes, and temporal vs non-temporal streaming
+//! copies — the §III-A/§IV mechanisms at kernel scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use bwfft_kernels::simd::copy_nt;
+use bwfft_kernels::transpose::{rotate_blocked, transpose_blocked};
+use bwfft_num::signal::random_complex;
+use bwfft_num::{AlignedVec, Complex64};
+
+fn bench_transpose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transpose");
+    for dim in [64usize, 256] {
+        let total = dim * dim * 4;
+        let x = random_complex(total, 4);
+        group.throughput(Throughput::Bytes((total * 16) as u64));
+        group.bench_with_input(BenchmarkId::new("blocked_mu4", dim), &dim, |b, _| {
+            let src = AlignedVec::from_slice(&x);
+            let mut dst = AlignedVec::<Complex64>::zeroed(total);
+            b.iter(|| transpose_blocked(&src, &mut dst, dim, dim, 4));
+        });
+        group.bench_with_input(BenchmarkId::new("elementwise", dim), &dim, |b, _| {
+            let src = AlignedVec::from_slice(&x);
+            let mut dst = AlignedVec::<Complex64>::zeroed(total);
+            b.iter(|| transpose_blocked(&src, &mut dst, dim * 2, dim * 2, 1));
+        });
+    }
+    group.finish();
+}
+
+fn bench_rotation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rotation");
+    let (k, n, m) = (32usize, 32, 32);
+    let total = k * n * m * 4;
+    let x = random_complex(total, 5);
+    group.throughput(Throughput::Bytes((total * 16) as u64));
+    group.bench_function("blocked_mu4", |b| {
+        let src = AlignedVec::from_slice(&x);
+        let mut dst = AlignedVec::<Complex64>::zeroed(total);
+        b.iter(|| rotate_blocked(&src, &mut dst, k, n, m, 4));
+    });
+    group.bench_function("elementwise", |b| {
+        let src = AlignedVec::from_slice(&x);
+        let mut dst = AlignedVec::<Complex64>::zeroed(total);
+        b.iter(|| rotate_blocked(&src, &mut dst, k, n, m * 4, 1));
+    });
+    group.finish();
+}
+
+fn bench_streaming_copy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("copy");
+    let total = 1usize << 20; // 16 MiB — past the LLC on most hosts
+    let x = random_complex(total, 6);
+    group.throughput(Throughput::Bytes((total * 16) as u64));
+    group.bench_function("temporal", |b| {
+        let src = AlignedVec::from_slice(&x);
+        let mut dst = AlignedVec::<Complex64>::zeroed(total);
+        b.iter(|| dst.copy_from_slice(&src));
+    });
+    group.bench_function("non_temporal", |b| {
+        let src = AlignedVec::from_slice(&x);
+        let mut dst = AlignedVec::<Complex64>::zeroed(total);
+        b.iter(|| copy_nt(&src, &mut dst));
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_transpose, bench_rotation, bench_streaming_copy
+}
+criterion_main!(benches);

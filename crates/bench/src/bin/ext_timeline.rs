@@ -1,0 +1,82 @@
+//! Overlap made visible: an ASCII Gantt chart of one pipeline stage's
+//! resources — the Table II schedule as the simulator actually plays
+//! it, DRAM streaming concurrent with the compute cores, prologue and
+//! epilogue at the edges.
+
+use bwfft_machine::{Engine, ThreadProg};
+use bwfft_pipeline::Schedule;
+
+const WIDTH: usize = 96;
+
+fn gantt_row(name: &str, intervals: &[(f64, f64)], total: f64) {
+    let mut row = vec![b'.'; WIDTH];
+    for (s, e) in intervals {
+        let a = ((s / total) * WIDTH as f64) as usize;
+        let b = (((e / total) * WIDTH as f64).ceil() as usize).min(WIDTH);
+        for c in row.iter_mut().take(b).skip(a) {
+            *c = b'#';
+        }
+    }
+    println!("{:<10} |{}|", name, String::from_utf8(row).unwrap());
+}
+
+fn main() {
+    // A compact stage: 8 blocks, 2 data threads streaming against one
+    // DRAM channel, 2 compute threads on their own cores. Numbers are
+    // scaled so compute ≈ 60% of the data time (Kaby-Lake-like ratio).
+    let iters = 8;
+    let mut engine = Engine::new();
+    engine.record_timeline(true);
+    let dram = engine.add_resource("dram", 40.0);
+    let core0 = engine.add_resource("core0", 110.0);
+    let core1 = engine.add_resource("core1", 110.0);
+    engine.set_barrier(0, 4);
+    engine.set_barrier(1, 2);
+
+    let schedule = Schedule::new(iters);
+    let mut progs = Vec::new();
+    for _ in 0..2 {
+        let mut p = ThreadProg::new();
+        for step in schedule.steps() {
+            if step.store.is_some() {
+                p.use_res(dram, 2_500.0); // bytes
+            }
+            p.barrier(1);
+            if step.load.is_some() {
+                p.use_res(dram, 2_000.0);
+            }
+            p.barrier(0);
+        }
+        progs.push(p);
+    }
+    for core in [core0, core1] {
+        let mut p = ThreadProg::new();
+        for step in schedule.steps() {
+            if step.compute.is_some() {
+                p.use_res(core, 7_500.0); // flops
+            }
+            p.barrier(0);
+        }
+        progs.push(p);
+    }
+    let stats = engine.run(progs);
+
+    println!("\n=== Pipeline stage timeline — {} blocks, 2 data + 2 compute threads ===\n", iters);
+    println!(
+        "time:      0 {:>width$.1} us",
+        stats.total_ns / 1e3,
+        width = WIDTH - 2
+    );
+    gantt_row("dram", &stats.timeline[dram], stats.total_ns);
+    gantt_row("core0", &stats.timeline[core0], stats.total_ns);
+    gantt_row("core1", &stats.timeline[core1], stats.total_ns);
+    println!();
+    println!(
+        "dram busy {:.0}% of the run; cores busy {:.0}% — the paper's overlap:",
+        100.0 * stats.utilization(dram),
+        100.0 * stats.utilization(core0),
+    );
+    println!("memory streams continuously while compute fills the shadow of each block;");
+    println!("only the prologue (left edge) and epilogue (right edge) leave a resource idle.");
+    assert!(stats.utilization(dram) > 0.8, "steady state must keep DRAM busy");
+}

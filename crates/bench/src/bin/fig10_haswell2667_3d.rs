@@ -1,0 +1,42 @@
+//! Figure 10: 3D FFT Gflop/s on the two-socket Intel Haswell 2667v3
+//! (slab–pencil NUMA decomposition, writes crossing the QPI link in
+//! stages 2–3 per Fig. 8 / Table III).
+//!
+//! Paper reference values: ours outperforms MKL/FFTW by 1.2×–1.6×;
+//! with the QPI-crossing traffic we run within 20–30% of the
+//! achievable peak.
+
+use bwfft_baselines::{simulate_baseline, BaselineKind};
+use bwfft_bench::{fig10_sizes, geomean_speedups, print_comparison, run_ours, Row};
+use bwfft_core::Dims;
+use bwfft_machine::presets;
+
+fn main() {
+    let spec = presets::haswell_2667v3_2s();
+    let rows: Vec<Row> = fig10_sizes()
+        .into_iter()
+        .map(|(k, n, m)| {
+            let dims = Dims::d3(k, n, m);
+            let ours = run_ours(dims, &spec, 2);
+            let mkl = simulate_baseline(BaselineKind::MklLike, dims, &spec);
+            let fftw = simulate_baseline(BaselineKind::FftwLike, dims, &spec);
+            Row {
+                label: format!("{k}x{n}x{m}"),
+                peak_gflops: ours.achievable_peak_gflops,
+                entries: vec![
+                    ("Double-buffer (ours)".into(), ours),
+                    ("MKL-like".into(), mkl),
+                    ("FFTW-like".into(), fftw),
+                ],
+            }
+        })
+        .collect();
+    print_comparison(
+        "Fig. 10 — 3D FFT, 2-socket Intel Haswell 2667v3 (16T, 85 GB/s STREAM, QPI 16 GB/s; up to 2048^3 = 128 GiB)",
+        &rows,
+    );
+    println!();
+    for (name, s) in geomean_speedups(&rows) {
+        println!("geomean speedup vs {name}: {s:.2}x (paper: 1.2x-1.6x)");
+    }
+}

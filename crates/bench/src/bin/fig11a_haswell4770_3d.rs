@@ -1,0 +1,26 @@
+//! Figure 11 (top-left): 3D FFT Gflop/s on the Intel Haswell 4770K.
+//!
+//! Paper reference values: ours ≈30 Gflop/s average, ≈2× MKL/FFTW,
+//! ≈92% of achievable peak.
+
+use bwfft_baselines::BaselineKind;
+use bwfft_bench::{compare_3d, fig1_sizes, geomean_speedups, print_comparison};
+use bwfft_machine::presets;
+
+fn main() {
+    let spec = presets::haswell_4770k();
+    let rows = compare_3d(&spec, &fig1_sizes(), BaselineKind::FftwLike);
+    print_comparison(
+        "Fig. 11a — 3D FFT, Intel Haswell 4770K (3.5 GHz, 4C/8T, AVX, 20 GB/s STREAM)",
+        &rows,
+    );
+    let avg: f64 = rows
+        .iter()
+        .map(|r| r.entries[0].1.gflops())
+        .sum::<f64>()
+        / rows.len() as f64;
+    println!("\naverage of ours: {avg:.1} Gflop/s (paper: ~30 Gflop/s at ~92% of peak)");
+    for (name, s) in geomean_speedups(&rows) {
+        println!("geomean speedup vs {name}: {s:.2}x (paper: ~2x)");
+    }
+}

@@ -1,0 +1,23 @@
+//! Figure 11 (top-right): 3D FFT Gflop/s on the AMD FX-8350 (SSE).
+//!
+//! Paper reference values: ours ≈1.6× over FFTW — the gap is smaller
+//! than on Intel because FFTW's slab–pencil plan suits AMD's larger
+//! caches (§V). The comparison therefore uses the slab–pencil
+//! baseline.
+
+use bwfft_baselines::BaselineKind;
+use bwfft_bench::{compare_3d, fig1_sizes, geomean_speedups, print_comparison};
+use bwfft_machine::presets;
+
+fn main() {
+    let spec = presets::amd_fx_8350();
+    let rows = compare_3d(&spec, &fig1_sizes(), BaselineKind::SlabPencil);
+    print_comparison(
+        "Fig. 11b — 3D FFT, AMD FX-8350 (4.0 GHz, 8 threads, SSE, 12 GB/s STREAM)",
+        &rows,
+    );
+    println!();
+    for (name, s) in geomean_speedups(&rows) {
+        println!("geomean speedup vs {name}: {s:.2}x (paper: ~1.6x vs FFTW slab-pencil)");
+    }
+}

@@ -1,0 +1,45 @@
+//! Figure 11 (bottom-left): socket scaling on the Intel Haswell
+//! 2667v3 — fixed problem sizes, 1 socket vs 2 sockets.
+//!
+//! Paper reference values: ≈1.7× average speedup from the second
+//! socket; QPI-crossing writes and thread-role conflicts keep it from
+//! 2×.
+
+use bwfft_bench::run_ours;
+use bwfft_core::Dims;
+use bwfft_machine::presets;
+
+fn main() {
+    let spec = presets::haswell_2667v3_2s();
+    println!("\n=== Fig. 11c — 3D FFT socket scaling, Intel Haswell 2667v3 ===");
+    println!(
+        "{:<18} {:>14} {:>14} {:>10}",
+        "size", "1 socket GF/s", "2 sockets GF/s", "speedup"
+    );
+    println!("{}", "-".repeat(60));
+    let sizes = [
+        (1024usize, 1024usize, 1024usize),
+        (1024, 1024, 2048),
+        (1024, 2048, 2048),
+        (2048, 2048, 2048),
+    ];
+    let mut log_sum = 0.0;
+    for (k, n, m) in sizes {
+        let dims = Dims::d3(k, n, m);
+        let one = run_ours(dims, &spec, 1);
+        let two = run_ours(dims, &spec, 2);
+        let speedup = one.time_ns / two.time_ns;
+        log_sum += speedup.ln();
+        println!(
+            "{:<18} {:>14.2} {:>14.2} {:>9.2}x",
+            format!("{k}x{n}x{m}"),
+            one.gflops(),
+            two.gflops(),
+            speedup
+        );
+    }
+    println!(
+        "\ngeomean speedup: {:.2}x (paper: ~1.7x average)",
+        (log_sum / sizes.len() as f64).exp()
+    );
+}

@@ -1,0 +1,53 @@
+//! Figure 11 (bottom-right): socket scaling on the AMD Opteron 6276
+//! (Interlagos, Blue Waters) — fixed sizes, 1 socket vs 2.
+//!
+//! Paper reference: the HT link bandwidth is comparable to the local
+//! memory bus, so the interconnect penalty is smaller than on Intel
+//! and scaling is closer to linear. (The paper reports no FFTW numbers
+//! on this system — the library misbehaved on Blue Waters.)
+
+use bwfft_bench::run_ours;
+use bwfft_core::Dims;
+use bwfft_machine::presets;
+
+fn main() {
+    let amd = presets::amd_opteron_6276_2s();
+    let intel = presets::haswell_2667v3_2s();
+    println!("\n=== Fig. 11d — 3D FFT socket scaling, AMD Opteron 6276 (3.2 GHz, 16 threads, SSE) ===");
+    println!(
+        "{:<18} {:>14} {:>14} {:>10} {:>14}",
+        "size", "1 socket GF/s", "2 sockets GF/s", "speedup", "intel speedup"
+    );
+    println!("{}", "-".repeat(75));
+    // 64 GB of DRAM on the AMD node bounds the sizes at 1024²×2048.
+    let sizes = [
+        (512usize, 1024usize, 1024usize),
+        (1024, 1024, 1024),
+        (1024, 1024, 2048),
+    ];
+    let mut amd_log = 0.0;
+    let mut intel_log = 0.0;
+    for (k, n, m) in sizes {
+        let dims = Dims::d3(k, n, m);
+        let a1 = run_ours(dims, &amd, 1);
+        let a2 = run_ours(dims, &amd, 2);
+        let i1 = run_ours(dims, &intel, 1);
+        let i2 = run_ours(dims, &intel, 2);
+        let sa = a1.time_ns / a2.time_ns;
+        let si = i1.time_ns / i2.time_ns;
+        amd_log += sa.ln();
+        intel_log += si.ln();
+        println!(
+            "{:<18} {:>14.2} {:>14.2} {:>9.2}x {:>13.2}x",
+            format!("{k}x{n}x{m}"),
+            a1.gflops(),
+            a2.gflops(),
+            sa,
+            si
+        );
+    }
+    let ga = (amd_log / sizes.len() as f64).exp();
+    let gi = (intel_log / sizes.len() as f64).exp();
+    println!("\ngeomean: AMD {ga:.2}x vs Intel {gi:.2}x");
+    println!("paper: AMD scales closer to linear because HT bandwidth ~ local memory bandwidth");
+}

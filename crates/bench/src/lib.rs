@@ -1,0 +1,188 @@
+//! Shared harness utilities for the figure/table regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md §4 for the index) and prints an aligned text
+//! table with the same rows/series the paper plots. Absolute numbers
+//! are *model* numbers from the machine simulator; the reproduction
+//! contract is the shape: who wins, by what factor, where crossovers
+//! fall. EXPERIMENTS.md records paper-vs-measured for each artifact.
+
+use bwfft_baselines::{simulate_baseline, BaselineKind};
+use bwfft_core::exec_sim::{simulate, SimOptions};
+use bwfft_core::{Dims, FftPlan};
+use bwfft_machine::stats::PerfReport;
+use bwfft_machine::MachineSpec;
+
+/// The 3D size sweep of Figs. 1 and 11 (all exponent combinations of
+/// `2^9` and `2^10` per dimension), in the paper's label order.
+pub fn fig1_sizes() -> Vec<(usize, usize, usize)> {
+    let e = [9usize, 10];
+    let mut out = Vec::new();
+    for k in e {
+        for n in e {
+            for m in e {
+                out.push((1 << k, 1 << n, 1 << m));
+            }
+        }
+    }
+    out
+}
+
+/// The large 3D sizes of Fig. 10 (up to 2048³ — 128 GiB of complex
+/// doubles, the paper's largest problem).
+pub fn fig10_sizes() -> Vec<(usize, usize, usize)> {
+    let e = [10usize, 11];
+    let mut out = Vec::new();
+    for k in e {
+        for n in e {
+            for m in e {
+                out.push((1 << k, 1 << n, 1 << m));
+            }
+        }
+    }
+    out
+}
+
+/// The 2D size sweep of Fig. 9.
+pub fn fig9_sizes() -> Vec<(usize, usize)> {
+    vec![
+        (1024, 512),
+        (1024, 1024),
+        (2048, 1024),
+        (2048, 2048),
+        (4096, 2048),
+        (4096, 4096),
+        (8192, 4096),
+        (8192, 8192),
+    ]
+}
+
+/// Plans the double-buffered FFT the way the paper configures it for a
+/// machine: `b = LLC/2`, half the threads data / half compute, one
+/// plan socket per machine socket.
+pub fn paper_plan(dims: Dims, spec: &MachineSpec, sockets: usize) -> FftPlan {
+    let p = spec.total_threads() * sockets / spec.sockets;
+    FftPlan::builder(dims)
+        .buffer_elems(spec.default_buffer_elems())
+        .threads(p / 2, p / 2)
+        .sockets(sockets)
+        .build()
+        .unwrap_or_else(|e| panic!("planning {} on {}: {e}", dims.label(), spec.name))
+}
+
+/// Simulates our implementation with default options.
+pub fn run_ours(dims: Dims, spec: &MachineSpec, sockets: usize) -> PerfReport {
+    let plan = paper_plan(dims, spec, sockets);
+    simulate(&plan, spec, &SimOptions::default()).report
+}
+
+/// One row of a comparison table.
+pub struct Row {
+    pub label: String,
+    pub peak_gflops: f64,
+    pub entries: Vec<(String, PerfReport)>,
+}
+
+/// Prints a comparison table in the paper's style: Gflop/s and percent
+/// of the STREAM-bound achievable peak per implementation.
+pub fn print_comparison(title: &str, rows: &[Row]) {
+    println!("\n=== {title} ===");
+    if rows.is_empty() {
+        return;
+    }
+    print!("{:<18} {:>10}", "size", "peak GF/s");
+    for (name, _) in &rows[0].entries {
+        print!(" | {name:>22}");
+    }
+    println!();
+    let width = 30 + rows[0].entries.len() * 25;
+    println!("{}", "-".repeat(width));
+    for row in rows {
+        print!("{:<18} {:>10.2}", row.label, row.peak_gflops);
+        for (_, rep) in &row.entries {
+            print!(" | {:>12.2} ({:>5.1}%)", rep.gflops(), rep.percent_of_peak());
+        }
+        println!();
+    }
+}
+
+/// Convenience: the three implementations of the single-socket 3D
+/// comparison plots (ours, MKL-like, FFTW-like-or-slab).
+pub fn compare_3d(
+    spec: &MachineSpec,
+    sizes: &[(usize, usize, usize)],
+    fftw_kind: BaselineKind,
+) -> Vec<Row> {
+    sizes
+        .iter()
+        .map(|&(k, n, m)| {
+            let dims = Dims::d3(k, n, m);
+            let ours = run_ours(dims, spec, spec.sockets);
+            let mkl = simulate_baseline(BaselineKind::MklLike, dims, spec);
+            let fftw = simulate_baseline(fftw_kind, dims, spec);
+            Row {
+                label: format!("{k}x{n}x{m}"),
+                peak_gflops: ours.achievable_peak_gflops,
+                entries: vec![
+                    ("Double-buffer (ours)".into(), ours),
+                    ("MKL-like".into(), mkl),
+                    (fftw_kind.label().into(), fftw),
+                ],
+            }
+        })
+        .collect()
+}
+
+/// Geometric-mean speedup of `ours` over each comparator in a row set.
+pub fn geomean_speedups(rows: &[Row]) -> Vec<(String, f64)> {
+    if rows.is_empty() {
+        return Vec::new();
+    }
+    let ncomp = rows[0].entries.len() - 1;
+    let mut out = Vec::new();
+    for c in 0..ncomp {
+        let mut log_sum = 0.0;
+        for row in rows {
+            let ours = row.entries[0].1.time_ns;
+            let other = row.entries[c + 1].1.time_ns;
+            log_sum += (other / ours).ln();
+        }
+        out.push((
+            rows[0].entries[c + 1].0.clone(),
+            (log_sum / rows.len() as f64).exp(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwfft_machine::presets;
+
+    #[test]
+    fn fig1_has_eight_sizes() {
+        let s = fig1_sizes();
+        assert_eq!(s.len(), 8);
+        assert!(s.contains(&(512, 512, 512)));
+        assert!(s.contains(&(1024, 1024, 1024)));
+    }
+
+    #[test]
+    fn paper_plan_uses_half_threads_each_way() {
+        let spec = presets::kaby_lake_7700k();
+        let p = paper_plan(Dims::d3(512, 512, 512), &spec, 1);
+        assert_eq!(p.p_d, 4);
+        assert_eq!(p.p_c, 4);
+        assert_eq!(p.buffer_elems, spec.default_buffer_elems());
+    }
+
+    #[test]
+    fn geomean_of_identical_rows_is_ratio() {
+        let spec = presets::kaby_lake_7700k();
+        let rows = compare_3d(&spec, &[(256, 256, 256)], BaselineKind::FftwLike);
+        let sp = geomean_speedups(&rows);
+        assert_eq!(sp.len(), 2);
+        assert!(sp.iter().all(|(_, v)| *v > 1.0), "{sp:?}");
+    }
+}

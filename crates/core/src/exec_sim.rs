@@ -1,0 +1,602 @@
+//! Simulated execution of a plan on a machine preset.
+//!
+//! Builds the same Table II schedule the real executor runs, but as
+//! thread programs for the discrete-event engine: data threads stream
+//! block bytes against their socket's DRAM channel (and the QPI/HT
+//! link for the cross-socket writes of stages 2–3), compute threads
+//! burn pencil flops on their cores, and the two barriers per step
+//! synchronize everything. Per-block costs come from the pattern-tier
+//! analysis of the stage's actual burst list.
+//!
+//! Long runs are simulated with a truncated iteration count and linear
+//! extrapolation of the steady state (the schedule is periodic), which
+//! keeps 2048³ tractable; `max_sim_iters` controls the cutoff.
+
+use crate::metrics;
+use crate::plan::{FftPlan, StageSpec};
+use bwfft_machine::patterns::{streaming_cost, write_block_cost, TrafficCost};
+use bwfft_machine::spec::MachineSpec;
+use bwfft_machine::stats::PerfReport;
+use bwfft_machine::{Engine, ThreadProg};
+use bwfft_spl::dataflow::write_bursts;
+use bwfft_spl::gather_scatter::{StagePerm, WriteMatrix};
+
+/// Simulation options (the ablation knobs of `ablation_design`).
+#[derive(Clone, Debug)]
+pub struct SimOptions {
+    /// Non-temporal memory movement (paper default: true).
+    pub non_temporal: bool,
+    /// Data threads interleave NOPs so their compute sibling keeps its
+    /// issue slots (§IV-A; paper default: true).
+    pub nop_mitigation: bool,
+    /// Cost of one barrier round, ns.
+    pub sync_ns: f64,
+    /// Steady-state iterations to simulate exactly before
+    /// extrapolating.
+    pub max_sim_iters: usize,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        Self {
+            non_temporal: true,
+            nop_mitigation: true,
+            sync_ns: 300.0,
+            max_sim_iters: 128,
+        }
+    }
+}
+
+/// Per-stage cost breakdown (diagnostics for the ablation harnesses).
+#[derive(Clone, Debug)]
+pub struct StageCost {
+    pub stage: usize,
+    pub time_ns: f64,
+    pub dram_bytes: f64,
+    pub link_bytes: f64,
+}
+
+/// Full simulation result.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    pub report: PerfReport,
+    pub stages: Vec<StageCost>,
+}
+
+/// Simulates the plan with the soft-DMA pipeline *disabled*: every
+/// thread loads, computes and stores its own share sequentially, with
+/// no dedicated data threads and no double buffering. This is the
+/// "what if we did not overlap" counterfactual for the paper's central
+/// claim — same non-temporal traffic, same reshape, no pipelining.
+pub fn simulate_no_overlap(plan: &FftPlan, spec: &MachineSpec, opts: &SimOptions) -> SimResult {
+    let total = plan.dims.total();
+    let sk = plan.sockets;
+    let p = plan.p_d + plan.p_c; // all threads work
+    let p_s = p / sk;
+    let b = plan.buffer_elems;
+    let mut stage_costs = Vec::new();
+    let mut total_ns = 0.0;
+    let mut dram_total = 0.0;
+    for (s, stage) in plan.stages().iter().enumerate() {
+        let w0 = WriteMatrix::new(stage.perm, b, 0);
+        let bursts = write_bursts(&w0, opts.non_temporal);
+        let store = write_block_cost(&bursts, spec, 16, opts.non_temporal);
+        let load = streaming_cost((b * 16) as f64);
+        let flops = 5.0 * b as f64 * (stage.fft_size.max(2) as f64).log2();
+        let iters = total / b / sk;
+
+        let mut engine = Engine::new();
+        let mut dram = Vec::new();
+        for sock in 0..sk {
+            dram.push(engine.add_resource(format!("dram{sock}"), spec.dram_bytes_per_ns()));
+        }
+        let mut cores = Vec::new();
+        for sock in 0..sk {
+            for c in 0..p_s {
+                // No data sibling: full kernel rate per core (each
+                // thread has its own core in this mode).
+                cores.push(engine.add_resource(
+                    format!("core{sock}.{c}"),
+                    spec.fft_flops_per_core_ns(),
+                ));
+            }
+        }
+        let mut progs = Vec::new();
+        for sock in 0..sk {
+            for c in 0..p_s {
+                let mut prog = ThreadProg::new();
+                for _ in 0..iters {
+                    let cap = spec.per_thread_stream_gbs;
+                    prog.use_capped(dram[sock], load.dram_bytes / p_s as f64, cap);
+                    prog.use_res(cores[sock * p_s + c], flops / p_s as f64);
+                    prog.use_capped(dram[sock], store.dram_bytes / p_s as f64, cap);
+                    prog.delay(store.extra_ns / p_s as f64);
+                }
+                progs.push(prog);
+            }
+        }
+        let stats = engine.run(progs);
+        total_ns += stats.total_ns;
+        let stage_dram = (iters * sk) as f64 * (load.dram_bytes + store.dram_bytes);
+        dram_total += stage_dram;
+        stage_costs.push(StageCost {
+            stage: s,
+            time_ns: stats.total_ns,
+            dram_bytes: stage_dram,
+            link_bytes: 0.0,
+        });
+    }
+    let report = PerfReport {
+        machine: spec.name.to_string(),
+        problem: format!("{} [no overlap]", plan.dims.label()),
+        time_ns: total_ns,
+        pseudo_flops: plan.pseudo_flops(),
+        dram_bytes: dram_total,
+        link_bytes: 0.0,
+        achievable_peak_gflops: metrics::achievable_peak_gflops(
+            total,
+            plan.dims.stages(),
+            spec.total_dram_bw_gbs() * sk as f64 / spec.sockets as f64,
+        ),
+    };
+    SimResult {
+        report,
+        stages: stage_costs,
+    }
+}
+
+/// Simulates the plan on `spec` and returns the paper-style report.
+pub fn simulate(plan: &FftPlan, spec: &MachineSpec, opts: &SimOptions) -> SimResult {
+    assert!(
+        plan.sockets <= spec.sockets,
+        "plan wants {} sockets, machine has {}",
+        plan.sockets,
+        spec.sockets
+    );
+    let total = plan.dims.total();
+    let mut stage_costs = Vec::new();
+    let mut total_ns = 0.0;
+    let mut dram_total = 0.0;
+    let mut link_total = 0.0;
+    for (s, stage) in plan.stages().iter().enumerate() {
+        let c = simulate_stage(plan, spec, opts, s, stage);
+        total_ns += c.time_ns;
+        dram_total += c.dram_bytes;
+        link_total += c.link_bytes;
+        stage_costs.push(c);
+    }
+    let bw = spec.total_dram_bw_gbs() * plan.sockets as f64 / spec.sockets as f64;
+    let report = PerfReport {
+        machine: spec.name.to_string(),
+        problem: plan.dims.label(),
+        time_ns: total_ns,
+        pseudo_flops: plan.pseudo_flops(),
+        dram_bytes: dram_total,
+        link_bytes: link_total,
+        achievable_peak_gflops: metrics::achievable_peak_gflops(total, plan.dims.stages(), bw),
+    };
+    SimResult {
+        report,
+        stages: stage_costs,
+    }
+}
+
+/// Splits a stage's write traffic into the local-socket and
+/// remote-socket parts by classifying burst destinations (exact for
+/// block 0, representative for all blocks of the stage).
+fn remote_write_fraction(perm: &StagePerm, b: usize, total: usize, sockets: usize) -> f64 {
+    if sockets <= 1 {
+        return 0.0;
+    }
+    let per_socket = total / sockets;
+    let w = WriteMatrix::new(*perm, b, 0);
+    let src_socket = 0; // block 0 belongs to socket 0
+    let mut remote = 0usize;
+    let mut all = 0usize;
+    for burst in write_bursts(&w, true) {
+        let dst_socket = burst.start / per_socket;
+        all += burst.len;
+        if dst_socket != src_socket {
+            remote += burst.len;
+        }
+    }
+    remote as f64 / all as f64
+}
+
+/// A stage described independently of [`FftPlan`] — the entry point
+/// for transforms (like the four-step 1D FFT) that assemble custom
+/// stage chains.
+#[derive(Clone, Debug)]
+pub struct GenericStage {
+    pub perm: StagePerm,
+    /// Block size `b` (elements).
+    pub b: usize,
+    /// Blocks per socket.
+    pub iters_per_socket: usize,
+    pub sockets: usize,
+    /// Total array elements (for cross-socket classification).
+    pub total: usize,
+    /// Data / compute threads (whole machine).
+    pub p_d: usize,
+    pub p_c: usize,
+    /// Compute flops per block.
+    pub flops_per_block: f64,
+}
+
+fn simulate_stage(
+    plan: &FftPlan,
+    spec: &MachineSpec,
+    opts: &SimOptions,
+    stage_idx: usize,
+    stage: &StageSpec,
+) -> StageCost {
+    let g = GenericStage {
+        perm: stage.perm,
+        b: plan.buffer_elems,
+        iters_per_socket: plan.iters_per_socket(),
+        sockets: plan.sockets,
+        total: plan.dims.total(),
+        p_d: plan.p_d,
+        p_c: plan.p_c,
+        // b/(m·lanes) pencils, 5·m·log2(m)·lanes flops each.
+        flops_per_block: 5.0
+            * plan.buffer_elems as f64
+            * (stage.fft_size.max(2) as f64).log2(),
+    };
+    simulate_generic_stage(&g, spec, opts, stage_idx)
+}
+
+/// Simulates one pipeline stage described by [`GenericStage`].
+pub fn simulate_generic_stage(
+    g: &GenericStage,
+    spec: &MachineSpec,
+    opts: &SimOptions,
+    stage_idx: usize,
+) -> StageCost {
+    let b = g.b;
+    let sk = g.sockets;
+    let iters = g.iters_per_socket;
+    let elem_bytes = 16usize;
+
+    // Per-block costs from the exact burst pattern of block 0.
+    let w0 = WriteMatrix::new(g.perm, b, 0);
+    let bursts = write_bursts(&w0, opts.non_temporal);
+    let store: TrafficCost = write_block_cost(&bursts, spec, elem_bytes, opts.non_temporal);
+    let load: TrafficCost = streaming_cost((b * elem_bytes) as f64);
+    let remote_frac = remote_write_fraction(&g.perm, b, g.total, sk);
+    // The link carries write payload (16 B/elem), not the DRAM-side
+    // inflation.
+    let link_bytes_per_block = (b * elem_bytes) as f64 * remote_frac;
+
+    let flops_per_block = g.flops_per_block;
+
+    // Compute rate per core; a compute thread paired with a data
+    // sibling loses issue slots (§IV-A).
+    let ht_factor = if opts.nop_mitigation {
+        spec.ht_contention_mitigated
+    } else {
+        spec.ht_contention_raw
+    };
+    let core_rate = spec.fft_flops_per_core_ns() * ht_factor;
+
+    let p_d_s = g.p_d / sk;
+    let p_c_s = g.p_c / sk;
+
+    // Simulate `sim_iters` and extrapolate the steady state if needed.
+    let cfg = EngineCfg {
+        sk,
+        p_d_s,
+        p_c_s,
+        load_bytes: load.dram_bytes,
+        store_dram_local: store.dram_bytes * (1.0 - remote_frac),
+        store_dram_remote: store.dram_bytes * remote_frac,
+        link_bytes: link_bytes_per_block,
+        walk_ns: store.extra_ns,
+        flops_per_block,
+        core_rate,
+    };
+    let sim_iters = iters.min(opts.max_sim_iters);
+    let t_full = run_engine(spec, opts, &cfg, sim_iters);
+    let time_ns = if sim_iters == iters {
+        t_full
+    } else {
+        // Marginal steady-state cost from a second, shorter run.
+        let half = (sim_iters / 2).max(1);
+        let t_half = run_engine(spec, opts, &cfg, half);
+        let per_iter = (t_full - t_half) / (sim_iters - half) as f64;
+        t_full + per_iter * (iters - sim_iters) as f64
+    };
+
+    let blocks_total = (iters * sk) as f64;
+    StageCost {
+        stage: stage_idx,
+        time_ns,
+        dram_bytes: blocks_total * (load.dram_bytes + store.dram_bytes),
+        link_bytes: blocks_total * link_bytes_per_block,
+    }
+}
+
+/// Per-block engine parameters of one stage.
+struct EngineCfg {
+    sk: usize,
+    p_d_s: usize,
+    p_c_s: usize,
+    /// Streamed read bytes per block.
+    load_bytes: f64,
+    /// Store bytes landing in the local socket's DRAM.
+    store_dram_local: f64,
+    /// Store bytes landing in a remote socket's DRAM (arrive there
+    /// asynchronously; modeled by per-socket sink jobs).
+    store_dram_remote: f64,
+    /// Payload bytes crossing the outgoing link per block.
+    link_bytes: f64,
+    /// Serialized page-walk latency per block.
+    walk_ns: f64,
+    flops_per_block: f64,
+    core_rate: f64,
+}
+
+fn run_engine(spec: &MachineSpec, opts: &SimOptions, cfg: &EngineCfg, iters: usize) -> f64 {
+    let (sk, p_d_s, p_c_s) = (cfg.sk, cfg.p_d_s, cfg.p_c_s);
+    let has_remote = cfg.store_dram_remote > 0.0;
+    let mut engine = Engine::new();
+    let mut dram = Vec::new();
+    let mut link = Vec::new();
+    for s in 0..sk {
+        dram.push(engine.add_resource(format!("dram{s}"), spec.dram_bytes_per_ns()));
+        if sk > 1 {
+            link.push(engine.add_resource(format!("link{s}"), spec.link_bw_gbs));
+        }
+    }
+    let mut cores = Vec::new();
+    for s in 0..sk {
+        for c in 0..p_c_s {
+            cores.push(engine.add_resource(format!("core{s}.{c}"), cfg.core_rate));
+        }
+    }
+    // Barrier 0: global; barrier 1+s: per-socket data barrier.
+    let sinks = if has_remote { sk } else { 0 };
+    let p_total = sk * (p_d_s + p_c_s) + sinks;
+    engine.set_barrier(0, p_total);
+    for s in 0..sk {
+        engine.set_barrier(1 + s, p_d_s);
+    }
+
+    let schedule = bwfft_pipeline::Schedule::new(iters);
+    let mut progs = Vec::new();
+    for s in 0..sk {
+        // Data threads: store (local DRAM + outgoing link), data
+        // barrier, then streamed load.
+        let load_share = cfg.load_bytes / p_d_s as f64;
+        let store_local_share = cfg.store_dram_local / p_d_s as f64;
+        let link_share = cfg.link_bytes / p_d_s as f64;
+        let walk_share = cfg.walk_ns / p_d_s as f64;
+        // A single thread's streaming rate is line-fill-buffer bound;
+        // this is the mechanism that makes p_d ≈ p/2 necessary.
+        let stream_cap = spec.per_thread_stream_gbs;
+        for _ in 0..p_d_s {
+            let mut p = ThreadProg::new();
+            for step in schedule.steps() {
+                if step.store.is_some() {
+                    p.use_capped(dram[s], store_local_share, stream_cap);
+                    if has_remote {
+                        p.use_res(link[s], link_share);
+                    }
+                    p.delay(walk_share);
+                }
+                p.barrier(1 + s);
+                if step.load.is_some() {
+                    p.use_capped(dram[s], load_share, stream_cap);
+                }
+                p.delay(opts.sync_ns);
+                p.barrier(0);
+            }
+            progs.push(p);
+        }
+        // Compute threads.
+        let flop_share = cfg.flops_per_block / p_c_s as f64;
+        for c in 0..p_c_s {
+            let mut p = ThreadProg::new();
+            for step in schedule.steps() {
+                if step.compute.is_some() {
+                    p.use_res(cores[s * p_c_s + c], flop_share);
+                }
+                p.delay(opts.sync_ns);
+                p.barrier(0);
+            }
+            progs.push(p);
+        }
+        // Sink: the writes *arriving* at this socket from the others
+        // consume its DRAM bandwidth concurrently with everything else
+        // (symmetric traffic ⇒ incoming == outgoing volume).
+        if has_remote {
+            let mut p = ThreadProg::new();
+            for step in schedule.steps() {
+                if step.store.is_some() {
+                    p.use_res(dram[s], cfg.store_dram_remote);
+                }
+                p.barrier(0);
+            }
+            progs.push(p);
+        }
+    }
+    engine.run(progs).total_ns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{Dims, FftPlan};
+    use bwfft_machine::presets;
+
+    fn kbl_plan(lg: usize) -> FftPlan {
+        let spec = presets::kaby_lake_7700k();
+        FftPlan::builder(Dims::d3(1 << lg, 1 << lg, 1 << lg))
+            .buffer_elems(spec.default_buffer_elems())
+            .threads(4, 4)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn kaby_lake_512_hits_the_paper_band() {
+        // Fig. 1: the double-buffered 3D FFT reaches 80–90% of the
+        // STREAM-bound achievable peak on the 7700K.
+        let spec = presets::kaby_lake_7700k();
+        let r = simulate(&kbl_plan(9), &spec, &SimOptions::default());
+        let pct = r.report.percent_of_peak();
+        assert!(
+            (75.0..=97.0).contains(&pct),
+            "expected ~80-90% of peak, got {pct:.1}% ({})",
+            r.report
+        );
+    }
+
+    #[test]
+    fn traffic_is_minimal_with_nt_stores() {
+        // NT movement ⇒ DRAM traffic ≈ the 2·N·stages·16 ideal.
+        let spec = presets::kaby_lake_7700k();
+        let plan = kbl_plan(9);
+        let r = simulate(&plan, &spec, &SimOptions::default());
+        let ideal = metrics::ideal_traffic_bytes(plan.dims.total(), 3);
+        let ratio = r.report.dram_bytes / ideal;
+        assert!((0.99..1.2).contains(&ratio), "traffic ratio {ratio}");
+    }
+
+    #[test]
+    fn temporal_stores_cost_bandwidth() {
+        let spec = presets::kaby_lake_7700k();
+        let plan = kbl_plan(9);
+        let nt = simulate(&plan, &spec, &SimOptions::default());
+        let tmp = simulate(
+            &plan,
+            &spec,
+            &SimOptions {
+                non_temporal: false,
+                ..Default::default()
+            },
+        );
+        assert!(
+            tmp.report.time_ns > 1.2 * nt.report.time_ns,
+            "temporal {} vs nt {}",
+            tmp.report.time_ns,
+            nt.report.time_ns
+        );
+    }
+
+    #[test]
+    fn extrapolated_matches_exact_for_medium_runs() {
+        let spec = presets::kaby_lake_7700k();
+        let plan = FftPlan::builder(Dims::d3(256, 256, 256))
+            .buffer_elems(1 << 18)
+            .threads(4, 4)
+            .build()
+            .unwrap();
+        // iters = 64 — both settings exact vs truncated-to-32.
+        let exact = simulate(&plan, &spec, &SimOptions::default());
+        let truncated = simulate(
+            &plan,
+            &spec,
+            &SimOptions {
+                max_sim_iters: 32,
+                ..Default::default()
+            },
+        );
+        let rel =
+            (exact.report.time_ns - truncated.report.time_ns).abs() / exact.report.time_ns;
+        assert!(rel < 0.02, "extrapolation error {rel}");
+    }
+
+    #[test]
+    fn dual_socket_is_faster_but_sublinear() {
+        // Fig. 11 bottom-left: ~1.7× from the second socket on Intel
+        // (QPI writes limit scaling).
+        let spec = presets::haswell_2667v3_2s();
+        let b = spec.default_buffer_elems();
+        let mk = |sk: usize| {
+            FftPlan::builder(Dims::d3(512, 512, 512))
+                .buffer_elems(b)
+                .threads(4 * sk, 4 * sk)
+                .sockets(sk)
+                .build()
+                .unwrap()
+        };
+        let one = simulate(&mk(1), &spec, &SimOptions::default());
+        let two = simulate(&mk(2), &spec, &SimOptions::default());
+        let speedup = one.report.time_ns / two.report.time_ns;
+        assert!(
+            (1.2..2.0).contains(&speedup),
+            "socket speedup {speedup:.2} (1s {} ns, 2s {} ns)",
+            one.report.time_ns,
+            two.report.time_ns
+        );
+        assert!(two.report.link_bytes > 0.0);
+        assert_eq!(one.report.link_bytes, 0.0);
+    }
+
+    #[test]
+    fn amd_interconnect_scales_better_relatively() {
+        // Fig. 11 bottom-right: HT bandwidth ≈ memory bandwidth ⇒ the
+        // link penalty is relatively smaller on AMD.
+        let intel = presets::haswell_2667v3_2s();
+        let amd = presets::amd_opteron_6276_2s();
+        let run = |spec: &bwfft_machine::MachineSpec, sk: usize| {
+            let plan = FftPlan::builder(Dims::d3(512, 512, 512))
+                .buffer_elems(1 << 18)
+                .threads(4 * sk, 4 * sk)
+                .sockets(sk)
+                .build()
+                .unwrap();
+            simulate(&plan, spec, &SimOptions::default()).report.time_ns
+        };
+        let intel_speedup = run(&intel, 1) / run(&intel, 2);
+        let amd_speedup = run(&amd, 1) / run(&amd, 2);
+        // AMD link/DRAM ratio (9/10) > Intel (16/42.5): scaling closer
+        // to linear.
+        assert!(
+            amd_speedup > intel_speedup,
+            "amd {amd_speedup:.2} vs intel {intel_speedup:.2}"
+        );
+    }
+
+    #[test]
+    fn stage_costs_sum_to_report() {
+        let spec = presets::kaby_lake_7700k();
+        let r = simulate(&kbl_plan(8), &spec, &SimOptions::default());
+        let sum: f64 = r.stages.iter().map(|s| s.time_ns).sum();
+        assert!((sum - r.report.time_ns).abs() < 1e-6);
+        assert_eq!(r.stages.len(), 3);
+    }
+}
+
+#[cfg(test)]
+mod no_overlap_tests {
+    use super::*;
+    use crate::plan::{Dims, FftPlan};
+    use bwfft_machine::presets;
+
+    #[test]
+    fn overlap_beats_no_overlap() {
+        // The paper's central claim, as a counterfactual: identical
+        // traffic and kernels, with and without the soft-DMA pipeline.
+        let spec = presets::kaby_lake_7700k();
+        let plan = FftPlan::builder(Dims::d3(512, 512, 512))
+            .buffer_elems(spec.default_buffer_elems())
+            .threads(4, 4)
+            .build()
+            .unwrap();
+        let with = simulate(&plan, &spec, &SimOptions::default()).report;
+        let without = simulate_no_overlap(&plan, &spec, &SimOptions::default()).report;
+        let speedup = without.time_ns / with.time_ns;
+        assert!(
+            speedup > 1.1,
+            "overlap should win: {:.2}x ({} vs {})",
+            speedup,
+            with,
+            without
+        );
+        // Same traffic either way.
+        let rel = (with.dram_bytes - without.dram_bytes).abs() / with.dram_bytes;
+        assert!(rel < 1e-9);
+    }
+}

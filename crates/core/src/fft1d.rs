@@ -1,0 +1,453 @@
+//! Large 1D FFTs via the four-step (Bailey) decomposition — the
+//! natural extension of the paper's machinery to one dimension, where
+//! its predecessor work (paper ref [20]) operated.
+//!
+//! For `N = n1·n2`, the Cooley–Tukey factorization
+//!
+//! ```text
+//! DFT_N = (DFT_{n1} ⊗ I_{n2}) · D_{n1,n2} · (I_{n1} ⊗ DFT_{n2}) · L^N_{n1}
+//! ```
+//!
+//! maps onto the double-buffered stage architecture as
+//!
+//! * **stage D** (decimation): pure data movement implementing the
+//!   input permutation `L` — element-granular writes, the honest cost
+//!   of 1D's extra reshuffle (skippable if the caller provides
+//!   decimated input);
+//! * **stage 1**: contiguous rows of `n2`, batched `DFT_{n2}`, the
+//!   twiddle diagonal `D` folded into the compute task, blocked
+//!   transpose on the store;
+//! * **stage 2**: `DFT_{n1} ⊗ I_μ` lane pencils, blocked transpose
+//!   back to natural order.
+//!
+//! Three round trips for a natural-order 1D FFT versus two for a 2D of
+//! the same volume — the known bandwidth premium of large 1D
+//! transforms.
+
+use crate::exec_sim::{simulate_generic_stage, GenericStage, SimOptions, StageCost};
+use crate::metrics;
+use bwfft_kernels::batch::BatchFft;
+use bwfft_kernels::transpose::{store_through_write_matrix, write_matrix_packets};
+use bwfft_kernels::Direction;
+use bwfft_machine::spec::MachineSpec;
+use bwfft_machine::stats::PerfReport;
+use bwfft_num::{Complex64, MU};
+use bwfft_pipeline::buffer::partition;
+use bwfft_pipeline::exec::{ComputeFn, LoadFn, PipelineCallbacks, PipelineConfig, StoreFn};
+use bwfft_pipeline::{run_pipeline, DoubleBuffer};
+use bwfft_spl::gather_scatter::{StagePerm, WriteMatrix};
+use bwfft_spl::PermOp;
+
+/// Plan for a large 1D FFT of `n1 · n2` points.
+#[derive(Clone, Debug)]
+pub struct Fft1dLargePlan {
+    pub n1: usize,
+    pub n2: usize,
+    pub mu: usize,
+    pub b: usize,
+    pub p_d: usize,
+    pub p_c: usize,
+    pub dir: Direction,
+    /// Include the decimation stage (natural-order input). With
+    /// `false`, input must already be `L`-decimated: element `x[i·n1+j]`
+    /// at position `j·n2 + i`.
+    pub decimate_input: bool,
+}
+
+impl Fft1dLargePlan {
+    pub fn new(n1: usize, n2: usize) -> Self {
+        Self {
+            n1,
+            n2,
+            mu: MU,
+            b: 0,
+            p_d: 1,
+            p_c: 1,
+            dir: Direction::Forward,
+            decimate_input: true,
+        }
+    }
+
+    pub fn buffer_elems(mut self, b: usize) -> Self {
+        self.b = b;
+        self
+    }
+
+    pub fn threads(mut self, p_d: usize, p_c: usize) -> Self {
+        self.p_d = p_d;
+        self.p_c = p_c;
+        self
+    }
+
+    pub fn direction(mut self, dir: Direction) -> Self {
+        self.dir = dir;
+        self
+    }
+
+    pub fn decimated_input(mut self) -> Self {
+        self.decimate_input = false;
+        self
+    }
+
+    pub fn total(&self) -> usize {
+        self.n1 * self.n2
+    }
+
+    fn validated_b(&self) -> usize {
+        let total = self.total();
+        let min = self.n2.max(self.n1 * self.mu);
+        let b = if self.b == 0 {
+            (total / 8).max(min)
+        } else {
+            self.b
+        };
+        assert!(bwfft_num::is_pow2(self.n1) && bwfft_num::is_pow2(self.n2));
+        assert!(self.n2.is_multiple_of(self.mu), "mu must divide n2");
+        assert!(b >= min && total.is_multiple_of(b) && b % self.n2 == 0 && b % (self.n1 * self.mu) == 0);
+        b
+    }
+
+    /// The three (or two) stage permutations.
+    pub fn stage_perms(&self) -> Vec<StagePerm> {
+        let (n1, n2, mu) = (self.n1, self.n2, self.mu);
+        let mut perms = Vec::new();
+        if self.decimate_input {
+            perms.push(StagePerm::Single(PermOp::L { rows: n2, cols: n1 }));
+        }
+        perms.push(StagePerm::Single(PermOp::BlockedL {
+            rows: n1,
+            cols: n2 / mu,
+            blk: mu,
+        }));
+        perms.push(StagePerm::Single(PermOp::BlockedL {
+            rows: n2 / mu,
+            cols: n1,
+            blk: mu,
+        }));
+        perms
+    }
+}
+
+/// The twiddle value applied to global element `g` (in the `n1 × n2`
+/// row-major layout of stage 1): `ω_N^{i·j}` with `i = g / n2`,
+/// `j = g mod n2`, conjugated for inverse transforms.
+#[inline]
+fn twiddle_at(g: usize, n1: usize, n2: usize, dir: Direction) -> Complex64 {
+    let i = g / n2;
+    let j = g % n2;
+    let w = Complex64::root_of_unity((i as u64 * j as u64) as i64, (n1 * n2) as u64);
+    match dir {
+        Direction::Forward => w,
+        Direction::Inverse => w.conj(),
+    }
+}
+
+/// Executes the plan: `data` is transformed in place; `work` is a
+/// same-sized scratch array.
+pub fn execute(plan: &Fft1dLargePlan, data: &mut [Complex64], work: &mut [Complex64]) {
+    let total = plan.total();
+    assert_eq!(data.len(), total);
+    assert_eq!(work.len(), total);
+    let b = plan.validated_b();
+    let perms = plan.stage_perms();
+    let n_stages = perms.len();
+    let buffer = DoubleBuffer::new(b);
+
+    for (s, perm) in perms.iter().enumerate() {
+        let stage_kind = if plan.decimate_input { s } else { s + 1 };
+        let (src, dst): (&[Complex64], &mut [Complex64]) = if s % 2 == 0 {
+            (&*data, &mut *work)
+        } else {
+            (&*work, &mut *data)
+        };
+        run_1d_stage(plan, stage_kind, *perm, b, &buffer, src, dst);
+        // Rust borrow rules force the copy-back pattern below instead
+        // of slice swapping; the arrays alternate by stage parity.
+        let _ = dst;
+    }
+    if n_stages % 2 == 1 {
+        data.copy_from_slice(work);
+    }
+}
+
+struct SharedDst {
+    ptr: *mut Complex64,
+    len: usize,
+}
+unsafe impl Send for SharedDst {}
+unsafe impl Sync for SharedDst {}
+impl SharedDst {
+    /// # Safety
+    /// Disjoint concurrent writes only (write-matrix injectivity).
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn slice_mut(&self) -> &mut [Complex64] {
+        core::slice::from_raw_parts_mut(self.ptr, self.len)
+    }
+}
+
+fn run_1d_stage(
+    plan: &Fft1dLargePlan,
+    stage_kind: usize, // 0 = decimate, 1 = rows+twiddle, 2 = lanes
+    perm: StagePerm,
+    b: usize,
+    buffer: &DoubleBuffer,
+    src: &[Complex64],
+    dst: &mut [Complex64],
+) {
+    let total = plan.total();
+    let iters = total / b;
+    let (n1, n2) = (plan.n1, plan.n2);
+    let dir = plan.dir;
+    let shared = SharedDst {
+        ptr: dst.as_mut_ptr(),
+        len: dst.len(),
+    };
+    let shared_ref = &shared;
+
+    let n_packets = write_matrix_packets(&WriteMatrix::new(perm, b, 0));
+    let packet_parts = partition(n_packets, plan.p_d);
+
+    let loaders: Vec<LoadFn> = (0..plan.p_d)
+        .map(|_| {
+            Box::new(move |blk: usize, off: usize, share: &mut [Complex64]| {
+                let start = blk * b + off;
+                share.copy_from_slice(&src[start..start + share.len()]);
+            }) as LoadFn
+        })
+        .collect();
+    let storers: Vec<StoreFn> = (0..plan.p_d)
+        .map(|j| {
+            let range = packet_parts[j].clone();
+            Box::new(move |blk: usize, half: &[Complex64]| {
+                let w = WriteMatrix::new(perm, b, blk);
+                // Safety: disjoint packet ranges, injective perm.
+                let dst_all = unsafe { shared_ref.slice_mut() };
+                store_through_write_matrix(half, dst_all, &w, range.clone(), true);
+            }) as StoreFn
+        })
+        .collect();
+    let computes: Vec<ComputeFn> = (0..plan.p_c)
+        .map(|_| match stage_kind {
+            0 => Box::new(move |_blk: usize, _off: usize, _share: &mut [Complex64]| {
+                // Decimation stage: pure data movement.
+            }) as ComputeFn,
+            1 => {
+                let mut kernel = BatchFft::new(n2, 1, dir);
+                Box::new(move |blk: usize, off: usize, share: &mut [Complex64]| {
+                    kernel.run(share);
+                    // Fold in the Cooley–Tukey twiddle diagonal.
+                    let base = blk * b + off;
+                    for (t, v) in share.iter_mut().enumerate() {
+                        *v *= twiddle_at(base + t, n1, n2, dir);
+                    }
+                }) as ComputeFn
+            }
+            _ => {
+                let mut kernel = BatchFft::new(n1, plan.mu, dir);
+                Box::new(move |_blk: usize, _off: usize, share: &mut [Complex64]| {
+                    kernel.run(share);
+                }) as ComputeFn
+            }
+        })
+        .collect();
+
+    let compute_unit = match stage_kind {
+        0 => plan.mu,
+        1 => n2,
+        _ => n1 * plan.mu,
+    };
+    run_pipeline(
+        buffer,
+        &PipelineConfig {
+            iters,
+            load_unit: plan.mu.min(b),
+            compute_unit,
+            pin_cpus: None,
+        },
+        PipelineCallbacks {
+            loaders,
+            storers,
+            computes,
+        },
+    );
+}
+
+/// Simulates the four-step 1D FFT on a machine preset.
+pub fn simulate_fft1d(
+    plan: &Fft1dLargePlan,
+    spec: &MachineSpec,
+    opts: &SimOptions,
+) -> (PerfReport, Vec<StageCost>) {
+    let total = plan.total();
+    let b = plan.validated_b();
+    let mut stage_costs = Vec::new();
+    let mut total_ns = 0.0;
+    let mut dram = 0.0;
+    for (s, perm) in plan.stage_perms().iter().enumerate() {
+        let stage_kind = if plan.decimate_input { s } else { s + 1 };
+        let flops = match stage_kind {
+            0 => 0.0,
+            // Row FFTs plus ~6 flops per element for the twiddle.
+            1 => 5.0 * b as f64 * (plan.n2.max(2) as f64).log2() + 6.0 * b as f64,
+            _ => 5.0 * b as f64 * (plan.n1.max(2) as f64).log2(),
+        };
+        let g = GenericStage {
+            perm: *perm,
+            b,
+            iters_per_socket: total / b,
+            sockets: 1,
+            total,
+            p_d: plan.p_d,
+            p_c: plan.p_c,
+            flops_per_block: flops,
+        };
+        let c = simulate_generic_stage(&g, spec, opts, s);
+        total_ns += c.time_ns;
+        dram += c.dram_bytes;
+        stage_costs.push(c);
+    }
+    let stages = plan.stage_perms().len();
+    let report = PerfReport {
+        machine: spec.name.to_string(),
+        problem: format!("1D {} (four-step {}x{})", total, plan.n1, plan.n2),
+        time_ns: total_ns,
+        pseudo_flops: metrics::pseudo_flops(total),
+        dram_bytes: dram,
+        link_bytes: 0.0,
+        achievable_peak_gflops: metrics::achievable_peak_gflops(
+            total,
+            stages,
+            spec.total_dram_bw_gbs(),
+        ),
+    };
+    (report, stage_costs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwfft_kernels::reference::dft_naive;
+    use bwfft_kernels::Fft1d;
+    use bwfft_num::compare::assert_fft_close;
+    use bwfft_num::signal::random_complex;
+    use bwfft_spl::Formula;
+
+    fn run(plan: &Fft1dLargePlan, x: &[Complex64]) -> Vec<Complex64> {
+        let mut data = x.to_vec();
+        let mut work = vec![Complex64::ZERO; x.len()];
+        execute(plan, &mut data, &mut work);
+        data
+    }
+
+    #[test]
+    fn four_step_formula_is_the_dft() {
+        // Algebraic check of the whole construction:
+        // T2·(I⊗DFT_{n1}⊗I_μ)·T1·D·(I⊗DFT_{n2})·L = DFT_N.
+        let (n1, n2, mu) = (4usize, 8usize, 2usize);
+        let n = n1 * n2;
+        let f = Formula::compose(vec![
+            Formula::tensor(Formula::stride_l(n2 / mu, n1), Formula::identity(mu)),
+            Formula::tensor(
+                Formula::identity(n2 / mu),
+                Formula::tensor(Formula::dft(n1), Formula::identity(mu)),
+            ),
+            Formula::tensor(Formula::stride_l(n1, n2 / mu), Formula::identity(mu)),
+            Formula::twiddle(n1, n2),
+            Formula::tensor(Formula::identity(n1), Formula::dft(n2)),
+            Formula::stride_l(n2, n1),
+        ]);
+        bwfft_spl::dense::assert_formulas_equal(&Formula::dft(n), &f);
+    }
+
+    #[test]
+    fn matches_naive_dft_small() {
+        let plan = Fft1dLargePlan::new(8, 16).buffer_elems(32).threads(1, 1);
+        let x = random_complex(128, 400);
+        assert_fft_close(&run(&plan, &x), &dft_naive(&x, Direction::Forward));
+    }
+
+    #[test]
+    fn matches_direct_kernel_at_larger_sizes() {
+        for (n1, n2) in [(16usize, 64usize), (32, 32), (64, 16)] {
+            let n = n1 * n2;
+            let x = random_complex(n, 401);
+            let plan = Fft1dLargePlan::new(n1, n2)
+                .buffer_elems(n / 4)
+                .threads(2, 2);
+            let got = run(&plan, &x);
+            let mut expect = x.clone();
+            Fft1d::new(n, Direction::Forward).run(&mut expect);
+            assert_fft_close(&got, &expect);
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let (n1, n2) = (16usize, 16usize);
+        let n = n1 * n2;
+        let x = random_complex(n, 402);
+        let fwd = Fft1dLargePlan::new(n1, n2).buffer_elems(64).threads(2, 2);
+        let inv = Fft1dLargePlan::new(n1, n2)
+            .buffer_elems(64)
+            .threads(2, 2)
+            .direction(Direction::Inverse);
+        let mut data = run(&fwd, &x);
+        let mut work = vec![Complex64::ZERO; n];
+        execute(&inv, &mut data, &mut work);
+        let scale = 1.0 / n as f64;
+        let back: Vec<Complex64> = data.iter().map(|c| c.scale(scale)).collect();
+        assert_fft_close(&back, &x);
+    }
+
+    #[test]
+    fn decimated_input_mode_skips_the_reshuffle() {
+        let (n1, n2) = (8usize, 32usize);
+        let n = n1 * n2;
+        let x = random_complex(n, 403);
+        // Manually decimate: x'[j·n2 + i] = x[i·n1 + j].
+        let mut xp = vec![Complex64::ZERO; n];
+        PermOp::L { rows: n2, cols: n1 }.permute(&x, &mut xp);
+        let plan = Fft1dLargePlan::new(n1, n2)
+            .buffer_elems(n / 2)
+            .threads(1, 2)
+            .decimated_input();
+        assert_eq!(plan.stage_perms().len(), 2);
+        let got = run(&plan, &xp);
+        let mut expect = x.clone();
+        Fft1d::new(n, Direction::Forward).run(&mut expect);
+        assert_fft_close(&got, &expect);
+    }
+
+    #[test]
+    fn thread_configuration_does_not_change_results() {
+        let (n1, n2) = (16usize, 32usize);
+        let x = random_complex(n1 * n2, 404);
+        let a = run(&Fft1dLargePlan::new(n1, n2).buffer_elems(128).threads(1, 1), &x);
+        let b = run(&Fft1dLargePlan::new(n1, n2).buffer_elems(256).threads(3, 2), &x);
+        assert_fft_close(&a, &b);
+    }
+
+    #[test]
+    fn simulated_1d_pays_the_extra_round_trip() {
+        // 1D (3 stages incl. decimation) must be slower per point than
+        // 2D (2 stages) at equal volume, but the decimated-input mode
+        // (2 stages) should roughly match 2D.
+        let spec = bwfft_machine::presets::kaby_lake_7700k();
+        let opts = SimOptions::default();
+        let n1 = 4096usize;
+        let n2 = 4096usize;
+        let full = Fft1dLargePlan::new(n1, n2)
+            .buffer_elems(spec.default_buffer_elems())
+            .threads(4, 4);
+        let (rep_full, stages) = simulate_fft1d(&full, &spec, &opts);
+        assert_eq!(stages.len(), 3);
+        let dec = Fft1dLargePlan::new(n1, n2)
+            .buffer_elems(spec.default_buffer_elems())
+            .threads(4, 4)
+            .decimated_input();
+        let (rep_dec, _) = simulate_fft1d(&dec, &spec, &opts);
+        assert!(rep_full.time_ns > rep_dec.time_ns * 1.3);
+        // The element-granular decimation stage dominates stage 0.
+        assert!(stages[0].time_ns > stages[1].time_ns);
+    }
+}

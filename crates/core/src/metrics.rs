@@ -1,0 +1,72 @@
+//! The paper's performance metrics (§V "Performance metric").
+
+/// Pseudo-flop count `5·N·log2 N` — the conventional FFT operation
+/// estimate the paper (and MKL/FFTW reporting) uses. Proportional to
+/// inverse runtime, so ratios of pseudo-Gflop/s are runtime ratios.
+pub fn pseudo_flops(total_elems: usize) -> f64 {
+    let n = total_elems as f64;
+    5.0 * n * n.log2()
+}
+
+/// The achievable-peak bound of §V:
+///
+/// ```text
+/// P_io = 5·N·log2(N)·BW_STREAM / (2 · N · stages · sizeof(complex double))
+/// ```
+///
+/// i.e. the Gflop/s reached if every stage streamed its full read +
+/// write traffic at STREAM bandwidth with infinite compute. `bw_gbs`
+/// is the whole-machine STREAM figure; the result is in Gflop/s.
+pub fn achievable_peak_gflops(total_elems: usize, stages: usize, bw_gbs: f64) -> f64 {
+    let n = total_elems as f64;
+    let flops = 5.0 * n * n.log2();
+    let bytes = 2.0 * n * stages as f64 * 16.0; // read+write, 16 B/elem
+    flops * bw_gbs / bytes
+}
+
+/// Minimum bytes of DRAM traffic for an `stages`-stage out-of-cache
+/// transform of `total_elems` complex doubles (each stage reads and
+/// writes the whole array once).
+pub fn ideal_traffic_bytes(total_elems: usize, stages: usize) -> f64 {
+    2.0 * total_elems as f64 * stages as f64 * 16.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pseudo_flops_of_512_cubed() {
+        // N = 2^27, log2 N = 27.
+        let n = 1usize << 27;
+        assert_eq!(pseudo_flops(n), 5.0 * (n as f64) * 27.0);
+    }
+
+    #[test]
+    fn kaby_lake_peak_matches_hand_computation() {
+        // P_io(512³, 3 stages, 40 GB/s) = 5·27·40/96 = 56.25 Gflop/s.
+        let p = achievable_peak_gflops(1 << 27, 3, 40.0);
+        assert!((p - 56.25).abs() < 1e-9, "{p}");
+    }
+
+    #[test]
+    fn peak_scales_linearly_with_bandwidth() {
+        let a = achievable_peak_gflops(1 << 24, 3, 20.0);
+        let b = achievable_peak_gflops(1 << 24, 3, 40.0);
+        assert!((b - 2.0 * a).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_stage_2d_has_higher_peak_than_3d() {
+        // Fewer round trips ⇒ higher achievable Gflop/s at equal N.
+        let p2 = achievable_peak_gflops(1 << 20, 2, 40.0);
+        let p3 = achievable_peak_gflops(1 << 20, 3, 40.0);
+        assert!(p2 > p3);
+        assert!((p2 / p3 - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ideal_traffic_of_one_stage() {
+        assert_eq!(ideal_traffic_bytes(1000, 1), 32_000.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! 1D FFT plans: twiddles + scratch, reusable across calls.
+
+use crate::stockham::stockham_strided;
+use crate::twiddle::StockhamTwiddles;
+use crate::Direction;
+use bwfft_num::{AlignedVec, Complex64};
+
+/// A reusable 1D FFT plan of fixed size and direction.
+///
+/// ```
+/// use bwfft_kernels::{Fft1d, Direction};
+/// use bwfft_num::{signal, Complex64};
+///
+/// let mut plan = Fft1d::new(1024, Direction::Forward);
+/// let mut data = signal::complex_tone(1024, 3);
+/// plan.run(&mut data);
+/// assert!((data[3].re - 1024.0).abs() < 1e-8);
+/// ```
+pub struct Fft1d {
+    n: usize,
+    dir: Direction,
+    twiddles: StockhamTwiddles,
+    scratch: AlignedVec<Complex64>,
+}
+
+impl Fft1d {
+    /// Plans a power-of-two FFT of size `n`.
+    pub fn new(n: usize, dir: Direction) -> Self {
+        Self {
+            n,
+            dir,
+            twiddles: StockhamTwiddles::new(n, dir),
+            scratch: AlignedVec::zeroed(n),
+        }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    #[inline]
+    pub fn direction(&self) -> Direction {
+        self.dir
+    }
+
+    /// Transforms `data` in place (unnormalized).
+    pub fn run(&mut self, data: &mut [Complex64]) {
+        assert_eq!(data.len(), self.n);
+        stockham_strided(data, &mut self.scratch, self.n, 1, &self.twiddles);
+    }
+
+    /// Transforms and, for inverse plans, scales by `1/n` so that
+    /// forward∘inverse is the identity.
+    pub fn run_normalized(&mut self, data: &mut [Complex64]) {
+        self.run(data);
+        if matches!(self.dir, Direction::Inverse) {
+            let s = 1.0 / self.n as f64;
+            for v in data.iter_mut() {
+                *v = v.scale(s);
+            }
+        }
+    }
+
+    /// Shared twiddle table (used by the batch kernels so that one plan
+    /// serves many pencils).
+    pub fn twiddles(&self) -> &StockhamTwiddles {
+        &self.twiddles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::dft_naive;
+    use bwfft_num::compare::assert_fft_close;
+    use bwfft_num::signal::random_complex;
+
+    #[test]
+    fn plan_is_reusable() {
+        let mut plan = Fft1d::new(64, Direction::Forward);
+        for seed in 0..5 {
+            let x = random_complex(64, seed);
+            let mut got = x.clone();
+            plan.run(&mut got);
+            assert_fft_close(&got, &dft_naive(&x, Direction::Forward));
+        }
+    }
+
+    #[test]
+    fn normalized_roundtrip() {
+        let x = random_complex(256, 9);
+        let mut fwd = Fft1d::new(256, Direction::Forward);
+        let mut inv = Fft1d::new(256, Direction::Inverse);
+        let mut data = x.clone();
+        fwd.run_normalized(&mut data);
+        inv.run_normalized(&mut data);
+        assert_fft_close(&data, &x);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_length_is_rejected() {
+        let mut plan = Fft1d::new(64, Direction::Forward);
+        let mut data = vec![Complex64::ZERO; 32];
+        plan.run(&mut data);
+    }
+}

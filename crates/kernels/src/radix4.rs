@@ -1,0 +1,251 @@
+//! Radix-4 Stockham FFT.
+//!
+//! Halves the number of ping-pong passes of the radix-2 kernel and
+//! trims twiddle multiplies — the compute task runs on cached data, so
+//! pass count translates directly into L2/L3 traffic per block. Odd
+//! powers of two take one radix-2 stage first, then radix-4 all the
+//! way down. Like the radix-2 kernel it computes the strided form
+//! `DFT_n ⊗ I_s` natively.
+
+use crate::stockham::butterfly_row_scalar;
+use crate::Direction;
+use bwfft_num::Complex64;
+
+/// Per-stage twiddles for the radix-4 kernel: at stage length `len`,
+/// the table holds `(ω^p, ω^{2p}, ω^{3p})` for `p < len/4`.
+#[derive(Clone, Debug)]
+pub struct Radix4Twiddles {
+    pub n: usize,
+    pub dir: Direction,
+    /// Radix-4 stage tables, outermost first.
+    stages4: Vec<Vec<[Complex64; 3]>>,
+    /// Optional leading radix-2 table (`ω_n^p`, `p < n/2`) when
+    /// `log2 n` is odd.
+    lead2: Option<Vec<Complex64>>,
+}
+
+impl Radix4Twiddles {
+    pub fn new(n: usize, dir: Direction) -> Self {
+        assert!(bwfft_num::is_pow2(n), "radix-4 kernel requires power-of-two size");
+        let conj = |w: Complex64| match dir {
+            Direction::Forward => w,
+            Direction::Inverse => w.conj(),
+        };
+        let mut len = n;
+        let mut lead2 = None;
+        if bwfft_num::log2_exact(n) % 2 == 1 && n >= 2 {
+            let mut tbl = Vec::with_capacity(len / 2);
+            for p in 0..len / 2 {
+                tbl.push(conj(Complex64::root_of_unity(p as i64, len as u64)));
+            }
+            lead2 = Some(tbl);
+            len /= 2;
+        }
+        let mut stages4 = Vec::new();
+        while len >= 4 {
+            let quarter = len / 4;
+            let mut tbl = Vec::with_capacity(quarter);
+            for p in 0..quarter {
+                tbl.push([
+                    conj(Complex64::root_of_unity(p as i64, len as u64)),
+                    conj(Complex64::root_of_unity(2 * p as i64, len as u64)),
+                    conj(Complex64::root_of_unity(3 * p as i64, len as u64)),
+                ]);
+            }
+            stages4.push(tbl);
+            len /= 4;
+        }
+        Self {
+            n,
+            dir,
+            stages4,
+            lead2,
+        }
+    }
+
+    /// Total passes over the data (1 for an odd leading radix-2 stage
+    /// plus one per radix-4 stage) — compare `log2 n` for radix-2.
+    pub fn num_passes(&self) -> usize {
+        self.stages4.len() + usize::from(self.lead2.is_some())
+    }
+}
+
+/// Computes `(DFT_n ⊗ I_s)` in place on `data` using `scratch`
+/// (both `n·s` elements), radix-4 Stockham.
+pub fn stockham_radix4_strided(
+    data: &mut [Complex64],
+    scratch: &mut [Complex64],
+    n: usize,
+    s: usize,
+    tw: &Radix4Twiddles,
+) {
+    assert_eq!(tw.n, n);
+    assert_eq!(data.len(), n * s);
+    assert_eq!(scratch.len(), n * s);
+    if n == 1 {
+        return;
+    }
+    let mut len = n;
+    let mut stride = s;
+    let mut src_is_data = true;
+
+    if let Some(tbl) = &tw.lead2 {
+        let (src, dst): (&mut [Complex64], &mut [Complex64]) = (&mut *data, &mut *scratch);
+        radix2_stage(src, dst, len, stride, tbl);
+        len /= 2;
+        stride *= 2;
+        src_is_data = false;
+    }
+    for tbl in &tw.stages4 {
+        let (src, dst): (&mut [Complex64], &mut [Complex64]) = if src_is_data {
+            (&mut *data, &mut *scratch)
+        } else {
+            (&mut *scratch, &mut *data)
+        };
+        radix4_stage(src, dst, len, stride, tbl, tw.dir);
+        len /= 4;
+        stride *= 4;
+        src_is_data = !src_is_data;
+    }
+    debug_assert_eq!(len, 1);
+    if !src_is_data {
+        data.copy_from_slice(scratch);
+    }
+}
+
+fn radix2_stage(
+    src: &[Complex64],
+    dst: &mut [Complex64],
+    len: usize,
+    stride: usize,
+    table: &[Complex64],
+) {
+    let half = len / 2;
+    for p in 0..half {
+        let w = table[p];
+        let a = &src[stride * p..stride * (p + 1)];
+        let b = &src[stride * (p + half)..stride * (p + half + 1)];
+        let (lo, hi) = dst[stride * 2 * p..stride * (2 * p + 2)].split_at_mut(stride);
+        butterfly_row_scalar(a, b, lo, hi, w);
+    }
+}
+
+fn radix4_stage(
+    src: &[Complex64],
+    dst: &mut [Complex64],
+    len: usize,
+    stride: usize,
+    table: &[[Complex64; 3]],
+    dir: Direction,
+) {
+    let quarter = len / 4;
+    for p in 0..quarter {
+        let [w1, w2, w3] = table[p];
+        let base_a = stride * p;
+        let base_b = stride * (p + quarter);
+        let base_c = stride * (p + 2 * quarter);
+        let base_d = stride * (p + 3 * quarter);
+        let out = stride * 4 * p;
+        for q in 0..stride {
+            let a = src[base_a + q];
+            let b = src[base_b + q];
+            let c = src[base_c + q];
+            let d = src[base_d + q];
+            let t0 = a + c;
+            let t1 = a - c;
+            let t2 = b + d;
+            // ∓i·(b − d): −i for the forward transform, +i inverse.
+            let t3 = match dir {
+                Direction::Forward => (b - d).mul_neg_i(),
+                Direction::Inverse => (b - d).mul_i(),
+            };
+            dst[out + q] = t0 + t2;
+            dst[out + stride + q] = (t1 + t3) * w1;
+            dst[out + 2 * stride + q] = (t0 - t2) * w2;
+            dst[out + 3 * stride + q] = (t1 - t3) * w3;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::dft_naive;
+    use crate::stockham::stockham_strided;
+    use crate::twiddle::StockhamTwiddles;
+    use bwfft_num::compare::assert_fft_close;
+    use bwfft_num::signal::random_complex;
+
+    fn run4(x: &[Complex64], dir: Direction) -> Vec<Complex64> {
+        let n = x.len();
+        let mut data = x.to_vec();
+        let mut scratch = vec![Complex64::ZERO; n];
+        let tw = Radix4Twiddles::new(n, dir);
+        stockham_radix4_strided(&mut data, &mut scratch, n, 1, &tw);
+        data
+    }
+
+    #[test]
+    fn matches_naive_even_and_odd_logs() {
+        for lg in 1..=12 {
+            let n = 1usize << lg;
+            let x = random_complex(n, 300 + lg as u64);
+            assert_fft_close(&run4(&x, Direction::Forward), &dft_naive(&x, Direction::Forward));
+        }
+    }
+
+    #[test]
+    fn inverse_matches_naive() {
+        let x = random_complex(256, 301);
+        assert_fft_close(&run4(&x, Direction::Inverse), &dft_naive(&x, Direction::Inverse));
+    }
+
+    #[test]
+    fn agrees_with_radix2_stockham_bitwise_tolerance() {
+        for lg in [6usize, 9, 11] {
+            let n = 1 << lg;
+            let x = random_complex(n, 302);
+            let r4 = run4(&x, Direction::Forward);
+            let mut r2 = x.clone();
+            let mut scratch = vec![Complex64::ZERO; n];
+            let tw = StockhamTwiddles::new(n, Direction::Forward);
+            stockham_strided(&mut r2, &mut scratch, n, 1, &tw);
+            assert_fft_close(&r4, &r2);
+        }
+    }
+
+    #[test]
+    fn strided_form_matches_spl() {
+        for (n, s) in [(16usize, 4usize), (64, 3), (32, 4)] {
+            let x = random_complex(n * s, 303);
+            let mut data = x.clone();
+            let mut scratch = vec![Complex64::ZERO; n * s];
+            let tw = Radix4Twiddles::new(n, Direction::Forward);
+            stockham_radix4_strided(&mut data, &mut scratch, n, s, &tw);
+            let expect = bwfft_spl::Formula::tensor(
+                bwfft_spl::Formula::dft(n),
+                bwfft_spl::Formula::identity(s),
+            )
+            .apply_vec(&x);
+            assert_fft_close(&data, &expect);
+        }
+    }
+
+    #[test]
+    fn pass_counts_halve() {
+        assert_eq!(Radix4Twiddles::new(256, Direction::Forward).num_passes(), 4);
+        assert_eq!(Radix4Twiddles::new(512, Direction::Forward).num_passes(), 5);
+        assert_eq!(Radix4Twiddles::new(4, Direction::Forward).num_passes(), 1);
+        assert_eq!(Radix4Twiddles::new(2, Direction::Forward).num_passes(), 1);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let n = 1024;
+        let x = random_complex(n, 304);
+        let y = run4(&x, Direction::Forward);
+        let z = run4(&y, Direction::Inverse);
+        let scaled: Vec<Complex64> = z.iter().map(|c| c.scale(1.0 / n as f64)).collect();
+        assert_fft_close(&scaled, &x);
+    }
+}

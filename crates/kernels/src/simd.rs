@@ -1,0 +1,234 @@
+//! SIMD kernels: AVX2/FMA butterflies and non-temporal streaming copy.
+//!
+//! The paper's kernels are SPIRAL-generated AVX/SSE code; here the hot
+//! inner loops are hand-written with `core::arch` intrinsics, selected
+//! once per call via runtime feature detection, with portable fallbacks
+//! that compile everywhere.
+//!
+//! Non-temporal stores (`_mm256_stream_pd`, the `movntpd` family) are
+//! the §IV mechanism that lets the write matrices `W_{b,i}` push
+//! cachelines straight to DRAM without read-for-ownership traffic or
+//! cache pollution.
+
+use bwfft_num::Complex64;
+
+/// True if the AVX2+FMA fast paths can be used on this host.
+#[inline]
+pub fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        static AVAIL: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        *AVAIL.get_or_init(|| {
+            std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+        })
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// AVX2 butterfly over one stride-run: `lo = a + b`, `hi = (a − b)·w`,
+/// two complexes per vector.
+///
+/// # Safety
+/// Caller must ensure [`avx2_available`] returned true. Slices must all
+/// have equal lengths.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn butterfly_row_avx2(
+    a: &[Complex64],
+    b: &[Complex64],
+    lo: &mut [Complex64],
+    hi: &mut [Complex64],
+    w: Complex64,
+) {
+    use core::arch::x86_64::*;
+    let n = a.len();
+    debug_assert!(b.len() == n && lo.len() == n && hi.len() == n);
+    let wr = _mm256_set1_pd(w.re);
+    let wi = _mm256_set1_pd(w.im);
+    let pairs = n / 2;
+    let ap = a.as_ptr() as *const f64;
+    let bp = b.as_ptr() as *const f64;
+    let lp = lo.as_mut_ptr() as *mut f64;
+    let hp = hi.as_mut_ptr() as *mut f64;
+    for i in 0..pairs {
+        let off = 4 * i;
+        let av = _mm256_loadu_pd(ap.add(off));
+        let bv = _mm256_loadu_pd(bp.add(off));
+        let sum = _mm256_add_pd(av, bv);
+        let dif = _mm256_sub_pd(av, bv);
+        // Complex multiply (dif · w) on [re0 im0 re1 im1] lanes:
+        //   re' = re·wr − im·wi,  im' = im·wr + re·wi
+        // fmaddsub computes a·b ∓ c with subtract on even lanes:
+        //   even: dif.re·wr − (dif.im·wi)   ✓
+        //   odd:  dif.im·wr + (dif.re·wi)   ✓
+        let swapped = _mm256_permute_pd(dif, 0b0101);
+        let t = _mm256_mul_pd(swapped, wi);
+        let prod = _mm256_fmaddsub_pd(dif, wr, t);
+        _mm256_storeu_pd(lp.add(off), sum);
+        _mm256_storeu_pd(hp.add(off), prod);
+    }
+    // Scalar tail for odd strides.
+    for i in 2 * pairs..n {
+        let sum = a[i] + b[i];
+        let dif = a[i] - b[i];
+        lo[i] = sum;
+        hi[i] = dif * w;
+    }
+}
+
+/// Pointwise complex multiply-accumulate of a twiddle diagonal:
+/// `data[i] *= diag[i]`, AVX2-accelerated when available.
+pub fn apply_diag(data: &mut [Complex64], diag: &[Complex64]) {
+    assert_eq!(data.len(), diag.len());
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // Safety: feature checked.
+        unsafe { apply_diag_avx2(data, diag) };
+        return;
+    }
+    for (d, w) in data.iter_mut().zip(diag) {
+        *d *= *w;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn apply_diag_avx2(data: &mut [Complex64], diag: &[Complex64]) {
+    use core::arch::x86_64::*;
+    let n = data.len();
+    let dp = data.as_mut_ptr() as *mut f64;
+    let wp = diag.as_ptr() as *const f64;
+    let pairs = n / 2;
+    for i in 0..pairs {
+        let off = 4 * i;
+        let x = _mm256_loadu_pd(dp.add(off));
+        let w = _mm256_loadu_pd(wp.add(off));
+        // x·w with per-lane complex layout: duplicate w.re and w.im.
+        let wr = _mm256_unpacklo_pd(w, w); // [wr0 wr0 wr1 wr1]
+        let wi = _mm256_unpackhi_pd(w, w); // [wi0 wi0 wi1 wi1]
+        let xs = _mm256_permute_pd(x, 0b0101);
+        let t = _mm256_mul_pd(xs, wi);
+        let prod = _mm256_fmaddsub_pd(x, wr, t);
+        _mm256_storeu_pd(dp.add(off), prod);
+    }
+    for i in 2 * pairs..n {
+        data[i] *= diag[i];
+    }
+}
+
+/// Streaming (non-temporal) copy: `dst ← src` bypassing the cache when
+/// the destination is 32-byte aligned and AVX is available; otherwise a
+/// plain `copy_from_slice`. Used by the store side of the soft-DMA
+/// engine (`W_{b,i}` writes, §IV "non-temporal loads and stores").
+pub fn copy_nt(src: &[Complex64], dst: &mut [Complex64]) {
+    assert_eq!(src.len(), dst.len());
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() && (dst.as_ptr() as usize).is_multiple_of(32) {
+        // Safety: feature + alignment checked.
+        unsafe { copy_nt_avx(src, dst) };
+        return;
+    }
+    dst.copy_from_slice(src);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn copy_nt_avx(src: &[Complex64], dst: &mut [Complex64]) {
+    use core::arch::x86_64::*;
+    let n = src.len();
+    let sp = src.as_ptr() as *const f64;
+    let dp = dst.as_mut_ptr() as *mut f64;
+    let pairs = n / 2;
+    for i in 0..pairs {
+        let off = 4 * i;
+        let v = _mm256_loadu_pd(sp.add(off));
+        _mm256_stream_pd(dp.add(off), v);
+    }
+    for i in 2 * pairs..n {
+        dst[i] = src[i];
+    }
+    // Order the streaming stores before any subsequent loads of the
+    // destination (movnt stores are weakly ordered).
+    _mm_sfence();
+}
+
+/// Issues a memory fence that orders any outstanding non-temporal
+/// stores; no-op on non-x86 targets.
+#[inline]
+pub fn nt_fence() {
+    #[cfg(target_arch = "x86_64")]
+    // Safety: sfence has no preconditions.
+    unsafe {
+        core::arch::x86_64::_mm_sfence()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwfft_num::signal::random_complex;
+    use bwfft_num::AlignedVec;
+
+    #[test]
+    fn butterfly_avx_matches_scalar() {
+        if !avx2_available() {
+            return;
+        }
+        for n in [1usize, 2, 3, 7, 8, 64, 65] {
+            let a = random_complex(n, 1);
+            let b = random_complex(n, 2);
+            let w = Complex64::new(0.6, -0.8);
+            let mut lo_s = vec![Complex64::ZERO; n];
+            let mut hi_s = vec![Complex64::ZERO; n];
+            crate::stockham::butterfly_row_scalar(&a, &b, &mut lo_s, &mut hi_s, w);
+            let mut lo_v = vec![Complex64::ZERO; n];
+            let mut hi_v = vec![Complex64::ZERO; n];
+            #[cfg(target_arch = "x86_64")]
+            unsafe {
+                butterfly_row_avx2(&a, &b, &mut lo_v, &mut hi_v, w)
+            };
+            for i in 0..n {
+                assert!((lo_s[i] - lo_v[i]).abs() < 1e-14, "n={n} lo[{i}]");
+                assert!((hi_s[i] - hi_v[i]).abs() < 1e-14, "n={n} hi[{i}]");
+            }
+        }
+    }
+
+    #[test]
+    fn apply_diag_matches_scalar_multiply() {
+        for n in [1usize, 4, 17, 256] {
+            let mut data = random_complex(n, 3);
+            let diag = random_complex(n, 4);
+            let expect: Vec<Complex64> =
+                data.iter().zip(&diag).map(|(a, b)| *a * *b).collect();
+            apply_diag(&mut data, &diag);
+            for i in 0..n {
+                assert!((data[i] - expect[i]).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn copy_nt_copies_exactly() {
+        for n in [0usize, 1, 4, 63, 64, 1000] {
+            let src = random_complex(n, 5);
+            let mut dst = AlignedVec::<Complex64>::zeroed(n);
+            copy_nt(&src, &mut dst);
+            assert_eq!(&dst[..], &src[..]);
+        }
+    }
+
+    #[test]
+    fn copy_nt_unaligned_destination_falls_back() {
+        let src = random_complex(7, 6);
+        let mut backing = AlignedVec::<Complex64>::zeroed(8);
+        // Offset by one complex (16 B) — not 32-B aligned.
+        let dst = &mut backing[1..8];
+        copy_nt(&src, dst);
+        assert_eq!(dst, &src[..]);
+    }
+}

@@ -1,0 +1,204 @@
+//! Split-radix FFT (Duhamel–Hollmann).
+//!
+//! The lowest-arithmetic classical power-of-two FFT: it splits
+//! `DFT_N` into one half-size transform of the even samples and two
+//! quarter-size transforms of the odd cosets, saving ~25% of the
+//! multiplies of radix-2. Included as the flop-count reference point
+//! for the kernel suite — in the paper's regime the transforms are
+//! bandwidth-bound and kernel flops rarely gate, which the roofline
+//! harness (`ext_roofline`) makes precise.
+//!
+//! Recurrence (`w = ω_N^k`, `k < N/4`):
+//!
+//! ```text
+//! X[k]        = U[k]      + (w^k Z[k] + w^{3k} Z'[k])
+//! X[k+N/2]    = U[k]      − (w^k Z[k] + w^{3k} Z'[k])
+//! X[k+N/4]    = U[k+N/4]  − i(w^k Z[k] − w^{3k} Z'[k])
+//! X[k+3N/4]   = U[k+N/4]  + i(w^k Z[k] − w^{3k} Z'[k])
+//! ```
+//!
+//! with `U = DFT_{N/2}(x_even)`, `Z = DFT_{N/4}(x_{4j+1})`,
+//! `Z' = DFT_{N/4}(x_{4j+3})`.
+
+use crate::Direction;
+use bwfft_num::Complex64;
+
+/// Precomputed per-level twiddles: for each recursion size `n`
+/// (descending powers of two ≥ 4), the pairs `(ω_n^k, ω_n^{3k})` for
+/// `k < n/4`.
+#[derive(Clone, Debug)]
+pub struct SplitRadixTwiddles {
+    pub n: usize,
+    pub dir: Direction,
+    /// `tables[i]` serves size `n >> i`.
+    tables: Vec<Vec<(Complex64, Complex64)>>,
+}
+
+impl SplitRadixTwiddles {
+    pub fn new(n: usize, dir: Direction) -> Self {
+        assert!(bwfft_num::is_pow2(n), "split-radix requires a power of two");
+        let conj = |w: Complex64| match dir {
+            Direction::Forward => w,
+            Direction::Inverse => w.conj(),
+        };
+        let mut tables = Vec::new();
+        let mut len = n;
+        while len >= 4 {
+            let mut t = Vec::with_capacity(len / 4);
+            for k in 0..len / 4 {
+                t.push((
+                    conj(Complex64::root_of_unity(k as i64, len as u64)),
+                    conj(Complex64::root_of_unity(3 * k as i64, len as u64)),
+                ));
+            }
+            tables.push(t);
+            len /= 2;
+        }
+        Self { n, dir, tables }
+    }
+
+    fn table_for(&self, len: usize) -> &[(Complex64, Complex64)] {
+        let level = (self.n / len).trailing_zeros() as usize;
+        &self.tables[level]
+    }
+}
+
+/// Out-of-place split-radix FFT: `out = DFT_n(x)` where `x` is read at
+/// `stride` (use 1 for a packed vector).
+pub fn splitradix(
+    x: &[Complex64],
+    stride: usize,
+    out: &mut [Complex64],
+    n: usize,
+    tw: &SplitRadixTwiddles,
+) {
+    debug_assert!(out.len() == n);
+    match n {
+        1 => out[0] = x[0],
+        2 => {
+            let (a, b) = (x[0], x[stride]);
+            out[0] = a + b;
+            out[1] = a - b;
+        }
+        _ => {
+            let q = n / 4;
+            // U = DFT_{n/2}(even), Z/Z' = DFT_{n/4}(odd cosets).
+            let mut u = vec![Complex64::ZERO; n / 2];
+            let mut z = vec![Complex64::ZERO; q];
+            let mut zp = vec![Complex64::ZERO; q];
+            splitradix(x, 2 * stride, &mut u, n / 2, tw);
+            splitradix(&x[stride..], 4 * stride, &mut z, q, tw);
+            splitradix(&x[3 * stride..], 4 * stride, &mut zp, q, tw);
+            let table = tw.table_for(n);
+            let rotate = |c: Complex64| match tw.dir {
+                // ∓i rotation flips with direction.
+                Direction::Forward => c.mul_neg_i(),
+                Direction::Inverse => c.mul_i(),
+            };
+            for k in 0..q {
+                let (w1, w3) = table[k];
+                let a = z[k] * w1;
+                let b = zp[k] * w3;
+                let sum = a + b;
+                let dif = rotate(a - b);
+                out[k] = u[k] + sum;
+                out[k + n / 2] = u[k] - sum;
+                out[k + q] = u[k + q] + dif;
+                out[k + 3 * q] = u[k + q] - dif;
+            }
+        }
+    }
+}
+
+/// Convenience plan wrapper.
+pub struct SplitRadixFft {
+    tw: SplitRadixTwiddles,
+    scratch: Vec<Complex64>,
+}
+
+impl SplitRadixFft {
+    pub fn new(n: usize, dir: Direction) -> Self {
+        Self {
+            tw: SplitRadixTwiddles::new(n, dir),
+            scratch: vec![Complex64::ZERO; n],
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.tw.n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tw.n == 0
+    }
+
+    /// Transforms `data` in place (unnormalized).
+    pub fn run(&mut self, data: &mut [Complex64]) {
+        let n = self.tw.n;
+        assert_eq!(data.len(), n);
+        splitradix(data, 1, &mut self.scratch, n, &self.tw);
+        data.copy_from_slice(&self.scratch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::dft_naive;
+    use crate::Fft1d;
+    use bwfft_num::compare::assert_fft_close;
+    use bwfft_num::signal::random_complex;
+
+    #[test]
+    fn matches_naive_all_sizes() {
+        for lg in 0..=11 {
+            let n = 1usize << lg;
+            let x = random_complex(n, 600 + lg as u64);
+            let mut got = x.clone();
+            SplitRadixFft::new(n, Direction::Forward).run(&mut got);
+            assert_fft_close(&got, &dft_naive(&x, Direction::Forward));
+        }
+    }
+
+    #[test]
+    fn inverse_matches_naive() {
+        let n = 256;
+        let x = random_complex(n, 601);
+        let mut got = x.clone();
+        SplitRadixFft::new(n, Direction::Inverse).run(&mut got);
+        assert_fft_close(&got, &dft_naive(&x, Direction::Inverse));
+    }
+
+    #[test]
+    fn agrees_with_stockham_at_scale() {
+        let n = 4096;
+        let x = random_complex(n, 602);
+        let mut a = x.clone();
+        SplitRadixFft::new(n, Direction::Forward).run(&mut a);
+        let mut b = x.clone();
+        Fft1d::new(n, Direction::Forward).run(&mut b);
+        assert_fft_close(&a, &b);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let n = 512;
+        let x = random_complex(n, 603);
+        let mut data = x.clone();
+        SplitRadixFft::new(n, Direction::Forward).run(&mut data);
+        SplitRadixFft::new(n, Direction::Inverse).run(&mut data);
+        let back: Vec<Complex64> = data.iter().map(|c| c.scale(1.0 / n as f64)).collect();
+        assert_fft_close(&back, &x);
+    }
+
+    #[test]
+    fn plan_reuse() {
+        let mut p = SplitRadixFft::new(128, Direction::Forward);
+        for seed in 0..3 {
+            let x = random_complex(128, 604 + seed);
+            let mut got = x.clone();
+            p.run(&mut got);
+            assert_fft_close(&got, &dft_naive(&x, Direction::Forward));
+        }
+    }
+}

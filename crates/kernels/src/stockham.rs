@@ -1,0 +1,214 @@
+//! Stockham autosort FFT.
+//!
+//! The Stockham algorithm is the natural kernel for the paper's compute
+//! task: it needs no bit-reversal pass (the reordering is folded into
+//! the ping-pong between the two halves of a scratch pair), both its
+//! reads and its writes are contiguous runs within each stage, and its
+//! strided formulation computes exactly the `DFT_n ⊗ I_s` construct the
+//! blocked decompositions of §III-A call for — `s = μ` gives the
+//! cacheline-vectorized pencil the paper computes after a blocked
+//! reshape.
+//!
+//! The recurrence (decimation in frequency, length `len`, stride `s`):
+//!
+//! ```text
+//! for p in 0..len/2:
+//!   w = ω_len^p
+//!   for q in 0..s:
+//!     a = x[s·p + q];  b = x[s·(p + len/2) + q]
+//!     y[s·(2p)   + q] = a + b
+//!     y[s·(2p+1) + q] = (a − b)·w
+//! then len ← len/2, s ← 2s, swap(x, y)
+//! ```
+
+use crate::simd;
+use crate::twiddle::StockhamTwiddles;
+use bwfft_num::Complex64;
+
+/// Computes `(DFT_n ⊗ I_s) · data` in place (using `scratch`), where
+/// `data.len() == n·s` and `tw` was built for size `n`.
+///
+/// With `s = 1` this is a plain 1D FFT of size `n`. The transform is
+/// unnormalized; direction comes from the twiddle table.
+pub fn stockham_strided(
+    data: &mut [Complex64],
+    scratch: &mut [Complex64],
+    n: usize,
+    s: usize,
+    tw: &StockhamTwiddles,
+) {
+    assert_eq!(tw.n, n, "twiddle table size mismatch");
+    assert_eq!(data.len(), n * s, "data length must be n·s");
+    assert_eq!(scratch.len(), n * s, "scratch length must be n·s");
+    if n == 1 {
+        return;
+    }
+
+    let use_avx = simd::avx2_available();
+    let mut len = n;
+    let mut stride = s;
+    let mut src_is_data = true;
+    for q in 0..tw.num_stages() {
+        let table = tw.stage(q);
+        let (src, dst): (&mut [Complex64], &mut [Complex64]) = if src_is_data {
+            (&mut *data, &mut *scratch)
+        } else {
+            (&mut *scratch, &mut *data)
+        };
+        stage(src, dst, len, stride, table, use_avx);
+        len /= 2;
+        stride *= 2;
+        src_is_data = !src_is_data;
+    }
+    if !src_is_data {
+        data.copy_from_slice(scratch);
+    }
+}
+
+/// One DIF stage over the whole `len·stride`-element array.
+#[inline]
+fn stage(
+    src: &[Complex64],
+    dst: &mut [Complex64],
+    len: usize,
+    stride: usize,
+    table: &[Complex64],
+    use_avx: bool,
+) {
+    let half = len / 2;
+    debug_assert_eq!(table.len(), half);
+    for p in 0..half {
+        let w = table[p];
+        let a_base = stride * p;
+        let b_base = stride * (p + half);
+        let lo_base = stride * 2 * p;
+        let hi_base = stride * (2 * p + 1);
+        let (a_run, b_run) = (&src[a_base..a_base + stride], &src[b_base..b_base + stride]);
+        // The two destination runs are adjacent: [lo..lo+stride) then
+        // [hi..hi+stride). Split once, no per-element bounds checks.
+        let (lo_run, hi_run) = dst[lo_base..hi_base + stride].split_at_mut(stride);
+        if use_avx && stride >= 2 {
+            // Safety: avx2_available() checked by the caller.
+            unsafe { simd::butterfly_row_avx2(a_run, b_run, lo_run, hi_run, w) };
+        } else {
+            butterfly_row_scalar(a_run, b_run, lo_run, hi_run, w);
+        }
+    }
+}
+
+/// Portable butterfly over one stride-run: `lo = a + b`,
+/// `hi = (a − b)·w`. Written so LLVM can vectorize the loop.
+#[inline]
+pub fn butterfly_row_scalar(
+    a: &[Complex64],
+    b: &[Complex64],
+    lo: &mut [Complex64],
+    hi: &mut [Complex64],
+    w: Complex64,
+) {
+    for (((av, bv), lv), hv) in a.iter().zip(b).zip(lo.iter_mut()).zip(hi.iter_mut()) {
+        let sum = *av + *bv;
+        let dif = *av - *bv;
+        *lv = sum;
+        *hv = dif * w;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::dft_naive;
+    use crate::Direction;
+    use bwfft_num::compare::{assert_fft_close, rel_l2_error};
+    use bwfft_num::signal::{complex_tone, random_complex};
+
+    fn run(x: &[Complex64], dir: Direction) -> Vec<Complex64> {
+        let n = x.len();
+        let mut data = x.to_vec();
+        let mut scratch = vec![Complex64::ZERO; n];
+        let tw = StockhamTwiddles::new(n, dir);
+        stockham_strided(&mut data, &mut scratch, n, 1, &tw);
+        data
+    }
+
+    #[test]
+    fn matches_naive_dft_all_pow2_sizes() {
+        for lg in 1..=12 {
+            let n = 1usize << lg;
+            let x = random_complex(n, 1000 + lg as u64);
+            let got = run(&x, Direction::Forward);
+            let expect = dft_naive(&x, Direction::Forward);
+            assert_fft_close(&got, &expect);
+        }
+    }
+
+    #[test]
+    fn inverse_matches_naive() {
+        let x = random_complex(256, 2);
+        let got = run(&x, Direction::Inverse);
+        let expect = dft_naive(&x, Direction::Inverse);
+        assert_fft_close(&got, &expect);
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        let n = 1024;
+        let x = random_complex(n, 3);
+        let y = run(&x, Direction::Forward);
+        let z = run(&y, Direction::Inverse);
+        let z: Vec<Complex64> = z.iter().map(|c| c.scale(1.0 / n as f64)).collect();
+        assert_fft_close(&z, &x);
+    }
+
+    #[test]
+    fn tone_produces_single_spike() {
+        let n = 512;
+        let f = 37;
+        let y = run(&complex_tone(n, f), Direction::Forward);
+        assert!((y[f].re - n as f64).abs() < 1e-8);
+        let leak: f64 = y
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| *k != f)
+            .map(|(_, v)| v.abs())
+            .fold(0.0, f64::max);
+        assert!(leak < 1e-8, "max leakage {leak}");
+    }
+
+    #[test]
+    fn strided_form_is_dft_tensor_identity() {
+        // (DFT_n ⊗ I_s) must equal the SPL tensor semantics.
+        for (n, s) in [(4usize, 4usize), (8, 2), (16, 4), (8, 3), (2, 5)] {
+            let x = random_complex(n * s, (n * 100 + s) as u64);
+            let mut data = x.clone();
+            let mut scratch = vec![Complex64::ZERO; n * s];
+            let tw = StockhamTwiddles::new(n, Direction::Forward);
+            stockham_strided(&mut data, &mut scratch, n, s, &tw);
+            let expect = bwfft_spl::Formula::tensor(
+                bwfft_spl::Formula::dft(n),
+                bwfft_spl::Formula::identity(s),
+            )
+            .apply_vec(&x);
+            assert_fft_close(&data, &expect);
+        }
+    }
+
+    #[test]
+    fn linearity_property() {
+        let n = 128;
+        let a = random_complex(n, 5);
+        let b = random_complex(n, 6);
+        let sum: Vec<Complex64> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        let fa = run(&a, Direction::Forward);
+        let fb = run(&b, Direction::Forward);
+        let fsum = run(&sum, Direction::Forward);
+        let combined: Vec<Complex64> = fa.iter().zip(&fb).map(|(x, y)| *x + *y).collect();
+        assert!(rel_l2_error(&fsum, &combined) < 1e-12);
+    }
+
+    #[test]
+    fn size_one_is_identity() {
+        let x = random_complex(1, 7);
+        assert_eq!(run(&x, Direction::Forward), x);
+    }
+}

@@ -1,0 +1,215 @@
+//! Cacheline-blocked reshape kernels: the `(L ⊗ I_μ)` transposition and
+//! `(K ⊗ I_μ)` rotation of §III-A, plus the scattered store used by the
+//! write matrices `W_{b,i}`.
+//!
+//! The paper's key observation is that the reshape must move whole
+//! cachelines: the `⊗ I_μ` blocking turns an element-wise transpose
+//! (one element per cacheline touched — 1/4 utilization for complex
+//! doubles) into μ-element packet moves (full utilization), and lets
+//! the store side use non-temporal instructions.
+
+use crate::simd;
+use bwfft_num::Complex64;
+use bwfft_spl::gather_scatter::{StagePerm, WriteMatrix};
+use bwfft_spl::PermOp;
+
+/// Out-of-place blocked transpose: input viewed as `rows × cols`
+/// packets of `blk` elements; output is the packet-transposed array.
+/// Temporal stores.
+pub fn transpose_blocked(
+    src: &[Complex64],
+    dst: &mut [Complex64],
+    rows: usize,
+    cols: usize,
+    blk: usize,
+) {
+    assert_eq!(src.len(), rows * cols * blk);
+    assert_eq!(dst.len(), src.len());
+    for i in 0..rows {
+        for j in 0..cols {
+            let s = (i * cols + j) * blk;
+            let d = (j * rows + i) * blk;
+            dst[d..d + blk].copy_from_slice(&src[s..s + blk]);
+        }
+    }
+}
+
+/// Out-of-place blocked rotation `K^{k,n}_m ⊗ I_blk` (cube of packets).
+pub fn rotate_blocked(
+    src: &[Complex64],
+    dst: &mut [Complex64],
+    k: usize,
+    n: usize,
+    m: usize,
+    blk: usize,
+) {
+    assert_eq!(src.len(), k * n * m * blk);
+    assert_eq!(dst.len(), src.len());
+    for z in 0..k {
+        for y in 0..n {
+            let row = (z * n + y) * m;
+            for x in 0..m {
+                let s = (row + x) * blk;
+                let d = (x * k * n + z * n + y) * blk;
+                dst[d..d + blk].copy_from_slice(&src[s..s + blk]);
+            }
+        }
+    }
+}
+
+/// Stores a computed buffer block back to main memory through a write
+/// matrix, moving `μ`-packets with non-temporal stores when available —
+/// the store half of the soft-DMA engine.
+///
+/// `range` selects the packet sub-range this thread owns (in packets),
+/// so `p_d` data threads can split one store among themselves (§III-C).
+pub fn store_through_write_matrix(
+    buf: &[Complex64],
+    dst: &mut [Complex64],
+    w: &WriteMatrix,
+    range: core::ops::Range<usize>,
+    non_temporal: bool,
+) {
+    let run = effective_run(&w.perm, w.b);
+    let packets = w.b / run;
+    assert!(range.end <= packets);
+    let base = w.i * w.b;
+    for t in range {
+        let src_off = t * run;
+        let d = w.perm.dst_of_src(base + src_off);
+        let s_slice = &buf[src_off..src_off + run];
+        let d_slice = &mut dst[d..d + run];
+        if non_temporal {
+            simd::copy_nt(s_slice, d_slice);
+        } else {
+            d_slice.copy_from_slice(s_slice);
+        }
+    }
+}
+
+/// Number of packets a write matrix decomposes its block into.
+pub fn write_matrix_packets(w: &WriteMatrix) -> usize {
+    w.b / effective_run(&w.perm, w.b)
+}
+
+fn effective_run(perm: &StagePerm, b: usize) -> usize {
+    let mut run = perm.contiguous_run().clamp(1, b);
+    if !b.is_multiple_of(run) {
+        run = 1;
+    }
+    run
+}
+
+/// Loads a contiguous block from main memory into the buffer (the read
+/// matrix `R_{b,i}`), optionally splitting across data threads.
+pub fn load_contiguous(
+    src: &[Complex64],
+    buf: &mut [Complex64],
+    block_start: usize,
+    range: core::ops::Range<usize>,
+) {
+    buf[range.clone()].copy_from_slice(&src[block_start + range.start..block_start + range.end]);
+}
+
+/// Convenience: full-array blocked rotation via a [`PermOp`], used by
+/// tests and the baselines.
+pub fn apply_perm(src: &[Complex64], dst: &mut [Complex64], perm: PermOp) {
+    perm.permute(src, dst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwfft_num::signal::random_complex;
+    use bwfft_num::AlignedVec;
+    use bwfft_spl::gather_scatter::fft3d_stage_perms;
+
+    #[test]
+    fn blocked_transpose_matches_permop() {
+        let (r, c, blk) = (6usize, 5usize, 4usize);
+        let x = random_complex(r * c * blk, 50);
+        let mut got = vec![Complex64::ZERO; x.len()];
+        transpose_blocked(&x, &mut got, r, c, blk);
+        let mut expect = vec![Complex64::ZERO; x.len()];
+        PermOp::BlockedL { rows: r, cols: c, blk }.permute(&x, &mut expect);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn blocked_rotation_matches_permop() {
+        let (k, n, m, blk) = (3usize, 4usize, 5usize, 2usize);
+        let x = random_complex(k * n * m * blk, 51);
+        let mut got = vec![Complex64::ZERO; x.len()];
+        rotate_blocked(&x, &mut got, k, n, m, blk);
+        let mut expect = vec![Complex64::ZERO; x.len()];
+        PermOp::BlockedK { k, n, m, blk }.permute(&x, &mut expect);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn store_through_write_matrix_full_range() {
+        let (k, n, m, mu) = (2usize, 4, 16, 4);
+        let total = k * n * m;
+        let b = 32;
+        let perm = fft3d_stage_perms(k, n, m, mu)[0];
+        let x = random_complex(total, 52);
+        // Reference: scatter every block with WriteMatrix::store.
+        let mut expect = AlignedVec::<Complex64>::zeroed(total);
+        let mut got = AlignedVec::<Complex64>::zeroed(total);
+        for i in 0..total / b {
+            let w = WriteMatrix::new(perm, b, i);
+            let block = &x[i * b..(i + 1) * b];
+            w.store(block, &mut expect);
+            let packets = write_matrix_packets(&w);
+            store_through_write_matrix(block, &mut got, &w, 0..packets, true);
+        }
+        assert_eq!(&got[..], &expect[..]);
+    }
+
+    #[test]
+    fn store_split_across_threads_covers_block() {
+        let (k, n, m, mu) = (2usize, 2, 16, 4);
+        let total = k * n * m;
+        let b = 16;
+        let perm = fft3d_stage_perms(k, n, m, mu)[1];
+        let x = random_complex(total, 53);
+        let mut whole = AlignedVec::<Complex64>::zeroed(total);
+        let mut split = AlignedVec::<Complex64>::zeroed(total);
+        for i in 0..total / b {
+            let w = WriteMatrix::new(perm, b, i);
+            let block = &x[i * b..(i + 1) * b];
+            let packets = write_matrix_packets(&w);
+            store_through_write_matrix(block, &mut whole, &w, 0..packets, false);
+            // Two "data threads" each store half the packets.
+            let mid = packets / 2;
+            store_through_write_matrix(block, &mut split, &w, 0..mid, true);
+            store_through_write_matrix(block, &mut split, &w, mid..packets, true);
+        }
+        assert_eq!(&split[..], &whole[..]);
+    }
+
+    #[test]
+    fn load_contiguous_ranges_partition() {
+        let src = random_complex(64, 54);
+        let mut buf = vec![Complex64::ZERO; 16];
+        load_contiguous(&src, &mut buf, 32, 0..8);
+        load_contiguous(&src, &mut buf, 32, 8..16);
+        assert_eq!(&buf[..], &src[32..48]);
+    }
+
+    #[test]
+    fn three_rotations_return_home() {
+        // Applying the three blocked stage rotations in sequence is the
+        // identity — the kernel-level version of the SPL test.
+        let (k, n, m, mu) = (4usize, 2, 8, 2);
+        let mp = m / mu;
+        let x = random_complex(k * n * m, 55);
+        let mut t1 = vec![Complex64::ZERO; x.len()];
+        let mut t2 = vec![Complex64::ZERO; x.len()];
+        let mut t3 = vec![Complex64::ZERO; x.len()];
+        rotate_blocked(&x, &mut t1, k, n, mp, mu);
+        rotate_blocked(&t1, &mut t2, mp, k, n, mu);
+        rotate_blocked(&t2, &mut t3, n, mp, k, mu);
+        assert_eq!(t3, x);
+    }
+}

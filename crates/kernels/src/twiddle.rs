@@ -1,0 +1,130 @@
+//! Precomputed twiddle-factor tables.
+//!
+//! FFT stages consume roots of unity in a fixed order; recomputing
+//! `sin`/`cos` inside the butterfly loops would dominate runtime, so
+//! plans precompute per-stage tables once. Tables are direction-aware
+//! (inverse transforms use conjugated roots).
+
+use crate::Direction;
+use bwfft_num::Complex64;
+
+/// Twiddle tables for a radix-2 Stockham FFT of size `n = 2^s`:
+/// `stage[q][p] = ω_len^p` with `len = n >> q` and `p < len/2`.
+#[derive(Clone, Debug)]
+pub struct StockhamTwiddles {
+    pub n: usize,
+    pub dir: Direction,
+    stages: Vec<Vec<Complex64>>,
+}
+
+impl StockhamTwiddles {
+    pub fn new(n: usize, dir: Direction) -> Self {
+        assert!(bwfft_num::is_pow2(n), "Stockham kernel requires power-of-two size");
+        let mut stages = Vec::new();
+        let mut len = n;
+        while len > 1 {
+            let half = len / 2;
+            let mut tbl = Vec::with_capacity(half);
+            for p in 0..half {
+                let w = Complex64::root_of_unity(p as i64, len as u64);
+                tbl.push(match dir {
+                    Direction::Forward => w,
+                    Direction::Inverse => w.conj(),
+                });
+            }
+            stages.push(tbl);
+            len = half;
+        }
+        Self { n, dir, stages }
+    }
+
+    /// Number of butterfly stages (`log2 n`).
+    #[inline]
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// The table for stage `q` (stage 0 spans the full length `n`).
+    #[inline]
+    pub fn stage(&self, q: usize) -> &[Complex64] {
+        &self.stages[q]
+    }
+
+    /// Total complex values stored (`n − 1` for radix-2).
+    pub fn footprint_elems(&self) -> usize {
+        self.stages.iter().map(|s| s.len()).sum()
+    }
+}
+
+/// The diagonal `D_{m,n}` twiddles of a Cooley–Tukey split, flattened in
+/// the order the data is traversed (`i·n + j` holds `ω_{mn}^{ij}`).
+pub fn cooley_tukey_diag(m: usize, n: usize, dir: Direction) -> Vec<Complex64> {
+    let total = (m * n) as u64;
+    let mut d = Vec::with_capacity(m * n);
+    for i in 0..m {
+        for j in 0..n {
+            let w = Complex64::root_of_unity((i * j) as i64, total);
+            d.push(match dir {
+                Direction::Forward => w,
+                Direction::Inverse => w.conj(),
+            });
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_lengths_halve() {
+        let t = StockhamTwiddles::new(64, Direction::Forward);
+        assert_eq!(t.num_stages(), 6);
+        let lens: Vec<usize> = (0..6).map(|q| t.stage(q).len()).collect();
+        assert_eq!(lens, vec![32, 16, 8, 4, 2, 1]);
+        assert_eq!(t.footprint_elems(), 63);
+    }
+
+    #[test]
+    fn forward_and_inverse_tables_conjugate() {
+        let f = StockhamTwiddles::new(16, Direction::Forward);
+        let i = StockhamTwiddles::new(16, Direction::Inverse);
+        for q in 0..f.num_stages() {
+            for (a, b) in f.stage(q).iter().zip(i.stage(q)) {
+                assert_eq!(a.conj(), *b);
+            }
+        }
+    }
+
+    #[test]
+    fn entries_are_the_expected_roots() {
+        let t = StockhamTwiddles::new(8, Direction::Forward);
+        // Stage 0: ω_8^p.
+        for (p, w) in t.stage(0).iter().enumerate() {
+            assert!((*w - Complex64::root_of_unity(p as i64, 8)).abs() < 1e-15);
+        }
+        // Stage 1: ω_4^p.
+        for (p, w) in t.stage(1).iter().enumerate() {
+            assert!((*w - Complex64::root_of_unity(p as i64, 4)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn ct_diag_matches_spl_twiddle() {
+        let d = cooley_tukey_diag(4, 3, Direction::Forward);
+        let f = bwfft_spl::Formula::twiddle(4, 3);
+        let x = vec![Complex64::ONE; 12];
+        let y = f.apply_vec(&x);
+        assert_eq!(d.len(), 12);
+        for (a, b) in d.iter().zip(&y) {
+            assert!((*a - *b).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn rejects_non_pow2() {
+        let _ = StockhamTwiddles::new(12, Direction::Forward);
+    }
+}

@@ -1,0 +1,624 @@
+//! Discrete-event engine: threads, barriers and bandwidth contention.
+//!
+//! The engine simulates a set of hardware threads, each executing a
+//! straight-line program of operations against shared *resources*
+//! (DRAM channels, NUMA links, per-core execution units). Resources are
+//! processor-sharing servers: when `n` jobs are in service the capacity
+//! is split `cap/n` — the first-order model of how concurrent memory
+//! streams share a channel and how the soft-DMA data threads contend
+//! with everything else for bandwidth.
+//!
+//! Barriers reproduce the `#pragma omp barrier` synchronization of the
+//! paper's framework (§III-D): a barrier op blocks until its expected
+//! number of participants arrive.
+
+/// Index into the engine's resource table.
+pub type ResourceId = usize;
+
+/// One step of a thread program.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Op {
+    /// Consume `amount` units (bytes, flops …) of a shared resource.
+    Use { res: ResourceId, amount: f64 },
+    /// Like [`Op::Use`] but the job can never progress faster than
+    /// `max_rate` units/ns even when the resource is idle — models
+    /// demand-miss latency limits: a thread chasing strided cache
+    /// misses is bounded by `MLP · line / latency` regardless of how
+    /// much channel bandwidth is free.
+    UseCapped {
+        res: ResourceId,
+        amount: f64,
+        max_rate: f64,
+    },
+    /// A fixed latency that uses no shared resource (page walks,
+    /// synchronization overhead, NOP slots).
+    Delay { ns: f64 },
+    /// Wait until barrier `id` has been reached by its expected count.
+    Barrier { id: usize },
+}
+
+/// A straight-line program for one simulated thread.
+#[derive(Clone, Debug, Default)]
+pub struct ThreadProg {
+    pub ops: Vec<Op>,
+}
+
+impl ThreadProg {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn use_res(&mut self, res: ResourceId, amount: f64) -> &mut Self {
+        if amount > 0.0 {
+            self.ops.push(Op::Use { res, amount });
+        }
+        self
+    }
+
+    pub fn use_capped(&mut self, res: ResourceId, amount: f64, max_rate: f64) -> &mut Self {
+        assert!(max_rate > 0.0);
+        if amount > 0.0 {
+            self.ops.push(Op::UseCapped {
+                res,
+                amount,
+                max_rate,
+            });
+        }
+        self
+    }
+
+    pub fn delay(&mut self, ns: f64) -> &mut Self {
+        if ns > 0.0 {
+            self.ops.push(Op::Delay { ns });
+        }
+        self
+    }
+
+    pub fn barrier(&mut self, id: usize) -> &mut Self {
+        self.ops.push(Op::Barrier { id });
+        self
+    }
+}
+
+/// A processor-sharing resource.
+#[derive(Clone, Debug)]
+pub struct Resource {
+    pub name: String,
+    /// Capacity in units per ns.
+    pub cap_per_ns: f64,
+}
+
+/// Aggregate results of a run.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Wall-clock of the whole run, ns.
+    pub total_ns: f64,
+    /// Per-resource: total units served.
+    pub served: Vec<f64>,
+    /// Per-resource: integral of (active jobs > 0) over time, ns.
+    pub busy_ns: Vec<f64>,
+    /// Per-thread: ns spent blocked at barriers.
+    pub barrier_wait_ns: Vec<f64>,
+    /// Per-resource merged busy intervals `(start_ns, end_ns)` — only
+    /// populated when [`Engine::record_timeline`] was enabled.
+    pub timeline: Vec<Vec<(f64, f64)>>,
+}
+
+impl RunStats {
+    /// Average utilization of a resource over the whole run.
+    pub fn utilization(&self, res: ResourceId) -> f64 {
+        if self.total_ns == 0.0 {
+            0.0
+        } else {
+            self.busy_ns[res] / self.total_ns
+        }
+    }
+
+    /// Average achieved throughput of a resource (units/ns) over the
+    /// whole run.
+    pub fn throughput(&self, res: ResourceId) -> f64 {
+        if self.total_ns == 0.0 {
+            0.0
+        } else {
+            self.served[res] / self.total_ns
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum ThreadState {
+    Ready,
+    Running {
+        res: ResourceId,
+        remaining: f64,
+        /// Per-job rate ceiling (`f64::INFINITY` for plain `Use`).
+        max_rate: f64,
+    },
+    Delaying { remaining_ns: f64 },
+    Blocked { barrier: usize, since_ns: f64 },
+    Done,
+}
+
+/// The engine itself.
+///
+/// ```
+/// use bwfft_machine::{Engine, ThreadProg};
+///
+/// // Two 1000-byte streams share a 10 B/ns channel: 200 ns total.
+/// let mut e = Engine::new();
+/// let dram = e.add_resource("dram", 10.0);
+/// let progs: Vec<ThreadProg> = (0..2).map(|_| {
+///     let mut p = ThreadProg::new();
+///     p.use_res(dram, 1000.0);
+///     p
+/// }).collect();
+/// let stats = e.run(progs);
+/// assert!((stats.total_ns - 200.0).abs() < 1e-9);
+/// ```
+pub struct Engine {
+    resources: Vec<Resource>,
+    /// Expected arrival count per barrier id.
+    barrier_expected: Vec<usize>,
+    /// Record per-resource busy intervals into `RunStats::timeline`.
+    record_timeline: bool,
+}
+
+impl Engine {
+    pub fn new() -> Self {
+        Self {
+            resources: Vec::new(),
+            barrier_expected: Vec::new(),
+            record_timeline: false,
+        }
+    }
+
+    /// Enables busy-interval recording (for timeline visualizations;
+    /// costs memory proportional to the number of busy stretches).
+    pub fn record_timeline(&mut self, on: bool) {
+        self.record_timeline = on;
+    }
+
+    /// Registers a resource; returns its id.
+    pub fn add_resource(&mut self, name: impl Into<String>, cap_per_ns: f64) -> ResourceId {
+        assert!(cap_per_ns > 0.0, "resource capacity must be positive");
+        self.resources.push(Resource {
+            name: name.into(),
+            cap_per_ns,
+        });
+        self.resources.len() - 1
+    }
+
+    /// Declares barrier `id` to expect `count` arrivals per use.
+    /// Barriers are reusable (each release re-arms them).
+    pub fn set_barrier(&mut self, id: usize, count: usize) {
+        if self.barrier_expected.len() <= id {
+            self.barrier_expected.resize(id + 1, 0);
+        }
+        self.barrier_expected[id] = count;
+    }
+
+    pub fn resource_name(&self, id: ResourceId) -> &str {
+        &self.resources[id].name
+    }
+
+    /// Runs the thread programs to completion; panics on deadlock
+    /// (a barrier that can never be satisfied).
+    pub fn run(&self, progs: Vec<ThreadProg>) -> RunStats {
+        let nt = progs.len();
+        let nr = self.resources.len();
+        let mut ip = vec![0usize; nt];
+        let mut state: Vec<ThreadState> = vec![ThreadState::Ready; nt];
+        let mut barrier_count = vec![0usize; self.barrier_expected.len()];
+        let mut stats = RunStats {
+            total_ns: 0.0,
+            served: vec![0.0; nr],
+            busy_ns: vec![0.0; nr],
+            barrier_wait_ns: vec![0.0; nt],
+            timeline: vec![Vec::new(); if self.record_timeline { nr } else { 0 }],
+        };
+        let mut now = 0.0f64;
+
+        loop {
+            // Phase 1: advance every Ready thread to a blocking state,
+            // releasing barriers as they fill.
+            let mut progressed = true;
+            while progressed {
+                progressed = false;
+                for t in 0..nt {
+                    if !matches!(state[t], ThreadState::Ready) {
+                        continue;
+                    }
+                    let prog = &progs[t];
+                    if ip[t] >= prog.ops.len() {
+                        state[t] = ThreadState::Done;
+                        progressed = true;
+                        continue;
+                    }
+                    match prog.ops[ip[t]] {
+                        Op::Use { res, amount } => {
+                            state[t] = ThreadState::Running {
+                                res,
+                                remaining: amount,
+                                max_rate: f64::INFINITY,
+                            };
+                            ip[t] += 1;
+                        }
+                        Op::UseCapped {
+                            res,
+                            amount,
+                            max_rate,
+                        } => {
+                            state[t] = ThreadState::Running {
+                                res,
+                                remaining: amount,
+                                max_rate,
+                            };
+                            ip[t] += 1;
+                        }
+                        Op::Delay { ns } => {
+                            state[t] = ThreadState::Delaying { remaining_ns: ns };
+                            ip[t] += 1;
+                        }
+                        Op::Barrier { id } => {
+                            assert!(
+                                id < self.barrier_expected.len()
+                                    && self.barrier_expected[id] > 0,
+                                "barrier {id} used but not declared"
+                            );
+                            barrier_count[id] += 1;
+                            state[t] = ThreadState::Blocked {
+                                barrier: id,
+                                since_ns: now,
+                            };
+                            ip[t] += 1;
+                            if barrier_count[id] == self.barrier_expected[id] {
+                                // Release everyone (including t).
+                                barrier_count[id] = 0;
+                                for u in 0..nt {
+                                    if let ThreadState::Blocked { barrier, since_ns } = state[u] {
+                                        if barrier == id {
+                                            stats.barrier_wait_ns[u] += now - since_ns;
+                                            state[u] = ThreadState::Ready;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    progressed = true;
+                }
+            }
+
+            if state.iter().all(|s| matches!(s, ThreadState::Done)) {
+                stats.total_ns = now;
+                return stats;
+            }
+
+            // Phase 2: compute per-job rates under processor sharing
+            // with per-job caps (water-filling: capped jobs below their
+            // fair share release capacity to the others).
+            let rates = self.compute_rates(&state, nr);
+            let mut dt = f64::INFINITY;
+            for (t, s) in state.iter().enumerate() {
+                match s {
+                    ThreadState::Running { remaining, .. } => {
+                        dt = dt.min(remaining / rates[t]);
+                    }
+                    ThreadState::Delaying { remaining_ns } => {
+                        dt = dt.min(*remaining_ns);
+                    }
+                    _ => {}
+                }
+            }
+            assert!(
+                dt.is_finite(),
+                "deadlock: all threads blocked at barriers \
+                 (barrier counts: {barrier_count:?})"
+            );
+
+            // Phase 3: advance time by dt.
+            now += dt;
+            let mut res_active = vec![false; nr];
+            for (t, s) in state.iter_mut().enumerate() {
+                match s {
+                    ThreadState::Running { res, remaining, .. } => {
+                        res_active[*res] = true;
+                        stats.served[*res] += rates[t] * dt;
+                        *remaining -= rates[t] * dt;
+                        if *remaining <= 1e-9 {
+                            *s = ThreadState::Ready;
+                        }
+                    }
+                    ThreadState::Delaying { remaining_ns } => {
+                        *remaining_ns -= dt;
+                        if *remaining_ns <= 1e-9 {
+                            *s = ThreadState::Ready;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            for (res, active) in res_active.iter().enumerate() {
+                if *active {
+                    stats.busy_ns[res] += dt;
+                    if self.record_timeline {
+                        let start = now - dt;
+                        match stats.timeline[res].last_mut() {
+                            Some(last) if (last.1 - start).abs() < 1e-9 => last.1 = now,
+                            _ => stats.timeline[res].push((start, now)),
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Engine {
+    /// Water-filling rate allocation: per resource, capped jobs whose
+    /// ceiling is below the fair share are frozen at their ceiling and
+    /// their unused share is redistributed among the rest.
+    fn compute_rates(&self, state: &[ThreadState], nr: usize) -> Vec<f64> {
+        let mut rates = vec![0.0f64; state.len()];
+        for res in 0..nr {
+            let jobs: Vec<(usize, f64)> = state
+                .iter()
+                .enumerate()
+                .filter_map(|(t, s)| match s {
+                    ThreadState::Running {
+                        res: r, max_rate, ..
+                    } if *r == res => Some((t, *max_rate)),
+                    _ => None,
+                })
+                .collect();
+            if jobs.is_empty() {
+                continue;
+            }
+            let mut capacity = self.resources[res].cap_per_ns;
+            let mut open: Vec<(usize, f64)> = jobs;
+            // Freeze capped jobs below the running fair share.
+            loop {
+                let share = capacity / open.len() as f64;
+                let (frozen, rest): (Vec<_>, Vec<_>) =
+                    open.iter().partition(|(_, cap)| *cap < share);
+                if frozen.is_empty() {
+                    for (t, _) in &open {
+                        rates[*t] = share;
+                    }
+                    break;
+                }
+                for (t, cap) in &frozen {
+                    rates[*t] = *cap;
+                    capacity -= *cap;
+                }
+                if rest.is_empty() {
+                    break;
+                }
+                open = rest;
+            }
+        }
+        rates
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-6 * b.abs().max(1.0)
+    }
+
+    #[test]
+    fn single_job_takes_amount_over_capacity() {
+        let mut e = Engine::new();
+        let mem = e.add_resource("dram", 40.0); // 40 B/ns
+        let mut p = ThreadProg::new();
+        p.use_res(mem, 4000.0);
+        let stats = e.run(vec![p]);
+        assert!(close(stats.total_ns, 100.0), "{}", stats.total_ns);
+        assert!(close(stats.served[mem], 4000.0));
+        assert!(close(stats.utilization(mem), 1.0));
+    }
+
+    #[test]
+    fn two_jobs_share_bandwidth() {
+        // Two equal streams on one channel finish together in 2× the
+        // solo time — processor sharing.
+        let mut e = Engine::new();
+        let mem = e.add_resource("dram", 10.0);
+        let mk = || {
+            let mut p = ThreadProg::new();
+            p.use_res(mem, 1000.0);
+            p
+        };
+        let stats = e.run(vec![mk(), mk()]);
+        assert!(close(stats.total_ns, 200.0), "{}", stats.total_ns);
+    }
+
+    #[test]
+    fn unequal_jobs_release_share_early() {
+        // Jobs of 100 and 300 units at cap 10: both run at 5 until the
+        // small one finishes at t=20; the big one has 200 left at rate
+        // 10 → finishes at t=40.
+        let mut e = Engine::new();
+        let mem = e.add_resource("dram", 10.0);
+        let mut a = ThreadProg::new();
+        a.use_res(mem, 100.0);
+        let mut b = ThreadProg::new();
+        b.use_res(mem, 300.0);
+        let stats = e.run(vec![a, b]);
+        assert!(close(stats.total_ns, 40.0), "{}", stats.total_ns);
+    }
+
+    #[test]
+    fn independent_resources_overlap() {
+        // Compute on one resource and memory on another proceed in
+        // parallel: total = max, not sum — the paper's overlap claim in
+        // its purest form.
+        let mut e = Engine::new();
+        let mem = e.add_resource("dram", 10.0);
+        let cpu = e.add_resource("core", 50.0);
+        let mut data = ThreadProg::new();
+        data.use_res(mem, 1000.0); // 100 ns
+        let mut compute = ThreadProg::new();
+        compute.use_res(cpu, 3000.0); // 60 ns
+        let stats = e.run(vec![data, compute]);
+        assert!(close(stats.total_ns, 100.0), "{}", stats.total_ns);
+    }
+
+    #[test]
+    fn serialized_tasks_sum() {
+        // The no-overlap baseline: one thread does memory then compute.
+        let mut e = Engine::new();
+        let mem = e.add_resource("dram", 10.0);
+        let cpu = e.add_resource("core", 50.0);
+        let mut p = ThreadProg::new();
+        p.use_res(mem, 1000.0).use_res(cpu, 3000.0);
+        let stats = e.run(vec![p]);
+        assert!(close(stats.total_ns, 160.0), "{}", stats.total_ns);
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        // Fast thread waits for slow thread at the barrier.
+        let mut e = Engine::new();
+        let cpu = e.add_resource("core", 1.0);
+        e.set_barrier(0, 2);
+        let mut fast = ThreadProg::new();
+        fast.use_res(cpu, 10.0).barrier(0).delay(5.0);
+        let mut slow = ThreadProg::new();
+        slow.delay(100.0).barrier(0).delay(5.0);
+        let stats = e.run(vec![fast, slow]);
+        assert!(close(stats.total_ns, 105.0), "{}", stats.total_ns);
+        // Fast thread waited ~90 ns less its 10ns of compute...
+        assert!(stats.barrier_wait_ns[0] > 80.0);
+        assert!(close(stats.barrier_wait_ns[1], 0.0));
+    }
+
+    #[test]
+    fn reusable_barriers_pipeline() {
+        // Two iterations of a two-thread barrier loop.
+        let mut e = Engine::new();
+        let cpu = e.add_resource("core", 1.0);
+        e.set_barrier(0, 2);
+        let mk = |work: f64| {
+            let mut p = ThreadProg::new();
+            p.use_res(cpu, work).barrier(0).use_res(cpu, work).barrier(0);
+            p
+        };
+        // cpu is shared: two 10-unit jobs at cap 1 → 20 ns per phase.
+        let stats = e.run(vec![mk(10.0), mk(10.0)]);
+        assert!(close(stats.total_ns, 40.0), "{}", stats.total_ns);
+    }
+
+    #[test]
+    fn delay_uses_no_shared_capacity() {
+        let mut e = Engine::new();
+        let mem = e.add_resource("dram", 10.0);
+        let mut a = ThreadProg::new();
+        a.use_res(mem, 1000.0);
+        let mut b = ThreadProg::new();
+        b.delay(1000.0);
+        let stats = e.run(vec![a, b]);
+        // Memory stream is undisturbed by the delaying thread.
+        assert!(close(stats.total_ns, 1000.0));
+        assert!(close(stats.busy_ns[mem], 100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn unsatisfiable_barrier_panics() {
+        let mut e = Engine::new();
+        let _ = e.add_resource("core", 1.0);
+        e.set_barrier(0, 2);
+        let mut p = ThreadProg::new();
+        p.barrier(0);
+        let _ = e.run(vec![p]);
+    }
+
+    #[test]
+    fn empty_program_finishes_instantly() {
+        let mut e = Engine::new();
+        let _ = e.add_resource("core", 1.0);
+        let stats = e.run(vec![ThreadProg::new()]);
+        assert_eq!(stats.total_ns, 0.0);
+    }
+}
+
+#[cfg(test)]
+mod capped_tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-6 * b.abs().max(1.0)
+    }
+
+    #[test]
+    fn cap_limits_a_lone_job() {
+        // 1000 units on a 40-unit/ns channel but capped at 5/ns.
+        let mut e = Engine::new();
+        let mem = e.add_resource("dram", 40.0);
+        let mut p = ThreadProg::new();
+        p.use_capped(mem, 1000.0, 5.0);
+        let stats = e.run(vec![p]);
+        assert!(close(stats.total_ns, 200.0), "{}", stats.total_ns);
+        assert!(close(stats.served[mem], 1000.0));
+    }
+
+    #[test]
+    fn capped_job_releases_share_to_uncapped_peer() {
+        // Channel 40/ns; job A capped at 5/ns, job B uncapped.
+        // B gets 35/ns, not 20: water-filling redistributes.
+        let mut e = Engine::new();
+        let mem = e.add_resource("dram", 40.0);
+        let mut a = ThreadProg::new();
+        a.use_capped(mem, 500.0, 5.0); // alone would take 100 ns
+        let mut b = ThreadProg::new();
+        b.use_res(mem, 3500.0); // at 35/ns takes 100 ns
+        let stats = e.run(vec![a, b]);
+        assert!(close(stats.total_ns, 100.0), "{}", stats.total_ns);
+    }
+
+    #[test]
+    fn many_capped_jobs_cannot_exceed_channel() {
+        // 8 threads capped at 10/ns each on a 40/ns channel: aggregate
+        // is channel-bound (each effectively gets 5/ns).
+        let mut e = Engine::new();
+        let mem = e.add_resource("dram", 40.0);
+        let progs: Vec<ThreadProg> = (0..8)
+            .map(|_| {
+                let mut p = ThreadProg::new();
+                p.use_capped(mem, 500.0, 10.0);
+                p
+            })
+            .collect();
+        let stats = e.run(progs);
+        assert!(close(stats.total_ns, 100.0), "{}", stats.total_ns);
+    }
+
+    #[test]
+    fn few_capped_jobs_are_latency_bound() {
+        // 2 threads capped at 10/ns on a 40/ns channel: the channel is
+        // half idle; time is cap-bound.
+        let mut e = Engine::new();
+        let mem = e.add_resource("dram", 40.0);
+        let progs: Vec<ThreadProg> = (0..2)
+            .map(|_| {
+                let mut p = ThreadProg::new();
+                p.use_capped(mem, 500.0, 10.0);
+                p
+            })
+            .collect();
+        let stats = e.run(progs);
+        assert!(close(stats.total_ns, 50.0), "{}", stats.total_ns);
+        assert!(stats.utilization(mem) > 0.99);
+        assert!(close(stats.throughput(mem), 20.0));
+    }
+}

@@ -1,0 +1,219 @@
+//! Multi-level cache hierarchy (Fig. 2 of the paper).
+//!
+//! Models an inclusive L1/L2/L3 stack as seen by one hardware thread:
+//! an access walks down until it hits; allocations fill every level on
+//! the way back (inclusive), and an LLC eviction back-invalidates the
+//! inner levels. Non-temporal accesses bypass the whole stack.
+//!
+//! This is the substrate for the §IV interference experiments: the FFT
+//! compute working set (buffer slice + twiddles) lives in the inner
+//! levels, and the question is whether the data threads' streams evict
+//! it — they do with temporal accesses, they don't with non-temporal
+//! ones.
+
+use crate::cache::{AccessResult, SetAssocCache};
+use crate::spec::MachineSpec;
+
+/// Per-level statistics of a hierarchy walk.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LevelStats {
+    pub hits: u64,
+    pub misses: u64,
+}
+
+/// Where an access was satisfied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HitLevel {
+    /// Satisfied by cache level `i` (0 = innermost).
+    Cache(usize),
+    /// Missed everywhere: DRAM.
+    Memory,
+    /// Non-temporal: bypassed the stack.
+    Bypass,
+}
+
+/// An inclusive cache hierarchy for one thread's view.
+pub struct Hierarchy {
+    levels: Vec<SetAssocCache>,
+    pub stats: Vec<LevelStats>,
+    /// Total load-to-use latency accumulated, in cycles.
+    pub latency_cycles: f64,
+    level_latency: Vec<f64>,
+    dram_latency_cycles: f64,
+}
+
+impl Hierarchy {
+    /// Builds the hierarchy of `spec` (all levels, inner → outer).
+    pub fn from_spec(spec: &MachineSpec) -> Self {
+        let levels: Vec<SetAssocCache> = spec
+            .caches
+            .iter()
+            .map(SetAssocCache::from_level)
+            .collect();
+        let level_latency: Vec<f64> = spec.caches.iter().map(|c| c.latency_cycles).collect();
+        let stats = vec![LevelStats::default(); levels.len()];
+        Self {
+            levels,
+            stats,
+            latency_cycles: 0.0,
+            level_latency,
+            dram_latency_cycles: spec.dram_latency_ns * spec.ghz,
+        }
+    }
+
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// One access at byte address `addr`.
+    pub fn access(&mut self, addr: u64, write: bool, non_temporal: bool) -> HitLevel {
+        if non_temporal {
+            self.latency_cycles += self.dram_latency_cycles;
+            return HitLevel::Bypass;
+        }
+        // Walk down to the first hit.
+        let mut hit_at: Option<usize> = None;
+        for (i, level) in self.levels.iter_mut().enumerate() {
+            match level.access(addr, write, false) {
+                AccessResult::Hit => {
+                    self.stats[i].hits += 1;
+                    self.latency_cycles += self.level_latency[i];
+                    hit_at = Some(i);
+                    break;
+                }
+                AccessResult::Miss { .. } => {
+                    self.stats[i].misses += 1;
+                    // Allocation already happened in `access`; keep
+                    // walking (inclusive fill on the way down).
+                }
+                AccessResult::Bypass => unreachable!(),
+            }
+        }
+        match hit_at {
+            Some(i) => {
+                // Fill the inner levels above the hit (they missed and
+                // already allocated in the walk).
+                HitLevel::Cache(i)
+            }
+            None => {
+                self.latency_cycles += self.dram_latency_cycles;
+                HitLevel::Memory
+            }
+        }
+    }
+
+    /// True if `addr` is resident at level `i`.
+    pub fn probe(&self, level: usize, addr: u64) -> bool {
+        self.levels[level].probe(addr)
+    }
+
+    /// Fraction of a working set (given as line-aligned byte addresses)
+    /// still resident at level `i`.
+    pub fn residency(&self, level: usize, addrs: impl IntoIterator<Item = u64>) -> f64 {
+        let mut total = 0usize;
+        let mut resident = 0usize;
+        for a in addrs {
+            total += 1;
+            if self.levels[level].probe(a) {
+                resident += 1;
+            }
+        }
+        if total == 0 {
+            1.0
+        } else {
+            resident as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::presets;
+
+    fn kbl() -> Hierarchy {
+        Hierarchy::from_spec(&presets::kaby_lake_7700k())
+    }
+
+    #[test]
+    fn hit_levels_progress_outward() {
+        let mut h = kbl();
+        // Cold: memory.
+        assert_eq!(h.access(0, false, false), HitLevel::Memory);
+        // Warm: L1.
+        assert_eq!(h.access(0, false, false), HitLevel::Cache(0));
+    }
+
+    #[test]
+    fn l1_capacity_falls_back_to_l2() {
+        let mut h = kbl();
+        // Fill 64 KiB (2× L1d, well within L2).
+        for addr in (0..65536u64).step_by(64) {
+            h.access(addr, false, false);
+        }
+        // The first line fell out of L1 but is in L2.
+        let lvl = h.access(0, false, false);
+        assert_eq!(lvl, HitLevel::Cache(1));
+    }
+
+    #[test]
+    fn llc_hit_after_l2_overflow() {
+        let mut h = kbl();
+        // 1 MiB: beyond L2 (256 KiB), far within L3 (8 MiB).
+        for addr in (0..(1 << 20) as u64).step_by(64) {
+            h.access(addr, false, false);
+        }
+        assert_eq!(h.access(0, false, false), HitLevel::Cache(2));
+    }
+
+    #[test]
+    fn latency_accumulates_by_level() {
+        let mut h = kbl();
+        h.access(0, false, false); // memory
+        let after_miss = h.latency_cycles;
+        h.access(0, false, false); // L1
+        assert!((h.latency_cycles - after_miss - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn temporal_stream_evicts_the_compute_working_set() {
+        // §IV "interference at the cache hierarchy": a compute working
+        // set (64 KiB at a high address) is resident; a temporal
+        // 16 MiB stream destroys its L3 residency.
+        let mut h = kbl();
+        let ws: Vec<u64> = (0..65536u64).step_by(64).map(|a| (1 << 30) + a).collect();
+        for &a in &ws {
+            h.access(a, false, false);
+        }
+        assert!(h.residency(2, ws.iter().copied()) > 0.99);
+        for addr in (0..(16u64 << 20)).step_by(64) {
+            h.access(addr, false, false);
+        }
+        let after = h.residency(2, ws.iter().copied());
+        assert!(after < 0.1, "LLC residency after temporal stream: {after}");
+    }
+
+    #[test]
+    fn non_temporal_stream_preserves_the_working_set() {
+        // The same stream with non-temporal accesses leaves the
+        // compute set untouched — the paper's §IV prescription.
+        let mut h = kbl();
+        let ws: Vec<u64> = (0..65536u64).step_by(64).map(|a| (1 << 30) + a).collect();
+        for &a in &ws {
+            h.access(a, false, false);
+        }
+        for addr in (0..(16u64 << 20)).step_by(64) {
+            h.access(addr, true, true);
+        }
+        let after = h.residency(2, ws.iter().copied());
+        assert!(after > 0.99, "LLC residency after NT stream: {after}");
+    }
+
+    #[test]
+    fn amd_hierarchy_shape() {
+        let mut h = Hierarchy::from_spec(&presets::amd_fx_8350());
+        assert_eq!(h.num_levels(), 3);
+        assert_eq!(h.access(64, false, false), HitLevel::Memory);
+        assert_eq!(h.access(64, false, false), HitLevel::Cache(0));
+    }
+}

@@ -1,0 +1,36 @@
+//! Simulated multicore / multi-socket hardware.
+//!
+//! The paper's performance claims rest on machine mechanisms — shared
+//! last-level caches, DRAM bandwidth, non-temporal stores that skip
+//! read-for-ownership traffic, TLB reach, QPI/HT links between NUMA
+//! nodes, and hyperthreads contending for ports. This crate models those
+//! mechanisms so that the evaluation can be reproduced on a host that
+//! has none of the paper's five testbeds.
+//!
+//! Two fidelity tiers share one machine description ([`spec::MachineSpec`]):
+//!
+//! * **trace tier** ([`trace`]) — every cacheline access of an access
+//!   stream is played through set-associative cache and TLB models.
+//!   Exact, `O(accesses)`; used for validation and small problems.
+//! * **pattern tier** ([`patterns`]) — a stage's block access pattern is
+//!   analyzed once (its shape is iteration-invariant), yielding per-block
+//!   DRAM traffic, TLB walks and cacheline utilization; a discrete-event
+//!   engine ([`engine`]) then simulates the threads, barriers and
+//!   bandwidth contention of the whole run. This tier makes 2048³
+//!   transforms tractable.
+//!
+//! The [`stream`] module reproduces the STREAM-calibrated "achievable
+//! bandwidth" methodology the paper uses for its roofline (Fig. 1).
+
+pub mod cache;
+pub mod engine;
+pub mod hierarchy;
+pub mod patterns;
+pub mod spec;
+pub mod stats;
+pub mod stream;
+pub mod tlb;
+pub mod trace;
+
+pub use engine::{Engine, Op, ResourceId, RunStats, ThreadProg};
+pub use spec::{presets, MachineSpec};

@@ -1,0 +1,347 @@
+//! Pattern-tier cost model.
+//!
+//! A stage of the double-buffered FFT touches memory in a shape that is
+//! identical for every iteration (only the base offset moves), so the
+//! cost of one block is analyzed once — against the cacheline and TLB
+//! models — and replayed by the discrete-event engine for all
+//! `knm/b` iterations. This file turns access patterns into the two
+//! quantities the engine consumes: DRAM channel bytes and serialized
+//! extra latency (page walks).
+//!
+//! The model encodes the §IV mechanisms:
+//! * non-temporal full-line stores stream at write-combining speed with
+//!   no read-for-ownership;
+//! * partial-line non-temporal stores degrade to read-modify-write;
+//! * temporal stores cost RFO (a read) plus the eventual writeback;
+//! * strided walks beyond TLB reach pay a page walk per burst.
+
+use crate::spec::MachineSpec;
+use crate::tlb::Tlb;
+use bwfft_spl::dataflow::Burst;
+
+/// Cost of moving one block (one pipeline iteration's worth of data).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TrafficCost {
+    /// Bytes that must cross the DRAM channel.
+    pub dram_bytes: f64,
+    /// Serialized latency not overlapped with streaming (page walks).
+    pub extra_ns: f64,
+    /// Diagnostic: TLB miss count for the block.
+    pub tlb_misses: u64,
+    /// Diagnostic: fraction of each touched cacheline actually used.
+    pub line_utilization: f64,
+}
+
+/// Cost of a contiguous streaming read (or non-temporal contiguous
+/// write) of `bytes`. Sequential page walks are already part of the
+/// STREAM-measured bandwidth, so no extra latency is charged.
+pub fn streaming_cost(bytes: f64) -> TrafficCost {
+    TrafficCost {
+        dram_bytes: bytes,
+        extra_ns: 0.0,
+        tlb_misses: 0,
+        line_utilization: 1.0,
+    }
+}
+
+/// Cost of one write-matrix block: `bursts` is the exact burst list of
+/// a single block (from `bwfft_spl::dataflow::write_bursts`).
+///
+/// `non_temporal` selects streaming stores (the paper's choice) versus
+/// temporal stores with read-for-ownership.
+pub fn write_block_cost(
+    bursts: &[Burst],
+    spec: &MachineSpec,
+    elem_bytes: usize,
+    non_temporal: bool,
+) -> TrafficCost {
+    let line = spec.llc().line_bytes as f64;
+    let mut dram = 0.0f64;
+    let mut used = 0.0f64;
+    let mut touched = 0.0f64;
+    let mut tlb = Tlb::new(spec.tlb_entries, spec.page_bytes);
+    let mut seq_pages = SeqPageCounter::new(spec.page_bytes);
+    for b in bursts {
+        let bytes = (b.len * elem_bytes) as f64;
+        let start = (b.start * elem_bytes) as u64;
+        // Lines touched by this burst (alignment-aware).
+        let first_line = start / line as u64;
+        let last_line = (start + bytes as u64 - 1) / line as u64;
+        let lines = (last_line - first_line + 1) as f64;
+        used += bytes;
+        touched += lines * line;
+        if non_temporal {
+            if bytes >= lines * line {
+                // Full lines: stream straight to DRAM.
+                dram += lines * line;
+            } else {
+                // Partial line(s): the write-combining buffer flushes a
+                // partial line as read-modify-write.
+                dram += 2.0 * lines * line;
+            }
+        } else {
+            // Temporal: RFO read + eventual writeback of each line.
+            dram += 2.0 * lines * line;
+        }
+        // One TLB touch per burst (bursts never straddle pages at the
+        // sizes this workspace uses; the counter tolerates it anyway).
+        tlb.access(start);
+        seq_pages.touch(start);
+    }
+    // Walks a *sequential* stream of the same footprint would have paid
+    // anyway are folded into the STREAM bandwidth; only the excess is
+    // serialized latency.
+    let baseline_walks = seq_pages.pages() as u64;
+    let excess = tlb.stats.misses.saturating_sub(baseline_walks);
+    // Page walks overlap with each other and with the store stream
+    // (page-walk caches + multiple outstanding walks); only the
+    // non-overlapped residue serializes.
+    const PAGE_WALK_MLP: f64 = 4.0;
+    // Scattered line-sized bursts pay DRAM row-activation overhead that
+    // sequential streams amortize (write-combining flushes one line per
+    // distant row). Applied when the pattern is genuinely scattered:
+    // multiple bursts whose spacing exceeds a DRAM row (~2 KiB).
+    let scattered = bursts.len() > 1 && {
+        let mut far = 0usize;
+        let mut prev: Option<usize> = None;
+        for b in bursts {
+            if let Some(p) = prev {
+                if b.start.abs_diff(p) * elem_bytes > 2048 {
+                    far += 1;
+                }
+            }
+            prev = Some(b.start);
+        }
+        far * 2 > bursts.len()
+    };
+    if scattered {
+        dram /= spec.scattered_write_efficiency;
+    }
+    TrafficCost {
+        dram_bytes: dram,
+        extra_ns: excess as f64 * spec.tlb_walk_ns / PAGE_WALK_MLP,
+        tlb_misses: tlb.stats.misses,
+        line_utilization: if touched > 0.0 { used / touched } else { 1.0 },
+    }
+}
+
+/// Cost of one full-array *pencil pass* of the baseline algorithms:
+/// `n_total` elements are read and written once, with pencils along a
+/// dimension of stride `stride_elems`. Models the tiled traversal
+/// libraries actually use (lines are shared across `μ` adjacent
+/// pencils when a tile of pencils fits in the private cache) plus the
+/// temporal-write RFO cost and power-of-two conflict pressure.
+pub fn pencil_pass_cost(
+    n_total: usize,
+    stride_elems: usize,
+    pencil_len: usize,
+    spec: &MachineSpec,
+    elem_bytes: usize,
+) -> TrafficCost {
+    let bytes = (n_total * elem_bytes) as f64;
+    let line = spec.llc().line_bytes;
+    let mu = line / elem_bytes;
+    if stride_elems <= 1 {
+        // Unit-stride pass: read + write (temporal ⇒ RFO on writes).
+        return TrafficCost {
+            dram_bytes: bytes + 2.0 * bytes,
+            extra_ns: 0.0,
+            tlb_misses: 0,
+            line_utilization: 1.0,
+        };
+    }
+    // Tiled strided pass: a tile of μ adjacent pencils walks
+    // pencil_len lines; it amortizes each line across μ pencils iff
+    // the tile's working set fits in (half) the shared LLC — the
+    // blocking budget MKL/FFTW plans actually use.
+    let llc = spec.llc();
+    let tile_ws = pencil_len * line;
+    let fits = tile_ws <= llc.size_bytes / 2;
+    // Power-of-two stride conflict pressure: when the stride in lines
+    // is a multiple of the number of sets, a pencil's lines collapse
+    // onto few sets and ways limit the live tile; charge a re-fetch
+    // factor for the overflow (capped — libraries partially dodge it
+    // with copy buffers, Frigo's buffering in paper ref [11]).
+    let stride_lines = (stride_elems * elem_bytes / line).max(1);
+    let sets = llc.sets();
+    let conflict = if stride_lines.is_multiple_of(sets) && pencil_len > llc.ways {
+        (pencil_len as f64 / llc.ways as f64).min(2.0)
+    } else {
+        1.0
+    };
+    // When the tile does not fit, each element access drags in a full
+    // line and reuses only its own bytes.
+    let line_util = if fits { 1.0 } else { elem_bytes as f64 / line as f64 };
+    let read_bytes = bytes / line_util * conflict;
+    let write_bytes = 2.0 * bytes / line_util; // RFO + writeback
+    // TLB: a tile touches pencil_len distinct pages per stride walk.
+    let pages_per_tile = (pencil_len * stride_elems * elem_bytes) / spec.page_bytes;
+    let excess_walks = if pages_per_tile > spec.tlb_entries {
+        // Every line of the tile pays a walk.
+        (n_total / mu) as u64
+    } else {
+        0
+    };
+    TrafficCost {
+        dram_bytes: read_bytes + write_bytes,
+        extra_ns: excess_walks as f64 * spec.tlb_walk_ns,
+        tlb_misses: excess_walks,
+        line_utilization: line_util,
+    }
+}
+
+/// Counts distinct pages of a touch sequence assuming perfect reuse —
+/// the number of walks a sequential walk of the same footprint pays.
+struct SeqPageCounter {
+    page_bytes: u64,
+    seen: std::collections::HashSet<u64>,
+}
+
+impl SeqPageCounter {
+    fn new(page_bytes: usize) -> Self {
+        Self {
+            page_bytes: page_bytes as u64,
+            seen: Default::default(),
+        }
+    }
+
+    fn touch(&mut self, addr: u64) {
+        self.seen.insert(addr / self.page_bytes);
+    }
+
+    fn pages(&self) -> usize {
+        self.seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::presets;
+    use bwfft_spl::dataflow::write_bursts;
+    use bwfft_spl::gather_scatter::{fft2d_stage_perms, fft3d_stage_perms, WriteMatrix};
+
+    const EB: usize = 16; // Complex64
+
+    #[test]
+    fn streaming_is_identity_traffic() {
+        let c = streaming_cost(1e6);
+        assert_eq!(c.dram_bytes, 1e6);
+        assert_eq!(c.extra_ns, 0.0);
+    }
+
+    #[test]
+    fn full_line_nt_writes_cost_exactly_their_bytes() {
+        // 3D stage-1 rotation with μ = 4 complex = one full line per
+        // burst: NT traffic equals payload.
+        let spec = presets::kaby_lake_7700k();
+        let (k, n, m, mu) = (16usize, 16, 64, 4);
+        let perm = fft3d_stage_perms(k, n, m, mu)[0];
+        let b = 1024;
+        let w = WriteMatrix::new(perm, b, 0);
+        let bursts = write_bursts(&w, true);
+        let cost = write_block_cost(&bursts, &spec, EB, true);
+        // Full lines ⇒ payload bytes, inflated only by the scattered
+        // row-activation factor.
+        let expect = (b * EB) as f64 / spec.scattered_write_efficiency;
+        assert!((cost.dram_bytes - expect).abs() < 1e-9, "{}", cost.dram_bytes);
+        assert_eq!(cost.line_utilization, 1.0);
+    }
+
+    #[test]
+    fn contiguous_nt_writes_have_no_scatter_penalty() {
+        use bwfft_spl::gather_scatter::StagePerm;
+        use bwfft_spl::PermOp;
+        let spec = presets::kaby_lake_7700k();
+        let w = WriteMatrix::new(StagePerm::Single(PermOp::Id { n: 4096 }), 1024, 0);
+        let bursts = write_bursts(&w, true);
+        let cost = write_block_cost(&bursts, &spec, EB, true);
+        assert_eq!(cost.dram_bytes, (1024 * EB) as f64);
+    }
+
+    #[test]
+    fn temporal_writes_pay_rfo() {
+        let spec = presets::kaby_lake_7700k();
+        let (k, n, m, mu) = (16usize, 16, 64, 4);
+        let perm = fft3d_stage_perms(k, n, m, mu)[0];
+        let b = 1024;
+        let w = WriteMatrix::new(perm, b, 0);
+        let bursts = write_bursts(&w, true);
+        let nt = write_block_cost(&bursts, &spec, EB, true);
+        let tmp = write_block_cost(&bursts, &spec, EB, false);
+        assert_eq!(tmp.dram_bytes, 2.0 * nt.dram_bytes);
+    }
+
+    #[test]
+    fn element_wise_rotation_wastes_lines() {
+        // μ = 1 (unblocked rotation): each 16-B element lands in its
+        // own line → utilization 1/4 and RMW traffic.
+        let spec = presets::kaby_lake_7700k();
+        let (k, n, m) = (16usize, 16, 64);
+        let perm = fft3d_stage_perms(k, n, m, 1)[0];
+        let b = 1024;
+        let w = WriteMatrix::new(perm, b, 0);
+        let bursts = write_bursts(&w, true);
+        let cost = write_block_cost(&bursts, &spec, EB, true);
+        assert!((cost.line_utilization - 0.25).abs() < 1e-12);
+        // RMW: 2 lines' worth per element, plus the scatter penalty.
+        let expect = (b * 2 * 64) as f64 / spec.scattered_write_efficiency;
+        assert!((cost.dram_bytes - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_2d_transpose_amortizes_tlb() {
+        // m/μ page-columns within TLB reach: no excess walks.
+        let spec = presets::kaby_lake_7700k();
+        let (n, m, mu) = (1024usize, 512, 4);
+        let perm = fft2d_stage_perms(n, m, mu)[0];
+        let b = 16 * m; // 16 rows per block
+        let w = WriteMatrix::new(perm, b, 0);
+        let bursts = write_bursts(&w, true);
+        let cost = write_block_cost(&bursts, &spec, EB, true);
+        assert_eq!(cost.extra_ns, 0.0, "misses={}", cost.tlb_misses);
+    }
+
+    #[test]
+    fn huge_2d_transpose_thrashes_tlb() {
+        // m/μ = 8192/4 = 2048 page-columns > 1536 TLB entries: the
+        // paper's large-2D dropoff. Use a machine with a smaller TLB to
+        // keep the test fast.
+        let mut spec = presets::kaby_lake_7700k();
+        spec.tlb_entries = 64;
+        let (n, m, mu) = (512usize, 2048, 4);
+        let perm = fft2d_stage_perms(n, m, mu)[0];
+        let b = 4 * m;
+        let w = WriteMatrix::new(perm, b, 0);
+        let bursts = write_bursts(&w, true);
+        let cost = write_block_cost(&bursts, &spec, EB, true);
+        assert!(
+            cost.extra_ns > 0.0,
+            "expected excess TLB walks, misses={}",
+            cost.tlb_misses
+        );
+    }
+
+    #[test]
+    fn pencil_pass_strided_costs_more_than_unit() {
+        let spec = presets::kaby_lake_7700k();
+        let n_total = 1 << 24;
+        let unit = pencil_pass_cost(n_total, 1, 512, &spec, EB);
+        let strided = pencil_pass_cost(n_total, 512, 512, &spec, EB);
+        assert!(strided.dram_bytes >= unit.dram_bytes);
+        // Both pay RFO on writes: at least 3× payload.
+        assert!(unit.dram_bytes >= 3.0 * (n_total * EB) as f64 - 1.0);
+    }
+
+    #[test]
+    fn very_long_pencils_lose_line_amortization() {
+        let spec = presets::kaby_lake_7700k();
+        let n_total = 1 << 24;
+        // 512-long pencils: tile fits L2. 65536-long pencils: it
+        // cannot, utilization collapses.
+        let short = pencil_pass_cost(n_total, 512, 512, &spec, EB);
+        let long = pencil_pass_cost(n_total, 65536, 65536, &spec, EB);
+        assert!(long.dram_bytes > short.dram_bytes);
+        assert!(long.line_utilization <= short.line_utilization);
+    }
+}

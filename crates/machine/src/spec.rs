@@ -1,0 +1,463 @@
+//! Machine descriptions and the five presets of the paper's §V setup.
+
+use serde::{Deserialize, Serialize};
+
+/// Vector instruction set, determining double-precision SIMD width.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VectorIsa {
+    /// 128-bit: 2 doubles per vector.
+    Sse,
+    /// 256-bit: 4 doubles per vector.
+    Avx,
+}
+
+impl VectorIsa {
+    pub fn f64_lanes(self) -> usize {
+        match self {
+            VectorIsa::Sse => 2,
+            VectorIsa::Avx => 4,
+        }
+    }
+}
+
+/// Which execution contexts share one cache instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CacheSharing {
+    /// One instance per core, shared by that core's hardware threads
+    /// (Intel L1/L2 in Fig. 2A; AMD per-core L1 in Fig. 2B).
+    PerCore,
+    /// One instance per two-core module (AMD L2 in Fig. 2B).
+    PerModule,
+    /// One instance per socket (the LLC in both topologies).
+    PerSocket,
+}
+
+/// One cache level.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CacheLevel {
+    pub name: &'static str,
+    pub size_bytes: usize,
+    pub ways: usize,
+    pub line_bytes: usize,
+    pub sharing: CacheSharing,
+    /// Load-to-use latency in cycles.
+    pub latency_cycles: f64,
+}
+
+impl CacheLevel {
+    pub fn sets(&self) -> usize {
+        self.size_bytes / (self.ways * self.line_bytes)
+    }
+}
+
+/// A complete machine description. Bandwidth numbers are the *measured
+/// STREAM* figures the paper quotes (§V "Experimental setup"), not
+/// theoretical channel peaks.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MachineSpec {
+    pub name: &'static str,
+    pub sockets: usize,
+    pub cores_per_socket: usize,
+    pub threads_per_core: usize,
+    pub ghz: f64,
+    pub isa: VectorIsa,
+    pub fma: bool,
+    /// Cache levels, inner to outer; the last level is the LLC.
+    pub caches: Vec<CacheLevel>,
+    /// Achievable DRAM bandwidth per socket, GB/s (STREAM-measured,
+    /// whole-machine figure divided by sockets).
+    pub dram_bw_gbs_per_socket: f64,
+    /// DRAM access latency, ns.
+    pub dram_latency_ns: f64,
+    /// Inter-socket link bandwidth per direction, GB/s (QPI / HT).
+    /// Zero for single-socket machines.
+    pub link_bw_gbs: f64,
+    /// Second-level (unified) TLB entries per core.
+    pub tlb_entries: usize,
+    pub page_bytes: usize,
+    /// Cost of a TLB miss (page walk), ns.
+    pub tlb_walk_ns: f64,
+    /// Fraction of peak floating-point throughput a tuned in-cache FFT
+    /// kernel sustains (twiddle loads, shuffles and imperfect port
+    /// balance keep this well below 1).
+    pub kernel_flop_efficiency: f64,
+    /// DRAM efficiency of *scattered* cacheline-sized non-temporal
+    /// stores relative to sequential streaming: each 64-B burst to a
+    /// distant address costs a DRAM row activation that sequential
+    /// streams amortize. Sequential traffic is unaffected.
+    pub scattered_write_efficiency: f64,
+    /// Maximum streaming bandwidth one hardware thread can sustain,
+    /// GB/s (line-fill-buffer / write-combining-buffer limited). This
+    /// is why a single data thread cannot drive the whole channel and
+    /// the paper dedicates *half* the threads to data movement.
+    pub per_thread_stream_gbs: f64,
+    /// Multiplier on a compute thread's throughput when it shares a
+    /// core with a data thread that interleaves NOPs (§IV-A); without
+    /// the NOP mitigation use `ht_contention_raw`.
+    pub ht_contention_mitigated: f64,
+    /// Same, when the paired data thread issues back-to-back
+    /// loads/stores with no NOP slots.
+    pub ht_contention_raw: f64,
+}
+
+impl MachineSpec {
+    /// Total hardware threads.
+    pub fn total_threads(&self) -> usize {
+        self.sockets * self.cores_per_socket * self.threads_per_core
+    }
+
+    pub fn total_cores(&self) -> usize {
+        self.sockets * self.cores_per_socket
+    }
+
+    /// Peak double-precision flops per core, per ns. Two FMA ports on
+    /// FMA-capable parts give `lanes·4` flops/cycle; older SSE parts
+    /// sustain `lanes·2` (one add + one mul pipe).
+    pub fn peak_flops_per_core_ns(&self) -> f64 {
+        let flops_per_cycle = if self.fma {
+            self.isa.f64_lanes() as f64 * 4.0
+        } else {
+            self.isa.f64_lanes() as f64 * 2.0
+        };
+        flops_per_cycle * self.ghz
+    }
+
+    /// Sustained FFT-kernel flops per core per ns.
+    pub fn fft_flops_per_core_ns(&self) -> f64 {
+        self.peak_flops_per_core_ns() * self.kernel_flop_efficiency
+    }
+
+    /// DRAM bandwidth per socket in bytes/ns (== GB/s numerically).
+    pub fn dram_bytes_per_ns(&self) -> f64 {
+        self.dram_bw_gbs_per_socket
+    }
+
+    /// Whole-machine STREAM bandwidth, GB/s.
+    pub fn total_dram_bw_gbs(&self) -> f64 {
+        self.dram_bw_gbs_per_socket * self.sockets as f64
+    }
+
+    /// The LLC level.
+    pub fn llc(&self) -> &CacheLevel {
+        self.caches.last().expect("machine has no caches")
+    }
+
+    /// The paper's buffer-sizing rule (§IV): half the LLC, in
+    /// `Complex64` elements, rounded down to a power of two so the
+    /// block count divides power-of-two problems.
+    pub fn default_buffer_elems(&self) -> usize {
+        let raw = self.llc().size_bytes / 2 / 16;
+        let mut b = 1usize;
+        while b * 2 <= raw {
+            b *= 2;
+        }
+        b
+    }
+
+    /// Cacheline size in `Complex64` elements (the paper's μ).
+    pub fn mu(&self) -> usize {
+        self.llc().line_bytes / 16
+    }
+}
+
+/// The five evaluation machines of §V.
+///
+/// ```
+/// use bwfft_machine::presets;
+///
+/// let kbl = presets::kaby_lake_7700k();
+/// assert_eq!(kbl.total_threads(), 8);
+/// assert_eq!(kbl.mu(), 4);                         // 4 complex per line
+/// assert_eq!(kbl.default_buffer_elems(), 1 << 18); // b = LLC/2
+/// ```
+pub mod presets {
+    use super::*;
+
+    fn intel_caches(l3_mb: usize) -> Vec<CacheLevel> {
+        // 8 MB client parts are 16-way; the 20 MB server LLC is 20-way
+        // (2.5 MB slices), which keeps the set count a power of two.
+        let l3_ways = if l3_mb == 20 { 20 } else { 16 };
+        vec![
+            CacheLevel {
+                name: "L1d",
+                size_bytes: 32 * 1024,
+                ways: 8,
+                line_bytes: 64,
+                sharing: CacheSharing::PerCore,
+                latency_cycles: 4.0,
+            },
+            CacheLevel {
+                name: "L2",
+                size_bytes: 256 * 1024,
+                ways: 4,
+                line_bytes: 64,
+                sharing: CacheSharing::PerCore,
+                latency_cycles: 12.0,
+            },
+            CacheLevel {
+                name: "L3",
+                size_bytes: l3_mb * 1024 * 1024,
+                ways: l3_ways,
+                line_bytes: 64,
+                sharing: CacheSharing::PerSocket,
+                latency_cycles: 40.0,
+            },
+        ]
+    }
+
+    /// Intel Kaby Lake 7700K: 4C/8T @ 4.5 GHz, 8 MB L3, 40 GB/s.
+    pub fn kaby_lake_7700k() -> MachineSpec {
+        MachineSpec {
+            name: "Intel Kaby Lake 7700K",
+            sockets: 1,
+            cores_per_socket: 4,
+            threads_per_core: 2,
+            ghz: 4.5,
+            isa: VectorIsa::Avx,
+            fma: true,
+            caches: intel_caches(8),
+            dram_bw_gbs_per_socket: 40.0,
+            dram_latency_ns: 70.0,
+            link_bw_gbs: 0.0,
+            tlb_entries: 1536,
+            page_bytes: 4096,
+            tlb_walk_ns: 30.0,
+            kernel_flop_efficiency: 0.45,
+            scattered_write_efficiency: 0.75,
+            per_thread_stream_gbs: 12.0,
+            ht_contention_mitigated: 0.85,
+            ht_contention_raw: 0.60,
+        }
+    }
+
+    /// Intel Haswell 4770K: 4C/8T @ 3.5 GHz, 8 MB L3, 20 GB/s.
+    pub fn haswell_4770k() -> MachineSpec {
+        MachineSpec {
+            name: "Intel Haswell 4770K",
+            ghz: 3.5,
+            dram_bw_gbs_per_socket: 20.0,
+            tlb_entries: 1024,
+            ..kaby_lake_7700k()
+        }
+    }
+
+    /// AMD FX-8350 (Piledriver): 8 threads @ 4.0 GHz, 8 MB L3, 12 GB/s,
+    /// SSE code path (per the paper's AMD plots), two-core modules
+    /// sharing an FPU and a 2 MB L2.
+    pub fn amd_fx_8350() -> MachineSpec {
+        MachineSpec {
+            name: "AMD FX-8350",
+            sockets: 1,
+            cores_per_socket: 8,
+            threads_per_core: 1,
+            ghz: 4.0,
+            isa: VectorIsa::Sse,
+            fma: false,
+            caches: vec![
+                CacheLevel {
+                    name: "L1d",
+                    size_bytes: 16 * 1024,
+                    ways: 4,
+                    line_bytes: 64,
+                    sharing: CacheSharing::PerCore,
+                    latency_cycles: 4.0,
+                },
+                CacheLevel {
+                    name: "L2",
+                    size_bytes: 2 * 1024 * 1024,
+                    ways: 16,
+                    line_bytes: 64,
+                    sharing: CacheSharing::PerModule,
+                    latency_cycles: 20.0,
+                },
+                CacheLevel {
+                    name: "L3",
+                    size_bytes: 8 * 1024 * 1024,
+                    ways: 64,
+                    line_bytes: 64,
+                    sharing: CacheSharing::PerSocket,
+                    latency_cycles: 50.0,
+                },
+            ],
+            dram_bw_gbs_per_socket: 12.0,
+            dram_latency_ns: 85.0,
+            link_bw_gbs: 0.0,
+            tlb_entries: 1024,
+            page_bytes: 4096,
+            tlb_walk_ns: 35.0,
+            kernel_flop_efficiency: 0.50,
+            scattered_write_efficiency: 0.70,
+            per_thread_stream_gbs: 5.0,
+            // Module pairs share the FPU even without SMT: pairing one
+            // data core and one compute core per module behaves like
+            // Intel's hyperthread pairing.
+            ht_contention_mitigated: 0.85,
+            ht_contention_raw: 0.65,
+        }
+    }
+
+    /// Two-socket Intel Haswell E5-2667 v3: 16 threads, 20 MB L3 per
+    /// socket, 85 GB/s aggregate STREAM, QPI between the NUMA domains
+    /// (Home Snoop).
+    pub fn haswell_2667v3_2s() -> MachineSpec {
+        MachineSpec {
+            name: "Intel Haswell 2667v3 (2 sockets)",
+            sockets: 2,
+            cores_per_socket: 8,
+            threads_per_core: 1,
+            ghz: 3.2,
+            isa: VectorIsa::Avx,
+            fma: true,
+            caches: intel_caches(20),
+            dram_bw_gbs_per_socket: 42.5,
+            dram_latency_ns: 80.0,
+            link_bw_gbs: 16.0,
+            tlb_entries: 1024,
+            page_bytes: 4096,
+            tlb_walk_ns: 30.0,
+            kernel_flop_efficiency: 0.45,
+            scattered_write_efficiency: 0.75,
+            per_thread_stream_gbs: 10.0,
+            ht_contention_mitigated: 0.85,
+            ht_contention_raw: 0.60,
+        }
+    }
+
+    /// Two-socket AMD Opteron 6276 (Interlagos, Blue Waters): 16
+    /// threads, 16 MB L3 per socket, 20 GB/s aggregate, HyperTransport
+    /// links whose bandwidth is comparable to the local memory bus
+    /// (the paper's explanation for near-linear socket scaling).
+    pub fn amd_opteron_6276_2s() -> MachineSpec {
+        MachineSpec {
+            name: "AMD Opteron 6276 (2 sockets)",
+            sockets: 2,
+            cores_per_socket: 8,
+            threads_per_core: 1,
+            ghz: 3.2,
+            isa: VectorIsa::Sse,
+            fma: false,
+            caches: vec![
+                CacheLevel {
+                    name: "L1d",
+                    size_bytes: 16 * 1024,
+                    ways: 4,
+                    line_bytes: 64,
+                    sharing: CacheSharing::PerCore,
+                    latency_cycles: 4.0,
+                },
+                CacheLevel {
+                    name: "L2",
+                    size_bytes: 2 * 1024 * 1024,
+                    ways: 16,
+                    line_bytes: 64,
+                    sharing: CacheSharing::PerModule,
+                    latency_cycles: 21.0,
+                },
+                CacheLevel {
+                    name: "L3",
+                    size_bytes: 16 * 1024 * 1024,
+                    ways: 64,
+                    line_bytes: 64,
+                    sharing: CacheSharing::PerSocket,
+                    latency_cycles: 55.0,
+                },
+            ],
+            dram_bw_gbs_per_socket: 10.0,
+            dram_latency_ns: 95.0,
+            // HT bandwidth ≈ local memory bandwidth on this platform.
+            link_bw_gbs: 9.0,
+            tlb_entries: 1024,
+            page_bytes: 4096,
+            tlb_walk_ns: 35.0,
+            kernel_flop_efficiency: 0.50,
+            scattered_write_efficiency: 0.70,
+            per_thread_stream_gbs: 5.0,
+            ht_contention_mitigated: 0.85,
+            ht_contention_raw: 0.65,
+        }
+    }
+
+    /// All five presets, for sweep harnesses.
+    pub fn all() -> Vec<MachineSpec> {
+        vec![
+            kaby_lake_7700k(),
+            haswell_4770k(),
+            amd_fx_8350(),
+            haswell_2667v3_2s(),
+            amd_opteron_6276_2s(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_thread_counts_match_paper() {
+        assert_eq!(presets::kaby_lake_7700k().total_threads(), 8);
+        assert_eq!(presets::haswell_4770k().total_threads(), 8);
+        assert_eq!(presets::amd_fx_8350().total_threads(), 8);
+        assert_eq!(presets::haswell_2667v3_2s().total_threads(), 16);
+        assert_eq!(presets::amd_opteron_6276_2s().total_threads(), 16);
+    }
+
+    #[test]
+    fn llc_sizes_match_paper() {
+        assert_eq!(presets::kaby_lake_7700k().llc().size_bytes, 8 << 20);
+        assert_eq!(presets::haswell_2667v3_2s().llc().size_bytes, 20 << 20);
+        assert_eq!(presets::amd_opteron_6276_2s().llc().size_bytes, 16 << 20);
+    }
+
+    #[test]
+    fn bandwidths_match_paper() {
+        assert_eq!(presets::kaby_lake_7700k().total_dram_bw_gbs(), 40.0);
+        assert_eq!(presets::haswell_4770k().total_dram_bw_gbs(), 20.0);
+        assert_eq!(presets::amd_fx_8350().total_dram_bw_gbs(), 12.0);
+        assert_eq!(presets::haswell_2667v3_2s().total_dram_bw_gbs(), 85.0);
+        assert_eq!(presets::amd_opteron_6276_2s().total_dram_bw_gbs(), 20.0);
+    }
+
+    #[test]
+    fn buffer_rule_is_half_llc() {
+        let kbl = presets::kaby_lake_7700k();
+        // 8 MB LLC → 4 MB buffer → 256 Ki complex elements.
+        assert_eq!(kbl.default_buffer_elems(), 262_144);
+        assert_eq!(kbl.mu(), 4);
+    }
+
+    #[test]
+    fn peak_flops_sanity() {
+        let kbl = presets::kaby_lake_7700k();
+        // AVX+FMA: 16 flops/cycle · 4.5 GHz = 72 Gflop/s per core.
+        assert!((kbl.peak_flops_per_core_ns() - 72.0).abs() < 1e-9);
+        let amd = presets::amd_fx_8350();
+        // SSE, no FMA: 4 flops/cycle · 4.0 GHz = 16 Gflop/s per core.
+        assert!((amd.peak_flops_per_core_ns() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cache_geometry_is_consistent() {
+        for spec in presets::all() {
+            for level in &spec.caches {
+                assert_eq!(
+                    level.sets() * level.ways * level.line_bytes,
+                    level.size_bytes,
+                    "{} {}",
+                    spec.name,
+                    level.name
+                );
+                assert!(level.sets().is_power_of_two());
+            }
+        }
+    }
+
+    #[test]
+    fn specs_are_serializable() {
+        // Compile-time check that the spec derives Serialize (consumers
+        // dump configs next to experiment results). Deserialize is only
+        // available for 'static input because names are &'static str.
+        fn assert_ser<T: serde::Serialize>() {}
+        assert_ser::<MachineSpec>();
+    }
+}

@@ -1,0 +1,92 @@
+//! Aggregate simulation statistics and reporting helpers.
+
+use std::fmt;
+
+/// A full performance report for one simulated transform, in the units
+/// the paper reports.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PerfReport {
+    /// Machine the run was simulated on.
+    pub machine: String,
+    /// Human-readable problem label, e.g. "3D 512x512x512".
+    pub problem: String,
+    /// Simulated wall-clock, ns.
+    pub time_ns: f64,
+    /// Pseudo-flops (`5·N·log2 N`).
+    pub pseudo_flops: f64,
+    /// Total bytes served by all DRAM channels.
+    pub dram_bytes: f64,
+    /// Total bytes served by inter-socket links.
+    pub link_bytes: f64,
+    /// The paper's achievable-peak bound for this problem (Gflop/s).
+    pub achievable_peak_gflops: f64,
+}
+
+impl PerfReport {
+    /// Pseudo-Gflop/s, the paper's headline metric.
+    pub fn gflops(&self) -> f64 {
+        if self.time_ns == 0.0 {
+            0.0
+        } else {
+            self.pseudo_flops / self.time_ns
+        }
+    }
+
+    /// Percentage of the achievable (STREAM-bound) peak.
+    pub fn percent_of_peak(&self) -> f64 {
+        if self.achievable_peak_gflops == 0.0 {
+            0.0
+        } else {
+            100.0 * self.gflops() / self.achievable_peak_gflops
+        }
+    }
+
+    /// Achieved DRAM bandwidth, GB/s.
+    pub fn dram_bandwidth_gbs(&self) -> f64 {
+        if self.time_ns == 0.0 {
+            0.0
+        } else {
+            self.dram_bytes / self.time_ns
+        }
+    }
+}
+
+impl fmt::Display for PerfReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<28} {:<18} {:>8.2} Gflop/s  {:>5.1}% of peak  ({:.2} ms, {:.1} GB/s DRAM)",
+            self.machine,
+            self.problem,
+            self.gflops(),
+            self.percent_of_peak(),
+            self.time_ns / 1e6,
+            self.dram_bandwidth_gbs(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gflops_is_flops_over_time() {
+        let r = PerfReport {
+            time_ns: 1e6,
+            pseudo_flops: 5e7,
+            achievable_peak_gflops: 100.0,
+            ..Default::default()
+        };
+        assert!((r.gflops() - 50.0).abs() < 1e-12);
+        assert!((r.percent_of_peak() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_time_is_safe() {
+        let r = PerfReport::default();
+        assert_eq!(r.gflops(), 0.0);
+        assert_eq!(r.percent_of_peak(), 0.0);
+        assert_eq!(r.dram_bandwidth_gbs(), 0.0);
+    }
+}

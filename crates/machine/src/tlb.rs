@@ -1,0 +1,157 @@
+//! TLB model.
+//!
+//! The paper attributes the 2D FFT's bandwidth dropoff at large pencil
+//! sizes to TLB behaviour: the transposed write walks one cacheline per
+//! page across `m/μ` distinct page streams, and once the live page set
+//! exceeds TLB reach every burst pays a page walk (§V, "TLB misses
+//! cannot be amortized"). The model is an LRU set of page numbers with
+//! a fixed walk cost.
+
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl TlbStats {
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+}
+
+/// Fully-associative LRU TLB of `entries` pages.
+pub struct Tlb {
+    entries: usize,
+    page_bytes: usize,
+    /// (page number, last-touch clock); linear scan — entry counts are
+    /// ≤ a few thousand and this code runs once per stage pattern, not
+    /// per simulated iteration.
+    slots: Vec<(u64, u64)>,
+    clock: u64,
+    pub stats: TlbStats,
+}
+
+impl Tlb {
+    pub fn new(entries: usize, page_bytes: usize) -> Self {
+        assert!(entries > 0 && page_bytes.is_power_of_two());
+        Self {
+            entries,
+            page_bytes,
+            slots: Vec::with_capacity(entries),
+            clock: 0,
+            stats: TlbStats::default(),
+        }
+    }
+
+    pub fn page_bytes(&self) -> usize {
+        self.page_bytes
+    }
+
+    /// Touches the page containing byte address `addr`; returns true on
+    /// a TLB hit.
+    pub fn access(&mut self, addr_bytes: u64) -> bool {
+        self.clock += 1;
+        let page = addr_bytes / self.page_bytes as u64;
+        if let Some(slot) = self.slots.iter_mut().find(|(p, _)| *p == page) {
+            slot.1 = self.clock;
+            self.stats.hits += 1;
+            return true;
+        }
+        self.stats.misses += 1;
+        if self.slots.len() < self.entries {
+            self.slots.push((page, self.clock));
+        } else {
+            let victim = self
+                .slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, lru))| *lru)
+                .map(|(i, _)| i)
+                .unwrap();
+            self.slots[victim] = (page, self.clock);
+        }
+        false
+    }
+
+    pub fn reset(&mut self) {
+        self.slots.clear();
+        self.clock = 0;
+        self.stats = TlbStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn within_page_accesses_hit() {
+        let mut t = Tlb::new(16, 4096);
+        t.access(0);
+        for off in [64u64, 1000, 4095] {
+            assert!(t.access(off));
+        }
+        assert_eq!(t.stats.misses, 1);
+        assert_eq!(t.stats.hits, 3);
+    }
+
+    #[test]
+    fn cycling_more_pages_than_entries_thrashes() {
+        // 8-entry TLB, cycle 16 pages repeatedly: every access misses.
+        let mut t = Tlb::new(8, 4096);
+        for _ in 0..3 {
+            for p in 0..16u64 {
+                t.access(p * 4096);
+            }
+        }
+        assert_eq!(t.stats.hits, 0);
+        assert_eq!(t.stats.misses, 48);
+    }
+
+    #[test]
+    fn cycling_fewer_pages_than_entries_amortizes() {
+        let mut t = Tlb::new(8, 4096);
+        for rep in 0..3 {
+            for p in 0..6u64 {
+                let hit = t.access(p * 4096);
+                assert_eq!(hit, rep > 0);
+            }
+        }
+        assert_eq!(t.stats.misses, 6);
+        assert_eq!(t.stats.hits, 12);
+    }
+
+    #[test]
+    fn the_paper_2d_mechanism() {
+        // The stage-1 transposed write of a 2D FFT cycles through m/μ
+        // page "columns" per row of the buffer panel. With m/μ beyond
+        // TLB reach the miss rate approaches 1; within reach it
+        // approaches μ·16/page per revisit.
+        let page = 4096u64;
+        let entries = 64;
+        let mut within = Tlb::new(entries, page as usize);
+        let mut beyond = Tlb::new(entries, page as usize);
+        // 32 columns (fits) vs 128 columns (thrashes); 16 rows each;
+        // rows advance 64 B inside each column page.
+        for row in 0..16u64 {
+            for col in 0..32u64 {
+                within.access(col * 8 * page + row * 64);
+            }
+        }
+        for row in 0..16u64 {
+            for col in 0..128u64 {
+                beyond.access(col * 8 * page + row * 64);
+            }
+        }
+        assert!(within.stats.miss_rate() < 0.1, "{}", within.stats.miss_rate());
+        assert!(beyond.stats.miss_rate() > 0.9, "{}", beyond.stats.miss_rate());
+    }
+}

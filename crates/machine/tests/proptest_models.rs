@@ -1,0 +1,143 @@
+//! Property-based tests of the hardware models: invariants that must
+//! hold for any access sequence.
+
+use bwfft_machine::cache::{AccessResult, SetAssocCache};
+use bwfft_machine::engine::{Engine, ThreadProg};
+use bwfft_machine::tlb::Tlb;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn line_just_accessed_is_always_resident(
+        addrs in prop::collection::vec(0u64..1_000_000, 1..200),
+        sets in prop_oneof![Just(4usize), Just(16), Just(64)],
+        ways in 1usize..8,
+    ) {
+        let mut c = SetAssocCache::new(sets, ways, 64);
+        for a in addrs {
+            c.access(a, false, false);
+            prop_assert!(c.probe(a), "line {a} must be resident after access");
+        }
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_capacity(
+        addrs in prop::collection::vec(0u64..10_000_000, 1..400),
+    ) {
+        let mut c = SetAssocCache::new(16, 4, 64);
+        for a in addrs {
+            c.access(a, true, false);
+            prop_assert!(c.resident_lines() <= 64);
+        }
+    }
+
+    #[test]
+    fn stats_add_up(
+        addrs in prop::collection::vec((0u64..100_000, any::<bool>(), any::<bool>()), 1..200),
+    ) {
+        let mut c = SetAssocCache::new(8, 2, 64);
+        let n = addrs.len() as u64;
+        for (a, w, nt) in addrs {
+            c.access(a, w, nt);
+        }
+        prop_assert_eq!(c.stats.accesses(), n);
+        prop_assert!(c.stats.writebacks <= c.stats.misses);
+    }
+
+    #[test]
+    fn non_temporal_never_changes_contents(
+        warm in prop::collection::vec(0u64..10_000, 1..50),
+        stream in prop::collection::vec(1_000_000u64..2_000_000, 1..100),
+    ) {
+        let mut c = SetAssocCache::new(8, 4, 64);
+        for a in &warm {
+            c.access(*a, false, false);
+        }
+        // Snapshot residency after warming (the warm set may have
+        // self-evicted within a set; that is fine — the property is
+        // that the NT stream changes *nothing*).
+        let before_lines = c.resident_lines();
+        let before: Vec<bool> = warm.iter().map(|a| c.probe(*a)).collect();
+        for a in &stream {
+            prop_assert_eq!(c.access(*a, true, true), AccessResult::Bypass);
+        }
+        prop_assert_eq!(c.resident_lines(), before_lines);
+        for (a, was) in warm.iter().zip(before) {
+            prop_assert_eq!(c.probe(*a), was);
+        }
+    }
+
+    #[test]
+    fn tlb_hits_within_working_set_after_warmup(
+        pages in 1u64..16,
+        reps in 2usize..5,
+    ) {
+        let mut t = Tlb::new(32, 4096);
+        for _ in 0..reps {
+            for p in 0..pages {
+                t.access(p * 4096);
+            }
+        }
+        // After the first lap everything hits (working set ≤ entries).
+        prop_assert_eq!(t.stats.misses, pages);
+        prop_assert_eq!(t.stats.hits, (reps as u64 - 1) * pages);
+    }
+
+    #[test]
+    fn engine_time_equals_work_over_capacity_for_serial_jobs(
+        amounts in prop::collection::vec(1.0f64..1000.0, 1..10),
+        cap in 1.0f64..100.0,
+    ) {
+        // One thread running jobs back-to-back on one resource: total
+        // time is exactly Σ amount / cap.
+        let mut e = Engine::new();
+        let r = e.add_resource("r", cap);
+        let mut p = ThreadProg::new();
+        let mut expect = 0.0;
+        for a in &amounts {
+            p.use_res(r, *a);
+            expect += a / cap;
+        }
+        let stats = e.run(vec![p]);
+        prop_assert!((stats.total_ns - expect).abs() < 1e-6 * expect.max(1.0));
+    }
+
+    #[test]
+    fn engine_conserves_served_units(
+        jobs in prop::collection::vec(1.0f64..500.0, 1..8),
+    ) {
+        // Parallel threads on one shared resource: served units equal
+        // the sum of demands when the run completes.
+        let mut e = Engine::new();
+        let r = e.add_resource("r", 7.5);
+        let total: f64 = jobs.iter().sum();
+        let progs: Vec<ThreadProg> = jobs
+            .iter()
+            .map(|a| {
+                let mut p = ThreadProg::new();
+                p.use_res(r, *a);
+                p
+            })
+            .collect();
+        let stats = e.run(progs);
+        prop_assert!((stats.served[r] - total).abs() < 1e-6 * total);
+        // And the makespan is at least total/cap (work conservation)
+        // and at most what a single shared stream would take.
+        prop_assert!(stats.total_ns >= total / 7.5 - 1e-9);
+    }
+
+    #[test]
+    fn capped_jobs_never_run_faster_than_their_cap(
+        amount in 10.0f64..1000.0,
+        cap in 0.5f64..5.0,
+    ) {
+        let mut e = Engine::new();
+        let r = e.add_resource("r", 1000.0); // effectively unlimited
+        let mut p = ThreadProg::new();
+        p.use_capped(r, amount, cap);
+        let stats = e.run(vec![p]);
+        prop_assert!(stats.total_ns >= amount / cap - 1e-6);
+    }
+}

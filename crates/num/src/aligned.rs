@@ -1,0 +1,186 @@
+//! Cacheline-aligned heap storage.
+//!
+//! All buffers that participate in cacheline-granular data movement — the
+//! shared double buffer, the input/output arrays of the double-buffered
+//! FFTs, SIMD scratch — must start on a 64-byte boundary so that a `μ`
+//! block (`4 × Complex64`) never straddles two lines and non-temporal
+//! stores can write whole lines.
+
+use core::ops::{Deref, DerefMut};
+use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+
+use crate::CACHELINE_BYTES;
+
+/// A `Vec`-like owned slice whose storage is aligned to 64 bytes.
+///
+/// The length is fixed at construction; this matches how the FFT code
+/// uses buffers (sized once per plan, then reused).
+pub struct AlignedVec<T> {
+    ptr: core::ptr::NonNull<T>,
+    len: usize,
+}
+
+// Safety: `AlignedVec<T>` owns its allocation exclusively, so it is Send
+// and Sync whenever `T` is.
+unsafe impl<T: Send> Send for AlignedVec<T> {}
+unsafe impl<T: Sync> Sync for AlignedVec<T> {}
+
+impl<T> AlignedVec<T> {
+    /// Allocates `len` zero-initialized elements on a 64-byte boundary.
+    ///
+    /// `T` must be valid when zero-initialized (true for all the plain
+    /// numeric types this workspace stores in aligned buffers).
+    pub fn zeroed(len: usize) -> Self
+    where
+        T: Copy,
+    {
+        assert!(core::mem::size_of::<T>() > 0, "zero-sized T not supported");
+        let layout = Self::layout(len);
+        if len == 0 {
+            return Self {
+                ptr: core::ptr::NonNull::dangling(),
+                len: 0,
+            };
+        }
+        // Safety: layout has nonzero size here.
+        let raw = unsafe { alloc_zeroed(layout) };
+        let Some(ptr) = core::ptr::NonNull::new(raw as *mut T) else {
+            handle_alloc_error(layout)
+        };
+        Self { ptr, len }
+    }
+
+    /// Builds an aligned copy of `src`.
+    pub fn from_slice(src: &[T]) -> Self
+    where
+        T: Copy,
+    {
+        let mut v = Self::zeroed(src.len());
+        v.copy_from_slice(src);
+        v
+    }
+
+    /// Fills from a generator function.
+    pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> T) -> Self
+    where
+        T: Copy,
+    {
+        let mut v = Self::zeroed(len);
+        for (i, slot) in v.iter_mut().enumerate() {
+            *slot = f(i);
+        }
+        v
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        // Safety: ptr is valid for len elements (or dangling with len 0).
+        unsafe { core::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        // Safety: exclusive ownership.
+        unsafe { core::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+
+    fn layout(len: usize) -> Layout {
+        let size = core::mem::size_of::<T>() * len.max(1);
+        let align = CACHELINE_BYTES.max(core::mem::align_of::<T>());
+        Layout::from_size_align(size, align).expect("allocation too large")
+    }
+}
+
+impl<T> Drop for AlignedVec<T> {
+    fn drop(&mut self) {
+        if self.len != 0 {
+            // Safety: allocated with the same layout in `zeroed`.
+            unsafe { dealloc(self.ptr.as_ptr() as *mut u8, Self::layout(self.len)) }
+        }
+    }
+}
+
+impl<T> Deref for AlignedVec<T> {
+    type Target = [T];
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T> DerefMut for AlignedVec<T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T: Copy> Clone for AlignedVec<T> {
+    fn clone(&self) -> Self {
+        Self::from_slice(self)
+    }
+}
+
+impl<T: core::fmt::Debug> core::fmt::Debug for AlignedVec<T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Complex64;
+
+    #[test]
+    fn allocation_is_cacheline_aligned() {
+        for len in [1usize, 3, 64, 1000, 4096] {
+            let v = AlignedVec::<Complex64>::zeroed(len);
+            assert_eq!(v.as_slice().as_ptr() as usize % 64, 0, "len={len}");
+            assert_eq!(v.len(), len);
+            assert!(v.iter().all(|c| *c == Complex64::ZERO));
+        }
+    }
+
+    #[test]
+    fn empty_vec_is_fine() {
+        let v = AlignedVec::<f64>::zeroed(0);
+        assert!(v.is_empty());
+        assert_eq!(v.as_slice(), &[] as &[f64]);
+    }
+
+    #[test]
+    fn roundtrip_and_clone() {
+        let src: Vec<f64> = (0..257).map(|i| i as f64 * 0.5).collect();
+        let v = AlignedVec::from_slice(&src);
+        assert_eq!(&v[..], &src[..]);
+        let w = v.clone();
+        assert_eq!(&w[..], &src[..]);
+        assert_ne!(w.as_ptr(), v.as_ptr());
+    }
+
+    #[test]
+    fn from_fn_indices() {
+        let v = AlignedVec::from_fn(10, |i| i * i);
+        assert_eq!(&v[..], &[0, 1, 4, 9, 16, 25, 36, 49, 64, 81]);
+    }
+
+    #[test]
+    fn mutation_through_deref() {
+        let mut v = AlignedVec::<f64>::zeroed(8);
+        v[3] = 42.0;
+        v.as_mut_slice()[4] = 7.0;
+        assert_eq!(v[3], 42.0);
+        assert_eq!(v[4], 7.0);
+    }
+}

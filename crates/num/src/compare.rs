@@ -1,0 +1,95 @@
+//! Error norms for verifying FFT outputs.
+//!
+//! FFT error grows like `O(√log n)` in the ℓ2 norm for well-implemented
+//! algorithms; the test suites use [`rel_l2_error`] with a tolerance
+//! scaled by problem size, and [`max_abs_error`] for small exact cases.
+
+use crate::Complex64;
+
+/// Maximum absolute componentwise error between two complex vectors.
+pub fn max_abs_error(a: &[Complex64], b: &[Complex64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (*x - *y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Relative ℓ2 error: `‖a − b‖₂ / ‖b‖₂` (with `b` the reference).
+/// Returns the absolute ℓ2 norm of `a − b` if `‖b‖₂ == 0`.
+pub fn rel_l2_error(a: &[Complex64], b: &[Complex64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    for (x, y) in a.iter().zip(b) {
+        num += (*x - *y).norm_sqr();
+        den += y.norm_sqr();
+    }
+    if den == 0.0 {
+        num.sqrt()
+    } else {
+        (num / den).sqrt()
+    }
+}
+
+/// Default verification tolerance for an FFT of `n` total points:
+/// machine epsilon scaled by `√(log2 n)` with generous headroom.
+pub fn fft_tolerance(n: usize) -> f64 {
+    let lg = (n.max(2) as f64).log2();
+    1e-13 * lg.sqrt() * 10.0
+}
+
+/// Asserts that `a` matches the reference `b` to within the FFT tolerance
+/// for its size, with a useful failure message.
+#[track_caller]
+pub fn assert_fft_close(a: &[Complex64], b: &[Complex64]) {
+    let tol = fft_tolerance(a.len());
+    let err = rel_l2_error(a, b);
+    assert!(
+        err <= tol,
+        "FFT output mismatch: rel_l2_error = {err:.3e} > tol {tol:.3e} (n = {})",
+        a.len()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_error_for_identical_vectors() {
+        let v: Vec<Complex64> = (0..32).map(|i| Complex64::new(i as f64, 1.0)).collect();
+        assert_eq!(max_abs_error(&v, &v), 0.0);
+        assert_eq!(rel_l2_error(&v, &v), 0.0);
+        assert_fft_close(&v, &v);
+    }
+
+    #[test]
+    fn relative_error_scales() {
+        let b = vec![Complex64::new(100.0, 0.0); 4];
+        let a = vec![Complex64::new(101.0, 0.0); 4];
+        let e = rel_l2_error(&a, &b);
+        assert!((e - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_reference_falls_back_to_absolute() {
+        let b = vec![Complex64::ZERO; 3];
+        let a = vec![Complex64::new(3.0, 4.0), Complex64::ZERO, Complex64::ZERO];
+        assert!((rel_l2_error(&a, &b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "FFT output mismatch")]
+    fn assert_close_fires() {
+        let b = vec![Complex64::ONE; 8];
+        let a = vec![Complex64::new(1.5, 0.0); 8];
+        assert_fft_close(&a, &b);
+    }
+
+    #[test]
+    fn tolerance_grows_slowly() {
+        assert!(fft_tolerance(1 << 10) < fft_tolerance(1 << 30));
+        assert!(fft_tolerance(1 << 30) < 1e-10);
+    }
+}

@@ -1,0 +1,103 @@
+//! Deterministic test-signal generators.
+//!
+//! Reproducibility matters more than statistical quality here, so the
+//! generator is a tiny splitmix64 — no external RNG needed in the
+//! library crates, and every test names its seed.
+
+use crate::Complex64;
+
+/// SplitMix64: tiny, fast, deterministic. Good enough to decorrelate FFT
+/// inputs; not for cryptography or statistics.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[-1, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits → [0,1), then affine map.
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        2.0 * u - 1.0
+    }
+
+    #[inline]
+    pub fn next_complex(&mut self) -> Complex64 {
+        Complex64::new(self.next_f64(), self.next_f64())
+    }
+}
+
+/// A vector of `n` reproducible pseudo-random complex samples.
+pub fn random_complex(n: usize, seed: u64) -> Vec<Complex64> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n).map(|_| rng.next_complex()).collect()
+}
+
+/// A pure complex exponential `x[t] = e^{2πi f t / n}`: its DFT is a
+/// single spike of magnitude `n` at bin `f`, the sharpest possible
+/// correctness probe.
+pub fn complex_tone(n: usize, freq: usize) -> Vec<Complex64> {
+    (0..n)
+        .map(|t| Complex64::cis(2.0 * core::f64::consts::PI * (freq * t % n) as f64 / n as f64))
+        .collect()
+}
+
+/// Unit impulse at `pos`: its DFT is `ω_n^{pos·k}` for all bins `k`.
+pub fn impulse(n: usize, pos: usize) -> Vec<Complex64> {
+    let mut v = vec![Complex64::ZERO; n];
+    v[pos] = Complex64::ONE;
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let a = random_complex(64, 42);
+        let b = random_complex(64, 42);
+        let c = random_complex(64, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uniform_range() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((-1.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn tone_is_unit_magnitude() {
+        let v = complex_tone(128, 5);
+        for c in &v {
+            assert!((c.abs() - 1.0).abs() < 1e-14);
+        }
+        assert_eq!(v[0], Complex64::ONE);
+    }
+
+    #[test]
+    fn impulse_shape() {
+        let v = impulse(16, 3);
+        assert_eq!(v[3], Complex64::ONE);
+        assert_eq!(v.iter().filter(|c| **c != Complex64::ZERO).count(), 1);
+    }
+}

@@ -1,0 +1,151 @@
+//! Block-interleaved ("split") complex storage.
+//!
+//! The paper's compute kernels do not operate on interleaved `re,im`
+//! pairs: following Popovici et al. (HPEC'17, ref [18] in the paper), the
+//! first FFT stage changes the data format from *complex interleaved* to
+//! *block interleaved*, where blocks of `μ` real parts are followed by
+//! blocks of `μ` imaginary parts. In that format a `μ`-wide SIMD vector
+//! holds `μ` real components of `μ` distinct complex values, so complex
+//! butterflies vectorize without shuffles and computation proceeds at
+//! cacheline granularity.
+//!
+//! This module implements the format changes and a typed view over
+//! block-interleaved data.
+
+use crate::{Complex64, MU};
+
+/// In-place-free conversion: interleaved → block-interleaved with block
+/// size `mu` (in elements). `src.len()` must be a multiple of `mu`.
+///
+/// Layout produced: for each block `j`,
+/// `dst[2·j·mu .. 2·j·mu+mu]` holds the `mu` real parts and
+/// `dst[2·j·mu+mu .. 2·j·mu+2·mu]` the `mu` imaginary parts.
+pub fn interleaved_to_block(src: &[Complex64], dst: &mut [f64], mu: usize) {
+    assert!(mu > 0 && src.len().is_multiple_of(mu));
+    assert_eq!(dst.len(), 2 * src.len());
+    for (j, blk) in src.chunks_exact(mu).enumerate() {
+        let base = 2 * j * mu;
+        for (i, c) in blk.iter().enumerate() {
+            dst[base + i] = c.re;
+            dst[base + mu + i] = c.im;
+        }
+    }
+}
+
+/// Inverse of [`interleaved_to_block`].
+pub fn block_to_interleaved(src: &[f64], dst: &mut [Complex64], mu: usize) {
+    assert!(mu > 0 && dst.len().is_multiple_of(mu));
+    assert_eq!(src.len(), 2 * dst.len());
+    for (j, blk) in dst.chunks_exact_mut(mu).enumerate() {
+        let base = 2 * j * mu;
+        for (i, c) in blk.iter_mut().enumerate() {
+            c.re = src[base + i];
+            c.im = src[base + mu + i];
+        }
+    }
+}
+
+/// A mutable view over block-interleaved data with block size [`MU`],
+/// addressed by logical complex index.
+pub struct SplitViewMut<'a> {
+    data: &'a mut [f64],
+}
+
+impl<'a> SplitViewMut<'a> {
+    /// Wraps a block-interleaved buffer. `data.len()` must be a multiple
+    /// of `2·MU`.
+    pub fn new(data: &'a mut [f64]) -> Self {
+        assert_eq!(data.len() % (2 * MU), 0);
+        Self { data }
+    }
+
+    /// Number of logical complex elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() / 2
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[inline]
+    fn offsets(i: usize) -> (usize, usize) {
+        let blk = i / MU;
+        let lane = i % MU;
+        let base = 2 * blk * MU + lane;
+        (base, base + MU)
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize) -> Complex64 {
+        let (r, im) = Self::offsets(i);
+        Complex64::new(self.data[r], self.data[im])
+    }
+
+    #[inline]
+    pub fn set(&mut self, i: usize, v: Complex64) {
+        let (r, im) = Self::offsets(i);
+        self.data[r] = v.re;
+        self.data[im] = v.im;
+    }
+
+    /// Raw underlying storage.
+    #[inline]
+    pub fn raw(&mut self) -> &mut [f64] {
+        self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo(n: usize) -> Vec<Complex64> {
+        (0..n)
+            .map(|i| Complex64::new(i as f64, -(i as f64) - 0.5))
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_all_block_sizes() {
+        for mu in [1usize, 2, 4, 8] {
+            let src = demo(4 * mu);
+            let mut blocked = vec![0.0; 2 * src.len()];
+            interleaved_to_block(&src, &mut blocked, mu);
+            let mut back = vec![Complex64::ZERO; src.len()];
+            block_to_interleaved(&blocked, &mut back, mu);
+            assert_eq!(src, back, "mu={mu}");
+        }
+    }
+
+    #[test]
+    fn block_layout_is_re_then_im() {
+        let src = demo(8);
+        let mut blocked = vec![0.0; 16];
+        interleaved_to_block(&src, &mut blocked, 4);
+        // First block: re0..re3, im0..im3.
+        assert_eq!(&blocked[0..4], &[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(&blocked[4..8], &[-0.5, -1.5, -2.5, -3.5]);
+        // Second block: re4..re7.
+        assert_eq!(&blocked[8..12], &[4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn split_view_addresses_logical_elements() {
+        let src = demo(16);
+        let mut blocked = vec![0.0; 32];
+        interleaved_to_block(&src, &mut blocked, MU);
+        let mut view = SplitViewMut::new(&mut blocked);
+        assert_eq!(view.len(), 16);
+        for (i, expect) in src.iter().enumerate() {
+            assert_eq!(view.get(i), *expect);
+        }
+        view.set(5, Complex64::new(99.0, -99.0));
+        assert_eq!(view.get(5), Complex64::new(99.0, -99.0));
+        // Other elements untouched.
+        assert_eq!(view.get(4), src[4]);
+        assert_eq!(view.get(6), src[6]);
+    }
+}

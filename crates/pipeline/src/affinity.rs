@@ -1,0 +1,77 @@
+//! Thread pinning — the paper's `kmp_affinity` / `sched_setaffinity`
+//! usage (§III-D).
+//!
+//! Pinning is what makes the role pairing of [`crate::roles`] physical:
+//! a data-thread only shares its compute sibling's functional units if
+//! both are pinned to the same core. Behind the `affinity` feature this
+//! calls Linux `sched_setaffinity`; without it (or on other platforms)
+//! pinning is a recorded no-op so the library stays portable.
+
+/// Outcome of a pin request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PinResult {
+    /// The OS accepted the CPU set.
+    Pinned,
+    /// Pinning unavailable (feature off, non-Linux, or the CPU id does
+    /// not exist on this host) — execution proceeds unpinned.
+    Unavailable,
+}
+
+/// Pins the calling thread to logical CPU `cpu` if possible.
+pub fn pin_current_thread(cpu: usize) -> PinResult {
+    #[cfg(all(feature = "affinity", target_os = "linux"))]
+    {
+        if cpu >= num_cpus_online() {
+            return PinResult::Unavailable;
+        }
+        // Safety: CPU_* only write into the local cpu_set_t.
+        unsafe {
+            let mut set: libc::cpu_set_t = core::mem::zeroed();
+            libc::CPU_ZERO(&mut set);
+            libc::CPU_SET(cpu, &mut set);
+            let rc = libc::sched_setaffinity(
+                0, // current thread
+                core::mem::size_of::<libc::cpu_set_t>(),
+                &set,
+            );
+            if rc == 0 {
+                return PinResult::Pinned;
+            }
+        }
+        PinResult::Unavailable
+    }
+    #[cfg(not(all(feature = "affinity", target_os = "linux")))]
+    {
+        let _ = cpu;
+        PinResult::Unavailable
+    }
+}
+
+/// Number of logical CPUs available to this process.
+pub fn num_cpus_online() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_least_one_cpu() {
+        assert!(num_cpus_online() >= 1);
+    }
+
+    #[test]
+    fn pinning_to_cpu0_succeeds_or_degrades_gracefully() {
+        // CPU 0 exists everywhere; the call must not panic either way.
+        let r = pin_current_thread(0);
+        assert!(matches!(r, PinResult::Pinned | PinResult::Unavailable));
+    }
+
+    #[test]
+    fn pinning_to_absurd_cpu_reports_unavailable() {
+        assert_eq!(pin_current_thread(100_000), PinResult::Unavailable);
+    }
+}

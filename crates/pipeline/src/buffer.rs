@@ -1,0 +1,150 @@
+//! The LLC-resident shared double buffer (§IV "cache aware buffer
+//! allocation").
+//!
+//! The buffer holds `2·b` complex elements — two halves of `b` — sized
+//! by the paper's rule `b = LLC/2` (leaving room for twiddles and
+//! per-thread temporaries). Data threads fill one half while compute
+//! threads transform the other; the executor hands out disjoint
+//! mutable views across threads through a checked unsafe API.
+
+use bwfft_num::{AlignedVec, Complex64};
+use core::cell::UnsafeCell;
+
+/// A cacheline-aligned double buffer shared between pipeline threads.
+///
+/// Interior mutability is deliberate: during a pipeline step several
+/// threads hold mutable views into *disjoint* regions, a pattern the
+/// borrow checker cannot express across the barrier-synchronized
+/// executor loop. All aliasing obligations are concentrated in
+/// [`DoubleBuffer::half_range_mut`].
+pub struct DoubleBuffer {
+    storage: UnsafeCell<AlignedVec<Complex64>>,
+    half_elems: usize,
+}
+
+// Safety: all concurrent access goes through the unsafe accessors whose
+// contracts require disjointness; the executor upholds them via the
+// pipeline schedule (data and compute halves never coincide, shares
+// within a half are disjoint ranges).
+unsafe impl Sync for DoubleBuffer {}
+
+impl DoubleBuffer {
+    /// Allocates a zeroed double buffer with halves of `half_elems`.
+    pub fn new(half_elems: usize) -> Self {
+        assert!(half_elems > 0);
+        Self {
+            storage: UnsafeCell::new(AlignedVec::zeroed(2 * half_elems)),
+            half_elems,
+        }
+    }
+
+    /// Elements per half (the paper's `b`).
+    #[inline]
+    pub fn half_elems(&self) -> usize {
+        self.half_elems
+    }
+
+    /// Shared view of a whole half. The caller must guarantee no thread
+    /// holds a mutable view overlapping this half for the lifetime of
+    /// the returned slice.
+    ///
+    /// # Safety
+    /// See above; the pipeline schedule's half-parity argument is the
+    /// usual justification.
+    #[inline]
+    pub unsafe fn half(&self, half: usize) -> &[Complex64] {
+        debug_assert!(half < 2);
+        let v = &*self.storage.get();
+        &v.as_slice()[half * self.half_elems..(half + 1) * self.half_elems]
+    }
+
+    /// Mutable view of `range` within a half.
+    ///
+    /// # Safety
+    /// The caller must guarantee that for the lifetime of the returned
+    /// slice no other view (shared or mutable) overlaps
+    /// `half·b + range`.
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn half_range_mut(
+        &self,
+        half: usize,
+        range: core::ops::Range<usize>,
+    ) -> &mut [Complex64] {
+        debug_assert!(half < 2);
+        debug_assert!(range.end <= self.half_elems);
+        let v = &mut *self.storage.get();
+        let base = half * self.half_elems;
+        &mut v.as_mut_slice()[base + range.start..base + range.end]
+    }
+
+    /// Exclusive access to the full storage (setup/teardown only).
+    pub fn storage_mut(&mut self) -> &mut [Complex64] {
+        self.storage.get_mut().as_mut_slice()
+    }
+}
+
+/// Splits `0..total` into `parts` near-equal contiguous ranges (the
+/// executor's work partitioner; earlier parts get the remainder).
+pub fn partition(total: usize, parts: usize) -> Vec<core::ops::Range<usize>> {
+    assert!(parts > 0);
+    let base = total / parts;
+    let rem = total % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < rem);
+        out.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, total);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halves_are_disjoint_and_sized() {
+        let mut buf = DoubleBuffer::new(128);
+        assert_eq!(buf.half_elems(), 128);
+        assert_eq!(buf.storage_mut().len(), 256);
+        // Safety: exclusive test access.
+        unsafe {
+            let h0 = buf.half_range_mut(0, 0..128);
+            h0[0] = Complex64::new(1.0, 0.0);
+        }
+        unsafe {
+            let h1 = buf.half(1);
+            assert_eq!(h1[0], Complex64::ZERO);
+            let h0 = buf.half(0);
+            assert_eq!(h0[0], Complex64::new(1.0, 0.0));
+        }
+    }
+
+    #[test]
+    fn buffer_is_cacheline_aligned() {
+        let mut buf = DoubleBuffer::new(64);
+        assert_eq!(buf.storage_mut().as_ptr() as usize % 64, 0);
+    }
+
+    #[test]
+    fn partition_covers_exactly() {
+        for (total, parts) in [(100usize, 3usize), (7, 7), (8, 3), (5, 1), (0, 2)] {
+            let ranges = partition(total, parts);
+            assert_eq!(ranges.len(), parts);
+            let mut expect = 0;
+            for r in &ranges {
+                assert_eq!(r.start, expect);
+                expect = r.end;
+            }
+            assert_eq!(expect, total);
+            // Near-equal: sizes differ by at most 1.
+            let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+            let min = sizes.iter().min().unwrap();
+            let max = sizes.iter().max().unwrap();
+            assert!(max - min <= 1);
+        }
+    }
+}

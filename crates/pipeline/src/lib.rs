@@ -1,0 +1,20 @@
+//! The soft-DMA double-buffering engine (§III-C, §III-D, Table II).
+//!
+//! This crate turns the paper's software-pipelining construction into a
+//! reusable executor: a [`schedule`] generator that emits the Table II
+//! prologue / steady-state / epilogue, a [`roles`] module that splits
+//! hardware threads into data-threads (the soft DMA engines) and
+//! compute-threads and pairs them onto cores (§IV-A), an LLC-sized
+//! [`buffer`], and a real multithreaded [`exec`] that runs the schedule
+//! with actual OS threads and barriers.
+
+pub mod affinity;
+pub mod buffer;
+pub mod exec;
+pub mod roles;
+pub mod schedule;
+
+pub use buffer::DoubleBuffer;
+pub use exec::{run_pipeline, PipelineCallbacks};
+pub use roles::{Role, RoleAssignment};
+pub use schedule::{PipelineStep, Schedule};

@@ -1,0 +1,202 @@
+//! Thread-role assignment (§III-D, §IV-A).
+//!
+//! Half the threads become data-threads (soft DMA engines) and half
+//! become compute-threads. Pairing matters: a data-thread and a
+//! compute-thread are pinned to the *same core* (Intel hyperthread
+//! pair) or the same two-core module (AMD), so the pair shares its
+//! functional units — data-threads issue only loads/stores, keeping
+//! the floating-point pipes free for their compute sibling.
+
+/// The role of one hardware thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// Soft DMA engine: runs the `R`/`W` matrices.
+    Data,
+    /// Runs the batched FFT kernels.
+    Compute,
+}
+
+/// One thread's placement and role.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ThreadSlot {
+    /// Global thread id in `0..p`.
+    pub thread: usize,
+    pub socket: usize,
+    /// Core within the socket.
+    pub core: usize,
+    pub role: Role,
+    /// Index among the threads of the same role *on the same socket*
+    /// (data-thread 0..p_d/sk, compute-thread 0..p_c/sk).
+    pub role_index: usize,
+}
+
+/// A complete assignment for a machine shape.
+#[derive(Clone, Debug)]
+pub struct RoleAssignment {
+    pub sockets: usize,
+    pub slots: Vec<ThreadSlot>,
+}
+
+impl RoleAssignment {
+    /// Splits the threads of a `sockets × cores × threads_per_core`
+    /// machine half/half into paired data and compute threads.
+    ///
+    /// * `threads_per_core == 2` (Intel): per core, hyperthread 0
+    ///   computes and hyperthread 1 moves data.
+    /// * `threads_per_core == 1` (AMD / HT-off Xeon): adjacent cores
+    ///   are paired (same module on AMD): even core computes, odd core
+    ///   moves data. `cores_per_socket` must then be even.
+    pub fn paired(sockets: usize, cores_per_socket: usize, threads_per_core: usize) -> Self {
+        assert!(sockets >= 1 && cores_per_socket >= 1);
+        assert!(
+            threads_per_core == 2 || (threads_per_core == 1 && cores_per_socket.is_multiple_of(2)),
+            "pairing requires 2 threads/core or an even core count"
+        );
+        let mut slots = Vec::new();
+        for s in 0..sockets {
+            let mut data_idx = 0;
+            let mut comp_idx = 0;
+            for c in 0..cores_per_socket {
+                for t in 0..threads_per_core {
+                    let role = if threads_per_core == 2 {
+                        if t == 0 {
+                            Role::Compute
+                        } else {
+                            Role::Data
+                        }
+                    } else if c % 2 == 0 {
+                        Role::Compute
+                    } else {
+                        Role::Data
+                    };
+                    let role_index = match role {
+                        Role::Data => {
+                            let i = data_idx;
+                            data_idx += 1;
+                            i
+                        }
+                        Role::Compute => {
+                            let i = comp_idx;
+                            comp_idx += 1;
+                            i
+                        }
+                    };
+                    slots.push(ThreadSlot {
+                        thread: slots.len(),
+                        socket: s,
+                        core: c,
+                        role,
+                        role_index,
+                    });
+                }
+            }
+        }
+        Self { sockets, slots }
+    }
+
+    pub fn total_threads(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Data threads per socket.
+    pub fn data_per_socket(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.socket == 0 && s.role == Role::Data)
+            .count()
+    }
+
+    /// Compute threads per socket.
+    pub fn compute_per_socket(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.socket == 0 && s.role == Role::Compute)
+            .count()
+    }
+
+    pub fn data_slots(&self) -> impl Iterator<Item = &ThreadSlot> {
+        self.slots.iter().filter(|s| s.role == Role::Data)
+    }
+
+    pub fn compute_slots(&self) -> impl Iterator<Item = &ThreadSlot> {
+        self.slots.iter().filter(|s| s.role == Role::Compute)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intel_shape_pairs_hyperthreads() {
+        // 4C/8T Kaby Lake: 4 data + 4 compute, one of each per core.
+        let a = RoleAssignment::paired(1, 4, 2);
+        assert_eq!(a.total_threads(), 8);
+        assert_eq!(a.data_per_socket(), 4);
+        assert_eq!(a.compute_per_socket(), 4);
+        for c in 0..4 {
+            let on_core: Vec<Role> = a
+                .slots
+                .iter()
+                .filter(|s| s.core == c)
+                .map(|s| s.role)
+                .collect();
+            assert_eq!(on_core.len(), 2);
+            assert!(on_core.contains(&Role::Data));
+            assert!(on_core.contains(&Role::Compute));
+        }
+    }
+
+    #[test]
+    fn amd_shape_pairs_module_neighbours() {
+        // FX-8350: 8 single-thread cores → 4+4, alternating cores.
+        let a = RoleAssignment::paired(1, 8, 1);
+        assert_eq!(a.data_per_socket(), 4);
+        assert_eq!(a.compute_per_socket(), 4);
+        // Module (2c, 2c+1) has one of each.
+        for module in 0..4 {
+            let roles: Vec<Role> = a
+                .slots
+                .iter()
+                .filter(|s| s.core / 2 == module)
+                .map(|s| s.role)
+                .collect();
+            assert!(roles.contains(&Role::Data) && roles.contains(&Role::Compute));
+        }
+    }
+
+    #[test]
+    fn dual_socket_assigns_roles_per_socket() {
+        let a = RoleAssignment::paired(2, 8, 1);
+        assert_eq!(a.total_threads(), 16);
+        for s in 0..2 {
+            let data = a
+                .slots
+                .iter()
+                .filter(|t| t.socket == s && t.role == Role::Data)
+                .count();
+            assert_eq!(data, 4, "socket {s}");
+        }
+        // role_index restarts per socket.
+        let max_idx = a
+            .data_slots()
+            .map(|s| s.role_index)
+            .max()
+            .unwrap();
+        assert_eq!(max_idx, 3);
+    }
+
+    #[test]
+    fn thread_ids_are_dense() {
+        let a = RoleAssignment::paired(2, 4, 2);
+        for (i, s) in a.slots.iter().enumerate() {
+            assert_eq!(s.thread, i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pairing requires")]
+    fn odd_single_thread_cores_rejected() {
+        let _ = RoleAssignment::paired(1, 5, 1);
+    }
+}

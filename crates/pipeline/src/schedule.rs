@@ -1,0 +1,253 @@
+//! Software-pipeline schedule generation — Table II of the paper.
+//!
+//! For `iters` blocks, the pipeline runs `iters + 2` steps. At step
+//! `i`, the data threads first store block `i−2` (from buffer half
+//! `i mod 2`) and then load block `i` (into the same half), while the
+//! compute threads transform block `i−1` in the other half. The store
+//! must precede the load within a step because they reuse the half.
+
+/// What happens at one pipeline step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PipelineStep {
+    /// Step index `i` in `0 .. iters+2`.
+    pub step: usize,
+    /// Block stored this step (`i − 2`, if in range).
+    pub store: Option<usize>,
+    /// Block loaded this step (`i`, if in range).
+    pub load: Option<usize>,
+    /// Block computed this step (`i − 1`, if in range).
+    pub compute: Option<usize>,
+}
+
+impl PipelineStep {
+    /// Which half of the double buffer a block occupies.
+    #[inline]
+    pub fn half_of(block: usize) -> usize {
+        block % 2
+    }
+
+    /// The half the data threads touch this step (store + load).
+    pub fn data_half(&self) -> Option<usize> {
+        self.load
+            .or(self.store)
+            .map(Self::half_of)
+    }
+
+    /// The half the compute threads touch this step.
+    pub fn compute_half(&self) -> Option<usize> {
+        self.compute.map(Self::half_of)
+    }
+
+    /// Phase classification for reporting.
+    pub fn phase(&self, iters: usize) -> Phase {
+        let _ = iters;
+        match (self.store, self.load, self.compute) {
+            (None, Some(_), None) | (None, Some(_), Some(_)) => Phase::Prologue,
+            (Some(_), Some(_), Some(_)) => Phase::Steady,
+            _ => Phase::Epilogue,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    Prologue,
+    Steady,
+    Epilogue,
+}
+
+/// The whole schedule for `iters` blocks.
+///
+/// ```
+/// use bwfft_pipeline::Schedule;
+///
+/// let s = Schedule::new(4);
+/// assert_eq!(s.len(), 6); // prologue + 4 blocks + epilogue drain
+/// // Steady state: step 2 stores block 0, loads block 2, computes 1.
+/// let step = &s.steps()[2];
+/// assert_eq!((step.store, step.load, step.compute),
+///            (Some(0), Some(2), Some(1)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Schedule {
+    pub iters: usize,
+    steps: Vec<PipelineStep>,
+}
+
+impl Schedule {
+    pub fn new(iters: usize) -> Self {
+        assert!(iters >= 1);
+        let mut steps = Vec::with_capacity(iters + 2);
+        for i in 0..iters + 2 {
+            steps.push(PipelineStep {
+                step: i,
+                store: i.checked_sub(2).filter(|s| *s < iters),
+                load: Some(i).filter(|l| *l < iters),
+                compute: i.checked_sub(1).filter(|c| *c < iters),
+            });
+        }
+        Self { iters, steps }
+    }
+
+    pub fn steps(&self) -> &[PipelineStep] {
+        &self.steps
+    }
+
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Renders the schedule as a Table II-style text table (used by the
+    /// `table2_pipeline` harness).
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:>6} | {:<22} | {:<22} | {:<22} | phase",
+            "i", "Store (data threads)", "Load (data threads)", "Compute (compute threads)"
+        );
+        let _ = writeln!(out, "{}", "-".repeat(102));
+        for s in &self.steps {
+            let fmt_store = s
+                .store
+                .map(|b| format!("y = W[b,{}] t[{}]", b, PipelineStep::half_of(b)))
+                .unwrap_or_default();
+            let fmt_load = s
+                .load
+                .map(|b| format!("t[{}] = R[b,{}] x", PipelineStep::half_of(b), b))
+                .unwrap_or_default();
+            let fmt_comp = s
+                .compute
+                .map(|b| format!("t[{0}] = FFT t[{0}]", PipelineStep::half_of(b)))
+                .unwrap_or_default();
+            let _ = writeln!(
+                out,
+                "{:>6} | {:<22} | {:<22} | {:<22} | {:?}",
+                s.step,
+                fmt_store,
+                fmt_load,
+                fmt_comp,
+                s.phase(self.iters)
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_block_is_loaded_computed_stored_exactly_once() {
+        for iters in [1usize, 2, 3, 7, 100] {
+            let s = Schedule::new(iters);
+            let mut loaded = vec![0usize; iters];
+            let mut computed = vec![0usize; iters];
+            let mut stored = vec![0usize; iters];
+            for step in s.steps() {
+                if let Some(b) = step.load {
+                    loaded[b] += 1;
+                }
+                if let Some(b) = step.compute {
+                    computed[b] += 1;
+                }
+                if let Some(b) = step.store {
+                    stored[b] += 1;
+                }
+            }
+            assert!(loaded.iter().all(|c| *c == 1), "iters={iters}");
+            assert!(computed.iter().all(|c| *c == 1));
+            assert!(stored.iter().all(|c| *c == 1));
+        }
+    }
+
+    #[test]
+    fn dependencies_are_respected() {
+        // Block b: load at step b, compute at b+1, store at b+2.
+        let s = Schedule::new(10);
+        for step in s.steps() {
+            if let Some(b) = step.load {
+                assert_eq!(step.step, b);
+            }
+            if let Some(b) = step.compute {
+                assert_eq!(step.step, b + 1);
+            }
+            if let Some(b) = step.store {
+                assert_eq!(step.step, b + 2);
+            }
+        }
+    }
+
+    #[test]
+    fn data_and_compute_touch_different_halves_in_steady_state() {
+        let s = Schedule::new(16);
+        for step in s.steps() {
+            if let (Some(dh), Some(ch)) = (step.data_half(), step.compute_half()) {
+                assert_ne!(dh, ch, "step {}", step.step);
+            }
+        }
+    }
+
+    #[test]
+    fn store_and_load_share_a_half_with_store_first() {
+        // At a steady-state step the stored block (i−2) and the loaded
+        // block (i) have the same parity — the half is recycled within
+        // the step, which is why the executor orders store before load.
+        let s = Schedule::new(16);
+        for step in s.steps() {
+            if let (Some(st), Some(ld)) = (step.store, step.load) {
+                assert_eq!(PipelineStep::half_of(st), PipelineStep::half_of(ld));
+            }
+        }
+    }
+
+    #[test]
+    fn table_ii_shape_for_small_run() {
+        let s = Schedule::new(4);
+        assert_eq!(s.len(), 6);
+        // Step 0: pure load (prologue).
+        assert_eq!(s.steps()[0].load, Some(0));
+        assert_eq!(s.steps()[0].compute, None);
+        assert_eq!(s.steps()[0].store, None);
+        // Step 1: load 1 + compute 0 (prologue).
+        assert_eq!(s.steps()[1].load, Some(1));
+        assert_eq!(s.steps()[1].compute, Some(0));
+        // Step 2: full steady state.
+        assert_eq!(s.steps()[2].store, Some(0));
+        assert_eq!(s.steps()[2].load, Some(2));
+        assert_eq!(s.steps()[2].compute, Some(1));
+        // Last step: pure store (epilogue).
+        let last = s.steps().last().unwrap();
+        assert_eq!(last.store, Some(3));
+        assert_eq!(last.load, None);
+        assert_eq!(last.compute, None);
+    }
+
+    #[test]
+    fn phases_progress_monotonically() {
+        let s = Schedule::new(8);
+        let phases: Vec<Phase> = s.steps().iter().map(|st| st.phase(8)).collect();
+        let first_steady = phases.iter().position(|p| *p == Phase::Steady).unwrap();
+        let first_epi = phases.iter().position(|p| *p == Phase::Epilogue).unwrap();
+        assert!(first_steady < first_epi);
+        assert!(phases[..first_steady]
+            .iter()
+            .all(|p| *p == Phase::Prologue));
+        assert!(phases[first_epi..].iter().all(|p| *p == Phase::Epilogue));
+    }
+
+    #[test]
+    fn render_table_mentions_all_steps() {
+        let s = Schedule::new(3);
+        let table = s.render_table();
+        assert!(table.contains("W[b,0]"));
+        assert!(table.contains("R[b,2]"));
+        assert!(table.contains("Prologue") && table.contains("Epilogue"));
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests of the software pipeline: the Table II
+//! schedule invariants at arbitrary iteration counts, the work
+//! partitioner, and full executor runs with randomized configurations.
+
+use bwfft_num::Complex64;
+use bwfft_pipeline::buffer::{partition, DoubleBuffer};
+use bwfft_pipeline::exec::{ComputeFn, LoadFn, PipelineCallbacks, PipelineConfig, StoreFn};
+use bwfft_pipeline::{run_pipeline, PipelineStep, Schedule};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn schedule_invariants(iters in 1usize..200) {
+        let s = Schedule::new(iters);
+        prop_assert_eq!(s.len(), iters + 2);
+        let mut loaded = vec![false; iters];
+        let mut computed = vec![false; iters];
+        let mut stored = vec![false; iters];
+        for step in s.steps() {
+            if let Some(b) = step.load {
+                prop_assert!(!loaded[b]);
+                loaded[b] = true;
+            }
+            if let Some(b) = step.compute {
+                // Computed exactly one step after its load.
+                prop_assert!(loaded[b] && !computed[b]);
+                prop_assert_eq!(step.step, b + 1);
+                computed[b] = true;
+            }
+            if let Some(b) = step.store {
+                prop_assert!(computed[b] && !stored[b]);
+                prop_assert_eq!(step.step, b + 2);
+                stored[b] = true;
+            }
+            // Data and compute never share a half within a step.
+            if let (Some(dh), Some(ch)) = (step.data_half(), step.compute_half()) {
+                prop_assert_ne!(dh, ch);
+            }
+        }
+        prop_assert!(stored.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn half_parity_is_consistent(iters in 1usize..100) {
+        let s = Schedule::new(iters);
+        for step in s.steps() {
+            if let Some(b) = step.load {
+                prop_assert_eq!(PipelineStep::half_of(b), b % 2);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_properties(total in 0usize..10_000, parts in 1usize..16) {
+        let ranges = partition(total, parts);
+        prop_assert_eq!(ranges.len(), parts);
+        let mut cursor = 0;
+        for r in &ranges {
+            prop_assert_eq!(r.start, cursor);
+            cursor = r.end;
+        }
+        prop_assert_eq!(cursor, total);
+        let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn executor_runs_identity_for_random_configs(
+        p_d in 1usize..4,
+        p_c in 1usize..4,
+        blocks in 1usize..8,
+        b_log in 4u32..8,
+        seed in 0u64..100,
+    ) {
+        let b = 1usize << b_log;
+        let n = blocks * b;
+        let x = bwfft_num::signal::random_complex(n, seed);
+        let out = Mutex::new(vec![Complex64::ZERO; n]);
+        let buffer = DoubleBuffer::new(b);
+        let x_ref = &x;
+        let out_ref = &out;
+        let loaders: Vec<LoadFn> = (0..p_d)
+            .map(|_| {
+                Box::new(move |blk: usize, off: usize, share: &mut [Complex64]| {
+                    let start = blk * b + off;
+                    share.copy_from_slice(&x_ref[start..start + share.len()]);
+                }) as LoadFn
+            })
+            .collect();
+        let storers: Vec<StoreFn> = (0..p_d)
+            .map(|j| {
+                Box::new(move |blk: usize, half: &[Complex64]| {
+                    let r = partition(b, p_d)[j].clone();
+                    let mut g = out_ref.lock().unwrap();
+                    g[blk * b + r.start..blk * b + r.end].copy_from_slice(&half[r]);
+                }) as StoreFn
+            })
+            .collect();
+        let computes: Vec<ComputeFn> = (0..p_c)
+            .map(|_| {
+                Box::new(move |_b: usize, _o: usize, share: &mut [Complex64]| {
+                    for v in share.iter_mut() {
+                        *v = v.conj();
+                    }
+                }) as ComputeFn
+            })
+            .collect();
+        run_pipeline(
+            &buffer,
+            &PipelineConfig {
+                iters: blocks,
+                load_unit: 1,
+                compute_unit: 1,
+                pin_cpus: None,
+            },
+            PipelineCallbacks { loaders, storers, computes },
+        );
+        let got = out.into_inner().unwrap();
+        for (g, e) in got.iter().zip(&x) {
+            prop_assert_eq!(*g, e.conj());
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Lowering read/write matrices into memory access streams.
+//!
+//! The machine simulator consumes *bursts*: contiguous element ranges
+//! tagged read/write and temporal/non-temporal. The paper's insight is
+//! visible right here in the lowering: `R_{b,i}` produces one giant
+//! contiguous read burst (streams at full bandwidth), while `W_{b,i}`
+//! produces `b/μ` cacheline-sized bursts at a large regular stride
+//! (non-temporal, write-combining friendly but TLB-sensitive).
+
+use crate::gather_scatter::{ReadMatrix, StagePerm, WriteMatrix};
+
+/// Which array an access touches. The simulator maps arrays to NUMA
+/// nodes; `Buffer` lives in the shared LLC.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ArrayId {
+    /// The stage's source array in main memory.
+    Input,
+    /// The stage's destination array in main memory.
+    Output,
+    /// The LLC-resident double buffer.
+    Buffer,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessKind {
+    Read,
+    Write,
+}
+
+/// A contiguous run of element accesses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Burst {
+    pub array: ArrayId,
+    /// First element index within the array.
+    pub start: usize,
+    /// Number of contiguous elements.
+    pub len: usize,
+    pub kind: AccessKind,
+    /// True if the access should bypass the cache hierarchy
+    /// (non-temporal loads/stores, §IV).
+    pub non_temporal: bool,
+}
+
+/// Compact summary of a write matrix's address pattern, used by the
+/// burst-tier simulator where enumerating every burst of a 2048³
+/// transform is infeasible.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WritePattern {
+    /// Number of bursts the block decomposes into.
+    pub bursts: usize,
+    /// Elements per burst (the contiguous run, usually `μ`).
+    pub burst_elems: usize,
+    /// Dominant stride between consecutive bursts, in elements
+    /// (0 when the writes are fully contiguous).
+    pub stride_elems: usize,
+    /// Number of distinct stride values observed (1 for a pure
+    /// constant-stride walk; larger when the walk wraps dimensions).
+    pub distinct_strides: usize,
+    /// Total span of addresses touched (max − min + burst), elements.
+    pub span_elems: usize,
+}
+
+/// Enumerates the read bursts of `R_{b,i}` — a single contiguous run,
+/// optionally chopped into `chunk`-element pieces (one per data-thread).
+pub fn read_bursts(r: &ReadMatrix, chunk: usize, non_temporal: bool) -> Vec<Burst> {
+    let mut out = Vec::new();
+    let start = r.i * r.b;
+    let chunk = chunk.max(1).min(r.b);
+    let mut off = 0;
+    while off < r.b {
+        let len = chunk.min(r.b - off);
+        out.push(Burst {
+            array: ArrayId::Input,
+            start: start + off,
+            len,
+            kind: AccessKind::Read,
+            non_temporal,
+        });
+        off += len;
+    }
+    out
+}
+
+/// Enumerates the write bursts of `W_{b,i}`, coalescing contiguous
+/// destination runs. Exact — intended for the trace-tier simulator and
+/// for tests; cost `O(b)`.
+pub fn write_bursts(w: &WriteMatrix, non_temporal: bool) -> Vec<Burst> {
+    let mut run = w.perm.contiguous_run().clamp(1, w.b);
+    if !w.b.is_multiple_of(run) {
+        run = 1;
+    }
+    let steps = w.b / run;
+    let mut out: Vec<Burst> = Vec::with_capacity(steps);
+    for t in 0..steps {
+        let dst = w.dst_of_buf(t * run);
+        match out.last_mut() {
+            Some(last) if last.start + last.len == dst => last.len += run,
+            _ => out.push(Burst {
+                array: ArrayId::Output,
+                start: dst,
+                len: run,
+                kind: AccessKind::Write,
+                non_temporal,
+            }),
+        }
+    }
+    out
+}
+
+/// Computes the [`WritePattern`] summary of a write matrix by sampling
+/// its first block (all blocks of a stage share the same pattern shape;
+/// only the base offset differs).
+pub fn write_pattern(perm: StagePerm, b: usize) -> WritePattern {
+    let w = WriteMatrix::new(perm, b, 0);
+    let bursts = write_bursts(&w, true);
+    summarize(&bursts)
+}
+
+fn summarize(bursts: &[Burst]) -> WritePattern {
+    assert!(!bursts.is_empty());
+    let burst_elems = bursts.iter().map(|b| b.len).min().unwrap();
+    let mut strides = std::collections::BTreeSet::new();
+    let mut prev: Option<usize> = None;
+    let mut stride_counts: std::collections::BTreeMap<usize, usize> = Default::default();
+    for b in bursts {
+        if let Some(p) = prev {
+            let s = b.start.abs_diff(p);
+            strides.insert(s);
+            *stride_counts.entry(s).or_default() += 1;
+        }
+        prev = Some(b.start);
+    }
+    let dominant = stride_counts
+        .iter()
+        .max_by_key(|(_, c)| **c)
+        .map(|(s, _)| *s)
+        .unwrap_or(0);
+    let lo = bursts.iter().map(|b| b.start).min().unwrap();
+    let hi = bursts.iter().map(|b| b.start + b.len).max().unwrap();
+    WritePattern {
+        bursts: bursts.len(),
+        burst_elems,
+        stride_elems: dominant,
+        distinct_strides: strides.len().max(1),
+        span_elems: hi - lo,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gather_scatter::{fft2d_stage_perms, fft3d_stage_perms};
+    use crate::perm::PermOp;
+
+    #[test]
+    fn read_is_one_contiguous_burst() {
+        let r = ReadMatrix::new(1024, 256, 2);
+        let bursts = read_bursts(&r, usize::MAX, true);
+        assert_eq!(bursts.len(), 1);
+        assert_eq!(bursts[0].start, 512);
+        assert_eq!(bursts[0].len, 256);
+        assert_eq!(bursts[0].kind, AccessKind::Read);
+    }
+
+    #[test]
+    fn read_chunking_partitions_exactly() {
+        let r = ReadMatrix::new(1024, 256, 1);
+        let bursts = read_bursts(&r, 100, false);
+        assert_eq!(bursts.len(), 3); // 100 + 100 + 56
+        let total: usize = bursts.iter().map(|b| b.len).sum();
+        assert_eq!(total, 256);
+        assert_eq!(bursts[0].start, 256);
+        assert_eq!(bursts[2].len, 56);
+    }
+
+    #[test]
+    fn identity_writes_coalesce_to_one_burst() {
+        let w = WriteMatrix::new(StagePerm::Single(PermOp::Id { n: 512 }), 128, 3);
+        let bursts = write_bursts(&w, true);
+        assert_eq!(bursts.len(), 1);
+        assert_eq!(bursts[0].start, 3 * 128);
+        assert_eq!(bursts[0].len, 128);
+    }
+
+    #[test]
+    fn rotation_writes_are_cacheline_bursts_at_constant_stride() {
+        // Stage-1 rotation of a 4×4×32 cube with μ=4: a b=128 block is
+        // exactly one x-row (m = 32 elements → 8 packets) per (z, y)
+        // pair; packets of a row land at stride k·n·μ = 64.
+        let (k, n, m, mu) = (4usize, 4, 32, 4);
+        let perm = fft3d_stage_perms(k, n, m, mu)[0];
+        let w = WriteMatrix::new(perm, 32, 0);
+        let bursts = write_bursts(&w, true);
+        assert_eq!(bursts.len(), m / mu);
+        for b in &bursts {
+            assert_eq!(b.len, mu);
+        }
+        for pair in bursts.windows(2) {
+            assert_eq!(pair[1].start - pair[0].start, k * n * mu);
+        }
+    }
+
+    #[test]
+    fn write_pattern_summary_for_2d_transpose() {
+        let (n, m, mu) = (64usize, 64, 4);
+        let perm = fft2d_stage_perms(n, m, mu)[0];
+        let p = write_pattern(perm, m); // one row per block
+        assert_eq!(p.burst_elems, mu);
+        assert_eq!(p.bursts, m / mu);
+        // Row x-packets go to (x_p · n + y) · μ: stride n·μ.
+        assert_eq!(p.stride_elems, n * mu);
+        assert_eq!(p.distinct_strides, 1);
+    }
+
+    #[test]
+    fn write_pattern_spans_grow_with_cube() {
+        let perm = fft3d_stage_perms(8, 8, 64, 4)[0];
+        let p = write_pattern(perm, 64);
+        // One row scatters across the whole rotated cube's x-extent.
+        assert!(p.span_elems > 8 * 8 * 4 * ((64 / 4) - 1));
+        assert_eq!(p.burst_elems, 4);
+    }
+
+    #[test]
+    fn bursts_cover_block_exactly_once() {
+        let (k, n, m, mu) = (2usize, 4, 16, 4);
+        let perm = fft3d_stage_perms(k, n, m, mu)[1];
+        let total = k * n * m;
+        let b = 32;
+        let mut seen = vec![false; total];
+        for i in 0..total / b {
+            let w = WriteMatrix::new(perm, b, i);
+            for burst in write_bursts(&w, true) {
+                for e in burst.start..burst.start + burst.len {
+                    assert!(!seen[e], "element {e} written twice");
+                    seen[e] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+}

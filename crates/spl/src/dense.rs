@@ -1,0 +1,210 @@
+//! Dense expansion of SPL formulas (small sizes).
+//!
+//! Rewrite identities in this crate are *proved numerically* by expanding
+//! both sides to dense matrices and comparing entrywise. This module is
+//! strictly a verification tool — it is `O(n²)` memory and `O(n³)` work
+//! and must never appear on a compute path.
+
+use crate::Formula;
+use bwfft_num::Complex64;
+
+/// A dense row-major complex matrix.
+#[derive(Clone, PartialEq)]
+pub struct DenseMatrix {
+    pub rows: usize,
+    pub cols: usize,
+    pub data: Vec<Complex64>,
+}
+
+impl DenseMatrix {
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![Complex64::ZERO; rows * cols],
+        }
+    }
+
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> Complex64 {
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: Complex64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Maximum absolute entrywise difference.
+    pub fn max_diff(&self, other: &Self) -> f64 {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (*a - *b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// True if this matrix is a 0/1 permutation matrix.
+    pub fn is_permutation(&self) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        let one = |v: Complex64| (v - Complex64::ONE).abs() < 1e-12;
+        let zero = |v: Complex64| v.abs() < 1e-12;
+        for r in 0..self.rows {
+            let ones = (0..self.cols).filter(|&c| one(self.at(r, c))).count();
+            let zeros = (0..self.cols).filter(|&c| zero(self.at(r, c))).count();
+            if ones != 1 || ones + zeros != self.cols {
+                return false;
+            }
+        }
+        for c in 0..self.cols {
+            if (0..self.rows).filter(|&r| one(self.at(r, c))).count() != 1 {
+                return false;
+            }
+        }
+        true
+    }
+
+    pub fn matmul(&self, rhs: &Self) -> Self {
+        assert_eq!(self.cols, rhs.rows);
+        let mut out = Self::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.at(i, k);
+                if a.abs() == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    let v = out.at(i, j) + a * rhs.at(k, j);
+                    out.set(i, j, v);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Expands a formula into its dense matrix by applying it to unit
+/// vectors. Intended for operator sizes up to a few thousand.
+pub fn to_dense(f: &Formula) -> DenseMatrix {
+    let rows = f.rows();
+    let cols = f.cols();
+    let mut m = DenseMatrix::zeros(rows, cols);
+    let mut e = vec![Complex64::ZERO; cols];
+    let mut col = vec![Complex64::ZERO; rows];
+    for j in 0..cols {
+        e[j] = Complex64::ONE;
+        f.apply(&e, &mut col);
+        e[j] = Complex64::ZERO;
+        for (i, v) in col.iter().enumerate() {
+            m.set(i, j, *v);
+        }
+    }
+    m
+}
+
+/// Asserts two formulas denote the same operator (dense comparison).
+#[track_caller]
+pub fn assert_formulas_equal(a: &Formula, b: &Formula) {
+    assert_eq!(a.rows(), b.rows(), "row mismatch: {a} vs {b}");
+    assert_eq!(a.cols(), b.cols(), "col mismatch: {a} vs {b}");
+    let da = to_dense(a);
+    let db = to_dense(b);
+    let diff = da.max_diff(&db);
+    // Scale tolerance with operator magnitude (DFT entries are unit but
+    // compositions of DFTs grow like √n per factor).
+    let scale = da
+        .data
+        .iter()
+        .map(|c| c.abs())
+        .fold(1.0f64, f64::max);
+    assert!(
+        diff <= 1e-10 * scale,
+        "formulas differ: max entry diff {diff:.3e} (scale {scale:.3e})\n  lhs: {a}\n  rhs: {b}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_identity() {
+        let m = to_dense(&Formula::identity(4));
+        for i in 0..4 {
+            for j in 0..4 {
+                let expect = if i == j { Complex64::ONE } else { Complex64::ZERO };
+                assert_eq!(m.at(i, j), expect);
+            }
+        }
+        assert!(m.is_permutation());
+    }
+
+    #[test]
+    fn dense_dft_entries_are_roots() {
+        let n = 6;
+        let m = to_dense(&Formula::dft(n));
+        for k in 0..n {
+            for l in 0..n {
+                let expect = Complex64::root_of_unity((k * l) as i64, n as u64);
+                assert!((m.at(k, l) - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn stride_l_is_permutation_and_involution_pair() {
+        let l = to_dense(&Formula::stride_l(3, 4));
+        assert!(l.is_permutation());
+        // L(3,4) · L(4,3) = I.
+        let inv = to_dense(&Formula::stride_l(4, 3));
+        let prod = l.matmul(&inv);
+        let id = to_dense(&Formula::identity(12));
+        assert!(prod.max_diff(&id) < 1e-12);
+    }
+
+    #[test]
+    fn rotation_is_permutation() {
+        assert!(to_dense(&Formula::rotation(2, 3, 4)).is_permutation());
+        assert!(to_dense(&Formula::rotation(4, 4, 4)).is_permutation());
+    }
+
+    #[test]
+    fn scatter_is_not_square_but_gather_scatter_composes_to_identity() {
+        let s = Formula::scatter(12, 4, 2);
+        let g = Formula::gather(12, 4, 2);
+        let prod = to_dense(&Formula::compose(vec![g, s]));
+        let id = to_dense(&Formula::identity(4));
+        assert!(prod.max_diff(&id) < 1e-12);
+    }
+
+    #[test]
+    fn sum_of_scatter_gather_is_identity() {
+        // I_n = Σ_i S_{n,b,i} · G_{n,b,i} — the sliding-window identity
+        // from §III-B of the paper.
+        let (n, b) = (12, 3);
+        let id = to_dense(&Formula::identity(n));
+        let mut acc = DenseMatrix::zeros(n, n);
+        for i in 0..n / b {
+            let sg = to_dense(&Formula::compose(vec![
+                Formula::scatter(n, b, i),
+                Formula::gather(n, b, i),
+            ]));
+            for t in 0..acc.data.len() {
+                acc.data[t] += sg.data[t];
+            }
+        }
+        assert!(acc.max_diff(&id) < 1e-12);
+    }
+
+    #[test]
+    fn assert_formulas_equal_catches_difference() {
+        let a = Formula::dft(4);
+        let b = Formula::identity(4);
+        let result = std::panic::catch_unwind(|| assert_formulas_equal(&a, &b));
+        assert!(result.is_err());
+    }
+}

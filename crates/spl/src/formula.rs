@@ -1,0 +1,521 @@
+//! The SPL formula AST and its interpreter.
+//!
+//! Each [`Formula`] is a (possibly rectangular) linear operator on
+//! `Complex64` vectors. [`Formula::apply`] interprets a formula following
+//! the matrix-formula → code mapping of Table I in the paper, without
+//! materializing any matrix.
+
+use bwfft_num::Complex64;
+use std::fmt;
+use std::sync::Arc;
+
+/// A diagonal matrix specification.
+#[derive(Clone)]
+pub enum DiagSpec {
+    /// The Cooley–Tukey twiddle diagonal `D_{m,n}` of size `m·n`:
+    /// entry at position `i·n + j` is `ω_{mn}^{i·j}` (`i < m`, `j < n`).
+    Twiddle { m: usize, n: usize },
+    /// An arbitrary diagonal (used for tests and scaling operators).
+    Explicit(Arc<Vec<Complex64>>),
+}
+
+impl DiagSpec {
+    pub fn len(&self) -> usize {
+        match self {
+            DiagSpec::Twiddle { m, n } => m * n,
+            DiagSpec::Explicit(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The diagonal entry at position `idx`.
+    pub fn entry(&self, idx: usize) -> Complex64 {
+        match self {
+            DiagSpec::Twiddle { m, n } => {
+                debug_assert!(idx < m * n);
+                let i = idx / n;
+                let j = idx % n;
+                Complex64::root_of_unity((i * j) as i64, (m * n) as u64)
+            }
+            DiagSpec::Explicit(v) => v[idx],
+        }
+    }
+}
+
+/// An SPL formula: a structured linear operator.
+///
+/// ```
+/// use bwfft_spl::Formula;
+/// use bwfft_num::Complex64;
+///
+/// // The Cooley–Tukey factors of DFT_4, composed, equal DFT_4.
+/// let ct = Formula::compose(vec![
+///     Formula::tensor(Formula::dft(2), Formula::identity(2)),
+///     Formula::twiddle(2, 2),
+///     Formula::tensor(Formula::identity(2), Formula::dft(2)),
+///     Formula::stride_l(2, 2),
+/// ]);
+/// let x = vec![Complex64::ONE; 4];
+/// let direct = Formula::dft(4).apply_vec(&x);
+/// let factored = ct.apply_vec(&x);
+/// for (a, b) in direct.iter().zip(&factored) {
+///     assert!((*a - *b).abs() < 1e-12);
+/// }
+/// ```
+#[derive(Clone)]
+pub enum Formula {
+    /// `I_n` — identity.
+    Identity(usize),
+    /// `I_{rows×cols}` — rectangular identity (§II-C): copies the
+    /// `min(rows, cols)` leading elements, zero-pads or truncates.
+    RectIdentity { rows: usize, cols: usize },
+    /// `DFT_n` — the dense discrete Fourier transform (naive semantics;
+    /// fast algorithms are *factorizations* of this).
+    Dft(usize),
+    /// A diagonal matrix.
+    Diag(DiagSpec),
+    /// Stride permutation: transposes a row-major `rows × cols` input
+    /// into `cols × rows`: `y[j·rows + i] = x[i·cols + j]`.
+    StrideL { rows: usize, cols: usize },
+    /// The 3D rotation `K^{k,n}_m` (§III-A): a `k × n × m` cube becomes
+    /// `m × k × n`; source `(z, y, x)` maps to destination `(x, z, y)`.
+    Rotation { k: usize, n: usize, m: usize },
+    /// `A ⊗ B` — Kronecker (tensor) product.
+    Tensor(Box<Formula>, Box<Formula>),
+    /// `A · B · C ···` — composition, applied right-to-left.
+    Compose(Vec<Formula>),
+    /// `S_{n,b,i}` — scatter window (§III-B): an `n × b` matrix placing a
+    /// `b`-element block at offset `i·b` of an `n`-vector.
+    Scatter { n: usize, b: usize, i: usize },
+    /// `G_{n,b,i}` — gather window: the transpose of `S_{n,b,i}`, a
+    /// `b × n` matrix reading the block at offset `i·b`.
+    Gather { n: usize, b: usize, i: usize },
+}
+
+impl Formula {
+    // ----- constructors ---------------------------------------------------
+
+    pub fn identity(n: usize) -> Self {
+        Formula::Identity(n)
+    }
+
+    pub fn dft(n: usize) -> Self {
+        assert!(n > 0);
+        Formula::Dft(n)
+    }
+
+    /// `L` transposing a `rows × cols` row-major matrix. The paper's
+    /// `L^{mn}_m` (Table I code) is `stride_l(m, n)`.
+    pub fn stride_l(rows: usize, cols: usize) -> Self {
+        Formula::StrideL { rows, cols }
+    }
+
+    /// `K^{k,n}_m` rotation of a `k × n × m` cube to `m × k × n`.
+    pub fn rotation(k: usize, n: usize, m: usize) -> Self {
+        Formula::Rotation { k, n, m }
+    }
+
+    /// Cooley–Tukey twiddle diagonal `D_{m,n}`.
+    pub fn twiddle(m: usize, n: usize) -> Self {
+        Formula::Diag(DiagSpec::Twiddle { m, n })
+    }
+
+    pub fn diag(entries: Vec<Complex64>) -> Self {
+        Formula::Diag(DiagSpec::Explicit(Arc::new(entries)))
+    }
+
+    pub fn tensor(a: Formula, b: Formula) -> Self {
+        Formula::Tensor(Box::new(a), Box::new(b))
+    }
+
+    /// Composition `factors[0] · factors[1] ··· factors[k-1]`; the last
+    /// factor is applied first, as in written matrix products.
+    pub fn compose(factors: Vec<Formula>) -> Self {
+        assert!(!factors.is_empty());
+        for w in factors.windows(2) {
+            assert_eq!(
+                w[0].cols(),
+                w[1].rows(),
+                "composition dimension mismatch: {} · {}",
+                w[0],
+                w[1]
+            );
+        }
+        Formula::Compose(factors)
+    }
+
+    pub fn scatter(n: usize, b: usize, i: usize) -> Self {
+        assert!(b > 0 && n.is_multiple_of(b) && i < n / b, "S_{{{n},{b},{i}}} invalid");
+        Formula::Scatter { n, b, i }
+    }
+
+    pub fn gather(n: usize, b: usize, i: usize) -> Self {
+        assert!(b > 0 && n.is_multiple_of(b) && i < n / b, "G_{{{n},{b},{i}}} invalid");
+        Formula::Gather { n, b, i }
+    }
+
+    // ----- dimensions -----------------------------------------------------
+
+    /// Output dimension (number of rows of the operator).
+    pub fn rows(&self) -> usize {
+        match self {
+            Formula::Identity(n) | Formula::Dft(n) => *n,
+            Formula::RectIdentity { rows, .. } => *rows,
+            Formula::Diag(d) => d.len(),
+            Formula::StrideL { rows, cols } => rows * cols,
+            Formula::Rotation { k, n, m } => k * n * m,
+            Formula::Tensor(a, b) => a.rows() * b.rows(),
+            Formula::Compose(fs) => fs[0].rows(),
+            Formula::Scatter { n, .. } => *n,
+            Formula::Gather { b, .. } => *b,
+        }
+    }
+
+    /// Input dimension (number of columns of the operator).
+    pub fn cols(&self) -> usize {
+        match self {
+            Formula::Identity(n) | Formula::Dft(n) => *n,
+            Formula::RectIdentity { cols, .. } => *cols,
+            Formula::Diag(d) => d.len(),
+            Formula::StrideL { rows, cols } => rows * cols,
+            Formula::Rotation { k, n, m } => k * n * m,
+            Formula::Tensor(a, b) => a.cols() * b.cols(),
+            Formula::Compose(fs) => fs.last().unwrap().cols(),
+            Formula::Scatter { b, .. } => *b,
+            Formula::Gather { n, .. } => *n,
+        }
+    }
+
+    pub fn is_square(&self) -> bool {
+        self.rows() == self.cols()
+    }
+
+    // ----- interpretation (Table I) ----------------------------------------
+
+    /// Applies the operator: `y = self · x`. `x.len()` must equal
+    /// [`Formula::cols`] and `y.len()` must equal [`Formula::rows`].
+    pub fn apply(&self, x: &[Complex64], y: &mut [Complex64]) {
+        assert_eq!(x.len(), self.cols(), "input size mismatch for {self}");
+        assert_eq!(y.len(), self.rows(), "output size mismatch for {self}");
+        match self {
+            Formula::Identity(_) => y.copy_from_slice(x),
+            Formula::RectIdentity { rows, cols } => {
+                let keep = (*rows).min(*cols);
+                y[..keep].copy_from_slice(&x[..keep]);
+                for v in &mut y[keep..] {
+                    *v = Complex64::ZERO;
+                }
+            }
+            Formula::Dft(n) => {
+                // Naive O(n²): this is the *definition*, used as oracle.
+                for (k, yk) in y.iter_mut().enumerate() {
+                    let mut acc = Complex64::ZERO;
+                    for (l, xl) in x.iter().enumerate() {
+                        acc += *xl * Complex64::root_of_unity((k * l) as i64, *n as u64);
+                    }
+                    *yk = acc;
+                }
+            }
+            Formula::Diag(d) => {
+                for (i, (yv, xv)) in y.iter_mut().zip(x).enumerate() {
+                    *yv = *xv * d.entry(i);
+                }
+            }
+            Formula::StrideL { rows, cols } => {
+                // Table I: for i<rows, j<cols: y[j*rows + i] = x[i*cols + j].
+                for i in 0..*rows {
+                    for j in 0..*cols {
+                        y[j * rows + i] = x[i * cols + j];
+                    }
+                }
+            }
+            Formula::Rotation { k, n, m } => {
+                // (z, y, x) → (x, z, y): dst = x·k·n + z·n + y.
+                for z in 0..*k {
+                    for yy in 0..*n {
+                        for xx in 0..*m {
+                            y[xx * k * n + z * n + yy] = x[z * n * m + yy * m + xx];
+                        }
+                    }
+                }
+            }
+            Formula::Tensor(a, b) => apply_tensor(a, b, x, y),
+            Formula::Compose(fs) => {
+                // Right-to-left with ping-pong temporaries.
+                let mut cur: Vec<Complex64> = x.to_vec();
+                for f in fs.iter().rev() {
+                    let mut next = vec![Complex64::ZERO; f.rows()];
+                    f.apply(&cur, &mut next);
+                    cur = next;
+                }
+                y.copy_from_slice(&cur);
+            }
+            Formula::Scatter { b, i, .. } => {
+                for v in y.iter_mut() {
+                    *v = Complex64::ZERO;
+                }
+                y[i * b..(i + 1) * b].copy_from_slice(x);
+            }
+            Formula::Gather { b, i, .. } => {
+                y.copy_from_slice(&x[i * b..(i + 1) * b]);
+            }
+        }
+    }
+
+    /// Convenience: applies to a vector, returning a fresh output.
+    pub fn apply_vec(&self, x: &[Complex64]) -> Vec<Complex64> {
+        let mut y = vec![Complex64::ZERO; self.rows()];
+        self.apply(x, &mut y);
+        y
+    }
+}
+
+/// `(A ⊗ B) x` following Table I's loop structures.
+///
+/// The two structured cases the paper compiles to loops are
+/// `I_m ⊗ B` (apply `B` to `m` contiguous blocks) and `A ⊗ I_n`
+/// (apply `A` to `n` interleaved stride-`n` subsequences). The general
+/// case factors through `A ⊗ B = (A ⊗ I)(I ⊗ B)`.
+fn apply_tensor(a: &Formula, b: &Formula, x: &[Complex64], y: &mut [Complex64]) {
+    match (a, b) {
+        (Formula::Identity(m), _) => {
+            let bc = b.cols();
+            let br = b.rows();
+            for i in 0..*m {
+                b.apply(&x[i * bc..(i + 1) * bc], &mut y[i * br..(i + 1) * br]);
+            }
+        }
+        (_, Formula::Identity(n)) => {
+            // A ⊗ I_n: apply A to each of the n stride-n subsequences.
+            let ac = a.cols();
+            let ar = a.rows();
+            let mut xin = vec![Complex64::ZERO; ac];
+            let mut xout = vec![Complex64::ZERO; ar];
+            for j in 0..*n {
+                for i in 0..ac {
+                    xin[i] = x[i * n + j];
+                }
+                a.apply(&xin, &mut xout);
+                for i in 0..ar {
+                    y[i * n + j] = xout[i];
+                }
+            }
+        }
+        _ => {
+            // General: (A ⊗ B) = (A ⊗ I_{rows(B)}) · (I_{cols(A)} ⊗ B).
+            let mid = Formula::tensor(Formula::identity(a.cols()), b.clone());
+            let t = mid.apply_vec(x);
+            let fin = Formula::tensor(a.clone(), Formula::identity(b.rows()));
+            fin.apply(&t, y);
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::Identity(n) => write!(f, "I_{n}"),
+            Formula::RectIdentity { rows, cols } => write!(f, "I_{{{rows}x{cols}}}"),
+            Formula::Dft(n) => write!(f, "DFT_{n}"),
+            Formula::Diag(DiagSpec::Twiddle { m, n }) => write!(f, "D_{{{m},{n}}}"),
+            Formula::Diag(DiagSpec::Explicit(v)) => write!(f, "diag[{}]", v.len()),
+            Formula::StrideL { rows, cols } => write!(f, "L({rows}x{cols})"),
+            Formula::Rotation { k, n, m } => write!(f, "K^{{{k},{n}}}_{{{m}}}"),
+            Formula::Tensor(a, b) => write!(f, "({a} (x) {b})"),
+            Formula::Compose(fs) => {
+                let parts: Vec<String> = fs.iter().map(|p| p.to_string()).collect();
+                write!(f, "{}", parts.join(" . "))
+            }
+            Formula::Scatter { n, b, i } => write!(f, "S_{{{n},{b},{i}}}"),
+            Formula::Gather { n, b, i } => write!(f, "G_{{{n},{b},{i}}}"),
+        }
+    }
+}
+
+impl fmt::Debug for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwfft_num::compare::assert_fft_close;
+    use bwfft_num::signal::random_complex;
+
+    // ----- Table I row-by-row ("table1" in the experiment index) -----------
+
+    #[test]
+    fn table1_compose_is_right_to_left() {
+        // y = (A·B) x with A = diag(2), B = L: scaling happens after the
+        // permutation.
+        let n = 6;
+        let scale = Formula::diag(vec![Complex64::new(2.0, 0.0); n]);
+        let l = Formula::stride_l(2, 3);
+        let x = random_complex(n, 1);
+        let composed = Formula::compose(vec![scale.clone(), l.clone()]);
+        let expect = scale.apply_vec(&l.apply_vec(&x));
+        assert_eq!(composed.apply_vec(&x), expect);
+    }
+
+    #[test]
+    fn table1_i_tensor_b_contiguous_blocks() {
+        // (I_m ⊗ B) applies B to contiguous blocks.
+        let m = 3;
+        let b = Formula::dft(4);
+        let x = random_complex(12, 2);
+        let got = Formula::tensor(Formula::identity(m), b.clone()).apply_vec(&x);
+        for i in 0..m {
+            let blk = b.apply_vec(&x[i * 4..(i + 1) * 4]);
+            assert_fft_close(&got[i * 4..(i + 1) * 4], &blk);
+        }
+    }
+
+    #[test]
+    fn table1_a_tensor_i_strided() {
+        // (A ⊗ I_n) applies A to stride-n subsequences.
+        let n = 4;
+        let a = Formula::dft(3);
+        let x = random_complex(12, 3);
+        let got = Formula::tensor(a.clone(), Formula::identity(n)).apply_vec(&x);
+        for j in 0..n {
+            let sub: Vec<Complex64> = (0..3).map(|i| x[i * n + j]).collect();
+            let expect = a.apply_vec(&sub);
+            let out: Vec<Complex64> = (0..3).map(|i| got[i * n + j]).collect();
+            assert_fft_close(&out, &expect);
+        }
+    }
+
+    #[test]
+    fn table1_diagonal_scales_elementwise() {
+        let d: Vec<Complex64> = (0..5).map(|i| Complex64::new(i as f64, 1.0)).collect();
+        let x = random_complex(5, 4);
+        let got = Formula::diag(d.clone()).apply_vec(&x);
+        for i in 0..5 {
+            assert_eq!(got[i], x[i] * d[i]);
+        }
+    }
+
+    #[test]
+    fn table1_stride_permutation_code() {
+        // Table I: y[i + m*j] = x[n*i + j] for L^{mn}_m = stride_l(m, n).
+        let (m, n) = (3, 5);
+        let x = random_complex(m * n, 5);
+        let got = Formula::stride_l(m, n).apply_vec(&x);
+        for i in 0..m {
+            for j in 0..n {
+                assert_eq!(got[i + m * j], x[n * i + j], "(i,j)=({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn table1_blocked_stride_permutation_code() {
+        // Table I last row: (L^{mn}_m ⊗ I_k) moves k-element packets.
+        let (m, n, k) = (2, 3, 4);
+        let x = random_complex(m * n * k, 6);
+        let got =
+            Formula::tensor(Formula::stride_l(m, n), Formula::identity(k)).apply_vec(&x);
+        for i in 0..m {
+            for j in 0..n {
+                for t in 0..k {
+                    assert_eq!(got[k * (i + m * j) + t], x[k * (n * i + j) + t]);
+                }
+            }
+        }
+    }
+
+    // ----- structural sanity -----------------------------------------------
+
+    #[test]
+    fn dft_matches_definition_on_impulse() {
+        // DFT of impulse at p is the sequence ω^{pk}.
+        let n = 8;
+        let x = bwfft_num::signal::impulse(n, 3);
+        let y = Formula::dft(n).apply_vec(&x);
+        for (k, v) in y.iter().enumerate() {
+            let expect = Complex64::root_of_unity((3 * k) as i64, n as u64);
+            assert!((*v - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rotation_maps_cube_correctly() {
+        // 2×3×4 cube: (z,y,x) → (x,z,y) in an m×k×n = 4×2×3 cube.
+        let (k, n, m) = (2, 3, 4);
+        let x: Vec<Complex64> = (0..k * n * m).map(|i| Complex64::new(i as f64, 0.0)).collect();
+        let y = Formula::rotation(k, n, m).apply_vec(&x);
+        for z in 0..k {
+            for yy in 0..n {
+                for xx in 0..m {
+                    let src = x[z * n * m + yy * m + xx];
+                    let dst = y[xx * k * n + z * n + yy];
+                    assert_eq!(src, dst);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_gather_window_semantics() {
+        let (n, b) = (12, 4);
+        let x = random_complex(b, 7);
+        for i in 0..n / b {
+            let s = Formula::scatter(n, b, i).apply_vec(&x);
+            assert_eq!(&s[i * b..(i + 1) * b], &x[..]);
+            assert_eq!(s.iter().filter(|c| **c != Complex64::ZERO).count(), {
+                x.iter().filter(|c| **c != Complex64::ZERO).count()
+            });
+            // G is the left inverse of S on its window.
+            let g = Formula::gather(n, b, i).apply_vec(&s);
+            assert_eq!(&g[..], &x[..]);
+        }
+    }
+
+    #[test]
+    fn rect_identity_pads_and_truncates() {
+        let x = random_complex(3, 8);
+        let padded = Formula::RectIdentity { rows: 5, cols: 3 }.apply_vec(&x);
+        assert_eq!(&padded[..3], &x[..]);
+        assert_eq!(padded[3], Complex64::ZERO);
+        assert_eq!(padded[4], Complex64::ZERO);
+        let trunc = Formula::RectIdentity { rows: 2, cols: 3 }.apply_vec(&x);
+        assert_eq!(&trunc[..], &x[..2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "composition dimension mismatch")]
+    fn compose_rejects_mismatched_dims() {
+        let _ = Formula::compose(vec![Formula::dft(4), Formula::dft(5)]);
+    }
+
+    #[test]
+    fn general_tensor_equals_matrix_kronecker() {
+        // (DFT_2 ⊗ DFT_3) against the dense Kronecker product.
+        let a = Formula::dft(2);
+        let b = Formula::dft(3);
+        let t = Formula::tensor(a.clone(), b.clone());
+        let x = random_complex(6, 9);
+        let got = t.apply_vec(&x);
+        // Dense Kronecker: y[i1*3+i2] = Σ_{j1,j2} A[i1,j1] B[i2,j2] x[j1*3+j2].
+        let mut expect = vec![Complex64::ZERO; 6];
+        for i1 in 0..2 {
+            for i2 in 0..3 {
+                let mut acc = Complex64::ZERO;
+                for j1 in 0..2 {
+                    for j2 in 0..3 {
+                        let av = Complex64::root_of_unity((i1 * j1) as i64, 2);
+                        let bv = Complex64::root_of_unity((i2 * j2) as i64, 3);
+                        acc += av * bv * x[j1 * 3 + j2];
+                    }
+                }
+                expect[i1 * 3 + i2] = acc;
+            }
+        }
+        assert_fft_close(&got, &expect);
+    }
+}

@@ -1,0 +1,378 @@
+//! The read/write matrices of §III-B and Table III.
+//!
+//! The paper separates each FFT stage into `W_{b,i} · Compute · R_{b,i}`:
+//! the *read matrix* `R_{b,i} = G_{knm,b,i}` streams a contiguous
+//! `b`-element block from memory into the cached buffer, and the *write
+//! matrix* `W_{b,i} = (K ⊗ I_μ) · S_{knm,b,i}` scatters the computed
+//! block back, folding the inter-stage reshape into the store stream.
+//!
+//! On two-socket systems the write matrices gain a global redistribution
+//! factor (Table III): `W² = (L^{sk·nm/μ}_{nm/μ} ⊗ I_{kμ/sk}) · (I_sk ⊗
+//! K ⊗ I_μ) · S` and `W³ = (L^{sk·k}_k ⊗ I_{mn/sk}) · (I_sk ⊗ K ⊗ I_μ) ·
+//! S`, which move data across the QPI/HT link while writing.
+
+use crate::formula::Formula;
+use crate::perm::PermOp;
+
+/// The full reshape permutation a stage's writes perform, possibly with
+/// a per-socket local part and a cross-socket global part.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StagePerm {
+    /// Single-socket: one structured permutation over the whole array.
+    Single(PermOp),
+    /// Dual/multi-socket (Table III): `global · (I_sockets ⊗ local)`.
+    TwoLevel {
+        sockets: usize,
+        /// Per-socket local rotation (acts on `size/sockets` points).
+        local: PermOp,
+        /// Cross-socket redistribution (acts on all points).
+        global: PermOp,
+    },
+}
+
+impl StagePerm {
+    pub fn size(&self) -> usize {
+        match self {
+            StagePerm::Single(p) => p.size(),
+            StagePerm::TwoLevel {
+                sockets,
+                local,
+                global,
+            } => {
+                debug_assert_eq!(sockets * local.size(), global.size());
+                global.size()
+            }
+        }
+    }
+
+    /// Destination of source element `s` (global index).
+    #[inline]
+    pub fn dst_of_src(&self, s: usize) -> usize {
+        match self {
+            StagePerm::Single(p) => p.dst_of_src(s),
+            StagePerm::TwoLevel {
+                local, global, ..
+            } => {
+                let ls = local.size();
+                let socket = s / ls;
+                let within = local.dst_of_src(s % ls);
+                global.dst_of_src(socket * ls + within)
+            }
+        }
+    }
+
+    /// Length of contiguous runs preserved by the permutation.
+    pub fn contiguous_run(&self) -> usize {
+        match self {
+            StagePerm::Single(p) => p.contiguous_run(),
+            StagePerm::TwoLevel { local, global, .. } => {
+                local.contiguous_run().min(global.contiguous_run())
+            }
+        }
+    }
+
+    /// Equivalent SPL formula (verification only).
+    pub fn as_formula(&self) -> Formula {
+        match self {
+            StagePerm::Single(p) => p.as_formula(),
+            StagePerm::TwoLevel {
+                sockets,
+                local,
+                global,
+            } => Formula::compose(vec![
+                global.as_formula(),
+                Formula::tensor(Formula::identity(*sockets), local.as_formula()),
+            ]),
+        }
+    }
+}
+
+/// `R_{b,i}`: reads the contiguous block `[i·b, (i+1)·b)` of an
+/// `n`-element array into the buffer.
+#[derive(Clone, Copy, Debug)]
+pub struct ReadMatrix {
+    pub n: usize,
+    pub b: usize,
+    pub i: usize,
+}
+
+impl ReadMatrix {
+    pub fn new(n: usize, b: usize, i: usize) -> Self {
+        assert!(b > 0 && n.is_multiple_of(b) && i < n / b);
+        Self { n, b, i }
+    }
+
+    /// Source (array) index feeding buffer slot `t`.
+    #[inline]
+    pub fn src_of_buf(&self, t: usize) -> usize {
+        debug_assert!(t < self.b);
+        self.i * self.b + t
+    }
+
+    pub fn as_formula(&self) -> Formula {
+        Formula::gather(self.n, self.b, self.i)
+    }
+
+    /// Copies the block out of `src` into `buf`.
+    pub fn load<T: Copy>(&self, src: &[T], buf: &mut [T]) {
+        assert_eq!(src.len(), self.n);
+        assert_eq!(buf.len(), self.b);
+        buf.copy_from_slice(&src[self.i * self.b..(self.i + 1) * self.b]);
+    }
+}
+
+/// `W_{b,i} = P · S_{n,b,i}`: scatters buffer slot `t` to array position
+/// `P(i·b + t)` where `P` is the stage's reshape permutation.
+#[derive(Clone, Copy, Debug)]
+pub struct WriteMatrix {
+    pub perm: StagePerm,
+    pub b: usize,
+    pub i: usize,
+}
+
+impl WriteMatrix {
+    pub fn new(perm: StagePerm, b: usize, i: usize) -> Self {
+        let n = perm.size();
+        assert!(b > 0 && n.is_multiple_of(b) && i < n / b);
+        Self { perm, b, i }
+    }
+
+    /// Destination (array) index for buffer slot `t`.
+    #[inline]
+    pub fn dst_of_buf(&self, t: usize) -> usize {
+        debug_assert!(t < self.b);
+        self.perm.dst_of_src(self.i * self.b + t)
+    }
+
+    pub fn as_formula(&self) -> Formula {
+        let n = self.perm.size();
+        Formula::compose(vec![
+            self.perm.as_formula(),
+            Formula::scatter(n, self.b, self.i),
+        ])
+    }
+
+    /// Scatters `buf` into `dst` (which must be the whole array).
+    pub fn store<T: Copy>(&self, buf: &[T], dst: &mut [T]) {
+        assert_eq!(buf.len(), self.b);
+        assert_eq!(dst.len(), self.perm.size());
+        let run = self.perm.contiguous_run().max(1);
+        let base = self.i * self.b;
+        if self.b.is_multiple_of(run) {
+            for (blk_idx, blk) in buf.chunks_exact(run).enumerate() {
+                let d = self.perm.dst_of_src(base + blk_idx * run);
+                dst[d..d + run].copy_from_slice(blk);
+            }
+        } else {
+            for (t, v) in buf.iter().enumerate() {
+                dst[self.perm.dst_of_src(base + t)] = *v;
+            }
+        }
+    }
+}
+
+/// Builders for the three single-socket 3D write permutations (§III-A):
+/// stage `s` writes with the blocked rotation that re-orients the cube
+/// for stage `s+1`. Dimensions are in *elements*; `m % mu == 0` required.
+pub fn fft3d_stage_perms(k: usize, n: usize, m: usize, mu: usize) -> [StagePerm; 3] {
+    assert!(mu > 0 && m.is_multiple_of(mu));
+    let mp = m / mu;
+    [
+        // Stage 1: k × n × (m/μ) packets → (m/μ) × k × n.
+        StagePerm::Single(PermOp::BlockedK { k, n, m: mp, blk: mu }),
+        // Stage 2: (m/μ) × k × n packets → n × (m/μ) × k.
+        StagePerm::Single(PermOp::BlockedK { k: mp, n: k, m: n, blk: mu }),
+        // Stage 3: n × (m/μ) × k packets → k × n × (m/μ)  (home).
+        StagePerm::Single(PermOp::BlockedK { k: n, n: mp, m: k, blk: mu }),
+    ]
+}
+
+/// The two 2D write permutations (§III-A, blocked transpositions).
+pub fn fft2d_stage_perms(n: usize, m: usize, mu: usize) -> [StagePerm; 2] {
+    assert!(mu > 0 && m.is_multiple_of(mu));
+    let mp = m / mu;
+    [
+        // Stage 1: n × (m/μ) packets → (m/μ) × n.
+        StagePerm::Single(PermOp::BlockedL { rows: n, cols: mp, blk: mu }),
+        // Stage 2: (m/μ) × n packets → n × (m/μ)  (home).
+        StagePerm::Single(PermOp::BlockedL { rows: mp, cols: n, blk: mu }),
+    ]
+}
+
+/// Table III: the three write permutations for an `sk`-socket slab–pencil
+/// 3D FFT. The data cube `k × n × m` is slab-split along `k`; stage 1
+/// writes locally, stages 2 and 3 redistribute across sockets.
+pub fn fft3d_numa_stage_perms(
+    k: usize,
+    n: usize,
+    m: usize,
+    mu: usize,
+    sk: usize,
+) -> [StagePerm; 3] {
+    assert!(mu > 0 && m.is_multiple_of(mu));
+    assert!(sk > 0 && k.is_multiple_of(sk) && n.is_multiple_of(sk));
+    let mp = m / mu;
+    let kl = k / sk; // local z-extent per socket
+    let nl = n / sk; // local y-extent per socket (after stage-2 split)
+    if sk == 1 {
+        return fft3d_stage_perms(k, n, m, mu);
+    }
+    [
+        // W¹: per-socket local rotation of the (k/sk) × n × (m/μ) slab.
+        StagePerm::TwoLevel {
+            sockets: sk,
+            local: PermOp::BlockedK { k: kl, n, m: mp, blk: mu },
+            global: PermOp::Id { n: k * n * m },
+        },
+        // W²: local rotation (m/μ) × (k/sk) × n → n × (m/μ) × (k/sk),
+        // then interleave the per-socket z-chunks:
+        // (L^{sk·nm/μ}_{nm/μ} ⊗ I_{kμ/sk}).
+        StagePerm::TwoLevel {
+            sockets: sk,
+            local: PermOp::BlockedK { k: mp, n: kl, m: n, blk: mu },
+            global: PermOp::BlockedL {
+                rows: sk,
+                cols: n * mp,
+                blk: kl * mu,
+            },
+        },
+        // W³: local rotation (n/sk) × (m/μ) × k → k × (n/sk) × (m/μ),
+        // then interleave the per-socket y-chunks: (L^{sk·k}_k ⊗ I_{mn/sk}).
+        StagePerm::TwoLevel {
+            sockets: sk,
+            local: PermOp::BlockedK { k: nl, n: mp, m: k, blk: mu },
+            global: PermOp::BlockedL {
+                rows: sk,
+                cols: k,
+                blk: nl * mp * mu,
+            },
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::to_dense;
+    use bwfft_num::signal::random_complex;
+    use bwfft_num::Complex64;
+
+    #[test]
+    fn read_matrix_slides_over_input() {
+        let x = random_complex(24, 1);
+        let mut buf = vec![Complex64::ZERO; 6];
+        for i in 0..4 {
+            let r = ReadMatrix::new(24, 6, i);
+            r.load(&x, &mut buf);
+            assert_eq!(&buf[..], &x[i * 6..(i + 1) * 6]);
+            assert_eq!(r.src_of_buf(0), i * 6);
+            // Formula agreement.
+            assert_eq!(r.as_formula().apply_vec(&x), buf);
+        }
+    }
+
+    #[test]
+    fn write_matrix_matches_formula_single_socket() {
+        // 3D stage-1 write on a 2×2×8 cube with μ=4.
+        let (k, n, m, mu) = (2usize, 2, 8, 4);
+        let perms = fft3d_stage_perms(k, n, m, mu);
+        let total = k * n * m;
+        let b = 8;
+        for i in 0..total / b {
+            let w = WriteMatrix::new(perms[0], b, i);
+            let buf = random_complex(b, 100 + i as u64);
+            let mut dst = vec![Complex64::ZERO; total];
+            w.store(&buf, &mut dst);
+            let by_formula = w.as_formula().apply_vec(&buf);
+            assert_eq!(dst, by_formula, "iteration {i}");
+        }
+    }
+
+    #[test]
+    fn iterating_all_blocks_reconstructs_full_permutation() {
+        // Σ_i W_{b,i} · R_{b,i} applied over all i equals the stage
+        // permutation applied to the whole array (§III-B).
+        let (k, n, m, mu) = (2usize, 4, 8, 4);
+        let total = k * n * m;
+        let b = 16;
+        let perm = fft3d_stage_perms(k, n, m, mu)[0];
+        let x = random_complex(total, 7);
+        let mut y = vec![Complex64::ZERO; total];
+        let mut buf = vec![Complex64::ZERO; b];
+        for i in 0..total / b {
+            ReadMatrix::new(total, b, i).load(&x, &mut buf);
+            WriteMatrix::new(perm, b, i).store(&buf, &mut y);
+        }
+        let mut expect = vec![Complex64::ZERO; total];
+        match perm {
+            StagePerm::Single(p) => p.permute(&x, &mut expect),
+            _ => unreachable!(),
+        }
+        assert_eq!(y, expect);
+    }
+
+    #[test]
+    fn fft2d_stage_perms_compose_to_identity() {
+        // T2 · T1 = I: the two blocked transpositions undo each other.
+        let (n, m, mu) = (4usize, 8, 4);
+        let [t1, t2] = fft2d_stage_perms(n, m, mu);
+        for s in 0..n * m {
+            assert_eq!(t2.dst_of_src(t1.dst_of_src(s)), s);
+        }
+    }
+
+    #[test]
+    fn fft3d_stage_perms_compose_to_identity() {
+        // R3 · R2 · R1 = I: three rotations return the cube home.
+        let (k, n, m, mu) = (2usize, 3, 8, 4);
+        let [r1, r2, r3] = fft3d_stage_perms(k, n, m, mu);
+        for s in 0..k * n * m {
+            assert_eq!(r3.dst_of_src(r2.dst_of_src(r1.dst_of_src(s))), s);
+        }
+    }
+
+    #[test]
+    fn numa_perms_reduce_to_single_socket_when_sk_is_1() {
+        let a = fft3d_numa_stage_perms(4, 4, 8, 4, 1);
+        let b = fft3d_stage_perms(4, 4, 8, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn table3_numa_write_perms_are_permutations() {
+        let (k, n, m, mu, sk) = (4usize, 4, 8, 2, 2);
+        for (idx, p) in fft3d_numa_stage_perms(k, n, m, mu, sk).iter().enumerate() {
+            let dense = to_dense(&p.as_formula());
+            assert!(dense.is_permutation(), "W{} not a permutation", idx + 1);
+        }
+    }
+
+    #[test]
+    fn table3_numa_perms_equal_single_socket_reshape_composition() {
+        // The three NUMA stage permutations, composed, must also return
+        // the cube to its home orientation (like the single-socket ones):
+        // the redistribution is exact.
+        let (k, n, m, mu, sk) = (4usize, 4, 8, 2, 2);
+        let [w1, w2, w3] = fft3d_numa_stage_perms(k, n, m, mu, sk);
+        for s in 0..k * n * m {
+            assert_eq!(
+                w3.dst_of_src(w2.dst_of_src(w1.dst_of_src(s))),
+                fft3d_stage_perms(k, n, m, mu)
+                    .iter()
+                    .fold(s, |acc, p| p.dst_of_src(acc)),
+                "NUMA and single-socket reshape chains must agree at {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn contiguous_runs_are_cacheline_sized() {
+        let (k, n, m, mu) = (2usize, 2, 16, 4);
+        for p in fft3d_stage_perms(k, n, m, mu) {
+            assert_eq!(p.contiguous_run(), mu);
+        }
+        for p in fft3d_numa_stage_perms(4, 4, 16, 4, 2) {
+            assert!(p.contiguous_run() >= mu);
+        }
+    }
+}

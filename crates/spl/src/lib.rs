@@ -1,0 +1,39 @@
+//! SPL — the Signal Processing Language of the SPIRAL project, as used by
+//! Popovici, Low & Franchetti (IPDPS 2018) to specify bandwidth-efficient
+//! multidimensional FFTs.
+//!
+//! SPL describes fast transform algorithms as factorizations of the dense
+//! transform matrix into structured sparse factors: identities `I_n`,
+//! tensor (Kronecker) products `A ⊗ B`, stride permutations `L`, 3D
+//! rotations `K`, twiddle diagonals `D`, and the gather/scatter windows
+//! `G`/`S` that the paper introduces to separate memory traffic from
+//! computation (§III-B).
+//!
+//! In this workspace SPL plays the same role it plays in the paper:
+//! it is the *specification* against which the fast kernels in
+//! `bwfft-kernels` and the double-buffered pipeline in `bwfft-core` are
+//! verified, and the source from which memory access streams are derived
+//! for the machine simulator (`dataflow`).
+//!
+//! # Conventions
+//!
+//! All operators act on column vectors from the left, so a composition
+//! `A · B` applies `B` first (as in the paper). Multi-dimensional data is
+//! row-major with the **last** dimension fastest: a `k × n × m` cube
+//! stores element `(z, y, x)` at `z·n·m + y·m + x`, matching Fig. 4.
+//!
+//! The stride permutation is parameterized by its input shape:
+//! [`Formula::stride_l(rows, cols)`] transposes a row-major `rows × cols`
+//! matrix into `cols × rows`, i.e. `y[j·rows + i] = x[i·cols + j]`.
+//! The paper's `L^{mn}_m` (Table I) is `stride_l(m, n)` in this crate.
+
+pub mod dataflow;
+pub mod dense;
+pub mod formula;
+pub mod gather_scatter;
+pub mod normalize;
+pub mod perm;
+pub mod rewrite;
+
+pub use formula::Formula;
+pub use perm::PermOp;

@@ -1,0 +1,230 @@
+//! Formula normalization and simplification.
+//!
+//! SPIRAL's rule engine rewrites SPL expressions before code
+//! generation; this module implements the subset this workspace
+//! benefits from: flattening nested compositions, eliding identities,
+//! fusing identity tensors (`I_m ⊗ I_n = I_{mn}`), collapsing inverse
+//! stride-permutation pairs (`L·L⁻¹ = I`), and merging adjacent
+//! diagonals. Normalization preserves semantics (proved by dense
+//! comparison in the tests) and gives a canonical-enough form for
+//! structural equality checks.
+
+use crate::formula::{DiagSpec, Formula};
+use bwfft_num::Complex64;
+use std::sync::Arc;
+
+/// Exhaustively simplifies a formula (bounded passes; each pass either
+/// shrinks the tree or leaves it fixed).
+pub fn simplify(f: &Formula) -> Formula {
+    let mut cur = f.clone();
+    for _ in 0..16 {
+        let next = simplify_once(&cur);
+        if structurally_equal(&next, &cur) {
+            return next;
+        }
+        cur = next;
+    }
+    cur
+}
+
+fn simplify_once(f: &Formula) -> Formula {
+    match f {
+        Formula::Tensor(a, b) => {
+            let a = simplify_once(a);
+            let b = simplify_once(b);
+            match (&a, &b) {
+                // I_m ⊗ I_n = I_{mn}.
+                (Formula::Identity(m), Formula::Identity(n)) => Formula::Identity(m * n),
+                // I_1 ⊗ B = B; A ⊗ I_1 = A.
+                (Formula::Identity(1), _) => b,
+                (_, Formula::Identity(1)) => a,
+                _ => Formula::tensor(a, b),
+            }
+        }
+        Formula::Compose(fs) => {
+            // Flatten nested compositions and simplify children.
+            let mut flat: Vec<Formula> = Vec::new();
+            for g in fs {
+                let g = simplify_once(g);
+                match g {
+                    Formula::Compose(inner) => flat.extend(inner),
+                    other => flat.push(other),
+                }
+            }
+            // Drop identities (square, size-preserving).
+            flat.retain(|g| !matches!(g, Formula::Identity(_)));
+            // Pairwise fusions right-to-left.
+            let mut out: Vec<Formula> = Vec::new();
+            for g in flat.into_iter() {
+                if let Some(prev) = out.last() {
+                    if let Some(fused) = fuse(prev, &g) {
+                        out.pop();
+                        out.push(fused);
+                        continue;
+                    }
+                }
+                out.push(g);
+            }
+            match out.len() {
+                0 => Formula::Identity(f.rows()),
+                1 => out.pop().unwrap(),
+                _ => Formula::Compose(out),
+            }
+        }
+        other => other.clone(),
+    }
+}
+
+/// Attempts to fuse the adjacent pair `a · b` (a applied after b).
+fn fuse(a: &Formula, b: &Formula) -> Option<Formula> {
+    match (a, b) {
+        // L(r,c) · L(c,r) = I.
+        (
+            Formula::StrideL { rows: r1, cols: c1 },
+            Formula::StrideL { rows: r2, cols: c2 },
+        ) if r1 == c2 && c1 == r2 => Some(Formula::Identity(r1 * c1)),
+        // diag · diag = diag of products.
+        (Formula::Diag(d1), Formula::Diag(d2)) if d1.len() == d2.len() => {
+            let prod: Vec<Complex64> =
+                (0..d1.len()).map(|i| d1.entry(i) * d2.entry(i)).collect();
+            Some(Formula::Diag(DiagSpec::Explicit(Arc::new(prod))))
+        }
+        _ => None,
+    }
+}
+
+/// Structural (syntactic) equality — not semantic; used as the
+/// fixed-point test and for cheap canonical-form comparisons.
+pub fn structurally_equal(a: &Formula, b: &Formula) -> bool {
+    match (a, b) {
+        (Formula::Identity(x), Formula::Identity(y)) => x == y,
+        (
+            Formula::RectIdentity { rows: r1, cols: c1 },
+            Formula::RectIdentity { rows: r2, cols: c2 },
+        ) => r1 == r2 && c1 == c2,
+        (Formula::Dft(x), Formula::Dft(y)) => x == y,
+        (Formula::Diag(x), Formula::Diag(y)) => {
+            x.len() == y.len() && (0..x.len()).all(|i| x.entry(i) == y.entry(i))
+        }
+        (
+            Formula::StrideL { rows: r1, cols: c1 },
+            Formula::StrideL { rows: r2, cols: c2 },
+        ) => r1 == r2 && c1 == c2,
+        (
+            Formula::Rotation { k: k1, n: n1, m: m1 },
+            Formula::Rotation { k: k2, n: n2, m: m2 },
+        ) => k1 == k2 && n1 == n2 && m1 == m2,
+        (Formula::Tensor(a1, b1), Formula::Tensor(a2, b2)) => {
+            structurally_equal(a1, a2) && structurally_equal(b1, b2)
+        }
+        (Formula::Compose(f1), Formula::Compose(f2)) => {
+            f1.len() == f2.len()
+                && f1.iter().zip(f2).all(|(x, y)| structurally_equal(x, y))
+        }
+        (
+            Formula::Scatter { n: n1, b: b1, i: i1 },
+            Formula::Scatter { n: n2, b: b2, i: i2 },
+        ) => n1 == n2 && b1 == b2 && i1 == i2,
+        (
+            Formula::Gather { n: n1, b: b1, i: i1 },
+            Formula::Gather { n: n2, b: b2, i: i2 },
+        ) => n1 == n2 && b1 == b2 && i1 == i2,
+        _ => false,
+    }
+}
+
+/// Number of nodes in the formula tree (simplification metric).
+pub fn node_count(f: &Formula) -> usize {
+    match f {
+        Formula::Tensor(a, b) => 1 + node_count(a) + node_count(b),
+        Formula::Compose(fs) => 1 + fs.iter().map(node_count).sum::<usize>(),
+        _ => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::assert_formulas_equal;
+    use crate::rewrite::{cooley_tukey, fft3d_blocked};
+
+    fn check_preserves(f: &Formula) {
+        let s = simplify(f);
+        assert_formulas_equal(f, &s);
+    }
+
+    #[test]
+    fn identity_tensors_fuse() {
+        let f = Formula::tensor(Formula::identity(3), Formula::identity(4));
+        let s = simplify(&f);
+        assert!(structurally_equal(&s, &Formula::identity(12)));
+    }
+
+    #[test]
+    fn unit_identities_vanish() {
+        let f = Formula::tensor(
+            Formula::identity(1),
+            Formula::tensor(Formula::dft(4), Formula::identity(1)),
+        );
+        let s = simplify(&f);
+        assert!(structurally_equal(&s, &Formula::dft(4)));
+    }
+
+    #[test]
+    fn inverse_stride_pairs_cancel() {
+        let f = Formula::compose(vec![
+            Formula::dft(12),
+            Formula::stride_l(3, 4),
+            Formula::stride_l(4, 3),
+        ]);
+        let s = simplify(&f);
+        assert!(structurally_equal(&s, &Formula::dft(12)), "{s}");
+        check_preserves(&f);
+    }
+
+    #[test]
+    fn nested_compositions_flatten() {
+        let f = Formula::compose(vec![
+            Formula::compose(vec![Formula::dft(4), Formula::identity(4)]),
+            Formula::compose(vec![Formula::stride_l(2, 2)]),
+        ]);
+        let s = simplify(&f);
+        assert!(matches!(&s, Formula::Compose(fs) if fs.len() == 2));
+        check_preserves(&f);
+    }
+
+    #[test]
+    fn diagonals_merge() {
+        use bwfft_num::Complex64;
+        let d1 = Formula::diag(vec![Complex64::new(2.0, 0.0); 4]);
+        let d2 = Formula::diag(vec![Complex64::new(0.0, 1.0); 4]);
+        let f = Formula::compose(vec![d1, d2]);
+        let s = simplify(&f);
+        assert!(matches!(&s, Formula::Diag(_)), "{s}");
+        check_preserves(&f);
+    }
+
+    #[test]
+    fn simplification_preserves_real_formulas() {
+        check_preserves(&cooley_tukey(4, 6));
+        check_preserves(&fft3d_blocked(2, 2, 4, 2));
+    }
+
+    #[test]
+    fn simplification_never_grows() {
+        for f in [
+            cooley_tukey(4, 4),
+            fft3d_blocked(2, 2, 4, 2),
+            Formula::tensor(Formula::identity(2), Formula::identity(8)),
+        ] {
+            assert!(node_count(&simplify(&f)) <= node_count(&f));
+        }
+    }
+
+    #[test]
+    fn pure_identity_composition_collapses() {
+        let f = Formula::compose(vec![Formula::identity(6), Formula::identity(6)]);
+        let s = simplify(&f);
+        assert!(structurally_equal(&s, &Formula::identity(6)));
+    }
+}

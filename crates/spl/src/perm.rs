@@ -1,0 +1,290 @@
+//! Permutation index maps for the data-reshape operators.
+//!
+//! The kernels and the machine simulator need the reshape operators
+//! (`L`, `K`, and their cacheline-blocked `⊗ I_μ` forms) as *index maps*
+//! `src → dst`, not as matrices. [`PermOp`] provides O(1) forward and
+//! inverse maps plus conversion back to a [`Formula`] so every map is
+//! verified against the algebra.
+
+use crate::Formula;
+
+/// A structured permutation on `0..size()`.
+///
+/// Semantics: `y[dst_of_src(s)] = x[s]` — i.e. `dst_of_src` says where a
+/// source element lands, matching `Formula::apply` of the corresponding
+/// formula.
+///
+/// ```
+/// use bwfft_spl::PermOp;
+///
+/// // Transpose a 2×3 matrix: element (0,1) at index 1 lands at (1,0),
+/// // index 1·2 + 0 = 2 in the 3×2 result.
+/// let l = PermOp::L { rows: 2, cols: 3 };
+/// assert_eq!(l.dst_of_src(1), 2);
+/// assert_eq!(l.src_of_dst(2), 1);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PermOp {
+    /// Identity on `n` points.
+    Id { n: usize },
+    /// Stride permutation transposing a row-major `rows × cols` matrix.
+    L { rows: usize, cols: usize },
+    /// Blocked stride permutation `L(rows, cols) ⊗ I_blk`: transposes a
+    /// `rows × cols` matrix of `blk`-element packets (cachelines).
+    BlockedL { rows: usize, cols: usize, blk: usize },
+    /// Rotation `K^{k,n}_m`: `k × n × m` cube → `m × k × n` cube,
+    /// `(z, y, x) → (x, z, y)`.
+    K { k: usize, n: usize, m: usize },
+    /// Blocked rotation `K^{k,n}_{m} ⊗ I_blk` over packets: the cube has
+    /// `k × n × m` packets of `blk` elements each. This is the paper's
+    /// `K^{k,n}_{m/μ} ⊗ I_μ` with `m = m_elems/μ`.
+    BlockedK { k: usize, n: usize, m: usize, blk: usize },
+}
+
+impl PermOp {
+    /// Number of points the permutation acts on.
+    pub fn size(&self) -> usize {
+        match *self {
+            PermOp::Id { n } => n,
+            PermOp::L { rows, cols } => rows * cols,
+            PermOp::BlockedL { rows, cols, blk } => rows * cols * blk,
+            PermOp::K { k, n, m } => k * n * m,
+            PermOp::BlockedK { k, n, m, blk } => k * n * m * blk,
+        }
+    }
+
+    /// Destination index of source element `s`.
+    #[inline]
+    pub fn dst_of_src(&self, s: usize) -> usize {
+        debug_assert!(s < self.size());
+        match *self {
+            PermOp::Id { .. } => s,
+            PermOp::L { rows, cols } => {
+                let i = s / cols;
+                let j = s % cols;
+                j * rows + i
+            }
+            PermOp::BlockedL { rows, cols, blk } => {
+                let packet = s / blk;
+                let off = s % blk;
+                let i = packet / cols;
+                let j = packet % cols;
+                (j * rows + i) * blk + off
+            }
+            PermOp::K { k, n, m } => {
+                let z = s / (n * m);
+                let y = (s / m) % n;
+                let x = s % m;
+                x * k * n + z * n + y
+            }
+            PermOp::BlockedK { k, n, m, blk } => {
+                let packet = s / blk;
+                let off = s % blk;
+                let z = packet / (n * m);
+                let y = (packet / m) % n;
+                let x = packet % m;
+                (x * k * n + z * n + y) * blk + off
+            }
+        }
+    }
+
+    /// Source index that lands at destination `d` (the inverse map).
+    ///
+    /// Note: for `L` forms the inverse is again an `L` (with `rows` and
+    /// `cols` swapped), but the inverse of a rotation `K` is the
+    /// *opposite* 3-cycle, which is not itself a `K`; the inverse map is
+    /// therefore computed directly rather than via a structured inverse.
+    #[inline]
+    pub fn src_of_dst(&self, d: usize) -> usize {
+        debug_assert!(d < self.size());
+        match *self {
+            PermOp::Id { .. } => d,
+            PermOp::L { rows, cols } => {
+                // dst = j·rows + i  ⇒  src = i·cols + j.
+                let j = d / rows;
+                let i = d % rows;
+                i * cols + j
+            }
+            PermOp::BlockedL { rows, cols, blk } => {
+                let packet = d / blk;
+                let off = d % blk;
+                let j = packet / rows;
+                let i = packet % rows;
+                (i * cols + j) * blk + off
+            }
+            PermOp::K { k, n, m } => {
+                // dst cube is m×k×n at (x, z, y) ⇒ src = z·n·m + y·m + x.
+                let x = d / (k * n);
+                let z = (d / n) % k;
+                let y = d % n;
+                z * n * m + y * m + x
+            }
+            PermOp::BlockedK { k, n, m, blk } => {
+                let packet = d / blk;
+                let off = d % blk;
+                let x = packet / (k * n);
+                let z = (packet / n) % k;
+                let y = packet % n;
+                (z * n * m + y * m + x) * blk + off
+            }
+        }
+    }
+
+    /// The equivalent SPL formula (for verification).
+    pub fn as_formula(&self) -> Formula {
+        match *self {
+            PermOp::Id { n } => Formula::identity(n),
+            PermOp::L { rows, cols } => Formula::stride_l(rows, cols),
+            PermOp::BlockedL { rows, cols, blk } => {
+                Formula::tensor(Formula::stride_l(rows, cols), Formula::identity(blk))
+            }
+            PermOp::K { k, n, m } => Formula::rotation(k, n, m),
+            PermOp::BlockedK { k, n, m, blk } => {
+                Formula::tensor(Formula::rotation(k, n, m), Formula::identity(blk))
+            }
+        }
+    }
+
+    /// Applies the permutation out-of-place: `y[dst] = x[src]`.
+    pub fn permute<T: Copy>(&self, x: &[T], y: &mut [T]) {
+        assert_eq!(x.len(), self.size());
+        assert_eq!(y.len(), self.size());
+        for (s, v) in x.iter().enumerate() {
+            y[self.dst_of_src(s)] = *v;
+        }
+    }
+
+    /// Length (in elements) of the maximal contiguous runs this
+    /// permutation preserves — `blk` for blocked forms, 1 for others.
+    /// This is the burst size the store stream can use.
+    pub fn contiguous_run(&self) -> usize {
+        match *self {
+            PermOp::Id { n } => n.max(1),
+            PermOp::L { .. } | PermOp::K { .. } => 1,
+            PermOp::BlockedL { blk, .. } | PermOp::BlockedK { blk, .. } => blk,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::{assert_formulas_equal, to_dense};
+    use bwfft_num::Complex64;
+
+    fn check_against_formula(p: PermOp) {
+        // The index map must agree with the formula interpreter.
+        let f = p.as_formula();
+        let n = p.size();
+        let x: Vec<Complex64> = (0..n).map(|i| Complex64::new(i as f64, 0.0)).collect();
+        let by_formula = f.apply_vec(&x);
+        let mut by_map = vec![Complex64::ZERO; n];
+        p.permute(&x, &mut by_map);
+        assert_eq!(by_formula, by_map, "{p:?}");
+        assert!(to_dense(&f).is_permutation(), "{p:?} not a permutation");
+    }
+
+    #[test]
+    fn maps_agree_with_formulas() {
+        check_against_formula(PermOp::Id { n: 7 });
+        check_against_formula(PermOp::L { rows: 3, cols: 5 });
+        check_against_formula(PermOp::BlockedL {
+            rows: 4,
+            cols: 2,
+            blk: 4,
+        });
+        check_against_formula(PermOp::K { k: 2, n: 3, m: 4 });
+        check_against_formula(PermOp::BlockedK {
+            k: 2,
+            n: 3,
+            m: 2,
+            blk: 4,
+        });
+    }
+
+    #[test]
+    fn inverses_roundtrip() {
+        let ops = [
+            PermOp::Id { n: 6 },
+            PermOp::L { rows: 4, cols: 6 },
+            PermOp::BlockedL {
+                rows: 3,
+                cols: 5,
+                blk: 2,
+            },
+            PermOp::K { k: 3, n: 4, m: 5 },
+            PermOp::BlockedK {
+                k: 2,
+                n: 2,
+                m: 3,
+                blk: 4,
+            },
+        ];
+        for p in ops {
+            for s in 0..p.size() {
+                assert_eq!(p.src_of_dst(p.dst_of_src(s)), s, "{p:?} src∘dst");
+                assert_eq!(p.dst_of_src(p.src_of_dst(s)), s, "{p:?} dst∘src");
+            }
+        }
+    }
+
+    #[test]
+    fn k_factorization_via_perm_composition() {
+        // K^{k,n}_m = (L^{mk}_m ⊗ I_n)(I_k ⊗ L^{mn}_m)  (paper §III-A).
+        // In this crate's parameterization:
+        //   K{k,n,m} = (L(k, m) ⊗ I_n) · (I_k ⊗ L(n, m)).
+        let (k, n, m) = (3, 4, 5);
+        let kf = Formula::rotation(k, n, m);
+        let step1 = Formula::tensor(Formula::identity(k), Formula::stride_l(n, m));
+        let step2 = Formula::tensor(Formula::stride_l(k, m), Formula::identity(n));
+        let composed = Formula::compose(vec![step2, step1]);
+        assert_formulas_equal(&kf, &composed);
+    }
+
+    #[test]
+    fn blocked_k_equals_k_on_packet_space() {
+        // BlockedK with blk=1 degenerates to K.
+        let a = PermOp::BlockedK {
+            k: 2,
+            n: 3,
+            m: 4,
+            blk: 1,
+        };
+        let b = PermOp::K { k: 2, n: 3, m: 4 };
+        for s in 0..a.size() {
+            assert_eq!(a.dst_of_src(s), b.dst_of_src(s));
+        }
+    }
+
+    #[test]
+    fn blocked_forms_preserve_runs() {
+        let p = PermOp::BlockedK {
+            k: 2,
+            n: 2,
+            m: 2,
+            blk: 4,
+        };
+        assert_eq!(p.contiguous_run(), 4);
+        // Elements within one packet stay adjacent and in order.
+        for packet in 0..8 {
+            let base = p.dst_of_src(packet * 4);
+            for off in 1..4 {
+                assert_eq!(p.dst_of_src(packet * 4 + off), base + off);
+            }
+        }
+    }
+
+    #[test]
+    fn l_round_trip_is_identity() {
+        // L(rows, cols) then L(cols, rows) is the identity — the paper's
+        // L^{mn}_m · L^{mn}_n = I_mn.
+        let p = PermOp::L { rows: 6, cols: 4 };
+        let q = PermOp::L { rows: 4, cols: 6 };
+        let x: Vec<u32> = (0..24).collect();
+        let mut t = vec![0u32; 24];
+        let mut y = vec![0u32; 24];
+        p.permute(&x, &mut t);
+        q.permute(&t, &mut y);
+        assert_eq!(x, y);
+    }
+}

@@ -1,0 +1,212 @@
+//! Rewrite rules: the factorizations the paper builds on, each proved
+//! against the dense semantics in the test suite.
+//!
+//! * Cooley–Tukey for 1D DFTs (§II-D),
+//! * pencil–pencil decompositions of 2D and 3D DFTs (§II-D),
+//! * the blocked-reshape stage decompositions of §III-A (the paper's
+//!   main display equations),
+//! * tensor and stride-permutation identities of §II-C.
+
+use crate::formula::Formula;
+use crate::gather_scatter::{fft2d_stage_perms, fft3d_stage_perms, StagePerm};
+
+/// Cooley–Tukey: `DFT_{mn} = (DFT_m ⊗ I_n) · D_{m,n} · (I_m ⊗ DFT_n) · L`
+/// where the initial stride permutation reads the input at stride `m`
+/// (this crate's `stride_l(n, m)`; the paper's `L^{mn}_m`).
+pub fn cooley_tukey(m: usize, n: usize) -> Formula {
+    assert!(m > 1 && n > 1);
+    Formula::compose(vec![
+        Formula::tensor(Formula::dft(m), Formula::identity(n)),
+        Formula::twiddle(m, n),
+        Formula::tensor(Formula::identity(m), Formula::dft(n)),
+        Formula::stride_l(n, m),
+    ])
+}
+
+/// Fully recursive Cooley–Tukey expansion of `DFT_n` into radix-2
+/// factors — demonstrates that the rewrite composes to any depth.
+pub fn cooley_tukey_radix2(n: usize) -> Formula {
+    assert!(bwfft_num::is_pow2(n));
+    if n <= 2 {
+        return Formula::dft(n);
+    }
+    let half = n / 2;
+    Formula::compose(vec![
+        Formula::tensor(Formula::dft(2), Formula::identity(half)),
+        Formula::twiddle(2, half),
+        Formula::tensor(Formula::identity(2), cooley_tukey_radix2(half)),
+        Formula::stride_l(half, 2),
+    ])
+}
+
+/// Pencil–pencil 2D DFT: `DFT_{n×m} = (DFT_n ⊗ I_m) · (I_n ⊗ DFT_m)`.
+pub fn mdft_pencil_2d(n: usize, m: usize) -> Formula {
+    Formula::compose(vec![
+        Formula::tensor(Formula::dft(n), Formula::identity(m)),
+        Formula::tensor(Formula::identity(n), Formula::dft(m)),
+    ])
+}
+
+/// Pencil–pencil 3D DFT (§II-D):
+/// `DFT_{k×n×m} = (DFT_k ⊗ I_{nm}) · (I_k ⊗ DFT_n ⊗ I_m) · (I_{kn} ⊗ DFT_m)`.
+pub fn mdft_pencil_3d(k: usize, n: usize, m: usize) -> Formula {
+    Formula::compose(vec![
+        Formula::tensor(Formula::dft(k), Formula::identity(n * m)),
+        Formula::tensor(
+            Formula::identity(k),
+            Formula::tensor(Formula::dft(n), Formula::identity(m)),
+        ),
+        Formula::tensor(Formula::identity(k * n), Formula::dft(m)),
+    ])
+}
+
+/// The reference 3D transform as a pure tensor: `DFT_k ⊗ DFT_n ⊗ DFT_m`.
+pub fn mdft_tensor_3d(k: usize, n: usize, m: usize) -> Formula {
+    Formula::tensor(
+        Formula::dft(k),
+        Formula::tensor(Formula::dft(n), Formula::dft(m)),
+    )
+}
+
+/// One stage of the blocked 2D decomposition (§III-A):
+/// stage 0: `(L^{mn/μ}_{m/μ} ⊗ I_μ) · (I_n ⊗ DFT_m)`
+/// stage 1: `(L^{mn/μ}_{n} ⊗ I_μ) · (I_{m/μ} ⊗ DFT_n ⊗ I_μ)`.
+pub fn fft2d_blocked_stage(n: usize, m: usize, mu: usize, stage: usize) -> Formula {
+    let perms = fft2d_stage_perms(n, m, mu);
+    let compute = match stage {
+        0 => Formula::tensor(Formula::identity(n), Formula::dft(m)),
+        1 => Formula::tensor(
+            Formula::identity(m / mu),
+            Formula::tensor(Formula::dft(n), Formula::identity(mu)),
+        ),
+        _ => panic!("2D FFT has stages 0 and 1"),
+    };
+    Formula::compose(vec![stage_perm_formula(&perms[stage]), compute])
+}
+
+/// One stage of the blocked 3D decomposition (§III-A, the paper's main
+/// display equation):
+/// stage 0: `(K^{k,n}_{m/μ} ⊗ I_μ) · (I_{kn} ⊗ DFT_m)`
+/// stage 1: `(K ⊗ I_μ) · (I_{mk/μ} ⊗ DFT_n ⊗ I_μ)`
+/// stage 2: `(K ⊗ I_μ) · (I_{nm/μ} ⊗ DFT_k ⊗ I_μ)`.
+pub fn fft3d_blocked_stage(k: usize, n: usize, m: usize, mu: usize, stage: usize) -> Formula {
+    let perms = fft3d_stage_perms(k, n, m, mu);
+    let compute = match stage {
+        0 => Formula::tensor(Formula::identity(k * n), Formula::dft(m)),
+        1 => Formula::tensor(
+            Formula::identity(m / mu * k),
+            Formula::tensor(Formula::dft(n), Formula::identity(mu)),
+        ),
+        2 => Formula::tensor(
+            Formula::identity(n * m / mu),
+            Formula::tensor(Formula::dft(k), Formula::identity(mu)),
+        ),
+        _ => panic!("3D FFT has stages 0, 1 and 2"),
+    };
+    Formula::compose(vec![stage_perm_formula(&perms[stage]), compute])
+}
+
+fn stage_perm_formula(p: &StagePerm) -> Formula {
+    p.as_formula()
+}
+
+/// The complete blocked 2D FFT: stage 1 then stage 0 (right to left).
+pub fn fft2d_blocked(n: usize, m: usize, mu: usize) -> Formula {
+    Formula::compose(vec![
+        fft2d_blocked_stage(n, m, mu, 1),
+        fft2d_blocked_stage(n, m, mu, 0),
+    ])
+}
+
+/// The complete blocked 3D FFT: stages 2 · 1 · 0.
+pub fn fft3d_blocked(k: usize, n: usize, m: usize, mu: usize) -> Formula {
+    Formula::compose(vec![
+        fft3d_blocked_stage(k, n, m, mu, 2),
+        fft3d_blocked_stage(k, n, m, mu, 1),
+        fft3d_blocked_stage(k, n, m, mu, 0),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::assert_formulas_equal;
+
+    #[test]
+    fn cooley_tukey_factors_the_dft() {
+        for (m, n) in [(2usize, 2usize), (2, 4), (4, 2), (3, 5), (4, 4), (8, 2)] {
+            assert_formulas_equal(&Formula::dft(m * n), &cooley_tukey(m, n));
+        }
+    }
+
+    #[test]
+    fn recursive_radix2_factors_the_dft() {
+        for n in [2usize, 4, 8, 16, 32] {
+            assert_formulas_equal(&Formula::dft(n), &cooley_tukey_radix2(n));
+        }
+    }
+
+    #[test]
+    fn tensor_commutation_identity() {
+        // A_m ⊗ B_n = L^{mn}_m (B_n ⊗ A_m) L^{mn}_n  (§II-C).
+        // In this crate's parameterization with A = DFT_m, B = DFT_n:
+        // lhs = DFT_m ⊗ DFT_n, rhs = stride_l(n, m) · (DFT_n ⊗ DFT_m) ·
+        // stride_l(m, n).
+        let (m, n) = (3usize, 4usize);
+        let lhs = Formula::tensor(Formula::dft(m), Formula::dft(n));
+        let rhs = Formula::compose(vec![
+            Formula::stride_l(n, m),
+            Formula::tensor(Formula::dft(n), Formula::dft(m)),
+            Formula::stride_l(m, n),
+        ]);
+        assert_formulas_equal(&lhs, &rhs);
+    }
+
+    #[test]
+    fn stride_permutations_invert() {
+        // L^{mn}_m · L^{mn}_n = I_{mn}.
+        let (m, n) = (4usize, 6usize);
+        let prod = Formula::compose(vec![
+            Formula::stride_l(n, m),
+            Formula::stride_l(m, n),
+        ]);
+        assert_formulas_equal(&prod, &Formula::identity(m * n));
+    }
+
+    #[test]
+    fn pencil_2d_is_the_2d_dft() {
+        let (n, m) = (4usize, 6usize);
+        let tensor = Formula::tensor(Formula::dft(n), Formula::dft(m));
+        assert_formulas_equal(&tensor, &mdft_pencil_2d(n, m));
+    }
+
+    #[test]
+    fn pencil_3d_is_the_3d_dft() {
+        let (k, n, m) = (2usize, 3usize, 4usize);
+        assert_formulas_equal(&mdft_tensor_3d(k, n, m), &mdft_pencil_3d(k, n, m));
+    }
+
+    #[test]
+    fn blocked_2d_decomposition_is_exact() {
+        // The paper's §III-A 2D equation with blocked transpositions.
+        for (n, m, mu) in [(4usize, 8usize, 4usize), (4, 8, 2), (8, 8, 4), (3, 4, 2)] {
+            let dense2d = Formula::tensor(Formula::dft(n), Formula::dft(m));
+            assert_formulas_equal(&dense2d, &fft2d_blocked(n, m, mu));
+        }
+    }
+
+    #[test]
+    fn blocked_3d_decomposition_is_exact() {
+        // The paper's §III-A 3D equation with blocked rotations.
+        for (k, n, m, mu) in [(2usize, 2usize, 4usize, 2usize), (2, 3, 4, 4), (3, 2, 4, 2)] {
+            assert_formulas_equal(&mdft_tensor_3d(k, n, m), &fft3d_blocked(k, n, m, mu));
+        }
+    }
+
+    #[test]
+    fn blocked_3d_with_mu_1_matches_elementwise_rotation() {
+        // μ = 1 degenerates to the element-wise rotation form.
+        let (k, n, m) = (2usize, 3usize, 2usize);
+        assert_formulas_equal(&mdft_tensor_3d(k, n, m), &fft3d_blocked(k, n, m, 1));
+    }
+}

@@ -1,0 +1,71 @@
+//! Quickstart: plan a 3D FFT, execute it with the soft-DMA pipeline on
+//! real threads, verify the result against an independent
+//! implementation, and estimate its performance on one of the paper's
+//! machines.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use bwfft::baselines::reference_impl::pencil_fft_3d;
+use bwfft::core::exec_sim::{simulate, SimOptions};
+use bwfft::core::{exec_real, Dims, FftPlan};
+use bwfft::kernels::Direction;
+use bwfft::machine::presets;
+use bwfft::num::compare::rel_l2_error;
+use bwfft::num::{signal, AlignedVec, Complex64};
+
+fn main() {
+    // --- 1. Plan -------------------------------------------------------
+    let (k, n, m) = (64usize, 64, 64);
+    let plan = FftPlan::builder(Dims::d3(k, n, m))
+        .buffer_elems(16 * 1024) // the LLC-resident block size b
+        .threads(2, 2) // 2 soft-DMA data threads + 2 compute threads
+        .build()
+        .expect("valid plan");
+    println!(
+        "planned {} — {} pipeline iterations per stage, buffer {} KiB",
+        plan.dims.label(),
+        plan.iters_per_socket(),
+        plan.buffer_elems * 16 / 1024
+    );
+
+    // --- 2. Execute on real threads -------------------------------------
+    let mut data = AlignedVec::from_slice(&signal::random_complex(k * n * m, 2024));
+    let original = data.clone();
+    let mut work = AlignedVec::<Complex64>::zeroed(data.len());
+    let t0 = std::time::Instant::now();
+    exec_real::execute(&plan, &mut data, &mut work);
+    let host_time = t0.elapsed();
+    println!("executed forward FFT on host threads in {host_time:.2?}");
+
+    // --- 3. Verify -------------------------------------------------------
+    let mut reference = original.clone();
+    pencil_fft_3d(&mut reference, k, n, m, Direction::Forward);
+    let err = rel_l2_error(&data, &reference);
+    println!("relative L2 error vs pencil-pencil reference: {err:.2e}");
+    assert!(err < 1e-12);
+
+    // Round-trip through the inverse plan.
+    let inv = FftPlan::builder(Dims::d3(k, n, m))
+        .buffer_elems(16 * 1024)
+        .threads(2, 2)
+        .direction(Direction::Inverse)
+        .build()
+        .unwrap();
+    exec_real::execute(&inv, &mut data, &mut work);
+    exec_real::normalize(&mut data);
+    let roundtrip = rel_l2_error(&data, &original);
+    println!("forward -> inverse -> /N round-trip error: {roundtrip:.2e}");
+    assert!(roundtrip < 1e-12);
+
+    // --- 4. Estimate performance on a paper machine ---------------------
+    let spec = presets::kaby_lake_7700k();
+    let big = FftPlan::builder(Dims::d3(512, 512, 512))
+        .buffer_elems(spec.default_buffer_elems())
+        .threads(4, 4)
+        .build()
+        .unwrap();
+    let sim = simulate(&big, &spec, &SimOptions::default());
+    println!("\nsimulated 512^3 on {}:", spec.name);
+    println!("  {}", sim.report);
+    println!("\nok.");
+}

@@ -1,0 +1,264 @@
+//! `bwfft-cli` — run and simulate bandwidth-efficient FFTs from the
+//! command line.
+//!
+//! ```text
+//! bwfft-cli machines
+//! bwfft-cli run --dims 64x64x64 --threads 2,2 [--buffer 16384] [--inverse] [--verify]
+//! bwfft-cli simulate --dims 512x512x512 --machine kabylake [--sockets 2] [--baselines]
+//! bwfft-cli stream --machine haswell2667
+//! ```
+
+use bwfft::baselines::{reference_impl, simulate_baseline, BaselineKind};
+use bwfft::core::exec_sim::{simulate, SimOptions};
+use bwfft::core::{exec_real, Dims, FftPlan};
+use bwfft::kernels::Direction;
+use bwfft::machine::stream::stream_triad;
+use bwfft::machine::{presets, MachineSpec};
+use bwfft::num::compare::rel_l2_error;
+use bwfft::num::{signal, AlignedVec, Complex64};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  bwfft-cli machines
+  bwfft-cli run --dims KxNxM [--threads D,C] [--buffer B] [--inverse] [--verify]
+  bwfft-cli simulate --dims KxNxM --machine NAME [--sockets S] [--baselines]
+  bwfft-cli stream --machine NAME
+machines: kabylake | haswell4770 | amdfx | haswell2667 | opteron6276";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err("missing command".into());
+    };
+    let opts = parse_flags(&args[1..])?;
+    match cmd.as_str() {
+        "machines" => {
+            for spec in presets::all() {
+                println!(
+                    "{:<36} {} sockets, {} threads, {} MB LLC, {} GB/s STREAM",
+                    spec.name,
+                    spec.sockets,
+                    spec.total_threads(),
+                    spec.llc().size_bytes >> 20,
+                    spec.total_dram_bw_gbs()
+                );
+            }
+            Ok(())
+        }
+        "run" => cmd_run(&opts),
+        "simulate" => cmd_simulate(&opts),
+        "stream" => {
+            let spec = machine_by_name(opts.get("machine").ok_or("--machine required")?)?;
+            let r = stream_triad(&spec, 1 << 24);
+            println!(
+                "{}: triad {:.1} GB/s ({:.1} per socket)",
+                spec.name, r.triad_gbs, r.per_socket_gbs
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn cmd_run(opts: &HashMap<String, String>) -> Result<(), String> {
+    let dims = parse_dims(opts.get("dims").ok_or("--dims required")?)?;
+    let (p_d, p_c) = opts
+        .get("threads")
+        .map(|s| parse_pair(s))
+        .transpose()?
+        .unwrap_or((2, 2));
+    let mut builder = FftPlan::builder(dims).threads(p_d, p_c);
+    if let Some(b) = opts.get("buffer") {
+        builder = builder.buffer_elems(b.parse().map_err(|_| "bad --buffer")?);
+    }
+    if opts.contains_key("inverse") {
+        builder = builder.direction(Direction::Inverse);
+    }
+    let plan = builder.build().map_err(|e| e.to_string())?;
+    let total = dims.total();
+    println!(
+        "running {} with {} data + {} compute threads, b = {} elems, {} pipeline iterations/stage",
+        dims.label(),
+        plan.p_d,
+        plan.p_c,
+        plan.buffer_elems,
+        plan.iters_per_socket()
+    );
+    let mut data = AlignedVec::from_slice(&signal::random_complex(total, 42));
+    let original = data.clone();
+    let mut work = AlignedVec::<Complex64>::zeroed(total);
+    let t0 = std::time::Instant::now();
+    exec_real::execute(&plan, &mut data, &mut work);
+    let dt = t0.elapsed();
+    let gflops = plan.pseudo_flops() / dt.as_nanos() as f64;
+    println!("done in {dt:.2?} — {gflops:.2} pseudo-Gflop/s on this host");
+    if opts.contains_key("verify") {
+        let mut reference = original.clone();
+        match dims {
+            Dims::Three { k, n, m } => reference_impl::pencil_fft_3d(
+                &mut reference,
+                k,
+                n,
+                m,
+                plan.dir,
+            ),
+            Dims::Two { n, m } => {
+                reference_impl::pencil_fft_2d(&mut reference, n, m, plan.dir)
+            }
+        }
+        let err = rel_l2_error(&data, &reference);
+        println!("verification vs pencil-pencil reference: rel L2 error = {err:.2e}");
+        if err > 1e-11 {
+            return Err("verification FAILED".into());
+        }
+        println!("verification passed");
+    }
+    Ok(())
+}
+
+fn cmd_simulate(opts: &HashMap<String, String>) -> Result<(), String> {
+    let dims = parse_dims(opts.get("dims").ok_or("--dims required")?)?;
+    let spec = machine_by_name(opts.get("machine").ok_or("--machine required")?)?;
+    let sockets: usize = opts
+        .get("sockets")
+        .map(|s| s.parse().map_err(|_| "bad --sockets"))
+        .transpose()?
+        .unwrap_or(spec.sockets);
+    let p = spec.total_threads() * sockets / spec.sockets;
+    let plan = FftPlan::builder(dims)
+        .buffer_elems(spec.default_buffer_elems())
+        .threads(p / 2, p - p / 2)
+        .sockets(sockets)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let r = simulate(&plan, &spec, &SimOptions::default());
+    println!("{}", r.report);
+    for s in &r.stages {
+        println!(
+            "  stage {}: {:.2} ms, {:.2} GB DRAM, {:.2} GB link",
+            s.stage,
+            s.time_ns / 1e6,
+            s.dram_bytes / 1e9,
+            s.link_bytes / 1e9
+        );
+    }
+    if opts.contains_key("baselines") {
+        for kind in [BaselineKind::MklLike, BaselineKind::FftwLike, BaselineKind::SlabPencil] {
+            let b = simulate_baseline(kind, dims, &spec);
+            println!("{b}");
+        }
+    }
+    Ok(())
+}
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut out = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        let Some(name) = a.strip_prefix("--") else {
+            return Err(format!("unexpected argument `{a}`"));
+        };
+        // Boolean flags take no value.
+        if matches!(name, "inverse" | "verify" | "baselines") {
+            out.insert(name.to_string(), String::new());
+            i += 1;
+        } else {
+            let v = args
+                .get(i + 1)
+                .ok_or_else(|| format!("--{name} needs a value"))?;
+            out.insert(name.to_string(), v.clone());
+            i += 2;
+        }
+    }
+    Ok(out)
+}
+
+fn parse_dims(s: &str) -> Result<Dims, String> {
+    let parts: Vec<usize> = s
+        .split('x')
+        .map(|p| p.parse().map_err(|_| format!("bad dimension `{p}`")))
+        .collect::<Result<_, _>>()?;
+    match parts[..] {
+        [n, m] => Ok(Dims::d2(n, m)),
+        [k, n, m] => Ok(Dims::d3(k, n, m)),
+        _ => Err("dims must be NxM or KxNxM".into()),
+    }
+}
+
+fn parse_pair(s: &str) -> Result<(usize, usize), String> {
+    let (a, b) = s.split_once(',').ok_or("threads must be D,C")?;
+    Ok((
+        a.parse().map_err(|_| "bad thread count")?,
+        b.parse().map_err(|_| "bad thread count")?,
+    ))
+}
+
+fn machine_by_name(name: &str) -> Result<MachineSpec, String> {
+    match name {
+        "kabylake" => Ok(presets::kaby_lake_7700k()),
+        "haswell4770" => Ok(presets::haswell_4770k()),
+        "amdfx" => Ok(presets::amd_fx_8350()),
+        "haswell2667" => Ok(presets::haswell_2667v3_2s()),
+        "opteron6276" => Ok(presets::amd_opteron_6276_2s()),
+        other => Err(format!("unknown machine `{other}` (see `bwfft-cli machines`)")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dims_parse() {
+        assert_eq!(parse_dims("64x32").unwrap(), Dims::d2(64, 32));
+        assert_eq!(parse_dims("8x16x32").unwrap(), Dims::d3(8, 16, 32));
+        assert!(parse_dims("8").is_err());
+        assert!(parse_dims("axb").is_err());
+    }
+
+    #[test]
+    fn flags_parse() {
+        let args: Vec<String> = ["--dims", "8x8x8", "--verify", "--threads", "2,2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let f = parse_flags(&args).unwrap();
+        assert_eq!(f.get("dims").unwrap(), "8x8x8");
+        assert!(f.contains_key("verify"));
+        assert_eq!(parse_pair(f.get("threads").unwrap()).unwrap(), (2, 2));
+    }
+
+    #[test]
+    fn machine_lookup() {
+        assert!(machine_by_name("kabylake").is_ok());
+        assert!(machine_by_name("nonesuch").is_err());
+    }
+
+    #[test]
+    fn run_command_executes_and_verifies() {
+        let args: Vec<String> = ["run", "--dims", "8x8x16", "--threads", "1,1", "--verify"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        run(&args).unwrap();
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run(&["frobnicate".to_string()]).is_err());
+    }
+}

@@ -1,0 +1,44 @@
+//! # bwfft — large bandwidth-efficient FFTs
+//!
+//! A Rust reproduction of Popovici, Low & Franchetti, *"Large
+//! Bandwidth-Efficient FFTs on Multicore and Multi-Socket Systems"*
+//! (IPDPS 2018): multidimensional FFTs that repurpose half the hardware
+//! threads as soft DMA engines, double-buffering blocks through the
+//! last-level cache while the remaining threads compute, with the
+//! inter-stage reshape folded into non-temporal stores.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`num`] | complex scalars, aligned buffers, error norms |
+//! | [`spl`] | the SPL/Kronecker formula language and rewrite rules |
+//! | [`kernels`] | Stockham/radix-2 kernels, layouts, blocked reshapes |
+//! | [`machine`] | simulated multicore/multi-socket machines (§V presets) |
+//! | [`pipeline`] | Table II schedules, thread roles, the real executor |
+//! | [`core`] | the double-buffered 2D/3D FFT plans and both executors |
+//! | [`baselines`] | MKL-like / FFTW-like / slab–pencil comparators |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bwfft::core::{Dims, FftPlan};
+//! use bwfft::num::{signal, AlignedVec, Complex64};
+//!
+//! let plan = FftPlan::builder(Dims::d3(32, 32, 32))
+//!     .buffer_elems(4096)
+//!     .threads(2, 2)
+//!     .build()
+//!     .unwrap();
+//! let mut data = AlignedVec::from_slice(&signal::random_complex(32 * 32 * 32, 1));
+//! let mut work = AlignedVec::<Complex64>::zeroed(data.len());
+//! bwfft::core::exec_real::execute(&plan, &mut data, &mut work);
+//! ```
+
+pub use bwfft_baselines as baselines;
+pub use bwfft_core as core;
+pub use bwfft_kernels as kernels;
+pub use bwfft_machine as machine;
+pub use bwfft_num as num;
+pub use bwfft_pipeline as pipeline;
+pub use bwfft_spl as spl;

@@ -1,0 +1,198 @@
+//! End-to-end integration tests: plan → real threaded execution →
+//! verification against independent implementations, across
+//! dimensions, thread splits, buffer sizes and socket decompositions.
+
+use bwfft::baselines::reference_impl::{pencil_fft_2d, pencil_fft_3d, slab_pencil_fft_3d};
+use bwfft::core::{exec_real, Dims, FftPlan};
+use bwfft::kernels::reference::{dft2_naive, dft3_naive};
+use bwfft::kernels::Direction;
+use bwfft::num::compare::{assert_fft_close, rel_l2_error};
+use bwfft::num::signal::random_complex;
+use bwfft::num::Complex64;
+
+fn run_plan(plan: &FftPlan, x: &[Complex64]) -> Vec<Complex64> {
+    let mut data = x.to_vec();
+    let mut work = vec![Complex64::ZERO; x.len()];
+    exec_real::execute(plan, &mut data, &mut work);
+    data
+}
+
+#[test]
+fn full_stack_3d_against_naive_oracle() {
+    let (k, n, m) = (8usize, 16, 8);
+    let x = random_complex(k * n * m, 900);
+    let plan = FftPlan::builder(Dims::d3(k, n, m))
+        .buffer_elems(128)
+        .threads(2, 2)
+        .build()
+        .unwrap();
+    assert_fft_close(&run_plan(&plan, &x), &dft3_naive(&x, k, n, m, Direction::Forward));
+}
+
+#[test]
+fn full_stack_2d_against_naive_oracle() {
+    let (n, m) = (32usize, 16);
+    let x = random_complex(n * m, 901);
+    let plan = FftPlan::builder(Dims::d2(n, m))
+        .buffer_elems(128)
+        .threads(2, 2)
+        .build()
+        .unwrap();
+    assert_fft_close(&run_plan(&plan, &x), &dft2_naive(&x, n, m, Direction::Forward));
+}
+
+#[test]
+fn medium_3d_against_pencil_and_slab() {
+    // Three independent algorithms agree at a size where the naive
+    // oracle is too slow.
+    let (k, n, m) = (32usize, 64, 32);
+    let x = random_complex(k * n * m, 902);
+    let plan = FftPlan::builder(Dims::d3(k, n, m))
+        .buffer_elems(8192)
+        .threads(2, 2)
+        .build()
+        .unwrap();
+    let ours = run_plan(&plan, &x);
+    let mut pencil = x.clone();
+    pencil_fft_3d(&mut pencil, k, n, m, Direction::Forward);
+    let mut slab = x.clone();
+    slab_pencil_fft_3d(&mut slab, k, n, m, Direction::Forward);
+    assert_fft_close(&ours, &pencil);
+    assert_fft_close(&ours, &slab);
+}
+
+#[test]
+fn medium_2d_against_pencil() {
+    let (n, m) = (128usize, 64);
+    let x = random_complex(n * m, 903);
+    let plan = FftPlan::builder(Dims::d2(n, m))
+        .buffer_elems(1024)
+        .threads(3, 2)
+        .build()
+        .unwrap();
+    let ours = run_plan(&plan, &x);
+    let mut pencil = x.clone();
+    pencil_fft_2d(&mut pencil, n, m, Direction::Forward);
+    assert_fft_close(&ours, &pencil);
+}
+
+#[test]
+fn result_is_independent_of_execution_configuration() {
+    // Thread counts, buffer sizes and socket splits must not change a
+    // single bit of the output (same pencil kernels, same order).
+    let (k, n, m) = (16usize, 16, 16);
+    let x = random_complex(k * n * m, 904);
+    let reference = run_plan(
+        &FftPlan::builder(Dims::d3(k, n, m))
+            .buffer_elems(256)
+            .threads(1, 1)
+            .build()
+            .unwrap(),
+        &x,
+    );
+    for (b, p_d, p_c, sk) in [
+        (256usize, 2usize, 2usize, 1usize),
+        (512, 4, 4, 1),
+        (1024, 1, 3, 1),
+        (256, 2, 2, 2),
+        (512, 2, 4, 2),
+    ] {
+        let plan = FftPlan::builder(Dims::d3(k, n, m))
+            .buffer_elems(b)
+            .threads(p_d, p_c)
+            .sockets(sk)
+            .build()
+            .unwrap();
+        let got = run_plan(&plan, &x);
+        assert_eq!(got, reference, "b={b} p_d={p_d} p_c={p_c} sk={sk}");
+    }
+}
+
+#[test]
+fn inverse_of_forward_is_identity_across_shapes() {
+    for (k, n, m) in [(8usize, 8usize, 8usize), (4, 16, 8), (16, 4, 8)] {
+        let x = random_complex(k * n * m, 905);
+        let fwd = FftPlan::builder(Dims::d3(k, n, m))
+            .buffer_elems(128)
+            .threads(2, 2)
+            .build()
+            .unwrap();
+        let inv = FftPlan::builder(Dims::d3(k, n, m))
+            .buffer_elems(128)
+            .threads(2, 2)
+            .direction(Direction::Inverse)
+            .build()
+            .unwrap();
+        let mut data = run_plan(&fwd, &x);
+        let mut work = vec![Complex64::ZERO; x.len()];
+        exec_real::execute(&inv, &mut data, &mut work);
+        exec_real::normalize(&mut data);
+        assert_fft_close(&data, &x);
+    }
+}
+
+#[test]
+fn parseval_energy_conservation_3d() {
+    let (k, n, m) = (16usize, 8, 16);
+    let total = (k * n * m) as f64;
+    let x = random_complex(k * n * m, 906);
+    let plan = FftPlan::builder(Dims::d3(k, n, m))
+        .buffer_elems(256)
+        .threads(2, 2)
+        .build()
+        .unwrap();
+    let y = run_plan(&plan, &x);
+    let ex: f64 = x.iter().map(|c| c.norm_sqr()).sum();
+    let ey: f64 = y.iter().map(|c| c.norm_sqr()).sum();
+    assert!((ey - total * ex).abs() / (total * ex) < 1e-12);
+}
+
+#[test]
+fn shift_theorem_3d() {
+    // Circularly shifting the input along x multiplies bin (0,0,f)
+    // by ω^{f·shift}.
+    let (k, n, m) = (4usize, 4, 32);
+    let x = random_complex(k * n * m, 907);
+    let mut shifted = x.clone();
+    // shift by 1 along the fastest dimension within each row
+    for row in shifted.chunks_exact_mut(m) {
+        row.rotate_right(1);
+    }
+    let plan = FftPlan::builder(Dims::d3(k, n, m))
+        .buffer_elems(128)
+        .threads(1, 1)
+        .build()
+        .unwrap();
+    let fx = run_plan(&plan, &x);
+    let fs = run_plan(&plan, &shifted);
+    for z in 0..k {
+        for y in 0..n {
+            for f in 0..m {
+                let idx = z * n * m + y * m + f;
+                let w = Complex64::root_of_unity(f as i64, m as u64);
+                let expect = fx[idx] * w;
+                assert!(
+                    (fs[idx] - expect).abs() < 1e-9 * (1.0 + expect.abs()),
+                    "bin ({z},{y},{f})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn large_host_transform_is_stable() {
+    // 64³ (4 MiB working set): error stays at round-off scale.
+    let (k, n, m) = (64usize, 64, 64);
+    let x = random_complex(k * n * m, 908);
+    let plan = FftPlan::builder(Dims::d3(k, n, m))
+        .buffer_elems(32 * 1024)
+        .threads(2, 2)
+        .build()
+        .unwrap();
+    let ours = run_plan(&plan, &x);
+    let mut pencil = x.clone();
+    pencil_fft_3d(&mut pencil, k, n, m, Direction::Forward);
+    let err = rel_l2_error(&ours, &pencil);
+    assert!(err < 1e-13, "err = {err:e}");
+}

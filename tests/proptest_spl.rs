@@ -1,0 +1,126 @@
+//! Property-based tests over the SPL formalism: permutation structure,
+//! gather/scatter coverage, and rewrite identities at random shapes.
+
+use bwfft::num::Complex64;
+use bwfft::spl::dense::{assert_formulas_equal, to_dense};
+use bwfft::spl::gather_scatter::{
+    fft3d_numa_stage_perms, fft3d_stage_perms, ReadMatrix, WriteMatrix,
+};
+use bwfft::spl::rewrite::{cooley_tukey, fft3d_blocked, mdft_tensor_3d};
+use bwfft::spl::{Formula, PermOp};
+use proptest::prelude::*;
+
+fn small_pow2() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(2usize), Just(4), Just(8)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn stride_permutation_roundtrips(rows in 1usize..9, cols in 1usize..9) {
+        let p = PermOp::L { rows, cols };
+        for s in 0..p.size() {
+            let d = p.dst_of_src(s);
+            prop_assert!(d < p.size());
+            prop_assert_eq!(p.src_of_dst(d), s);
+        }
+    }
+
+    #[test]
+    fn blocked_rotation_roundtrips(
+        k in 1usize..5,
+        n in 1usize..5,
+        m in 1usize..5,
+        blk in prop_oneof![Just(1usize), Just(2), Just(4)],
+    ) {
+        let p = PermOp::BlockedK { k, n, m, blk };
+        let mut seen = vec![false; p.size()];
+        for s in 0..p.size() {
+            let d = p.dst_of_src(s);
+            prop_assert!(!seen[d], "collision at {d}");
+            seen[d] = true;
+            prop_assert_eq!(p.src_of_dst(d), s);
+        }
+        prop_assert!(seen.iter().all(|x| *x));
+    }
+
+    #[test]
+    fn rotations_compose_to_identity(
+        k in small_pow2(),
+        n in small_pow2(),
+        m in prop_oneof![Just(4usize), Just(8)],
+    ) {
+        let [r1, r2, r3] = fft3d_stage_perms(k, n, m, 2);
+        for s in 0..k * n * m {
+            prop_assert_eq!(r3.dst_of_src(r2.dst_of_src(r1.dst_of_src(s))), s);
+        }
+    }
+
+    #[test]
+    fn numa_chain_equals_identity(
+        k in prop_oneof![Just(4usize), Just(8)],
+        n in prop_oneof![Just(4usize), Just(8)],
+        m in prop_oneof![Just(4usize), Just(8)],
+    ) {
+        let [w1, w2, w3] = fft3d_numa_stage_perms(k, n, m, 2, 2);
+        for s in 0..k * n * m {
+            prop_assert_eq!(w3.dst_of_src(w2.dst_of_src(w1.dst_of_src(s))), s);
+        }
+    }
+
+    #[test]
+    fn read_write_blocks_tile_the_array(
+        k in small_pow2(),
+        n in small_pow2(),
+        m in prop_oneof![Just(8usize), Just(16)],
+        b_frac in prop_oneof![Just(2usize), Just(4)],
+    ) {
+        let total = k * n * m;
+        let b = (total / b_frac).max(m);
+        prop_assume!(total % b == 0);
+        let perm = fft3d_stage_perms(k, n, m, 2)[0];
+        // Applying all blocks' R then W reconstructs the permuted array.
+        let x: Vec<Complex64> =
+            (0..total).map(|i| Complex64::new(i as f64, -(i as f64))).collect();
+        let mut buf = vec![Complex64::ZERO; b];
+        let mut y = vec![Complex64::ZERO; total];
+        for i in 0..total / b {
+            ReadMatrix::new(total, b, i).load(&x, &mut buf);
+            WriteMatrix::new(perm, b, i).store(&buf, &mut y);
+        }
+        let mut expect = vec![Complex64::ZERO; total];
+        match perm {
+            bwfft::spl::gather_scatter::StagePerm::Single(p) => p.permute(&x, &mut expect),
+            _ => unreachable!(),
+        }
+        prop_assert_eq!(y, expect);
+    }
+
+    #[test]
+    fn cooley_tukey_factors_random_splits(m in 2usize..7, n in 2usize..7) {
+        assert_formulas_equal(&Formula::dft(m * n), &cooley_tukey(m, n));
+    }
+
+    #[test]
+    fn blocked_3d_equals_tensor_at_random_shapes(
+        k in Just(2usize),
+        n in small_pow2(),
+        m in prop_oneof![Just(4usize), Just(8)],
+        mu in prop_oneof![Just(1usize), Just(2), Just(4)],
+    ) {
+        prop_assume!(m % mu == 0);
+        assert_formulas_equal(&mdft_tensor_3d(k, n, m), &fft3d_blocked(k, n, m, mu));
+    }
+
+    #[test]
+    fn all_stage_perms_are_permutation_matrices(
+        k in small_pow2(),
+        n in small_pow2(),
+        m in prop_oneof![Just(4usize), Just(8)],
+    ) {
+        for p in fft3d_stage_perms(k, n, m, 2) {
+            prop_assert!(to_dense(&p.as_formula()).is_permutation());
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! The executable system must agree with its algebraic specification:
+//! the real double-buffered executor is checked against the SPL
+//! formulas of §III-A applied by the interpreter.
+
+use bwfft::core::{exec_real, Dims, FftPlan};
+use bwfft::num::compare::assert_fft_close;
+use bwfft::num::signal::random_complex;
+use bwfft::num::Complex64;
+use bwfft::spl::rewrite::{fft2d_blocked, fft3d_blocked, fft3d_blocked_stage};
+use bwfft::spl::Formula;
+
+#[test]
+fn executor_implements_the_blocked_3d_formula() {
+    let (k, n, m, mu) = (4usize, 4, 8, 4);
+    let x = random_complex(k * n * m, 950);
+    let by_formula = fft3d_blocked(k, n, m, mu).apply_vec(&x);
+    let plan = FftPlan::builder(Dims::d3(k, n, m))
+        .buffer_elems(32)
+        .threads(1, 1)
+        .build()
+        .unwrap();
+    let mut data = x.clone();
+    let mut work = vec![Complex64::ZERO; x.len()];
+    exec_real::execute(&plan, &mut data, &mut work);
+    assert_fft_close(&data, &by_formula);
+}
+
+#[test]
+fn executor_implements_the_blocked_2d_formula() {
+    let (n, m, mu) = (8usize, 8, 4);
+    let x = random_complex(n * m, 951);
+    let by_formula = fft2d_blocked(n, m, mu).apply_vec(&x);
+    let plan = FftPlan::builder(Dims::d2(n, m))
+        .buffer_elems(32)
+        .threads(1, 1)
+        .build()
+        .unwrap();
+    let mut data = x.clone();
+    let mut work = vec![Complex64::ZERO; x.len()];
+    exec_real::execute(&plan, &mut data, &mut work);
+    assert_fft_close(&data, &by_formula);
+}
+
+#[test]
+fn single_stage_of_executor_matches_stage_formula() {
+    // Drive only stage 0 by comparing the executor's first-stage
+    // output against the stage formula: run a plan whose later stages
+    // are identity-sized (k = n = 1 is invalid, so instead compare the
+    // composition order: formula stage0 then stages 1–2 equals the full
+    // formula — an associativity check tying core's stage order to the
+    // SPL factorization).
+    let (k, n, m, mu) = (2usize, 4, 8, 4);
+    let x = random_complex(k * n * m, 952);
+    let s0 = fft3d_blocked_stage(k, n, m, mu, 0).apply_vec(&x);
+    let s1 = fft3d_blocked_stage(k, n, m, mu, 1).apply_vec(&s0);
+    let s2 = fft3d_blocked_stage(k, n, m, mu, 2).apply_vec(&s1);
+    let full = fft3d_blocked(k, n, m, mu).apply_vec(&x);
+    assert_fft_close(&s2, &full);
+}
+
+#[test]
+fn blocked_formula_equals_plain_tensor_dft() {
+    // The full chain: executor == blocked formula == pure tensor DFT.
+    let (k, n, m, mu) = (2usize, 4, 8, 2);
+    let x = random_complex(k * n * m, 953);
+    let blocked = fft3d_blocked(k, n, m, mu).apply_vec(&x);
+    let tensor = Formula::tensor(
+        Formula::dft(k),
+        Formula::tensor(Formula::dft(n), Formula::dft(m)),
+    )
+    .apply_vec(&x);
+    assert_fft_close(&blocked, &tensor);
+}
+
+#[test]
+fn write_matrices_in_executor_and_spl_agree_on_numa_plans() {
+    // The dual-socket executor output must equal the single-socket
+    // one (already tested) *and* the SPL 3D DFT — closing the loop on
+    // Table III.
+    let (k, n, m) = (4usize, 4, 8);
+    let x = random_complex(k * n * m, 954);
+    let plan = FftPlan::builder(Dims::d3(k, n, m))
+        .buffer_elems(32)
+        .threads(2, 2)
+        .sockets(2)
+        .build()
+        .unwrap();
+    let mut data = x.clone();
+    let mut work = vec![Complex64::ZERO; x.len()];
+    exec_real::execute(&plan, &mut data, &mut work);
+    let tensor = Formula::tensor(
+        Formula::dft(k),
+        Formula::tensor(Formula::dft(n), Formula::dft(m)),
+    )
+    .apply_vec(&x);
+    assert_fft_close(&data, &tensor);
+}
+
+#[test]
+fn mu_choices_change_nothing_numerically() {
+    let (k, n, m) = (4usize, 8, 8);
+    let x = random_complex(k * n * m, 955);
+    let mut outputs = Vec::new();
+    for mu in [1usize, 2, 4] {
+        let plan = FftPlan::builder(Dims::d3(k, n, m))
+            .buffer_elems(64)
+            .threads(1, 1)
+            .mu(mu)
+            .build()
+            .unwrap();
+        let mut data = x.clone();
+        let mut work = vec![Complex64::ZERO; x.len()];
+        exec_real::execute(&plan, &mut data, &mut work);
+        outputs.push(data);
+    }
+    // μ alters the reshape granularity and the lane width of later
+    // stages, so arithmetic orders differ — compare to tolerance.
+    assert_fft_close(&outputs[1], &outputs[0]);
+    assert_fft_close(&outputs[2], &outputs[0]);
+}
