@@ -156,7 +156,7 @@ mod tests {
             .unwrap();
         let mut db = x.clone();
         let mut work = vec![Complex64::ZERO; x.len()];
-        bwfft_core::exec_real::execute(&plan, &mut db, &mut work);
+        bwfft_core::exec_real::execute(&plan, &mut db, &mut work).unwrap();
         assert_fft_close(&db, &pencil);
     }
 }

@@ -223,7 +223,7 @@ mod tests {
             .threads(4, 4)
             .build()
             .unwrap();
-        let ours = simulate(&plan, &spec, &SimOptions::default()).report;
+        let ours = simulate(&plan, &spec, &SimOptions::default()).unwrap().report;
         let mkl = simulate_baseline(BaselineKind::MklLike, d, &spec);
         let fftw = simulate_baseline(BaselineKind::FftwLike, d, &spec);
         let vs_mkl = mkl.time_ns / ours.time_ns;
@@ -258,7 +258,7 @@ mod tests {
             .threads(4, 4)
             .build()
             .unwrap();
-        let ours = simulate(&plan, &amd, &SimOptions::default()).report;
+        let ours = simulate(&plan, &amd, &SimOptions::default()).unwrap().report;
         let speedup = slab.time_ns / ours.time_ns;
         assert!(
             (1.1..2.2).contains(&speedup),

@@ -23,13 +23,14 @@ fn bench_pipeline_overhead(c: &mut Criterion) {
                         (0..p_d).map(|_| Box::new(|_, _: &[Complex64]| {}) as StoreFn).collect();
                     let computes: Vec<ComputeFn> =
                         (0..p_c).map(|_| Box::new(|_, _, _: &mut [Complex64]| {}) as ComputeFn).collect();
-                    run_pipeline(
+                    let report = run_pipeline(
                         &buffer,
                         &PipelineConfig {
                             iters: 16,
                             load_unit: 1,
                             compute_unit: 1,
                             pin_cpus: None,
+                            ..PipelineConfig::default()
                         },
                         PipelineCallbacks {
                             loaders,
@@ -37,6 +38,7 @@ fn bench_pipeline_overhead(c: &mut Criterion) {
                             computes,
                         },
                     );
+                    assert!(report.is_ok());
                 });
             },
         );

@@ -7,6 +7,8 @@
 //! 4. buffer size vs the paper's `b = LLC/2` rule;
 //! 5. NOP-mitigated vs raw hyperthread port contention.
 
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // demo binary, not library code
 use bwfft_core::exec_sim::{simulate, SimOptions};
 use bwfft_core::{Dims, FftPlan};
 use bwfft_machine::presets;
@@ -21,7 +23,7 @@ fn main() {
         .threads(4, 4)
         .build()
         .unwrap();
-    let base = simulate(&base_plan, &spec, &SimOptions::default()).report;
+    let base = simulate(&base_plan, &spec, &SimOptions::default()).unwrap().report;
     println!("\n=== Ablation of design choices — 512^3 on Kaby Lake 7700K ===\n");
     println!(
         "{:<44} {:>10} {:>8} {:>9}",
@@ -48,6 +50,7 @@ fn main() {
             ..Default::default()
         },
     )
+    .unwrap()
     .report;
     report("temporal stores (RFO + writeback)", &tmp);
 
@@ -58,7 +61,7 @@ fn main() {
         .mu(1)
         .build()
         .unwrap();
-    let mu1 = simulate(&mu1_plan, &spec, &SimOptions::default()).report;
+    let mu1 = simulate(&mu1_plan, &spec, &SimOptions::default()).unwrap().report;
     report("element-wise rotation (mu = 1)", &mu1);
 
     // 3. Thread split sweep.
@@ -68,7 +71,7 @@ fn main() {
             .threads(pd, pc)
             .build()
             .unwrap();
-        let r = simulate(&plan, &spec, &SimOptions::default()).report;
+        let r = simulate(&plan, &spec, &SimOptions::default()).unwrap().report;
         report(&format!("thread split p_d={pd}, p_c={pc}"), &r);
     }
 
@@ -80,7 +83,7 @@ fn main() {
             .threads(4, 4)
             .build()
             .unwrap();
-        let r = simulate(&plan, &spec, &SimOptions::default()).report;
+        let r = simulate(&plan, &spec, &SimOptions::default()).unwrap().report;
         report(
             &format!("buffer = {} KiB (LLC/2 = {} KiB)", bb * 16 / 1024, b * 16 / 1024),
             &r,
@@ -91,6 +94,7 @@ fn main() {
     //    sequentially (the counterfactual for the paper's core claim).
     let no_overlap =
         bwfft_core::exec_sim::simulate_no_overlap(&base_plan, &spec, &SimOptions::default())
+            .unwrap()
             .report;
     report("no compute/transfer overlap (fused threads)", &no_overlap);
 
@@ -103,9 +107,11 @@ fn main() {
             ..Default::default()
         },
     )
+    .unwrap()
     .report;
     report("no NOP interleave (raw port contention)", &raw);
 
     println!("\npaper (section IV): each mechanism above is one of the interference mitigations;");
     println!("the baseline configuration should dominate or tie every ablated variant.");
 }
+

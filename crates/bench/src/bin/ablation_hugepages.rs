@@ -2,6 +2,8 @@
 //! TLB dropoff (§V leaves large-pencil 2D as future work; huge pages
 //! are the obvious system-level mitigation — 512× the TLB reach).
 
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // demo binary, not library code
 use bwfft_core::exec_sim::{simulate, SimOptions};
 use bwfft_core::{Dims, FftPlan};
 use bwfft_machine::presets;
@@ -24,8 +26,8 @@ fn main() {
             .threads(4, 4)
             .build()
             .unwrap();
-        let small = simulate(&plan, &base, &SimOptions::default()).report;
-        let big = simulate(&plan, &huge, &SimOptions::default()).report;
+        let small = simulate(&plan, &base, &SimOptions::default()).unwrap().report;
+        let big = simulate(&plan, &huge, &SimOptions::default()).unwrap().report;
         println!(
             "{:<16} {:>13.1}% {:>13.1}% {:>9.1}pt",
             format!("{n}x{m}"),
@@ -37,3 +39,4 @@ fn main() {
     println!("\nhuge pages should recover most of the large-size dropoff of Fig. 9 —");
     println!("evidence that the paper's TLB explanation is the operative mechanism.");
 }
+

@@ -6,6 +6,8 @@
 //! decimation pass, with element-granular writes); decimated-input 1D
 //! matches the 2D bandwidth profile.
 
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // demo binary, not library code
 use bwfft_core::exec_sim::SimOptions;
 use bwfft_core::fft1d::{simulate_fft1d, Fft1dLargePlan};
 use bwfft_core::{Dims, FftPlan};
@@ -26,7 +28,7 @@ fn main() {
         let full = Fft1dLargePlan::new(n1, n2)
             .buffer_elems(spec.default_buffer_elems())
             .threads(4, 4);
-        let (rep, stages) = simulate_fft1d(&full, &spec, &opts);
+        let (rep, stages) = simulate_fft1d(&full, &spec, &opts).unwrap();
         println!(
             "{:<26} {:>10.2} {:>9.1}% {:>8} {:>12.2}",
             format!("1D 2^{lg} natural"),
@@ -39,7 +41,7 @@ fn main() {
             .buffer_elems(spec.default_buffer_elems())
             .threads(4, 4)
             .decimated_input();
-        let (rep, stages) = simulate_fft1d(&dec, &spec, &opts);
+        let (rep, stages) = simulate_fft1d(&dec, &spec, &opts).unwrap();
         println!(
             "{:<26} {:>10.2} {:>9.1}% {:>8} {:>12.2}",
             format!("1D 2^{lg} decimated-in"),
@@ -53,7 +55,7 @@ fn main() {
             .threads(4, 4)
             .build()
             .unwrap();
-        let rep = bwfft_core::exec_sim::simulate(&plan2d, &spec, &opts).report;
+        let rep = bwfft_core::exec_sim::simulate(&plan2d, &spec, &opts).unwrap().report;
         println!(
             "{:<26} {:>10.2} {:>9.1}% {:>8} {:>12.2}",
             format!("2D {n1}x{n2}"),
@@ -67,3 +69,4 @@ fn main() {
     println!("the decimation pass is the price of natural-order input; FFTW's and MKL's large-1D");
     println!("plans pay the same extra reshuffle (or expose 'advanced' strided interfaces).");
 }
+

@@ -8,6 +8,8 @@
 //! compute takes over and dedicating half the threads to data movement
 //! stops being free.
 
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // demo binary, not library code
 use bwfft_core::exec_sim::{simulate, SimOptions};
 use bwfft_core::{Dims, FftPlan};
 use bwfft_machine::presets;
@@ -31,7 +33,7 @@ fn main() {
             .threads(4, 4)
             .build()
             .unwrap();
-        let r = simulate(&plan, &spec, &SimOptions::default());
+        let r = simulate(&plan, &spec, &SimOptions::default()).unwrap();
         // Bottleneck diagnosis: compare achieved DRAM bandwidth to the
         // configured channel.
         let achieved = r.report.dram_bandwidth_gbs();
@@ -51,3 +53,4 @@ fn main() {
     println!("\nall five paper machines sit deep in the memory-bound half — the regime the");
     println!("soft-DMA design targets; the crossover marks where p_d threads should shrink.");
 }
+

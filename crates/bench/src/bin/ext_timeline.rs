@@ -3,6 +3,8 @@
 //! it, DRAM streaming concurrent with the compute cores, prologue and
 //! epilogue at the edges.
 
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // demo binary, not library code
 use bwfft_machine::{Engine, ThreadProg};
 use bwfft_pipeline::Schedule;
 
@@ -80,3 +82,4 @@ fn main() {
     println!("only the prologue (left edge) and epilogue (right edge) leave a resource idle.");
     assert!(stats.utilization(dram) > 0.8, "steady state must keep DRAM busy");
 }
+

@@ -73,7 +73,7 @@ pub fn paper_plan(dims: Dims, spec: &MachineSpec, sockets: usize) -> FftPlan {
 /// Simulates our implementation with default options.
 pub fn run_ours(dims: Dims, spec: &MachineSpec, sockets: usize) -> PerfReport {
     let plan = paper_plan(dims, spec, sockets);
-    simulate(&plan, spec, &SimOptions::default()).report
+    simulate(&plan, spec, &SimOptions::default()).unwrap().report
 }
 
 /// One row of a comparison table.

@@ -1,0 +1,115 @@
+//! The core crate's error taxonomy: everything that can go wrong while
+//! planning or executing a transform, as values.
+//!
+//! `bwfft-core` sits between the pipeline executor, the machine
+//! simulator and the planner, so [`CoreError`] wraps each layer's typed
+//! error and adds the cross-layer conditions (argument lengths, plan ↔
+//! machine mismatches) it checks itself. The `bwfft` facade flattens
+//! this further into `BwfftError`.
+
+use crate::plan::PlanError;
+use bwfft_machine::EngineError;
+use bwfft_pipeline::PipelineError;
+
+/// Why a core-level operation failed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CoreError {
+    /// Plan construction/validation failed.
+    Plan(PlanError),
+    /// The real executor failed (contained worker panic, watchdog
+    /// timeout, or a rejected pipeline configuration).
+    Pipeline(PipelineError),
+    /// The discrete-event engine failed during simulation.
+    Engine(EngineError),
+    /// A caller-provided array has the wrong length.
+    InputLength {
+        what: &'static str,
+        expected: usize,
+        got: usize,
+    },
+    /// The plan wants more sockets than the simulated machine has.
+    SocketMismatch { plan: usize, machine: usize },
+}
+
+impl From<PlanError> for CoreError {
+    fn from(e: PlanError) -> Self {
+        CoreError::Plan(e)
+    }
+}
+
+impl From<PipelineError> for CoreError {
+    fn from(e: PipelineError) -> Self {
+        CoreError::Pipeline(e)
+    }
+}
+
+impl From<EngineError> for CoreError {
+    fn from(e: EngineError) -> Self {
+        CoreError::Engine(e)
+    }
+}
+
+impl core::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CoreError::Plan(e) => write!(f, "plan: {e}"),
+            CoreError::Pipeline(e) => write!(f, "execution: {e}"),
+            CoreError::Engine(e) => write!(f, "simulation: {e}"),
+            CoreError::InputLength {
+                what,
+                expected,
+                got,
+            } => write!(f, "{what} has {got} elements, plan needs {expected}"),
+            CoreError::SocketMismatch { plan, machine } => write!(
+                f,
+                "plan wants {plan} sockets, machine has {machine}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Plan(e) => Some(e),
+            CoreError::Pipeline(e) => Some(e),
+            CoreError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_and_renders_each_layer() {
+        let e: CoreError = PlanError::NotPow2("dim", 12).into();
+        assert!(e.to_string().starts_with("plan:"));
+        let e: CoreError = PipelineError::Config(
+            bwfft_pipeline::ConfigError::ZeroIters,
+        )
+        .into();
+        assert!(e.to_string().starts_with("execution:"));
+        let e: CoreError = EngineError::UndeclaredBarrier { id: 1 }.into();
+        assert!(e.to_string().starts_with("simulation:"));
+        let e = CoreError::InputLength {
+            what: "data",
+            expected: 8,
+            got: 4,
+        };
+        assert!(e.to_string().contains("data has 4"));
+        let e = CoreError::SocketMismatch { plan: 2, machine: 1 };
+        assert!(e.to_string().contains("2 sockets"));
+    }
+
+    #[test]
+    fn source_chains_to_the_layer_error() {
+        use std::error::Error;
+        let e: CoreError = PlanError::NotPow2("dim", 12).into();
+        assert!(e.source().is_some());
+        let e = CoreError::SocketMismatch { plan: 2, machine: 1 };
+        assert!(e.source().is_none());
+    }
+}

@@ -7,6 +7,8 @@
 //! between the caller's `data` and `work` arrays; the final result is
 //! copied back into `data` when the stage count is odd.
 
+use crate::error::CoreError;
+use crate::host::{DegradationReason, ExecutorKind};
 use crate::plan::{FftPlan, StageSpec};
 use bwfft_kernels::batch::BatchFft;
 use bwfft_kernels::transpose::{
@@ -14,9 +16,40 @@ use bwfft_kernels::transpose::{
 };
 use bwfft_num::Complex64;
 use bwfft_pipeline::buffer::partition;
-use bwfft_pipeline::exec::{ComputeFn, LoadFn, PipelineCallbacks, PipelineConfig, StoreFn};
-use bwfft_pipeline::{run_pipeline, DoubleBuffer};
+use bwfft_pipeline::exec::{
+    ComputeFn, LoadFn, PipelineCallbacks, PipelineConfig, PipelineReport, StoreFn,
+};
+use bwfft_pipeline::{run_pipeline, DoubleBuffer, FaultPlan, PinStatus, PipelineError};
 use bwfft_spl::gather_scatter::WriteMatrix;
+use std::time::Duration;
+
+/// Knobs for a single execution: the fault-tolerance watchdog and the
+/// (test-only in spirit, but public) fault-injection plan.
+#[derive(Clone, Debug, Default)]
+pub struct ExecConfig {
+    /// Per-iteration watchdog: if any pipeline barrier waits longer
+    /// than this, the run aborts with `PipelineError::StageTimeout`
+    /// instead of hanging.
+    pub iter_timeout: Option<Duration>,
+    /// Deterministic fault injection (worker panic, stall, denied
+    /// pinning) forwarded to the pipeline executor.
+    pub fault: Option<FaultPlan>,
+}
+
+/// What a successful execution reports back: which executor actually
+/// ran, why (if degraded), and how thread pinning went.
+#[derive(Clone, Debug, Default)]
+pub struct ExecReport {
+    /// The executor the run dispatched to.
+    pub executor: ExecutorKind,
+    /// Degradation reasons copied from the plan (empty when pipelined).
+    pub degradations: Vec<DegradationReason>,
+    /// Per-thread pin outcomes from the last stage (data threads first,
+    /// then compute). Empty when unpinned or fused.
+    pub pin_status: Vec<PinStatus>,
+    /// How many of those pin requests were not honored.
+    pub pin_failures: usize,
+}
 
 /// A raw shared view of the stage's destination array. Store callbacks
 /// on different data threads write disjoint packet ranges; the schedule
@@ -39,27 +72,75 @@ impl SharedDst {
     }
 }
 
-/// Executes the plan: transforms `data` (row-major input), using `work`
-/// as a same-sized workspace. On return `data` holds the transform
-/// (unnormalized, like FFTW/MKL).
-pub fn execute(plan: &FftPlan, data: &mut [Complex64], work: &mut [Complex64]) {
+fn check_lengths(plan: &FftPlan, data: &[Complex64], work: &[Complex64]) -> Result<(), CoreError> {
     let total = plan.dims.total();
-    assert_eq!(data.len(), total, "data length mismatch");
-    assert_eq!(work.len(), total, "work length mismatch");
+    if data.len() != total {
+        return Err(CoreError::InputLength {
+            what: "data",
+            expected: total,
+            got: data.len(),
+        });
+    }
+    if work.len() != total {
+        return Err(CoreError::InputLength {
+            what: "work",
+            expected: total,
+            got: work.len(),
+        });
+    }
+    Ok(())
+}
+
+/// Executes the plan: transforms `data` (row-major input), using `work`
+/// as a same-sized workspace. On success `data` holds the transform
+/// (unnormalized, like FFTW/MKL) and the report says which executor ran
+/// and how pinning went. On failure (contained worker panic, watchdog
+/// timeout, bad argument lengths) the typed error names the condition;
+/// the arrays' contents are then unspecified but the process is intact.
+pub fn execute(
+    plan: &FftPlan,
+    data: &mut [Complex64],
+    work: &mut [Complex64],
+) -> Result<ExecReport, CoreError> {
+    execute_with(plan, data, work, &ExecConfig::default())
+}
+
+/// [`execute`] with explicit fault-tolerance knobs.
+pub fn execute_with(
+    plan: &FftPlan,
+    data: &mut [Complex64],
+    work: &mut [Complex64],
+    cfg: &ExecConfig,
+) -> Result<ExecReport, CoreError> {
+    check_lengths(plan, data, work)?;
+
+    // Graceful degradation: a plan built against a host profile that
+    // cannot sustain the pipeline dispatches to the fused executor.
+    if plan.executor == ExecutorKind::Fused {
+        return execute_fused(plan, data, work);
+    }
 
     let buffer = DoubleBuffer::new(plan.buffer_elems);
     let n_stages = plan.stages().len();
+    let mut last_report = PipelineReport::default();
     for (s, stage) in plan.stages().iter().enumerate() {
         // Stages alternate data→work→data→…
-        if s % 2 == 0 {
-            run_stage(plan, stage, &buffer, data, work);
+        let report = if s % 2 == 0 {
+            run_stage(plan, stage, &buffer, data, work, cfg)
         } else {
-            run_stage(plan, stage, &buffer, work, data);
-        }
+            run_stage(plan, stage, &buffer, work, data, cfg)
+        }?;
+        last_report = report;
     }
     if n_stages % 2 == 1 {
         data.copy_from_slice(work);
     }
+    Ok(ExecReport {
+        executor: ExecutorKind::Pipelined,
+        degradations: plan.degradations.clone(),
+        pin_failures: last_report.pin_failures,
+        pin_status: last_report.pin_status,
+    })
 }
 
 fn run_stage(
@@ -68,7 +149,8 @@ fn run_stage(
     buffer: &DoubleBuffer,
     src: &[Complex64],
     dst: &mut [Complex64],
-) {
+    cfg: &ExecConfig,
+) -> Result<PipelineReport, PipelineError> {
     let b = plan.buffer_elems;
     let total = plan.dims.total();
     let sk = plan.sockets;
@@ -128,13 +210,15 @@ fn run_stage(
             load_unit: plan.mu.min(b),
             compute_unit: stage.pencil_elems(),
             pin_cpus: plan.pin_cpus.clone(),
+            iter_timeout: cfg.iter_timeout,
+            fault: cfg.fault.clone(),
         },
         PipelineCallbacks {
             loaders,
             storers,
             computes,
         },
-    );
+    )
 }
 
 /// Convenience wrapper: forward transform of a 3D cube, allocating the
@@ -142,9 +226,9 @@ fn run_stage(
 pub fn fft3d_forward(
     plan: &FftPlan,
     data: &mut [Complex64],
-) {
+) -> Result<ExecReport, CoreError> {
     let mut work = vec![Complex64::ZERO; data.len()];
-    execute(plan, data, &mut work);
+    execute(plan, data, &mut work)
 }
 
 /// Executes the plan *without* the soft-DMA pipeline: one thread per
@@ -152,11 +236,15 @@ pub fn fft3d_forward(
 /// no role split). Numerically identical to [`execute`]; this is the
 /// host-side counterfactual matched by
 /// [`crate::exec_sim::simulate_no_overlap`], used by the host
-/// benchmarks to measure what the overlap machinery itself buys.
-pub fn execute_fused(plan: &FftPlan, data: &mut [Complex64], work: &mut [Complex64]) {
+/// benchmarks to measure what the overlap machinery itself buys — and
+/// the fallback target of the graceful-degradation policy.
+pub fn execute_fused(
+    plan: &FftPlan,
+    data: &mut [Complex64],
+    work: &mut [Complex64],
+) -> Result<ExecReport, CoreError> {
+    check_lengths(plan, data, work)?;
     let total = plan.dims.total();
-    assert_eq!(data.len(), total);
-    assert_eq!(work.len(), total);
     let b = plan.buffer_elems;
     let mut buf = vec![Complex64::ZERO; b];
     let n_stages = plan.stages().len();
@@ -178,6 +266,12 @@ pub fn execute_fused(plan: &FftPlan, data: &mut [Complex64], work: &mut [Complex
     if n_stages % 2 == 1 {
         data.copy_from_slice(work);
     }
+    Ok(ExecReport {
+        executor: ExecutorKind::Fused,
+        degradations: plan.degradations.clone(),
+        pin_status: Vec::new(),
+        pin_failures: 0,
+    })
 }
 
 /// Applies the `1/N` normalization (after an inverse transform).
@@ -197,6 +291,7 @@ mod tests {
     use bwfft_num::compare::assert_fft_close;
     use bwfft_num::signal::random_complex;
 
+    #[allow(clippy::too_many_arguments)]
     fn run_3d(
         k: usize,
         n: usize,
@@ -215,7 +310,7 @@ mod tests {
             .unwrap();
         let mut data = x.to_vec();
         let mut work = vec![Complex64::ZERO; x.len()];
-        execute(&plan, &mut data, &mut work);
+        execute(&plan, &mut data, &mut work).unwrap();
         data
     }
 
@@ -267,7 +362,7 @@ mod tests {
             .unwrap();
         let mut data = x.clone();
         let mut work = vec![Complex64::ZERO; x.len()];
-        execute(&plan, &mut data, &mut work);
+        execute(&plan, &mut data, &mut work).unwrap();
         let expect = dft2_naive(&x, n, m, Direction::Forward);
         assert_fft_close(&data, &expect);
     }
@@ -283,14 +378,14 @@ mod tests {
             .threads(2, 2)
             .build()
             .unwrap();
-        execute(&fwd, &mut data, &mut work);
+        execute(&fwd, &mut data, &mut work).unwrap();
         let inv = FftPlan::builder(Dims::d3(k, n, m))
             .buffer_elems(128)
             .threads(2, 2)
             .direction(Direction::Inverse)
             .build()
             .unwrap();
-        execute(&inv, &mut data, &mut work);
+        execute(&inv, &mut data, &mut work).unwrap();
         normalize(&mut data);
         assert_fft_close(&data, &x);
     }
@@ -311,10 +406,10 @@ mod tests {
             .unwrap();
         let mut a = x.clone();
         let mut wa = vec![Complex64::ZERO; x.len()];
-        execute(&nt_plan, &mut a, &mut wa);
+        execute(&nt_plan, &mut a, &mut wa).unwrap();
         let mut b = x.clone();
         let mut wb = vec![Complex64::ZERO; x.len()];
-        execute(&t_plan, &mut b, &mut wb);
+        execute(&t_plan, &mut b, &mut wb).unwrap();
         assert_eq!(a, b);
     }
 
@@ -326,7 +421,7 @@ mod tests {
             .buffer_elems(64)
             .build()
             .unwrap();
-        fft3d_forward(&plan, &mut data);
+        fft3d_forward(&plan, &mut data).unwrap();
         for v in &data {
             assert!((v.re - 1.0).abs() < 1e-10 && v.im.abs() < 1e-10);
         }
@@ -351,7 +446,7 @@ mod tests {
             .buffer_elems(64)
             .build()
             .unwrap();
-        fft3d_forward(&plan, &mut data);
+        fft3d_forward(&plan, &mut data).unwrap();
         // Spike at (0, 0, 3) with magnitude k·n·m.
         let spike = data[3];
         assert!((spike.re - (k * n * m) as f64).abs() < 1e-8, "{spike}");
@@ -395,10 +490,10 @@ mod pinning_tests {
             .unwrap();
         let mut a = x.clone();
         let mut wa = vec![Complex64::ZERO; x.len()];
-        execute(&pinned, &mut a, &mut wa);
+        execute(&pinned, &mut a, &mut wa).unwrap();
         let mut b = x.clone();
         let mut wb = vec![Complex64::ZERO; x.len()];
-        execute(&plain, &mut b, &mut wb);
+        execute(&plain, &mut b, &mut wb).unwrap();
         assert_eq!(a, b);
     }
 
@@ -434,10 +529,10 @@ mod fused_tests {
             .unwrap();
         let mut a = x.clone();
         let mut wa = vec![Complex64::ZERO; x.len()];
-        execute(&plan, &mut a, &mut wa);
+        execute(&plan, &mut a, &mut wa).unwrap();
         let mut b = x.clone();
         let mut wb = vec![Complex64::ZERO; x.len()];
-        execute_fused(&plan, &mut b, &mut wb);
+        execute_fused(&plan, &mut b, &mut wb).unwrap();
         assert_eq!(a, b, "fused and pipelined must agree bitwise");
     }
 
@@ -451,10 +546,125 @@ mod fused_tests {
             .unwrap();
         let mut a = x.clone();
         let mut wa = vec![Complex64::ZERO; x.len()];
-        execute(&plan, &mut a, &mut wa);
+        execute(&plan, &mut a, &mut wa).unwrap();
         let mut b = x.clone();
         let mut wb = vec![Complex64::ZERO; x.len()];
-        execute_fused(&plan, &mut b, &mut wb);
+        execute_fused(&plan, &mut b, &mut wb).unwrap();
         assert_eq!(a, b);
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::host::HostProfile;
+    use crate::plan::Dims;
+    use bwfft_kernels::Direction;
+    use bwfft_num::compare::assert_fft_close;
+    use bwfft_num::signal::random_complex;
+    use bwfft_pipeline::Role;
+
+    #[test]
+    fn length_mismatch_is_typed_not_a_panic() {
+        let plan = FftPlan::builder(Dims::d3(8, 8, 8))
+            .buffer_elems(64)
+            .build()
+            .unwrap();
+        let mut data = vec![Complex64::ZERO; 100];
+        let mut work = vec![Complex64::ZERO; 512];
+        let err = execute(&plan, &mut data, &mut work).unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::InputLength { what: "data", expected: 512, got: 100 }
+        ));
+    }
+
+    #[test]
+    fn injected_panic_propagates_as_typed_core_error() {
+        bwfft_pipeline::fault::silence_injected_panic_reports();
+        let plan = FftPlan::builder(Dims::d3(8, 8, 8))
+            .buffer_elems(64)
+            .threads(1, 1)
+            .build()
+            .unwrap();
+        let x = random_complex(512, 90);
+        let mut data = x.clone();
+        let mut work = vec![Complex64::ZERO; 512];
+        let cfg = ExecConfig {
+            iter_timeout: Some(Duration::from_secs(2)),
+            fault: Some(FaultPlan::panic_at(Role::Compute, 0, 1)),
+        };
+        let err = execute_with(&plan, &mut data, &mut work, &cfg).unwrap_err();
+        match err {
+            CoreError::Pipeline(PipelineError::WorkerPanicked { role, iter, .. }) => {
+                assert_eq!(role, Role::Compute);
+                assert_eq!(iter, 1);
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_thread_host_degrades_to_fused_with_identical_output() {
+        // The acceptance criterion: a plan built for a 1-CPU host must
+        // record the degradation, run fused, and still produce output
+        // bit-identical to the unconstrained pipelined plan (and
+        // correct vs the reference oracle via forward∘inverse).
+        let (k, n, m) = (8usize, 8, 16);
+        let x = random_complex(k * n * m, 91);
+        let host = HostProfile { cpus: 1, pin_works: true, llc_bytes: None };
+        let degraded = FftPlan::builder(Dims::d3(k, n, m))
+            .buffer_elems(128)
+            .threads(2, 2)
+            .host(host)
+            .build()
+            .unwrap();
+        assert_eq!(degraded.executor, ExecutorKind::Fused);
+        assert_eq!(
+            degraded.degradations,
+            vec![DegradationReason::SingleThreadedHost { cpus: 1 }]
+        );
+
+        let mut a = x.clone();
+        let mut wa = vec![Complex64::ZERO; x.len()];
+        let report = execute(&degraded, &mut a, &mut wa).unwrap();
+        assert_eq!(report.executor, ExecutorKind::Fused);
+        assert_eq!(report.degradations, degraded.degradations);
+
+        // Bit-identical to the pipelined plan on the same shape.
+        let full = FftPlan::builder(Dims::d3(k, n, m))
+            .buffer_elems(128)
+            .threads(2, 2)
+            .build()
+            .unwrap();
+        assert_eq!(full.executor, ExecutorKind::Pipelined);
+        let mut b = x.clone();
+        let mut wb = vec![Complex64::ZERO; x.len()];
+        execute(&full, &mut b, &mut wb).unwrap();
+        assert_eq!(a, b, "degraded output must be bit-identical");
+
+        // And round-trips through the degraded inverse.
+        let inv = FftPlan::builder(Dims::d3(k, n, m))
+            .buffer_elems(128)
+            .threads(2, 2)
+            .direction(Direction::Inverse)
+            .host(host)
+            .build()
+            .unwrap();
+        assert_eq!(inv.executor, ExecutorKind::Fused);
+        execute(&inv, &mut a, &mut wa).unwrap();
+        normalize(&mut a);
+        assert_fft_close(&a, &x);
+    }
+
+    #[test]
+    fn unconstrained_host_stays_pipelined() {
+        let plan = FftPlan::builder(Dims::d3(8, 8, 8))
+            .buffer_elems(64)
+            .host(HostProfile::unconstrained())
+            .build()
+            .unwrap();
+        assert_eq!(plan.executor, ExecutorKind::Pipelined);
+        assert!(plan.degradations.is_empty());
     }
 }

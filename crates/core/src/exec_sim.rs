@@ -12,12 +12,14 @@
 //! extrapolation of the steady state (the schedule is periodic), which
 //! keeps 2048³ tractable; `max_sim_iters` controls the cutoff.
 
+use crate::error::CoreError;
 use crate::metrics;
 use crate::plan::{FftPlan, StageSpec};
 use bwfft_machine::patterns::{streaming_cost, write_block_cost, TrafficCost};
 use bwfft_machine::spec::MachineSpec;
 use bwfft_machine::stats::PerfReport;
 use bwfft_machine::{Engine, ThreadProg};
+use bwfft_pipeline::{FaultPlan, Role};
 use bwfft_spl::dataflow::write_bursts;
 use bwfft_spl::gather_scatter::{StagePerm, WriteMatrix};
 
@@ -34,6 +36,11 @@ pub struct SimOptions {
     /// Steady-state iterations to simulate exactly before
     /// extrapolating.
     pub max_sim_iters: usize,
+    /// Fault injection: the simulator honours `dram_derate` /
+    /// `link_derate` (bandwidth loss, e.g. a failing DIMM or congested
+    /// QPI link) and `stall` (a hiccuping thread's delay appears in the
+    /// simulated schedule).
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for SimOptions {
@@ -43,6 +50,7 @@ impl Default for SimOptions {
             nop_mitigation: true,
             sync_ns: 300.0,
             max_sim_iters: 128,
+            fault: None,
         }
     }
 }
@@ -68,7 +76,12 @@ pub struct SimResult {
 /// no dedicated data threads and no double buffering. This is the
 /// "what if we did not overlap" counterfactual for the paper's central
 /// claim — same non-temporal traffic, same reshape, no pipelining.
-pub fn simulate_no_overlap(plan: &FftPlan, spec: &MachineSpec, opts: &SimOptions) -> SimResult {
+pub fn simulate_no_overlap(
+    plan: &FftPlan,
+    spec: &MachineSpec,
+    opts: &SimOptions,
+) -> Result<SimResult, CoreError> {
+    check_sockets(plan, spec)?;
     let total = plan.dims.total();
     let sk = plan.sockets;
     let p = plan.p_d + plan.p_c; // all threads work
@@ -90,6 +103,7 @@ pub fn simulate_no_overlap(plan: &FftPlan, spec: &MachineSpec, opts: &SimOptions
         for sock in 0..sk {
             dram.push(engine.add_resource(format!("dram{sock}"), spec.dram_bytes_per_ns()));
         }
+        apply_deratings(&mut engine, &dram, &[], opts)?;
         let mut cores = Vec::new();
         for sock in 0..sk {
             for c in 0..p_s {
@@ -115,7 +129,7 @@ pub fn simulate_no_overlap(plan: &FftPlan, spec: &MachineSpec, opts: &SimOptions
                 progs.push(prog);
             }
         }
-        let stats = engine.run(progs);
+        let stats = engine.try_run(progs)?;
         total_ns += stats.total_ns;
         let stage_dram = (iters * sk) as f64 * (load.dram_bytes + store.dram_bytes);
         dram_total += stage_dram;
@@ -139,27 +153,60 @@ pub fn simulate_no_overlap(plan: &FftPlan, spec: &MachineSpec, opts: &SimOptions
             spec.total_dram_bw_gbs() * sk as f64 / spec.sockets as f64,
         ),
     };
-    SimResult {
+    Ok(SimResult {
         report,
         stages: stage_costs,
+    })
+}
+
+fn check_sockets(plan: &FftPlan, spec: &MachineSpec) -> Result<(), CoreError> {
+    if plan.sockets > spec.sockets {
+        return Err(CoreError::SocketMismatch {
+            plan: plan.sockets,
+            machine: spec.sockets,
+        });
     }
+    Ok(())
+}
+
+/// Applies the fault plan's bandwidth deratings to the engine's DRAM
+/// and link resources (a failing DIMM, a congested interconnect).
+fn apply_deratings(
+    engine: &mut Engine,
+    dram: &[bwfft_machine::ResourceId],
+    link: &[bwfft_machine::ResourceId],
+    opts: &SimOptions,
+) -> Result<(), CoreError> {
+    let Some(fault) = &opts.fault else {
+        return Ok(());
+    };
+    if let Some(factor) = fault.dram_derate {
+        for &r in dram {
+            engine.derate_resource(r, factor)?;
+        }
+    }
+    if let Some(factor) = fault.link_derate {
+        for &r in link {
+            engine.derate_resource(r, factor)?;
+        }
+    }
+    Ok(())
 }
 
 /// Simulates the plan on `spec` and returns the paper-style report.
-pub fn simulate(plan: &FftPlan, spec: &MachineSpec, opts: &SimOptions) -> SimResult {
-    assert!(
-        plan.sockets <= spec.sockets,
-        "plan wants {} sockets, machine has {}",
-        plan.sockets,
-        spec.sockets
-    );
+pub fn simulate(
+    plan: &FftPlan,
+    spec: &MachineSpec,
+    opts: &SimOptions,
+) -> Result<SimResult, CoreError> {
+    check_sockets(plan, spec)?;
     let total = plan.dims.total();
     let mut stage_costs = Vec::new();
     let mut total_ns = 0.0;
     let mut dram_total = 0.0;
     let mut link_total = 0.0;
     for (s, stage) in plan.stages().iter().enumerate() {
-        let c = simulate_stage(plan, spec, opts, s, stage);
+        let c = simulate_stage(plan, spec, opts, s, stage)?;
         total_ns += c.time_ns;
         dram_total += c.dram_bytes;
         link_total += c.link_bytes;
@@ -175,10 +222,10 @@ pub fn simulate(plan: &FftPlan, spec: &MachineSpec, opts: &SimOptions) -> SimRes
         link_bytes: link_total,
         achievable_peak_gflops: metrics::achievable_peak_gflops(total, plan.dims.stages(), bw),
     };
-    SimResult {
+    Ok(SimResult {
         report,
         stages: stage_costs,
-    }
+    })
 }
 
 /// Splits a stage's write traffic into the local-socket and
@@ -229,7 +276,7 @@ fn simulate_stage(
     opts: &SimOptions,
     stage_idx: usize,
     stage: &StageSpec,
-) -> StageCost {
+) -> Result<StageCost, CoreError> {
     let g = GenericStage {
         perm: stage.perm,
         b: plan.buffer_elems,
@@ -252,7 +299,7 @@ pub fn simulate_generic_stage(
     spec: &MachineSpec,
     opts: &SimOptions,
     stage_idx: usize,
-) -> StageCost {
+) -> Result<StageCost, CoreError> {
     let b = g.b;
     let sk = g.sockets;
     let iters = g.iters_per_socket;
@@ -296,24 +343,24 @@ pub fn simulate_generic_stage(
         core_rate,
     };
     let sim_iters = iters.min(opts.max_sim_iters);
-    let t_full = run_engine(spec, opts, &cfg, sim_iters);
+    let t_full = run_engine(spec, opts, &cfg, sim_iters)?;
     let time_ns = if sim_iters == iters {
         t_full
     } else {
         // Marginal steady-state cost from a second, shorter run.
         let half = (sim_iters / 2).max(1);
-        let t_half = run_engine(spec, opts, &cfg, half);
+        let t_half = run_engine(spec, opts, &cfg, half)?;
         let per_iter = (t_full - t_half) / (sim_iters - half) as f64;
         t_full + per_iter * (iters - sim_iters) as f64
     };
 
     let blocks_total = (iters * sk) as f64;
-    StageCost {
+    Ok(StageCost {
         stage: stage_idx,
         time_ns,
         dram_bytes: blocks_total * (load.dram_bytes + store.dram_bytes),
         link_bytes: blocks_total * link_bytes_per_block,
-    }
+    })
 }
 
 /// Per-block engine parameters of one stage.
@@ -336,7 +383,12 @@ struct EngineCfg {
     core_rate: f64,
 }
 
-fn run_engine(spec: &MachineSpec, opts: &SimOptions, cfg: &EngineCfg, iters: usize) -> f64 {
+fn run_engine(
+    spec: &MachineSpec,
+    opts: &SimOptions,
+    cfg: &EngineCfg,
+    iters: usize,
+) -> Result<f64, CoreError> {
     let (sk, p_d_s, p_c_s) = (cfg.sk, cfg.p_d_s, cfg.p_c_s);
     let has_remote = cfg.store_dram_remote > 0.0;
     let mut engine = Engine::new();
@@ -348,6 +400,19 @@ fn run_engine(spec: &MachineSpec, opts: &SimOptions, cfg: &EngineCfg, iters: usi
             link.push(engine.add_resource(format!("link{s}"), spec.link_bw_gbs));
         }
     }
+    apply_deratings(&mut engine, &dram, &link, opts)?;
+    // Injected stalls appear in the simulated schedule as extra delay
+    // at the faulty thread's matching step.
+    let stall_of = |role: Role, global_thread: usize, blk: Option<usize>| -> f64 {
+        let Some(fault) = &opts.fault else { return 0.0 };
+        let Some(stall) = &fault.stall else { return 0.0 };
+        let site = stall.site;
+        if site.role == role && site.thread == global_thread && blk == Some(site.iter) {
+            stall.duration.as_secs_f64() * 1e9
+        } else {
+            0.0
+        }
+    };
     let mut cores = Vec::new();
     for s in 0..sk {
         for c in 0..p_c_s {
@@ -374,7 +439,7 @@ fn run_engine(spec: &MachineSpec, opts: &SimOptions, cfg: &EngineCfg, iters: usi
         // A single thread's streaming rate is line-fill-buffer bound;
         // this is the mechanism that makes p_d ≈ p/2 necessary.
         let stream_cap = spec.per_thread_stream_gbs;
-        for _ in 0..p_d_s {
+        for j in 0..p_d_s {
             let mut p = ThreadProg::new();
             for step in schedule.steps() {
                 if step.store.is_some() {
@@ -387,6 +452,7 @@ fn run_engine(spec: &MachineSpec, opts: &SimOptions, cfg: &EngineCfg, iters: usi
                 p.barrier(1 + s);
                 if step.load.is_some() {
                     p.use_capped(dram[s], load_share, stream_cap);
+                    p.delay(stall_of(Role::Data, s * p_d_s + j, step.load));
                 }
                 p.delay(opts.sync_ns);
                 p.barrier(0);
@@ -400,6 +466,7 @@ fn run_engine(spec: &MachineSpec, opts: &SimOptions, cfg: &EngineCfg, iters: usi
             for step in schedule.steps() {
                 if step.compute.is_some() {
                     p.use_res(cores[s * p_c_s + c], flop_share);
+                    p.delay(stall_of(Role::Compute, s * p_c_s + c, step.compute));
                 }
                 p.delay(opts.sync_ns);
                 p.barrier(0);
@@ -420,7 +487,7 @@ fn run_engine(spec: &MachineSpec, opts: &SimOptions, cfg: &EngineCfg, iters: usi
             progs.push(p);
         }
     }
-    engine.run(progs).total_ns
+    Ok(engine.try_run(progs)?.total_ns)
 }
 
 #[cfg(test)]
@@ -443,7 +510,7 @@ mod tests {
         // Fig. 1: the double-buffered 3D FFT reaches 80–90% of the
         // STREAM-bound achievable peak on the 7700K.
         let spec = presets::kaby_lake_7700k();
-        let r = simulate(&kbl_plan(9), &spec, &SimOptions::default());
+        let r = simulate(&kbl_plan(9), &spec, &SimOptions::default()).unwrap();
         let pct = r.report.percent_of_peak();
         assert!(
             (75.0..=97.0).contains(&pct),
@@ -457,7 +524,7 @@ mod tests {
         // NT movement ⇒ DRAM traffic ≈ the 2·N·stages·16 ideal.
         let spec = presets::kaby_lake_7700k();
         let plan = kbl_plan(9);
-        let r = simulate(&plan, &spec, &SimOptions::default());
+        let r = simulate(&plan, &spec, &SimOptions::default()).unwrap();
         let ideal = metrics::ideal_traffic_bytes(plan.dims.total(), 3);
         let ratio = r.report.dram_bytes / ideal;
         assert!((0.99..1.2).contains(&ratio), "traffic ratio {ratio}");
@@ -467,7 +534,7 @@ mod tests {
     fn temporal_stores_cost_bandwidth() {
         let spec = presets::kaby_lake_7700k();
         let plan = kbl_plan(9);
-        let nt = simulate(&plan, &spec, &SimOptions::default());
+        let nt = simulate(&plan, &spec, &SimOptions::default()).unwrap();
         let tmp = simulate(
             &plan,
             &spec,
@@ -475,7 +542,8 @@ mod tests {
                 non_temporal: false,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         assert!(
             tmp.report.time_ns > 1.2 * nt.report.time_ns,
             "temporal {} vs nt {}",
@@ -493,7 +561,7 @@ mod tests {
             .build()
             .unwrap();
         // iters = 64 — both settings exact vs truncated-to-32.
-        let exact = simulate(&plan, &spec, &SimOptions::default());
+        let exact = simulate(&plan, &spec, &SimOptions::default()).unwrap();
         let truncated = simulate(
             &plan,
             &spec,
@@ -501,7 +569,8 @@ mod tests {
                 max_sim_iters: 32,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         let rel =
             (exact.report.time_ns - truncated.report.time_ns).abs() / exact.report.time_ns;
         assert!(rel < 0.02, "extrapolation error {rel}");
@@ -521,8 +590,8 @@ mod tests {
                 .build()
                 .unwrap()
         };
-        let one = simulate(&mk(1), &spec, &SimOptions::default());
-        let two = simulate(&mk(2), &spec, &SimOptions::default());
+        let one = simulate(&mk(1), &spec, &SimOptions::default()).unwrap();
+        let two = simulate(&mk(2), &spec, &SimOptions::default()).unwrap();
         let speedup = one.report.time_ns / two.report.time_ns;
         assert!(
             (1.2..2.0).contains(&speedup),
@@ -547,7 +616,7 @@ mod tests {
                 .sockets(sk)
                 .build()
                 .unwrap();
-            simulate(&plan, spec, &SimOptions::default()).report.time_ns
+            simulate(&plan, spec, &SimOptions::default()).unwrap().report.time_ns
         };
         let intel_speedup = run(&intel, 1) / run(&intel, 2);
         let amd_speedup = run(&amd, 1) / run(&amd, 2);
@@ -562,7 +631,7 @@ mod tests {
     #[test]
     fn stage_costs_sum_to_report() {
         let spec = presets::kaby_lake_7700k();
-        let r = simulate(&kbl_plan(8), &spec, &SimOptions::default());
+        let r = simulate(&kbl_plan(8), &spec, &SimOptions::default()).unwrap();
         let sum: f64 = r.stages.iter().map(|s| s.time_ns).sum();
         assert!((sum - r.report.time_ns).abs() < 1e-6);
         assert_eq!(r.stages.len(), 3);
@@ -585,8 +654,10 @@ mod no_overlap_tests {
             .threads(4, 4)
             .build()
             .unwrap();
-        let with = simulate(&plan, &spec, &SimOptions::default()).report;
-        let without = simulate_no_overlap(&plan, &spec, &SimOptions::default()).report;
+        let with = simulate(&plan, &spec, &SimOptions::default()).unwrap().report;
+        let without = simulate_no_overlap(&plan, &spec, &SimOptions::default())
+            .unwrap()
+            .report;
         let speedup = without.time_ns / with.time_ns;
         assert!(
             speedup > 1.1,
@@ -598,5 +669,113 @@ mod no_overlap_tests {
         // Same traffic either way.
         let rel = (with.dram_bytes - without.dram_bytes).abs() / with.dram_bytes;
         assert!(rel < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod fault_sim_tests {
+    use super::*;
+    use crate::plan::{Dims, FftPlan};
+    use bwfft_machine::presets;
+
+    fn small_plan() -> FftPlan {
+        FftPlan::builder(Dims::d3(64, 64, 64))
+            .buffer_elems(1 << 14)
+            .threads(4, 4)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn socket_mismatch_is_typed() {
+        let spec = presets::kaby_lake_7700k(); // 1 socket
+        let plan = FftPlan::builder(Dims::d3(64, 64, 64))
+            .buffer_elems(1 << 14)
+            .threads(4, 4)
+            .sockets(2)
+            .build()
+            .unwrap();
+        let err = simulate(&plan, &spec, &SimOptions::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::SocketMismatch { plan: 2, machine: 1 }
+        ));
+        let err = simulate_no_overlap(&plan, &spec, &SimOptions::default()).unwrap_err();
+        assert!(matches!(err, CoreError::SocketMismatch { .. }));
+    }
+
+    #[test]
+    fn dram_derating_slows_the_simulated_run() {
+        let spec = presets::kaby_lake_7700k();
+        let plan = small_plan();
+        let healthy = simulate(&plan, &spec, &SimOptions::default()).unwrap();
+        let derated = simulate(
+            &plan,
+            &spec,
+            &SimOptions {
+                fault: Some(FaultPlan {
+                    dram_derate: Some(0.5),
+                    ..FaultPlan::default()
+                }),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            derated.report.time_ns > 1.3 * healthy.report.time_ns,
+            "half DRAM bandwidth should slow a bandwidth-bound FFT: {} vs {}",
+            derated.report.time_ns,
+            healthy.report.time_ns
+        );
+    }
+
+    #[test]
+    fn invalid_derate_is_typed() {
+        let spec = presets::kaby_lake_7700k();
+        let plan = small_plan();
+        let err = simulate(
+            &plan,
+            &spec,
+            &SimOptions {
+                fault: Some(FaultPlan {
+                    dram_derate: Some(0.0),
+                    ..FaultPlan::default()
+                }),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::Engine(bwfft_machine::EngineError::InvalidDerate { .. })
+        ));
+    }
+
+    #[test]
+    fn injected_stall_lengthens_the_schedule() {
+        let spec = presets::kaby_lake_7700k();
+        let plan = small_plan();
+        let healthy = simulate(&plan, &spec, &SimOptions::default()).unwrap();
+        let stalled = simulate(
+            &plan,
+            &spec,
+            &SimOptions {
+                fault: Some(FaultPlan::stall_at(
+                    Role::Compute,
+                    0,
+                    1,
+                    core::time::Duration::from_millis(1),
+                )),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // 1 ms per stage dwarfs the µs-scale baseline: the stall must
+        // show up in every stage's critical path (lockstep barriers).
+        let extra = stalled.report.time_ns - healthy.report.time_ns;
+        assert!(
+            extra > 2.9e6,
+            "stall should add ~3 ms across 3 stages, added {extra} ns"
+        );
     }
 }

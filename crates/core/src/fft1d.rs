@@ -24,8 +24,10 @@
 //! the same volume — the known bandwidth premium of large 1D
 //! transforms.
 
+use crate::error::CoreError;
 use crate::exec_sim::{simulate_generic_stage, GenericStage, SimOptions, StageCost};
 use crate::metrics;
+use crate::plan::PlanError;
 use bwfft_kernels::batch::BatchFft;
 use bwfft_kernels::transpose::{store_through_write_matrix, write_matrix_packets};
 use bwfft_kernels::Direction;
@@ -93,7 +95,7 @@ impl Fft1dLargePlan {
         self.n1 * self.n2
     }
 
-    fn validated_b(&self) -> usize {
+    fn validated_b(&self) -> Result<usize, PlanError> {
         let total = self.total();
         let min = self.n2.max(self.n1 * self.mu);
         let b = if self.b == 0 {
@@ -101,10 +103,44 @@ impl Fft1dLargePlan {
         } else {
             self.b
         };
-        assert!(bwfft_num::is_pow2(self.n1) && bwfft_num::is_pow2(self.n2));
-        assert!(self.n2.is_multiple_of(self.mu), "mu must divide n2");
-        assert!(b >= min && total.is_multiple_of(b) && b % self.n2 == 0 && b % (self.n1 * self.mu) == 0);
-        b
+        if !bwfft_num::is_pow2(self.n1) {
+            return Err(PlanError::NotPow2("n1", self.n1));
+        }
+        if !bwfft_num::is_pow2(self.n2) {
+            return Err(PlanError::NotPow2("n2", self.n2));
+        }
+        if !self.n2.is_multiple_of(self.mu) {
+            return Err(PlanError::BufferNotDividing {
+                b: self.n2,
+                constraint: "mu divides n2",
+                value: self.mu,
+            });
+        }
+        if b < min {
+            return Err(PlanError::BufferTooSmall { needed: min, got: b });
+        }
+        if !total.is_multiple_of(b) {
+            return Err(PlanError::BufferNotDividing {
+                b,
+                constraint: "b divides N",
+                value: total,
+            });
+        }
+        if b % self.n2 != 0 {
+            return Err(PlanError::BufferNotDividing {
+                b,
+                constraint: "n2 divides b",
+                value: self.n2,
+            });
+        }
+        if b % (self.n1 * self.mu) != 0 {
+            return Err(PlanError::BufferNotDividing {
+                b,
+                constraint: "n1*mu divides b",
+                value: self.n1 * self.mu,
+            });
+        }
+        Ok(b)
     }
 
     /// The three (or two) stage permutations.
@@ -144,11 +180,27 @@ fn twiddle_at(g: usize, n1: usize, n2: usize, dir: Direction) -> Complex64 {
 
 /// Executes the plan: `data` is transformed in place; `work` is a
 /// same-sized scratch array.
-pub fn execute(plan: &Fft1dLargePlan, data: &mut [Complex64], work: &mut [Complex64]) {
+pub fn execute(
+    plan: &Fft1dLargePlan,
+    data: &mut [Complex64],
+    work: &mut [Complex64],
+) -> Result<(), CoreError> {
     let total = plan.total();
-    assert_eq!(data.len(), total);
-    assert_eq!(work.len(), total);
-    let b = plan.validated_b();
+    if data.len() != total {
+        return Err(CoreError::InputLength {
+            what: "data",
+            expected: total,
+            got: data.len(),
+        });
+    }
+    if work.len() != total {
+        return Err(CoreError::InputLength {
+            what: "work",
+            expected: total,
+            got: work.len(),
+        });
+    }
+    let b = plan.validated_b()?;
     let perms = plan.stage_perms();
     let n_stages = perms.len();
     let buffer = DoubleBuffer::new(b);
@@ -160,7 +212,7 @@ pub fn execute(plan: &Fft1dLargePlan, data: &mut [Complex64], work: &mut [Comple
         } else {
             (&*work, &mut *data)
         };
-        run_1d_stage(plan, stage_kind, *perm, b, &buffer, src, dst);
+        run_1d_stage(plan, stage_kind, *perm, b, &buffer, src, dst)?;
         // Rust borrow rules force the copy-back pattern below instead
         // of slice swapping; the arrays alternate by stage parity.
         let _ = dst;
@@ -168,6 +220,7 @@ pub fn execute(plan: &Fft1dLargePlan, data: &mut [Complex64], work: &mut [Comple
     if n_stages % 2 == 1 {
         data.copy_from_slice(work);
     }
+    Ok(())
 }
 
 struct SharedDst {
@@ -193,7 +246,7 @@ fn run_1d_stage(
     buffer: &DoubleBuffer,
     src: &[Complex64],
     dst: &mut [Complex64],
-) {
+) -> Result<(), CoreError> {
     let total = plan.total();
     let iters = total / b;
     let (n1, n2) = (plan.n1, plan.n2);
@@ -262,14 +315,15 @@ fn run_1d_stage(
             iters,
             load_unit: plan.mu.min(b),
             compute_unit,
-            pin_cpus: None,
+            ..PipelineConfig::default()
         },
         PipelineCallbacks {
             loaders,
             storers,
             computes,
         },
-    );
+    )?;
+    Ok(())
 }
 
 /// Simulates the four-step 1D FFT on a machine preset.
@@ -277,9 +331,9 @@ pub fn simulate_fft1d(
     plan: &Fft1dLargePlan,
     spec: &MachineSpec,
     opts: &SimOptions,
-) -> (PerfReport, Vec<StageCost>) {
+) -> Result<(PerfReport, Vec<StageCost>), CoreError> {
     let total = plan.total();
-    let b = plan.validated_b();
+    let b = plan.validated_b()?;
     let mut stage_costs = Vec::new();
     let mut total_ns = 0.0;
     let mut dram = 0.0;
@@ -301,7 +355,7 @@ pub fn simulate_fft1d(
             p_c: plan.p_c,
             flops_per_block: flops,
         };
-        let c = simulate_generic_stage(&g, spec, opts, s);
+        let c = simulate_generic_stage(&g, spec, opts, s)?;
         total_ns += c.time_ns;
         dram += c.dram_bytes;
         stage_costs.push(c);
@@ -320,7 +374,7 @@ pub fn simulate_fft1d(
             spec.total_dram_bw_gbs(),
         ),
     };
-    (report, stage_costs)
+    Ok((report, stage_costs))
 }
 
 #[cfg(test)]
@@ -335,7 +389,7 @@ mod tests {
     fn run(plan: &Fft1dLargePlan, x: &[Complex64]) -> Vec<Complex64> {
         let mut data = x.to_vec();
         let mut work = vec![Complex64::ZERO; x.len()];
-        execute(plan, &mut data, &mut work);
+        execute(plan, &mut data, &mut work).unwrap();
         data
     }
 
@@ -393,7 +447,7 @@ mod tests {
             .direction(Direction::Inverse);
         let mut data = run(&fwd, &x);
         let mut work = vec![Complex64::ZERO; n];
-        execute(&inv, &mut data, &mut work);
+        execute(&inv, &mut data, &mut work).unwrap();
         let scale = 1.0 / n as f64;
         let back: Vec<Complex64> = data.iter().map(|c| c.scale(scale)).collect();
         assert_fft_close(&back, &x);
@@ -439,13 +493,13 @@ mod tests {
         let full = Fft1dLargePlan::new(n1, n2)
             .buffer_elems(spec.default_buffer_elems())
             .threads(4, 4);
-        let (rep_full, stages) = simulate_fft1d(&full, &spec, &opts);
+        let (rep_full, stages) = simulate_fft1d(&full, &spec, &opts).unwrap();
         assert_eq!(stages.len(), 3);
         let dec = Fft1dLargePlan::new(n1, n2)
             .buffer_elems(spec.default_buffer_elems())
             .threads(4, 4)
             .decimated_input();
-        let (rep_dec, _) = simulate_fft1d(&dec, &spec, &opts);
+        let (rep_dec, _) = simulate_fft1d(&dec, &spec, &opts).unwrap();
         assert!(rep_full.time_ns > rep_dec.time_ns * 1.3);
         // The element-granular decimation stage dominates stage 0.
         assert!(stages[0].time_ns > stages[1].time_ns);

@@ -1,0 +1,223 @@
+//! Host capability detection and the graceful-degradation policy.
+//!
+//! The paper's pipeline assumes a machine that can dedicate half its
+//! hardware threads to soft-DMA duty, pin every thread, and hold the
+//! double buffer in the LLC. Hosts that fall short (CI containers,
+//! 1-vCPU VMs, cgroup-restricted runners) should not crash or silently
+//! thrash — planning *degrades*: the plan records a typed
+//! [`DegradationReason`] and switches to the fused (no-overlap)
+//! executor, which computes bit-identical results on a single thread.
+
+use bwfft_pipeline::affinity;
+
+/// What the degraded plan runs on instead of the pipelined executor.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecutorKind {
+    /// The soft-DMA double-buffered pipeline (the paper's executor).
+    #[default]
+    Pipelined,
+    /// Sequential load → compute → store per block; no role split, no
+    /// double buffer. Bit-identical output, no overlap benefit.
+    Fused,
+}
+
+/// Why a plan fell back to the fused executor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DegradationReason {
+    /// Fewer than two usable CPUs: a data/compute role split cannot
+    /// overlap anything.
+    SingleThreadedHost { cpus: usize },
+    /// The plan requests pinning but affinity syscalls do not work
+    /// here, so the paired-sibling placement cannot be realized.
+    PinningUnavailable,
+    /// The double buffer (2·b elements) does not fit the detected LLC,
+    /// violating the `b = LLC/2` residency assumption (§IV).
+    BufferExceedsLlc {
+        buffer_bytes: usize,
+        llc_bytes: usize,
+    },
+}
+
+impl core::fmt::Display for DegradationReason {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DegradationReason::SingleThreadedHost { cpus } => {
+                write!(f, "host has {cpus} usable CPU(s); pipeline needs >= 2")
+            }
+            DegradationReason::PinningUnavailable => {
+                write!(f, "thread pinning unavailable on this host")
+            }
+            DegradationReason::BufferExceedsLlc {
+                buffer_bytes,
+                llc_bytes,
+            } => write!(
+                f,
+                "double buffer ({buffer_bytes} B) exceeds the LLC ({llc_bytes} B)"
+            ),
+        }
+    }
+}
+
+/// What the degradation policy needs to know about the host. Construct
+/// directly for deterministic tests, or use [`HostProfile::detect`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HostProfile {
+    /// Usable logical CPUs.
+    pub cpus: usize,
+    /// Whether affinity syscalls work (probed non-destructively).
+    pub pin_works: bool,
+    /// Last-level cache size in bytes, when discoverable.
+    pub llc_bytes: Option<usize>,
+}
+
+impl HostProfile {
+    /// Probes the current host.
+    pub fn detect() -> Self {
+        HostProfile {
+            cpus: affinity::num_cpus_online(),
+            pin_works: affinity::probe_pinning(),
+            llc_bytes: detect_llc_bytes(),
+        }
+    }
+
+    /// A generous profile that never degrades anything — the implicit
+    /// default when no host adaptation is requested.
+    pub fn unconstrained() -> Self {
+        HostProfile {
+            cpus: usize::MAX,
+            pin_works: true,
+            llc_bytes: None,
+        }
+    }
+
+    /// Applies the degradation policy to a candidate plan shape.
+    /// Returns every reason that applies (empty ⇒ run pipelined).
+    pub fn degradations(
+        &self,
+        buffer_elems: usize,
+        wants_pinning: bool,
+    ) -> Vec<DegradationReason> {
+        let mut out = Vec::new();
+        if self.cpus < 2 {
+            out.push(DegradationReason::SingleThreadedHost { cpus: self.cpus });
+        }
+        if wants_pinning && !self.pin_works {
+            out.push(DegradationReason::PinningUnavailable);
+        }
+        if let Some(llc) = self.llc_bytes {
+            let buffer_bytes = 2 * buffer_elems * core::mem::size_of::<bwfft_num::Complex64>();
+            if buffer_bytes > llc {
+                out.push(DegradationReason::BufferExceedsLlc {
+                    buffer_bytes,
+                    llc_bytes: llc,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Reads the largest per-CPU cache size from sysfs (Linux); `None`
+/// elsewhere or when unreadable.
+fn detect_llc_bytes() -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for idx in 0..8 {
+        let dir = format!("/sys/devices/system/cpu/cpu0/cache/index{idx}");
+        let Ok(size) = std::fs::read_to_string(format!("{dir}/size")) else {
+            continue;
+        };
+        let size = size.trim();
+        let bytes = if let Some(k) = size.strip_suffix('K') {
+            k.parse::<usize>().ok().map(|v| v * 1024)
+        } else if let Some(m) = size.strip_suffix('M') {
+            m.parse::<usize>().ok().map(|v| v * 1024 * 1024)
+        } else {
+            size.parse::<usize>().ok()
+        };
+        if let Some(b) = bytes {
+            best = Some(best.map_or(b, |prev| prev.max(b)));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconstrained_profile_never_degrades() {
+        let h = HostProfile::unconstrained();
+        assert!(h.degradations(1 << 24, true).is_empty());
+    }
+
+    #[test]
+    fn single_cpu_host_degrades() {
+        let h = HostProfile {
+            cpus: 1,
+            pin_works: true,
+            llc_bytes: None,
+        };
+        let d = h.degradations(1024, false);
+        assert_eq!(d, vec![DegradationReason::SingleThreadedHost { cpus: 1 }]);
+    }
+
+    #[test]
+    fn pin_failure_degrades_only_pinned_plans() {
+        let h = HostProfile {
+            cpus: 8,
+            pin_works: false,
+            llc_bytes: None,
+        };
+        assert!(h.degradations(1024, false).is_empty());
+        assert_eq!(
+            h.degradations(1024, true),
+            vec![DegradationReason::PinningUnavailable]
+        );
+    }
+
+    #[test]
+    fn oversized_buffer_degrades() {
+        let h = HostProfile {
+            cpus: 8,
+            pin_works: true,
+            llc_bytes: Some(1 << 20), // 1 MiB LLC
+        };
+        // 2 * 65536 * 16 B = 2 MiB > 1 MiB.
+        let d = h.degradations(65536, false);
+        assert_eq!(d.len(), 1);
+        assert!(matches!(d[0], DegradationReason::BufferExceedsLlc { .. }));
+        // 2 * 16384 * 16 B = 512 KiB fits.
+        assert!(h.degradations(16384, false).is_empty());
+    }
+
+    #[test]
+    fn reasons_accumulate() {
+        let h = HostProfile {
+            cpus: 1,
+            pin_works: false,
+            llc_bytes: Some(1024),
+        };
+        let d = h.degradations(1 << 20, true);
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn detect_does_not_panic_and_is_plausible() {
+        let h = HostProfile::detect();
+        assert!(h.cpus >= 1);
+        if let Some(llc) = h.llc_bytes {
+            assert!(llc >= 4 * 1024, "implausible LLC size {llc}");
+        }
+    }
+
+    #[test]
+    fn reasons_render() {
+        assert!(DegradationReason::SingleThreadedHost { cpus: 1 }
+            .to_string()
+            .contains("1 usable"));
+        assert!(DegradationReason::PinningUnavailable
+            .to_string()
+            .contains("pinning"));
+    }
+}

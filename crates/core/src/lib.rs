@@ -28,15 +28,27 @@
 //!     .unwrap();
 //! let mut data = AlignedVec::from_slice(&signal::impulse(32 * 32 * 32, 0));
 //! let mut work = AlignedVec::<Complex64>::zeroed(data.len());
-//! bwfft_core::exec_real::execute(&plan, &mut data, &mut work);
+//! bwfft_core::exec_real::execute(&plan, &mut data, &mut work).unwrap();
 //! // DFT of a unit impulse at 0 is all-ones.
 //! assert!((data[12345].re - 1.0).abs() < 1e-9);
 //! ```
+//!
+//! Every fallible operation returns a typed [`CoreError`]; worker
+//! panics inside the pipeline are contained and surface as
+//! `CoreError::Pipeline(PipelineError::WorkerPanicked { .. })` instead
+//! of aborting the process. Plans built with
+//! [`plan::FftPlanBuilder::adapt_to_host`] degrade gracefully (see
+//! [`host`]) on machines that cannot sustain the soft-DMA pipeline.
 
+pub mod error;
 pub mod exec_real;
 pub mod fft1d;
 pub mod exec_sim;
+pub mod host;
 pub mod metrics;
 pub mod plan;
 
+pub use error::CoreError;
+pub use exec_real::{ExecConfig, ExecReport};
+pub use host::{DegradationReason, ExecutorKind, HostProfile};
 pub use plan::{Dims, FftPlan, PlanError};

@@ -1,6 +1,7 @@
 //! FFT plans: dimensions, buffer sizing, thread split, and the derived
 //! per-stage structure (§III).
 
+use crate::host::{DegradationReason, ExecutorKind, HostProfile};
 use bwfft_kernels::Direction;
 use bwfft_num::MU;
 use bwfft_spl::gather_scatter::{fft2d_stage_perms, fft3d_numa_stage_perms, StagePerm};
@@ -112,6 +113,13 @@ pub struct FftPlan {
     /// thread, data threads first (the paper's `kmp_affinity` /
     /// `sched_setaffinity` discipline, §III-D).
     pub pin_cpus: Option<Vec<usize>>,
+    /// Which executor `exec_real::execute` dispatches to. `Fused` when
+    /// the degradation policy fired (see `degradations`).
+    pub executor: ExecutorKind,
+    /// Why the plan degraded to the fused executor (empty when
+    /// pipelined). Populated by [`FftPlanBuilder::host`] /
+    /// [`FftPlanBuilder::adapt_to_host`].
+    pub degradations: Vec<DegradationReason>,
     stages: Vec<StageSpec>,
 }
 
@@ -127,6 +135,7 @@ impl FftPlan {
             sockets: 1,
             non_temporal: true,
             pin_cpus: None,
+            host: None,
         }
     }
 
@@ -158,6 +167,7 @@ pub struct FftPlanBuilder {
     sockets: usize,
     non_temporal: bool,
     pin_cpus: Option<Vec<usize>>,
+    host: Option<HostProfile>,
 }
 
 impl FftPlanBuilder {
@@ -207,6 +217,22 @@ impl FftPlanBuilder {
         cpus.extend(roles.compute_slots().map(|s| s.thread));
         self.pin_cpus = Some(cpus);
         self
+    }
+
+    /// Supplies a host profile for the graceful-degradation policy:
+    /// when the host cannot sustain the pipeline (single CPU, pinning
+    /// broken, buffer larger than the LLC), the plan records the typed
+    /// [`DegradationReason`]s and dispatches to the fused executor
+    /// instead of failing or thrashing.
+    pub fn host(mut self, profile: HostProfile) -> Self {
+        self.host = Some(profile);
+        self
+    }
+
+    /// [`FftPlanBuilder::host`] with the detected profile of the
+    /// current machine.
+    pub fn adapt_to_host(self) -> Self {
+        self.host(HostProfile::detect())
     }
 
     pub fn build(self) -> Result<FftPlan, PlanError> {
@@ -352,6 +378,16 @@ impl FftPlanBuilder {
             ));
         }
 
+        let degradations = self
+            .host
+            .map(|h| h.degradations(b, self.pin_cpus.is_some()))
+            .unwrap_or_default();
+        let executor = if degradations.is_empty() {
+            ExecutorKind::Pipelined
+        } else {
+            ExecutorKind::Fused
+        };
+
         Ok(FftPlan {
             dims,
             dir: self.dir,
@@ -362,6 +398,8 @@ impl FftPlanBuilder {
             sockets: sk,
             non_temporal: self.non_temporal,
             pin_cpus: self.pin_cpus,
+            executor,
+            degradations,
             stages,
         })
     }

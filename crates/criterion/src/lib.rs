@@ -1,0 +1,303 @@
+//! Offline stand-in for the [`criterion`](https://docs.rs/criterion)
+//! benchmark harness.
+//!
+//! The build container cannot reach crates.io, so this crate provides
+//! the API surface the `bwfft-bench` benches use — `Criterion`,
+//! benchmark groups, `BenchmarkId`, `Throughput`, `Bencher::iter`, and
+//! the `criterion_group!`/`criterion_main!` macros — backed by a plain
+//! wall-clock timer. Statistics are deliberately simple (median of a
+//! few samples); the goal is runnable benches and readable numbers,
+//! not criterion's analysis machinery.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value sink.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Top-level harness configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_millis(800),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        run_one(self, &id.label(), None, f);
+    }
+
+    /// Upstream parses CLI filters here; the stand-in runs everything.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+/// A named set of related benchmarks sharing a throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label());
+        run_one(self.criterion, &label, self.throughput, f);
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label());
+        run_one(self.criterion, &label, self.throughput, |b| f(b, input));
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Benchmark identifier: a function name plus an optional parameter.
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn label(&self) -> String {
+        match &self.parameter {
+            Some(p) if self.name.is_empty() => p.clone(),
+            Some(p) => format!("{}/{}", self.name, p),
+            None => self.name.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            name,
+            parameter: None,
+        }
+    }
+}
+
+/// Units processed per iteration, for derived rates in the output.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+    BytesDecimal(u64),
+}
+
+/// Passed to the benchmark closure; `iter` times the routine.
+pub struct Bencher {
+    /// Iterations to run in the timed phase.
+    iters: u64,
+    /// Measured time of the timed phase.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one(
+    criterion: &Criterion,
+    label: &str,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    // Warm-up: run single iterations until the warm-up budget is spent,
+    // learning the per-iteration cost as we go.
+    let warm_start = Instant::now();
+    let mut per_iter = Duration::from_nanos(1);
+    let mut warm_runs = 0u32;
+    while warm_start.elapsed() < criterion.warm_up_time || warm_runs == 0 {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter = b.elapsed.max(Duration::from_nanos(1));
+        warm_runs += 1;
+        if warm_runs >= 1000 {
+            break;
+        }
+    }
+
+    // Size each sample so all samples fit in the measurement budget.
+    let budget = criterion.measurement_time / criterion.sample_size as u32;
+    let iters_per_sample = (budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 20) as u64;
+    let mut samples: Vec<f64> = Vec::with_capacity(criterion.sample_size);
+    for _ in 0..criterion.sample_size {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.elapsed.as_secs_f64() / iters_per_sample as f64);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) | Some(Throughput::BytesDecimal(n)) => {
+            format!("  {:>8.2} GiB/s", n as f64 / median / (1u64 << 30) as f64)
+        }
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>8.2} Melem/s", n as f64 / median / 1e6)
+        }
+        None => String::new(),
+    };
+    println!("{label:<48} {}{rate}", format_time(median));
+}
+
+fn format_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:>9.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:>9.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:>9.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:>9.3} s ")
+    }
+}
+
+/// Declares a benchmark group. Supports both the positional form
+/// `criterion_group!(benches, f1, f2)` and the braced form with a
+/// custom `config = ...;`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(100));
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::new("f", 1), &41, |b, &x| {
+            b.iter(|| x + 1);
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn id_labels() {
+        assert_eq!(BenchmarkId::new("f", 8).label(), "f/8");
+        assert_eq!(BenchmarkId::from("plain").label(), "plain");
+    }
+}

@@ -75,8 +75,7 @@ fn block_stage(src: &[f64], dst: &mut [f64], len: usize, stride: usize, table: &
     let half = len / 2;
     // stride is a multiple of μ, so a stride-run is stride/μ full blocks.
     let blocks = stride / MU;
-    for p in 0..half {
-        let w = table[p];
+    for (p, &w) in table.iter().enumerate().take(half) {
         for blk in 0..blocks {
             let a_e = stride * p + blk * MU;
             let b_e = stride * (p + half) + blk * MU;

@@ -139,8 +139,7 @@ fn radix4_stage(
     dir: Direction,
 ) {
     let quarter = len / 4;
-    for p in 0..quarter {
-        let [w1, w2, w3] = table[p];
+    for (p, &[w1, w2, w3]) in table.iter().enumerate().take(quarter) {
         let base_a = stride * p;
         let base_b = stride * (p + quarter);
         let base_c = stride * (p + 2 * quarter);

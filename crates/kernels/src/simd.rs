@@ -148,9 +148,7 @@ unsafe fn copy_nt_avx(src: &[Complex64], dst: &mut [Complex64]) {
         let v = _mm256_loadu_pd(sp.add(off));
         _mm256_stream_pd(dp.add(off), v);
     }
-    for i in 2 * pairs..n {
-        dst[i] = src[i];
-    }
+    dst[2 * pairs..n].copy_from_slice(&src[2 * pairs..n]);
     // Order the streaming stores before any subsequent loads of the
     // destination (movnt stores are weakly ordered).
     _mm_sfence();

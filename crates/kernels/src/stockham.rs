@@ -77,8 +77,7 @@ fn stage(
 ) {
     let half = len / 2;
     debug_assert_eq!(table.len(), half);
-    for p in 0..half {
-        let w = table[p];
+    for (p, &w) in table.iter().enumerate().take(half) {
         let a_base = stride * p;
         let b_base = stride * (p + half);
         let lo_base = stride * 2 * p;

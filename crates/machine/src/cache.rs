@@ -131,8 +131,7 @@ impl SetAssocCache {
             .iter()
             .enumerate()
             .min_by_key(|(_, w)| if w.valid { w.lru + 1 } else { 0 })
-            .map(|(i, _)| i)
-            .unwrap();
+            .map_or(0, |(i, _)| i);
         let evicted_dirty = ways[victim].valid && ways[victim].dirty;
         if evicted_dirty {
             self.stats.writebacks += 1;

@@ -11,6 +11,14 @@
 //! Barriers reproduce the `#pragma omp barrier` synchronization of the
 //! paper's framework (§III-D): a barrier op blocks until its expected
 //! number of participants arrive.
+//!
+//! [`Engine::try_run`] is the typed entry point (deadlocks and
+//! undeclared barriers come back as [`EngineError`] values);
+//! [`Engine::run`] is the legacy panicking convenience wrapper.
+//! [`Engine::derate_resource`] scales a resource's capacity for fault
+//! drills (a flaky DIMM, a congested NUMA link).
+
+use crate::error::EngineError;
 
 /// Index into the engine's resource table.
 pub type ResourceId = usize;
@@ -201,9 +209,32 @@ impl Engine {
         &self.resources[id].name
     }
 
+    /// Multiplies a resource's capacity by `factor` in `(0, 1]` —
+    /// fault-injection knob for a derated DRAM channel or NUMA link.
+    pub fn derate_resource(&mut self, res: ResourceId, factor: f64) -> Result<(), EngineError> {
+        if res >= self.resources.len() {
+            return Err(EngineError::UnknownResource { res });
+        }
+        if !(factor > 0.0 && factor <= 1.0) {
+            return Err(EngineError::InvalidDerate { res, factor });
+        }
+        self.resources[res].cap_per_ns *= factor;
+        Ok(())
+    }
+
     /// Runs the thread programs to completion; panics on deadlock
-    /// (a barrier that can never be satisfied).
+    /// (a barrier that can never be satisfied). Legacy wrapper around
+    /// [`Engine::try_run`] for callers that treat these as bugs.
     pub fn run(&self, progs: Vec<ThreadProg>) -> RunStats {
+        match self.try_run(progs) {
+            Ok(stats) => stats,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Runs the thread programs to completion, reporting unsatisfiable
+    /// barriers and undeclared barrier ids as typed errors.
+    pub fn try_run(&self, progs: Vec<ThreadProg>) -> Result<RunStats, EngineError> {
         let nt = progs.len();
         let nr = self.resources.len();
         let mut ip = vec![0usize; nt];
@@ -260,11 +291,9 @@ impl Engine {
                             ip[t] += 1;
                         }
                         Op::Barrier { id } => {
-                            assert!(
-                                id < self.barrier_expected.len()
-                                    && self.barrier_expected[id] > 0,
-                                "barrier {id} used but not declared"
-                            );
+                            if id >= self.barrier_expected.len() || self.barrier_expected[id] == 0 {
+                                return Err(EngineError::UndeclaredBarrier { id });
+                            }
                             barrier_count[id] += 1;
                             state[t] = ThreadState::Blocked {
                                 barrier: id,
@@ -274,11 +303,11 @@ impl Engine {
                             if barrier_count[id] == self.barrier_expected[id] {
                                 // Release everyone (including t).
                                 barrier_count[id] = 0;
-                                for u in 0..nt {
-                                    if let ThreadState::Blocked { barrier, since_ns } = state[u] {
+                                for (u, st) in state.iter_mut().enumerate() {
+                                    if let ThreadState::Blocked { barrier, since_ns } = *st {
                                         if barrier == id {
                                             stats.barrier_wait_ns[u] += now - since_ns;
-                                            state[u] = ThreadState::Ready;
+                                            *st = ThreadState::Ready;
                                         }
                                     }
                                 }
@@ -291,7 +320,7 @@ impl Engine {
 
             if state.iter().all(|s| matches!(s, ThreadState::Done)) {
                 stats.total_ns = now;
-                return stats;
+                return Ok(stats);
             }
 
             // Phase 2: compute per-job rates under processor sharing
@@ -310,11 +339,11 @@ impl Engine {
                     _ => {}
                 }
             }
-            assert!(
-                dt.is_finite(),
-                "deadlock: all threads blocked at barriers \
-                 (barrier counts: {barrier_count:?})"
-            );
+            if !dt.is_finite() {
+                return Err(EngineError::Deadlock {
+                    barrier_counts: barrier_count,
+                });
+            }
 
             // Phase 3: advance time by dt.
             now += dt;
@@ -541,6 +570,62 @@ mod tests {
         let mut p = ThreadProg::new();
         p.barrier(0);
         let _ = e.run(vec![p]);
+    }
+
+    #[test]
+    fn try_run_types_the_deadlock() {
+        let mut e = Engine::new();
+        let _ = e.add_resource("core", 1.0);
+        e.set_barrier(0, 2);
+        let mut p = ThreadProg::new();
+        p.barrier(0);
+        let err = e.try_run(vec![p]).unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::Deadlock {
+                barrier_counts: vec![1]
+            }
+        );
+    }
+
+    #[test]
+    fn try_run_types_undeclared_barriers() {
+        let e = Engine::new();
+        let mut p = ThreadProg::new();
+        p.barrier(7);
+        assert_eq!(
+            e.try_run(vec![p]).unwrap_err(),
+            EngineError::UndeclaredBarrier { id: 7 }
+        );
+    }
+
+    #[test]
+    fn derating_halves_throughput() {
+        let mut e = Engine::new();
+        let mem = e.add_resource("dram", 40.0);
+        e.derate_resource(mem, 0.5).unwrap();
+        let mut p = ThreadProg::new();
+        p.use_res(mem, 4000.0);
+        let stats = e.run(vec![p]);
+        assert!(close(stats.total_ns, 200.0), "{}", stats.total_ns);
+    }
+
+    #[test]
+    fn derating_rejects_bad_requests() {
+        let mut e = Engine::new();
+        let mem = e.add_resource("dram", 40.0);
+        assert_eq!(
+            e.derate_resource(mem + 1, 0.5).unwrap_err(),
+            EngineError::UnknownResource { res: mem + 1 }
+        );
+        assert_eq!(
+            e.derate_resource(mem, 0.0).unwrap_err(),
+            EngineError::InvalidDerate {
+                res: mem,
+                factor: 0.0
+            }
+        );
+        assert!(e.derate_resource(mem, 1.5).is_err());
     }
 
     #[test]

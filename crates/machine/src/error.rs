@@ -1,0 +1,59 @@
+//! Typed errors of the discrete-event engine.
+
+use crate::engine::ResourceId;
+
+/// Why an engine run (or fault-injection setup) failed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EngineError {
+    /// Every live thread is blocked at a barrier that can never fill.
+    Deadlock {
+        /// Arrival count per barrier id at the time of the deadlock.
+        barrier_counts: Vec<usize>,
+    },
+    /// A program used barrier `id` without a prior `set_barrier`.
+    UndeclaredBarrier { id: usize },
+    /// A derating targeted a resource id that was never registered.
+    UnknownResource { res: ResourceId },
+    /// A derating factor outside `(0, 1]`.
+    InvalidDerate { res: ResourceId, factor: f64 },
+}
+
+impl core::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            EngineError::Deadlock { barrier_counts } => write!(
+                f,
+                "deadlock: all threads blocked at barriers \
+                 (barrier counts: {barrier_counts:?})"
+            ),
+            EngineError::UndeclaredBarrier { id } => {
+                write!(f, "barrier {id} used but not declared")
+            }
+            EngineError::UnknownResource { res } => {
+                write!(f, "unknown resource id {res}")
+            }
+            EngineError::InvalidDerate { res, factor } => write!(
+                f,
+                "derate factor {factor} for resource {res} outside (0, 1]"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_keeps_legacy_messages() {
+        // `Engine::run` panics with these texts; callers match on them.
+        let e = EngineError::Deadlock {
+            barrier_counts: vec![1, 0],
+        };
+        assert!(e.to_string().starts_with("deadlock"));
+        let e = EngineError::UndeclaredBarrier { id: 3 };
+        assert_eq!(e.to_string(), "barrier 3 used but not declared");
+    }
+}

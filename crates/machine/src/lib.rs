@@ -24,6 +24,7 @@
 
 pub mod cache;
 pub mod engine;
+pub mod error;
 pub mod hierarchy;
 pub mod patterns;
 pub mod spec;
@@ -33,4 +34,5 @@ pub mod tlb;
 pub mod trace;
 
 pub use engine::{Engine, Op, ResourceId, RunStats, ThreadProg};
+pub use error::EngineError;
 pub use spec::{presets, MachineSpec};

@@ -1,9 +1,7 @@
 //! Machine descriptions and the five presets of the paper's §V setup.
 
-use serde::{Deserialize, Serialize};
-
 /// Vector instruction set, determining double-precision SIMD width.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum VectorIsa {
     /// 128-bit: 2 doubles per vector.
     Sse,
@@ -21,7 +19,7 @@ impl VectorIsa {
 }
 
 /// Which execution contexts share one cache instance.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CacheSharing {
     /// One instance per core, shared by that core's hardware threads
     /// (Intel L1/L2 in Fig. 2A; AMD per-core L1 in Fig. 2B).
@@ -33,7 +31,7 @@ pub enum CacheSharing {
 }
 
 /// One cache level.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CacheLevel {
     pub name: &'static str,
     pub size_bytes: usize,
@@ -53,7 +51,7 @@ impl CacheLevel {
 /// A complete machine description. Bandwidth numbers are the *measured
 /// STREAM* figures the paper quotes (§V "Experimental setup"), not
 /// theoretical channel peaks.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct MachineSpec {
     pub name: &'static str,
     pub sockets: usize,
@@ -138,6 +136,7 @@ impl MachineSpec {
     }
 
     /// The LLC level.
+    #[allow(clippy::expect_used)] // every spec constructor defines ≥1 cache level
     pub fn llc(&self) -> &CacheLevel {
         self.caches.last().expect("machine has no caches")
     }
@@ -157,6 +156,44 @@ impl MachineSpec {
     /// Cacheline size in `Complex64` elements (the paper's μ).
     pub fn mu(&self) -> usize {
         self.llc().line_bytes / 16
+    }
+
+    /// Serializes the spec as JSON so experiment harnesses can dump
+    /// configs next to results (hand-rolled: the workspace builds
+    /// without crates.io access, so no serde).
+    pub fn to_json(&self) -> String {
+        let caches: Vec<String> = self
+            .caches
+            .iter()
+            .map(|c| {
+                format!(
+                    "{{\"name\":\"{}\",\"size_bytes\":{},\"ways\":{},\"line_bytes\":{},\"sharing\":\"{:?}\",\"latency_cycles\":{}}}",
+                    c.name, c.size_bytes, c.ways, c.line_bytes, c.sharing, c.latency_cycles
+                )
+            })
+            .collect();
+        format!(
+            "{{\"name\":\"{}\",\"sockets\":{},\"cores_per_socket\":{},\"threads_per_core\":{},\"ghz\":{},\"isa\":\"{:?}\",\"fma\":{},\"caches\":[{}],\"dram_bw_gbs_per_socket\":{},\"dram_latency_ns\":{},\"link_bw_gbs\":{},\"tlb_entries\":{},\"page_bytes\":{},\"tlb_walk_ns\":{},\"kernel_flop_efficiency\":{},\"scattered_write_efficiency\":{},\"per_thread_stream_gbs\":{},\"ht_contention_mitigated\":{},\"ht_contention_raw\":{}}}",
+            self.name,
+            self.sockets,
+            self.cores_per_socket,
+            self.threads_per_core,
+            self.ghz,
+            self.isa,
+            self.fma,
+            caches.join(","),
+            self.dram_bw_gbs_per_socket,
+            self.dram_latency_ns,
+            self.link_bw_gbs,
+            self.tlb_entries,
+            self.page_bytes,
+            self.tlb_walk_ns,
+            self.kernel_flop_efficiency,
+            self.scattered_write_efficiency,
+            self.per_thread_stream_gbs,
+            self.ht_contention_mitigated,
+            self.ht_contention_raw,
+        )
     }
 }
 
@@ -454,10 +491,13 @@ mod tests {
 
     #[test]
     fn specs_are_serializable() {
-        // Compile-time check that the spec derives Serialize (consumers
-        // dump configs next to experiment results). Deserialize is only
-        // available for 'static input because names are &'static str.
-        fn assert_ser<T: serde::Serialize>() {}
-        assert_ser::<MachineSpec>();
+        // Consumers dump configs next to experiment results; the JSON
+        // dump must at least name the machine and list every cache.
+        let spec = presets::kaby_lake_7700k();
+        let json = spec.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"name\":\"Intel Kaby Lake 7700K\""));
+        assert!(json.contains("\"caches\":[{"));
+        assert_eq!(json.matches("\"line_bytes\"").count(), spec.caches.len());
     }
 }

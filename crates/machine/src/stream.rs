@@ -37,10 +37,10 @@ pub fn stream_triad(spec: &MachineSpec, elems_per_socket: usize) -> StreamResult
     let bytes_per_socket = (3 * 8 * elems_per_socket) as f64;
     let per_thread = bytes_per_socket / spec.cores_per_socket as f64;
     let mut progs = Vec::new();
-    for s in 0..spec.sockets {
+    for &dram in &dram_ids {
         for _ in 0..spec.cores_per_socket {
             let mut p = ThreadProg::new();
-            p.use_res(dram_ids[s], per_thread);
+            p.use_res(dram, per_thread);
             progs.push(p);
         }
     }

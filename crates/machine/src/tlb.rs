@@ -74,8 +74,7 @@ impl Tlb {
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, (_, lru))| *lru)
-                .map(|(i, _)| i)
-                .unwrap();
+                .map_or(0, |(i, _)| i);
             self.slots[victim] = (page, self.clock);
         }
         false

@@ -97,7 +97,12 @@ impl<T> AlignedVec<T> {
     fn layout(len: usize) -> Layout {
         let size = core::mem::size_of::<T>() * len.max(1);
         let align = CACHELINE_BYTES.max(core::mem::align_of::<T>());
-        Layout::from_size_align(size, align).expect("allocation too large")
+        let Ok(layout) = Layout::from_size_align(size, align) else {
+            // Same contract as Vec's "capacity overflow": a request this
+            // large can never be satisfied, so it is a caller bug.
+            panic!("AlignedVec allocation of {size} bytes overflows the address space");
+        };
+        layout
     }
 }
 

@@ -4,46 +4,112 @@
 //! Pinning is what makes the role pairing of [`crate::roles`] physical:
 //! a data-thread only shares its compute sibling's functional units if
 //! both are pinned to the same core. Behind the `affinity` feature this
-//! calls Linux `sched_setaffinity`; without it (or on other platforms)
-//! pinning is a recorded no-op so the library stays portable.
+//! calls Linux `sched_setaffinity` directly (a raw extern binding — the
+//! workspace builds without the libc crate); without it (or on other
+//! platforms) pinning is reported as [`PinStatus::Unsupported`].
+//!
+//! Pin failures are never silent: every request returns a typed
+//! [`PinStatus`], the executor collects them into its run report, and
+//! [`warn_on_failures`] emits a once-per-process stderr warning so
+//! degraded placement is visible even to callers that ignore the
+//! report.
 
-/// Outcome of a pin request.
+/// Outcome of one pin request — the typed status the run report and
+/// the CLI surface.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum PinResult {
-    /// The OS accepted the CPU set.
-    Pinned,
-    /// Pinning unavailable (feature off, non-Linux, or the CPU id does
-    /// not exist on this host) — execution proceeds unpinned.
-    Unavailable,
+pub enum PinStatus {
+    /// The OS accepted the single-CPU set.
+    Pinned { cpu: usize },
+    /// The OS rejected the request (`errno` from `sched_setaffinity`,
+    /// or 0 when the CPU id exceeds the online count and the syscall
+    /// was not attempted).
+    Failed { cpu: usize, errno: i32 },
+    /// Pinning not compiled in (`affinity` feature off) or not
+    /// supported on this platform.
+    Unsupported,
+}
+
+impl PinStatus {
+    pub fn is_pinned(&self) -> bool {
+        matches!(self, PinStatus::Pinned { .. })
+    }
+
+    /// Short human-readable form for reports ("pinned@3", "failed@9
+    /// (errno 22)", "unsupported").
+    pub fn describe(&self) -> String {
+        match self {
+            PinStatus::Pinned { cpu } => format!("pinned@{cpu}"),
+            PinStatus::Failed { cpu, errno } => format!("failed@{cpu} (errno {errno})"),
+            PinStatus::Unsupported => "unsupported".to_string(),
+        }
+    }
+}
+
+#[cfg(all(feature = "affinity", target_os = "linux"))]
+mod sys {
+    /// 1024-CPU mask, the kernel's default `cpu_set_t` width.
+    pub const MASK_WORDS: usize = 16;
+
+    extern "C" {
+        /// Provided by the platform libc, which std already links.
+        pub fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
+        pub fn sched_getaffinity(pid: i32, cpusetsize: usize, mask: *mut u64) -> i32;
+    }
+}
+
+/// Probes whether affinity syscalls work here *without changing* the
+/// caller's affinity: reads the current mask and writes it back
+/// unchanged. Used by host-profile detection to decide whether a
+/// pinned plan can be honored.
+pub fn probe_pinning() -> bool {
+    #[cfg(all(feature = "affinity", target_os = "linux"))]
+    {
+        let mut mask = [0u64; sys::MASK_WORDS];
+        // Safety: mask is a valid, writable buffer of the stated size.
+        let rc = unsafe {
+            sys::sched_getaffinity(0, core::mem::size_of_val(&mask), mask.as_mut_ptr())
+        };
+        if rc != 0 {
+            return false;
+        }
+        // Safety: same buffer, now read-only; setting the mask we just
+        // read is a no-op for scheduling.
+        let rc = unsafe {
+            sys::sched_setaffinity(0, core::mem::size_of_val(&mask), mask.as_ptr())
+        };
+        rc == 0
+    }
+    #[cfg(not(all(feature = "affinity", target_os = "linux")))]
+    {
+        false
+    }
 }
 
 /// Pins the calling thread to logical CPU `cpu` if possible.
-pub fn pin_current_thread(cpu: usize) -> PinResult {
+pub fn pin_current_thread(cpu: usize) -> PinStatus {
     #[cfg(all(feature = "affinity", target_os = "linux"))]
     {
-        if cpu >= num_cpus_online() {
-            return PinResult::Unavailable;
+        if cpu >= num_cpus_online() || cpu >= sys::MASK_WORDS * 64 {
+            return PinStatus::Failed { cpu, errno: 0 };
         }
-        // Safety: CPU_* only write into the local cpu_set_t.
-        unsafe {
-            let mut set: libc::cpu_set_t = core::mem::zeroed();
-            libc::CPU_ZERO(&mut set);
-            libc::CPU_SET(cpu, &mut set);
-            let rc = libc::sched_setaffinity(
-                0, // current thread
-                core::mem::size_of::<libc::cpu_set_t>(),
-                &set,
-            );
-            if rc == 0 {
-                return PinResult::Pinned;
-            }
+        let mut mask = [0u64; sys::MASK_WORDS];
+        mask[cpu / 64] = 1u64 << (cpu % 64);
+        // Safety: the mask outlives the call and its length matches
+        // `cpusetsize`; pid 0 addresses the calling thread.
+        let rc = unsafe {
+            sys::sched_setaffinity(0, core::mem::size_of_val(&mask), mask.as_ptr())
+        };
+        if rc == 0 {
+            PinStatus::Pinned { cpu }
+        } else {
+            let errno = std::io::Error::last_os_error().raw_os_error().unwrap_or(-1);
+            PinStatus::Failed { cpu, errno }
         }
-        PinResult::Unavailable
     }
     #[cfg(not(all(feature = "affinity", target_os = "linux")))]
     {
         let _ = cpu;
-        PinResult::Unavailable
+        PinStatus::Unsupported
     }
 }
 
@@ -52,6 +118,29 @@ pub fn num_cpus_online() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Emits a single per-process stderr warning the first time any pin
+/// request in `statuses` is not [`PinStatus::Pinned`]. Returns the
+/// number of failed/unsupported requests.
+pub fn warn_on_failures(statuses: &[PinStatus]) -> usize {
+    let failed = statuses.iter().filter(|s| !s.is_pinned()).count();
+    if failed > 0 {
+        static WARNED: std::sync::Once = std::sync::Once::new();
+        WARNED.call_once(|| {
+            eprintln!(
+                "bwfft-pipeline: warning: {failed}/{} thread pin request(s) not honored \
+                 ({}); running with OS placement — expect degraded overlap",
+                statuses.len(),
+                statuses
+                    .iter()
+                    .find(|s| !s.is_pinned())
+                    .map(|s| s.describe())
+                    .unwrap_or_default(),
+            );
+        });
+    }
+    failed
 }
 
 #[cfg(test)]
@@ -64,14 +153,50 @@ mod tests {
     }
 
     #[test]
-    fn pinning_to_cpu0_succeeds_or_degrades_gracefully() {
+    fn pinning_to_cpu0_succeeds_or_reports_typed_failure() {
         // CPU 0 exists everywhere; the call must not panic either way.
         let r = pin_current_thread(0);
-        assert!(matches!(r, PinResult::Pinned | PinResult::Unavailable));
+        assert!(matches!(
+            r,
+            PinStatus::Pinned { cpu: 0 } | PinStatus::Failed { cpu: 0, .. } | PinStatus::Unsupported
+        ));
     }
 
     #[test]
-    fn pinning_to_absurd_cpu_reports_unavailable() {
-        assert_eq!(pin_current_thread(100_000), PinResult::Unavailable);
+    fn pinning_to_absurd_cpu_reports_failure() {
+        let r = pin_current_thread(100_000);
+        assert!(!r.is_pinned());
+        if cfg!(all(feature = "affinity", target_os = "linux")) {
+            assert_eq!(r, PinStatus::Failed { cpu: 100_000, errno: 0 });
+        }
+    }
+
+    #[test]
+    fn probe_is_nondestructive_and_consistent() {
+        // Probing twice must agree and must not disturb the thread.
+        let a = probe_pinning();
+        let b = probe_pinning();
+        assert_eq!(a, b);
+        if cfg!(all(feature = "affinity", target_os = "linux")) {
+            assert!(a, "get+set of the current mask should succeed on Linux");
+        }
+    }
+
+    #[test]
+    fn statuses_describe_themselves() {
+        assert_eq!(PinStatus::Pinned { cpu: 3 }.describe(), "pinned@3");
+        assert!(PinStatus::Failed { cpu: 9, errno: 22 }.describe().contains("errno 22"));
+        assert_eq!(PinStatus::Unsupported.describe(), "unsupported");
+    }
+
+    #[test]
+    fn warn_counts_failures() {
+        let n = warn_on_failures(&[
+            PinStatus::Pinned { cpu: 0 },
+            PinStatus::Failed { cpu: 7, errno: 22 },
+            PinStatus::Unsupported,
+        ]);
+        assert_eq!(n, 2);
+        assert_eq!(warn_on_failures(&[PinStatus::Pinned { cpu: 1 }]), 0);
     }
 }

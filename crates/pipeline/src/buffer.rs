@@ -101,6 +101,52 @@ pub fn partition(total: usize, parts: usize) -> Vec<core::ops::Range<usize>> {
     out
 }
 
+/// Rejected [`split_disjoint`] request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BufferError {
+    /// `parts == 0`: nothing to split into.
+    ZeroParts { total: usize },
+    /// More parts than elements: some share would be empty, breaking
+    /// the executor's every-thread-owns-work invariant.
+    Oversized { total: usize, parts: usize },
+}
+
+impl core::fmt::Display for BufferError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            BufferError::ZeroParts { total } => {
+                write!(f, "cannot split {total} elements into 0 parts")
+            }
+            BufferError::Oversized { total, parts } => write!(
+                f,
+                "cannot split {total} elements into {parts} non-empty parts"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BufferError {}
+
+/// Checked variant of [`partition`]: splits `0..total` into `parts`
+/// non-empty near-equal contiguous ranges, or reports why it cannot.
+///
+/// Unlike `partition` (which tolerates empty shares — some threads
+/// simply have no work), this is the API for callers that require every
+/// share to be non-empty and want a typed error instead of a panic for
+/// `parts == 0` or oversized requests.
+pub fn split_disjoint(
+    total: usize,
+    parts: usize,
+) -> Result<Vec<core::ops::Range<usize>>, BufferError> {
+    if parts == 0 {
+        return Err(BufferError::ZeroParts { total });
+    }
+    if parts > total {
+        return Err(BufferError::Oversized { total, parts });
+    }
+    Ok(partition(total, parts))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,5 +192,18 @@ mod tests {
             let max = sizes.iter().max().unwrap();
             assert!(max - min <= 1);
         }
+    }
+
+    #[test]
+    fn split_disjoint_rejects_degenerate_requests() {
+        assert_eq!(split_disjoint(10, 0), Err(BufferError::ZeroParts { total: 10 }));
+        assert_eq!(
+            split_disjoint(3, 5),
+            Err(BufferError::Oversized { total: 3, parts: 5 })
+        );
+        let ranges = split_disjoint(10, 3).unwrap();
+        assert_eq!(ranges.len(), 3);
+        assert!(ranges.iter().all(|r| !r.is_empty()));
+        assert!(BufferError::ZeroParts { total: 1 }.to_string().contains("0 parts"));
     }
 }

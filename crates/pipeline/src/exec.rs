@@ -10,12 +10,43 @@
 //! load/compute/store callbacks; `bwfft-core` instantiates them with
 //! the `R`/`W` matrices and batched FFT kernels, and the tests here use
 //! trivial arithmetic to verify the orchestration itself.
+//!
+//! # Fault model
+//!
+//! A barrier-synchronized pipeline dies ugly by default: one panicking
+//! worker unwinds past its barrier arrivals and every surviving thread
+//! deadlocks. This executor therefore:
+//!
+//! * wraps every Load/Compute/Store callback invocation in
+//!   [`std::panic::catch_unwind`];
+//! * replaces `std::sync::Barrier` with an abort-aware barrier that
+//!   re-checks a shared abort flag while waiting, so when any worker
+//!   trips the flag all peers *drain* (exit their step loop) instead of
+//!   waiting forever;
+//! * optionally arms a per-wait watchdog ([`PipelineConfig::iter_timeout`])
+//!   that converts a stalled peer into a typed
+//!   [`PipelineError::StageTimeout`];
+//! * joins every thread and returns the first failure as a typed
+//!   [`PipelineError::WorkerPanicked`] / `StageTimeout` value — the
+//!   panic never crosses the library boundary.
+//!
+//! A truly wedged worker (one that never returns from its callback) is
+//! *detected* by peers through the watchdog, but `run_pipeline` still
+//! joins it before returning: the executor uses scoped threads, so the
+//! typed error is produced as soon as the straggler's callback returns.
+//! Injected faults ([`crate::fault::FaultPlan`]) are always finite.
 
-use crate::affinity;
+use crate::affinity::{self, PinStatus};
 use crate::buffer::{partition, DoubleBuffer};
+use crate::error::{ConfigError, PipelineError};
+use crate::fault::FaultPlan;
+use crate::roles::Role;
 use crate::schedule::{PipelineStep, Schedule};
 use bwfft_num::Complex64;
-use std::sync::Barrier;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 /// Per-data-thread loader: `(block, offset_in_block, share)` — fill
 /// `share` with the block's elements starting at `offset_in_block`.
@@ -50,21 +81,413 @@ pub struct PipelineConfig {
     /// Optional CPU pinning: one CPU id per thread, data threads first
     /// then compute threads.
     pub pin_cpus: Option<Vec<usize>>,
+    /// Watchdog: longest a thread may wait at one barrier before the
+    /// run is aborted with [`PipelineError::StageTimeout`]. `None`
+    /// disables the watchdog (waits are unbounded, as with
+    /// `std::sync::Barrier`).
+    pub iter_timeout: Option<Duration>,
+    /// Faults to inject (tests / resilience drills). `None` ≡ no faults.
+    pub fault: Option<FaultPlan>,
+}
+
+impl Default for PipelineConfig {
+    /// A placeholder config: 1 block, unit partitions, no pinning, no
+    /// watchdog, no faults. Callers override `iters` and the units.
+    fn default() -> Self {
+        PipelineConfig {
+            iters: 1,
+            load_unit: 1,
+            compute_unit: 1,
+            pin_cpus: None,
+            iter_timeout: None,
+            fault: None,
+        }
+    }
+}
+
+/// What a successful run reports back.
+#[derive(Clone, Debug, Default)]
+pub struct PipelineReport {
+    /// Blocks processed (the configured `iters`).
+    pub blocks: usize,
+    /// One pin status per thread (data threads first), empty when no
+    /// pinning was requested.
+    pub pin_status: Vec<PinStatus>,
+    /// Number of pin requests that were not honored.
+    pub pin_failures: usize,
+}
+
+/// How a barrier wait ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum WaitOutcome {
+    /// All expected threads arrived; proceed.
+    Released,
+    /// The shared abort flag was tripped by a peer; drain.
+    Aborted,
+    /// The watchdog expired before the peers arrived.
+    TimedOut,
+}
+
+/// First-failure cell shared by all pipeline threads: records the first
+/// typed error and flips the abort flag every barrier wait polls.
+struct FailureCell {
+    aborted: AtomicBool,
+    first: Mutex<Option<PipelineError>>,
+}
+
+impl FailureCell {
+    fn new() -> Self {
+        FailureCell {
+            aborted: AtomicBool::new(false),
+            first: Mutex::new(None),
+        }
+    }
+
+    #[inline]
+    fn is_aborted(&self) -> bool {
+        self.aborted.load(Ordering::Acquire)
+    }
+
+    /// Records `err` if it is the first failure and trips the abort
+    /// flag either way.
+    fn trip(&self, err: PipelineError) {
+        let mut guard = lock_tolerant(&self.first);
+        guard.get_or_insert(err);
+        drop(guard);
+        self.aborted.store(true, Ordering::Release);
+    }
+
+    fn into_error(self) -> Option<PipelineError> {
+        self.first
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Poison-tolerant lock: a peer panicking while holding the lock is
+/// exactly the situation this executor must survive.
+fn lock_tolerant<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A reusable counting barrier whose waiters poll the shared abort flag
+/// and an optional watchdog deadline instead of blocking indefinitely.
+///
+/// Unlike `std::sync::Barrier`, a wait here can end three ways
+/// ([`WaitOutcome`]); after any `Aborted`/`TimedOut` outcome the caller
+/// must drain (the barrier is left untouched — no thread reuses it once
+/// the run is aborted).
+struct AbortableBarrier {
+    expected: usize,
+    state: Mutex<BarrierState>,
+    cvar: Condvar,
+}
+
+struct BarrierState {
+    count: usize,
+    generation: u64,
+}
+
+/// How often waiters re-check the abort flag. Pure failure-path
+/// latency: on the happy path waiters are woken by the last arrival.
+const ABORT_POLL: Duration = Duration::from_millis(2);
+
+impl AbortableBarrier {
+    fn new(expected: usize) -> Self {
+        AbortableBarrier {
+            expected,
+            state: Mutex::new(BarrierState {
+                count: 0,
+                generation: 0,
+            }),
+            cvar: Condvar::new(),
+        }
+    }
+
+    fn wait(&self, fail: &FailureCell, timeout: Option<Duration>) -> WaitOutcome {
+        if fail.is_aborted() {
+            return WaitOutcome::Aborted;
+        }
+        let mut state = lock_tolerant(&self.state);
+        let generation = state.generation;
+        state.count += 1;
+        if state.count == self.expected {
+            state.count = 0;
+            state.generation = state.generation.wrapping_add(1);
+            drop(state);
+            self.cvar.notify_all();
+            return WaitOutcome::Released;
+        }
+        let start = Instant::now();
+        loop {
+            let (next, _) = self
+                .cvar
+                .wait_timeout(state, ABORT_POLL)
+                .unwrap_or_else(|e| e.into_inner());
+            state = next;
+            if state.generation != generation {
+                return WaitOutcome::Released;
+            }
+            if fail.is_aborted() {
+                return WaitOutcome::Aborted;
+            }
+            if let Some(t) = timeout {
+                if start.elapsed() >= t {
+                    return WaitOutcome::TimedOut;
+                }
+            }
+        }
+    }
+}
+
+/// Renders a caught panic payload for the typed error.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Runs one contained phase. Returns `true` to continue, `false` when
+/// the phase panicked (the failure cell is tripped with the payload).
+fn contained_phase(
+    fail: &FailureCell,
+    role: Role,
+    thread: usize,
+    iter: usize,
+    phase: impl FnOnce(),
+) -> bool {
+    match catch_unwind(AssertUnwindSafe(phase)) {
+        Ok(()) => true,
+        Err(payload) => {
+            fail.trip(PipelineError::WorkerPanicked {
+                role,
+                thread,
+                iter,
+                message: panic_message(payload),
+            });
+            false
+        }
+    }
+}
+
+/// Prefix of injected-fault panic messages —
+/// [`crate::fault::silence_injected_panic_reports`] keys on it.
+pub const INJECTED_FAULT_PREFIX: &str = "injected fault";
+
+/// Shared per-run context the worker loops borrow.
+struct RunCtx<'r> {
+    buffer: &'r DoubleBuffer,
+    schedule: &'r Schedule,
+    data_barrier: &'r AbortableBarrier,
+    global_barrier: &'r AbortableBarrier,
+    fail: &'r FailureCell,
+    timeout: Option<Duration>,
+    fault: &'r FaultPlan,
+}
+
+impl RunCtx<'_> {
+    /// Sleeps if a stall fault targets `(role, thread)` at block `blk`.
+    fn maybe_stall(&self, role: Role, thread: usize, blk: usize) {
+        if let Some((iter, dur)) = self.fault.stall_for(role, thread) {
+            if iter == blk {
+                std::thread::sleep(dur);
+            }
+        }
+    }
+
+    /// True when a panic fault targets `(role, thread)` at block `blk`.
+    fn injects_panic(&self, role: Role, thread: usize, blk: usize) -> bool {
+        self.fault.panic_site_for(role, thread) == Some(blk)
+    }
+
+    /// Pin the calling thread per config, honoring `deny_pinning`.
+    fn pin(&self, pins: &Option<Vec<usize>>, slot: usize) -> Option<PinStatus> {
+        let cpu = pins.as_ref().map(|p| p[slot])?;
+        Some(if self.fault.deny_pinning {
+            PinStatus::Failed { cpu, errno: 0 }
+        } else {
+            affinity::pin_current_thread(cpu)
+        })
+    }
+}
+
+/// The data-thread worker loop (store, data barrier, load, global
+/// barrier per step). Returns when the schedule completes or the run
+/// aborts.
+fn data_thread_loop(ctx: &RunCtx<'_>, j: usize, load: &mut LoadFn<'_>, store: &mut StoreFn<'_>, load_range: core::ops::Range<usize>) {
+    for step in ctx.schedule.steps() {
+        if ctx.fail.is_aborted() {
+            return;
+        }
+        if let Some(blk) = step.store {
+            // Safety: between the previous global barrier and the data
+            // barrier below, half `blk % 2` is only read (by data
+            // threads); compute threads work on the other half
+            // (schedule invariant).
+            let half = unsafe { ctx.buffer.half(PipelineStep::half_of(blk)) };
+            if !contained_phase(ctx.fail, Role::Data, j, blk, || store(blk, half)) {
+                return;
+            }
+        }
+        match ctx.data_barrier.wait(ctx.fail, ctx.timeout) {
+            WaitOutcome::Released => {}
+            WaitOutcome::Aborted => return,
+            WaitOutcome::TimedOut => {
+                ctx.fail.trip(PipelineError::StageTimeout {
+                    role: Role::Data,
+                    thread: j,
+                    iter: step.step,
+                    timeout: ctx.timeout.unwrap_or_default(),
+                });
+                return;
+            }
+        }
+        if let Some(blk) = step.load {
+            ctx.maybe_stall(Role::Data, j, blk);
+            let range = load_range.clone();
+            // Safety: load shares are disjoint across data threads; all
+            // stores of this half completed at the data barrier; compute
+            // is on the other half.
+            let share =
+                unsafe { ctx.buffer.half_range_mut(PipelineStep::half_of(blk), range.clone()) };
+            let inject = ctx.injects_panic(Role::Data, j, blk);
+            let ok = contained_phase(ctx.fail, Role::Data, j, blk, || {
+                if inject {
+                    panic!("{INJECTED_FAULT_PREFIX}: Data worker {j} at iteration {blk}");
+                }
+                load(blk, range.start, share);
+            });
+            if !ok {
+                return;
+            }
+        }
+        match ctx.global_barrier.wait(ctx.fail, ctx.timeout) {
+            WaitOutcome::Released => {}
+            WaitOutcome::Aborted => return,
+            WaitOutcome::TimedOut => {
+                ctx.fail.trip(PipelineError::StageTimeout {
+                    role: Role::Data,
+                    thread: j,
+                    iter: step.step,
+                    timeout: ctx.timeout.unwrap_or_default(),
+                });
+                return;
+            }
+        }
+    }
+}
+
+/// The compute-thread worker loop (compute, global barrier per step).
+fn compute_thread_loop(ctx: &RunCtx<'_>, j: usize, compute: &mut ComputeFn<'_>, compute_range: core::ops::Range<usize>) {
+    for step in ctx.schedule.steps() {
+        if ctx.fail.is_aborted() {
+            return;
+        }
+        if let Some(blk) = step.compute {
+            ctx.maybe_stall(Role::Compute, j, blk);
+            let range = compute_range.clone();
+            // Safety: compute shares are disjoint across compute threads
+            // and the compute half is untouched by data threads this
+            // step.
+            let share =
+                unsafe { ctx.buffer.half_range_mut(PipelineStep::half_of(blk), range.clone()) };
+            let inject = ctx.injects_panic(Role::Compute, j, blk);
+            let ok = contained_phase(ctx.fail, Role::Compute, j, blk, || {
+                if inject {
+                    panic!("{INJECTED_FAULT_PREFIX}: Compute worker {j} at iteration {blk}");
+                }
+                compute(blk, range.start, share);
+            });
+            if !ok {
+                return;
+            }
+        }
+        match ctx.global_barrier.wait(ctx.fail, ctx.timeout) {
+            WaitOutcome::Released => {}
+            WaitOutcome::Aborted => return,
+            WaitOutcome::TimedOut => {
+                ctx.fail.trip(PipelineError::StageTimeout {
+                    role: Role::Compute,
+                    thread: j,
+                    iter: step.step,
+                    timeout: ctx.timeout.unwrap_or_default(),
+                });
+                return;
+            }
+        }
+    }
+}
+
+/// Validates the configuration against the callbacks and buffer.
+fn validate(
+    buffer: &DoubleBuffer,
+    cfg: &PipelineConfig,
+    callbacks: &PipelineCallbacks<'_>,
+) -> Result<(), ConfigError> {
+    let b = buffer.half_elems();
+    let p_d = callbacks.loaders.len();
+    let p_c = callbacks.computes.len();
+    if callbacks.storers.len() != p_d {
+        return Err(ConfigError::MismatchedRoles {
+            loaders: p_d,
+            storers: callbacks.storers.len(),
+        });
+    }
+    if p_d == 0 {
+        return Err(ConfigError::ZeroThreads { role: Role::Data });
+    }
+    if p_c == 0 {
+        return Err(ConfigError::ZeroThreads { role: Role::Compute });
+    }
+    if cfg.iters == 0 {
+        return Err(ConfigError::ZeroIters);
+    }
+    if cfg.load_unit == 0 || !b.is_multiple_of(cfg.load_unit) {
+        return Err(ConfigError::UnitMismatch {
+            what: "load_unit",
+            unit: cfg.load_unit,
+            half_elems: b,
+        });
+    }
+    if cfg.compute_unit == 0 || !b.is_multiple_of(cfg.compute_unit) {
+        return Err(ConfigError::UnitMismatch {
+            what: "compute_unit",
+            unit: cfg.compute_unit,
+            half_elems: b,
+        });
+    }
+    if let Some(pins) = &cfg.pin_cpus {
+        if pins.len() != p_d + p_c {
+            return Err(ConfigError::PinListMismatch {
+                pins: pins.len(),
+                threads: p_d + p_c,
+            });
+        }
+    }
+    Ok(())
 }
 
 /// Runs the software pipeline. `buffer.half_elems()` is the block size
 /// `b`; it must be divisible by both units.
-pub fn run_pipeline(buffer: &DoubleBuffer, cfg: &PipelineConfig, callbacks: PipelineCallbacks) {
+///
+/// On success, returns a [`PipelineReport`] with per-thread pin
+/// statuses. On failure, returns the first typed [`PipelineError`]:
+/// configuration problems before any thread starts, contained worker
+/// panics and watchdog timeouts after all threads have drained and
+/// joined.
+pub fn run_pipeline(
+    buffer: &DoubleBuffer,
+    cfg: &PipelineConfig,
+    callbacks: PipelineCallbacks,
+) -> Result<PipelineReport, PipelineError> {
+    validate(buffer, cfg, &callbacks)?;
     let b = buffer.half_elems();
     let p_d = callbacks.loaders.len();
     let p_c = callbacks.computes.len();
-    assert_eq!(callbacks.storers.len(), p_d, "one storer per data thread");
-    assert!(p_d >= 1 && p_c >= 1, "need at least one thread per role");
-    assert!(cfg.load_unit >= 1 && b.is_multiple_of(cfg.load_unit));
-    assert!(cfg.compute_unit >= 1 && b.is_multiple_of(cfg.compute_unit));
-    if let Some(pins) = &cfg.pin_cpus {
-        assert_eq!(pins.len(), p_d + p_c, "one CPU per thread");
-    }
 
     let schedule = Schedule::new(cfg.iters);
     let load_ranges: Vec<_> = partition(b / cfg.load_unit, p_d)
@@ -76,17 +499,26 @@ pub fn run_pipeline(buffer: &DoubleBuffer, cfg: &PipelineConfig, callbacks: Pipe
         .map(|r| r.start * cfg.compute_unit..r.end * cfg.compute_unit)
         .collect();
 
-    let data_barrier = Barrier::new(p_d);
-    let global_barrier = Barrier::new(p_d + p_c);
-    let schedule_ref = &schedule;
-    let data_barrier_ref = &data_barrier;
-    let global_barrier_ref = &global_barrier;
-    let load_ranges_ref = &load_ranges;
-    let compute_ranges_ref = &compute_ranges;
+    let fail = FailureCell::new();
+    let data_barrier = AbortableBarrier::new(p_d);
+    let global_barrier = AbortableBarrier::new(p_d + p_c);
+    let empty_fault = FaultPlan::none();
+    let ctx = RunCtx {
+        buffer,
+        schedule: &schedule,
+        data_barrier: &data_barrier,
+        global_barrier: &global_barrier,
+        fail: &fail,
+        timeout: cfg.iter_timeout,
+        fault: cfg.fault.as_ref().unwrap_or(&empty_fault),
+    };
+    let ctx_ref = &ctx;
     let pins = cfg.pin_cpus.clone();
+    let pin_slots: Mutex<Vec<Option<PinStatus>>> = Mutex::new(vec![None; p_d + p_c]);
+    let pin_slots_ref = &pin_slots;
 
     std::thread::scope(|scope| {
-        let mut handles = Vec::new();
+        let mut handles = Vec::with_capacity(p_d + p_c);
         // Data threads.
         for (j, (mut load, mut store)) in callbacks
             .loaders
@@ -95,65 +527,56 @@ pub fn run_pipeline(buffer: &DoubleBuffer, cfg: &PipelineConfig, callbacks: Pipe
             .enumerate()
         {
             let pins = pins.clone();
-            handles.push(scope.spawn(move || {
-                if let Some(p) = &pins {
-                    let _ = affinity::pin_current_thread(p[j]);
+            let range = load_ranges[j].clone();
+            handles.push((Role::Data, j, scope.spawn(move || {
+                if let Some(st) = ctx_ref.pin(&pins, j) {
+                    lock_tolerant(pin_slots_ref)[j] = Some(st);
                 }
-                for step in schedule_ref.steps() {
-                    if let Some(blk) = step.store {
-                        // Safety: between the previous global barrier
-                        // and the data barrier below, half `blk % 2` is
-                        // only read (by data threads); compute threads
-                        // work on the other half (schedule invariant).
-                        let half = unsafe { buffer.half(PipelineStep::half_of(blk)) };
-                        store(blk, half);
-                    }
-                    data_barrier_ref.wait();
-                    if let Some(blk) = step.load {
-                        let range = load_ranges_ref[j].clone();
-                        // Safety: load shares are disjoint across data
-                        // threads; all stores of this half completed at
-                        // the data barrier; compute is on the other half.
-                        let share = unsafe {
-                            buffer.half_range_mut(PipelineStep::half_of(blk), range.clone())
-                        };
-                        load(blk, range.start, share);
-                    }
-                    global_barrier_ref.wait();
-                }
-            }));
+                data_thread_loop(ctx_ref, j, &mut load, &mut store, range);
+            })));
         }
         // Compute threads.
         for (j, mut compute) in callbacks.computes.into_iter().enumerate() {
             let pins = pins.clone();
-            handles.push(scope.spawn(move || {
-                if let Some(p) = &pins {
-                    let _ = affinity::pin_current_thread(p[p_d + j]);
+            let range = compute_ranges[j].clone();
+            handles.push((Role::Compute, j, scope.spawn(move || {
+                if let Some(st) = ctx_ref.pin(&pins, p_d + j) {
+                    lock_tolerant(pin_slots_ref)[p_d + j] = Some(st);
                 }
-                for step in schedule_ref.steps() {
-                    if let Some(blk) = step.compute {
-                        let range = compute_ranges_ref[j].clone();
-                        // Safety: compute shares are disjoint across
-                        // compute threads and the compute half is
-                        // untouched by data threads this step.
-                        let share = unsafe {
-                            buffer.half_range_mut(PipelineStep::half_of(blk), range.clone())
-                        };
-                        compute(blk, range.start, share);
-                    }
-                    global_barrier_ref.wait();
-                }
-            }));
+                compute_thread_loop(ctx_ref, j, &mut compute, range);
+            })));
         }
-        for h in handles {
-            h.join().expect("pipeline thread panicked");
+        for (role, j, h) in handles {
+            // Worker panics are contained inside the loops; a join error
+            // here means the runtime around them failed — still typed.
+            if let Err(payload) = h.join() {
+                fail.trip(PipelineError::WorkerPanicked {
+                    role,
+                    thread: j,
+                    iter: 0,
+                    message: panic_message(payload),
+                });
+            }
         }
     });
+
+    let pin_status: Vec<PinStatus> = lock_tolerant(&pin_slots).iter().copied().flatten().collect();
+    let pin_failures = affinity::warn_on_failures(&pin_status);
+
+    match fail.into_error() {
+        Some(err) => Err(err),
+        None => Ok(PipelineReport {
+            blocks: cfg.iters,
+            pin_status,
+            pin_failures,
+        }),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::silence_injected_panic_reports;
     use bwfft_num::signal::random_complex;
     use bwfft_num::AlignedVec;
     use std::sync::atomic::{AtomicUsize, Ordering};
@@ -187,7 +610,7 @@ mod tests {
                     // Thread j writes its contiguous quarter.
                     let ranges = partition(b, p_d);
                     let r = ranges[j].clone();
-                    let mut guard = out_ref.0.lock().unwrap();
+                    let mut guard = out_ref.0.lock().unwrap_or_else(|e| e.into_inner());
                     guard[blk * b + r.start..blk * b + r.end].copy_from_slice(&half[r]);
                 }) as StoreFn
             })
@@ -202,22 +625,23 @@ mod tests {
             })
             .collect();
 
-        run_pipeline(
+        let report = run_pipeline(
             &buffer,
             &PipelineConfig {
                 iters: blocks,
-                load_unit: 1,
-                compute_unit: 1,
-                pin_cpus: None,
+                ..PipelineConfig::default()
             },
             PipelineCallbacks {
                 loaders,
                 storers,
                 computes,
             },
-        );
+        )
+        .expect("fault-free pipeline must succeed");
+        assert_eq!(report.blocks, blocks);
+        assert!(report.pin_status.is_empty());
 
-        let got = out.0.into_inner().unwrap();
+        let got = out.0.into_inner().unwrap_or_else(|e| e.into_inner());
         for (i, (g, e)) in got.iter().zip(&x).enumerate() {
             assert_eq!(*g, *e * 2.0, "element {i}");
         }
@@ -243,6 +667,17 @@ mod tests {
         run_identity_pipeline(2, 2, 1, 32);
     }
 
+    /// Callbacks that do nothing — scaffolding for orchestration tests.
+    fn noop_callbacks<'a>(p_d: usize, p_c: usize) -> PipelineCallbacks<'a> {
+        PipelineCallbacks {
+            loaders: (0..p_d).map(|_| Box::new(|_, _, _: &mut [Complex64]| {}) as LoadFn).collect(),
+            storers: (0..p_d).map(|_| Box::new(|_, _: &[Complex64]| {}) as StoreFn).collect(),
+            computes: (0..p_c)
+                .map(|_| Box::new(|_, _, _: &mut [Complex64]| {}) as ComputeFn)
+                .collect(),
+        }
+    }
+
     #[test]
     fn compute_sees_every_block_exactly_once() {
         let b = 32;
@@ -256,21 +691,20 @@ mod tests {
             &buffer,
             &PipelineConfig {
                 iters: blocks,
-                load_unit: 1,
-                compute_unit: 1,
-                pin_cpus: None,
+                ..PipelineConfig::default()
             },
             PipelineCallbacks {
                 loaders: vec![Box::new(|_, _, _| {})],
                 storers: vec![Box::new(|_, _| {})],
                 computes: vec![Box::new(move |blk, _, _| {
                     count_ref.fetch_add(1, Ordering::SeqCst);
-                    seen_ref.lock().unwrap().push(blk);
+                    seen_ref.lock().unwrap_or_else(|e| e.into_inner()).push(blk);
                 })],
             },
-        );
+        )
+        .unwrap();
         assert_eq!(count.load(Ordering::SeqCst), blocks);
-        let mut blocks_seen = seen.into_inner().unwrap();
+        let mut blocks_seen = seen.into_inner().unwrap_or_else(|e| e.into_inner());
         blocks_seen.sort_unstable();
         assert_eq!(blocks_seen, (0..blocks).collect::<Vec<_>>());
     }
@@ -287,23 +721,22 @@ mod tests {
             &buffer,
             &PipelineConfig {
                 iters: blocks,
-                load_unit: 1,
-                compute_unit: 1,
-                pin_cpus: None,
+                ..PipelineConfig::default()
             },
             PipelineCallbacks {
                 loaders: vec![Box::new(move |blk, _, _| {
-                    log_ref.lock().unwrap().push(('L', blk));
+                    log_ref.lock().unwrap_or_else(|e| e.into_inner()).push(('L', blk));
                 })],
                 storers: vec![Box::new(move |blk, _| {
-                    log_ref.lock().unwrap().push(('S', blk));
+                    log_ref.lock().unwrap_or_else(|e| e.into_inner()).push(('S', blk));
                 })],
                 computes: vec![Box::new(move |blk, _, _| {
-                    log_ref.lock().unwrap().push(('C', blk));
+                    log_ref.lock().unwrap_or_else(|e| e.into_inner()).push(('C', blk));
                 })],
             },
-        );
-        let events = log.into_inner().unwrap();
+        )
+        .unwrap();
+        let events = log.into_inner().unwrap_or_else(|e| e.into_inner());
         for blk in 0..blocks {
             let lpos = events.iter().position(|e| *e == ('L', blk)).unwrap();
             let cpos = events.iter().position(|e| *e == ('C', blk)).unwrap();
@@ -325,9 +758,7 @@ mod tests {
             &buffer,
             &PipelineConfig {
                 iters: blocks,
-                load_unit: 1,
-                compute_unit: 1,
-                pin_cpus: None,
+                ..PipelineConfig::default()
             },
             PipelineCallbacks {
                 loaders: vec![Box::new(move |blk, off, share| {
@@ -351,7 +782,8 @@ mod tests {
                     }
                 })],
             },
-        );
+        )
+        .unwrap();
         assert_eq!(failures.load(Ordering::SeqCst), 0);
     }
 
@@ -361,43 +793,215 @@ mod tests {
         let buffer = DoubleBuffer::new(b);
         let touched = AtomicUsize::new(0);
         let t = &touched;
-        run_pipeline(
+        let mut callbacks = noop_callbacks(1, 1);
+        callbacks.computes = vec![Box::new(move |_, _, _| {
+            t.fetch_add(1, Ordering::SeqCst);
+        })];
+        let report = run_pipeline(
             &buffer,
             &PipelineConfig {
                 iters: 2,
-                load_unit: 1,
-                compute_unit: 1,
                 pin_cpus: Some(vec![0, 0]),
+                ..PipelineConfig::default()
             },
-            PipelineCallbacks {
-                loaders: vec![Box::new(|_, _, _| {})],
-                storers: vec![Box::new(|_, _| {})],
-                computes: vec![Box::new(move |_, _, _| {
-                    t.fetch_add(1, Ordering::SeqCst);
-                })],
-            },
-        );
+            callbacks,
+        )
+        .unwrap();
         assert_eq!(touched.load(Ordering::SeqCst), 2);
+        // Pinning was requested, so every thread reports a status.
+        assert_eq!(report.pin_status.len(), 2);
     }
 
     #[test]
-    #[should_panic(expected = "one storer per data thread")]
-    fn mismatched_role_counts_rejected() {
-        let buffer = DoubleBuffer::new(8);
-        run_pipeline(
+    fn denied_pinning_is_reported_not_fatal() {
+        let buffer = DoubleBuffer::new(16);
+        let report = run_pipeline(
             &buffer,
             &PipelineConfig {
-                iters: 1,
-                load_unit: 1,
-                compute_unit: 1,
-                pin_cpus: None,
+                iters: 2,
+                pin_cpus: Some(vec![0, 0]),
+                fault: Some(FaultPlan::none().with_denied_pinning()),
+                ..PipelineConfig::default()
             },
+            noop_callbacks(1, 1),
+        )
+        .unwrap();
+        assert_eq!(report.pin_failures, 2);
+        assert!(report.pin_status.iter().all(|s| !s.is_pinned()));
+    }
+
+    #[test]
+    fn mismatched_role_counts_rejected() {
+        let buffer = DoubleBuffer::new(8);
+        let err = run_pipeline(
+            &buffer,
+            &PipelineConfig::default(),
             PipelineCallbacks {
                 loaders: vec![Box::new(|_, _, _| {}), Box::new(|_, _, _| {})],
                 storers: vec![Box::new(|_, _| {})],
                 computes: vec![Box::new(|_, _, _| {})],
             },
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            PipelineError::Config(ConfigError::MismatchedRoles {
+                loaders: 2,
+                storers: 1
+            })
         );
+        assert!(err.to_string().contains("one storer per data thread"));
+    }
+
+    #[test]
+    fn bad_units_and_zero_iters_rejected() {
+        let buffer = DoubleBuffer::new(10);
+        let err = run_pipeline(
+            &buffer,
+            &PipelineConfig {
+                iters: 2,
+                load_unit: 3, // does not divide 10
+                ..PipelineConfig::default()
+            },
+            noop_callbacks(1, 1),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            PipelineError::Config(ConfigError::UnitMismatch { what: "load_unit", .. })
+        ));
+
+        let err = run_pipeline(
+            &buffer,
+            &PipelineConfig {
+                iters: 0,
+                ..PipelineConfig::default()
+            },
+            noop_callbacks(1, 1),
+        )
+        .unwrap_err();
+        assert_eq!(err, PipelineError::Config(ConfigError::ZeroIters));
+
+        let err = run_pipeline(
+            &buffer,
+            &PipelineConfig {
+                iters: 1,
+                pin_cpus: Some(vec![0]),
+                ..PipelineConfig::default()
+            },
+            noop_callbacks(1, 1),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            PipelineError::Config(ConfigError::PinListMismatch { pins: 1, threads: 2 })
+        ));
+    }
+
+    #[test]
+    fn injected_compute_panic_yields_typed_error_without_deadlock() {
+        silence_injected_panic_reports();
+        let buffer = DoubleBuffer::new(32);
+        let err = run_pipeline(
+            &buffer,
+            &PipelineConfig {
+                iters: 6,
+                fault: Some(FaultPlan::panic_at(Role::Compute, 0, 3)),
+                iter_timeout: Some(Duration::from_secs(5)),
+                ..PipelineConfig::default()
+            },
+            noop_callbacks(2, 2),
+        )
+        .unwrap_err();
+        match err {
+            PipelineError::WorkerPanicked {
+                role,
+                thread,
+                iter,
+                message,
+            } => {
+                assert_eq!(role, Role::Compute);
+                assert_eq!(thread, 0);
+                assert_eq!(iter, 3);
+                assert!(message.starts_with(INJECTED_FAULT_PREFIX));
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn user_panic_in_storer_is_contained() {
+        silence_injected_panic_reports();
+        let buffer = DoubleBuffer::new(16);
+        let mut callbacks = noop_callbacks(1, 1);
+        callbacks.storers = vec![Box::new(|blk, _| {
+            if blk == 1 {
+                panic!("user store bug on block {blk}");
+            }
+        })];
+        let err = run_pipeline(
+            &buffer,
+            &PipelineConfig {
+                iters: 4,
+                ..PipelineConfig::default()
+            },
+            callbacks,
+        )
+        .unwrap_err();
+        match err {
+            PipelineError::WorkerPanicked { role, iter, message, .. } => {
+                assert_eq!(role, Role::Data);
+                assert_eq!(iter, 1);
+                assert!(message.contains("user store bug"));
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stall_beyond_watchdog_yields_stage_timeout() {
+        let buffer = DoubleBuffer::new(16);
+        let err = run_pipeline(
+            &buffer,
+            &PipelineConfig {
+                iters: 4,
+                iter_timeout: Some(Duration::from_millis(40)),
+                fault: Some(FaultPlan::stall_at(
+                    Role::Compute,
+                    0,
+                    1,
+                    Duration::from_millis(400),
+                )),
+                ..PipelineConfig::default()
+            },
+            noop_callbacks(1, 1),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, PipelineError::StageTimeout { .. }),
+            "expected StageTimeout, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn stall_within_watchdog_budget_is_harmless() {
+        let buffer = DoubleBuffer::new(16);
+        run_pipeline(
+            &buffer,
+            &PipelineConfig {
+                iters: 3,
+                iter_timeout: Some(Duration::from_secs(5)),
+                fault: Some(FaultPlan::stall_at(
+                    Role::Data,
+                    0,
+                    1,
+                    Duration::from_millis(5),
+                )),
+                ..PipelineConfig::default()
+            },
+            noop_callbacks(1, 1),
+        )
+        .unwrap();
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! Fault injection for the pipeline executor and the machine simulator.
+//!
+//! A [`FaultPlan`] describes misbehaviour to inject into a run so the
+//! containment machinery (catch_unwind, abort flag, watchdog,
+//! degradation policy) can be exercised deterministically from tests
+//! and from the CLI. The real executor consumes [`FaultPlan::panic_at`],
+//! [`FaultPlan::stall`] and [`FaultPlan::deny_pinning`]; the simulator
+//! additionally honours the bandwidth deratings.
+//!
+//! Faults are keyed by a [`FaultSite`]: role, role-local thread index
+//! and pipeline iteration (block index). A `Data` fault fires when the
+//! thread loads block `iter`; a `Compute` fault fires when the thread
+//! computes block `iter`. Because the Table II schedule has a prologue
+//! (loads only), a steady state and an epilogue (stores only), choosing
+//! `iter` 0, a middle block or the last block exercises all three
+//! phases of the pipeline.
+
+use crate::roles::Role;
+use core::time::Duration;
+
+/// One (role, thread, iteration) coordinate in the pipeline schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultSite {
+    pub role: Role,
+    /// Role-local thread index (data thread j or compute thread j).
+    pub thread: usize,
+    /// Block index whose load (Data) / compute (Compute) triggers the
+    /// fault.
+    pub iter: usize,
+}
+
+/// A finite busy-stall injected before a worker's phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StallFault {
+    pub site: FaultSite,
+    /// How long the worker sleeps before doing its work. With an
+    /// `iter_timeout` shorter than this, peers report
+    /// `PipelineError::StageTimeout`.
+    pub duration: Duration,
+}
+
+/// Misbehaviour to inject into a run. `Default` is the empty plan
+/// (no faults).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Panic inside the worker closure at this site.
+    pub panic_at: Option<FaultSite>,
+    /// Sleep inside the worker closure at this site.
+    pub stall: Option<StallFault>,
+    /// Report every pin request as failed without calling the OS —
+    /// drives the pinning-degradation path deterministically.
+    pub deny_pinning: bool,
+    /// Multiply simulated DRAM bandwidth by this factor in (0, 1].
+    /// Ignored by the real executor.
+    pub dram_derate: Option<f64>,
+    /// Multiply simulated inter-socket link bandwidth by this factor
+    /// in (0, 1]. Ignored by the real executor.
+    pub link_derate: Option<f64>,
+}
+
+impl FaultPlan {
+    /// Empty plan; alias for `Default::default()` that reads better at
+    /// call sites.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Plan with a single injected panic.
+    pub fn panic_at(role: Role, thread: usize, iter: usize) -> Self {
+        FaultPlan {
+            panic_at: Some(FaultSite { role, thread, iter }),
+            ..Self::default()
+        }
+    }
+
+    /// Plan with a single injected stall.
+    pub fn stall_at(role: Role, thread: usize, iter: usize, duration: Duration) -> Self {
+        FaultPlan {
+            stall: Some(StallFault {
+                site: FaultSite { role, thread, iter },
+                duration,
+            }),
+            ..Self::default()
+        }
+    }
+
+    /// Builder-style: deny pinning on top of the existing plan.
+    pub fn with_denied_pinning(mut self) -> Self {
+        self.deny_pinning = true;
+        self
+    }
+
+    /// True when the plan injects nothing the real executor reacts to
+    /// and no deratings.
+    pub fn is_empty(&self) -> bool {
+        self.panic_at.is_none()
+            && self.stall.is_none()
+            && !self.deny_pinning
+            && self.dram_derate.is_none()
+            && self.link_derate.is_none()
+    }
+
+    /// The panic site if it matches `(role, thread)`, for the executor's
+    /// per-thread fast check.
+    pub(crate) fn panic_site_for(&self, role: Role, thread: usize) -> Option<usize> {
+        self.panic_at
+            .filter(|s| s.role == role && s.thread == thread)
+            .map(|s| s.iter)
+    }
+
+    /// The stall (iter, duration) if it matches `(role, thread)`.
+    pub(crate) fn stall_for(&self, role: Role, thread: usize) -> Option<(usize, Duration)> {
+        self.stall
+            .filter(|s| s.site.role == role && s.site.thread == thread)
+            .map(|s| (s.site.iter, s.duration))
+    }
+}
+
+/// Installs (once per process) a panic hook that suppresses the stderr
+/// report for panics whose message starts with
+/// [`crate::exec::INJECTED_FAULT_PREFIX`]. Injected faults are caught
+/// by the executor and surfaced as typed errors; the default hook's
+/// "thread panicked at ..." line would be pure noise for them. All
+/// other panics are reported through the previously installed hook.
+///
+/// Intended for fault-injection tests and CLI fault drills.
+pub fn silence_injected_panic_reports() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if !msg.starts_with(crate::exec::INJECTED_FAULT_PREFIX) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_empty() {
+        assert!(FaultPlan::none().is_empty());
+        assert!(!FaultPlan::panic_at(Role::Data, 0, 0).is_empty());
+        assert!(!FaultPlan::none().with_denied_pinning().is_empty());
+    }
+
+    #[test]
+    fn site_matching_is_role_and_thread_scoped() {
+        let p = FaultPlan::panic_at(Role::Compute, 1, 5);
+        assert_eq!(p.panic_site_for(Role::Compute, 1), Some(5));
+        assert_eq!(p.panic_site_for(Role::Compute, 0), None);
+        assert_eq!(p.panic_site_for(Role::Data, 1), None);
+
+        let s = FaultPlan::stall_at(Role::Data, 0, 2, Duration::from_millis(10));
+        assert_eq!(
+            s.stall_for(Role::Data, 0),
+            Some((2, Duration::from_millis(10)))
+        );
+        assert_eq!(s.stall_for(Role::Compute, 0), None);
+    }
+}

@@ -8,13 +8,27 @@
 //! [`buffer`], and a real multithreaded [`exec`] that runs the schedule
 //! with actual OS threads and barriers.
 
+//!
+//! # Fault tolerance
+//!
+//! The executor never lets a worker panic cross the library boundary:
+//! failures come back as typed [`error::PipelineError`] values, a
+//! shared abort flag drains surviving threads (no deadlock), and
+//! [`fault::FaultPlan`] injects panics/stalls/pin-denials for
+//! resilience testing. See the `exec` module docs for the model.
+
 pub mod affinity;
 pub mod buffer;
+pub mod error;
 pub mod exec;
+pub mod fault;
 pub mod roles;
 pub mod schedule;
 
-pub use buffer::DoubleBuffer;
-pub use exec::{run_pipeline, PipelineCallbacks};
+pub use affinity::PinStatus;
+pub use buffer::{split_disjoint, BufferError, DoubleBuffer};
+pub use error::{ConfigError, PipelineError};
+pub use exec::{run_pipeline, PipelineCallbacks, PipelineConfig, PipelineReport};
+pub use fault::{FaultPlan, FaultSite, StallFault};
 pub use roles::{Role, RoleAssignment};
 pub use schedule::{PipelineStep, Schedule};

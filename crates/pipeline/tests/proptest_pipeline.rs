@@ -96,7 +96,7 @@ proptest! {
             .map(|j| {
                 Box::new(move |blk: usize, half: &[Complex64]| {
                     let r = partition(b, p_d)[j].clone();
-                    let mut g = out_ref.lock().unwrap();
+                    let mut g = out_ref.lock().unwrap_or_else(|e| e.into_inner());
                     g[blk * b + r.start..blk * b + r.end].copy_from_slice(&half[r]);
                 }) as StoreFn
             })
@@ -110,19 +110,48 @@ proptest! {
                 }) as ComputeFn
             })
             .collect();
-        run_pipeline(
+        let report = run_pipeline(
             &buffer,
             &PipelineConfig {
                 iters: blocks,
-                load_unit: 1,
-                compute_unit: 1,
-                pin_cpus: None,
+                ..PipelineConfig::default()
             },
             PipelineCallbacks { loaders, storers, computes },
         );
-        let got = out.into_inner().unwrap();
+        prop_assert!(report.is_ok());
+        let got = out.into_inner().unwrap_or_else(|e| e.into_inner());
         for (g, e) in got.iter().zip(&x) {
             prop_assert_eq!(*g, e.conj());
+        }
+    }
+
+    #[test]
+    fn split_disjoint_never_panics_and_types_errors(
+        total in 0usize..10_000,
+        parts in 0usize..32,
+    ) {
+        use bwfft_pipeline::buffer::{split_disjoint, BufferError};
+        match split_disjoint(total, parts) {
+            Ok(ranges) => {
+                // Only valid requests succeed, with non-empty exact cover.
+                prop_assert!(parts >= 1 && parts <= total);
+                prop_assert_eq!(ranges.len(), parts);
+                prop_assert!(ranges.iter().all(|r| !r.is_empty()));
+                let mut cursor = 0;
+                for r in &ranges {
+                    prop_assert_eq!(r.start, cursor);
+                    cursor = r.end;
+                }
+                prop_assert_eq!(cursor, total);
+            }
+            Err(BufferError::ZeroParts { total: t }) => {
+                prop_assert_eq!(parts, 0);
+                prop_assert_eq!(t, total);
+            }
+            Err(BufferError::Oversized { total: t, parts: p }) => {
+                prop_assert!(parts > total);
+                prop_assert_eq!((t, p), (total, parts));
+            }
         }
     }
 }

@@ -118,7 +118,7 @@ pub fn write_pattern(perm: StagePerm, b: usize) -> WritePattern {
 
 fn summarize(bursts: &[Burst]) -> WritePattern {
     assert!(!bursts.is_empty());
-    let burst_elems = bursts.iter().map(|b| b.len).min().unwrap();
+    let burst_elems = bursts.iter().map(|b| b.len).min().unwrap_or(0);
     let mut strides = std::collections::BTreeSet::new();
     let mut prev: Option<usize> = None;
     let mut stride_counts: std::collections::BTreeMap<usize, usize> = Default::default();
@@ -135,8 +135,8 @@ fn summarize(bursts: &[Burst]) -> WritePattern {
         .max_by_key(|(_, c)| **c)
         .map(|(s, _)| *s)
         .unwrap_or(0);
-    let lo = bursts.iter().map(|b| b.start).min().unwrap();
-    let hi = bursts.iter().map(|b| b.start + b.len).max().unwrap();
+    let lo = bursts.iter().map(|b| b.start).min().unwrap_or(0);
+    let hi = bursts.iter().map(|b| b.start + b.len).max().unwrap_or(0);
     WritePattern {
         bursts: bursts.len(),
         burst_elems,
@@ -231,9 +231,14 @@ mod tests {
         for i in 0..total / b {
             let w = WriteMatrix::new(perm, b, i);
             for burst in write_bursts(&w, true) {
-                for e in burst.start..burst.start + burst.len {
-                    assert!(!seen[e], "element {e} written twice");
-                    seen[e] = true;
+                for (e, s) in seen
+                    .iter_mut()
+                    .enumerate()
+                    .skip(burst.start)
+                    .take(burst.len)
+                {
+                    assert!(!*s, "element {e} written twice");
+                    *s = true;
                 }
             }
         }

@@ -183,7 +183,7 @@ impl Formula {
             Formula::StrideL { rows, cols } => rows * cols,
             Formula::Rotation { k, n, m } => k * n * m,
             Formula::Tensor(a, b) => a.cols() * b.cols(),
-            Formula::Compose(fs) => fs.last().unwrap().cols(),
+            Formula::Compose(fs) => fs.last().map_or(0, |g| g.cols()),
             Formula::Scatter { b, .. } => *b,
             Formula::Gather { n, .. } => *n,
         }

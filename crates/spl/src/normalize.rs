@@ -65,10 +65,10 @@ fn simplify_once(f: &Formula) -> Formula {
                 }
                 out.push(g);
             }
-            match out.len() {
-                0 => Formula::Identity(f.rows()),
-                1 => out.pop().unwrap(),
-                _ => Formula::Compose(out),
+            if out.len() > 1 {
+                Formula::Compose(out)
+            } else {
+                out.pop().unwrap_or_else(|| Formula::Identity(f.rows()))
             }
         }
         other => other.clone(),

@@ -7,6 +7,8 @@
 //!
 //! Run with: `cargo run --release --example convolution`
 
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // demo binary, not library code
 use bwfft::core::{exec_real, Dims, FftPlan};
 use bwfft::kernels::Direction;
 use bwfft::num::signal::SplitMix64;
@@ -20,7 +22,7 @@ fn fft3(n: usize, data: &mut [Complex64], dir: Direction) {
         .build()
         .unwrap();
     let mut work = AlignedVec::<Complex64>::zeroed(data.len());
-    exec_real::execute(&plan, data, &mut work);
+    exec_real::execute(&plan, data, &mut work).unwrap();
 }
 
 /// Circular 3D convolution via the convolution theorem.
@@ -134,3 +136,4 @@ fn main() {
     assert!(max_imag < 1e-10, "real in, real out");
     println!("ok.");
 }
+

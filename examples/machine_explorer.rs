@@ -4,6 +4,8 @@
 //!
 //! Run with: `cargo run --release --example machine_explorer`
 
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // demo binary, not library code
 use bwfft::core::exec_sim::{simulate, SimOptions};
 use bwfft::core::{Dims, FftPlan};
 use bwfft::machine::stream::stream_triad;
@@ -19,7 +21,7 @@ fn best_split(spec: &MachineSpec, dims: Dims) -> (usize, usize, f64) {
             .threads(p_d, p_c)
             .build()
             .unwrap();
-        let t = simulate(&plan, spec, &SimOptions::default()).report.time_ns;
+        let t = simulate(&plan, spec, &SimOptions::default()).unwrap().report.time_ns;
         if t < best.2 {
             best = (p_d, p_c, t);
         }
@@ -43,7 +45,7 @@ fn main() {
             .threads(p / 2, p - p / 2)
             .build()
             .unwrap();
-        let r = simulate(&plan, &spec, &SimOptions::default()).report;
+        let r = simulate(&plan, &spec, &SimOptions::default()).unwrap().report;
         let (bd, bc, _) = best_split(&spec, dims);
         println!(
             "{:<36} {:>11.1} {:>11.2} {:>7.1}% {:>9}d+{}c",
@@ -57,3 +59,4 @@ fn main() {
     }
     println!("\nthe half/half split of the paper should be at or near the optimum everywhere.");
 }
+

@@ -10,6 +10,8 @@
 //!
 //! Run with: `cargo run --release --example poisson_solver`
 
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // demo binary, not library code
 use bwfft::core::{exec_real, Dims, FftPlan};
 use bwfft::kernels::Direction;
 use bwfft::num::{AlignedVec, Complex64};
@@ -51,7 +53,7 @@ fn main() {
         .build()
         .unwrap();
     let mut work = AlignedVec::<Complex64>::zeroed(total);
-    exec_real::execute(&fwd, &mut f, &mut work);
+    exec_real::execute(&fwd, &mut f, &mut work).unwrap();
 
     // Divide by the spectral Laplacian eigenvalues −(2π|κ|)².
     for z in 0..n {
@@ -75,7 +77,7 @@ fn main() {
         .direction(Direction::Inverse)
         .build()
         .unwrap();
-    exec_real::execute(&inv, &mut f, &mut work);
+    exec_real::execute(&inv, &mut f, &mut work).unwrap();
     exec_real::normalize(&mut f);
 
     // Compare with the exact solution.
@@ -98,3 +100,4 @@ fn main() {
     assert!(max_imag < 1e-10, "solution should be real");
     println!("ok.");
 }
+

@@ -5,6 +5,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // demo binary, not library code
 use bwfft::baselines::reference_impl::pencil_fft_3d;
 use bwfft::core::exec_sim::{simulate, SimOptions};
 use bwfft::core::{exec_real, Dims, FftPlan};
@@ -33,7 +35,7 @@ fn main() {
     let original = data.clone();
     let mut work = AlignedVec::<Complex64>::zeroed(data.len());
     let t0 = std::time::Instant::now();
-    exec_real::execute(&plan, &mut data, &mut work);
+    exec_real::execute(&plan, &mut data, &mut work).unwrap();
     let host_time = t0.elapsed();
     println!("executed forward FFT on host threads in {host_time:.2?}");
 
@@ -51,7 +53,7 @@ fn main() {
         .direction(Direction::Inverse)
         .build()
         .unwrap();
-    exec_real::execute(&inv, &mut data, &mut work);
+    exec_real::execute(&inv, &mut data, &mut work).unwrap();
     exec_real::normalize(&mut data);
     let roundtrip = rel_l2_error(&data, &original);
     println!("forward -> inverse -> /N round-trip error: {roundtrip:.2e}");
@@ -64,8 +66,9 @@ fn main() {
         .threads(4, 4)
         .build()
         .unwrap();
-    let sim = simulate(&big, &spec, &SimOptions::default());
+    let sim = simulate(&big, &spec, &SimOptions::default()).unwrap();
     println!("\nsimulated 512^3 on {}:", spec.name);
     println!("  {}", sim.report);
     println!("\nok.");
 }
+

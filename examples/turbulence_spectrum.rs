@@ -10,6 +10,8 @@
 //!
 //! Run with: `cargo run --release --example turbulence_spectrum`
 
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // demo binary, not library code
 use bwfft::core::{exec_real, Dims, FftPlan};
 use bwfft::kernels::Direction;
 use bwfft::num::signal::SplitMix64;
@@ -56,7 +58,7 @@ fn main() {
         .build()
         .unwrap();
     let mut work = AlignedVec::<Complex64>::zeroed(total);
-    exec_real::execute(&inv, &mut field, &mut work);
+    exec_real::execute(&inv, &mut field, &mut work).unwrap();
     exec_real::normalize(&mut field);
     let rms: f64 =
         (field.iter().map(|c| c.norm_sqr()).sum::<f64>() / total as f64).sqrt();
@@ -68,7 +70,7 @@ fn main() {
         .threads(2, 2)
         .build()
         .unwrap();
-    exec_real::execute(&fwd, &mut field, &mut work);
+    exec_real::execute(&fwd, &mut field, &mut work).unwrap();
     let norm = 1.0 / total as f64;
 
     let shells = n / 2;
@@ -112,3 +114,4 @@ fn main() {
     );
     println!("ok.");
 }
+

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full verification gate: build, lint, test. Run from the repo root.
+#
+#   scripts/verify.sh          # everything
+#   scripts/verify.sh --fast   # skip the release build
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+[ "${1:-}" = "--fast" ] && fast=1
+
+echo "== clippy (lints are errors; unwrap/expect denied in library code) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [ "$fast" -eq 0 ]; then
+  echo "== release build =="
+  cargo build --release
+fi
+
+echo "== tests =="
+cargo test --workspace -q
+
+echo "verify: OK"

@@ -4,9 +4,14 @@
 //! ```text
 //! bwfft-cli machines
 //! bwfft-cli run --dims 64x64x64 --threads 2,2 [--buffer 16384] [--inverse] [--verify]
+//!               [--adapt] [--inject-panic ROLE,T,I] [--timeout-ms N]
 //! bwfft-cli simulate --dims 512x512x512 --machine kabylake [--sockets 2] [--baselines]
 //! bwfft-cli stream --machine haswell2667
 //! ```
+//!
+//! Exit codes: 0 success, 1 runtime failure (contained worker panic,
+//! watchdog timeout, failed verification), 2 usage error. User errors
+//! print a one-line typed message, never a backtrace.
 
 use bwfft::baselines::{reference_impl, simulate_baseline, BaselineKind};
 use bwfft::core::exec_sim::{simulate, SimOptions};
@@ -16,16 +21,44 @@ use bwfft::machine::stream::stream_triad;
 use bwfft::machine::{presets, MachineSpec};
 use bwfft::num::compare::rel_l2_error;
 use bwfft::num::{signal, AlignedVec, Complex64};
+use bwfft::pipeline::{FaultPlan, Role};
+use bwfft::BwfftError;
 use std::collections::HashMap;
 use std::process::ExitCode;
+
+/// CLI failure, split by whose fault it is: usage errors (exit 2,
+/// usage text shown) vs runtime faults (exit 1, typed message only).
+#[derive(Debug)]
+enum CliError {
+    Usage(String),
+    Runtime(String),
+}
+
+impl From<BwfftError> for CliError {
+    fn from(e: BwfftError) -> Self {
+        if e.is_usage() {
+            CliError::Usage(e.to_string())
+        } else {
+            CliError::Runtime(e.to_string())
+        }
+    }
+}
+
+fn usage(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
+        Err(CliError::Usage(msg)) => {
             eprintln!("error: {msg}");
             eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Runtime(msg)) => {
+            eprintln!("error: {msg}");
             ExitCode::FAILURE
         }
     }
@@ -35,15 +68,16 @@ const USAGE: &str = "\
 usage:
   bwfft-cli machines
   bwfft-cli run --dims KxNxM [--threads D,C] [--buffer B] [--inverse] [--verify]
+                [--adapt] [--inject-panic ROLE,T,I] [--timeout-ms N]
   bwfft-cli simulate --dims KxNxM --machine NAME [--sockets S] [--baselines]
   bwfft-cli stream --machine NAME
 machines: kabylake | haswell4770 | amdfx | haswell2667 | opteron6276";
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<(), CliError> {
     let Some(cmd) = args.first() else {
-        return Err("missing command".into());
+        return Err(usage("missing command"));
     };
-    let opts = parse_flags(&args[1..])?;
+    let opts = parse_flags(&args[1..]).map_err(usage)?;
     match cmd.as_str() {
         "machines" => {
             for spec in presets::all() {
@@ -61,7 +95,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "run" => cmd_run(&opts),
         "simulate" => cmd_simulate(&opts),
         "stream" => {
-            let spec = machine_by_name(opts.get("machine").ok_or("--machine required")?)?;
+            let spec = machine_by_name(opts.get("machine").ok_or_else(|| usage("--machine required"))?)
+                .map_err(usage)?;
             let r = stream_triad(&spec, 1 << 24);
             println!(
                 "{}: triad {:.1} GB/s ({:.1} per socket)",
@@ -69,25 +104,41 @@ fn run(args: &[String]) -> Result<(), String> {
             );
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`")),
+        other => Err(usage(format!("unknown command `{other}`"))),
     }
 }
 
-fn cmd_run(opts: &HashMap<String, String>) -> Result<(), String> {
-    let dims = parse_dims(opts.get("dims").ok_or("--dims required")?)?;
+fn cmd_run(opts: &HashMap<String, String>) -> Result<(), CliError> {
+    let dims = parse_dims(opts.get("dims").ok_or_else(|| usage("--dims required"))?)
+        .map_err(usage)?;
     let (p_d, p_c) = opts
         .get("threads")
         .map(|s| parse_pair(s))
-        .transpose()?
+        .transpose()
+        .map_err(usage)?
         .unwrap_or((2, 2));
     let mut builder = FftPlan::builder(dims).threads(p_d, p_c);
     if let Some(b) = opts.get("buffer") {
-        builder = builder.buffer_elems(b.parse().map_err(|_| "bad --buffer")?);
+        builder = builder.buffer_elems(b.parse().map_err(|_| usage("bad --buffer"))?);
     }
     if opts.contains_key("inverse") {
         builder = builder.direction(Direction::Inverse);
     }
-    let plan = builder.build().map_err(|e| e.to_string())?;
+    if opts.contains_key("adapt") {
+        builder = builder.adapt_to_host();
+    }
+    let plan = builder
+        .build()
+        .map_err(|e| CliError::from(BwfftError::from(e)))?;
+    let mut exec_cfg = bwfft::core::ExecConfig::default();
+    if let Some(spec) = opts.get("inject-panic") {
+        exec_cfg.fault = Some(parse_fault(spec).map_err(usage)?);
+        bwfft::pipeline::fault::silence_injected_panic_reports();
+    }
+    if let Some(ms) = opts.get("timeout-ms") {
+        let ms: u64 = ms.parse().map_err(|_| usage("bad --timeout-ms"))?;
+        exec_cfg.iter_timeout = Some(std::time::Duration::from_millis(ms));
+    }
     let total = dims.total();
     println!(
         "running {} with {} data + {} compute threads, b = {} elems, {} pipeline iterations/stage",
@@ -97,14 +148,34 @@ fn cmd_run(opts: &HashMap<String, String>) -> Result<(), String> {
         plan.buffer_elems,
         plan.iters_per_socket()
     );
+    for d in &plan.degradations {
+        println!("note: degraded to fused executor: {d}");
+    }
     let mut data = AlignedVec::from_slice(&signal::random_complex(total, 42));
     let original = data.clone();
     let mut work = AlignedVec::<Complex64>::zeroed(total);
     let t0 = std::time::Instant::now();
-    exec_real::execute(&plan, &mut data, &mut work);
+    let report = exec_real::execute_with(&plan, &mut data, &mut work, &exec_cfg)
+        .map_err(|e| CliError::from(BwfftError::from(e)))?;
     let dt = t0.elapsed();
     let gflops = plan.pseudo_flops() / dt.as_nanos() as f64;
-    println!("done in {dt:.2?} — {gflops:.2} pseudo-Gflop/s on this host");
+    println!(
+        "done in {dt:.2?} — {gflops:.2} pseudo-Gflop/s on this host ({:?} executor)",
+        report.executor
+    );
+    if report.pin_failures > 0 {
+        println!(
+            "warning: {}/{} pin requests not honored ({})",
+            report.pin_failures,
+            report.pin_status.len(),
+            report
+                .pin_status
+                .iter()
+                .map(|s| s.describe())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
     if opts.contains_key("verify") {
         let mut reference = original.clone();
         match dims {
@@ -122,19 +193,37 @@ fn cmd_run(opts: &HashMap<String, String>) -> Result<(), String> {
         let err = rel_l2_error(&data, &reference);
         println!("verification vs pencil-pencil reference: rel L2 error = {err:.2e}");
         if err > 1e-11 {
-            return Err("verification FAILED".into());
+            return Err(CliError::Runtime("verification FAILED".into()));
         }
         println!("verification passed");
     }
     Ok(())
 }
 
-fn cmd_simulate(opts: &HashMap<String, String>) -> Result<(), String> {
-    let dims = parse_dims(opts.get("dims").ok_or("--dims required")?)?;
-    let spec = machine_by_name(opts.get("machine").ok_or("--machine required")?)?;
+/// Parses `ROLE,THREAD,ITER` (e.g. `compute,0,3`) into a fault plan.
+fn parse_fault(s: &str) -> Result<FaultPlan, String> {
+    let parts: Vec<&str> = s.split(',').collect();
+    let [role, thread, iter] = parts[..] else {
+        return Err("--inject-panic needs ROLE,THREAD,ITER".into());
+    };
+    let role = match role {
+        "data" => Role::Data,
+        "compute" => Role::Compute,
+        other => return Err(format!("bad role `{other}` (data|compute)")),
+    };
+    let thread = thread.parse().map_err(|_| "bad fault thread".to_string())?;
+    let iter = iter.parse().map_err(|_| "bad fault iter".to_string())?;
+    Ok(FaultPlan::panic_at(role, thread, iter))
+}
+
+fn cmd_simulate(opts: &HashMap<String, String>) -> Result<(), CliError> {
+    let dims = parse_dims(opts.get("dims").ok_or_else(|| usage("--dims required"))?)
+        .map_err(usage)?;
+    let spec = machine_by_name(opts.get("machine").ok_or_else(|| usage("--machine required"))?)
+        .map_err(usage)?;
     let sockets: usize = opts
         .get("sockets")
-        .map(|s| s.parse().map_err(|_| "bad --sockets"))
+        .map(|s| s.parse().map_err(|_| usage("bad --sockets")))
         .transpose()?
         .unwrap_or(spec.sockets);
     let p = spec.total_threads() * sockets / spec.sockets;
@@ -143,8 +232,9 @@ fn cmd_simulate(opts: &HashMap<String, String>) -> Result<(), String> {
         .threads(p / 2, p - p / 2)
         .sockets(sockets)
         .build()
-        .map_err(|e| e.to_string())?;
-    let r = simulate(&plan, &spec, &SimOptions::default());
+        .map_err(|e| CliError::from(BwfftError::from(e)))?;
+    let r = simulate(&plan, &spec, &SimOptions::default())
+        .map_err(|e| CliError::from(BwfftError::from(e)))?;
     println!("{}", r.report);
     for s in &r.stages {
         println!(
@@ -173,15 +263,20 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             return Err(format!("unexpected argument `{a}`"));
         };
         // Boolean flags take no value.
-        if matches!(name, "inverse" | "verify" | "baselines") {
+        if matches!(name, "inverse" | "verify" | "baselines" | "adapt") {
             out.insert(name.to_string(), String::new());
             i += 1;
-        } else {
+        } else if matches!(
+            name,
+            "dims" | "threads" | "buffer" | "machine" | "sockets" | "inject-panic" | "timeout-ms"
+        ) {
             let v = args
                 .get(i + 1)
                 .ok_or_else(|| format!("--{name} needs a value"))?;
             out.insert(name.to_string(), v.clone());
             i += 2;
+        } else {
+            return Err(format!("unknown flag --{name}"));
         }
     }
     Ok(out)
@@ -259,6 +354,45 @@ mod tests {
 
     #[test]
     fn unknown_command_errors() {
-        assert!(run(&["frobnicate".to_string()]).is_err());
+        assert!(matches!(
+            run(&["frobnicate".to_string()]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn adapted_run_degrades_instead_of_failing() {
+        // On any host (including 1-CPU CI) --adapt must succeed; on a
+        // weak host it falls back to the fused executor.
+        let args: Vec<String> = ["run", "--dims", "8x8x8", "--threads", "2,2", "--adapt"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        run(&args).unwrap();
+    }
+
+    #[test]
+    fn injected_panic_is_a_runtime_error_not_a_crash() {
+        let args: Vec<String> = [
+            "run", "--dims", "8x8x16", "--threads", "1,1",
+            "--inject-panic", "compute,0,1", "--timeout-ms", "2000",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        match run(&args) {
+            Err(CliError::Runtime(msg)) => {
+                assert!(msg.contains("panicked at block 1"), "{msg}");
+            }
+            other => panic!("expected runtime error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_spec_parses() {
+        let f = parse_fault("data,1,4").unwrap();
+        assert_eq!(f, FaultPlan::panic_at(Role::Data, 1, 4));
+        assert!(parse_fault("gpu,0,0").is_err());
+        assert!(parse_fault("data,0").is_err());
     }
 }

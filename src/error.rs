@@ -1,0 +1,274 @@
+//! The facade's flattened error type.
+//!
+//! Library users match on one enum instead of unwrapping the
+//! per-crate taxonomy (`PlanError` → `CoreError` → …). The fault
+//! variants (`WorkerPanicked`, `StageTimeout`) are lifted to the top
+//! level because they are the ones callers dispatch on when building
+//! retry / fallback logic:
+//!
+//! ```
+//! use bwfft::{BwfftError, PlanExecute};
+//! use bwfft::core::{Dims, FftPlan};
+//! use bwfft::num::Complex64;
+//!
+//! let plan = FftPlan::builder(Dims::d3(8, 8, 8)).buffer_elems(64).build().unwrap();
+//! let mut data = vec![Complex64::ZERO; 512];
+//! let mut work = vec![Complex64::ZERO; 512];
+//! match plan.execute(&mut data, &mut work) {
+//!     Ok(report) => println!("ran on {:?}", report.executor),
+//!     Err(BwfftError::WorkerPanicked { role, thread, iter, .. }) => {
+//!         eprintln!("{role:?} thread {thread} died at block {iter}; retrying fused");
+//!     }
+//!     Err(e) => eprintln!("{e}"),
+//! }
+//! ```
+
+use bwfft_core::{CoreError, ExecReport, FftPlan, PlanError};
+use bwfft_machine::EngineError;
+use bwfft_num::Complex64;
+use bwfft_pipeline::{ConfigError, PipelineError, Role};
+use std::time::Duration;
+
+/// Everything that can go wrong in the `bwfft` facade, flattened.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BwfftError {
+    /// Plan construction/validation failed (user input).
+    Plan(PlanError),
+    /// The executor rejected the pipeline configuration (user input).
+    Config(ConfigError),
+    /// A worker thread panicked; the panic was contained, all threads
+    /// joined, and the process is intact.
+    WorkerPanicked {
+        role: Role,
+        thread: usize,
+        iter: usize,
+        message: String,
+    },
+    /// A peer stopped making progress and the per-iteration watchdog
+    /// fired.
+    StageTimeout {
+        role: Role,
+        thread: usize,
+        iter: usize,
+        timeout: Duration,
+    },
+    /// The discrete-event simulator failed.
+    Simulation(EngineError),
+    /// A caller-provided array has the wrong length (user input).
+    InputLength {
+        what: &'static str,
+        expected: usize,
+        got: usize,
+    },
+    /// The plan wants more sockets than the simulated machine has
+    /// (user input).
+    SocketMismatch { plan: usize, machine: usize },
+}
+
+impl BwfftError {
+    /// True for errors caused by caller input (bad plan, bad lengths,
+    /// bad config) rather than a runtime fault. The CLI maps these to
+    /// exit code 2 (usage) and everything else to 1.
+    pub fn is_usage(&self) -> bool {
+        matches!(
+            self,
+            BwfftError::Plan(_)
+                | BwfftError::Config(_)
+                | BwfftError::InputLength { .. }
+                | BwfftError::SocketMismatch { .. }
+        )
+    }
+}
+
+impl From<PlanError> for BwfftError {
+    fn from(e: PlanError) -> Self {
+        BwfftError::Plan(e)
+    }
+}
+
+impl From<PipelineError> for BwfftError {
+    fn from(e: PipelineError) -> Self {
+        match e {
+            PipelineError::Config(c) => BwfftError::Config(c),
+            PipelineError::WorkerPanicked {
+                role,
+                thread,
+                iter,
+                message,
+            } => BwfftError::WorkerPanicked {
+                role,
+                thread,
+                iter,
+                message,
+            },
+            PipelineError::StageTimeout {
+                role,
+                thread,
+                iter,
+                timeout,
+            } => BwfftError::StageTimeout {
+                role,
+                thread,
+                iter,
+                timeout,
+            },
+        }
+    }
+}
+
+impl From<EngineError> for BwfftError {
+    fn from(e: EngineError) -> Self {
+        BwfftError::Simulation(e)
+    }
+}
+
+impl From<CoreError> for BwfftError {
+    fn from(e: CoreError) -> Self {
+        match e {
+            CoreError::Plan(p) => p.into(),
+            CoreError::Pipeline(p) => p.into(),
+            CoreError::Engine(p) => p.into(),
+            CoreError::InputLength {
+                what,
+                expected,
+                got,
+            } => BwfftError::InputLength {
+                what,
+                expected,
+                got,
+            },
+            CoreError::SocketMismatch { plan, machine } => {
+                BwfftError::SocketMismatch { plan, machine }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for BwfftError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BwfftError::Plan(e) => write!(f, "plan: {e}"),
+            BwfftError::Config(e) => write!(f, "pipeline config: {e}"),
+            BwfftError::WorkerPanicked {
+                role,
+                thread,
+                iter,
+                message,
+            } => write!(
+                f,
+                "{role:?} thread {thread} panicked at block {iter}: {message}"
+            ),
+            BwfftError::StageTimeout {
+                role,
+                thread,
+                iter,
+                timeout,
+            } => write!(
+                f,
+                "{role:?} thread {thread} stalled past the {timeout:?} watchdog at step {iter}"
+            ),
+            BwfftError::Simulation(e) => write!(f, "simulation: {e}"),
+            BwfftError::InputLength {
+                what,
+                expected,
+                got,
+            } => write!(f, "{what} has {got} elements, plan needs {expected}"),
+            BwfftError::SocketMismatch { plan, machine } => {
+                write!(f, "plan wants {plan} sockets, machine has {machine}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BwfftError {}
+
+/// Ergonomic execution entry point on [`FftPlan`] returning the
+/// flattened [`BwfftError`].
+pub trait PlanExecute {
+    /// Runs the transform on the host (see
+    /// [`bwfft_core::exec_real::execute`]).
+    fn execute(
+        &self,
+        data: &mut [Complex64],
+        work: &mut [Complex64],
+    ) -> Result<ExecReport, BwfftError>;
+}
+
+impl PlanExecute for FftPlan {
+    fn execute(
+        &self,
+        data: &mut [Complex64],
+        work: &mut [Complex64],
+    ) -> Result<ExecReport, BwfftError> {
+        bwfft_core::exec_real::execute(self, data, work).map_err(BwfftError::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flattens_nested_pipeline_errors() {
+        let nested = CoreError::Pipeline(PipelineError::WorkerPanicked {
+            role: Role::Compute,
+            thread: 1,
+            iter: 3,
+            message: "boom".into(),
+        });
+        let flat: BwfftError = nested.into();
+        assert!(matches!(
+            flat,
+            BwfftError::WorkerPanicked { role: Role::Compute, thread: 1, iter: 3, .. }
+        ));
+        assert!(!flat.is_usage());
+    }
+
+    #[test]
+    fn usage_classification() {
+        let e: BwfftError = PlanError::NotPow2("n", 12).into();
+        assert!(e.is_usage());
+        let e: BwfftError = CoreError::InputLength {
+            what: "data",
+            expected: 8,
+            got: 4,
+        }
+        .into();
+        assert!(e.is_usage());
+        let e = BwfftError::StageTimeout {
+            role: Role::Data,
+            thread: 0,
+            iter: 2,
+            timeout: Duration::from_secs(1),
+        };
+        assert!(!e.is_usage());
+    }
+
+    #[test]
+    fn plan_execute_trait_runs_and_types_errors() {
+        use bwfft_core::Dims;
+        let plan = FftPlan::builder(Dims::d3(8, 8, 8))
+            .buffer_elems(64)
+            .build()
+            .unwrap();
+        let mut data = vec![Complex64::ZERO; 512];
+        let mut work = vec![Complex64::ZERO; 512];
+        assert!(plan.execute(&mut data, &mut work).is_ok());
+        let mut short = vec![Complex64::ZERO; 8];
+        let err = plan.execute(&mut short, &mut work).unwrap_err();
+        assert!(matches!(err, BwfftError::InputLength { what: "data", .. }));
+    }
+
+    #[test]
+    fn errors_render() {
+        let e = BwfftError::WorkerPanicked {
+            role: Role::Data,
+            thread: 0,
+            iter: 7,
+            message: "x".into(),
+        };
+        assert!(e.to_string().contains("block 7"));
+        let e = BwfftError::SocketMismatch { plan: 2, machine: 1 };
+        assert!(e.to_string().contains("2 sockets"));
+    }
+}

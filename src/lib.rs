@@ -32,8 +32,41 @@
 //!     .unwrap();
 //! let mut data = AlignedVec::from_slice(&signal::random_complex(32 * 32 * 32, 1));
 //! let mut work = AlignedVec::<Complex64>::zeroed(data.len());
-//! bwfft::core::exec_real::execute(&plan, &mut data, &mut work);
+//! bwfft::core::exec_real::execute(&plan, &mut data, &mut work).unwrap();
 //! ```
+//!
+//! ## Errors and fault tolerance
+//!
+//! Every fallible entry point returns a typed error; worker panics
+//! inside the executor are contained (no process abort, no deadlock)
+//! and surface as [`BwfftError::WorkerPanicked`]:
+//!
+//! ```
+//! use bwfft::{BwfftError, PlanExecute};
+//! use bwfft::core::{Dims, FftPlan};
+//! use bwfft::num::Complex64;
+//!
+//! let plan = FftPlan::builder(Dims::d3(8, 8, 8))
+//!     .buffer_elems(64)
+//!     .adapt_to_host() // degrade gracefully on weak hosts
+//!     .build()
+//!     .unwrap();
+//! let mut data = vec![Complex64::ZERO; 512];
+//! let mut work = vec![Complex64::ZERO; 512];
+//! match plan.execute(&mut data, &mut work) {
+//!     Ok(report) => {
+//!         for d in &report.degradations {
+//!             eprintln!("note: degraded: {d}");
+//!         }
+//!     }
+//!     Err(BwfftError::WorkerPanicked { role, thread, iter, .. }) => {
+//!         eprintln!("{role:?} thread {thread} died at block {iter}");
+//!     }
+//!     Err(e) => eprintln!("{e}"),
+//! }
+//! ```
+
+mod error;
 
 pub use bwfft_baselines as baselines;
 pub use bwfft_core as core;
@@ -42,3 +75,4 @@ pub use bwfft_machine as machine;
 pub use bwfft_num as num;
 pub use bwfft_pipeline as pipeline;
 pub use bwfft_spl as spl;
+pub use error::{BwfftError, PlanExecute};

@@ -21,7 +21,7 @@ fn four_step_1d_equals_monolithic_kernel() {
     let plan = Fft1dLargePlan::new(n1, n2).buffer_elems(n / 4).threads(2, 2);
     let mut data = x.clone();
     let mut work = vec![Complex64::ZERO; n];
-    fft1d_execute(&plan, &mut data, &mut work);
+    fft1d_execute(&plan, &mut data, &mut work).unwrap();
     let mut expect = x.clone();
     Fft1d::new(n, Direction::Forward).run(&mut expect);
     assert_fft_close(&data, &expect);
@@ -77,10 +77,10 @@ fn fused_and_pipelined_executors_agree_at_scale() {
         .unwrap();
     let mut a = x.clone();
     let mut wa = vec![Complex64::ZERO; x.len()];
-    exec_real::execute(&plan, &mut a, &mut wa);
+    exec_real::execute(&plan, &mut a, &mut wa).unwrap();
     let mut b = x.clone();
     let mut wb = vec![Complex64::ZERO; x.len()];
-    exec_real::execute_fused(&plan, &mut b, &mut wb);
+    exec_real::execute_fused(&plan, &mut b, &mut wb).unwrap();
     assert_eq!(a, b);
 }
 
@@ -96,8 +96,8 @@ fn large_1d_roundtrip_through_facade() {
         .direction(Direction::Inverse);
     let mut data = x.clone();
     let mut work = vec![Complex64::ZERO; n];
-    fft1d_execute(&fwd, &mut data, &mut work);
-    fft1d_execute(&inv, &mut data, &mut work);
+    fft1d_execute(&fwd, &mut data, &mut work).unwrap();
+    fft1d_execute(&inv, &mut data, &mut work).unwrap();
     let back: Vec<Complex64> = data.iter().map(|c| c.scale(1.0 / n as f64)).collect();
     assert_fft_close(&back, &x);
 }

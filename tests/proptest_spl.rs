@@ -78,7 +78,7 @@ proptest! {
     ) {
         let total = k * n * m;
         let b = (total / b_frac).max(m);
-        prop_assume!(total % b == 0);
+        prop_assume!(total.is_multiple_of(b));
         let perm = fft3d_stage_perms(k, n, m, 2)[0];
         // Applying all blocks' R then W reconstructs the permuted array.
         let x: Vec<Complex64> =
@@ -109,7 +109,7 @@ proptest! {
         m in prop_oneof![Just(4usize), Just(8)],
         mu in prop_oneof![Just(1usize), Just(2), Just(4)],
     ) {
-        prop_assume!(m % mu == 0);
+        prop_assume!(m.is_multiple_of(mu));
         assert_formulas_equal(&mdft_tensor_3d(k, n, m), &fft3d_blocked(k, n, m, mu));
     }
 

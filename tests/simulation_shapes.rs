@@ -7,6 +7,7 @@ use bwfft::core::exec_sim::{simulate, SimOptions};
 use bwfft::core::{metrics, Dims, FftPlan};
 use bwfft::machine::{presets, MachineSpec};
 
+#[allow(clippy::unwrap_used)] // test helper; only #[test] fns get the blanket allowance
 fn ours(dims: Dims, spec: &MachineSpec, sockets: usize) -> bwfft::machine::stats::PerfReport {
     let p = spec.total_threads() * sockets / spec.sockets;
     let plan = FftPlan::builder(dims)
@@ -15,7 +16,7 @@ fn ours(dims: Dims, spec: &MachineSpec, sockets: usize) -> bwfft::machine::stats
         .sockets(sockets)
         .build()
         .unwrap();
-    simulate(&plan, spec, &SimOptions::default()).report
+    simulate(&plan, spec, &SimOptions::default()).unwrap().report
 }
 
 #[test]

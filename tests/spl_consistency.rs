@@ -21,7 +21,7 @@ fn executor_implements_the_blocked_3d_formula() {
         .unwrap();
     let mut data = x.clone();
     let mut work = vec![Complex64::ZERO; x.len()];
-    exec_real::execute(&plan, &mut data, &mut work);
+    exec_real::execute(&plan, &mut data, &mut work).unwrap();
     assert_fft_close(&data, &by_formula);
 }
 
@@ -37,7 +37,7 @@ fn executor_implements_the_blocked_2d_formula() {
         .unwrap();
     let mut data = x.clone();
     let mut work = vec![Complex64::ZERO; x.len()];
-    exec_real::execute(&plan, &mut data, &mut work);
+    exec_real::execute(&plan, &mut data, &mut work).unwrap();
     assert_fft_close(&data, &by_formula);
 }
 
@@ -87,7 +87,7 @@ fn write_matrices_in_executor_and_spl_agree_on_numa_plans() {
         .unwrap();
     let mut data = x.clone();
     let mut work = vec![Complex64::ZERO; x.len()];
-    exec_real::execute(&plan, &mut data, &mut work);
+    exec_real::execute(&plan, &mut data, &mut work).unwrap();
     let tensor = Formula::tensor(
         Formula::dft(k),
         Formula::tensor(Formula::dft(n), Formula::dft(m)),
@@ -110,7 +110,7 @@ fn mu_choices_change_nothing_numerically() {
             .unwrap();
         let mut data = x.clone();
         let mut work = vec![Complex64::ZERO; x.len()];
-        exec_real::execute(&plan, &mut data, &mut work);
+        exec_real::execute(&plan, &mut data, &mut work).unwrap();
         outputs.push(data);
     }
     // μ alters the reshape granularity and the lane width of later
