@@ -196,7 +196,8 @@ fn run_stage(
         .collect();
     let computes: Vec<ComputeFn> = (0..p_c)
         .map(|_| {
-            let mut kernel = BatchFft::new(stage.fft_size, stage.lanes, plan.dir);
+            let mut kernel =
+                BatchFft::with_variant(stage.fft_size, stage.lanes, plan.dir, plan.kernel);
             Box::new(move |_blk: usize, _off: usize, share: &mut [Complex64]| {
                 kernel.run(share);
             }) as ComputeFn
@@ -254,7 +255,8 @@ pub fn execute_fused(
         } else {
             (&*work, &mut *data)
         };
-        let mut kernel = BatchFft::new(stage.fft_size, stage.lanes, plan.dir);
+        let mut kernel =
+            BatchFft::with_variant(stage.fft_size, stage.lanes, plan.dir, plan.kernel);
         for blk in 0..total / b {
             buf.copy_from_slice(&src[blk * b..(blk + 1) * b]);
             kernel.run(&mut buf);
@@ -330,6 +332,26 @@ mod tests {
         let got = run_3d(k, n, m, 64, 2, 2, 1, &x);
         let expect = dft3_naive(&x, k, n, m, Direction::Forward);
         assert_fft_close(&got, &expect);
+    }
+
+    #[test]
+    fn radix4_kernel_variant_matches_naive() {
+        // The tuner's kernel axis must be semantically transparent:
+        // a radix-4 plan computes the same transform (to FFT
+        // tolerance) through the full pipelined executor.
+        let (k, n, m) = (8usize, 8, 8);
+        let x = random_complex(k * n * m, 76);
+        let plan = FftPlan::builder(Dims::d3(k, n, m))
+            .buffer_elems(128)
+            .threads(2, 2)
+            .kernel(bwfft_kernels::KernelVariant::StockhamRadix4)
+            .build()
+            .unwrap();
+        let mut data = x.clone();
+        let mut work = vec![Complex64::ZERO; x.len()];
+        execute(&plan, &mut data, &mut work).unwrap();
+        let expect = dft3_naive(&x, k, n, m, Direction::Forward);
+        assert_fft_close(&data, &expect);
     }
 
     #[test]

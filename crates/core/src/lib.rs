@@ -51,4 +51,4 @@ pub mod plan;
 pub use error::CoreError;
 pub use exec_real::{ExecConfig, ExecReport};
 pub use host::{DegradationReason, ExecutorKind, HostProfile};
-pub use plan::{Dims, FftPlan, PlanError};
+pub use plan::{Dims, FftPlan, FftPlanBuilder, PlanError};

@@ -1,5 +1,13 @@
 //! The paper's performance metrics (§V "Performance metric").
 
+/// Bytes per complex-double element (two `f64`) — the element size the
+/// paper's machines stream.
+pub const COMPLEX64_BYTES: f64 = 16.0;
+
+/// Bytes per complex-single element (two `f32`), for single-precision
+/// plans.
+pub const COMPLEX32_BYTES: f64 = 8.0;
+
 /// Pseudo-flop count `5·N·log2 N` — the conventional FFT operation
 /// estimate the paper (and MKL/FFTW reporting) uses. Proportional to
 /// inverse runtime, so ratios of pseudo-Gflop/s are runtime ratios.
@@ -11,24 +19,41 @@ pub fn pseudo_flops(total_elems: usize) -> f64 {
 /// The achievable-peak bound of §V:
 ///
 /// ```text
-/// P_io = 5·N·log2(N)·BW_STREAM / (2 · N · stages · sizeof(complex double))
+/// P_io = 5·N·log2(N)·BW_STREAM / (2 · N · stages · sizeof(element))
 /// ```
 ///
 /// i.e. the Gflop/s reached if every stage streamed its full read +
 /// write traffic at STREAM bandwidth with infinite compute. `bw_gbs`
-/// is the whole-machine STREAM figure; the result is in Gflop/s.
-pub fn achievable_peak_gflops(total_elems: usize, stages: usize, bw_gbs: f64) -> f64 {
+/// is the whole-machine STREAM figure, `elem_bytes` the element size
+/// (e.g. [`COMPLEX64_BYTES`]); the result is in Gflop/s.
+pub fn achievable_peak_gflops_for(
+    total_elems: usize,
+    stages: usize,
+    bw_gbs: f64,
+    elem_bytes: f64,
+) -> f64 {
     let n = total_elems as f64;
     let flops = 5.0 * n * n.log2();
-    let bytes = 2.0 * n * stages as f64 * 16.0; // read+write, 16 B/elem
+    let bytes = 2.0 * n * stages as f64 * elem_bytes; // read+write
     flops * bw_gbs / bytes
 }
 
+/// [`achievable_peak_gflops_for`] at the complex-double element size
+/// the rest of the workspace computes in.
+pub fn achievable_peak_gflops(total_elems: usize, stages: usize, bw_gbs: f64) -> f64 {
+    achievable_peak_gflops_for(total_elems, stages, bw_gbs, COMPLEX64_BYTES)
+}
+
 /// Minimum bytes of DRAM traffic for an `stages`-stage out-of-cache
-/// transform of `total_elems` complex doubles (each stage reads and
-/// writes the whole array once).
+/// transform of `total_elems` elements of `elem_bytes` each (every
+/// stage reads and writes the whole array once).
+pub fn ideal_traffic_bytes_for(total_elems: usize, stages: usize, elem_bytes: f64) -> f64 {
+    2.0 * total_elems as f64 * stages as f64 * elem_bytes
+}
+
+/// [`ideal_traffic_bytes_for`] at the complex-double element size.
 pub fn ideal_traffic_bytes(total_elems: usize, stages: usize) -> f64 {
-    2.0 * total_elems as f64 * stages as f64 * 16.0
+    ideal_traffic_bytes_for(total_elems, stages, COMPLEX64_BYTES)
 }
 
 #[cfg(test)]
@@ -68,5 +93,17 @@ mod tests {
     #[test]
     fn ideal_traffic_of_one_stage() {
         assert_eq!(ideal_traffic_bytes(1000, 1), 32_000.0);
+    }
+
+    #[test]
+    fn single_precision_doubles_the_peak() {
+        // Half the bytes per element ⇒ twice the achievable Gflop/s and
+        // half the ideal traffic, at equal N and stage count.
+        let p64 = achievable_peak_gflops_for(1 << 20, 3, 40.0, COMPLEX64_BYTES);
+        let p32 = achievable_peak_gflops_for(1 << 20, 3, 40.0, COMPLEX32_BYTES);
+        assert!((p32 - 2.0 * p64).abs() < 1e-9);
+        let t64 = ideal_traffic_bytes_for(1 << 20, 3, COMPLEX64_BYTES);
+        let t32 = ideal_traffic_bytes_for(1 << 20, 3, COMPLEX32_BYTES);
+        assert!((t64 - 2.0 * t32).abs() < 1e-9);
     }
 }

@@ -6,10 +6,57 @@
 //! blocked reshape has already grouped each pencil into `μ`-wide
 //! cacheline lanes).
 
+use crate::radix4::{stockham_radix4_strided, Radix4Twiddles};
 use crate::stockham::stockham_strided;
 use crate::twiddle::StockhamTwiddles;
 use crate::Direction;
 use bwfft_num::{AlignedVec, Complex64};
+
+/// Which 1D pencil kernel a batch (and hence a plan) runs. Both
+/// variants compute the same strided form `DFT_n ⊗ I_s`; they differ
+/// in pass count and rounding, so results agree to FFT tolerance but
+/// are not bit-identical. This is one of the autotuner's search-space
+/// axes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum KernelVariant {
+    /// Radix-2 Stockham autosort — the default and the variant every
+    /// bitwise regression test in the workspace assumes.
+    #[default]
+    Stockham,
+    /// Radix-4 Stockham: half the ping-pong passes, fewer twiddle
+    /// multiplies; odd log2 sizes take one leading radix-2 stage.
+    StockhamRadix4,
+}
+
+impl KernelVariant {
+    /// Short stable token used by the wisdom text format and CLI.
+    pub fn token(self) -> &'static str {
+        match self {
+            KernelVariant::Stockham => "r2",
+            KernelVariant::StockhamRadix4 => "r4",
+        }
+    }
+
+    /// Inverse of [`token`](Self::token).
+    pub fn from_token(tok: &str) -> Option<Self> {
+        match tok {
+            "r2" => Some(KernelVariant::Stockham),
+            "r4" => Some(KernelVariant::StockhamRadix4),
+            _ => None,
+        }
+    }
+
+    /// All variants, for search-space enumeration.
+    pub fn all() -> [KernelVariant; 2] {
+        [KernelVariant::Stockham, KernelVariant::StockhamRadix4]
+    }
+}
+
+/// Twiddle tables for whichever kernel variant the batch dispatches to.
+enum Tables {
+    Stockham(StockhamTwiddles),
+    Radix4(Radix4Twiddles),
+}
 
 /// Reusable kernel for `I_c ⊗ DFT_m ⊗ I_s` applied in place to a
 /// buffer of `c·m·s` elements: `c` independent pencils, each a DFT of
@@ -29,18 +76,49 @@ use bwfft_num::{AlignedVec, Complex64};
 pub struct BatchFft {
     m: usize,
     s: usize,
-    twiddles: StockhamTwiddles,
+    tables: Tables,
     scratch: AlignedVec<Complex64>,
 }
 
 impl BatchFft {
     pub fn new(m: usize, s: usize, dir: Direction) -> Self {
+        Self::with_variant(m, s, dir, KernelVariant::Stockham)
+    }
+
+    /// Like [`new`](Self::new) but selecting the 1D kernel variant —
+    /// the hook the autotuner uses to carry its kernel choice into the
+    /// executors.
+    pub fn with_variant(m: usize, s: usize, dir: Direction, variant: KernelVariant) -> Self {
         assert!(m >= 1 && s >= 1);
+        let tables = match variant {
+            KernelVariant::Stockham => Tables::Stockham(StockhamTwiddles::new(m, dir)),
+            KernelVariant::StockhamRadix4 => Tables::Radix4(Radix4Twiddles::new(m, dir)),
+        };
         Self {
             m,
             s,
-            twiddles: StockhamTwiddles::new(m, dir),
+            tables,
             scratch: AlignedVec::zeroed(m * s),
+        }
+    }
+
+    /// The variant this batch dispatches to.
+    pub fn variant(&self) -> KernelVariant {
+        match self.tables {
+            Tables::Stockham(_) => KernelVariant::Stockham,
+            Tables::Radix4(_) => KernelVariant::StockhamRadix4,
+        }
+    }
+
+    #[inline]
+    fn apply(&mut self, pencil: &mut [Complex64]) {
+        match &self.tables {
+            Tables::Stockham(tw) => {
+                stockham_strided(pencil, &mut self.scratch, self.m, self.s, tw)
+            }
+            Tables::Radix4(tw) => {
+                stockham_radix4_strided(pencil, &mut self.scratch, self.m, self.s, tw)
+            }
         }
     }
 
@@ -72,7 +150,7 @@ impl BatchFft {
             buf.len()
         );
         for pencil in buf.chunks_exact_mut(chunk) {
-            stockham_strided(pencil, &mut self.scratch, self.m, self.s, &self.twiddles);
+            self.apply(pencil);
         }
     }
 
@@ -86,7 +164,7 @@ impl BatchFft {
         let hi = lo + count * chunk;
         assert!(hi <= buf.len());
         for pencil in buf[lo..hi].chunks_exact_mut(chunk) {
-            stockham_strided(pencil, &mut self.scratch, self.m, self.s, &self.twiddles);
+            self.apply(pencil);
         }
     }
 
@@ -158,6 +236,33 @@ mod tests {
         BatchFft::new(m, mu, Direction::Inverse).run(&mut buf);
         let scaled: Vec<Complex64> = buf.iter().map(|v| v.scale(1.0 / m as f64)).collect();
         assert_fft_close(&scaled, &x);
+    }
+
+    #[test]
+    fn radix4_variant_matches_default_to_fft_tolerance() {
+        // Same strided batch through both kernel variants: equal up to
+        // rounding (radix-4 reorders the arithmetic), both directions,
+        // even and odd log2 sizes.
+        for m in [8usize, 16, 32] {
+            for dir in [Direction::Forward, Direction::Inverse] {
+                let (c, mu) = (3usize, 4usize);
+                let x = random_complex(c * m * mu, 44);
+                let mut r2 = x.clone();
+                let mut r4 = x.clone();
+                BatchFft::with_variant(m, mu, dir, KernelVariant::Stockham).run(&mut r2);
+                BatchFft::with_variant(m, mu, dir, KernelVariant::StockhamRadix4).run(&mut r4);
+                assert_fft_close(&r4, &r2);
+            }
+        }
+    }
+
+    #[test]
+    fn variant_tokens_roundtrip() {
+        for v in KernelVariant::all() {
+            assert_eq!(KernelVariant::from_token(v.token()), Some(v));
+        }
+        assert_eq!(KernelVariant::from_token("nope"), None);
+        assert_eq!(KernelVariant::default(), KernelVariant::Stockham);
     }
 
     #[test]

@@ -31,11 +31,12 @@ pub mod stockham;
 pub mod transpose;
 pub mod twiddle;
 
+pub use batch::KernelVariant;
 pub use plan1d::Fft1d;
 
 /// Transform direction. Inverse is unnormalized (scale by `1/N`
 /// yourself, or use the `*_normalized` helpers where provided).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Direction {
     Forward,
     Inverse,

@@ -1,0 +1,373 @@
+//! The concurrent plan cache: repeated shape requests return an
+//! `Arc<FftPlan>` without re-searching.
+//!
+//! The ROADMAP serving path ("heavy traffic, repeated shapes") needs
+//! plan lookup to be cheap and contention-free: the map is split into
+//! shards, each behind its own mutex, selected by the key's hash.
+//! A miss runs the autotuner *while holding the shard lock*, which is
+//! exactly the single-search guarantee: concurrent requests for the
+//! same `(Dims, Direction)` serialize, the first performs the one
+//! search, the rest observe the inserted entry as hits. Tuning a new
+//! shape blocks only the 1-in-[`SHARDS`] keys that share its shard.
+//!
+//! Keys carry the [`HostFingerprint`] so wisdom imported from another
+//! machine can never alias a locally tuned entry.
+
+use crate::error::TunerError;
+use crate::fingerprint::HostFingerprint;
+use crate::search::{Tuner, TuningRecord};
+use bwfft_core::{Dims, FftPlan};
+use bwfft_kernels::Direction;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Default shard count (power of two so the hash folds evenly).
+pub const SHARDS: usize = 8;
+
+/// Default capacity per shard before eviction kicks in.
+pub const CAPACITY_PER_SHARD: usize = 64;
+
+/// Cache key: what plan, which way, on which machine shape.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    pub dims: Dims,
+    pub dir: Direction,
+    pub fingerprint: HostFingerprint,
+}
+
+/// Counter snapshot from [`PlanCache::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+}
+
+struct Entry {
+    plan: Arc<FftPlan>,
+    record: TuningRecord,
+    /// Monotonic use stamp for least-recently-used eviction.
+    last_used: u64,
+}
+
+type Shard = Mutex<HashMap<PlanKey, Entry>>;
+
+/// Sharded, lock-protected map from `(Dims, Direction, fingerprint)`
+/// to tuned plans, with hit/miss/eviction counters and an embedded
+/// [`Tuner`] to fill misses.
+pub struct PlanCache {
+    shards: Vec<Shard>,
+    capacity_per_shard: usize,
+    tuner: Tuner,
+    fingerprint: HostFingerprint,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    clock: AtomicU64,
+}
+
+impl PlanCache {
+    /// A cache with the default geometry ([`SHARDS`] ×
+    /// [`CAPACITY_PER_SHARD`]).
+    pub fn new(tuner: Tuner, fingerprint: HostFingerprint) -> Self {
+        Self::with_geometry(tuner, fingerprint, SHARDS, CAPACITY_PER_SHARD)
+    }
+
+    /// Explicit shard count and per-shard capacity (both clamped to at
+    /// least 1).
+    pub fn with_geometry(
+        tuner: Tuner,
+        fingerprint: HostFingerprint,
+        shards: usize,
+        capacity_per_shard: usize,
+    ) -> Self {
+        let shards = shards.max(1);
+        PlanCache {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            capacity_per_shard: capacity_per_shard.max(1),
+            tuner,
+            fingerprint,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            clock: AtomicU64::new(0),
+        }
+    }
+
+    /// The fingerprint this cache keys new entries under.
+    pub fn fingerprint(&self) -> &HostFingerprint {
+        &self.fingerprint
+    }
+
+    /// The embedded tuner.
+    pub fn tuner(&self) -> &Tuner {
+        &self.tuner
+    }
+
+    fn key(&self, dims: Dims, dir: Direction) -> PlanKey {
+        PlanKey {
+            dims,
+            dir,
+            fingerprint: self.fingerprint.clone(),
+        }
+    }
+
+    fn shard(&self, key: &PlanKey) -> MutexGuard<'_, HashMap<PlanKey, Entry>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        let idx = (h.finish() as usize) % self.shards.len();
+        // A poisoned shard only means another thread panicked while
+        // holding the lock; the map itself is still usable.
+        self.shards[idx].lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Returns the cached plan for `(dims, dir)` on this host, or
+    /// tunes, inserts, and returns it. Exactly one search runs per
+    /// distinct key: the shard lock is held across the tune, so a
+    /// concurrent second request blocks and then scores a hit.
+    pub fn get_or_tune(&self, dims: Dims, dir: Direction) -> Result<Arc<FftPlan>, TunerError> {
+        let key = self.key(dims, dir);
+        let mut map = self.shard(&key);
+        let stamp = self.tick();
+        if let Some(entry) = map.get_mut(&key) {
+            entry.last_used = stamp;
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(&entry.plan));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let record = self.tuner.tune(dims, dir)?;
+        let plan = Arc::new(record.build_plan()?);
+        Self::evict_if_full(&mut map, self.capacity_per_shard, &self.evictions);
+        map.insert(
+            key,
+            Entry {
+                plan: Arc::clone(&plan),
+                record,
+                last_used: stamp,
+            },
+        );
+        Ok(plan)
+    }
+
+    /// Non-tuning lookup: `Some` counts a hit, `None` counts a miss.
+    pub fn get(&self, dims: Dims, dir: Direction) -> Option<Arc<FftPlan>> {
+        let key = self.key(dims, dir);
+        let mut map = self.shard(&key);
+        let stamp = self.tick();
+        match map.get_mut(&key) {
+            Some(entry) => {
+                entry.last_used = stamp;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&entry.plan))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Peek without touching counters or recency — used by callers
+    /// that only want to report whether tuning would be skipped.
+    pub fn contains(&self, dims: Dims, dir: Direction) -> bool {
+        let key = self.key(dims, dir);
+        self.shard(&key).contains_key(&key)
+    }
+
+    /// Inserts a pre-tuned record (e.g. from a wisdom file) under this
+    /// cache's fingerprint. Counts neither hit nor miss. Fails (typed)
+    /// if the record no longer builds a valid plan.
+    pub fn seed(&self, record: &TuningRecord) -> Result<(), TunerError> {
+        let plan = Arc::new(record.build_plan()?);
+        let key = self.key(record.dims, record.dir);
+        let mut map = self.shard(&key);
+        let stamp = self.tick();
+        Self::evict_if_full(&mut map, self.capacity_per_shard, &self.evictions);
+        map.insert(
+            key,
+            Entry {
+                plan,
+                record: record.clone(),
+                last_used: stamp,
+            },
+        );
+        Ok(())
+    }
+
+    /// Every cached tuning record (for wisdom export). Order is
+    /// deterministic: sorted by the record's dims label and direction.
+    pub fn export_records(&self) -> Vec<TuningRecord> {
+        let mut out: Vec<TuningRecord> = Vec::new();
+        for shard in &self.shards {
+            let map = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            out.extend(map.values().map(|e| e.record.clone()));
+        }
+        out.sort_by(|a, b| {
+            (a.dims.label(), format!("{:?}", a.dir))
+                .cmp(&(b.dims.label(), format!("{:?}", b.dir)))
+        });
+        out
+    }
+
+    /// Cached entry count across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).len())
+            .sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    fn evict_if_full(
+        map: &mut HashMap<PlanKey, Entry>,
+        capacity: usize,
+        evictions: &AtomicU64,
+    ) {
+        if map.len() < capacity {
+            return;
+        }
+        // Evict the least recently used entry of this shard.
+        if let Some(victim) = map
+            .iter()
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(k, _)| k.clone())
+        {
+            map.remove(&victim);
+            evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::TunerOptions;
+    use bwfft_machine::presets;
+
+    fn fp() -> HostFingerprint {
+        HostFingerprint {
+            cpus: 8,
+            pin_works: true,
+            llc_bytes: 8 << 20,
+        }
+    }
+
+    fn model_cache() -> PlanCache {
+        let tuner = Tuner::new(TunerOptions {
+            model_only: true,
+            ..TunerOptions::for_model(presets::kaby_lake_7700k())
+        });
+        PlanCache::new(tuner, fp())
+    }
+
+    #[test]
+    fn second_request_is_a_hit_with_one_search() {
+        let cache = model_cache();
+        let dims = Dims::d2(64, 64);
+        let a = cache.get_or_tune(dims, Direction::Forward).unwrap();
+        let b = cache.get_or_tune(dims, Direction::Forward).unwrap();
+        // Same Arc: no re-search, no re-build.
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1), "{s:?}");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn direction_is_part_of_the_key() {
+        let cache = model_cache();
+        let dims = Dims::d2(64, 64);
+        cache.get_or_tune(dims, Direction::Forward).unwrap();
+        cache.get_or_tune(dims, Direction::Inverse).unwrap();
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_same_key_requests_search_once() {
+        let cache = Arc::new(model_cache());
+        let dims = Dims::d3(32, 32, 32);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let c = Arc::clone(&cache);
+            handles.push(std::thread::spawn(move || {
+                c.get_or_tune(dims, Direction::Forward).unwrap()
+            }));
+        }
+        let plans: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for p in &plans[1..] {
+            assert!(Arc::ptr_eq(&plans[0], p));
+        }
+        let s = cache.stats();
+        assert_eq!(s.misses, 1, "exactly one search: {s:?}");
+        assert_eq!(s.hits, 3, "{s:?}");
+    }
+
+    #[test]
+    fn eviction_is_counted_and_bounded() {
+        let tuner = Tuner::new(TunerOptions {
+            model_only: true,
+            ..TunerOptions::for_model(presets::kaby_lake_7700k())
+        });
+        // One shard, one slot: the second insert evicts the first.
+        let cache = PlanCache::with_geometry(tuner, fp(), 1, 1);
+        cache.get_or_tune(Dims::d2(64, 64), Direction::Forward).unwrap();
+        cache.get_or_tune(Dims::d2(32, 32), Direction::Forward).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().evictions, 1);
+        // The evicted key re-tunes (miss #3).
+        cache.get_or_tune(Dims::d2(64, 64), Direction::Forward).unwrap();
+        assert_eq!(cache.stats().misses, 3);
+    }
+
+    #[test]
+    fn seed_skips_search_and_counters() {
+        let cache = model_cache();
+        let dims = Dims::d2(64, 64);
+        let record = cache.tuner().tune(dims, Direction::Forward).unwrap();
+        cache.seed(&record).unwrap();
+        assert_eq!(cache.stats(), CacheStats::default());
+        assert!(cache.contains(dims, Direction::Forward));
+        // Now the first get_or_tune is already a hit: tuning skipped.
+        cache.get_or_tune(dims, Direction::Forward).unwrap();
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 0), "{s:?}");
+    }
+
+    #[test]
+    fn export_returns_sorted_records() {
+        let cache = model_cache();
+        cache.get_or_tune(Dims::d2(64, 64), Direction::Forward).unwrap();
+        cache.get_or_tune(Dims::d2(32, 32), Direction::Forward).unwrap();
+        let recs = cache.export_records();
+        assert_eq!(recs.len(), 2);
+        assert!(recs[0].dims.label() <= recs[1].dims.label());
+    }
+
+    #[test]
+    fn get_counts_misses_for_absent_keys() {
+        let cache = model_cache();
+        assert!(cache.get(Dims::d2(8, 8), Direction::Forward).is_none());
+        assert_eq!(cache.stats().misses, 1);
+        assert!(cache.is_empty());
+    }
+}

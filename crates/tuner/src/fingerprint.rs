@@ -1,0 +1,139 @@
+//! Host fingerprinting: the identity under which tuned plans are
+//! cached and persisted.
+//!
+//! A tuning result is only meaningful on the machine shape it was
+//! measured on, so both the [`PlanCache`](crate::PlanCache) key and the
+//! wisdom file carry a fingerprint of the host: CPU count, whether
+//! pinning works, and the LLC size. A wisdom file whose fingerprint
+//! differs from the running host is not an error — it triggers a typed
+//! re-tune (`RetuneReason::HostMismatch`).
+
+use crate::error::TunerError;
+use bwfft_core::HostProfile;
+
+/// The parts of a [`HostProfile`] that affect tuning outcomes, in a
+/// hashable, serializable form (`llc_bytes == 0` encodes "unknown").
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct HostFingerprint {
+    pub cpus: usize,
+    pub pin_works: bool,
+    pub llc_bytes: usize,
+}
+
+impl HostFingerprint {
+    pub fn of(profile: &HostProfile) -> Self {
+        HostFingerprint {
+            cpus: profile.cpus,
+            pin_works: profile.pin_works,
+            llc_bytes: profile.llc_bytes.unwrap_or(0),
+        }
+    }
+
+    /// Fingerprint of the current machine.
+    pub fn detect() -> Self {
+        Self::of(&HostProfile::detect())
+    }
+
+    /// The wisdom-format token: `cpus=8 pin=1 llc=8388608`.
+    pub fn token(&self) -> String {
+        format!(
+            "cpus={} pin={} llc={}",
+            self.cpus,
+            u8::from(self.pin_works),
+            self.llc_bytes
+        )
+    }
+
+    /// Parses [`token`](Self::token) output. `line` is only used to
+    /// construct the typed parse error.
+    pub fn parse(s: &str, line: usize) -> Result<Self, TunerError> {
+        let mut cpus = None;
+        let mut pin = None;
+        let mut llc = None;
+        for field in s.split_whitespace() {
+            let (key, value) = field.split_once('=').ok_or_else(|| TunerError::WisdomParse {
+                line,
+                reason: format!("fingerprint field `{field}` is not key=value"),
+            })?;
+            let parsed: usize = value.parse().map_err(|_| TunerError::WisdomParse {
+                line,
+                reason: format!("fingerprint field `{key}` has non-numeric value `{value}`"),
+            })?;
+            match key {
+                "cpus" => cpus = Some(parsed),
+                "pin" => pin = Some(parsed != 0),
+                "llc" => llc = Some(parsed),
+                other => {
+                    return Err(TunerError::WisdomParse {
+                        line,
+                        reason: format!("unknown fingerprint field `{other}`"),
+                    })
+                }
+            }
+        }
+        match (cpus, pin, llc) {
+            (Some(cpus), Some(pin_works), Some(llc_bytes)) => Ok(HostFingerprint {
+                cpus,
+                pin_works,
+                llc_bytes,
+            }),
+            _ => Err(TunerError::WisdomParse {
+                line,
+                reason: "fingerprint needs cpus=, pin= and llc= fields".into(),
+            }),
+        }
+    }
+}
+
+impl core::fmt::Display for HostFingerprint {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.token())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_roundtrips() {
+        let fp = HostFingerprint {
+            cpus: 8,
+            pin_works: true,
+            llc_bytes: 8 << 20,
+        };
+        assert_eq!(HostFingerprint::parse(&fp.token(), 2), Ok(fp));
+    }
+
+    #[test]
+    fn unknown_llc_encodes_as_zero() {
+        let fp = HostFingerprint::of(&HostProfile {
+            cpus: 4,
+            pin_works: false,
+            llc_bytes: None,
+        });
+        assert_eq!(fp.token(), "cpus=4 pin=0 llc=0");
+    }
+
+    #[test]
+    fn parse_errors_are_typed() {
+        assert!(matches!(
+            HostFingerprint::parse("cpus=8 pin=1", 2),
+            Err(TunerError::WisdomParse { line: 2, .. })
+        ));
+        assert!(matches!(
+            HostFingerprint::parse("cpus=eight pin=1 llc=0", 5),
+            Err(TunerError::WisdomParse { line: 5, .. })
+        ));
+        assert!(matches!(
+            HostFingerprint::parse("cpus=8 pin=1 llc=0 color=red", 1),
+            Err(TunerError::WisdomParse { .. })
+        ));
+    }
+
+    #[test]
+    fn detect_does_not_panic() {
+        let fp = HostFingerprint::detect();
+        assert!(fp.cpus >= 1);
+    }
+}

@@ -1,0 +1,127 @@
+//! bwfft-tuner: autotuning, concurrent plan caching, and persistent
+//! wisdom for bandwidth-efficient FFT plans.
+//!
+//! The paper's plans have machine-dependent knobs — the cacheline block
+//! μ, the double-buffer half `b = LLC/2`, the data/compute thread split
+//! `(p_d, p_c)`, non-temporal stores, the executor kind, and the 1D
+//! pencil kernel. This crate closes the loop from "model of the right
+//! plan" to "measured best plan on this machine", in three layers:
+//!
+//! * [`Tuner`] — enumerates the knob space, prunes it with the
+//!   `bwfft-machine` cost model, then times the shortlist on the real
+//!   executor ([`search`]).
+//! * [`PlanCache`] — a sharded concurrent map keyed by
+//!   `(Dims, Direction, HostFingerprint)` returning `Arc<FftPlan>`,
+//!   with hit/miss/eviction counters; a miss runs exactly one search
+//!   ([`cache`]).
+//! * [`wisdom`] — a versioned on-disk text format so tuning results
+//!   survive the process; version or host mismatch degrades to a typed
+//!   re-tune, never an error exit.
+//!
+//! ```no_run
+//! use bwfft_core::{Dims, FftPlan};
+//! use bwfft_kernels::Direction;
+//! use bwfft_tuner::{HostFingerprint, PlanCache, TunedBuild, Tuner};
+//!
+//! let cache = PlanCache::new(Tuner::for_this_host(), HostFingerprint::detect());
+//! let plan = FftPlan::builder(Dims::d3(64, 64, 64))
+//!     .direction(Direction::Forward)
+//!     .tuned(&cache)?;          // first call tunes; later calls hit
+//! # Ok::<(), bwfft_tuner::TunerError>(())
+//! ```
+
+pub mod cache;
+pub mod error;
+pub mod fingerprint;
+pub mod search;
+pub mod wisdom;
+
+pub use cache::{CacheStats, PlanCache, PlanKey};
+pub use error::TunerError;
+pub use fingerprint::HostFingerprint;
+pub use search::{host_model, Tuner, TunerOptions, TuningRecord};
+pub use wisdom::{RetuneReason, Wisdom, WisdomLoad, WISDOM_VERSION};
+
+use bwfft_core::{FftPlan, FftPlanBuilder};
+use std::sync::Arc;
+
+/// Builder-side entry point: route a plan request through a
+/// [`PlanCache`] instead of building with default knobs.
+///
+/// Only the problem statement (`dims`, `direction`) is taken from the
+/// builder — the tuner owns every other knob, that being the point.
+pub trait TunedBuild {
+    /// Returns the cached tuned plan for this builder's problem, tuning
+    /// it first if the cache has never seen the shape.
+    fn tuned(self, cache: &PlanCache) -> Result<Arc<FftPlan>, TunerError>;
+}
+
+impl TunedBuild for FftPlanBuilder {
+    fn tuned(self, cache: &PlanCache) -> Result<Arc<FftPlan>, TunerError> {
+        cache.get_or_tune(self.dims(), self.dir())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwfft_core::Dims;
+    use bwfft_kernels::Direction;
+    use bwfft_machine::presets;
+
+    fn model_cache() -> PlanCache {
+        let tuner = Tuner::new(TunerOptions {
+            model_only: true,
+            ..TunerOptions::for_model(presets::kaby_lake_7700k())
+        });
+        PlanCache::new(
+            tuner,
+            HostFingerprint {
+                cpus: 8,
+                pin_works: true,
+                llc_bytes: 8 << 20,
+            },
+        )
+    }
+
+    #[test]
+    fn builder_tuned_goes_through_the_cache() {
+        let cache = model_cache();
+        let a = FftPlan::builder(Dims::d2(64, 64))
+            .direction(Direction::Forward)
+            .tuned(&cache)
+            .unwrap();
+        let b = FftPlan::builder(Dims::d2(64, 64))
+            .direction(Direction::Forward)
+            .tuned(&cache)
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1), "{s:?}");
+    }
+
+    #[test]
+    fn wisdom_seeded_cache_skips_tuning() {
+        // Tune in one cache, export wisdom, import into a fresh cache:
+        // the fresh cache's first request is already a hit.
+        let first = model_cache();
+        first
+            .get_or_tune(Dims::d3(32, 32, 32), Direction::Forward)
+            .unwrap();
+        let mut w = Wisdom::new(first.fingerprint().clone());
+        w.records = first.export_records();
+
+        let (version, parsed) = Wisdom::parse(&w.serialize()).unwrap();
+        assert_eq!(version, WISDOM_VERSION);
+
+        let second = model_cache();
+        for rec in &parsed.records {
+            second.seed(rec).unwrap();
+        }
+        second
+            .get_or_tune(Dims::d3(32, 32, 32), Direction::Forward)
+            .unwrap();
+        let s = second.stats();
+        assert_eq!((s.hits, s.misses), (1, 0), "tuning should be skipped: {s:?}");
+    }
+}

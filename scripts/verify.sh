@@ -20,4 +20,21 @@ fi
 echo "== tests =="
 cargo test --workspace -q
 
+echo "== tuner smoke (cache hit + wisdom reuse) =="
+wisdom="$(mktemp -t bwfft-wisdom.XXXXXX)"
+rm -f "$wisdom"
+trap 'rm -f "$wisdom"' EXIT
+# Fresh run: the second in-process request for the same shape must be a
+# cache hit (exactly one search).
+out1="$(cargo run -q --bin bwfft-cli -- tune --dims 32x32 --model-only --plan-stats --wisdom "$wisdom")"
+echo "$out1" | grep -q "hits=1 misses=1" \
+  || { echo "tuner smoke FAILED: expected hits=1 misses=1 in:"; echo "$out1"; exit 1; }
+# Second run: the wisdom file must make tuning skip entirely.
+out2="$(cargo run -q --bin bwfft-cli -- tune --dims 32x32 --model-only --plan-stats --wisdom "$wisdom")"
+echo "$out2" | grep -q "tuning skipped (wisdom hit)" \
+  || { echo "tuner smoke FAILED: wisdom not reused in:"; echo "$out2"; exit 1; }
+echo "$out2" | grep -q "misses=0" \
+  || { echo "tuner smoke FAILED: expected misses=0 in:"; echo "$out2"; exit 1; }
+echo "tuner smoke: OK"
+
 echo "verify: OK"

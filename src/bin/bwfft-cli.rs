@@ -7,6 +7,7 @@
 //!               [--adapt] [--inject-panic ROLE,T,I] [--timeout-ms N]
 //! bwfft-cli simulate --dims 512x512x512 --machine kabylake [--sockets 2] [--baselines]
 //! bwfft-cli stream --machine haswell2667
+//! bwfft-cli tune --dims 64x64 [--inverse] [--model-only] [--plan-stats] [--wisdom PATH]
 //! ```
 //!
 //! Exit codes: 0 success, 1 runtime failure (contained worker panic,
@@ -22,8 +23,10 @@ use bwfft::machine::{presets, MachineSpec};
 use bwfft::num::compare::rel_l2_error;
 use bwfft::num::{signal, AlignedVec, Complex64};
 use bwfft::pipeline::{FaultPlan, Role};
+use bwfft::tuner::{wisdom, HostFingerprint, PlanCache, Tuner, TunerOptions, Wisdom, WisdomLoad};
 use bwfft::BwfftError;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 /// CLI failure, split by whose fault it is: usage errors (exit 2,
@@ -71,6 +74,7 @@ usage:
                 [--adapt] [--inject-panic ROLE,T,I] [--timeout-ms N]
   bwfft-cli simulate --dims KxNxM --machine NAME [--sockets S] [--baselines]
   bwfft-cli stream --machine NAME
+  bwfft-cli tune --dims KxNxM [--inverse] [--model-only] [--plan-stats] [--wisdom PATH]
 machines: kabylake | haswell4770 | amdfx | haswell2667 | opteron6276";
 
 fn run(args: &[String]) -> Result<(), CliError> {
@@ -94,6 +98,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         }
         "run" => cmd_run(&opts),
         "simulate" => cmd_simulate(&opts),
+        "tune" => cmd_tune(&opts),
         "stream" => {
             let spec = machine_by_name(opts.get("machine").ok_or_else(|| usage("--machine required"))?)
                 .map_err(usage)?;
@@ -216,6 +221,83 @@ fn parse_fault(s: &str) -> Result<FaultPlan, String> {
     Ok(FaultPlan::panic_at(role, thread, iter))
 }
 
+/// `tune`: search for the best plan for a shape, demonstrate the cache
+/// hit on a repeated request, and optionally persist/reuse wisdom.
+fn cmd_tune(opts: &HashMap<String, String>) -> Result<(), CliError> {
+    let dims = parse_dims(opts.get("dims").ok_or_else(|| usage("--dims required"))?)
+        .map_err(usage)?;
+    let dir = if opts.contains_key("inverse") {
+        Direction::Inverse
+    } else {
+        Direction::Forward
+    };
+    let fp = HostFingerprint::detect();
+    let mut tuner_opts = TunerOptions::for_host(&bwfft::core::HostProfile::detect());
+    if opts.contains_key("model-only") {
+        tuner_opts.model_only = true;
+    }
+    let cache = PlanCache::new(Tuner::new(tuner_opts), fp.clone());
+
+    let wisdom_path = opts.get("wisdom").map(PathBuf::from);
+    if let Some(path) = &wisdom_path {
+        // Version/host mismatch and missing files are typed re-tune
+        // reasons, not failures; only unreadable/corrupt files warn.
+        match wisdom::load(path, &fp) {
+            Ok(WisdomLoad::Usable(w)) => {
+                let mut seeded = 0usize;
+                for rec in &w.records {
+                    match cache.seed(rec) {
+                        Ok(()) => seeded += 1,
+                        Err(e) => println!("warning: wisdom record skipped: {e}"),
+                    }
+                }
+                println!("wisdom: loaded {seeded} tuned plan(s) from {}", path.display());
+            }
+            Ok(WisdomLoad::Retune(reason)) => {
+                println!("wisdom: tuning from scratch ({reason})");
+            }
+            Err(e) => println!("warning: wisdom unusable, tuning from scratch: {e}"),
+        }
+    }
+
+    let had_wisdom = cache.contains(dims, dir);
+    let t0 = std::time::Instant::now();
+    let _plan = cache
+        .get_or_tune(dims, dir)
+        .map_err(|e| CliError::from(BwfftError::from(e)))?;
+    if had_wisdom {
+        println!("tuning skipped (wisdom hit) for {} {dir:?}", dims.label());
+    } else {
+        println!("tuned {} {dir:?} in {:.2?}", dims.label(), t0.elapsed());
+    }
+    // A second request for the same shape must be served from the
+    // cache — this is what `--plan-stats` makes observable.
+    let _again = cache
+        .get_or_tune(dims, dir)
+        .map_err(|e| CliError::from(BwfftError::from(e)))?;
+    if let Some(rec) = cache
+        .export_records()
+        .into_iter()
+        .find(|r| r.dims == dims && r.dir == dir)
+    {
+        println!("best: {}", rec.describe());
+    }
+    if opts.contains_key("plan-stats") {
+        let s = cache.stats();
+        println!(
+            "plan cache: hits={} misses={} evictions={}",
+            s.hits, s.misses, s.evictions
+        );
+    }
+    if let Some(path) = &wisdom_path {
+        let mut w = Wisdom::new(fp);
+        w.records = cache.export_records();
+        wisdom::save(path, &w).map_err(|e| CliError::from(BwfftError::from(e)))?;
+        println!("wisdom: saved {} plan(s) to {}", w.records.len(), path.display());
+    }
+    Ok(())
+}
+
 fn cmd_simulate(opts: &HashMap<String, String>) -> Result<(), CliError> {
     let dims = parse_dims(opts.get("dims").ok_or_else(|| usage("--dims required"))?)
         .map_err(usage)?;
@@ -263,12 +345,22 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             return Err(format!("unexpected argument `{a}`"));
         };
         // Boolean flags take no value.
-        if matches!(name, "inverse" | "verify" | "baselines" | "adapt") {
+        if matches!(
+            name,
+            "inverse" | "verify" | "baselines" | "adapt" | "model-only" | "plan-stats"
+        ) {
             out.insert(name.to_string(), String::new());
             i += 1;
         } else if matches!(
             name,
-            "dims" | "threads" | "buffer" | "machine" | "sockets" | "inject-panic" | "timeout-ms"
+            "dims"
+                | "threads"
+                | "buffer"
+                | "machine"
+                | "sockets"
+                | "inject-panic"
+                | "timeout-ms"
+                | "wisdom"
         ) {
             let v = args
                 .get(i + 1)
@@ -385,6 +477,68 @@ mod tests {
                 assert!(msg.contains("panicked at block 1"), "{msg}");
             }
             other => panic!("expected runtime error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tune_command_runs_model_only() {
+        let args: Vec<String> = ["tune", "--dims", "32x32", "--model-only", "--plan-stats"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        run(&args).unwrap();
+    }
+
+    #[test]
+    fn tune_wisdom_roundtrip_skips_second_search() {
+        let dir = std::env::temp_dir().join("bwfft-cli-tune-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("w.wisdom");
+        let _ = std::fs::remove_file(&path);
+        let args: Vec<String> = [
+            "tune", "--dims", "32x32", "--model-only",
+            "--wisdom", path.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        // First run tunes and writes wisdom; second run must load it
+        // and skip the search entirely.
+        run(&args).unwrap();
+        assert!(path.exists());
+        run(&args).unwrap();
+        let cache = PlanCache::new(
+            Tuner::new(TunerOptions {
+                model_only: true,
+                ..TunerOptions::for_host(&bwfft::core::HostProfile::detect())
+            }),
+            HostFingerprint::detect(),
+        );
+        match wisdom::load(&path, cache.fingerprint()).unwrap() {
+            WisdomLoad::Usable(w) => assert_eq!(w.records.len(), 1),
+            other => panic!("saved wisdom must be usable on this host: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_wisdom_degrades_instead_of_failing() {
+        let dir = std::env::temp_dir().join("bwfft-cli-tune-corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.wisdom");
+        std::fs::write(&path, "not a wisdom file\n").unwrap();
+        let args: Vec<String> = [
+            "tune", "--dims", "32x32", "--model-only",
+            "--wisdom", path.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        // The corrupt file triggers a warning and a fresh tune, then is
+        // overwritten with valid wisdom.
+        run(&args).unwrap();
+        match wisdom::load(&path, &HostFingerprint::detect()).unwrap() {
+            WisdomLoad::Usable(w) => assert_eq!(w.records.len(), 1),
+            other => panic!("expected rewritten wisdom, got {other:?}"),
         }
     }
 

@@ -27,6 +27,7 @@ use bwfft_core::{CoreError, ExecReport, FftPlan, PlanError};
 use bwfft_machine::EngineError;
 use bwfft_num::Complex64;
 use bwfft_pipeline::{ConfigError, PipelineError, Role};
+use bwfft_tuner::TunerError;
 use std::time::Duration;
 
 /// Everything that can go wrong in the `bwfft` facade, flattened.
@@ -63,6 +64,10 @@ pub enum BwfftError {
     /// The plan wants more sockets than the simulated machine has
     /// (user input).
     SocketMismatch { plan: usize, machine: usize },
+    /// Autotuning, plan caching, or wisdom handling failed. Note that
+    /// version/host mismatches of a wisdom file are *not* errors — they
+    /// degrade to re-tuning (`bwfft_tuner::RetuneReason`).
+    Tuner(TunerError),
 }
 
 impl BwfftError {
@@ -76,6 +81,13 @@ impl BwfftError {
                 | BwfftError::Config(_)
                 | BwfftError::InputLength { .. }
                 | BwfftError::SocketMismatch { .. }
+                // Bad wisdom files and wisdom-replayed invalid plans are
+                // caller input; a failed timing run is not.
+                | BwfftError::Tuner(
+                    TunerError::Plan(_)
+                        | TunerError::WisdomIo { .. }
+                        | TunerError::WisdomParse { .. }
+                )
         )
     }
 }
@@ -119,6 +131,12 @@ impl From<PipelineError> for BwfftError {
 impl From<EngineError> for BwfftError {
     fn from(e: EngineError) -> Self {
         BwfftError::Simulation(e)
+    }
+}
+
+impl From<TunerError> for BwfftError {
+    fn from(e: TunerError) -> Self {
+        BwfftError::Tuner(e)
     }
 }
 
@@ -176,6 +194,7 @@ impl std::fmt::Display for BwfftError {
             BwfftError::SocketMismatch { plan, machine } => {
                 write!(f, "plan wants {plan} sockets, machine has {machine}")
             }
+            BwfftError::Tuner(e) => write!(f, "tuner: {e}"),
         }
     }
 }
@@ -241,6 +260,21 @@ mod tests {
             iter: 2,
             timeout: Duration::from_secs(1),
         };
+        assert!(!e.is_usage());
+    }
+
+    #[test]
+    fn tuner_errors_flatten_and_classify() {
+        // Bad wisdom = usage; a failed timing run = runtime fault.
+        let e: BwfftError = TunerError::WisdomParse {
+            line: 4,
+            reason: "bad token".into(),
+        }
+        .into();
+        assert!(e.is_usage());
+        assert!(e.to_string().contains("line 4"));
+        let e: BwfftError =
+            TunerError::Exec(CoreError::SocketMismatch { plan: 2, machine: 1 }).into();
         assert!(!e.is_usage());
     }
 
