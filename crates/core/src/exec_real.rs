@@ -19,21 +19,33 @@ use bwfft_pipeline::buffer::partition;
 use bwfft_pipeline::exec::{
     ComputeFn, LoadFn, PipelineCallbacks, PipelineConfig, PipelineReport, StoreFn,
 };
-use bwfft_pipeline::{run_pipeline, DoubleBuffer, FaultPlan, PinStatus, PipelineError};
+use bwfft_pipeline::{
+    run_pipeline, AdaptiveWatchdog, DoubleBuffer, FaultPlan, PinStatus, PipelineError,
+};
 use bwfft_spl::gather_scatter::WriteMatrix;
+use bwfft_trace::{MarkKind, Phase, ThreadTracer, TraceCollector, TraceRole};
+use std::sync::Arc;
 use std::time::Duration;
 
-/// Knobs for a single execution: the fault-tolerance watchdog and the
-/// (test-only in spirit, but public) fault-injection plan.
+/// Knobs for a single execution: the fault-tolerance watchdog, the
+/// (test-only in spirit, but public) fault-injection plan, and the
+/// optional observability collector.
 #[derive(Clone, Debug, Default)]
 pub struct ExecConfig {
     /// Per-iteration watchdog: if any pipeline barrier waits longer
     /// than this, the run aborts with `PipelineError::StageTimeout`
-    /// instead of hanging.
+    /// instead of hanging. Superseded by
+    /// [`adaptive_watchdog`](Self::adaptive_watchdog) when that is set.
     pub iter_timeout: Option<Duration>,
     /// Deterministic fault injection (worker panic, stall, denied
     /// pinning) forwarded to the pipeline executor.
     pub fault: Option<FaultPlan>,
+    /// Span/mark sink for `--profile` runs. `None` (the default) keeps
+    /// the executor's hot path clock-free.
+    pub trace: Option<Arc<TraceCollector>>,
+    /// Measured-epoch watchdog: stall detection from observed iteration
+    /// times rather than an assumed `iter_timeout` constant.
+    pub adaptive_watchdog: Option<AdaptiveWatchdog>,
 }
 
 /// What a successful execution reports back: which executor actually
@@ -114,10 +126,18 @@ pub fn execute_with(
 ) -> Result<ExecReport, CoreError> {
     check_lengths(plan, data, work)?;
 
+    // A profiled run records *why* it was degraded alongside the
+    // timing, so the report explains itself.
+    if let Some(t) = &cfg.trace {
+        for d in &plan.degradations {
+            t.mark(MarkKind::Degradation, d.to_string(), None);
+        }
+    }
+
     // Graceful degradation: a plan built against a host profile that
     // cannot sustain the pipeline dispatches to the fused executor.
     if plan.executor == ExecutorKind::Fused {
-        return execute_fused(plan, data, work);
+        return fused_impl(plan, data, work, cfg.trace.as_deref());
     }
 
     let buffer = DoubleBuffer::new(plan.buffer_elems);
@@ -126,9 +146,9 @@ pub fn execute_with(
     for (s, stage) in plan.stages().iter().enumerate() {
         // Stages alternate data→work→data→…
         let report = if s % 2 == 0 {
-            run_stage(plan, stage, &buffer, data, work, cfg)
+            run_stage(plan, stage, s, &buffer, data, work, cfg)
         } else {
-            run_stage(plan, stage, &buffer, work, data, cfg)
+            run_stage(plan, stage, s, &buffer, work, data, cfg)
         }?;
         last_report = report;
     }
@@ -146,6 +166,7 @@ pub fn execute_with(
 fn run_stage(
     plan: &FftPlan,
     stage: &StageSpec,
+    stage_idx: usize,
     buffer: &DoubleBuffer,
     src: &[Complex64],
     dst: &mut [Complex64],
@@ -213,6 +234,9 @@ fn run_stage(
             pin_cpus: plan.pin_cpus.clone(),
             iter_timeout: cfg.iter_timeout,
             fault: cfg.fault.clone(),
+            stage: stage_idx,
+            trace: cfg.trace.clone(),
+            adaptive_watchdog: cfg.adaptive_watchdog,
         },
         PipelineCallbacks {
             loaders,
@@ -244,6 +268,15 @@ pub fn execute_fused(
     data: &mut [Complex64],
     work: &mut [Complex64],
 ) -> Result<ExecReport, CoreError> {
+    fused_impl(plan, data, work, None)
+}
+
+fn fused_impl(
+    plan: &FftPlan,
+    data: &mut [Complex64],
+    work: &mut [Complex64],
+    trace: Option<&TraceCollector>,
+) -> Result<ExecReport, CoreError> {
     check_lengths(plan, data, work)?;
     let total = plan.dims.total();
     let b = plan.buffer_elems;
@@ -255,14 +288,26 @@ pub fn execute_fused(
         } else {
             (&*work, &mut *data)
         };
+        // Fused is single-threaded: one tracer per role shows the
+        // strictly serial load → compute → store cadence (overlap
+        // fraction 0 by construction — the counterfactual the
+        // pipelined profile is compared against).
+        let mut data_tracer = ThreadTracer::new(trace, TraceRole::Data, 0, s);
+        let mut compute_tracer = ThreadTracer::new(trace, TraceRole::Compute, 0, s);
         let mut kernel =
             BatchFft::with_variant(stage.fft_size, stage.lanes, plan.dir, plan.kernel);
         for blk in 0..total / b {
+            let span = data_tracer.start();
             buf.copy_from_slice(&src[blk * b..(blk + 1) * b]);
+            data_tracer.finish(span, Phase::Load, blk);
+            let span = compute_tracer.start();
             kernel.run(&mut buf);
+            compute_tracer.finish(span, Phase::Compute, blk);
+            let span = data_tracer.start();
             let w = WriteMatrix::new(stage.perm, b, blk);
             let packets = write_matrix_packets(&w);
             store_through_write_matrix(&buf, dst, &w, 0..packets, plan.non_temporal);
+            data_tracer.finish(span, Phase::Store, blk);
         }
     }
     if n_stages % 2 == 1 {
@@ -577,6 +622,104 @@ mod fused_tests {
 }
 
 #[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::host::HostProfile;
+    use crate::plan::Dims;
+    use crate::profile;
+    use bwfft_num::signal::random_complex;
+
+    #[test]
+    fn traced_pipelined_run_produces_stage_profiles() {
+        let (n, m) = (32usize, 32);
+        let x = random_complex(n * m, 80);
+        let plan = FftPlan::builder(Dims::d2(n, m))
+            .buffer_elems(128)
+            .threads(2, 2)
+            .build()
+            .unwrap();
+        let collector = Arc::new(TraceCollector::new());
+        let mut data = x.clone();
+        let mut work = vec![Complex64::ZERO; x.len()];
+        let cfg = ExecConfig {
+            trace: Some(Arc::clone(&collector)),
+            ..Default::default()
+        };
+        let report = execute_with(&plan, &mut data, &mut work, &cfg).unwrap();
+        assert_eq!(report.executor, ExecutorKind::Pipelined);
+
+        let rep = profile::profile_report(&collector, &plan, "pipelined", Some(40.0));
+        assert_eq!(rep.stages.len(), 2, "2D plan has two stages");
+        for s in &rep.stages {
+            assert!(s.wall_ns > 0);
+            assert!(
+                (0.0..=1.0).contains(&s.overlap_fraction),
+                "overlap {}",
+                s.overlap_fraction
+            );
+            assert!(s.load_busy_ns > 0, "stage {} load busy", s.stage);
+            assert!(s.compute_busy_ns > 0, "stage {} compute busy", s.stage);
+            assert!(s.store_busy_ns > 0, "stage {} store busy", s.stage);
+            assert!(s.achieved_gbs.is_some());
+            assert!(s.percent_of_achievable.is_some());
+        }
+        let sum: u64 = rep.stages.iter().map(|s| s.wall_ns).sum();
+        assert!(
+            sum <= rep.total_wall_ns,
+            "stage walls {sum} must not exceed total {}",
+            rep.total_wall_ns
+        );
+        // Tracing must not corrupt the transform.
+        let mut expect = x.clone();
+        let mut w2 = vec![Complex64::ZERO; x.len()];
+        execute(&plan, &mut expect, &mut w2).unwrap();
+        assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn degraded_run_records_degradation_mark_and_serial_profile() {
+        // Satellite: a profiled degraded run must show *why* the
+        // executor was downgraded, as a trace event.
+        let (k, n, m) = (8usize, 8, 8);
+        let x = random_complex(k * n * m, 81);
+        let host = HostProfile { cpus: 1, pin_works: true, llc_bytes: None };
+        let plan = FftPlan::builder(Dims::d3(k, n, m))
+            .buffer_elems(64)
+            .threads(2, 2)
+            .host(host)
+            .build()
+            .unwrap();
+        assert_eq!(plan.executor, ExecutorKind::Fused);
+        let collector = Arc::new(TraceCollector::new());
+        let mut data = x.clone();
+        let mut work = vec![Complex64::ZERO; x.len()];
+        let cfg = ExecConfig {
+            trace: Some(Arc::clone(&collector)),
+            ..Default::default()
+        };
+        execute_with(&plan, &mut data, &mut work, &cfg).unwrap();
+
+        let rep = profile::profile_report(&collector, &plan, "fused", None);
+        let degradation = rep
+            .marks
+            .iter()
+            .find(|mk| mk.kind == MarkKind::Degradation)
+            .expect("degraded run must record a Degradation mark");
+        assert!(
+            degradation.label.contains("usable CPU"),
+            "label: {}",
+            degradation.label
+        );
+        // Fused is strictly serial: spans exist but never overlap.
+        assert_eq!(rep.stages.len(), 3);
+        for s in &rep.stages {
+            assert!(s.compute_busy_ns > 0);
+            assert_eq!(s.overlap_fraction, 0.0, "fused must not overlap");
+        }
+    }
+}
+
+#[cfg(test)]
 mod fault_tests {
     use super::*;
     use crate::host::HostProfile;
@@ -615,6 +758,7 @@ mod fault_tests {
         let cfg = ExecConfig {
             iter_timeout: Some(Duration::from_secs(2)),
             fault: Some(FaultPlan::panic_at(Role::Compute, 0, 1)),
+            ..Default::default()
         };
         let err = execute_with(&plan, &mut data, &mut work, &cfg).unwrap_err();
         match err {

@@ -47,6 +47,7 @@ pub mod exec_sim;
 pub mod host;
 pub mod metrics;
 pub mod plan;
+pub mod profile;
 
 pub use error::CoreError;
 pub use exec_real::{ExecConfig, ExecReport};

@@ -49,6 +49,18 @@ impl PerfReport {
             self.dram_bytes / self.time_ns
         }
     }
+
+    /// Achieved DRAM bandwidth as a percentage of a measured STREAM
+    /// bandwidth — the bandwidth axis of the roofline, complementing
+    /// [`PerfReport::percent_of_peak`] (the flop axis). Returns 0 when
+    /// `stream_gbs` is not positive.
+    pub fn percent_of_stream(&self, stream_gbs: f64) -> f64 {
+        if stream_gbs <= 0.0 {
+            0.0
+        } else {
+            100.0 * self.dram_bandwidth_gbs() / stream_gbs
+        }
+    }
 }
 
 impl fmt::Display for PerfReport {
@@ -80,6 +92,18 @@ mod tests {
         };
         assert!((r.gflops() - 50.0).abs() < 1e-12);
         assert!((r.percent_of_peak() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percent_of_stream_is_bandwidth_roofline() {
+        let r = PerfReport {
+            time_ns: 1e6,
+            dram_bytes: 3e7, // 30 GB/s achieved
+            ..Default::default()
+        };
+        assert!((r.percent_of_stream(40.0) - 75.0).abs() < 1e-9);
+        assert_eq!(r.percent_of_stream(0.0), 0.0);
+        assert_eq!(r.percent_of_stream(-1.0), 0.0);
     }
 
     #[test]

@@ -43,9 +43,10 @@ use crate::fault::FaultPlan;
 use crate::roles::Role;
 use crate::schedule::{PipelineStep, Schedule};
 use bwfft_num::Complex64;
+use bwfft_trace::{MarkKind, Phase, ThreadTracer, TraceCollector, TraceRole};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 /// Per-data-thread loader: `(block, offset_in_block, share)` — fill
@@ -84,10 +85,48 @@ pub struct PipelineConfig {
     /// Watchdog: longest a thread may wait at one barrier before the
     /// run is aborted with [`PipelineError::StageTimeout`]. `None`
     /// disables the watchdog (waits are unbounded, as with
-    /// `std::sync::Barrier`).
+    /// `std::sync::Barrier`). Superseded per-wait by
+    /// [`adaptive_watchdog`](Self::adaptive_watchdog) when that is set.
     pub iter_timeout: Option<Duration>,
     /// Faults to inject (tests / resilience drills). `None` ≡ no faults.
     pub fault: Option<FaultPlan>,
+    /// Pipeline stage index stamped onto recorded trace spans (a
+    /// multi-stage FFT runs one pipeline per stage).
+    pub stage: usize,
+    /// Span/mark sink. `None` (the default) disables tracing: worker
+    /// loops then skip every clock read, so the hot path is unchanged.
+    pub trace: Option<Arc<TraceCollector>>,
+    /// Measured-epoch watchdog: barrier-wait budgets derived from the
+    /// slowest *observed* step instead of a caller-guessed constant.
+    /// Takes precedence over [`iter_timeout`](Self::iter_timeout).
+    pub adaptive_watchdog: Option<AdaptiveWatchdog>,
+}
+
+/// Watchdog policy that scales with measured iteration time.
+///
+/// Until the first step completes there is no measurement, so waits get
+/// the generous `warmup` budget; afterwards each wait may last at most
+/// `multiplier ×` the slowest step seen so far, floored at `min` so
+/// micro-benchmarks with nanosecond steps don't turn scheduler jitter
+/// into spurious [`PipelineError::StageTimeout`]s.
+#[derive(Clone, Copy, Debug)]
+pub struct AdaptiveWatchdog {
+    /// Budget multiple of the slowest observed step.
+    pub multiplier: f64,
+    /// Lower bound on the derived budget.
+    pub min: Duration,
+    /// Budget used before any step has been measured.
+    pub warmup: Duration,
+}
+
+impl Default for AdaptiveWatchdog {
+    fn default() -> Self {
+        AdaptiveWatchdog {
+            multiplier: 8.0,
+            min: Duration::from_millis(50),
+            warmup: Duration::from_secs(5),
+        }
+    }
 }
 
 impl Default for PipelineConfig {
@@ -101,6 +140,9 @@ impl Default for PipelineConfig {
             pin_cpus: None,
             iter_timeout: None,
             fault: None,
+            stage: 0,
+            trace: None,
+            adaptive_watchdog: None,
         }
     }
 }
@@ -287,21 +329,70 @@ struct RunCtx<'r> {
     fail: &'r FailureCell,
     timeout: Option<Duration>,
     fault: &'r FaultPlan,
+    stage: usize,
+    trace: Option<&'r TraceCollector>,
+    watchdog: Option<AdaptiveWatchdog>,
+    /// Slowest observed step, ns (0 = nothing measured yet). Feeds the
+    /// adaptive watchdog so stall detection uses measured, not assumed,
+    /// iteration times.
+    epoch_ns: &'r AtomicU64,
 }
 
 impl RunCtx<'_> {
-    /// Sleeps if a stall fault targets `(role, thread)` at block `blk`.
+    /// Sleeps if a stall fault targets `(role, thread)` at block `blk`,
+    /// recording the injection as a trace mark.
     fn maybe_stall(&self, role: Role, thread: usize, blk: usize) {
         if let Some((iter, dur)) = self.fault.stall_for(role, thread) {
             if iter == blk {
+                if let Some(t) = self.trace {
+                    t.mark(
+                        MarkKind::FaultInjected,
+                        format!("stall: {role:?} worker {thread} at block {blk}"),
+                        Some(dur.as_nanos() as f64),
+                    );
+                }
                 std::thread::sleep(dur);
             }
         }
     }
 
-    /// True when a panic fault targets `(role, thread)` at block `blk`.
+    /// True when a panic fault targets `(role, thread)` at block `blk`;
+    /// records the injection as a trace mark when it is about to fire.
     fn injects_panic(&self, role: Role, thread: usize, blk: usize) -> bool {
-        self.fault.panic_site_for(role, thread) == Some(blk)
+        let fires = self.fault.panic_site_for(role, thread) == Some(blk);
+        if fires {
+            if let Some(t) = self.trace {
+                t.mark(
+                    MarkKind::FaultInjected,
+                    format!("panic: {role:?} worker {thread} at block {blk}"),
+                    None,
+                );
+            }
+        }
+        fires
+    }
+
+    /// Record a completed step duration for the adaptive watchdog.
+    fn note_epoch(&self, elapsed: Duration) {
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        self.epoch_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// The barrier-wait budget for the next wait: the adaptive policy's
+    /// derived budget when armed, else the static `iter_timeout`.
+    fn effective_timeout(&self) -> Option<Duration> {
+        match self.watchdog {
+            Some(w) => {
+                let measured = self.epoch_ns.load(Ordering::Relaxed);
+                if measured == 0 {
+                    Some(w.warmup)
+                } else {
+                    let scaled = (measured as f64 * w.multiplier.max(1.0)).min(u64::MAX as f64);
+                    Some(Duration::from_nanos(scaled as u64).max(w.min))
+                }
+            }
+            None => self.timeout,
+        }
     }
 
     /// Pin the calling thread per config, honoring `deny_pinning`.
@@ -319,6 +410,7 @@ impl RunCtx<'_> {
 /// barrier per step). Returns when the schedule completes or the run
 /// aborts.
 fn data_thread_loop(ctx: &RunCtx<'_>, j: usize, load: &mut LoadFn<'_>, store: &mut StoreFn<'_>, load_range: core::ops::Range<usize>) {
+    let mut tracer = ThreadTracer::new(ctx.trace, TraceRole::Data, j, ctx.stage);
     for step in ctx.schedule.steps() {
         if ctx.fail.is_aborted() {
             return;
@@ -329,11 +421,18 @@ fn data_thread_loop(ctx: &RunCtx<'_>, j: usize, load: &mut LoadFn<'_>, store: &m
             // threads); compute threads work on the other half
             // (schedule invariant).
             let half = unsafe { ctx.buffer.half(PipelineStep::half_of(blk)) };
-            if !contained_phase(ctx.fail, Role::Data, j, blk, || store(blk, half)) {
+            let span = tracer.start();
+            let ok = contained_phase(ctx.fail, Role::Data, j, blk, || store(blk, half));
+            tracer.finish(span, Phase::Store, blk);
+            if !ok {
                 return;
             }
         }
-        match ctx.data_barrier.wait(ctx.fail, ctx.timeout) {
+        let budget = ctx.effective_timeout();
+        let span = tracer.start();
+        let outcome = ctx.data_barrier.wait(ctx.fail, budget);
+        tracer.finish(span, Phase::BarrierData, step.step);
+        match outcome {
             WaitOutcome::Released => {}
             WaitOutcome::Aborted => return,
             WaitOutcome::TimedOut => {
@@ -341,7 +440,7 @@ fn data_thread_loop(ctx: &RunCtx<'_>, j: usize, load: &mut LoadFn<'_>, store: &m
                     role: Role::Data,
                     thread: j,
                     iter: step.step,
-                    timeout: ctx.timeout.unwrap_or_default(),
+                    timeout: budget.unwrap_or_default(),
                 });
                 return;
             }
@@ -355,17 +454,23 @@ fn data_thread_loop(ctx: &RunCtx<'_>, j: usize, load: &mut LoadFn<'_>, store: &m
             let share =
                 unsafe { ctx.buffer.half_range_mut(PipelineStep::half_of(blk), range.clone()) };
             let inject = ctx.injects_panic(Role::Data, j, blk);
+            let span = tracer.start();
             let ok = contained_phase(ctx.fail, Role::Data, j, blk, || {
                 if inject {
                     panic!("{INJECTED_FAULT_PREFIX}: Data worker {j} at iteration {blk}");
                 }
                 load(blk, range.start, share);
             });
+            tracer.finish(span, Phase::Load, blk);
             if !ok {
                 return;
             }
         }
-        match ctx.global_barrier.wait(ctx.fail, ctx.timeout) {
+        let budget = ctx.effective_timeout();
+        let span = tracer.start();
+        let outcome = ctx.global_barrier.wait(ctx.fail, budget);
+        tracer.finish(span, Phase::BarrierGlobal, step.step);
+        match outcome {
             WaitOutcome::Released => {}
             WaitOutcome::Aborted => return,
             WaitOutcome::TimedOut => {
@@ -373,7 +478,7 @@ fn data_thread_loop(ctx: &RunCtx<'_>, j: usize, load: &mut LoadFn<'_>, store: &m
                     role: Role::Data,
                     thread: j,
                     iter: step.step,
-                    timeout: ctx.timeout.unwrap_or_default(),
+                    timeout: budget.unwrap_or_default(),
                 });
                 return;
             }
@@ -383,10 +488,22 @@ fn data_thread_loop(ctx: &RunCtx<'_>, j: usize, load: &mut LoadFn<'_>, store: &m
 
 /// The compute-thread worker loop (compute, global barrier per step).
 fn compute_thread_loop(ctx: &RunCtx<'_>, j: usize, compute: &mut ComputeFn<'_>, compute_range: core::ops::Range<usize>) {
+    let mut tracer = ThreadTracer::new(ctx.trace, TraceRole::Compute, j, ctx.stage);
+    let adaptive = ctx.watchdog.is_some();
     for step in ctx.schedule.steps() {
         if ctx.fail.is_aborted() {
             return;
         }
+        // Only compute-active steps feed the watchdog measurement:
+        // prologue steps are genuinely short (no kernel work yet) and
+        // would otherwise shrink the budget below the steady-state step
+        // time. A compute step's duration spans the global barrier, so
+        // it approximates the whole pipeline's step time.
+        let step_started = if adaptive && step.compute.is_some() {
+            Some(Instant::now())
+        } else {
+            None
+        };
         if let Some(blk) = step.compute {
             ctx.maybe_stall(Role::Compute, j, blk);
             let range = compute_range.clone();
@@ -396,17 +513,23 @@ fn compute_thread_loop(ctx: &RunCtx<'_>, j: usize, compute: &mut ComputeFn<'_>, 
             let share =
                 unsafe { ctx.buffer.half_range_mut(PipelineStep::half_of(blk), range.clone()) };
             let inject = ctx.injects_panic(Role::Compute, j, blk);
+            let span = tracer.start();
             let ok = contained_phase(ctx.fail, Role::Compute, j, blk, || {
                 if inject {
                     panic!("{INJECTED_FAULT_PREFIX}: Compute worker {j} at iteration {blk}");
                 }
                 compute(blk, range.start, share);
             });
+            tracer.finish(span, Phase::Compute, blk);
             if !ok {
                 return;
             }
         }
-        match ctx.global_barrier.wait(ctx.fail, ctx.timeout) {
+        let budget = ctx.effective_timeout();
+        let span = tracer.start();
+        let outcome = ctx.global_barrier.wait(ctx.fail, budget);
+        tracer.finish(span, Phase::BarrierGlobal, step.step);
+        match outcome {
             WaitOutcome::Released => {}
             WaitOutcome::Aborted => return,
             WaitOutcome::TimedOut => {
@@ -414,10 +537,13 @@ fn compute_thread_loop(ctx: &RunCtx<'_>, j: usize, compute: &mut ComputeFn<'_>, 
                     role: Role::Compute,
                     thread: j,
                     iter: step.step,
-                    timeout: ctx.timeout.unwrap_or_default(),
+                    timeout: budget.unwrap_or_default(),
                 });
                 return;
             }
+        }
+        if let Some(started) = step_started {
+            ctx.note_epoch(started.elapsed());
         }
     }
 }
@@ -503,6 +629,7 @@ pub fn run_pipeline(
     let data_barrier = AbortableBarrier::new(p_d);
     let global_barrier = AbortableBarrier::new(p_d + p_c);
     let empty_fault = FaultPlan::none();
+    let epoch_ns = AtomicU64::new(0);
     let ctx = RunCtx {
         buffer,
         schedule: &schedule,
@@ -511,6 +638,10 @@ pub fn run_pipeline(
         fail: &fail,
         timeout: cfg.iter_timeout,
         fault: cfg.fault.as_ref().unwrap_or(&empty_fault),
+        stage: cfg.stage,
+        trace: cfg.trace.as_deref(),
+        watchdog: cfg.adaptive_watchdog,
+        epoch_ns: &epoch_ns,
     };
     let ctx_ref = &ctx;
     let pins = cfg.pin_cpus.clone();
@@ -1009,5 +1140,212 @@ mod tests {
         // Keep AlignedVec in the dependency surface tests exercise.
         let v: AlignedVec<Complex64> = AlignedVec::zeroed(4);
         assert_eq!(v.len(), 4);
+    }
+
+    #[test]
+    fn traced_run_records_all_phases_with_stage() {
+        use bwfft_trace::TraceEvent;
+        let blocks = 4;
+        let buffer = DoubleBuffer::new(32);
+        let collector = Arc::new(TraceCollector::new());
+        run_pipeline(
+            &buffer,
+            &PipelineConfig {
+                iters: blocks,
+                stage: 7,
+                trace: Some(Arc::clone(&collector)),
+                ..PipelineConfig::default()
+            },
+            noop_callbacks(2, 2),
+        )
+        .unwrap();
+        let events = collector.take_events();
+        let spans: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Span(s) => Some(s),
+                TraceEvent::Mark(_) => None,
+            })
+            .collect();
+        assert!(!spans.is_empty());
+        assert!(spans.iter().all(|s| s.stage == 7));
+        for phase in [
+            Phase::Load,
+            Phase::Compute,
+            Phase::Store,
+            Phase::BarrierData,
+            Phase::BarrierGlobal,
+        ] {
+            assert!(
+                spans.iter().any(|s| s.phase == phase),
+                "missing {phase:?} spans"
+            );
+        }
+        // Every block gets loaded by both data threads and computed by
+        // both compute threads.
+        for blk in 0..blocks {
+            let loads = spans
+                .iter()
+                .filter(|s| s.phase == Phase::Load && s.block == blk)
+                .count();
+            assert_eq!(loads, 2, "block {blk} load spans");
+            let computes = spans
+                .iter()
+                .filter(|s| s.phase == Phase::Compute && s.block == blk)
+                .count();
+            assert_eq!(computes, 2, "block {blk} compute spans");
+        }
+        // Role attribution is consistent with the phase.
+        assert!(spans
+            .iter()
+            .all(|s| match s.phase {
+                Phase::Load | Phase::Store | Phase::BarrierData => s.role == TraceRole::Data,
+                Phase::Compute => s.role == TraceRole::Compute,
+                Phase::BarrierGlobal => true,
+            }));
+    }
+
+    #[test]
+    fn untraced_run_leaves_collector_untouched() {
+        let buffer = DoubleBuffer::new(16);
+        run_pipeline(
+            &buffer,
+            &PipelineConfig {
+                iters: 3,
+                ..PipelineConfig::default()
+            },
+            noop_callbacks(1, 1),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn injected_faults_appear_as_trace_marks() {
+        use bwfft_trace::TraceEvent;
+        silence_injected_panic_reports();
+        let buffer = DoubleBuffer::new(16);
+        let collector = Arc::new(TraceCollector::new());
+        let err = run_pipeline(
+            &buffer,
+            &PipelineConfig {
+                iters: 4,
+                trace: Some(Arc::clone(&collector)),
+                fault: Some(FaultPlan::panic_at(Role::Compute, 0, 2)),
+                iter_timeout: Some(Duration::from_secs(5)),
+                ..PipelineConfig::default()
+            },
+            noop_callbacks(1, 1),
+        )
+        .unwrap_err();
+        assert!(matches!(err, PipelineError::WorkerPanicked { .. }));
+        let events = collector.take_events();
+        let mark = events
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::Mark(m) if m.kind == MarkKind::FaultInjected => Some(m),
+                _ => None,
+            })
+            .expect("fault injection must record a FaultInjected mark");
+        assert!(
+            mark.label.contains("Compute worker 0 at block 2"),
+            "mark label: {}",
+            mark.label
+        );
+    }
+
+    #[test]
+    fn stall_fault_marks_carry_duration() {
+        use bwfft_trace::TraceEvent;
+        let buffer = DoubleBuffer::new(16);
+        let collector = Arc::new(TraceCollector::new());
+        run_pipeline(
+            &buffer,
+            &PipelineConfig {
+                iters: 3,
+                trace: Some(Arc::clone(&collector)),
+                fault: Some(FaultPlan::stall_at(
+                    Role::Data,
+                    0,
+                    1,
+                    Duration::from_millis(3),
+                )),
+                ..PipelineConfig::default()
+            },
+            noop_callbacks(1, 1),
+        )
+        .unwrap();
+        let events = collector.take_events();
+        let mark = events
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::Mark(m) if m.kind == MarkKind::FaultInjected => Some(m),
+                _ => None,
+            })
+            .expect("stall must record a FaultInjected mark");
+        assert!(mark.label.starts_with("stall:"), "label: {}", mark.label);
+        assert_eq!(mark.value_ns, Some(3e6));
+    }
+
+    #[test]
+    fn adaptive_watchdog_times_out_stalled_peer() {
+        // Fast measured epochs (noop steps) make the derived budget the
+        // `min` floor; a 400 ms stall at block 2 then trips the
+        // watchdog without any caller-assumed iteration time.
+        let buffer = DoubleBuffer::new(16);
+        let err = run_pipeline(
+            &buffer,
+            &PipelineConfig {
+                iters: 6,
+                adaptive_watchdog: Some(AdaptiveWatchdog {
+                    multiplier: 8.0,
+                    min: Duration::from_millis(40),
+                    warmup: Duration::from_secs(5),
+                }),
+                fault: Some(FaultPlan::stall_at(
+                    Role::Compute,
+                    0,
+                    2,
+                    Duration::from_millis(400),
+                )),
+                ..PipelineConfig::default()
+            },
+            noop_callbacks(1, 1),
+        )
+        .unwrap_err();
+        match err {
+            PipelineError::StageTimeout { timeout, .. } => {
+                // The reported budget is the measured-epoch derivation,
+                // not the warmup: steps are microseconds, so the floor
+                // (40 ms) applies.
+                assert!(timeout >= Duration::from_millis(40));
+                assert!(timeout < Duration::from_secs(5));
+            }
+            other => panic!("expected StageTimeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn adaptive_watchdog_scales_with_slow_steps() {
+        // Steps that legitimately take ~20 ms must not be killed by the
+        // 1 ms floor: the 8× multiplier of the measured epoch dominates.
+        let buffer = DoubleBuffer::new(16);
+        let mut callbacks = noop_callbacks(1, 1);
+        callbacks.computes = vec![Box::new(|_, _, _| {
+            std::thread::sleep(Duration::from_millis(20));
+        })];
+        run_pipeline(
+            &buffer,
+            &PipelineConfig {
+                iters: 4,
+                adaptive_watchdog: Some(AdaptiveWatchdog {
+                    multiplier: 8.0,
+                    min: Duration::from_millis(1),
+                    warmup: Duration::from_secs(5),
+                }),
+                ..PipelineConfig::default()
+            },
+            callbacks,
+        )
+        .unwrap();
     }
 }

@@ -28,7 +28,7 @@ pub mod schedule;
 pub use affinity::PinStatus;
 pub use buffer::{split_disjoint, BufferError, DoubleBuffer};
 pub use error::{ConfigError, PipelineError};
-pub use exec::{run_pipeline, PipelineCallbacks, PipelineConfig, PipelineReport};
+pub use exec::{run_pipeline, AdaptiveWatchdog, PipelineCallbacks, PipelineConfig, PipelineReport};
 pub use fault::{FaultPlan, FaultSite, StallFault};
 pub use roles::{Role, RoleAssignment};
 pub use schedule::{PipelineStep, Schedule};

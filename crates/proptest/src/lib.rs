@@ -34,10 +34,20 @@ pub mod test_runner {
         }
     }
 
+    /// Parses a `PROPTEST_CASES` value; `None` when unset, empty, zero
+    /// or unparseable (falling back to the built-in default).
+    pub fn parse_cases(raw: Option<&str>) -> Option<u32> {
+        raw.and_then(|v| v.trim().parse().ok()).filter(|&c| c > 0)
+    }
+
     impl Default for Config {
         fn default() -> Self {
+            // As in upstream proptest, the `PROPTEST_CASES` environment
+            // variable caps the per-test case count, so fast CI gates
+            // can trade depth for latency without touching the tests.
+            let env_cases = parse_cases(std::env::var("PROPTEST_CASES").ok().as_deref());
             Config {
-                cases: 256,
+                cases: env_cases.unwrap_or(256),
                 max_global_rejects: 65_536,
             }
         }
@@ -339,6 +349,16 @@ macro_rules! proptest {
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
+
+    #[test]
+    fn proptest_cases_env_values_parse() {
+        use crate::test_runner::parse_cases;
+        assert_eq!(parse_cases(Some("17")), Some(17));
+        assert_eq!(parse_cases(Some(" 8 ")), Some(8));
+        assert_eq!(parse_cases(Some("0")), None);
+        assert_eq!(parse_cases(Some("lots")), None);
+        assert_eq!(parse_cases(None), None);
+    }
 
     #[test]
     fn rng_is_deterministic_per_case() {

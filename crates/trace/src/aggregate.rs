@@ -1,0 +1,407 @@
+//! Aggregation: raw event soup → per-stage profile.
+//!
+//! The accounting rules, which DESIGN.md §8 documents:
+//!
+//! * **Per-stage wall time** — `max(end) − min(start)` over every span
+//!   attributed to the stage.
+//! * **Per-phase busy time** — the length of the interval *union* of
+//!   that phase's spans across threads. Unions, not sums: four data
+//!   threads loading concurrently for 1 ms is 1 ms of load busy time,
+//!   not 4 ms, which is what "was the memory system kept busy?" asks.
+//! * **Barrier wait per role** — plain sums of the barrier-phase span
+//!   durations (here each thread's wait *is* individually interesting,
+//!   so thread-seconds are the right unit).
+//! * **Overlap fraction** — `|T ∩ C| / min(|T|, |C|)` where `T` is the
+//!   union of transfer (load+store) intervals and `C` the union of
+//!   compute intervals. 1.0 means the shorter side was entirely hidden
+//!   behind the longer; 0.0 means strictly serial phases (or an empty
+//!   side). Clamped to `[0, 1]`.
+//! * **Achieved bandwidth** — `bytes_moved / stage wall`, compared
+//!   against the machine's achievable stream bandwidth when the caller
+//!   provides it.
+
+use crate::event::{MarkEvent, Phase, SpanEvent, TraceEvent, TraceRole};
+use crate::json::SCHEMA_VERSION;
+
+/// Per-stage I/O volume and work, provided by the caller (the executor
+/// knows the plan; the trace only knows timing).
+#[derive(Clone, Debug, PartialEq)]
+pub struct StageIo {
+    pub stage: usize,
+    /// Total bytes the stage moves (read + write).
+    pub bytes_moved: u64,
+    /// Pseudo-FLOPs attributed to the stage (`5·N·log2(m)` convention).
+    pub pseudo_flops: f64,
+}
+
+/// Run-level context for aggregation.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunMeta {
+    /// Problem label, e.g. `"2048x2048"`.
+    pub label: String,
+    /// Executor that produced the events (`"pipelined"`, `"fused"`,
+    /// `"simulated"`, ...).
+    pub executor: String,
+    /// Machine achievable stream bandwidth in GB/s, if known; enables
+    /// the %-of-achievable roofline column.
+    pub stream_gbs: Option<f64>,
+    /// Per-stage I/O volumes, matched to span `stage` indices.
+    pub stage_io: Vec<StageIo>,
+}
+
+/// Aggregated profile of one pipeline stage.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StageProfile {
+    pub stage: usize,
+    /// `max(end) − min(start)` over the stage's spans, ns.
+    pub wall_ns: u64,
+    /// Interval-union busy time of each work phase, ns.
+    pub load_busy_ns: u64,
+    pub compute_busy_ns: u64,
+    pub store_busy_ns: u64,
+    /// Summed barrier-wait thread-time per role, ns.
+    pub data_barrier_ns: u64,
+    pub compute_barrier_ns: u64,
+    /// Compute/transfer overlap fraction in `[0, 1]`.
+    pub overlap_fraction: f64,
+    /// Bytes moved (from [`StageIo`]); 0 when unknown.
+    pub bytes_moved: u64,
+    /// `bytes_moved / wall_ns` in GB/s, when both are known and nonzero.
+    pub achieved_gbs: Option<f64>,
+    /// Machine achievable stream bandwidth, GB/s (copied from meta).
+    pub achievable_gbs: Option<f64>,
+    /// `100 · achieved / achievable`, when both sides are known.
+    pub percent_of_achievable: Option<f64>,
+}
+
+/// The full aggregated report — what the JSON export serializes and the
+/// human-readable sink renders.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceReport {
+    /// Schema tag; always [`SCHEMA_VERSION`] when built by [`aggregate`].
+    pub schema: String,
+    pub label: String,
+    pub executor: String,
+    /// `max(end) − min(start)` over *all* spans, ns.
+    pub total_wall_ns: u64,
+    pub stages: Vec<StageProfile>,
+    /// Telemetry marks in recording order.
+    pub marks: Vec<MarkEvent>,
+}
+
+impl TraceReport {
+    /// Overlap fraction across all stages, weighted by stage wall time.
+    /// `None` when no stage recorded any spans.
+    pub fn overall_overlap_fraction(&self) -> Option<f64> {
+        let wall: u64 = self.stages.iter().map(|s| s.wall_ns).sum();
+        if wall == 0 {
+            return None;
+        }
+        let weighted: f64 = self
+            .stages
+            .iter()
+            .map(|s| s.overlap_fraction * s.wall_ns as f64)
+            .sum();
+        Some(weighted / wall as f64)
+    }
+}
+
+/// Merge intervals into a disjoint, sorted union.
+fn merge_intervals(mut iv: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    iv.retain(|&(s, e)| e > s);
+    iv.sort_unstable();
+    let mut out: Vec<(u64, u64)> = Vec::with_capacity(iv.len());
+    for (s, e) in iv {
+        match out.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+/// Total length of a disjoint interval list.
+fn union_len(iv: &[(u64, u64)]) -> u64 {
+    iv.iter().map(|&(s, e)| e - s).sum()
+}
+
+/// Length of the intersection of two disjoint, sorted interval lists.
+fn intersection_len(a: &[(u64, u64)], b: &[(u64, u64)]) -> u64 {
+    let (mut i, mut j, mut total) = (0usize, 0usize, 0u64);
+    while i < a.len() && j < b.len() {
+        let lo = a[i].0.max(b[j].0);
+        let hi = a[i].1.min(b[j].1);
+        if hi > lo {
+            total += hi - lo;
+        }
+        if a[i].1 <= b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    total
+}
+
+/// Compute the overlap fraction from transfer and compute interval
+/// unions. Public for the property tests.
+pub fn overlap_fraction(transfer: &[(u64, u64)], compute: &[(u64, u64)]) -> f64 {
+    let t = union_len(transfer);
+    let c = union_len(compute);
+    let shorter = t.min(c);
+    if shorter == 0 {
+        return 0.0;
+    }
+    let both = intersection_len(transfer, compute);
+    (both as f64 / shorter as f64).clamp(0.0, 1.0)
+}
+
+/// Aggregate recorded events into a [`TraceReport`].
+///
+/// Span stage indices select the matching [`StageIo`] entry of `meta`
+/// (missing entries just lose the bandwidth columns). Marks pass
+/// through in recording order.
+pub fn aggregate(events: &[TraceEvent], meta: &RunMeta) -> TraceReport {
+    let mut spans: Vec<&SpanEvent> = Vec::new();
+    let mut marks: Vec<MarkEvent> = Vec::new();
+    for ev in events {
+        match ev {
+            TraceEvent::Span(s) => spans.push(s),
+            TraceEvent::Mark(m) => marks.push(m.clone()),
+        }
+    }
+
+    let total_wall_ns = wall_of(spans.iter().map(|s| (s.start_ns, s.end_ns)));
+
+    let mut stage_ids: Vec<usize> = spans.iter().map(|s| s.stage).collect();
+    stage_ids.sort_unstable();
+    stage_ids.dedup();
+
+    let stages = stage_ids
+        .into_iter()
+        .map(|stage| {
+            let ss: Vec<&&SpanEvent> = spans.iter().filter(|s| s.stage == stage).collect();
+            let wall_ns = wall_of(ss.iter().map(|s| (s.start_ns, s.end_ns)));
+
+            let phase_union = |phase: Phase| {
+                merge_intervals(
+                    ss.iter()
+                        .filter(|s| s.phase == phase)
+                        .map(|s| (s.start_ns, s.end_ns))
+                        .collect(),
+                )
+            };
+            let load = phase_union(Phase::Load);
+            let store = phase_union(Phase::Store);
+            let compute = phase_union(Phase::Compute);
+            let transfer = merge_intervals(
+                load.iter().chain(store.iter()).copied().collect::<Vec<_>>(),
+            );
+
+            let barrier_sum = |role: TraceRole| {
+                ss.iter()
+                    .filter(|s| s.role == role && s.phase.is_barrier())
+                    .map(|s| s.duration_ns())
+                    .sum::<u64>()
+            };
+
+            let io = meta.stage_io.iter().find(|io| io.stage == stage);
+            let bytes_moved = io.map(|io| io.bytes_moved).unwrap_or(0);
+            let achieved_gbs = if bytes_moved > 0 && wall_ns > 0 {
+                // bytes/ns == GB/s.
+                Some(bytes_moved as f64 / wall_ns as f64)
+            } else {
+                None
+            };
+            let achievable_gbs = meta.stream_gbs.filter(|bw| *bw > 0.0);
+            let percent_of_achievable = match (achieved_gbs, achievable_gbs) {
+                (Some(a), Some(b)) => Some(100.0 * a / b),
+                _ => None,
+            };
+
+            StageProfile {
+                stage,
+                wall_ns,
+                load_busy_ns: union_len(&load),
+                compute_busy_ns: union_len(&compute),
+                store_busy_ns: union_len(&store),
+                data_barrier_ns: barrier_sum(TraceRole::Data),
+                compute_barrier_ns: barrier_sum(TraceRole::Compute),
+                overlap_fraction: overlap_fraction(&transfer, &compute),
+                bytes_moved,
+                achieved_gbs,
+                achievable_gbs,
+                percent_of_achievable,
+            }
+        })
+        .collect();
+
+    TraceReport {
+        schema: SCHEMA_VERSION.to_string(),
+        label: meta.label.clone(),
+        executor: meta.executor.clone(),
+        total_wall_ns,
+        stages,
+        marks,
+    }
+}
+
+fn wall_of(iv: impl Iterator<Item = (u64, u64)>) -> u64 {
+    let (mut lo, mut hi) = (u64::MAX, 0u64);
+    let mut any = false;
+    for (s, e) in iv {
+        any = true;
+        lo = lo.min(s);
+        hi = hi.max(e);
+    }
+    if any {
+        hi.saturating_sub(lo)
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::MarkKind;
+
+    fn span(
+        role: TraceRole,
+        thread: usize,
+        stage: usize,
+        phase: Phase,
+        start_ns: u64,
+        end_ns: u64,
+    ) -> TraceEvent {
+        TraceEvent::Span(SpanEvent {
+            role,
+            thread,
+            stage,
+            block: 0,
+            phase,
+            start_ns,
+            end_ns,
+        })
+    }
+
+    #[test]
+    fn interval_union_merges_overlaps() {
+        let u = merge_intervals(vec![(0, 10), (5, 15), (20, 30), (30, 31), (40, 40)]);
+        assert_eq!(u, vec![(0, 15), (20, 31)]);
+        assert_eq!(union_len(&u), 26);
+    }
+
+    #[test]
+    fn intersection_two_pointer() {
+        let a = vec![(0, 10), (20, 30)];
+        let b = vec![(5, 25)];
+        assert_eq!(intersection_len(&a, &b), 5 + 5);
+        assert_eq!(intersection_len(&a, &[]), 0);
+    }
+
+    #[test]
+    fn overlap_fraction_bounds() {
+        // Fully hidden transfer: transfer ⊂ compute.
+        assert_eq!(overlap_fraction(&[(10, 20)], &[(0, 100)]), 1.0);
+        // Strictly serial.
+        assert_eq!(overlap_fraction(&[(0, 10)], &[(10, 20)]), 0.0);
+        // Empty side.
+        assert_eq!(overlap_fraction(&[], &[(0, 10)]), 0.0);
+        // Half overlap against the shorter (transfer) side.
+        let f = overlap_fraction(&[(0, 10)], &[(5, 100)]);
+        assert!((f - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_two_stage_run() {
+        // Stage 0: data thread loads [0,100), stores [100,150);
+        //          compute thread computes [40,140) → transfer = 150ns
+        //          union, compute = 100ns union, both-busy = [40,100) ∪
+        //          [100,140) = 100ns → overlap = 100/100 = 1.0.
+        let events = vec![
+            span(TraceRole::Data, 0, 0, Phase::Load, 0, 100),
+            span(TraceRole::Data, 0, 0, Phase::Store, 100, 150),
+            span(TraceRole::Compute, 0, 0, Phase::Compute, 40, 140),
+            span(TraceRole::Data, 0, 0, Phase::BarrierData, 150, 160),
+            span(TraceRole::Compute, 0, 0, Phase::BarrierGlobal, 140, 160),
+            // Stage 1: serial load then compute.
+            span(TraceRole::Data, 0, 1, Phase::Load, 200, 240),
+            span(TraceRole::Compute, 0, 1, Phase::Compute, 240, 300),
+        ];
+        let meta = RunMeta {
+            label: "test".into(),
+            executor: "pipelined".into(),
+            stream_gbs: Some(100.0),
+            stage_io: vec![
+                StageIo {
+                    stage: 0,
+                    bytes_moved: 16_000,
+                    pseudo_flops: 1.0,
+                },
+                StageIo {
+                    stage: 1,
+                    bytes_moved: 16_000,
+                    pseudo_flops: 1.0,
+                },
+            ],
+        };
+        let rep = aggregate(&events, &meta);
+        assert_eq!(rep.schema, SCHEMA_VERSION);
+        assert_eq!(rep.total_wall_ns, 300);
+        assert_eq!(rep.stages.len(), 2);
+
+        let s0 = &rep.stages[0];
+        assert_eq!(s0.wall_ns, 160);
+        assert_eq!(s0.load_busy_ns, 100);
+        assert_eq!(s0.store_busy_ns, 50);
+        assert_eq!(s0.compute_busy_ns, 100);
+        assert_eq!(s0.data_barrier_ns, 10);
+        assert_eq!(s0.compute_barrier_ns, 20);
+        assert!((s0.overlap_fraction - 1.0).abs() < 1e-12);
+        // 16000 bytes / 160 ns = 100 GB/s = 100% of achievable.
+        assert!((s0.achieved_gbs.unwrap() - 100.0).abs() < 1e-9);
+        assert!((s0.percent_of_achievable.unwrap() - 100.0).abs() < 1e-9);
+
+        let s1 = &rep.stages[1];
+        assert_eq!(s1.wall_ns, 100);
+        assert_eq!(s1.overlap_fraction, 0.0);
+
+        // Stage walls sum ≤ total wall (they're disjoint here: 160+100 ≤ 300).
+        let sum: u64 = rep.stages.iter().map(|s| s.wall_ns).sum();
+        assert!(sum <= rep.total_wall_ns);
+
+        let overall = rep.overall_overlap_fraction().unwrap();
+        assert!((overall - (1.0 * 160.0) / 260.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_empty_and_marks_only() {
+        let meta = RunMeta::default();
+        let rep = aggregate(&[], &meta);
+        assert_eq!(rep.total_wall_ns, 0);
+        assert!(rep.stages.is_empty());
+        assert_eq!(rep.overall_overlap_fraction(), None);
+
+        let events = vec![TraceEvent::Mark(MarkEvent {
+            kind: MarkKind::FaultInjected,
+            label: "panic@data".into(),
+            at_ns: 5,
+            value_ns: None,
+        })];
+        let rep = aggregate(&events, &meta);
+        assert_eq!(rep.marks.len(), 1);
+        assert!(rep.stages.is_empty());
+    }
+
+    #[test]
+    fn missing_stage_io_drops_bandwidth_columns() {
+        let events = vec![span(TraceRole::Data, 0, 3, Phase::Load, 0, 10)];
+        let rep = aggregate(&events, &RunMeta::default());
+        let s = &rep.stages[0];
+        assert_eq!(s.stage, 3);
+        assert_eq!(s.bytes_moved, 0);
+        assert_eq!(s.achieved_gbs, None);
+        assert_eq!(s.percent_of_achievable, None);
+    }
+}

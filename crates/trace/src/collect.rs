@@ -1,0 +1,276 @@
+//! Span collection: a shared sink plus per-thread recorders.
+//!
+//! The hot-path contract is the one the tentpole demands: worker
+//! threads never touch a lock while recording. Each worker owns a
+//! [`ThreadTracer`] that buffers events into a thread-local `Vec` and
+//! flushes into the shared [`TraceCollector`] exactly once, when the
+//! worker finishes. A *disabled* tracer (built from `None`) costs one
+//! branch per would-be span and never reads the clock.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::event::{MarkEvent, MarkKind, Phase, SpanEvent, TraceEvent, TraceRole};
+
+/// Shared sink for one profiled run.
+///
+/// Cheap to share as `Arc<TraceCollector>`; worker threads only lock
+/// the sink once each (at flush), so contention is negligible.
+pub struct TraceCollector {
+    origin: Instant,
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl std::fmt::Debug for TraceCollector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.events.lock().map(|e| e.len()).unwrap_or(0);
+        f.debug_struct("TraceCollector").field("events", &n).finish()
+    }
+}
+
+impl Default for TraceCollector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceCollector {
+    /// A fresh collector whose time origin is "now".
+    pub fn new() -> Self {
+        TraceCollector {
+            origin: Instant::now(),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Nanoseconds elapsed since the collector's origin.
+    pub fn now_ns(&self) -> u64 {
+        elapsed_ns(self.origin, Instant::now())
+    }
+
+    /// Convert an instant captured by a [`ThreadTracer`] to origin-relative ns.
+    fn ns_of(&self, at: Instant) -> u64 {
+        elapsed_ns(self.origin, at)
+    }
+
+    /// Append a batch of events (one lock acquisition).
+    pub fn absorb(&self, batch: Vec<TraceEvent>) {
+        if batch.is_empty() {
+            return;
+        }
+        if let Ok(mut sink) = self.events.lock() {
+            sink.extend(batch);
+        }
+    }
+
+    /// Record an untimed telemetry mark (degradation, fault, tuner
+    /// trial). Marks are rare, so locking here is fine.
+    pub fn mark(&self, kind: MarkKind, label: impl Into<String>, value_ns: Option<f64>) {
+        let ev = TraceEvent::Mark(MarkEvent {
+            kind,
+            label: label.into(),
+            at_ns: self.now_ns(),
+            value_ns,
+        });
+        if let Ok(mut sink) = self.events.lock() {
+            sink.push(ev);
+        }
+    }
+
+    /// Drain all recorded events, leaving the collector empty (the
+    /// origin is kept, so a collector can be reused across executor
+    /// stages within one run).
+    pub fn take_events(&self) -> Vec<TraceEvent> {
+        self.events
+            .lock()
+            .map(|mut e| std::mem::take(&mut *e))
+            .unwrap_or_default()
+    }
+
+    /// Copy of the recorded events without draining.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.events.lock().map(|e| e.clone()).unwrap_or_default()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().map(|e| e.len()).unwrap_or(0)
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn elapsed_ns(origin: Instant, at: Instant) -> u64 {
+    // `checked_duration_since` so an instant captured before the origin
+    // (possible only through API misuse) clamps to zero instead of
+    // panicking.
+    at.checked_duration_since(origin)
+        .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
+}
+
+/// One worker thread's recorder.
+///
+/// Disabled (`collector == None`) every method is a single branch;
+/// [`start`](Self::start) returns `None` without reading the clock, so
+/// the span bodies in the pipeline cost nothing measurable.
+pub struct ThreadTracer<'c> {
+    collector: Option<&'c TraceCollector>,
+    role: TraceRole,
+    thread: usize,
+    stage: usize,
+    local: Vec<TraceEvent>,
+}
+
+impl<'c> ThreadTracer<'c> {
+    /// A tracer for one `(role, thread)` worker in pipeline `stage`.
+    /// Pass `None` to get the disabled near-no-op form.
+    pub fn new(
+        collector: Option<&'c TraceCollector>,
+        role: TraceRole,
+        thread: usize,
+        stage: usize,
+    ) -> Self {
+        ThreadTracer {
+            collector,
+            role,
+            thread,
+            stage,
+            local: Vec::new(),
+        }
+    }
+
+    /// True when spans will actually be kept.
+    pub fn enabled(&self) -> bool {
+        self.collector.is_some()
+    }
+
+    /// Begin a span: returns the clock sample to hand back to
+    /// [`finish`](Self::finish), or `None` when tracing is disabled
+    /// (no clock call at all).
+    #[inline]
+    pub fn start(&self) -> Option<Instant> {
+        if self.collector.is_some() {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// End a span begun with [`start`](Self::start). `started == None`
+    /// (disabled tracer) is a no-op.
+    #[inline]
+    pub fn finish(&mut self, started: Option<Instant>, phase: Phase, block: usize) {
+        let (Some(collector), Some(started)) = (self.collector, started) else {
+            return;
+        };
+        let end = Instant::now();
+        self.local.push(TraceEvent::Span(SpanEvent {
+            role: self.role,
+            thread: self.thread,
+            stage: self.stage,
+            block,
+            phase,
+            start_ns: collector.ns_of(started),
+            end_ns: collector.ns_of(end),
+        }));
+    }
+
+    /// Number of locally buffered events (test hook).
+    pub fn buffered(&self) -> usize {
+        self.local.len()
+    }
+
+    /// Flush the local buffer into the shared collector. Called from
+    /// `Drop` too, so explicit calls are optional but let callers
+    /// control the flush point.
+    pub fn flush(&mut self) {
+        if let Some(collector) = self.collector {
+            if !self.local.is_empty() {
+                collector.absorb(std::mem::take(&mut self.local));
+            }
+        }
+    }
+}
+
+impl Drop for ThreadTracer<'_> {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = ThreadTracer::new(None, TraceRole::Data, 0, 0);
+        assert!(!t.enabled());
+        let s = t.start();
+        assert!(s.is_none());
+        t.finish(s, Phase::Load, 0);
+        assert_eq!(t.buffered(), 0);
+    }
+
+    #[test]
+    fn spans_flush_once_into_collector() {
+        let c = TraceCollector::new();
+        {
+            let mut t = ThreadTracer::new(Some(&c), TraceRole::Compute, 2, 1);
+            assert!(t.enabled());
+            for blk in 0..3 {
+                let s = t.start();
+                assert!(s.is_some());
+                t.finish(s, Phase::Compute, blk);
+            }
+            assert_eq!(t.buffered(), 3);
+            assert!(c.is_empty(), "nothing flushed before drop/flush");
+        }
+        let events = c.take_events();
+        assert_eq!(events.len(), 3);
+        for (i, ev) in events.iter().enumerate() {
+            match ev {
+                TraceEvent::Span(s) => {
+                    assert_eq!(s.role, TraceRole::Compute);
+                    assert_eq!(s.thread, 2);
+                    assert_eq!(s.stage, 1);
+                    assert_eq!(s.block, i);
+                    assert_eq!(s.phase, Phase::Compute);
+                    assert!(s.end_ns >= s.start_ns);
+                }
+                TraceEvent::Mark(_) => panic!("unexpected mark"),
+            }
+        }
+        assert!(c.is_empty(), "take_events drains");
+    }
+
+    #[test]
+    fn marks_record_immediately() {
+        let c = TraceCollector::new();
+        c.mark(MarkKind::Degradation, "pinning denied", None);
+        c.mark(MarkKind::TunerTrial, "mu=4096 r4", Some(1234.5));
+        let events = c.snapshot();
+        assert_eq!(events.len(), 2);
+        match &events[1] {
+            TraceEvent::Mark(m) => {
+                assert_eq!(m.kind, MarkKind::TunerTrial);
+                assert_eq!(m.label, "mu=4096 r4");
+                assert_eq!(m.value_ns, Some(1234.5));
+            }
+            TraceEvent::Span(_) => panic!("expected mark"),
+        }
+        assert_eq!(c.len(), 2, "snapshot does not drain");
+    }
+
+    #[test]
+    fn timestamps_are_monotone_wrt_origin() {
+        let c = TraceCollector::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,227 @@
+//! The trace event model: timed spans and untimed marks.
+//!
+//! Spans are keyed by `(role, thread, stage, block, phase)` with
+//! nanosecond timestamps relative to the owning
+//! [`TraceCollector`](crate::collect::TraceCollector)'s origin. Marks
+//! carry the non-timing telemetry a profiled run wants alongside the
+//! spans: why an executor was degraded, which faults fired, what the
+//! tuner measured for each shortlisted candidate.
+
+/// Which pipeline role produced an event. Mirrors the pipeline crate's
+/// `Role` without depending on it (this crate sits below the pipeline
+/// in the dependency graph).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TraceRole {
+    /// A soft-DMA data thread (loads and stores).
+    Data,
+    /// A compute thread (batched FFT kernels).
+    Compute,
+}
+
+impl TraceRole {
+    /// Short stable token used by the JSON export.
+    pub fn token(self) -> &'static str {
+        match self {
+            TraceRole::Data => "data",
+            TraceRole::Compute => "compute",
+        }
+    }
+
+    /// Inverse of [`token`](Self::token).
+    pub fn from_token(tok: &str) -> Option<Self> {
+        match tok {
+            "data" => Some(TraceRole::Data),
+            "compute" => Some(TraceRole::Compute),
+            _ => None,
+        }
+    }
+}
+
+/// What a span measures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Streaming a block from the source array into the buffer half.
+    Load,
+    /// Batched FFT kernels on a buffer half.
+    Compute,
+    /// Writing a block through the stage's write matrix.
+    Store,
+    /// Waiting at the data-side barrier (store/load recycling).
+    BarrierData,
+    /// Waiting at the global end-of-step barrier.
+    BarrierGlobal,
+}
+
+impl Phase {
+    /// Short stable token used by the JSON export.
+    pub fn token(self) -> &'static str {
+        match self {
+            Phase::Load => "load",
+            Phase::Compute => "compute",
+            Phase::Store => "store",
+            Phase::BarrierData => "barrier_data",
+            Phase::BarrierGlobal => "barrier_global",
+        }
+    }
+
+    /// Inverse of [`token`](Self::token).
+    pub fn from_token(tok: &str) -> Option<Self> {
+        match tok {
+            "load" => Some(Phase::Load),
+            "compute" => Some(Phase::Compute),
+            "store" => Some(Phase::Store),
+            "barrier_data" => Some(Phase::BarrierData),
+            "barrier_global" => Some(Phase::BarrierGlobal),
+            _ => None,
+        }
+    }
+
+    /// True for the barrier-wait phases (synchronization overhead, not
+    /// useful work).
+    pub fn is_barrier(self) -> bool {
+        matches!(self, Phase::BarrierData | Phase::BarrierGlobal)
+    }
+
+    /// True for the data-movement phases (the "transfer" side of the
+    /// overlap accounting).
+    pub fn is_transfer(self) -> bool {
+        matches!(self, Phase::Load | Phase::Store)
+    }
+}
+
+/// One timed interval of one thread's work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanEvent {
+    pub role: TraceRole,
+    /// Role-local thread index.
+    pub thread: usize,
+    /// Pipeline stage the span belongs to.
+    pub stage: usize,
+    /// Block (pipeline iteration) index; barrier spans use the step
+    /// index of the schedule.
+    pub block: usize,
+    pub phase: Phase,
+    /// Start, ns since the collector's origin.
+    pub start_ns: u64,
+    /// End, ns since the collector's origin (`end_ns >= start_ns`).
+    pub end_ns: u64,
+}
+
+impl SpanEvent {
+    /// Span length in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// What kind of telemetry a mark carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MarkKind {
+    /// The plan degraded to the fused executor; label holds the typed
+    /// `DegradationReason`'s rendering.
+    Degradation,
+    /// An injected fault fired; label names the site.
+    FaultInjected,
+    /// One timed candidate of the tuner's measurement phase; `value_ns`
+    /// is its best wall-clock.
+    TunerTrial,
+    /// The candidate the tuner picked; `value_ns` is its score.
+    TunerWinner,
+}
+
+impl MarkKind {
+    /// Short stable token used by the JSON export.
+    pub fn token(self) -> &'static str {
+        match self {
+            MarkKind::Degradation => "degradation",
+            MarkKind::FaultInjected => "fault_injected",
+            MarkKind::TunerTrial => "tuner_trial",
+            MarkKind::TunerWinner => "tuner_winner",
+        }
+    }
+
+    /// Inverse of [`token`](Self::token).
+    pub fn from_token(tok: &str) -> Option<Self> {
+        match tok {
+            "degradation" => Some(MarkKind::Degradation),
+            "fault_injected" => Some(MarkKind::FaultInjected),
+            "tuner_trial" => Some(MarkKind::TunerTrial),
+            "tuner_winner" => Some(MarkKind::TunerWinner),
+            _ => None,
+        }
+    }
+}
+
+/// An untimed telemetry record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MarkEvent {
+    pub kind: MarkKind,
+    /// Human-readable payload (degradation reason, fault site, tuned
+    /// candidate description).
+    pub label: String,
+    /// When the mark was recorded, ns since the collector's origin.
+    pub at_ns: u64,
+    /// Optional associated duration/score in nanoseconds (tuner
+    /// timings).
+    pub value_ns: Option<f64>,
+}
+
+/// Any recorded event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    Span(SpanEvent),
+    Mark(MarkEvent),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_round_trip() {
+        for r in [TraceRole::Data, TraceRole::Compute] {
+            assert_eq!(TraceRole::from_token(r.token()), Some(r));
+        }
+        for p in [
+            Phase::Load,
+            Phase::Compute,
+            Phase::Store,
+            Phase::BarrierData,
+            Phase::BarrierGlobal,
+        ] {
+            assert_eq!(Phase::from_token(p.token()), Some(p));
+        }
+        for k in [
+            MarkKind::Degradation,
+            MarkKind::FaultInjected,
+            MarkKind::TunerTrial,
+            MarkKind::TunerWinner,
+        ] {
+            assert_eq!(MarkKind::from_token(k.token()), Some(k));
+        }
+        assert_eq!(TraceRole::from_token("gpu"), None);
+        assert_eq!(Phase::from_token(""), None);
+    }
+
+    #[test]
+    fn phase_classification() {
+        assert!(Phase::Load.is_transfer() && Phase::Store.is_transfer());
+        assert!(!Phase::Compute.is_transfer());
+        assert!(Phase::BarrierData.is_barrier() && Phase::BarrierGlobal.is_barrier());
+        assert!(!Phase::Load.is_barrier());
+    }
+
+    #[test]
+    fn span_duration_saturates() {
+        let s = SpanEvent {
+            role: TraceRole::Data,
+            thread: 0,
+            stage: 0,
+            block: 0,
+            phase: Phase::Load,
+            start_ns: 10,
+            end_ns: 4,
+        };
+        assert_eq!(s.duration_ns(), 0);
+    }
+}

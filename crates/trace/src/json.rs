@@ -1,0 +1,611 @@
+//! Versioned, dependency-free JSON export of a [`TraceReport`] and the
+//! matching parser.
+//!
+//! The emitter writes floats with Rust's shortest-round-trip `{:?}`
+//! formatting, so `from_json(to_json(r)) == r` holds exactly
+//! (property-tested in `tests/proptest_trace.rs`). Non-finite floats —
+//! which the aggregation never produces but a defensive parser must
+//! assume — are emitted as `null`.
+//!
+//! Schema (`bwfft-trace/1`):
+//!
+//! ```json
+//! {
+//!   "schema": "bwfft-trace/1",
+//!   "label": "2048x2048",
+//!   "executor": "pipelined",
+//!   "total_wall_ns": 123456789,
+//!   "stages": [
+//!     { "stage": 0, "wall_ns": 0, "load_busy_ns": 0, "compute_busy_ns": 0,
+//!       "store_busy_ns": 0, "data_barrier_ns": 0, "compute_barrier_ns": 0,
+//!       "overlap_fraction": 0.93, "bytes_moved": 0,
+//!       "achieved_gbs": 12.5, "achievable_gbs": 17.1,
+//!       "percent_of_achievable": 73.2 }
+//!   ],
+//!   "marks": [
+//!     { "kind": "degradation", "label": "...", "at_ns": 0, "value_ns": null }
+//!   ]
+//! }
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::aggregate::{StageProfile, TraceReport};
+use crate::event::{MarkEvent, MarkKind};
+
+/// Current export schema tag. Bump the `/N` suffix on any breaking
+/// field change; the snapshot test in `tests/proptest_trace.rs` pins it.
+pub const SCHEMA_VERSION: &str = "bwfft-trace/1";
+
+/// JSON export/import failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JsonError {
+    /// Lexical/syntactic error at a byte offset.
+    Syntax { offset: usize, message: String },
+    /// Structurally valid JSON that doesn't match the schema.
+    Schema(String),
+    /// The document's `schema` tag is not [`SCHEMA_VERSION`].
+    Version { found: String },
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonError::Syntax { offset, message } => {
+                write!(f, "JSON syntax error at byte {offset}: {message}")
+            }
+            JsonError::Schema(m) => write!(f, "JSON does not match trace schema: {m}"),
+            JsonError::Version { found } => write!(
+                f,
+                "unsupported trace schema {found:?} (expected {SCHEMA_VERSION:?})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+// ---------------------------------------------------------------------------
+// Emitter
+// ---------------------------------------------------------------------------
+
+fn push_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{:?}` is Rust's shortest representation that round-trips
+        // through `str::parse::<f64>` exactly.
+        out.push_str(&format!("{v:?}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_opt_f64(out: &mut String, v: Option<f64>) {
+    match v {
+        Some(v) => push_f64(out, v),
+        None => out.push_str("null"),
+    }
+}
+
+/// Serialize a report to a compact single-line JSON document.
+pub fn to_json(report: &TraceReport) -> String {
+    let mut out = String::with_capacity(256 + report.stages.len() * 256);
+    out.push_str("{\"schema\":");
+    push_escaped(&mut out, &report.schema);
+    out.push_str(",\"label\":");
+    push_escaped(&mut out, &report.label);
+    out.push_str(",\"executor\":");
+    push_escaped(&mut out, &report.executor);
+    out.push_str(&format!(",\"total_wall_ns\":{}", report.total_wall_ns));
+    out.push_str(",\"stages\":[");
+    for (i, s) in report.stages.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"stage\":{},\"wall_ns\":{},\"load_busy_ns\":{},\"compute_busy_ns\":{},\
+             \"store_busy_ns\":{},\"data_barrier_ns\":{},\"compute_barrier_ns\":{},\
+             \"overlap_fraction\":",
+            s.stage,
+            s.wall_ns,
+            s.load_busy_ns,
+            s.compute_busy_ns,
+            s.store_busy_ns,
+            s.data_barrier_ns,
+            s.compute_barrier_ns,
+        ));
+        push_f64(&mut out, s.overlap_fraction);
+        out.push_str(&format!(",\"bytes_moved\":{},\"achieved_gbs\":", s.bytes_moved));
+        push_opt_f64(&mut out, s.achieved_gbs);
+        out.push_str(",\"achievable_gbs\":");
+        push_opt_f64(&mut out, s.achievable_gbs);
+        out.push_str(",\"percent_of_achievable\":");
+        push_opt_f64(&mut out, s.percent_of_achievable);
+        out.push('}');
+    }
+    out.push_str("],\"marks\":[");
+    for (i, m) in report.marks.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"kind\":");
+        push_escaped(&mut out, m.kind.token());
+        out.push_str(",\"label\":");
+        push_escaped(&mut out, &m.label);
+        out.push_str(&format!(",\"at_ns\":{},\"value_ns\":", m.at_ns));
+        push_opt_f64(&mut out, m.value_ns);
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+/// A generic parsed JSON value (minimal — enough for the trace schema).
+#[derive(Clone, Debug, PartialEq)]
+enum Value {
+    Null,
+    Bool(bool),
+    /// Unsigned integer literal, kept exact: `u64` nanosecond
+    /// timestamps exceed 2^53 and must not detour through f64.
+    Int(u64),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(BTreeMap<String, Value>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser {
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError::Syntax {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        self.skip_ws();
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str, value: Value) -> Result<Value, JsonError> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected {kw}")))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, JsonError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'n') => self.eat_keyword("null", Value::Null),
+            Some(b't') => self.eat_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.eat_keyword("false", Value::Bool(false)),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(c) => Err(self.err(format!("unexpected {:?}", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, JsonError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let val = self.parse_value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Value::Obj(map)),
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, JsonError> {
+        self.expect(b'[')?;
+        let mut arr = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(arr));
+        }
+        loop {
+            arr.push(self.parse_value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Value::Arr(arr)),
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, JsonError> {
+        self.skip_ws();
+        if self.bump() != Some(b'"') {
+            return Err(self.err("expected string"));
+        }
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = self
+                            .bytes
+                            .get(self.pos..self.pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| self.err("bad \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| self.err("bad \\u escape"))?;
+                        self.pos += 4;
+                        // Surrogate pairs are not emitted by our writer;
+                        // map lone surrogates to U+FFFD.
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                    }
+                    _ => return Err(self.err("bad escape")),
+                },
+                Some(b) if b < 0x20 => return Err(self.err("control char in string")),
+                Some(b) => {
+                    // Re-assemble multi-byte UTF-8 (input is a &str, so
+                    // the bytes are valid UTF-8 by construction).
+                    let len = utf8_len(b);
+                    let start = self.pos - 1;
+                    self.pos = start + len;
+                    if let Ok(chunk) = std::str::from_utf8(&self.bytes[start..self.pos]) {
+                        out.push_str(chunk);
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("bad number"))?;
+        // Plain unsigned integers stay exact (f64 truncates above
+        // 2^53); anything fractional, signed or exponential is a float.
+        if !text.starts_with('-') && !text.contains(['.', 'e', 'E']) {
+            if let Ok(i) = text.parse::<u64>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| self.err("bad number"))
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0xF0..=0xF7 => 4,
+        0xE0..=0xEF => 3,
+        0xC0..=0xDF => 2,
+        _ => 1,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Schema mapping
+// ---------------------------------------------------------------------------
+
+fn get<'v>(obj: &'v BTreeMap<String, Value>, key: &str) -> Result<&'v Value, JsonError> {
+    obj.get(key)
+        .ok_or_else(|| JsonError::Schema(format!("missing field {key:?}")))
+}
+
+fn as_str(v: &Value, key: &str) -> Result<String, JsonError> {
+    match v {
+        Value::Str(s) => Ok(s.clone()),
+        _ => Err(JsonError::Schema(format!("{key:?} must be a string"))),
+    }
+}
+
+fn as_u64(v: &Value, key: &str) -> Result<u64, JsonError> {
+    match v {
+        Value::Int(i) => Ok(*i),
+        Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => Ok(*n as u64),
+        _ => Err(JsonError::Schema(format!(
+            "{key:?} must be a non-negative integer"
+        ))),
+    }
+}
+
+fn as_usize(v: &Value, key: &str) -> Result<usize, JsonError> {
+    usize::try_from(as_u64(v, key)?)
+        .map_err(|_| JsonError::Schema(format!("{key:?} out of range")))
+}
+
+fn as_f64(v: &Value, key: &str) -> Result<f64, JsonError> {
+    match v {
+        Value::Int(i) => Ok(*i as f64),
+        Value::Num(n) => Ok(*n),
+        _ => Err(JsonError::Schema(format!("{key:?} must be a number"))),
+    }
+}
+
+fn as_opt_f64(v: &Value, key: &str) -> Result<Option<f64>, JsonError> {
+    match v {
+        Value::Null => Ok(None),
+        Value::Int(i) => Ok(Some(*i as f64)),
+        Value::Num(n) => Ok(Some(*n)),
+        _ => Err(JsonError::Schema(format!("{key:?} must be number or null"))),
+    }
+}
+
+fn as_obj<'v>(v: &'v Value, key: &str) -> Result<&'v BTreeMap<String, Value>, JsonError> {
+    match v {
+        Value::Obj(m) => Ok(m),
+        _ => Err(JsonError::Schema(format!("{key:?} must be an object"))),
+    }
+}
+
+fn as_arr<'v>(v: &'v Value, key: &str) -> Result<&'v [Value], JsonError> {
+    match v {
+        Value::Arr(a) => Ok(a),
+        _ => Err(JsonError::Schema(format!("{key:?} must be an array"))),
+    }
+}
+
+/// Parse a JSON document produced by [`to_json`] back into a
+/// [`TraceReport`]. Rejects documents carrying a different
+/// [`SCHEMA_VERSION`].
+pub fn from_json(src: &str) -> Result<TraceReport, JsonError> {
+    let mut p = Parser::new(src);
+    let root = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing data after document"));
+    }
+    let obj = as_obj(&root, "<root>")?;
+
+    let schema = as_str(get(obj, "schema")?, "schema")?;
+    if schema != SCHEMA_VERSION {
+        return Err(JsonError::Version { found: schema });
+    }
+
+    let stages = as_arr(get(obj, "stages")?, "stages")?
+        .iter()
+        .map(|v| {
+            let s = as_obj(v, "stages[]")?;
+            Ok(StageProfile {
+                stage: as_usize(get(s, "stage")?, "stage")?,
+                wall_ns: as_u64(get(s, "wall_ns")?, "wall_ns")?,
+                load_busy_ns: as_u64(get(s, "load_busy_ns")?, "load_busy_ns")?,
+                compute_busy_ns: as_u64(get(s, "compute_busy_ns")?, "compute_busy_ns")?,
+                store_busy_ns: as_u64(get(s, "store_busy_ns")?, "store_busy_ns")?,
+                data_barrier_ns: as_u64(get(s, "data_barrier_ns")?, "data_barrier_ns")?,
+                compute_barrier_ns: as_u64(get(s, "compute_barrier_ns")?, "compute_barrier_ns")?,
+                overlap_fraction: as_f64(get(s, "overlap_fraction")?, "overlap_fraction")?,
+                bytes_moved: as_u64(get(s, "bytes_moved")?, "bytes_moved")?,
+                achieved_gbs: as_opt_f64(get(s, "achieved_gbs")?, "achieved_gbs")?,
+                achievable_gbs: as_opt_f64(get(s, "achievable_gbs")?, "achievable_gbs")?,
+                percent_of_achievable: as_opt_f64(
+                    get(s, "percent_of_achievable")?,
+                    "percent_of_achievable",
+                )?,
+            })
+        })
+        .collect::<Result<Vec<_>, JsonError>>()?;
+
+    let marks = as_arr(get(obj, "marks")?, "marks")?
+        .iter()
+        .map(|v| {
+            let m = as_obj(v, "marks[]")?;
+            let kind_tok = as_str(get(m, "kind")?, "kind")?;
+            let kind = MarkKind::from_token(&kind_tok)
+                .ok_or_else(|| JsonError::Schema(format!("unknown mark kind {kind_tok:?}")))?;
+            Ok(MarkEvent {
+                kind,
+                label: as_str(get(m, "label")?, "label")?,
+                at_ns: as_u64(get(m, "at_ns")?, "at_ns")?,
+                value_ns: as_opt_f64(get(m, "value_ns")?, "value_ns")?,
+            })
+        })
+        .collect::<Result<Vec<_>, JsonError>>()?;
+
+    Ok(TraceReport {
+        schema,
+        label: as_str(get(obj, "label")?, "label")?,
+        executor: as_str(get(obj, "executor")?, "executor")?,
+        total_wall_ns: as_u64(get(obj, "total_wall_ns")?, "total_wall_ns")?,
+        stages,
+        marks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> TraceReport {
+        TraceReport {
+            schema: SCHEMA_VERSION.to_string(),
+            label: "2048x2048 \"quoted\"\nline".to_string(),
+            executor: "pipelined".to_string(),
+            total_wall_ns: 987_654_321,
+            stages: vec![
+                StageProfile {
+                    stage: 0,
+                    wall_ns: 500,
+                    load_busy_ns: 100,
+                    compute_busy_ns: 400,
+                    store_busy_ns: 90,
+                    data_barrier_ns: 10,
+                    compute_barrier_ns: 20,
+                    overlap_fraction: 0.9375,
+                    bytes_moved: 1 << 30,
+                    achieved_gbs: Some(12.625),
+                    achievable_gbs: Some(17.066_666_666_666_666),
+                    percent_of_achievable: Some(73.974_609_375),
+                },
+                StageProfile {
+                    stage: 1,
+                    wall_ns: 0,
+                    load_busy_ns: 0,
+                    compute_busy_ns: 0,
+                    store_busy_ns: 0,
+                    data_barrier_ns: 0,
+                    compute_barrier_ns: 0,
+                    overlap_fraction: 0.0,
+                    bytes_moved: 0,
+                    achieved_gbs: None,
+                    achievable_gbs: None,
+                    percent_of_achievable: None,
+                },
+            ],
+            marks: vec![MarkEvent {
+                kind: MarkKind::TunerWinner,
+                label: "mu=4096 kernel=r4".to_string(),
+                at_ns: 42,
+                value_ns: Some(1.5e6),
+            }],
+        }
+    }
+
+    #[test]
+    fn round_trip_exact() {
+        let rep = sample_report();
+        let json = to_json(&rep);
+        let back = from_json(&json).unwrap();
+        assert_eq!(back, rep);
+    }
+
+    #[test]
+    fn rejects_wrong_schema_version() {
+        let rep = sample_report();
+        let json = to_json(&rep).replace(SCHEMA_VERSION, "bwfft-trace/999");
+        match from_json(&json) {
+            Err(JsonError::Version { found }) => assert_eq!(found, "bwfft-trace/999"),
+            other => panic!("expected version error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(matches!(from_json(""), Err(JsonError::Syntax { .. })));
+        assert!(matches!(from_json("{"), Err(JsonError::Syntax { .. })));
+        assert!(matches!(from_json("[1,2]"), Err(JsonError::Schema(_))));
+        assert!(matches!(
+            from_json("{\"schema\":\"bwfft-trace/1\"}"),
+            Err(JsonError::Schema(_))
+        ));
+        // Trailing garbage.
+        let mut json = to_json(&sample_report());
+        json.push_str("{}");
+        assert!(matches!(from_json(&json), Err(JsonError::Syntax { .. })));
+    }
+
+    #[test]
+    fn unknown_mark_kind_is_schema_error() {
+        let json = to_json(&sample_report()).replace("tuner_winner", "mystery");
+        assert!(matches!(from_json(&json), Err(JsonError::Schema(_))));
+    }
+
+    #[test]
+    fn escapes_survive() {
+        let rep = sample_report();
+        let json = to_json(&rep);
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\\n"));
+        let back = from_json(&json).unwrap();
+        assert_eq!(back.label, rep.label);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = JsonError::Version {
+            found: "x/2".into(),
+        };
+        assert!(e.to_string().contains("bwfft-trace/1"));
+    }
+}

@@ -1,0 +1,162 @@
+//! Human-readable roofline/overlap summary: `Display` for
+//! [`TraceReport`].
+
+use std::fmt;
+
+use crate::aggregate::TraceReport;
+
+/// Render a nanosecond count with an adaptive unit.
+pub fn fmt_ns(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+impl fmt::Display for TraceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "trace report [{}] — {} ({}), wall {}",
+            self.schema,
+            self.label,
+            self.executor,
+            fmt_ns(self.total_wall_ns)
+        )?;
+        if self.stages.is_empty() {
+            writeln!(f, "  (no spans recorded)")?;
+        } else {
+            writeln!(
+                f,
+                "  {:<5} {:>12} {:>12} {:>12} {:>12} {:>16} {:>8} {:>9} {:>7}",
+                "stage",
+                "wall",
+                "load",
+                "compute",
+                "store",
+                "barrier(data/cmp)",
+                "overlap",
+                "GB/s",
+                "%peak"
+            )?;
+            for s in &self.stages {
+                let gbs = s
+                    .achieved_gbs
+                    .map(|g| format!("{g:.2}"))
+                    .unwrap_or_else(|| "-".to_string());
+                let pct = s
+                    .percent_of_achievable
+                    .map(|p| format!("{p:.1}%"))
+                    .unwrap_or_else(|| "-".to_string());
+                writeln!(
+                    f,
+                    "  {:<5} {:>12} {:>12} {:>12} {:>12} {:>16} {:>7.1}% {:>9} {:>7}",
+                    s.stage,
+                    fmt_ns(s.wall_ns),
+                    fmt_ns(s.load_busy_ns),
+                    fmt_ns(s.compute_busy_ns),
+                    fmt_ns(s.store_busy_ns),
+                    format!("{}/{}", fmt_ns(s.data_barrier_ns), fmt_ns(s.compute_barrier_ns)),
+                    100.0 * s.overlap_fraction,
+                    gbs,
+                    pct
+                )?;
+            }
+            if let Some(overall) = self.overall_overlap_fraction() {
+                writeln!(
+                    f,
+                    "  overall compute/transfer overlap: {:.1}%",
+                    100.0 * overall
+                )?;
+            }
+        }
+        if !self.marks.is_empty() {
+            writeln!(f, "  marks:")?;
+            for m in &self.marks {
+                match m.value_ns {
+                    Some(v) => writeln!(
+                        f,
+                        "    {}: {} ({})",
+                        m.kind.token(),
+                        m.label,
+                        fmt_ns(v as u64)
+                    )?,
+                    None => writeln!(f, "    {}: {}", m.kind.token(), m.label)?,
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::StageProfile;
+    use crate::event::{MarkEvent, MarkKind};
+    use crate::json::SCHEMA_VERSION;
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(5), "5 ns");
+        assert_eq!(fmt_ns(5_000), "5.000 us");
+        assert_eq!(fmt_ns(5_000_000), "5.000 ms");
+        assert_eq!(fmt_ns(5_000_000_000), "5.000 s");
+    }
+
+    #[test]
+    fn display_contains_key_columns() {
+        let rep = TraceReport {
+            schema: SCHEMA_VERSION.to_string(),
+            label: "1024x1024".into(),
+            executor: "pipelined".into(),
+            total_wall_ns: 10_000_000,
+            stages: vec![StageProfile {
+                stage: 0,
+                wall_ns: 10_000_000,
+                load_busy_ns: 4_000_000,
+                compute_busy_ns: 9_000_000,
+                store_busy_ns: 4_000_000,
+                data_barrier_ns: 100_000,
+                compute_barrier_ns: 200_000,
+                overlap_fraction: 0.875,
+                bytes_moved: 128 << 20,
+                achieved_gbs: Some(13.4),
+                achievable_gbs: Some(17.1),
+                percent_of_achievable: Some(78.4),
+            }],
+            marks: vec![MarkEvent {
+                kind: MarkKind::Degradation,
+                label: "pinning denied".into(),
+                at_ns: 0,
+                value_ns: None,
+            }],
+        };
+        let text = rep.to_string();
+        assert!(text.contains("1024x1024"));
+        assert!(text.contains("87.5%"), "overlap column: {text}");
+        assert!(text.contains("78.4%"), "%peak column: {text}");
+        assert!(text.contains("13.40"), "GB/s column: {text}");
+        assert!(text.contains("degradation: pinning denied"));
+        assert!(text.contains("overall compute/transfer overlap"));
+    }
+
+    #[test]
+    fn display_empty_report() {
+        let rep = TraceReport {
+            schema: SCHEMA_VERSION.to_string(),
+            label: "x".into(),
+            executor: "fused".into(),
+            total_wall_ns: 0,
+            stages: vec![],
+            marks: vec![],
+        };
+        assert!(rep.to_string().contains("no spans recorded"));
+    }
+}

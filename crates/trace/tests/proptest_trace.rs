@@ -1,0 +1,158 @@
+//! Property tests for the trace aggregation pass and the JSON export,
+//! plus a snapshot test pinning the schema version.
+//!
+//! The generators build arbitrary (but structurally valid) event
+//! soups: spans with `start ≤ end` scattered over a handful of stages,
+//! threads and phases, plus marks. The properties are the invariants
+//! the report sinks rely on:
+//!
+//! * every overlap fraction lies in `[0, 1]`,
+//! * per-stage wall times sum to at most the total wall time,
+//! * per-phase busy time never exceeds the stage's wall time
+//!   (busy is an interval *union*, not a sum over threads),
+//! * `to_json → from_json` is lossless (`{:?}` float round-tripping).
+
+use bwfft_trace::json::{from_json, to_json};
+use bwfft_trace::{
+    aggregate, MarkEvent, MarkKind, Phase, RunMeta, SpanEvent, StageIo, TraceEvent, TraceRole,
+    SCHEMA_VERSION,
+};
+use proptest::prelude::*;
+
+const PHASES: [Phase; 5] = [
+    Phase::Load,
+    Phase::Compute,
+    Phase::Store,
+    Phase::BarrierData,
+    Phase::BarrierGlobal,
+];
+
+/// Strategy for one span: `(stage, thread, phase_idx, start, len)`.
+fn span_strategy() -> impl Strategy<Value = (usize, usize, usize, u64, u64)> {
+    (0usize..3, 0usize..4, 0usize..PHASES.len(), 0u64..100_000, 0u64..50_000)
+}
+
+/// Builds spans with each stage confined to its own disjoint window
+/// (`stage · 200 µs` offset), matching how the executors actually run
+/// stages back-to-back. The "stage walls sum ≤ total wall" invariant
+/// is a property of that sequential structure, not of arbitrary soups.
+fn build_events(raw: &[(usize, usize, usize, u64, u64)]) -> Vec<TraceEvent> {
+    raw.iter()
+        .map(|&(stage, thread, phase_idx, start, len)| {
+            let start = start + stage as u64 * 200_000;
+            let phase = PHASES[phase_idx];
+            let role = match phase {
+                Phase::Compute | Phase::BarrierGlobal => TraceRole::Compute,
+                _ => TraceRole::Data,
+            };
+            TraceEvent::Span(SpanEvent {
+                role,
+                thread,
+                stage,
+                block: thread,
+                phase,
+                start_ns: start,
+                end_ns: start + len,
+            })
+        })
+        .collect()
+}
+
+fn meta_for(stages: usize) -> RunMeta {
+    RunMeta {
+        label: "prop 2D 64x64".to_string(),
+        executor: "pipelined".to_string(),
+        stream_gbs: Some(40.0),
+        stage_io: (0..stages)
+            .map(|s| StageIo {
+                stage: s,
+                bytes_moved: 1 << 20,
+                pseudo_flops: 1e6,
+            })
+            .collect(),
+    }
+}
+
+proptest! {
+    #[test]
+    fn overlap_fraction_is_always_a_fraction(
+        transfer in prop::collection::vec((0u64..10_000, 0u64..5_000), 0..12),
+        compute in prop::collection::vec((0u64..10_000, 0u64..5_000), 0..12),
+    ) {
+        let t: Vec<(u64, u64)> = transfer.iter().map(|&(s, l)| (s, s + l)).collect();
+        let c: Vec<(u64, u64)> = compute.iter().map(|&(s, l)| (s, s + l)).collect();
+        let f = bwfft_trace::aggregate::overlap_fraction(&t, &c);
+        prop_assert!(f.is_finite());
+        prop_assert!((0.0..=1.0).contains(&f), "overlap {} out of range", f);
+        // Empty either side means no overlap, by definition.
+        if t.is_empty() || c.is_empty() {
+            prop_assert_eq!(f, 0.0);
+        }
+    }
+
+    #[test]
+    fn aggregated_report_invariants_hold(raw in prop::collection::vec(span_strategy(), 1..60)) {
+        let events = build_events(&raw);
+        let report = aggregate(&events, &meta_for(3));
+
+        let stage_sum: u64 = report.stages.iter().map(|s| s.wall_ns).sum();
+        prop_assert!(
+            stage_sum <= report.total_wall_ns,
+            "stage walls {} exceed total {}",
+            stage_sum,
+            report.total_wall_ns
+        );
+        for s in &report.stages {
+            prop_assert!(s.overlap_fraction.is_finite());
+            prop_assert!((0.0..=1.0).contains(&s.overlap_fraction));
+            // Busy times are interval unions inside the stage window.
+            for busy in [s.load_busy_ns, s.compute_busy_ns, s.store_busy_ns] {
+                prop_assert!(busy <= s.wall_ns, "busy {} > wall {}", busy, s.wall_ns);
+            }
+            prop_assert!(s.achieved_gbs.is_none_or(|g| g.is_finite() && g >= 0.0));
+            prop_assert!(s.percent_of_achievable.is_none_or(|p| p.is_finite() && p >= 0.0));
+        }
+        let overall = report.overall_overlap_fraction();
+        prop_assert!(overall.is_none_or(|o| o.is_finite() && (0.0..=1.0).contains(&o)));
+    }
+
+    #[test]
+    fn json_export_round_trips_losslessly(
+        raw in prop::collection::vec(span_strategy(), 0..40),
+        mark_vals in prop::collection::vec(any::<u64>(), 0..4),
+    ) {
+        let mut events = build_events(&raw);
+        for (i, v) in mark_vals.iter().enumerate() {
+            // Exercise the f64 emitter with awkward values, including
+            // ones that need all 17 digits to round-trip.
+            let value = (*v as f64) * 1.000_000_000_000_123e-3;
+            events.push(TraceEvent::Mark(MarkEvent {
+                kind: if i % 2 == 0 { MarkKind::TunerTrial } else { MarkKind::Degradation },
+                label: format!("mark #{i} \"quoted\\slash\" µ✓"),
+                at_ns: *v,
+                value_ns: if i % 3 == 0 { None } else { Some(value) },
+            }));
+        }
+        let report = aggregate(&events, &meta_for(3));
+        let json = to_json(&report);
+        let back = from_json(&json).map_err(|e| TestCaseError::Fail(format!("parse: {e}")))?;
+        prop_assert_eq!(&back, &report);
+        // Idempotence: serializing the parsed report is byte-identical.
+        prop_assert_eq!(to_json(&back), json);
+    }
+}
+
+#[test]
+fn schema_version_snapshot() {
+    // The export format is versioned; any change to the schema string
+    // must be deliberate (bump the suffix, document in DESIGN.md §8,
+    // keep `from_json` rejecting versions it does not understand).
+    assert_eq!(SCHEMA_VERSION, "bwfft-trace/1");
+    let report = aggregate(&[], &meta_for(1));
+    let json = to_json(&report);
+    assert!(json.starts_with("{\"schema\":\"bwfft-trace/1\","), "{json}");
+    assert!(!json.contains('\n'), "JSON export must stay single-line");
+    // A parser from the future (or past) must refuse, not misread.
+    let altered = json.replace("bwfft-trace/1", "bwfft-trace/999");
+    assert!(from_json(&altered).is_err());
+}

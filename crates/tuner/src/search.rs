@@ -30,6 +30,8 @@ use bwfft_core::{Dims, ExecutorKind, FftPlan, HostProfile};
 use bwfft_kernels::{Direction, KernelVariant};
 use bwfft_machine::{presets, MachineSpec};
 use bwfft_num::Complex64;
+use bwfft_trace::{MarkKind, TraceCollector};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One point of the search space, plus its score. This is also the
@@ -108,6 +110,11 @@ pub struct TunerOptions {
     /// data-array allocation. Kernel-variant selection needs real
     /// timing, so model-only records always pick the default kernel.
     pub model_only: bool,
+    /// Telemetry sink: when set, every measured shortlist trial is
+    /// recorded as a [`MarkKind::TunerTrial`] (best-of-reps wall ns in
+    /// `value_ns`) and the chosen plan as a [`MarkKind::TunerWinner`],
+    /// so `tune --profile` can show where the search spent its time.
+    pub trace: Option<Arc<TraceCollector>>,
 }
 
 impl TunerOptions {
@@ -122,6 +129,7 @@ impl TunerOptions {
             reps: 3,
             sim_iters: 4,
             model_only: false,
+            trace: None,
         }
     }
 
@@ -180,14 +188,19 @@ impl Tuner {
     /// Runs the two-phase search for one `(dims, dir)` problem.
     pub fn tune(&self, dims: Dims, dir: Direction) -> Result<TuningRecord, TunerError> {
         let scored = self.model_phase(dims, dir)?;
-        if self.opts.model_only {
+        let rec = if self.opts.model_only {
             // scored is non-empty (model_phase errors otherwise).
-            return scored
+            scored
                 .into_iter()
                 .next()
-                .ok_or(TunerError::EmptySearchSpace { dims });
+                .ok_or(TunerError::EmptySearchSpace { dims })?
+        } else {
+            self.measure_phase(dims, scored)?
+        };
+        if let Some(t) = &self.opts.trace {
+            t.mark(MarkKind::TunerWinner, rec.describe(), Some(rec.score_ns));
         }
-        self.measure_phase(dims, scored)
+        Ok(rec)
     }
 
     /// Phase 1: enumerate and score with the engine cost model.
@@ -264,6 +277,9 @@ impl Tuner {
                 }
                 rec.score_ns = best_ns;
                 rec.measured = true;
+                if let Some(t) = &self.opts.trace {
+                    t.mark(MarkKind::TunerTrial, rec.describe(), Some(best_ns));
+                }
                 let better = best
                     .as_ref()
                     .is_none_or(|b| best_ns < b.score_ns);
@@ -449,6 +465,55 @@ mod tests {
         let mut work = vec![Complex64::ZERO; n * m];
         execute_with(&plan, &mut data, &mut work, &ExecConfig::default()).unwrap();
         assert_fft_close(&data, &dft2_naive(&x, n, m, Direction::Forward));
+    }
+
+    #[test]
+    fn measured_tuning_records_trial_and_winner_telemetry() {
+        let collector = Arc::new(TraceCollector::new());
+        let tuner = Tuner::new(TunerOptions {
+            threads: 4,
+            shortlist: 2,
+            reps: 1,
+            trace: Some(Arc::clone(&collector)),
+            ..TunerOptions::for_model(presets::kaby_lake_7700k())
+        });
+        let rec = tuner.tune(Dims::d2(16, 16), Direction::Forward).unwrap();
+        let marks: Vec<_> = collector
+            .take_events()
+            .into_iter()
+            .filter_map(|e| match e {
+                bwfft_trace::TraceEvent::Mark(m) => Some(m),
+                bwfft_trace::TraceEvent::Span(_) => None,
+            })
+            .collect();
+        let trials = marks.iter().filter(|m| m.kind == MarkKind::TunerTrial).count();
+        assert!(trials >= 2, "expected trials for shortlist × kernels, got {trials}");
+        let winner = marks
+            .iter()
+            .find(|m| m.kind == MarkKind::TunerWinner)
+            .expect("winner mark");
+        assert_eq!(winner.value_ns, Some(rec.score_ns));
+        assert_eq!(winner.label, rec.describe());
+        // Every trial carries its measured wall time.
+        for m in marks.iter().filter(|m| m.kind == MarkKind::TunerTrial) {
+            assert!(m.value_ns.is_some_and(|v| v.is_finite() && v > 0.0));
+        }
+    }
+
+    #[test]
+    fn model_only_tuning_still_records_the_winner() {
+        let collector = Arc::new(TraceCollector::new());
+        let tuner = Tuner::new(TunerOptions {
+            model_only: true,
+            trace: Some(Arc::clone(&collector)),
+            ..TunerOptions::for_model(presets::kaby_lake_7700k())
+        });
+        tuner.tune(Dims::d2(64, 64), Direction::Forward).unwrap();
+        let events = collector.take_events();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            bwfft_trace::TraceEvent::Mark(m) if m.kind == MarkKind::TunerWinner
+        )));
     }
 
     #[test]

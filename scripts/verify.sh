@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Full verification gate: build, lint, test. Run from the repo root.
 #
-#   scripts/verify.sh          # everything
-#   scripts/verify.sh --fast   # skip the release build
+#   scripts/verify.sh          # everything, full test depth
+#   scripts/verify.sh --fast   # skip the release build, cap proptest
+#                              # cases, skip #[ignore]d slow tests
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,7 +19,14 @@ if [ "$fast" -eq 0 ]; then
 fi
 
 echo "== tests =="
-cargo test --workspace -q
+if [ "$fast" -eq 1 ]; then
+  # Shallow-but-wide: every test runs, property tests at reduced depth,
+  # #[ignore]d slow simulations excluded.
+  PROPTEST_CASES=32 cargo test --workspace -q
+else
+  # Full depth, including #[ignore]d slow tests.
+  cargo test --workspace -q -- --include-ignored
+fi
 
 echo "== tuner smoke (cache hit + wisdom reuse) =="
 wisdom="$(mktemp -t bwfft-wisdom.XXXXXX)"
@@ -36,5 +44,23 @@ echo "$out2" | grep -q "tuning skipped (wisdom hit)" \
 echo "$out2" | grep -q "misses=0" \
   || { echo "tuner smoke FAILED: expected misses=0 in:"; echo "$out2"; exit 1; }
 echo "tuner smoke: OK"
+
+echo "== profile smoke (--profile=json emits parseable, finite report) =="
+# The JSON trace report is the last line of stdout by contract.
+profile_json="$(cargo run -q --bin bwfft-cli -- run --dims 64x64 --threads 2,2 --profile=json | tail -n 1)"
+echo "$profile_json" | python3 -c '
+import json, math, sys
+
+rep = json.load(sys.stdin)
+schema = rep["schema"]
+assert schema == "bwfft-trace/1", f"unexpected schema {schema!r}"
+assert rep["total_wall_ns"] > 0
+assert len(rep["stages"]) == 2, "2D run must profile two stages"
+for s in rep["stages"]:
+    f = s["overlap_fraction"]
+    assert math.isfinite(f) and 0.0 <= f <= 1.0, f"overlap {f}"
+    assert s["wall_ns"] > 0
+print("profile smoke: OK")
+' || { echo "profile smoke FAILED on:"; echo "$profile_json"; exit 1; }
 
 echo "verify: OK"

@@ -5,10 +5,18 @@
 //! bwfft-cli machines
 //! bwfft-cli run --dims 64x64x64 --threads 2,2 [--buffer 16384] [--inverse] [--verify]
 //!               [--adapt] [--inject-panic ROLE,T,I] [--timeout-ms N]
+//!               [--profile[=json]] [--machine NAME]
 //! bwfft-cli simulate --dims 512x512x512 --machine kabylake [--sockets 2] [--baselines]
 //! bwfft-cli stream --machine haswell2667
 //! bwfft-cli tune --dims 64x64 [--inverse] [--model-only] [--plan-stats] [--wisdom PATH]
+//!               [--profile[=json]]
 //! ```
+//!
+//! `--profile` traces the run and prints the per-stage roofline/overlap
+//! summary; `--profile=json` emits the versioned JSON trace report as
+//! the **last line** of stdout instead. On `run`, `--machine` names the
+//! preset whose STREAM bandwidth anchors the %-of-achievable column
+//! (default: kabylake).
 //!
 //! Exit codes: 0 success, 1 runtime failure (contained worker panic,
 //! watchdog timeout, failed verification), 2 usage error. User errors
@@ -22,12 +30,14 @@ use bwfft::machine::stream::stream_triad;
 use bwfft::machine::{presets, MachineSpec};
 use bwfft::num::compare::rel_l2_error;
 use bwfft::num::{signal, AlignedVec, Complex64};
-use bwfft::pipeline::{FaultPlan, Role};
+use bwfft::pipeline::{AdaptiveWatchdog, FaultPlan, Role};
+use bwfft::trace::TraceCollector;
 use bwfft::tuner::{wisdom, HostFingerprint, PlanCache, Tuner, TunerOptions, Wisdom, WisdomLoad};
 use bwfft::BwfftError;
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 /// CLI failure, split by whose fault it is: usage errors (exit 2,
 /// usage text shown) vs runtime faults (exit 1, typed message only).
@@ -72,9 +82,11 @@ usage:
   bwfft-cli machines
   bwfft-cli run --dims KxNxM [--threads D,C] [--buffer B] [--inverse] [--verify]
                 [--adapt] [--inject-panic ROLE,T,I] [--timeout-ms N]
+                [--profile[=json]] [--machine NAME]
   bwfft-cli simulate --dims KxNxM --machine NAME [--sockets S] [--baselines]
   bwfft-cli stream --machine NAME
   bwfft-cli tune --dims KxNxM [--inverse] [--model-only] [--plan-stats] [--wisdom PATH]
+                [--profile[=json]]
 machines: kabylake | haswell4770 | amdfx | haswell2667 | opteron6276";
 
 fn run(args: &[String]) -> Result<(), CliError> {
@@ -113,6 +125,30 @@ fn run(args: &[String]) -> Result<(), CliError> {
     }
 }
 
+/// How `--profile[=json]` was requested: `None` = off,
+/// `Some(false)` = human report, `Some(true)` = JSON export.
+fn profile_mode(opts: &HashMap<String, String>) -> Result<Option<bool>, CliError> {
+    match opts.get("profile").map(String::as_str) {
+        None => Ok(None),
+        Some("") => Ok(Some(false)),
+        Some("json") => Ok(Some(true)),
+        Some(other) => Err(usage(format!(
+            "bad --profile format `{other}` (expected `--profile` or `--profile=json`)"
+        ))),
+    }
+}
+
+/// Renders a finished trace report in the requested format. JSON goes
+/// out as a single line so scripted consumers can take stdout's last
+/// line.
+fn emit_profile(report: &bwfft::trace::TraceReport, json: bool) {
+    if json {
+        println!("{}", bwfft::trace::json::to_json(report));
+    } else {
+        println!("{report}");
+    }
+}
+
 fn cmd_run(opts: &HashMap<String, String>) -> Result<(), CliError> {
     let dims = parse_dims(opts.get("dims").ok_or_else(|| usage("--dims required"))?)
         .map_err(usage)?;
@@ -143,6 +179,19 @@ fn cmd_run(opts: &HashMap<String, String>) -> Result<(), CliError> {
     if let Some(ms) = opts.get("timeout-ms") {
         let ms: u64 = ms.parse().map_err(|_| usage("bad --timeout-ms"))?;
         exec_cfg.iter_timeout = Some(std::time::Duration::from_millis(ms));
+    } else {
+        // No explicit budget: arm the adaptive watchdog, which sizes
+        // stall budgets from measured step times instead of a guess.
+        // The raised floor tolerates scheduler hiccups on busy hosts.
+        exec_cfg.adaptive_watchdog = Some(AdaptiveWatchdog {
+            min: std::time::Duration::from_millis(250),
+            ..AdaptiveWatchdog::default()
+        });
+    }
+    let profile = profile_mode(opts)?;
+    let collector = profile.map(|_| Arc::new(TraceCollector::new()));
+    if let Some(c) = &collector {
+        exec_cfg.trace = Some(Arc::clone(c));
     }
     let total = dims.total();
     println!(
@@ -202,6 +251,22 @@ fn cmd_run(opts: &HashMap<String, String>) -> Result<(), CliError> {
         }
         println!("verification passed");
     }
+    if let (Some(json), Some(collector)) = (profile, &collector) {
+        // The %-of-achievable column needs a bandwidth roofline; use
+        // the named preset's STREAM figure, defaulting to Kaby Lake.
+        let spec = match opts.get("machine") {
+            Some(name) => machine_by_name(name).map_err(usage)?,
+            None => presets::kaby_lake_7700k(),
+        };
+        let bw = spec.total_dram_bw_gbs();
+        if !json {
+            let noted = if opts.contains_key("machine") { "" } else { " (default; set --machine)" };
+            println!("achievable bandwidth reference: {bw:.1} GB/s from {}{noted}", spec.name);
+        }
+        let executor = format!("{:?}", report.executor).to_lowercase();
+        let rep = bwfft::core::profile::profile_report(collector, &plan, &executor, Some(bw));
+        emit_profile(&rep, json);
+    }
     Ok(())
 }
 
@@ -231,10 +296,15 @@ fn cmd_tune(opts: &HashMap<String, String>) -> Result<(), CliError> {
     } else {
         Direction::Forward
     };
+    let profile = profile_mode(opts)?;
+    let collector = profile.map(|_| Arc::new(TraceCollector::new()));
     let fp = HostFingerprint::detect();
     let mut tuner_opts = TunerOptions::for_host(&bwfft::core::HostProfile::detect());
     if opts.contains_key("model-only") {
         tuner_opts.model_only = true;
+    }
+    if let Some(c) = &collector {
+        tuner_opts.trace = Some(Arc::clone(c));
     }
     let cache = PlanCache::new(Tuner::new(tuner_opts), fp.clone());
 
@@ -295,6 +365,19 @@ fn cmd_tune(opts: &HashMap<String, String>) -> Result<(), CliError> {
         wisdom::save(path, &w).map_err(|e| CliError::from(BwfftError::from(e)))?;
         println!("wisdom: saved {} plan(s) to {}", w.records.len(), path.display());
     }
+    if let (Some(json), Some(collector)) = (profile, &collector) {
+        // Tuning produces telemetry marks (one per timed trial plus
+        // the winner), not stage spans; aggregate with empty stage
+        // metadata so the report carries just the marks.
+        let meta = bwfft::trace::RunMeta {
+            label: dims.label(),
+            executor: "tuner".to_string(),
+            stream_gbs: None,
+            stage_io: Vec::new(),
+        };
+        let rep = bwfft::trace::aggregate(&collector.take_events(), &meta);
+        emit_profile(&rep, json);
+    }
     Ok(())
 }
 
@@ -344,6 +427,18 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let Some(name) = a.strip_prefix("--") else {
             return Err(format!("unexpected argument `{a}`"));
         };
+        // `--profile` stands alone (human report) or takes a glued
+        // `=FORMAT` value (`--profile=json`); a separate-word value
+        // would be ambiguous with the next flag.
+        if name == "profile" || name.starts_with("profile=") {
+            let val = name.strip_prefix("profile=").unwrap_or("");
+            out.insert("profile".to_string(), val.to_string());
+            i += 1;
+            continue;
+        }
+        if let Some((key, _)) = name.split_once('=') {
+            return Err(format!("--{key} does not take `=VALUE`"));
+        }
         // Boolean flags take no value.
         if matches!(
             name,
@@ -540,6 +635,58 @@ mod tests {
             WisdomLoad::Usable(w) => assert_eq!(w.records.len(), 1),
             other => panic!("expected rewritten wisdom, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn profile_flag_parses_both_forms() {
+        let args: Vec<String> = ["--profile"].iter().map(|s| s.to_string()).collect();
+        let f = parse_flags(&args).unwrap();
+        assert_eq!(profile_mode(&f).unwrap(), Some(false));
+
+        let args: Vec<String> = ["--profile=json"].iter().map(|s| s.to_string()).collect();
+        let f = parse_flags(&args).unwrap();
+        assert_eq!(profile_mode(&f).unwrap(), Some(true));
+
+        let args: Vec<String> = ["--profile=yaml"].iter().map(|s| s.to_string()).collect();
+        let f = parse_flags(&args).unwrap();
+        assert!(matches!(profile_mode(&f), Err(CliError::Usage(_))));
+
+        assert_eq!(profile_mode(&HashMap::new()).unwrap(), None);
+        // `=` on any other flag is rejected.
+        let args: Vec<String> = ["--dims=8x8"].iter().map(|s| s.to_string()).collect();
+        assert!(parse_flags(&args).is_err());
+    }
+
+    #[test]
+    fn profiled_run_succeeds_and_verifies() {
+        let args: Vec<String> = [
+            "run", "--dims", "16x16", "--threads", "1,1", "--verify", "--profile",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        run(&args).unwrap();
+    }
+
+    #[test]
+    fn profiled_json_run_succeeds() {
+        let args: Vec<String> = [
+            "run", "--dims", "8x8x8", "--threads", "1,1",
+            "--profile=json", "--machine", "haswell4770",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        run(&args).unwrap();
+    }
+
+    #[test]
+    fn profiled_tune_succeeds() {
+        let args: Vec<String> = ["tune", "--dims", "32x32", "--model-only", "--profile"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        run(&args).unwrap();
     }
 
     #[test]

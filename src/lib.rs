@@ -17,6 +17,7 @@
 //! | [`machine`] | simulated multicore/multi-socket machines (§V presets) |
 //! | [`pipeline`] | Table II schedules, thread roles, the real executor |
 //! | [`core`] | the double-buffered 2D/3D FFT plans and both executors |
+//! | [`trace`] | span recorder, overlap accounting, roofline reports |
 //! | [`tuner`] | autotuner, concurrent plan cache, persistent wisdom |
 //! | [`baselines`] | MKL-like / FFTW-like / slab–pencil comparators |
 //!
@@ -76,5 +77,6 @@ pub use bwfft_machine as machine;
 pub use bwfft_num as num;
 pub use bwfft_pipeline as pipeline;
 pub use bwfft_spl as spl;
+pub use bwfft_trace as trace;
 pub use bwfft_tuner as tuner;
 pub use error::{BwfftError, PlanExecute};

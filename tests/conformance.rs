@@ -1,0 +1,298 @@
+//! Golden-vector conformance suite: every kernel variant against the
+//! naive `O(n²)` reference DFT, on analytically-known inputs plus
+//! random vectors, across 1D/2D/3D shapes and both directions.
+//!
+//! ## Accuracy contract (documented ULP bound)
+//!
+//! Errors are reported in *ULPs of the largest reference magnitude*:
+//! `max_i |got_i − ref_i| / ulp(max_j |ref_j|)`. This normalizes away
+//! the unnormalized transform's `O(n)` output growth and makes one
+//! bound meaningful across sizes:
+//!
+//! * power-of-two kernels (radix-2 / radix-4 Stockham, split-radix):
+//!   observed worst case stays below ~64 ULP for `n ≤ 4096`; the
+//!   contract is [`POW2_ULP_BOUND`] = 512 ULP (≈8× headroom).
+//! * Bluestein embeds `DFT_n` in a length-`M ≥ 2n−1` cyclic
+//!   convolution — three FFTs deep with chirp twiddles at arbitrary
+//!   angles — so its error floor is intrinsically higher; the contract
+//!   is [`BLUESTEIN_ULP_BOUND`] = 16384 ULP, which is still ~1e-12
+//!   relative at these sizes.
+//!
+//! The multidimensional checks compare the full plan pipeline (blocked
+//! reshapes, double buffer, threaded executor) against `dft2_naive` /
+//! `dft3_naive`, under the same power-of-two bound.
+
+use bwfft::core::{exec_real, Dims, FftPlan};
+use bwfft::kernels::batch::BatchFft;
+use bwfft::kernels::bluestein::{AnyFft, Bluestein};
+use bwfft::kernels::reference::{dft2_naive, dft3_naive, dft_naive};
+use bwfft::kernels::splitradix::SplitRadixFft;
+use bwfft::kernels::{Direction, KernelVariant};
+use bwfft::num::signal::{complex_tone, impulse, random_complex};
+use bwfft::num::Complex64;
+
+/// Accuracy contract for the power-of-two kernels, in ULPs of the
+/// largest reference magnitude.
+const POW2_ULP_BOUND: f64 = 512.0;
+/// Accuracy contract for Bluestein's algorithm (see module docs).
+const BLUESTEIN_ULP_BOUND: f64 = 16384.0;
+
+/// Spacing between `x` and the next representable f64 above it.
+fn ulp_of(x: f64) -> f64 {
+    assert!(x.is_finite() && x > 0.0, "ulp_of needs a positive scale");
+    f64::from_bits(x.to_bits() + 1) - x
+}
+
+/// Max elementwise error in ULPs of the largest reference magnitude.
+fn ulp_error(got: &[Complex64], reference: &[Complex64]) -> f64 {
+    assert_eq!(got.len(), reference.len());
+    let scale = reference
+        .iter()
+        .map(|c| c.abs())
+        .fold(f64::MIN_POSITIVE, f64::max);
+    let ulp = ulp_of(scale);
+    got.iter()
+        .zip(reference)
+        .map(|(g, r)| (*g - *r).abs() / ulp)
+        .fold(0.0, f64::max)
+}
+
+fn assert_ulp_close(got: &[Complex64], reference: &[Complex64], bound: f64, what: &str) {
+    let err = ulp_error(got, reference);
+    assert!(err <= bound, "{what}: {err:.1} ULP exceeds the {bound} ULP contract");
+}
+
+/// The golden input set: impulses (DFT is a pure tone), the constant
+/// vector (DFT is `n·δ_0`), single-bin tones (DFT is `n·δ_f`), and a
+/// seeded random vector.
+fn golden_inputs(n: usize, seed: u64) -> Vec<(String, Vec<Complex64>)> {
+    let mut inputs = vec![
+        ("impulse@0".to_string(), impulse(n, 0)),
+        (format!("impulse@{}", n / 3), impulse(n, n / 3)),
+        ("constant".to_string(), vec![Complex64::new(1.0, 0.0); n]),
+        ("tone@1".to_string(), complex_tone(n, 1)),
+        ("random".to_string(), random_complex(n, seed)),
+    ];
+    if n > 4 {
+        inputs.push((format!("tone@{}", n / 2 + 1), complex_tone(n, n / 2 + 1)));
+    }
+    inputs
+}
+
+/// Every 1D kernel in the workspace, applied to a copy of `x`.
+fn kernel_outputs(x: &[Complex64], dir: Direction) -> Vec<(String, Vec<Complex64>, f64)> {
+    let n = x.len();
+    let mut out = Vec::new();
+    if n.is_power_of_two() {
+        for variant in KernelVariant::all() {
+            let mut buf = x.to_vec();
+            BatchFft::with_variant(n, 1, dir, variant).run(&mut buf);
+            out.push((format!("stockham-{}", variant.token()), buf, POW2_ULP_BOUND));
+        }
+        let mut buf = x.to_vec();
+        SplitRadixFft::new(n, dir).run(&mut buf);
+        out.push(("splitradix".to_string(), buf, POW2_ULP_BOUND));
+    }
+    let mut buf = x.to_vec();
+    Bluestein::new(n, dir).run(&mut buf);
+    out.push(("bluestein".to_string(), buf, BLUESTEIN_ULP_BOUND));
+    let mut buf = x.to_vec();
+    AnyFft::new(n, dir).run(&mut buf);
+    // AnyFft dispatches to a pow-2 kernel or Bluestein by size.
+    let anyfft_bound = if n.is_power_of_two() { POW2_ULP_BOUND } else { BLUESTEIN_ULP_BOUND };
+    out.push(("anyfft".to_string(), buf, anyfft_bound));
+    out
+}
+
+#[test]
+fn golden_vectors_1d_every_kernel_both_directions() {
+    for n in [4usize, 8, 16, 64, 256] {
+        for dir in [Direction::Forward, Direction::Inverse] {
+            for (input_name, x) in golden_inputs(n, 7001 + n as u64) {
+                let reference = dft_naive(&x, dir);
+                for (kernel, got, bound) in kernel_outputs(&x, dir) {
+                    assert_ulp_close(
+                        &got,
+                        &reference,
+                        bound,
+                        &format!("{kernel} n={n} {dir:?} on {input_name}"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn golden_vectors_1d_bluestein_non_pow2() {
+    // Prime, odd-composite, even-composite and largish sizes, where
+    // only Bluestein (and AnyFft's dispatch to it) applies.
+    for n in [3usize, 5, 12, 17, 30, 100] {
+        for dir in [Direction::Forward, Direction::Inverse] {
+            for (input_name, x) in golden_inputs(n, 7100 + n as u64) {
+                let reference = dft_naive(&x, dir);
+                for (kernel, got, bound) in kernel_outputs(&x, dir) {
+                    assert_ulp_close(
+                        &got,
+                        &reference,
+                        bound,
+                        &format!("{kernel} n={n} {dir:?} on {input_name}"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_strided_kernels_match_per_pencil_reference() {
+    // The executor's actual workhorse form `I_c ⊗ DFT_m ⊗ I_s`:
+    // element (c, j, lane) lives at (c·m + j)·s + lane, and every
+    // (c, lane) pencil must independently equal the naive DFT.
+    let (m, s, c) = (16usize, 4, 3);
+    let x = random_complex(c * m * s, 7200);
+    for dir in [Direction::Forward, Direction::Inverse] {
+        for variant in KernelVariant::all() {
+            let mut buf = x.clone();
+            BatchFft::with_variant(m, s, dir, variant).run(&mut buf);
+            for ci in 0..c {
+                for lane in 0..s {
+                    let gather = |src: &[Complex64]| -> Vec<Complex64> {
+                        (0..m).map(|j| src[(ci * m + j) * s + lane]).collect()
+                    };
+                    let reference = dft_naive(&gather(&x), dir);
+                    assert_ulp_close(
+                        &gather(&buf),
+                        &reference,
+                        POW2_ULP_BOUND,
+                        &format!("batch {}@(c={ci},lane={lane}) {dir:?}", variant.token()),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[allow(clippy::unwrap_used)] // test helper; only #[test] fns get the blanket allowance
+fn run_plan(dims: Dims, variant: KernelVariant, dir: Direction, x: &[Complex64]) -> Vec<Complex64> {
+    let plan = FftPlan::builder(dims)
+        .buffer_elems(128)
+        .threads(2, 2)
+        .direction(dir)
+        .kernel(variant)
+        .build()
+        .unwrap();
+    let mut data = x.to_vec();
+    let mut work = vec![Complex64::ZERO; x.len()];
+    exec_real::execute(&plan, &mut data, &mut work).unwrap();
+    data
+}
+
+#[test]
+fn golden_vectors_2d_both_variants_both_directions() {
+    let (n, m) = (16usize, 32);
+    for dir in [Direction::Forward, Direction::Inverse] {
+        for (input_name, x) in golden_inputs(n * m, 7300) {
+            let reference = dft2_naive(&x, n, m, dir);
+            for variant in KernelVariant::all() {
+                let got = run_plan(Dims::d2(n, m), variant, dir, &x);
+                assert_ulp_close(
+                    &got,
+                    &reference,
+                    POW2_ULP_BOUND,
+                    &format!("2D {}x{m} {} {dir:?} on {input_name}", n, variant.token()),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn golden_vectors_3d_both_variants_both_directions() {
+    let (k, n, m) = (8usize, 8, 16);
+    for dir in [Direction::Forward, Direction::Inverse] {
+        for (input_name, x) in golden_inputs(k * n * m, 7400) {
+            let reference = dft3_naive(&x, k, n, m, dir);
+            for variant in KernelVariant::all() {
+                let got = run_plan(Dims::d3(k, n, m), variant, dir, &x);
+                assert_ulp_close(
+                    &got,
+                    &reference,
+                    POW2_ULP_BOUND,
+                    &format!("3D {k}x{n}x{m} {} {dir:?} on {input_name}", variant.token()),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn linearity_invariant_every_kernel() {
+    // F(a·x + b·y) = a·F(x) + b·F(y), checked kernel-against-itself
+    // (no oracle involved), with complex scalars off the axes.
+    let n = 64usize;
+    let (a, b) = (Complex64::new(0.7, -1.3), Complex64::new(-0.4, 0.9));
+    let x = random_complex(n, 7500);
+    let y = random_complex(n, 7501);
+    let combo: Vec<Complex64> = x.iter().zip(&y).map(|(xi, yi)| *xi * a + *yi * b).collect();
+    for dir in [Direction::Forward, Direction::Inverse] {
+        let outputs = kernel_outputs(&combo, dir);
+        let fx = kernel_outputs(&x, dir);
+        let fy = kernel_outputs(&y, dir);
+        for (i, (kernel, got, bound)) in outputs.iter().enumerate() {
+            let expect: Vec<Complex64> = fx[i]
+                .1
+                .iter()
+                .zip(&fy[i].1)
+                .map(|(fxi, fyi)| *fxi * a + *fyi * b)
+                .collect();
+            assert_ulp_close(got, &expect, *bound, &format!("linearity {kernel} {dir:?}"));
+        }
+    }
+}
+
+#[test]
+fn parseval_invariant_every_kernel() {
+    // Unnormalized forward transform: Σ|X|² = n·Σ|x|².
+    let n = 128usize;
+    let x = random_complex(n, 7600);
+    let time_energy: f64 = x.iter().map(|c| c.norm_sqr()).sum();
+    for (kernel, spectrum, _) in kernel_outputs(&x, Direction::Forward) {
+        let freq_energy: f64 = spectrum.iter().map(|c| c.norm_sqr()).sum();
+        let rel = (freq_energy - n as f64 * time_energy).abs() / (n as f64 * time_energy);
+        assert!(rel < 1e-12, "Parseval violated by {kernel}: rel err {rel:.2e}");
+    }
+}
+
+#[test]
+fn forward_inverse_roundtrip_every_kernel() {
+    // inverse(forward(x)) = n·x for every kernel (both unnormalized).
+    let n = 32usize;
+    let x = random_complex(n, 7700);
+    let forwards = kernel_outputs(&x, Direction::Forward);
+    for (kernel, fwd, bound) in forwards {
+        for (kernel_inv, roundtrip, bound_inv) in kernel_outputs(&fwd, Direction::Inverse) {
+            let expect: Vec<Complex64> = x.iter().map(|c| *c * n as f64).collect();
+            assert_ulp_close(
+                &roundtrip,
+                &expect,
+                bound.max(bound_inv),
+                &format!("roundtrip {kernel} → {kernel_inv}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn parseval_invariant_2d_plan() {
+    let (n, m) = (32usize, 16);
+    let x = random_complex(n * m, 7800);
+    let time_energy: f64 = x.iter().map(|c| c.norm_sqr()).sum();
+    for variant in KernelVariant::all() {
+        let spectrum = run_plan(Dims::d2(n, m), variant, Direction::Forward, &x);
+        let freq_energy: f64 = spectrum.iter().map(|c| c.norm_sqr()).sum();
+        let total = (n * m) as f64;
+        let rel = (freq_energy - total * time_energy).abs() / (total * time_energy);
+        assert!(rel < 1e-12, "2D Parseval violated ({}) rel {rel:.2e}", variant.token());
+    }
+}

@@ -34,6 +34,25 @@ fn fig1_shape_kaby_lake() {
 }
 
 #[test]
+fn fig9_shape_2d_average_fast() {
+    // Cheap subset of `fig9_shape_2d_average_and_tail` for the fast
+    // gate: two sizes (the 4096²/8192² simulations dominate the whole
+    // suite's runtime), same average window, and 2048² is both the
+    // minimum and the last entry so the tail check stays meaningful.
+    let spec = presets::kaby_lake_7700k();
+    let sizes = [(1024usize, 512usize), (2048, 2048)];
+    let pcts: Vec<f64> = sizes
+        .iter()
+        .map(|&(n, m)| ours(Dims::d2(n, m), &spec, 1).percent_of_peak())
+        .collect();
+    let avg = pcts.iter().sum::<f64>() / pcts.len() as f64;
+    assert!((60.0..85.0).contains(&avg), "2D average {avg:.1}% {pcts:?}");
+    let min = pcts.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert_eq!(min, *pcts.last().unwrap(), "{pcts:?}");
+}
+
+#[test]
+#[ignore = "slow (4096² and 8192² simulations); the full verify gate runs it via --include-ignored"]
 fn fig9_shape_2d_average_and_tail() {
     let spec = presets::kaby_lake_7700k();
     let sizes = [(1024usize, 512usize), (2048, 2048), (4096, 4096), (8192, 8192)];
