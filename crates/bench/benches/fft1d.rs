@@ -4,6 +4,7 @@
 //! meaningful even on one core; whole-transform figures come from the
 //! simulator harnesses).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // throwaway driver code, not library
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use bwfft_kernels::batch::BatchFft;
 use bwfft_kernels::bluestein::Bluestein;

@@ -4,6 +4,7 @@
 //! the soft-DMA overlap; the figure-level comparisons on the paper's
 //! machines come from the simulator harnesses.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // throwaway driver code, not library
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use bwfft_baselines::reference_impl::pencil_fft_3d;
 use bwfft_core::{exec_real, Dims, FftPlan};

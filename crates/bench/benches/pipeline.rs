@@ -3,6 +3,7 @@
 //! scheduling cost per step (the `sync_ns` parameter of the
 //! simulator).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // throwaway driver code, not library
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use bwfft_num::Complex64;
 use bwfft_pipeline::exec::{ComputeFn, LoadFn, PipelineCallbacks, PipelineConfig, StoreFn};

@@ -2,6 +2,7 @@
 //! vs element-wise reshapes, and temporal vs non-temporal streaming
 //! copies — the §III-A/§IV mechanisms at kernel scale.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // throwaway driver code, not library
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use bwfft_kernels::simd::copy_nt;
 use bwfft_kernels::transpose::{rotate_blocked, transpose_blocked};

@@ -6,6 +6,7 @@
 //! additionally applies the scattered-store DRAM-row inflation, so the
 //! comparison is on payload traffic (model × efficiency).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // throwaway driver code, not library
 use bwfft_machine::patterns::write_block_cost;
 use bwfft_machine::presets;
 use bwfft_machine::trace::replay;

@@ -9,6 +9,7 @@
 //! one steady-state pipeline iteration against the inclusive hierarchy
 //! model and reports residency.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // throwaway driver code, not library
 use bwfft_machine::hierarchy::Hierarchy;
 use bwfft_machine::presets;
 

@@ -6,6 +6,7 @@
 //! with the QPI-crossing traffic we run within 20–30% of the
 //! achievable peak.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // throwaway driver code, not library
 use bwfft_baselines::{simulate_baseline, BaselineKind};
 use bwfft_bench::{fig10_sizes, geomean_speedups, print_comparison, run_ours, Row};
 use bwfft_core::Dims;

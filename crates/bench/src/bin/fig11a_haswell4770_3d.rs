@@ -3,6 +3,7 @@
 //! Paper reference values: ours ≈30 Gflop/s average, ≈2× MKL/FFTW,
 //! ≈92% of achievable peak.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // throwaway driver code, not library
 use bwfft_baselines::BaselineKind;
 use bwfft_bench::{compare_3d, fig1_sizes, geomean_speedups, print_comparison};
 use bwfft_machine::presets;

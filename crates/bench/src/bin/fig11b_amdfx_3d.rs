@@ -5,6 +5,7 @@
 //! caches (§V). The comparison therefore uses the slab–pencil
 //! baseline.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // throwaway driver code, not library
 use bwfft_baselines::BaselineKind;
 use bwfft_bench::{compare_3d, fig1_sizes, geomean_speedups, print_comparison};
 use bwfft_machine::presets;

@@ -5,6 +5,7 @@
 //! socket; QPI-crossing writes and thread-role conflicts keep it from
 //! 2×.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // throwaway driver code, not library
 use bwfft_bench::run_ours;
 use bwfft_core::Dims;
 use bwfft_machine::presets;

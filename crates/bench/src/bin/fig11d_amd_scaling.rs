@@ -6,6 +6,7 @@
 //! and scaling is closer to linear. (The paper reports no FFTW numbers
 //! on this system — the library misbehaved on Blue Waters.)
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // throwaway driver code, not library
 use bwfft_bench::run_ours;
 use bwfft_core::Dims;
 use bwfft_machine::presets;

@@ -5,6 +5,7 @@
 //! Paper reference values: MKL/FFTW at most 47% of achievable peak;
 //! ours 80–90% (≈3× speedup).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // throwaway driver code, not library
 use bwfft_baselines::BaselineKind;
 use bwfft_bench::{compare_3d, fig1_sizes, geomean_speedups, print_comparison};
 use bwfft_machine::presets;

@@ -4,40 +4,19 @@
 //! MKL/FFTW ≈50%; ours degrades at small sizes (few pipeline
 //! iterations) and at large pencil sizes (TLB amortization lost).
 
-use bwfft_baselines::{simulate_baseline, BaselineKind};
-use bwfft_bench::{fig9_sizes, print_comparison, run_ours, Row};
-use bwfft_core::Dims;
+#![allow(clippy::unwrap_used, clippy::expect_used)] // throwaway driver code, not library
+use bwfft_baselines::BaselineKind;
+use bwfft_bench::{compare_2d, fig9_sizes, mean_percent_of_peak, print_comparison};
 use bwfft_machine::presets;
 
 fn main() {
     let spec = presets::kaby_lake_7700k();
-    let rows: Vec<Row> = fig9_sizes()
-        .into_iter()
-        .map(|(n, m)| {
-            let dims = Dims::d2(n, m);
-            let ours = run_ours(dims, &spec, 1);
-            let mkl = simulate_baseline(BaselineKind::MklLike, dims, &spec);
-            let fftw = simulate_baseline(BaselineKind::FftwLike, dims, &spec);
-            Row {
-                label: format!("{n}x{m}"),
-                peak_gflops: ours.achievable_peak_gflops,
-                entries: vec![
-                    ("Double-buffer (ours)".into(), ours),
-                    ("MKL-like".into(), mkl),
-                    ("FFTW-like".into(), fftw),
-                ],
-            }
-        })
-        .collect();
+    let rows = compare_2d(&spec, &fig9_sizes(), BaselineKind::FftwLike);
     print_comparison(
         "Fig. 9 — 2D FFT, Intel Kaby Lake 7700K (b = LLC/2 = 256Ki complex elements)",
         &rows,
     );
-    let avg: f64 = rows
-        .iter()
-        .map(|r| r.entries[0].1.percent_of_peak())
-        .sum::<f64>()
-        / rows.len() as f64;
+    let avg = mean_percent_of_peak(&rows, 0);
     println!("\naverage of ours: {avg:.1}% of achievable peak (paper: ~74%)");
     println!("paper: utilization drops at the largest pencils (TLB) — check the last rows");
 }

@@ -11,28 +11,17 @@
 //! A healthy pipelined run shows a high overlap fraction where the
 //! fused run shows zero; the simulated column shows what the model
 //! believes the overlap *should* be at the preset's bandwidth.
+//!
+//! The real runs go through [`bwfft_bench::measure::trace_once`] — the
+//! same traced-rep helper `bwfft-cli bench` attributes stages with.
 
 #![allow(clippy::unwrap_used, clippy::expect_used)] // demo binary, not library code
-use bwfft_core::exec_real::{execute_with, ExecConfig};
+use bwfft_bench::measure::trace_once;
 use bwfft_core::exec_sim::{simulate, SimOptions};
 use bwfft_core::{profile, Dims, ExecutorKind, FftPlan};
 use bwfft_machine::presets;
-use bwfft_num::{signal, AlignedVec, Complex64};
-use bwfft_trace::{TraceCollector, TraceReport};
+use bwfft_trace::TraceCollector;
 use std::sync::Arc;
-
-fn traced_real(plan: &FftPlan, executor: &str, bw: f64) -> TraceReport {
-    let total = plan.dims.total();
-    let mut data = AlignedVec::from_slice(&signal::random_complex(total, 11));
-    let mut work = AlignedVec::<Complex64>::zeroed(total);
-    let collector = Arc::new(TraceCollector::new());
-    let cfg = ExecConfig {
-        trace: Some(Arc::clone(&collector)),
-        ..Default::default()
-    };
-    execute_with(plan, &mut data, &mut work, &cfg).unwrap();
-    profile::profile_report(&collector, plan, executor, Some(bw))
-}
 
 fn main() {
     let dims = Dims::d2(1024, 1024);
@@ -46,12 +35,12 @@ fn main() {
         .build()
         .unwrap();
     println!("\n--- real, pipelined (2 data + 2 compute threads) ---");
-    println!("{}", traced_real(&pipelined, "pipelined", bw));
+    println!("{}", trace_once(&pipelined, Some(bw), 11).unwrap().0);
 
     let mut fused = pipelined.clone();
     fused.executor = ExecutorKind::Fused;
     println!("--- real, fused (serial counterfactual: overlap must be 0) ---");
-    println!("{}", traced_real(&fused, "fused", bw));
+    println!("{}", trace_once(&fused, Some(bw), 11).unwrap().0);
 
     let collector = Arc::new(TraceCollector::new());
     let sim_plan = FftPlan::builder(dims)

@@ -2,23 +2,18 @@
 //! bandwidth of each machine preset, from which every figure's
 //! achievable-peak roofline is derived.
 
-use bwfft_core::metrics::achievable_peak_gflops;
-use bwfft_machine::stream::stream_triad;
-use bwfft_machine::{presets, MachineSpec};
-
-fn show(spec: &MachineSpec) {
-    let r = stream_triad(spec, 1 << 24);
-    let peak3d = achievable_peak_gflops(1 << 27, 3, r.triad_gbs);
-    println!(
-        "{:<36} triad {:>6.1} GB/s ({:>5.1}/socket)  P_io(512^3, 3D) = {:>6.2} Gflop/s",
-        spec.name, r.triad_gbs, r.per_socket_gbs, peak3d
-    );
-}
+#![allow(clippy::unwrap_used, clippy::expect_used)] // throwaway driver code, not library
+use bwfft_bench::stream_row;
+use bwfft_machine::presets;
 
 fn main() {
     println!("\n=== STREAM calibration of the five machine presets (paper §V setup) ===\n");
     for spec in presets::all() {
-        show(&spec);
+        let r = stream_row(&spec);
+        println!(
+            "{:<36} triad {:>6.1} GB/s ({:>5.1}/socket)  P_io(512^3, 3D) = {:>6.2} Gflop/s",
+            r.name, r.triad_gbs, r.per_socket_gbs, r.peak3d_gflops
+        );
     }
     println!("\npaper-quoted STREAM bandwidths: 20 / 40 / 12 GB/s (1-socket), 85 / 20 GB/s (2-socket)");
 }

@@ -5,6 +5,7 @@
 //! verified against its dense operator (the unit tests in `bwfft-spl`
 //! run the same checks mechanically).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // throwaway driver code, not library
 use bwfft_num::Complex64;
 use bwfft_spl::dense::to_dense;
 use bwfft_spl::Formula;

@@ -2,6 +2,7 @@
 //! and epilogue of `I_{knm/b} ⊗ (W_{b,i} · FFT · R_{b,i})` with the
 //! double-buffer parity `t[i mod 2]`.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // throwaway driver code, not library
 use bwfft_pipeline::Schedule;
 
 fn main() {

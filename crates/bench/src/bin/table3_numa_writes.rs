@@ -6,6 +6,7 @@
 //! stage — the quantity behind Fig. 8's "stage 1 writes locally,
 //! stages 2 and 3 write across the sockets".
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // throwaway driver code, not library
 use bwfft_spl::dataflow::write_bursts;
 use bwfft_spl::dense::to_dense;
 use bwfft_spl::gather_scatter::{fft3d_numa_stage_perms, StagePerm, WriteMatrix};

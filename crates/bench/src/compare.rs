@@ -1,0 +1,531 @@
+//! The regression gate: two `BENCH_*.json` files in, a verdict out.
+//!
+//! Suites are paired by their stable `key`. A pair is a **regression**
+//! only when both of these hold (so noise alone can't fail CI):
+//!
+//! 1. the current median is more than `threshold_pct` slower than the
+//!    baseline median, and
+//! 2. the bootstrap confidence intervals are disjoint
+//!    (`cur.ci_lo > base.ci_hi`) — the slowdown is statistically
+//!    resolvable at the recorded rep count.
+//!
+//! Improvements are the mirror image. Every regression is
+//! *attributed*: the stage whose %-of-STREAM (or, absent bandwidth
+//! data, overlap fraction) dropped the most is named, so "fig9:128x128
+//! got 30% slower" reads as "stage 1 lost its overlap".
+//!
+//! Keys present on only one side are reported as unpaired, never
+//! silently dropped; a host-fingerprint mismatch between the files is
+//! flagged (cross-machine comparisons are allowed — CI compares
+//! against a checked-in VM baseline — but the verdict says so).
+
+use crate::record::{BenchReport, SuiteResult};
+use bwfft_trace::value::{push_escaped, push_f64};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Gate sensitivity.
+#[derive(Clone, Debug)]
+pub struct GateConfig {
+    /// Median slowdown (percent) below which a pair is never flagged.
+    pub threshold_pct: f64,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig { threshold_pct: 5.0 }
+    }
+}
+
+/// Classification of one paired suite.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    Regression,
+    Improvement,
+    Unchanged,
+}
+
+impl Verdict {
+    fn token(self) -> &'static str {
+        match self {
+            Verdict::Regression => "regression",
+            Verdict::Improvement => "improvement",
+            Verdict::Unchanged => "unchanged",
+        }
+    }
+}
+
+/// The stage a regression is attributed to.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StageDelta {
+    pub stage: usize,
+    /// Baseline → current overlap fraction.
+    pub base_overlap: f64,
+    pub cur_overlap: f64,
+    /// Baseline → current % of STREAM, when both records carry it.
+    pub base_percent: Option<f64>,
+    pub cur_percent: Option<f64>,
+}
+
+impl fmt::Display for StageDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stage {}", self.stage)?;
+        if let (Some(b), Some(c)) = (self.base_percent, self.cur_percent) {
+            write!(f, " ({b:.1}% → {c:.1}% of STREAM")?;
+        } else {
+            write!(
+                f,
+                " (overlap {:.2} → {:.2}",
+                self.base_overlap, self.cur_overlap
+            )?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// One paired suite's comparison.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PairDelta {
+    pub key: String,
+    pub base_median_ns: f64,
+    pub cur_median_ns: f64,
+    /// Positive = slower than baseline, percent.
+    pub delta_pct: f64,
+    /// Whether the confidence intervals are disjoint.
+    pub ci_separated: bool,
+    pub verdict: Verdict,
+    /// For regressions: the stage that lost the most ground.
+    pub worst_stage: Option<StageDelta>,
+}
+
+/// The full comparison — what the gate renders, serializes and exits on.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompareReport {
+    pub baseline_rev: String,
+    pub current_rev: String,
+    pub threshold_pct: f64,
+    /// The two files were measured on different hosts.
+    pub host_mismatch: bool,
+    pub pairs: Vec<PairDelta>,
+    /// Keys present only in the baseline / only in the current run.
+    pub unpaired_base: Vec<String>,
+    pub unpaired_cur: Vec<String>,
+}
+
+impl CompareReport {
+    pub fn regressions(&self) -> impl Iterator<Item = &PairDelta> {
+        self.pairs
+            .iter()
+            .filter(|p| p.verdict == Verdict::Regression)
+    }
+
+    pub fn regression_count(&self) -> usize {
+        self.regressions().count()
+    }
+
+    /// The gate passes when no paired suite regressed.
+    pub fn gate_passes(&self) -> bool {
+        self.regression_count() == 0
+    }
+
+    /// One-line summary naming each regressed suite and stage — the
+    /// text a failing CI run leads with.
+    pub fn failure_summary(&self) -> String {
+        let items: Vec<String> = self
+            .regressions()
+            .map(|p| {
+                let stage = p
+                    .worst_stage
+                    .as_ref()
+                    .map(|s| format!(", {s}"))
+                    .unwrap_or_default();
+                format!("{} +{:.1}%{stage}", p.key, p.delta_pct)
+            })
+            .collect();
+        format!(
+            "{} regression(s) beyond {:.1}%: {}",
+            self.regression_count(),
+            self.threshold_pct,
+            items.join("; ")
+        )
+    }
+}
+
+/// Attribution: the stage of `cur` that lost the most vs. `base`,
+/// preferring the %-of-STREAM column, falling back to overlap.
+fn worst_stage(base: &SuiteResult, cur: &SuiteResult) -> Option<StageDelta> {
+    let mut worst: Option<(f64, StageDelta)> = None;
+    for b in &base.stages {
+        let Some(c) = cur.stages.iter().find(|c| c.stage == b.stage) else {
+            continue;
+        };
+        let drop = match (b.percent_of_stream, c.percent_of_stream) {
+            (Some(bp), Some(cp)) => bp - cp,
+            _ => (b.overlap_fraction - c.overlap_fraction) * 100.0,
+        };
+        let delta = StageDelta {
+            stage: b.stage,
+            base_overlap: b.overlap_fraction,
+            cur_overlap: c.overlap_fraction,
+            base_percent: b.percent_of_stream,
+            cur_percent: c.percent_of_stream,
+        };
+        if worst.as_ref().is_none_or(|(w, _)| drop > *w) {
+            worst = Some((drop, delta));
+        }
+    }
+    worst.map(|(_, d)| d)
+}
+
+/// Pairs the suites of two reports by key and classifies each pair.
+pub fn compare(base: &BenchReport, cur: &BenchReport, cfg: &GateConfig) -> CompareReport {
+    let base_by_key: BTreeMap<&str, &SuiteResult> =
+        base.suites.iter().map(|s| (s.key.as_str(), s)).collect();
+    let cur_by_key: BTreeMap<&str, &SuiteResult> =
+        cur.suites.iter().map(|s| (s.key.as_str(), s)).collect();
+
+    let mut pairs = Vec::new();
+    for (key, b) in &base_by_key {
+        let Some(c) = cur_by_key.get(key) else {
+            continue;
+        };
+        let delta_pct = if b.stats.median_ns > 0.0 {
+            100.0 * (c.stats.median_ns - b.stats.median_ns) / b.stats.median_ns
+        } else {
+            0.0
+        };
+        let slower_separated = c.stats.ci_lo_ns > b.stats.ci_hi_ns;
+        let faster_separated = c.stats.ci_hi_ns < b.stats.ci_lo_ns;
+        let verdict = if delta_pct > cfg.threshold_pct && slower_separated {
+            Verdict::Regression
+        } else if delta_pct < -cfg.threshold_pct && faster_separated {
+            Verdict::Improvement
+        } else {
+            Verdict::Unchanged
+        };
+        pairs.push(PairDelta {
+            key: (*key).to_string(),
+            base_median_ns: b.stats.median_ns,
+            cur_median_ns: c.stats.median_ns,
+            delta_pct,
+            ci_separated: slower_separated || faster_separated,
+            verdict,
+            worst_stage: (verdict == Verdict::Regression).then(|| worst_stage(b, c)).flatten(),
+        });
+    }
+    CompareReport {
+        baseline_rev: base.git_rev.clone(),
+        current_rev: cur.git_rev.clone(),
+        threshold_pct: cfg.threshold_pct,
+        host_mismatch: base.fingerprint != cur.fingerprint,
+        pairs,
+        unpaired_base: base
+            .suites
+            .iter()
+            .filter(|s| !cur_by_key.contains_key(s.key.as_str()))
+            .map(|s| s.key.clone())
+            .collect(),
+        unpaired_cur: cur
+            .suites
+            .iter()
+            .filter(|s| !base_by_key.contains_key(s.key.as_str()))
+            .map(|s| s.key.clone())
+            .collect(),
+    }
+}
+
+/// Human diff table (the `Display` sink of the gate).
+impl fmt::Display for CompareReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "=== bench compare: {} (baseline) vs {} (current), threshold {:.1}% ===",
+            self.baseline_rev, self.current_rev, self.threshold_pct
+        )?;
+        if self.host_mismatch {
+            writeln!(
+                f,
+                "warning: host fingerprints differ — absolute times are not comparable machines"
+            )?;
+        }
+        writeln!(
+            f,
+            "{:<34} {:>12} {:>12} {:>8}  verdict",
+            "suite", "base ms", "cur ms", "delta"
+        )?;
+        writeln!(f, "{}", "-".repeat(88))?;
+        for p in &self.pairs {
+            let stage = p
+                .worst_stage
+                .as_ref()
+                .map(|s| format!(" ← {s}"))
+                .unwrap_or_default();
+            writeln!(
+                f,
+                "{:<34} {:>12.3} {:>12.3} {:>+7.1}%  {}{}",
+                p.key,
+                p.base_median_ns / 1e6,
+                p.cur_median_ns / 1e6,
+                p.delta_pct,
+                p.verdict.token(),
+                stage
+            )?;
+        }
+        for key in &self.unpaired_base {
+            writeln!(f, "{key:<34} {:>12} (only in baseline)", "-")?;
+        }
+        for key in &self.unpaired_cur {
+            writeln!(f, "{key:<34} {:>12} (only in current)", "-")?;
+        }
+        write!(
+            f,
+            "{} paired, {} regression(s), {} improvement(s)",
+            self.pairs.len(),
+            self.regression_count(),
+            self.pairs
+                .iter()
+                .filter(|p| p.verdict == Verdict::Improvement)
+                .count()
+        )
+    }
+}
+
+/// Machine-readable verdict (`bwfft-bench-verdict/1`), emitted as the
+/// last stdout line of `bwfft-cli bench --compare` by contract.
+pub fn verdict_json(report: &CompareReport) -> String {
+    let mut out = String::with_capacity(256 + report.pairs.len() * 128);
+    out.push_str("{\"schema\":\"bwfft-bench-verdict/1\",\"baseline_rev\":");
+    push_escaped(&mut out, &report.baseline_rev);
+    out.push_str(",\"current_rev\":");
+    push_escaped(&mut out, &report.current_rev);
+    out.push_str(",\"threshold_pct\":");
+    push_f64(&mut out, report.threshold_pct);
+    out.push_str(&format!(
+        ",\"host_mismatch\":{},\"gate_passes\":{},\"pairs\":[",
+        report.host_mismatch,
+        report.gate_passes()
+    ));
+    for (i, p) in report.pairs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"key\":");
+        push_escaped(&mut out, &p.key);
+        out.push_str(",\"base_median_ns\":");
+        push_f64(&mut out, p.base_median_ns);
+        out.push_str(",\"cur_median_ns\":");
+        push_f64(&mut out, p.cur_median_ns);
+        out.push_str(",\"delta_pct\":");
+        push_f64(&mut out, p.delta_pct);
+        out.push_str(&format!(
+            ",\"ci_separated\":{},\"verdict\":\"{}\",\"worst_stage\":",
+            p.ci_separated,
+            p.verdict.token()
+        ));
+        match &p.worst_stage {
+            Some(s) => out.push_str(&format!("{}", s.stage)),
+            None => out.push_str("null"),
+        }
+        out.push('}');
+    }
+    out.push_str("],\"unpaired\":[");
+    for (i, key) in report
+        .unpaired_base
+        .iter()
+        .chain(&report.unpaired_cur)
+        .enumerate()
+    {
+        if i > 0 {
+            out.push(',');
+        }
+        push_escaped(&mut out, key);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Derates a report in place: times `factor`× slower, stage bandwidth
+/// and overlap scaled down accordingly. This exists so the gate can be
+/// demonstrated (and CI-smoke-tested) without building a slower
+/// binary: `bwfft-cli bench --derate 2 --compare <own baseline>` must
+/// fail, naming every suite.
+pub fn derate(report: &mut BenchReport, factor: f64) {
+    let factor = factor.max(1.0);
+    for s in &mut report.suites {
+        s.stats.median_ns *= factor;
+        s.stats.ci_lo_ns *= factor;
+        s.stats.ci_hi_ns *= factor;
+        s.stats.min_ns *= factor;
+        s.stats.max_ns *= factor;
+        s.stats.mad_ns *= factor;
+        s.gflops /= factor;
+        for st in &mut s.stages {
+            st.overlap_fraction /= factor;
+            st.achieved_gbs = st.achieved_gbs.map(|v| v / factor);
+            st.percent_of_stream = st.percent_of_stream.map(|v| v / factor);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{StageMetric, SuiteResult, SCHEMA_VERSION};
+    use crate::stats::SampleSummary;
+    use bwfft_tuner::HostFingerprint;
+
+    fn suite_result(key: &str, median: f64, width: f64) -> SuiteResult {
+        SuiteResult {
+            key: key.to_string(),
+            label: "64x64".to_string(),
+            executor: "pipelined".to_string(),
+            p_d: 1,
+            p_c: 1,
+            buffer_elems: 256,
+            warmup: 1,
+            stats: SampleSummary {
+                n_raw: 5,
+                n_kept: 5,
+                median_ns: median,
+                ci_lo_ns: median - width,
+                ci_hi_ns: median + width,
+                min_ns: median - width,
+                max_ns: median + width,
+                mad_ns: width,
+            },
+            gflops: 1.0,
+            stages: vec![
+                StageMetric {
+                    stage: 0,
+                    overlap_fraction: 0.9,
+                    achieved_gbs: Some(10.0),
+                    percent_of_stream: Some(50.0),
+                },
+                StageMetric {
+                    stage: 1,
+                    overlap_fraction: 0.8,
+                    achieved_gbs: Some(8.0),
+                    percent_of_stream: Some(40.0),
+                },
+            ],
+        }
+    }
+
+    fn report(rev: &str, suites: Vec<SuiteResult>) -> BenchReport {
+        BenchReport {
+            schema: SCHEMA_VERSION.to_string(),
+            git_rev: rev.to_string(),
+            suite_kind: "fast".to_string(),
+            seed: 42,
+            fingerprint: HostFingerprint {
+                cpus: 1,
+                pin_works: false,
+                llc_bytes: 0,
+            },
+            anchor_machine: "test".to_string(),
+            stream_gbs: 20.0,
+            suites,
+        }
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let base = report("a", vec![suite_result("k1", 1e6, 1e4)]);
+        let cmp = compare(&base, &base, &GateConfig::default());
+        assert!(cmp.gate_passes());
+        assert!(!cmp.host_mismatch);
+        assert_eq!(cmp.pairs[0].verdict, Verdict::Unchanged);
+    }
+
+    #[test]
+    fn derated_run_regresses_with_stage_attribution() {
+        let base = report("a", vec![suite_result("k1", 1e6, 1e4)]);
+        let mut cur = report("b", vec![suite_result("k1", 1e6, 1e4)]);
+        derate(&mut cur, 2.0);
+        let cmp = compare(&base, &cur, &GateConfig::default());
+        assert!(!cmp.gate_passes());
+        let p = &cmp.pairs[0];
+        assert_eq!(p.verdict, Verdict::Regression);
+        assert!((p.delta_pct - 100.0).abs() < 1e-9);
+        // Stage 0 had the higher %-of-stream, so halving both makes it
+        // the biggest absolute loser.
+        assert_eq!(p.worst_stage.as_ref().unwrap().stage, 0);
+        let summary = cmp.failure_summary();
+        assert!(summary.contains("k1"), "{summary}");
+        assert!(summary.contains("stage 0"), "{summary}");
+    }
+
+    #[test]
+    fn noise_within_overlapping_cis_never_regresses() {
+        // 8% slower but wide, overlapping intervals → unchanged.
+        let base = report("a", vec![suite_result("k1", 1.00e6, 1e5)]);
+        let cur = report("b", vec![suite_result("k1", 1.08e6, 1e5)]);
+        let cmp = compare(&base, &cur, &GateConfig::default());
+        assert_eq!(cmp.pairs[0].verdict, Verdict::Unchanged);
+        assert!(!cmp.pairs[0].ci_separated);
+    }
+
+    #[test]
+    fn improvement_is_classified() {
+        let base = report("a", vec![suite_result("k1", 2e6, 1e3)]);
+        let cur = report("b", vec![suite_result("k1", 1e6, 1e3)]);
+        let cmp = compare(&base, &cur, &GateConfig::default());
+        assert_eq!(cmp.pairs[0].verdict, Verdict::Improvement);
+        assert!(cmp.gate_passes());
+    }
+
+    #[test]
+    fn unpaired_suites_are_reported_not_dropped() {
+        let base = report(
+            "a",
+            vec![suite_result("k1", 1e6, 1e3), suite_result("gone", 1e6, 1e3)],
+        );
+        let cur = report(
+            "b",
+            vec![suite_result("k1", 1e6, 1e3), suite_result("new", 1e6, 1e3)],
+        );
+        let cmp = compare(&base, &cur, &GateConfig::default());
+        assert_eq!(cmp.pairs.len(), 1);
+        assert_eq!(cmp.unpaired_base, vec!["gone".to_string()]);
+        assert_eq!(cmp.unpaired_cur, vec!["new".to_string()]);
+    }
+
+    #[test]
+    fn host_mismatch_is_flagged() {
+        let base = report("a", vec![suite_result("k1", 1e6, 1e3)]);
+        let mut cur = base.clone();
+        cur.fingerprint.cpus = 8;
+        let cmp = compare(&base, &cur, &GateConfig::default());
+        assert!(cmp.host_mismatch);
+        assert!(format!("{cmp}").contains("host fingerprints differ"));
+    }
+
+    #[test]
+    fn verdict_json_is_parseable_and_complete() {
+        let base = report("a", vec![suite_result("k1", 1e6, 1e4)]);
+        let mut cur = base.clone();
+        derate(&mut cur, 3.0);
+        let cmp = compare(&base, &cur, &GateConfig::default());
+        let json = verdict_json(&cmp);
+        let v = bwfft_trace::value::parse_document(&json).unwrap();
+        let obj = v.as_obj().unwrap();
+        assert_eq!(
+            obj["schema"].as_str(),
+            Some("bwfft-bench-verdict/1")
+        );
+        assert_eq!(obj["gate_passes"].as_bool(), Some(false));
+        let pairs = obj["pairs"].as_arr().unwrap();
+        assert_eq!(pairs[0].as_obj().unwrap()["verdict"].as_str(), Some("regression"));
+    }
+
+    #[test]
+    fn display_renders_every_row() {
+        let base = report("a", vec![suite_result("k1", 1e6, 1e3)]);
+        let mut cur = base.clone();
+        derate(&mut cur, 2.0);
+        let text = format!("{}", compare(&base, &cur, &GateConfig::default()));
+        assert!(text.contains("k1"));
+        assert!(text.contains("regression"));
+        assert!(text.contains("stage 0"));
+    }
+}

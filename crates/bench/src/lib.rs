@@ -1,17 +1,146 @@
-//! Shared harness utilities for the figure/table regeneration binaries.
+//! `bwfft-bench` — the statistical benchmark harness and the shared
+//! utilities behind the figure/table regeneration binaries.
 //!
-//! Every binary in `src/bin/` regenerates one table or figure of the
-//! paper (see DESIGN.md §4 for the index) and prints an aligned text
-//! table with the same rows/series the paper plots. Absolute numbers
-//! are *model* numbers from the machine simulator; the reproduction
-//! contract is the shape: who wins, by what factor, where crossovers
-//! fall. EXPERIMENTS.md records paper-vs-measured for each artifact.
+//! Two layers live here:
+//!
+//! * **The measured harness** (DESIGN.md §9): [`stats`] (MAD outlier
+//!   rejection, median, bootstrap CIs), [`measure`] (the
+//!   warmup/time/trace loop over the real executors), [`suite`] (the
+//!   canonical paper-derived case list), [`record`] (the versioned
+//!   `bwfft-bench/1` JSON schema written to `BENCH_<gitrev>.json`),
+//!   and [`compare`] (the regression gate pairing two BENCH files).
+//!   [`run_suite`] ties them together; `bwfft-cli bench` and
+//!   `scripts/perf_gate.sh` drive it.
+//! * **Model-figure helpers**: every binary in `src/bin/` regenerates
+//!   one table or figure of the paper (see DESIGN.md §4 for the index)
+//!   and prints an aligned text table with the same rows/series the
+//!   paper plots. Absolute numbers are *model* numbers from the
+//!   machine simulator; the reproduction contract is the shape: who
+//!   wins, by what factor, where crossovers fall. EXPERIMENTS.md
+//!   records paper-vs-measured for each artifact.
+
+pub mod compare;
+pub mod measure;
+pub mod record;
+pub mod stats;
+pub mod suite;
 
 use bwfft_baselines::{simulate_baseline, BaselineKind};
 use bwfft_core::exec_sim::{simulate, SimOptions};
 use bwfft_core::{Dims, FftPlan};
 use bwfft_machine::stats::PerfReport;
 use bwfft_machine::MachineSpec;
+use bwfft_tuner::HostFingerprint;
+use std::fmt;
+
+use measure::{measure_plan, MeasureConfig};
+use record::{BenchReport, StageMetric, SuiteResult};
+use stats::StatsConfig;
+use suite::{suite, SuiteKind};
+
+/// Why a suite run could not produce a record. Each variant names the
+/// suite key so a CI failure is attributable without a backtrace.
+#[derive(Debug)]
+pub enum HarnessError {
+    Plan { key: String, error: bwfft_core::PlanError },
+    Exec { key: String, error: bwfft_core::CoreError },
+    Stats { key: String, error: stats::StatsError },
+}
+
+impl fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HarnessError::Plan { key, error } => write!(f, "suite {key}: planning failed: {error}"),
+            HarnessError::Exec { key, error } => write!(f, "suite {key}: execution failed: {error}"),
+            HarnessError::Stats { key, error } => write!(f, "suite {key}: statistics failed: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {}
+
+/// Runs the canonical suite and assembles the versioned record.
+/// `anchor` supplies the STREAM roofline the per-stage
+/// `percent_of_stream` column is computed against; `progress` (when
+/// true) prints one line per case as it completes.
+pub fn run_suite(
+    kind: SuiteKind,
+    measure_cfg: &MeasureConfig,
+    stats_cfg: &StatsConfig,
+    anchor: &MachineSpec,
+    progress: bool,
+) -> Result<BenchReport, HarnessError> {
+    let stream_gbs = anchor.total_dram_bw_gbs();
+    let mut suites = Vec::new();
+    for case in suite(kind) {
+        let plan = case.build_plan().map_err(|error| HarnessError::Plan {
+            key: case.key.clone(),
+            error,
+        })?;
+        let measured =
+            measure_plan(&plan, measure_cfg, Some(stream_gbs)).map_err(|error| {
+                HarnessError::Exec {
+                    key: case.key.clone(),
+                    error,
+                }
+            })?;
+        let summary =
+            stats::summarize(&measured.times_ns, stats_cfg).map_err(|error| {
+                HarnessError::Stats {
+                    key: case.key.clone(),
+                    error,
+                }
+            })?;
+        let gflops = if summary.median_ns > 0.0 {
+            plan.pseudo_flops() / summary.median_ns
+        } else {
+            0.0
+        };
+        if progress {
+            println!(
+                "  {:<34} median {:>10.3} ms  ±{:>4.1}%  {:>6.2} GF/s  ({} reps, {} rejected)",
+                case.key,
+                summary.median_ns / 1e6,
+                summary.ci_halfwidth_pct(),
+                gflops,
+                summary.n_raw,
+                summary.rejected()
+            );
+        }
+        suites.push(SuiteResult {
+            key: case.key.clone(),
+            label: case.dims.label(),
+            executor: measured.executor,
+            p_d: plan.p_d,
+            p_c: plan.p_c,
+            buffer_elems: plan.buffer_elems,
+            warmup: measure_cfg.warmup,
+            stats: summary,
+            gflops,
+            stages: measured
+                .trace
+                .stages
+                .iter()
+                .map(|s| StageMetric {
+                    stage: s.stage,
+                    overlap_fraction: s.overlap_fraction,
+                    achieved_gbs: s.achieved_gbs,
+                    percent_of_stream: s.percent_of_achievable,
+                })
+                .collect(),
+        });
+    }
+    Ok(BenchReport {
+        schema: record::SCHEMA_VERSION.to_string(),
+        git_rev: record::detect_git_rev(),
+        suite_kind: kind.label().to_string(),
+        seed: measure_cfg.seed,
+        fingerprint: HostFingerprint::detect(),
+        anchor_machine: anchor.name.to_string(),
+        stream_gbs,
+        suites,
+    })
+}
 
 /// The 3D size sweep of Figs. 1 and 11 (all exponent combinations of
 /// `2^9` and `2^10` per dimension), in the paper's label order.
@@ -70,7 +199,10 @@ pub fn paper_plan(dims: Dims, spec: &MachineSpec, sockets: usize) -> FftPlan {
         .unwrap_or_else(|e| panic!("planning {} on {}: {e}", dims.label(), spec.name))
 }
 
-/// Simulates our implementation with default options.
+/// Simulates our implementation with default options. Panics on
+/// simulation failure — like [`paper_plan`], this is figure-binary
+/// convenience, not library API.
+#[allow(clippy::unwrap_used)]
 pub fn run_ours(dims: Dims, spec: &MachineSpec, sockets: usize) -> PerfReport {
     let plan = paper_plan(dims, spec, sockets);
     simulate(&plan, spec, &SimOptions::default()).unwrap().report
@@ -131,6 +263,65 @@ pub fn compare_3d(
             }
         })
         .collect()
+}
+
+/// 2D analogue of [`compare_3d`]: the row set of Fig. 9.
+pub fn compare_2d(
+    spec: &MachineSpec,
+    sizes: &[(usize, usize)],
+    fftw_kind: BaselineKind,
+) -> Vec<Row> {
+    sizes
+        .iter()
+        .map(|&(n, m)| {
+            let dims = Dims::d2(n, m);
+            let ours = run_ours(dims, spec, spec.sockets);
+            let mkl = simulate_baseline(BaselineKind::MklLike, dims, spec);
+            let fftw = simulate_baseline(fftw_kind, dims, spec);
+            Row {
+                label: format!("{n}x{m}"),
+                peak_gflops: ours.achievable_peak_gflops,
+                entries: vec![
+                    ("Double-buffer (ours)".into(), ours),
+                    ("MKL-like".into(), mkl),
+                    (fftw_kind.label().into(), fftw),
+                ],
+            }
+        })
+        .collect()
+}
+
+/// Mean percent-of-achievable-peak of one column of a row set (column
+/// 0 is "ours") — the headline number Figs. 1/9 quote.
+pub fn mean_percent_of_peak(rows: &[Row], entry: usize) -> f64 {
+    if rows.is_empty() {
+        return 0.0;
+    }
+    rows.iter()
+        .map(|r| r.entries[entry].1.percent_of_peak())
+        .sum::<f64>()
+        / rows.len() as f64
+}
+
+/// One row of the STREAM calibration table (§V): measured triad
+/// bandwidth and the achievable 3D peak it implies for a 512³ problem.
+pub struct StreamRow {
+    pub name: &'static str,
+    pub triad_gbs: f64,
+    pub per_socket_gbs: f64,
+    pub peak3d_gflops: f64,
+}
+
+/// Calibrates one machine preset with the STREAM triad and derives the
+/// §V roofline number the figures are normalized by.
+pub fn stream_row(spec: &MachineSpec) -> StreamRow {
+    let r = bwfft_machine::stream::stream_triad(spec, 1 << 24);
+    StreamRow {
+        name: spec.name,
+        triad_gbs: r.triad_gbs,
+        per_socket_gbs: r.per_socket_gbs,
+        peak3d_gflops: bwfft_core::metrics::achievable_peak_gflops(1 << 27, 3, r.triad_gbs),
+    }
 }
 
 /// Geometric-mean speedup of `ours` over each comparator in a row set.

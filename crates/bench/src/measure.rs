@@ -1,0 +1,162 @@
+//! Measured (wall-clock) benchmark runs of the real executors.
+//!
+//! One place owns the warmup/measure/trace loop that the figure
+//! binaries used to copy-paste: fill the input deterministically from
+//! a seed, warm the caches, time `reps` untraced repetitions (the
+//! collector off — the hot path stays clock-free), then run one final
+//! *traced* repetition to attribute the time to stages (overlap
+//! fraction, achieved GB/s, % of STREAM). Timing and tracing are
+//! separate reps on purpose: the trace rep pays for span recording and
+//! must not contaminate the sample.
+
+use bwfft_core::exec_real::{execute_with, ExecConfig};
+use bwfft_core::{profile, CoreError, FftPlan};
+use bwfft_num::{signal, AlignedVec, Complex64};
+use bwfft_trace::{TraceCollector, TraceReport};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Repetition counts and input seed for one measured case.
+#[derive(Clone, Debug)]
+pub struct MeasureConfig {
+    /// Untimed cache-warming repetitions.
+    pub warmup: usize,
+    /// Timed repetitions (the statistics sample).
+    pub reps: usize,
+    /// Seed of the deterministic input signal; the same seed yields the
+    /// same input, element for element, across runs and machines.
+    pub seed: u64,
+}
+
+impl Default for MeasureConfig {
+    fn default() -> Self {
+        MeasureConfig {
+            warmup: 2,
+            reps: 5,
+            seed: 42,
+        }
+    }
+}
+
+/// What one measured case produced: the raw timing sample plus the
+/// traced rep's per-stage attribution.
+#[derive(Clone, Debug)]
+pub struct Measured {
+    /// Wall time of each timed repetition, nanoseconds.
+    pub times_ns: Vec<f64>,
+    /// Stage-attributed profile of the extra traced repetition.
+    pub trace: TraceReport,
+    /// Executor that actually ran (the plan may have degraded).
+    pub executor: String,
+}
+
+/// Runs `plan` per [`MeasureConfig`] and returns the timing sample and
+/// a traced-rep profile. `stream_gbs` anchors the %-of-achievable
+/// column of the trace (pass the reference machine's STREAM figure, or
+/// `None` to omit the roofline).
+pub fn measure_plan(
+    plan: &FftPlan,
+    cfg: &MeasureConfig,
+    stream_gbs: Option<f64>,
+) -> Result<Measured, CoreError> {
+    let total = plan.dims.total();
+    let input = signal::random_complex(total, cfg.seed);
+    let mut data = AlignedVec::from_slice(&input);
+    let mut work = AlignedVec::<Complex64>::zeroed(total);
+    let untraced = ExecConfig::default();
+
+    for _ in 0..cfg.warmup {
+        data.copy_from_slice(&input);
+        execute_with(plan, &mut data, &mut work, &untraced)?;
+    }
+
+    let mut times_ns = Vec::with_capacity(cfg.reps);
+    let mut executor = String::new();
+    for _ in 0..cfg.reps {
+        // The transform is in place, so each rep restores the input
+        // outside the timed region — input-for-input reproducible.
+        data.copy_from_slice(&input);
+        let t0 = Instant::now();
+        let report = execute_with(plan, &mut data, &mut work, &untraced)?;
+        times_ns.push(t0.elapsed().as_nanos() as f64);
+        executor = executor_label(&report.executor);
+    }
+
+    let (trace, traced_executor) = trace_once(plan, stream_gbs, cfg.seed)?;
+    if executor.is_empty() {
+        executor = traced_executor;
+    }
+    Ok(Measured {
+        times_ns,
+        trace,
+        executor,
+    })
+}
+
+/// Runs `plan` once with tracing enabled and aggregates the spans into
+/// a [`TraceReport`]. This is the single traced-run helper the
+/// `overlap_profile` binary and the bench suite share.
+pub fn trace_once(
+    plan: &FftPlan,
+    stream_gbs: Option<f64>,
+    seed: u64,
+) -> Result<(TraceReport, String), CoreError> {
+    let total = plan.dims.total();
+    let mut data = AlignedVec::from_slice(&signal::random_complex(total, seed));
+    let mut work = AlignedVec::<Complex64>::zeroed(total);
+    let collector = Arc::new(TraceCollector::new());
+    let cfg = ExecConfig {
+        trace: Some(Arc::clone(&collector)),
+        ..ExecConfig::default()
+    };
+    let report = execute_with(plan, &mut data, &mut work, &cfg)?;
+    let executor = executor_label(&report.executor);
+    let trace = profile::profile_report(&collector, plan, &executor, stream_gbs);
+    Ok((trace, executor))
+}
+
+/// Lower-case executor label used in trace/bench records
+/// (`"pipelined"`, `"fused"`).
+pub fn executor_label(kind: &bwfft_core::ExecutorKind) -> String {
+    format!("{kind:?}").to_lowercase()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwfft_core::Dims;
+
+    #[test]
+    fn measure_produces_sample_and_trace() {
+        let plan = FftPlan::builder(Dims::d2(16, 32))
+            .threads(1, 1)
+            .build()
+            .unwrap();
+        let m = measure_plan(
+            &plan,
+            &MeasureConfig {
+                warmup: 1,
+                reps: 3,
+                seed: 7,
+            },
+            Some(40.0),
+        )
+        .unwrap();
+        assert_eq!(m.times_ns.len(), 3);
+        assert!(m.times_ns.iter().all(|t| *t > 0.0));
+        assert_eq!(m.trace.stages.len(), 2);
+        assert_eq!(m.executor, "pipelined");
+    }
+
+    #[test]
+    fn trace_once_is_stage_complete() {
+        let plan = FftPlan::builder(Dims::d3(8, 8, 16))
+            .threads(1, 1)
+            .build()
+            .unwrap();
+        let (trace, executor) = trace_once(&plan, None, 1).unwrap();
+        assert_eq!(trace.stages.len(), 3);
+        assert_eq!(executor, "pipelined");
+        assert!(trace.total_wall_ns > 0);
+    }
+}

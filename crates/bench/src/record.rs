@@ -1,0 +1,492 @@
+//! The `bwfft-bench/1` record: one machine-readable performance point
+//! on the repo's trajectory.
+//!
+//! Every `bwfft-cli bench` run serializes a [`BenchReport`] into
+//! `BENCH_<gitrev>.json`. The record is self-describing enough that a
+//! regression found by comparing two of them is *attributable*: it
+//! carries the git revision, the host fingerprint it was measured on,
+//! the seed, the reference-machine roofline, and — per suite — the
+//! plan parameters, the robust timing summary, and the traced rep's
+//! per-stage overlap/bandwidth metrics.
+//!
+//! The JSON is hand-rolled over [`bwfft_trace::value`] (the same
+//! dependency-free layer `bwfft-trace/1` uses); floats round-trip
+//! exactly, `u64` stays exact, and [`from_json`]`(`[`to_json`]`(r)) ==
+//! r` (snapshot- and round-trip-tested in `tests/schema_bench.rs`).
+
+use crate::stats::SampleSummary;
+use bwfft_trace::value::{self, parse_document, push_escaped, push_f64, push_opt_f64, Value};
+use bwfft_tuner::HostFingerprint;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+/// Current schema tag. Bump the `/N` suffix on any breaking field
+/// change; the snapshot test in `tests/schema_bench.rs` pins it.
+pub const SCHEMA_VERSION: &str = "bwfft-bench/1";
+
+/// Per-stage attribution copied from the traced rep, so a regression
+/// names the stage that lost overlap or bandwidth.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StageMetric {
+    pub stage: usize,
+    /// Compute/transfer overlap fraction in `[0, 1]`.
+    pub overlap_fraction: f64,
+    /// Measured bandwidth of the stage, GB/s (None when unknown).
+    pub achieved_gbs: Option<f64>,
+    /// `100 · achieved / STREAM` against the anchor machine.
+    pub percent_of_stream: Option<f64>,
+}
+
+/// One suite case's result.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SuiteResult {
+    /// Stable pairing key (see [`crate::suite`]).
+    pub key: String,
+    /// Problem label, e.g. `"128x128"`.
+    pub label: String,
+    /// Executor that ran (`"pipelined"` / `"fused"`).
+    pub executor: String,
+    /// Data/compute thread split.
+    pub p_d: usize,
+    pub p_c: usize,
+    /// Buffer half-size in elements the plan actually used.
+    pub buffer_elems: usize,
+    /// Untimed warmup reps that preceded the sample.
+    pub warmup: usize,
+    /// Robust timing summary of the timed reps.
+    pub stats: SampleSummary,
+    /// Pseudo-Gflop/s at the median (`5·N·log2(N) / median`).
+    pub gflops: f64,
+    pub stages: Vec<StageMetric>,
+}
+
+/// A complete benchmark record — the unit of the perf trajectory.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchReport {
+    /// Always [`SCHEMA_VERSION`] when built by this crate.
+    pub schema: String,
+    /// Git revision the binary was built from (`"seed"`, `"a1b2c3d"`,
+    /// `"unknown"`).
+    pub git_rev: String,
+    /// Which canonical suite ran (`"smoke"`, `"fast"`, `"full"`).
+    pub suite_kind: String,
+    /// Input-signal seed: same seed ⇒ same input, element for element.
+    pub seed: u64,
+    /// Host the numbers were measured on.
+    pub fingerprint: HostFingerprint,
+    /// Machine preset anchoring the %-of-STREAM roofline.
+    pub anchor_machine: String,
+    /// That preset's STREAM bandwidth, GB/s.
+    pub stream_gbs: f64,
+    pub suites: Vec<SuiteResult>,
+}
+
+/// JSON import failure for `bwfft-bench/1` documents.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BenchJsonError {
+    Syntax { offset: usize, message: String },
+    Schema(String),
+    Version { found: String },
+}
+
+impl fmt::Display for BenchJsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchJsonError::Syntax { offset, message } => {
+                write!(f, "JSON syntax error at byte {offset}: {message}")
+            }
+            BenchJsonError::Schema(m) => write!(f, "JSON does not match bench schema: {m}"),
+            BenchJsonError::Version { found } => write!(
+                f,
+                "unsupported bench schema {found:?} (expected {SCHEMA_VERSION:?})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BenchJsonError {}
+
+/// Loading a BENCH file: I/O and schema failures, typed.
+#[derive(Debug)]
+pub enum BenchFileError {
+    Io { path: String, error: std::io::Error },
+    Json { path: String, error: BenchJsonError },
+}
+
+impl fmt::Display for BenchFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchFileError::Io { path, error } => write!(f, "{path}: {error}"),
+            BenchFileError::Json { path, error } => write!(f, "{path}: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchFileError {}
+
+// ---------------------------------------------------------------------------
+// Emitter
+// ---------------------------------------------------------------------------
+
+/// Serialize a report to a compact single-line JSON document.
+pub fn to_json(report: &BenchReport) -> String {
+    let mut out = String::with_capacity(512 + report.suites.len() * 512);
+    out.push_str("{\"schema\":");
+    push_escaped(&mut out, &report.schema);
+    out.push_str(",\"git_rev\":");
+    push_escaped(&mut out, &report.git_rev);
+    out.push_str(",\"suite_kind\":");
+    push_escaped(&mut out, &report.suite_kind);
+    out.push_str(&format!(",\"seed\":{}", report.seed));
+    out.push_str(&format!(
+        ",\"host\":{{\"cpus\":{},\"pin_works\":{},\"llc_bytes\":{}}}",
+        report.fingerprint.cpus, report.fingerprint.pin_works, report.fingerprint.llc_bytes
+    ));
+    out.push_str(",\"anchor_machine\":");
+    push_escaped(&mut out, &report.anchor_machine);
+    out.push_str(",\"stream_gbs\":");
+    push_f64(&mut out, report.stream_gbs);
+    out.push_str(",\"suites\":[");
+    for (i, s) in report.suites.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"key\":");
+        push_escaped(&mut out, &s.key);
+        out.push_str(",\"label\":");
+        push_escaped(&mut out, &s.label);
+        out.push_str(",\"executor\":");
+        push_escaped(&mut out, &s.executor);
+        out.push_str(&format!(
+            ",\"p_d\":{},\"p_c\":{},\"buffer_elems\":{},\"warmup\":{}",
+            s.p_d, s.p_c, s.buffer_elems, s.warmup
+        ));
+        out.push_str(&format!(
+            ",\"reps\":{},\"kept\":{}",
+            s.stats.n_raw, s.stats.n_kept
+        ));
+        for (name, v) in [
+            ("median_ns", s.stats.median_ns),
+            ("ci_lo_ns", s.stats.ci_lo_ns),
+            ("ci_hi_ns", s.stats.ci_hi_ns),
+            ("min_ns", s.stats.min_ns),
+            ("max_ns", s.stats.max_ns),
+            ("mad_ns", s.stats.mad_ns),
+            ("gflops", s.gflops),
+        ] {
+            out.push_str(&format!(",\"{name}\":"));
+            push_f64(&mut out, v);
+        }
+        out.push_str(",\"stages\":[");
+        for (j, st) in s.stages.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"stage\":{},\"overlap_fraction\":",
+                st.stage
+            ));
+            push_f64(&mut out, st.overlap_fraction);
+            out.push_str(",\"achieved_gbs\":");
+            push_opt_f64(&mut out, st.achieved_gbs);
+            out.push_str(",\"percent_of_stream\":");
+            push_opt_f64(&mut out, st.percent_of_stream);
+            out.push('}');
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+fn get<'v>(obj: &'v BTreeMap<String, Value>, key: &str) -> Result<&'v Value, BenchJsonError> {
+    obj.get(key)
+        .ok_or_else(|| BenchJsonError::Schema(format!("missing field {key:?}")))
+}
+
+fn as_str(v: &Value, key: &str) -> Result<String, BenchJsonError> {
+    v.as_str()
+        .map(str::to_string)
+        .ok_or_else(|| BenchJsonError::Schema(format!("{key:?} must be a string")))
+}
+
+fn as_u64(v: &Value, key: &str) -> Result<u64, BenchJsonError> {
+    v.as_u64()
+        .ok_or_else(|| BenchJsonError::Schema(format!("{key:?} must be a non-negative integer")))
+}
+
+fn as_usize(v: &Value, key: &str) -> Result<usize, BenchJsonError> {
+    v.as_usize()
+        .ok_or_else(|| BenchJsonError::Schema(format!("{key:?} out of range")))
+}
+
+fn as_bool(v: &Value, key: &str) -> Result<bool, BenchJsonError> {
+    v.as_bool()
+        .ok_or_else(|| BenchJsonError::Schema(format!("{key:?} must be a boolean")))
+}
+
+fn as_f64(v: &Value, key: &str) -> Result<f64, BenchJsonError> {
+    v.as_f64()
+        .ok_or_else(|| BenchJsonError::Schema(format!("{key:?} must be a number")))
+}
+
+fn as_opt_f64(v: &Value, key: &str) -> Result<Option<f64>, BenchJsonError> {
+    v.as_opt_f64()
+        .ok_or_else(|| BenchJsonError::Schema(format!("{key:?} must be number or null")))
+}
+
+fn as_obj<'v>(v: &'v Value, key: &str) -> Result<&'v BTreeMap<String, Value>, BenchJsonError> {
+    v.as_obj()
+        .ok_or_else(|| BenchJsonError::Schema(format!("{key:?} must be an object")))
+}
+
+fn as_arr<'v>(v: &'v Value, key: &str) -> Result<&'v [Value], BenchJsonError> {
+    v.as_arr()
+        .ok_or_else(|| BenchJsonError::Schema(format!("{key:?} must be an array")))
+}
+
+/// Parse a document produced by [`to_json`] back into a
+/// [`BenchReport`]. Rejects documents carrying a different
+/// [`SCHEMA_VERSION`].
+pub fn from_json(src: &str) -> Result<BenchReport, BenchJsonError> {
+    let root = parse_document(src).map_err(|value::ParseError { offset, message }| {
+        BenchJsonError::Syntax { offset, message }
+    })?;
+    let obj = as_obj(&root, "<root>")?;
+
+    let schema = as_str(get(obj, "schema")?, "schema")?;
+    if schema != SCHEMA_VERSION {
+        return Err(BenchJsonError::Version { found: schema });
+    }
+
+    let host = as_obj(get(obj, "host")?, "host")?;
+    let fingerprint = HostFingerprint {
+        cpus: as_usize(get(host, "cpus")?, "cpus")?,
+        pin_works: as_bool(get(host, "pin_works")?, "pin_works")?,
+        llc_bytes: as_usize(get(host, "llc_bytes")?, "llc_bytes")?,
+    };
+
+    let suites = as_arr(get(obj, "suites")?, "suites")?
+        .iter()
+        .map(|v| {
+            let s = as_obj(v, "suites[]")?;
+            let stages = as_arr(get(s, "stages")?, "stages")?
+                .iter()
+                .map(|v| {
+                    let st = as_obj(v, "stages[]")?;
+                    Ok(StageMetric {
+                        stage: as_usize(get(st, "stage")?, "stage")?,
+                        overlap_fraction: as_f64(
+                            get(st, "overlap_fraction")?,
+                            "overlap_fraction",
+                        )?,
+                        achieved_gbs: as_opt_f64(get(st, "achieved_gbs")?, "achieved_gbs")?,
+                        percent_of_stream: as_opt_f64(
+                            get(st, "percent_of_stream")?,
+                            "percent_of_stream",
+                        )?,
+                    })
+                })
+                .collect::<Result<Vec<_>, BenchJsonError>>()?;
+            Ok(SuiteResult {
+                key: as_str(get(s, "key")?, "key")?,
+                label: as_str(get(s, "label")?, "label")?,
+                executor: as_str(get(s, "executor")?, "executor")?,
+                p_d: as_usize(get(s, "p_d")?, "p_d")?,
+                p_c: as_usize(get(s, "p_c")?, "p_c")?,
+                buffer_elems: as_usize(get(s, "buffer_elems")?, "buffer_elems")?,
+                warmup: as_usize(get(s, "warmup")?, "warmup")?,
+                stats: SampleSummary {
+                    n_raw: as_usize(get(s, "reps")?, "reps")?,
+                    n_kept: as_usize(get(s, "kept")?, "kept")?,
+                    median_ns: as_f64(get(s, "median_ns")?, "median_ns")?,
+                    ci_lo_ns: as_f64(get(s, "ci_lo_ns")?, "ci_lo_ns")?,
+                    ci_hi_ns: as_f64(get(s, "ci_hi_ns")?, "ci_hi_ns")?,
+                    min_ns: as_f64(get(s, "min_ns")?, "min_ns")?,
+                    max_ns: as_f64(get(s, "max_ns")?, "max_ns")?,
+                    mad_ns: as_f64(get(s, "mad_ns")?, "mad_ns")?,
+                },
+                gflops: as_f64(get(s, "gflops")?, "gflops")?,
+                stages,
+            })
+        })
+        .collect::<Result<Vec<_>, BenchJsonError>>()?;
+
+    Ok(BenchReport {
+        schema,
+        git_rev: as_str(get(obj, "git_rev")?, "git_rev")?,
+        suite_kind: as_str(get(obj, "suite_kind")?, "suite_kind")?,
+        seed: as_u64(get(obj, "seed")?, "seed")?,
+        fingerprint,
+        anchor_machine: as_str(get(obj, "anchor_machine")?, "anchor_machine")?,
+        stream_gbs: as_f64(get(obj, "stream_gbs")?, "stream_gbs")?,
+        suites,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Files and naming
+// ---------------------------------------------------------------------------
+
+/// Writes the report (single line + trailing newline) to `path`.
+pub fn write_file(path: &Path, report: &BenchReport) -> Result<(), BenchFileError> {
+    let mut body = to_json(report);
+    body.push('\n');
+    std::fs::write(path, body).map_err(|error| BenchFileError::Io {
+        path: path.display().to_string(),
+        error,
+    })
+}
+
+/// Reads and parses a `BENCH_*.json` file.
+pub fn read_file(path: &Path) -> Result<BenchReport, BenchFileError> {
+    let body = std::fs::read_to_string(path).map_err(|error| BenchFileError::Io {
+        path: path.display().to_string(),
+        error,
+    })?;
+    from_json(body.trim_end()).map_err(|error| BenchFileError::Json {
+        path: path.display().to_string(),
+        error,
+    })
+}
+
+/// The conventional trajectory filename for a revision.
+pub fn bench_filename(git_rev: &str) -> String {
+    format!("BENCH_{git_rev}.json")
+}
+
+/// Best-effort short git revision: `BWFFT_GIT_REV` env override first
+/// (used to pin the checked-in baseline to `"seed"`), then
+/// `git rev-parse --short HEAD`, else `"unknown"`.
+pub fn detect_git_rev() -> String {
+    if let Ok(rev) = std::env::var("BWFFT_GIT_REV") {
+        let rev = rev.trim().to_string();
+        if !rev.is_empty() {
+            return rev;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample_report() -> BenchReport {
+        BenchReport {
+            schema: SCHEMA_VERSION.to_string(),
+            git_rev: "abc1234".to_string(),
+            suite_kind: "fast".to_string(),
+            seed: 42,
+            fingerprint: HostFingerprint {
+                cpus: 1,
+                pin_works: false,
+                llc_bytes: 8 << 20,
+            },
+            anchor_machine: "Intel Kaby Lake 7700K".to_string(),
+            stream_gbs: 35.8,
+            suites: vec![SuiteResult {
+                key: "fig9:64x64:pipelined".to_string(),
+                label: "64x64".to_string(),
+                executor: "pipelined".to_string(),
+                p_d: 1,
+                p_c: 1,
+                buffer_elems: 256,
+                warmup: 2,
+                stats: crate::stats::SampleSummary {
+                    n_raw: 5,
+                    n_kept: 4,
+                    median_ns: 123456.5,
+                    ci_lo_ns: 120000.0,
+                    ci_hi_ns: 130000.25,
+                    min_ns: 119000.0,
+                    max_ns: 131000.0,
+                    mad_ns: 2500.0,
+                },
+                gflops: 1.9921875,
+                stages: vec![
+                    StageMetric {
+                        stage: 0,
+                        overlap_fraction: 0.875,
+                        achieved_gbs: Some(10.5),
+                        percent_of_stream: Some(29.329_608_938_547_486),
+                    },
+                    StageMetric {
+                        stage: 1,
+                        overlap_fraction: 0.0,
+                        achieved_gbs: None,
+                        percent_of_stream: None,
+                    },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn round_trip_exact() {
+        let rep = sample_report();
+        let back = from_json(&to_json(&rep)).unwrap();
+        assert_eq!(back, rep);
+    }
+
+    #[test]
+    fn rejects_wrong_schema_version() {
+        let json = to_json(&sample_report()).replace(SCHEMA_VERSION, "bwfft-bench/999");
+        match from_json(&json) {
+            Err(BenchJsonError::Version { found }) => assert_eq!(found, "bwfft-bench/999"),
+            other => panic!("expected version error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(matches!(from_json(""), Err(BenchJsonError::Syntax { .. })));
+        assert!(matches!(from_json("{"), Err(BenchJsonError::Syntax { .. })));
+        assert!(matches!(from_json("[]"), Err(BenchJsonError::Schema(_))));
+        assert!(matches!(
+            from_json("{\"schema\":\"bwfft-bench/1\"}"),
+            Err(BenchJsonError::Schema(_))
+        ));
+    }
+
+    #[test]
+    fn file_round_trip_and_typed_io_errors() {
+        let dir = std::env::temp_dir().join("bwfft-bench-record-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(bench_filename("abc1234"));
+        let rep = sample_report();
+        write_file(&path, &rep).unwrap();
+        assert_eq!(read_file(&path).unwrap(), rep);
+        let missing = dir.join("BENCH_missing.json");
+        assert!(matches!(
+            read_file(&missing),
+            Err(BenchFileError::Io { .. })
+        ));
+        std::fs::write(dir.join("garbage.json"), "nope").unwrap();
+        assert!(matches!(
+            read_file(&dir.join("garbage.json")),
+            Err(BenchFileError::Json { .. })
+        ));
+    }
+
+    #[test]
+    fn git_rev_env_override_wins() {
+        // Can't mutate the process env safely in parallel tests; just
+        // check the fallback path produces *something* non-empty.
+        assert!(!detect_git_rev().is_empty());
+        assert_eq!(bench_filename("seed"), "BENCH_seed.json");
+    }
+}

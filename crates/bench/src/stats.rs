@@ -1,0 +1,295 @@
+//! The statistics engine behind every `BENCH_*.json` number.
+//!
+//! Benchmark samples on a shared VM are contaminated: scheduler
+//! preemption, cold caches on the first reps, the occasional 10×
+//! outlier. The paper's quantitative argument (80–90% of STREAM peak)
+//! only survives if the summary statistic is robust to that noise, so
+//! the pipeline is:
+//!
+//! 1. **MAD outlier rejection** — compute the sample median and the
+//!    median absolute deviation; drop points farther than
+//!    `k · 1.4826 · MAD` from the median (1.4826 makes MAD comparable
+//!    to a standard deviation under normality; `k = 3.5` by default).
+//!    The median itself is always within threshold, so rejection can
+//!    never empty a sample. A zero MAD (all-equal or majority-equal
+//!    samples) disables rejection entirely.
+//! 2. **Median** — the point estimate. Means are hostage to the very
+//!    outliers step 1 exists to contain.
+//! 3. **Bootstrap confidence interval** — percentile bootstrap over
+//!    `resamples` resamples-with-replacement of the kept sample,
+//!    driven by a deterministic [`SplitMix64`] stream so the same
+//!    sample and seed always yield the same interval. The interval is
+//!    widened to include the median, so `ci_lo ≤ median ≤ ci_hi` holds
+//!    by construction (property-tested).
+//!
+//! Degenerate inputs (`N = 1`, all-equal) produce a zero-width
+//! interval rather than a panic; empty or non-finite samples are typed
+//! errors. Nothing in this module panics on any input.
+
+use bwfft_num::signal::SplitMix64;
+use std::fmt;
+
+/// Knobs for [`summarize`]. The defaults are what `bwfft-cli bench`
+/// records into `BENCH_*.json`.
+#[derive(Clone, Debug)]
+pub struct StatsConfig {
+    /// MAD rejection threshold in (normal-consistent) sigma units.
+    pub mad_k: f64,
+    /// Bootstrap resample count.
+    pub resamples: usize,
+    /// Two-sided confidence level of the bootstrap interval.
+    pub confidence: f64,
+    /// Seed of the deterministic bootstrap resampling stream.
+    pub seed: u64,
+}
+
+impl Default for StatsConfig {
+    fn default() -> Self {
+        StatsConfig {
+            mad_k: 3.5,
+            resamples: 200,
+            confidence: 0.95,
+            seed: 0x000B_0075_7249,
+        }
+    }
+}
+
+/// Why a sample could not be summarized.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StatsError {
+    /// No data points at all.
+    EmptySample,
+    /// At least one point was NaN or infinite.
+    NonFinite,
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::EmptySample => write!(f, "cannot summarize an empty sample"),
+            StatsError::NonFinite => write!(f, "sample contains non-finite values"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+/// Robust summary of one benchmark sample (times in nanoseconds, but
+/// the math is unit-agnostic).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SampleSummary {
+    /// Points measured.
+    pub n_raw: usize,
+    /// Points surviving MAD rejection.
+    pub n_kept: usize,
+    /// Median of the kept points.
+    pub median_ns: f64,
+    /// Bootstrap confidence interval, widened to contain the median.
+    pub ci_lo_ns: f64,
+    pub ci_hi_ns: f64,
+    /// Extremes of the kept points.
+    pub min_ns: f64,
+    pub max_ns: f64,
+    /// Raw (unscaled) median absolute deviation of the raw sample.
+    pub mad_ns: f64,
+}
+
+impl SampleSummary {
+    /// Points rejected as outliers.
+    pub fn rejected(&self) -> usize {
+        self.n_raw - self.n_kept
+    }
+
+    /// Half-width of the confidence interval relative to the median,
+    /// in percent — the "noise bar" the compare gate reasons about.
+    pub fn ci_halfwidth_pct(&self) -> f64 {
+        if self.median_ns > 0.0 {
+            100.0 * (self.ci_hi_ns - self.ci_lo_ns) / (2.0 * self.median_ns)
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Median of an already-sorted slice; 0.0 for an empty one (callers
+/// guard emptiness — this keeps the helper total).
+fn median_sorted(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n == 0 {
+        0.0
+    } else if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    }
+}
+
+/// Median of an unsorted slice (copies and sorts).
+pub fn median(sample: &[f64]) -> f64 {
+    let mut v = sample.to_vec();
+    v.sort_unstable_by(f64::total_cmp);
+    median_sorted(&v)
+}
+
+/// Raw median absolute deviation around the sample median.
+pub fn mad(sample: &[f64]) -> f64 {
+    let med = median(sample);
+    let devs: Vec<f64> = sample.iter().map(|x| (x - med).abs()).collect();
+    median(&devs)
+}
+
+/// MAD outlier rejection: keeps points within `k · 1.4826 · MAD` of
+/// the median. Returns the kept points in input order.
+///
+/// Invariants (property-tested in `tests/proptest_stats.rs`):
+/// * never returns an empty vector for a non-empty input — the median
+///   is at distance ≤ MAD-threshold from itself;
+/// * a zero MAD keeps everything (degenerate majority-equal samples
+///   must not reject the honest minority).
+pub fn reject_outliers(sample: &[f64], k: f64) -> Vec<f64> {
+    let m = mad(sample);
+    if m == 0.0 || !m.is_finite() || sample.len() < 3 {
+        return sample.to_vec();
+    }
+    let med = median(sample);
+    let threshold = k * 1.4826 * m;
+    let kept: Vec<f64> = sample
+        .iter()
+        .copied()
+        .filter(|x| (x - med).abs() <= threshold)
+        .collect();
+    if kept.is_empty() {
+        // Unreachable for finite k ≥ 0 (the median always survives),
+        // but the guarantee must not depend on that argument.
+        sample.to_vec()
+    } else {
+        kept
+    }
+}
+
+/// Percentile (nearest-rank, `q` in `[0, 1]`) of a sorted slice.
+fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Percentile-bootstrap confidence interval of the median, widened to
+/// contain the sample median. Deterministic for a given seed.
+pub fn bootstrap_ci(sample: &[f64], cfg: &StatsConfig) -> (f64, f64) {
+    let med = median(sample);
+    if sample.len() < 2 || cfg.resamples == 0 {
+        return (med, med);
+    }
+    let mut rng = SplitMix64::new(cfg.seed);
+    let mut medians = Vec::with_capacity(cfg.resamples);
+    let mut resample = vec![0.0; sample.len()];
+    for _ in 0..cfg.resamples {
+        for slot in resample.iter_mut() {
+            let idx = (rng.next_u64() % sample.len() as u64) as usize;
+            *slot = sample[idx];
+        }
+        medians.push(median(&resample));
+    }
+    medians.sort_unstable_by(f64::total_cmp);
+    let alpha = (1.0 - cfg.confidence.clamp(0.0, 1.0)) / 2.0;
+    let lo = percentile_sorted(&medians, alpha);
+    let hi = percentile_sorted(&medians, 1.0 - alpha);
+    // Percentile bootstrap of a median can land strictly on one side of
+    // the sample median for tiny/skewed samples; the interval is a
+    // statement about the point estimate, so make it bracket it.
+    (lo.min(med), hi.max(med))
+}
+
+/// Full pipeline: validate → MAD-reject → median → bootstrap CI.
+pub fn summarize(sample: &[f64], cfg: &StatsConfig) -> Result<SampleSummary, StatsError> {
+    if sample.is_empty() {
+        return Err(StatsError::EmptySample);
+    }
+    if sample.iter().any(|x| !x.is_finite()) {
+        return Err(StatsError::NonFinite);
+    }
+    let kept = reject_outliers(sample, cfg.mad_k);
+    let mut sorted = kept.clone();
+    sorted.sort_unstable_by(f64::total_cmp);
+    let med = median_sorted(&sorted);
+    let (ci_lo, ci_hi) = bootstrap_ci(&kept, cfg);
+    Ok(SampleSummary {
+        n_raw: sample.len(),
+        n_kept: kept.len(),
+        median_ns: med,
+        ci_lo_ns: ci_lo,
+        ci_hi_ns: ci_hi,
+        min_ns: sorted[0],
+        max_ns: sorted[sorted.len() - 1],
+        mad_ns: mad(sample),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_nonfinite_are_typed_errors() {
+        let cfg = StatsConfig::default();
+        assert_eq!(summarize(&[], &cfg), Err(StatsError::EmptySample));
+        assert_eq!(summarize(&[1.0, f64::NAN], &cfg), Err(StatsError::NonFinite));
+        assert_eq!(
+            summarize(&[f64::INFINITY], &cfg),
+            Err(StatsError::NonFinite)
+        );
+    }
+
+    #[test]
+    fn single_point_is_a_zero_width_interval() {
+        let s = summarize(&[42.0], &StatsConfig::default()).unwrap();
+        assert_eq!(s.median_ns, 42.0);
+        assert_eq!((s.ci_lo_ns, s.ci_hi_ns), (42.0, 42.0));
+        assert_eq!(s.n_kept, 1);
+        assert_eq!(s.ci_halfwidth_pct(), 0.0);
+    }
+
+    #[test]
+    fn all_equal_sample_does_not_reject_or_panic() {
+        let s = summarize(&[7.0; 16], &StatsConfig::default()).unwrap();
+        assert_eq!(s.median_ns, 7.0);
+        assert_eq!(s.rejected(), 0);
+        assert_eq!((s.ci_lo_ns, s.ci_hi_ns), (7.0, 7.0));
+    }
+
+    #[test]
+    fn gross_outlier_is_rejected() {
+        let mut sample = vec![100.0; 19];
+        // Perturb slightly so MAD is nonzero.
+        for (i, x) in sample.iter_mut().enumerate() {
+            *x += (i as f64) * 0.1;
+        }
+        sample.push(10_000.0);
+        let s = summarize(&sample, &StatsConfig::default()).unwrap();
+        assert_eq!(s.rejected(), 1);
+        assert!(s.max_ns < 200.0, "outlier must not survive: {}", s.max_ns);
+    }
+
+    #[test]
+    fn bootstrap_is_deterministic_and_brackets_median() {
+        let sample: Vec<f64> = (0..25).map(|i| 100.0 + (i * 37 % 11) as f64).collect();
+        let cfg = StatsConfig::default();
+        let a = summarize(&sample, &cfg).unwrap();
+        let b = summarize(&sample, &cfg).unwrap();
+        assert_eq!(a, b);
+        assert!(a.ci_lo_ns <= a.median_ns && a.median_ns <= a.ci_hi_ns);
+        let mut cfg2 = cfg.clone();
+        cfg2.seed ^= 1;
+        let c = summarize(&sample, &cfg2).unwrap();
+        assert!(c.ci_lo_ns <= c.median_ns && c.median_ns <= c.ci_hi_ns);
+    }
+
+    #[test]
+    fn median_even_odd() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+}

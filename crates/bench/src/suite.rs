@@ -1,0 +1,197 @@
+//! The canonical benchmark suite behind `BENCH_*.json`.
+//!
+//! A curated, *stable* set of cases derived from the paper's artifacts
+//! — the fig. 9 2D sweep, the fig. 1 3D cube family, and the table 2
+//! buffer-size ablation — scaled down so the whole suite runs in
+//! seconds on the 1-core CI VM. Each case carries a stable `key`
+//! (`fig9:128x128:pipelined`, …): the compare gate pairs suites across
+//! BENCH files by this key, so renaming a key is a schema-level event
+//! (the pairing silently drops, and the gate reports it as unpaired).
+//!
+//! Every shape runs through **both executors** — the pipelined
+//! double-buffer path and the fused serial counterfactual — because a
+//! regression that hits only one of them localizes the fault (overlap
+//! machinery vs. kernels).
+
+use bwfft_core::{Dims, ExecutorKind, FftPlan, PlanError};
+
+/// How much of the canonical suite to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SuiteKind {
+    /// Two tiny cases; CI smoke (`verify.sh`) only.
+    Smoke,
+    /// The default trajectory suite (~10 cases, seconds of runtime).
+    Fast,
+    /// Fast plus larger shapes; for quiet machines.
+    Full,
+}
+
+impl SuiteKind {
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "smoke" => Some(SuiteKind::Smoke),
+            "fast" => Some(SuiteKind::Fast),
+            "full" => Some(SuiteKind::Full),
+            _ => None,
+        }
+    }
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            SuiteKind::Smoke => "smoke",
+            SuiteKind::Fast => "fast",
+            SuiteKind::Full => "full",
+        }
+    }
+}
+
+/// One benchmark case: a shape, an executor, and plan parameters.
+#[derive(Clone, Debug)]
+pub struct SuiteCase {
+    /// Stable pairing key, e.g. `"fig9:128x128:pipelined"`.
+    pub key: String,
+    pub dims: Dims,
+    pub executor: ExecutorKind,
+    /// Data/compute thread split.
+    pub p_d: usize,
+    pub p_c: usize,
+    /// Buffer half-size in elements; `None` uses the planner default.
+    pub buffer_elems: Option<usize>,
+}
+
+/// Compact dims token for keys: `"64x64"`, `"16x16x32"` (no
+/// dimensionality prefix — [`Dims::label`] is for humans).
+fn dims_token(dims: Dims) -> String {
+    match dims {
+        Dims::Two { n, m } => format!("{n}x{m}"),
+        Dims::Three { k, n, m } => format!("{k}x{n}x{m}"),
+    }
+}
+
+impl SuiteCase {
+    fn new(family: &str, dims: Dims, executor: ExecutorKind) -> Self {
+        let exec = match executor {
+            ExecutorKind::Pipelined => "pipelined",
+            ExecutorKind::Fused => "fused",
+        };
+        SuiteCase {
+            key: format!("{family}:{}:{exec}", dims_token(dims)),
+            dims,
+            executor,
+            p_d: 1,
+            p_c: 1,
+            buffer_elems: None,
+        }
+    }
+
+    fn with_buffer(mut self, b: usize) -> Self {
+        self.buffer_elems = Some(b);
+        self.key = format!("{}:b{b}", self.key);
+        self
+    }
+
+    /// Builds the plan this case describes (including the executor
+    /// override for fused counterfactuals).
+    pub fn build_plan(&self) -> Result<FftPlan, PlanError> {
+        let mut builder = FftPlan::builder(self.dims).threads(self.p_d, self.p_c);
+        if let Some(b) = self.buffer_elems {
+            builder = builder.buffer_elems(b);
+        }
+        let mut plan = builder.build()?;
+        plan.executor = self.executor;
+        Ok(plan)
+    }
+}
+
+/// The canonical case list for a suite size.
+pub fn suite(kind: SuiteKind) -> Vec<SuiteCase> {
+    use ExecutorKind::{Fused, Pipelined};
+    let mut cases = vec![
+        // Smoke: one tiny shape through both executors.
+        SuiteCase::new("fig9", Dims::d2(64, 64), Pipelined),
+        SuiteCase::new("fig9", Dims::d2(64, 64), Fused),
+    ];
+    if kind == SuiteKind::Smoke {
+        return cases;
+    }
+    // Fig. 9 family: 2D sweep (paper: 1024x512 … 8192x8192, scaled
+    // ~1/64 per axis for the VM), pipelined, plus one fused twin.
+    cases.extend([
+        SuiteCase::new("fig9", Dims::d2(128, 64), Pipelined),
+        SuiteCase::new("fig9", Dims::d2(128, 128), Pipelined),
+        SuiteCase::new("fig9", Dims::d2(256, 128), Pipelined),
+        SuiteCase::new("fig9", Dims::d2(128, 128), Fused),
+    ]);
+    // Fig. 1 family: 3D cubes (paper: 512³/1024³ mixes).
+    cases.extend([
+        SuiteCase::new("fig1", Dims::d3(16, 16, 32), Pipelined),
+        SuiteCase::new("fig1", Dims::d3(32, 32, 32), Pipelined),
+        SuiteCase::new("fig1", Dims::d3(32, 32, 32), Fused),
+    ]);
+    // Table 2 family: same shape, two buffer sizes — the double-buffer
+    // size ablation (paper: b = LLC/2 vs. smaller).
+    cases.extend([
+        SuiteCase::new("table2", Dims::d2(128, 128), Pipelined).with_buffer(1 << 10),
+        SuiteCase::new("table2", Dims::d2(128, 128), Pipelined).with_buffer(1 << 12),
+    ]);
+    if kind == SuiteKind::Full {
+        cases.extend([
+            SuiteCase::new("fig9", Dims::d2(512, 256), Pipelined),
+            SuiteCase::new("fig9", Dims::d2(512, 512), Pipelined),
+            SuiteCase::new("fig1", Dims::d3(64, 32, 32), Pipelined),
+            SuiteCase::new("fig1", Dims::d3(64, 64, 64), Pipelined),
+        ]);
+    }
+    cases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn keys_are_unique_and_stable() {
+        for kind in [SuiteKind::Smoke, SuiteKind::Fast, SuiteKind::Full] {
+            let cases = suite(kind);
+            let keys: HashSet<&str> = cases.iter().map(|c| c.key.as_str()).collect();
+            assert_eq!(keys.len(), cases.len(), "duplicate keys in {kind:?}");
+        }
+        // The pairing contract: these exact keys are in every suite.
+        let smoke = suite(SuiteKind::Smoke);
+        assert_eq!(smoke[0].key, "fig9:64x64:pipelined");
+        assert_eq!(smoke[1].key, "fig9:64x64:fused");
+    }
+
+    #[test]
+    fn smoke_is_a_prefix_of_fast_is_a_prefix_of_full() {
+        let smoke = suite(SuiteKind::Smoke);
+        let fast = suite(SuiteKind::Fast);
+        let full = suite(SuiteKind::Full);
+        assert!(smoke.len() < fast.len() && fast.len() < full.len());
+        for (a, b) in smoke.iter().zip(&fast) {
+            assert_eq!(a.key, b.key);
+        }
+        for (a, b) in fast.iter().zip(&full) {
+            assert_eq!(a.key, b.key);
+        }
+    }
+
+    #[test]
+    fn every_case_plans() {
+        for case in suite(SuiteKind::Full) {
+            let plan = case.build_plan().unwrap_or_else(|e| {
+                panic!("case {} failed to plan: {e}", case.key);
+            });
+            assert_eq!(plan.executor, case.executor);
+        }
+    }
+
+    #[test]
+    fn suite_kind_parses() {
+        assert_eq!(SuiteKind::parse("fast"), Some(SuiteKind::Fast));
+        assert_eq!(SuiteKind::parse("smoke"), Some(SuiteKind::Smoke));
+        assert_eq!(SuiteKind::parse("full"), Some(SuiteKind::Full));
+        assert_eq!(SuiteKind::parse("medium"), None);
+    }
+}

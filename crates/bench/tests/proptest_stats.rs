@@ -1,0 +1,98 @@
+//! Property tests for the statistics engine (DESIGN.md §9).
+//!
+//! The properties are the contracts the rest of the harness builds on:
+//!
+//! * `summarize` never panics and never returns an empty kept-set —
+//!   MAD rejection keeps the median by construction;
+//! * the bootstrap interval always brackets the median
+//!   (`ci_lo ≤ median ≤ ci_hi`), for any sample, seed and confidence;
+//! * the whole pipeline is deterministic: same sample + same config ⇒
+//!   identical summary, bit for bit;
+//! * degenerate samples (`N = 1`, all-equal) degrade to a zero-width
+//!   interval instead of panicking or erroring.
+
+use bwfft_bench::stats::{
+    bootstrap_ci, median, reject_outliers, summarize, StatsConfig, StatsError,
+};
+use proptest::prelude::*;
+
+/// Positive, finite, benchmark-plausible times in nanoseconds.
+fn times() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(1.0f64..1e12, 1..64)
+}
+
+proptest! {
+    #[test]
+    fn mad_rejection_never_empties_and_keeps_the_median(
+        sample in times(),
+        k in 0.0f64..10.0,
+    ) {
+        let kept = reject_outliers(&sample, k);
+        prop_assert!(!kept.is_empty(), "rejection emptied a {}-point sample", sample.len());
+        prop_assert!(kept.len() <= sample.len());
+        // Every kept point is an actual sample point.
+        for x in &kept {
+            prop_assert!(sample.contains(x));
+        }
+        // For any useful threshold (k·1.4826 ≥ 1) the middle of the
+        // sample survives: every point's deviation from the median is
+        // at least that of the middle point(s), so MAD already covers
+        // them. (Below that, only the non-emptiness fallback holds.)
+        if k * 1.4826 >= 1.0 {
+            let med = median(&sample);
+            let lo = kept.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = kept.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(lo <= med && med <= hi, "kept [{lo}, {hi}] excludes median {med}");
+        }
+    }
+
+    #[test]
+    fn bootstrap_ci_brackets_the_median(
+        sample in times(),
+        seed in any::<u64>(),
+        resamples in 0usize..300,
+        confidence in 0.5f64..0.999,
+    ) {
+        let cfg = StatsConfig { seed, resamples, confidence, ..StatsConfig::default() };
+        let med = median(&sample);
+        let (lo, hi) = bootstrap_ci(&sample, &cfg);
+        prop_assert!(lo.is_finite() && hi.is_finite());
+        prop_assert!(lo <= med && med <= hi, "CI [{lo}, {hi}] excludes median {med}");
+    }
+
+    #[test]
+    fn summarize_is_total_and_deterministic(sample in times(), seed in any::<u64>()) {
+        let cfg = StatsConfig { seed, ..StatsConfig::default() };
+        let a = summarize(&sample, &cfg).unwrap();
+        let b = summarize(&sample, &cfg).unwrap();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.n_raw, sample.len());
+        prop_assert!(a.n_kept >= 1 && a.n_kept <= a.n_raw);
+        prop_assert!(a.ci_lo_ns <= a.median_ns && a.median_ns <= a.ci_hi_ns);
+        prop_assert!(a.min_ns <= a.median_ns && a.median_ns <= a.max_ns);
+        prop_assert!(a.ci_halfwidth_pct() >= 0.0);
+    }
+
+    #[test]
+    fn degenerate_all_equal_samples_are_zero_width(v in 1.0f64..1e12, n in 1usize..32) {
+        let sample = vec![v; n];
+        let s = summarize(&sample, &StatsConfig::default()).unwrap();
+        prop_assert_eq!(s.median_ns, v);
+        prop_assert_eq!((s.ci_lo_ns, s.ci_hi_ns), (v, v));
+        prop_assert_eq!(s.rejected(), 0);
+    }
+}
+
+#[test]
+fn empty_and_non_finite_are_errors_not_panics() {
+    let cfg = StatsConfig::default();
+    assert_eq!(summarize(&[], &cfg), Err(StatsError::EmptySample));
+    assert_eq!(
+        summarize(&[1.0, f64::NAN, 2.0], &cfg),
+        Err(StatsError::NonFinite)
+    );
+    assert_eq!(
+        summarize(&[f64::NEG_INFINITY], &cfg),
+        Err(StatsError::NonFinite)
+    );
+}

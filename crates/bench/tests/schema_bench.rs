@@ -1,0 +1,167 @@
+//! Schema tests for the `bwfft-bench/1` record: an exact byte-level
+//! snapshot of a pinned report, lossless round-trips over arbitrary
+//! reports, and version rejection. Any change to the emitted bytes
+//! must be deliberate — bump the `/N` suffix and update DESIGN.md §9.
+
+use bwfft_bench::record::{
+    from_json, to_json, BenchJsonError, BenchReport, StageMetric, SuiteResult, SCHEMA_VERSION,
+};
+use bwfft_bench::stats::SampleSummary;
+use bwfft_tuner::HostFingerprint;
+use proptest::prelude::*;
+
+fn pinned_report() -> BenchReport {
+    BenchReport {
+        schema: SCHEMA_VERSION.to_string(),
+        git_rev: "abc1234".to_string(),
+        suite_kind: "fast".to_string(),
+        seed: 42,
+        fingerprint: HostFingerprint {
+            cpus: 1,
+            pin_works: false,
+            llc_bytes: 8 << 20,
+        },
+        anchor_machine: "Intel Kaby Lake 7700K".to_string(),
+        stream_gbs: 35.8,
+        suites: vec![SuiteResult {
+            key: "fig9:64x64:pipelined".to_string(),
+            label: "64x64".to_string(),
+            executor: "pipelined".to_string(),
+            p_d: 1,
+            p_c: 1,
+            buffer_elems: 256,
+            warmup: 2,
+            stats: SampleSummary {
+                n_raw: 5,
+                n_kept: 4,
+                median_ns: 123456.5,
+                ci_lo_ns: 120000.0,
+                ci_hi_ns: 130000.25,
+                min_ns: 119000.0,
+                max_ns: 131000.0,
+                mad_ns: 2500.0,
+            },
+            gflops: 1.9921875,
+            stages: vec![
+                StageMetric {
+                    stage: 0,
+                    overlap_fraction: 0.875,
+                    achieved_gbs: Some(10.5),
+                    percent_of_stream: Some(29.329_608_938_547_487),
+                },
+                StageMetric {
+                    stage: 1,
+                    overlap_fraction: 0.0,
+                    achieved_gbs: None,
+                    percent_of_stream: None,
+                },
+            ],
+        }],
+    }
+}
+
+/// The exact bytes `to_json` must produce for [`pinned_report`]. This
+/// is the schema contract: field order, float formatting (shortest
+/// round-trip), exact integers, `null` for absent options.
+const SNAPSHOT: &str = "{\"schema\":\"bwfft-bench/1\",\"git_rev\":\"abc1234\",\"suite_kind\":\"fast\",\"seed\":42,\"host\":{\"cpus\":1,\"pin_works\":false,\"llc_bytes\":8388608},\"anchor_machine\":\"Intel Kaby Lake 7700K\",\"stream_gbs\":35.8,\"suites\":[{\"key\":\"fig9:64x64:pipelined\",\"label\":\"64x64\",\"executor\":\"pipelined\",\"p_d\":1,\"p_c\":1,\"buffer_elems\":256,\"warmup\":2,\"reps\":5,\"kept\":4,\"median_ns\":123456.5,\"ci_lo_ns\":120000.0,\"ci_hi_ns\":130000.25,\"min_ns\":119000.0,\"max_ns\":131000.0,\"mad_ns\":2500.0,\"gflops\":1.9921875,\"stages\":[{\"stage\":0,\"overlap_fraction\":0.875,\"achieved_gbs\":10.5,\"percent_of_stream\":29.329608938547487},{\"stage\":1,\"overlap_fraction\":0.0,\"achieved_gbs\":null,\"percent_of_stream\":null}]}]}";
+
+#[test]
+fn schema_snapshot_is_byte_exact() {
+    assert_eq!(SCHEMA_VERSION, "bwfft-bench/1");
+    let json = to_json(&pinned_report());
+    assert_eq!(json, SNAPSHOT);
+    assert!(!json.contains('\n'), "BENCH records must stay single-line");
+    // And the snapshot parses back to the identical report.
+    assert_eq!(from_json(SNAPSHOT).unwrap(), pinned_report());
+}
+
+#[test]
+fn other_versions_are_rejected_not_misread() {
+    let altered = SNAPSHOT.replace("bwfft-bench/1", "bwfft-bench/999");
+    match from_json(&altered) {
+        Err(BenchJsonError::Version { found }) => assert_eq!(found, "bwfft-bench/999"),
+        other => panic!("expected version rejection, got {other:?}"),
+    }
+}
+
+/// Strategy for one stage metric with awkward-but-finite floats
+/// (`None` options exercised via the paired booleans — the vendored
+/// proptest shim has no `prop::option`).
+fn stage_strategy() -> impl Strategy<Value = StageMetric> {
+    (
+        0usize..4,
+        0.0f64..1.0,
+        (any::<bool>(), 0.0f64..1e3),
+        (any::<bool>(), 0.0f64..200.0),
+    )
+        .prop_map(|(stage, overlap_fraction, gbs, pct)| StageMetric {
+            stage,
+            overlap_fraction,
+            achieved_gbs: gbs.0.then_some(gbs.1),
+            percent_of_stream: pct.0.then_some(pct.1),
+        })
+}
+
+fn suite_strategy() -> impl Strategy<Value = SuiteResult> {
+    (
+        any::<u32>(),
+        1usize..=8,
+        prop::collection::vec(1.0f64..1e12, 1..6),
+        prop::collection::vec(stage_strategy(), 0..4),
+    )
+        .prop_map(|(key_id, threads, times, stages)| {
+            let key = format!("fig9:{}x{}:pipelined", key_id % 512, key_id % 256);
+            let n = times.len();
+            let med = times[n / 2];
+            SuiteResult {
+                label: key.clone(),
+                key,
+                executor: "pipelined".to_string(),
+                p_d: threads,
+                p_c: threads,
+                buffer_elems: 1 << 10,
+                warmup: 2,
+                stats: SampleSummary {
+                    n_raw: n,
+                    n_kept: n,
+                    median_ns: med,
+                    ci_lo_ns: med * 0.9,
+                    ci_hi_ns: med * 1.1,
+                    min_ns: med * 0.8,
+                    max_ns: med * 1.2,
+                    mad_ns: med * 0.05,
+                },
+                gflops: 1e3 / med,
+                stages,
+            }
+        })
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_reports_round_trip_losslessly(
+        rev_bits in any::<u32>(),
+        seed in any::<u64>(),
+        cpus in 1usize..256,
+        pin_works in any::<bool>(),
+        llc_bytes in 0usize..(1 << 30),
+        stream_gbs in 1.0f64..200.0,
+        suites in prop::collection::vec(suite_strategy(), 0..5),
+    ) {
+        let rep = BenchReport {
+            schema: SCHEMA_VERSION.to_string(),
+            git_rev: format!("{:07x}", rev_bits & 0x0fff_ffff),
+            suite_kind: "fast".to_string(),
+            seed,
+            fingerprint: HostFingerprint { cpus, pin_works, llc_bytes },
+            anchor_machine: "machine \"quoted\" µ✓".to_string(),
+            stream_gbs,
+            suites,
+        };
+        let json = to_json(&rep);
+        let back = from_json(&json).map_err(|e| TestCaseError::Fail(format!("parse: {e}")))?;
+        prop_assert_eq!(&back, &rep);
+        // Idempotence: serializing the parsed report is byte-identical.
+        prop_assert_eq!(to_json(&back), json);
+    }
+}

@@ -33,6 +33,7 @@ use std::fmt;
 
 use crate::aggregate::{StageProfile, TraceReport};
 use crate::event::{MarkEvent, MarkKind};
+use crate::value::{self, parse_document, push_escaped, push_f64, push_opt_f64, Value};
 
 /// Current export schema tag. Bump the `/N` suffix on any breaking
 /// field change; the snapshot test in `tests/proptest_trace.rs` pins it.
@@ -69,41 +70,6 @@ impl std::error::Error for JsonError {}
 // ---------------------------------------------------------------------------
 // Emitter
 // ---------------------------------------------------------------------------
-
-fn push_escaped(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-fn push_f64(out: &mut String, v: f64) {
-    if v.is_finite() {
-        // `{:?}` is Rust's shortest representation that round-trips
-        // through `str::parse::<f64>` exactly.
-        out.push_str(&format!("{v:?}"));
-    } else {
-        out.push_str("null");
-    }
-}
-
-fn push_opt_f64(out: &mut String, v: Option<f64>) {
-    match v {
-        Some(v) => push_f64(out, v),
-        None => out.push_str("null"),
-    }
-}
 
 /// Serialize a report to a compact single-line JSON document.
 pub fn to_json(report: &TraceReport) -> String {
@@ -159,223 +125,7 @@ pub fn to_json(report: &TraceReport) -> String {
 }
 
 // ---------------------------------------------------------------------------
-// Parser
-// ---------------------------------------------------------------------------
-
-/// A generic parsed JSON value (minimal — enough for the trace schema).
-#[derive(Clone, Debug, PartialEq)]
-enum Value {
-    Null,
-    Bool(bool),
-    /// Unsigned integer literal, kept exact: `u64` nanosecond
-    /// timestamps exceed 2^53 and must not detour through f64.
-    Int(u64),
-    Num(f64),
-    Str(String),
-    Arr(Vec<Value>),
-    Obj(BTreeMap<String, Value>),
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn new(src: &'a str) -> Self {
-        Parser {
-            bytes: src.as_bytes(),
-            pos: 0,
-        }
-    }
-
-    fn err(&self, message: impl Into<String>) -> JsonError {
-        JsonError::Syntax {
-            offset: self.pos,
-            message: message.into(),
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn bump(&mut self) -> Option<u8> {
-        let b = self.peek();
-        if b.is_some() {
-            self.pos += 1;
-        }
-        b
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-            self.pos += 1;
-        }
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
-        self.skip_ws();
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(self.err(format!("expected {:?}", b as char)))
-        }
-    }
-
-    fn eat_keyword(&mut self, kw: &str, value: Value) -> Result<Value, JsonError> {
-        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
-            self.pos += kw.len();
-            Ok(value)
-        } else {
-            Err(self.err(format!("expected {kw}")))
-        }
-    }
-
-    fn parse_value(&mut self) -> Result<Value, JsonError> {
-        self.skip_ws();
-        match self.peek() {
-            Some(b'{') => self.parse_object(),
-            Some(b'[') => self.parse_array(),
-            Some(b'"') => self.parse_string().map(Value::Str),
-            Some(b'n') => self.eat_keyword("null", Value::Null),
-            Some(b't') => self.eat_keyword("true", Value::Bool(true)),
-            Some(b'f') => self.eat_keyword("false", Value::Bool(false)),
-            Some(b'-' | b'0'..=b'9') => self.parse_number(),
-            Some(c) => Err(self.err(format!("unexpected {:?}", c as char))),
-            None => Err(self.err("unexpected end of input")),
-        }
-    }
-
-    fn parse_object(&mut self) -> Result<Value, JsonError> {
-        self.expect(b'{')?;
-        let mut map = BTreeMap::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Value::Obj(map));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.parse_string()?;
-            self.expect(b':')?;
-            let val = self.parse_value()?;
-            map.insert(key, val);
-            self.skip_ws();
-            match self.bump() {
-                Some(b',') => continue,
-                Some(b'}') => return Ok(Value::Obj(map)),
-                _ => return Err(self.err("expected ',' or '}'")),
-            }
-        }
-    }
-
-    fn parse_array(&mut self) -> Result<Value, JsonError> {
-        self.expect(b'[')?;
-        let mut arr = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Value::Arr(arr));
-        }
-        loop {
-            arr.push(self.parse_value()?);
-            self.skip_ws();
-            match self.bump() {
-                Some(b',') => continue,
-                Some(b']') => return Ok(Value::Arr(arr)),
-                _ => return Err(self.err("expected ',' or ']'")),
-            }
-        }
-    }
-
-    fn parse_string(&mut self) -> Result<String, JsonError> {
-        self.skip_ws();
-        if self.bump() != Some(b'"') {
-            return Err(self.err("expected string"));
-        }
-        let mut out = String::new();
-        loop {
-            match self.bump() {
-                None => return Err(self.err("unterminated string")),
-                Some(b'"') => return Ok(out),
-                Some(b'\\') => match self.bump() {
-                    Some(b'"') => out.push('"'),
-                    Some(b'\\') => out.push('\\'),
-                    Some(b'/') => out.push('/'),
-                    Some(b'n') => out.push('\n'),
-                    Some(b'r') => out.push('\r'),
-                    Some(b't') => out.push('\t'),
-                    Some(b'b') => out.push('\u{8}'),
-                    Some(b'f') => out.push('\u{c}'),
-                    Some(b'u') => {
-                        let hex = self
-                            .bytes
-                            .get(self.pos..self.pos + 4)
-                            .and_then(|h| std::str::from_utf8(h).ok())
-                            .ok_or_else(|| self.err("bad \\u escape"))?;
-                        let code = u32::from_str_radix(hex, 16)
-                            .map_err(|_| self.err("bad \\u escape"))?;
-                        self.pos += 4;
-                        // Surrogate pairs are not emitted by our writer;
-                        // map lone surrogates to U+FFFD.
-                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
-                    }
-                    _ => return Err(self.err("bad escape")),
-                },
-                Some(b) if b < 0x20 => return Err(self.err("control char in string")),
-                Some(b) => {
-                    // Re-assemble multi-byte UTF-8 (input is a &str, so
-                    // the bytes are valid UTF-8 by construction).
-                    let len = utf8_len(b);
-                    let start = self.pos - 1;
-                    self.pos = start + len;
-                    if let Ok(chunk) = std::str::from_utf8(&self.bytes[start..self.pos]) {
-                        out.push_str(chunk);
-                    }
-                }
-            }
-        }
-    }
-
-    fn parse_number(&mut self) -> Result<Value, JsonError> {
-        let start = self.pos;
-        if self.peek() == Some(b'-') {
-            self.pos += 1;
-        }
-        while matches!(
-            self.peek(),
-            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
-        ) {
-            self.pos += 1;
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| self.err("bad number"))?;
-        // Plain unsigned integers stay exact (f64 truncates above
-        // 2^53); anything fractional, signed or exponential is a float.
-        if !text.starts_with('-') && !text.contains(['.', 'e', 'E']) {
-            if let Ok(i) = text.parse::<u64>() {
-                return Ok(Value::Int(i));
-            }
-        }
-        text.parse::<f64>()
-            .map(Value::Num)
-            .map_err(|_| self.err("bad number"))
-    }
-}
-
-fn utf8_len(first: u8) -> usize {
-    match first {
-        0xF0..=0xF7 => 4,
-        0xE0..=0xEF => 3,
-        0xC0..=0xDF => 2,
-        _ => 1,
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Schema mapping
+// Schema mapping (the generic parser lives in [`crate::value`])
 // ---------------------------------------------------------------------------
 
 fn get<'v>(obj: &'v BTreeMap<String, Value>, key: &str) -> Result<&'v Value, JsonError> {
@@ -440,12 +190,9 @@ fn as_arr<'v>(v: &'v Value, key: &str) -> Result<&'v [Value], JsonError> {
 /// [`TraceReport`]. Rejects documents carrying a different
 /// [`SCHEMA_VERSION`].
 pub fn from_json(src: &str) -> Result<TraceReport, JsonError> {
-    let mut p = Parser::new(src);
-    let root = p.parse_value()?;
-    p.skip_ws();
-    if p.pos != p.bytes.len() {
-        return Err(p.err("trailing data after document"));
-    }
+    let root = parse_document(src).map_err(|value::ParseError { offset, message }| {
+        JsonError::Syntax { offset, message }
+    })?;
     let obj = as_obj(&root, "<root>")?;
 
     let schema = as_str(get(obj, "schema")?, "schema")?;

@@ -21,6 +21,9 @@
 //! * [`json`] — a versioned, dependency-free JSON export
 //!   ([`json::SCHEMA_VERSION`]) with a parser that round-trips the
 //!   report losslessly (property-tested).
+//! * [`value`] — the generic JSON value/parser/emitter layer the
+//!   schema above is mapped over; `bwfft-bench` reuses it for its
+//!   `bwfft-bench/1` benchmark records.
 //! * [`report`] — the human-readable roofline/overlap summary
 //!   (`Display` on [`TraceReport`]).
 //!
@@ -33,6 +36,7 @@ pub mod collect;
 pub mod event;
 pub mod json;
 pub mod report;
+pub mod value;
 
 pub use aggregate::{aggregate, RunMeta, StageIo, StageProfile, TraceReport};
 pub use collect::{ThreadTracer, TraceCollector};

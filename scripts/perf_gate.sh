@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Performance regression gate: run the canonical bench suite, write the
+# BENCH_<gitrev>.json trajectory point, and compare it against a
+# baseline record. Exits nonzero (naming the regressed suite and stage)
+# when any paired suite's median is more than THRESHOLD percent slower
+# with statistically separated confidence intervals.
+#
+#   scripts/perf_gate.sh [BASELINE] [SUITE] [THRESHOLD_PCT]
+#
+# Defaults: benchmarks/BENCH_seed.json, the fast suite, and a loose 50%
+# threshold — the checked-in baseline was measured on the seed VM, so a
+# different host legitimately differs; the gate is for order-of-
+# magnitude regressions (lost overlap, accidental O(n²)), not ±10%.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline="${1:-benchmarks/BENCH_seed.json}"
+suite="${2:-fast}"
+threshold="${3:-50}"
+
+[ -f "$baseline" ] || { echo "perf_gate: baseline $baseline not found" >&2; exit 1; }
+
+rev="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+out="BENCH_${rev}.json"
+
+echo "== perf gate: $suite suite vs $baseline (threshold ${threshold}%) =="
+cargo run -q --release --bin bwfft-cli -- bench \
+  --suite "$suite" \
+  --out "$out" \
+  --compare "$baseline" \
+  --threshold "$threshold"
+echo "perf gate: OK ($out)"

@@ -31,7 +31,8 @@ fi
 echo "== tuner smoke (cache hit + wisdom reuse) =="
 wisdom="$(mktemp -t bwfft-wisdom.XXXXXX)"
 rm -f "$wisdom"
-trap 'rm -f "$wisdom"' EXIT
+benchdir="$(mktemp -d -t bwfft-bench.XXXXXX)"
+trap 'rm -f "$wisdom"; rm -rf "$benchdir"' EXIT
 # Fresh run: the second in-process request for the same shape must be a
 # cache hit (exactly one search).
 out1="$(cargo run -q --bin bwfft-cli -- tune --dims 32x32 --model-only --plan-stats --wisdom "$wisdom")"
@@ -62,5 +63,42 @@ for s in rep["stages"]:
     assert s["wall_ns"] > 0
 print("profile smoke: OK")
 ' || { echo "profile smoke FAILED on:"; echo "$profile_json"; exit 1; }
+
+echo "== bench smoke (BENCH json valid; derated gate trips) =="
+# A tiny run must produce a valid versioned bwfft-bench/1 record.
+cargo run -q --bin bwfft-cli -- bench --suite smoke --reps 2 --warmup 1 \
+  --out "$benchdir/BENCH_a.json" > /dev/null
+python3 -c '
+import json, math, sys
+
+rep = json.load(open(sys.argv[1]))
+assert rep["schema"] == "bwfft-bench/1", rep["schema"]
+assert rep["suites"], "empty suite list"
+for s in rep["suites"]:
+    assert s["median_ns"] > 0 and math.isfinite(s["median_ns"])
+    assert s["ci_lo_ns"] <= s["median_ns"] <= s["ci_hi_ns"], s["key"]
+    assert s["stages"], s["key"]
+print("bench record: OK")
+' "$benchdir/BENCH_a.json" \
+  || { echo "bench smoke FAILED: invalid BENCH record"; exit 1; }
+# Gate self-test: the same suite derated 3x must exit nonzero, with
+# the machine verdict as the last stdout line saying the gate failed.
+if cargo run -q --bin bwfft-cli -- bench --suite smoke --reps 2 --warmup 1 \
+     --out "$benchdir/BENCH_b.json" --derate 3 \
+     --compare "$benchdir/BENCH_a.json" > "$benchdir/gate.out" 2> "$benchdir/gate.err"; then
+  echo "bench smoke FAILED: derated compare did not exit nonzero"; exit 1
+fi
+grep -q "regression" "$benchdir/gate.err" \
+  || { echo "bench smoke FAILED: failure message lacks regression summary:"; cat "$benchdir/gate.err"; exit 1; }
+tail -n 1 "$benchdir/gate.out" | python3 -c '
+import json, sys
+
+v = json.load(sys.stdin)
+assert v["schema"] == "bwfft-bench-verdict/1", v["schema"]
+assert v["gate_passes"] is False
+assert any(p["verdict"] == "regression" for p in v["pairs"])
+print("bench gate: OK")
+' || { echo "bench smoke FAILED: bad verdict json:"; tail -n 1 "$benchdir/gate.out"; exit 1; }
+echo "bench smoke: OK"
 
 echo "verify: OK"

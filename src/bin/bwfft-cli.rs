@@ -4,12 +4,15 @@
 //! ```text
 //! bwfft-cli machines
 //! bwfft-cli run --dims 64x64x64 --threads 2,2 [--buffer 16384] [--inverse] [--verify]
-//!               [--adapt] [--inject-panic ROLE,T,I] [--timeout-ms N]
+//!               [--adapt] [--inject-panic ROLE,T,I] [--timeout-ms N] [--seed S]
 //!               [--profile[=json]] [--machine NAME]
 //! bwfft-cli simulate --dims 512x512x512 --machine kabylake [--sockets 2] [--baselines]
 //! bwfft-cli stream --machine haswell2667
 //! bwfft-cli tune --dims 64x64 [--inverse] [--model-only] [--plan-stats] [--wisdom PATH]
 //!               [--profile[=json]]
+//! bwfft-cli bench [--suite smoke|fast|full] [--reps N] [--warmup N] [--seed S]
+//!                 [--machine NAME] [--out PATH] [--derate F]
+//!                 [--compare BASELINE [--current PATH]] [--threshold PCT]
 //! ```
 //!
 //! `--profile` traces the run and prints the per-stage roofline/overlap
@@ -18,11 +21,28 @@
 //! preset whose STREAM bandwidth anchors the %-of-achievable column
 //! (default: kabylake).
 //!
+//! `bench` runs the canonical statistical suite (DESIGN.md §9) and
+//! writes a versioned `bwfft-bench/1` record to `BENCH_<gitrev>.json`.
+//! With `--compare BASELINE` it then gates against a baseline record:
+//! the human diff table goes to stdout, the machine-readable verdict
+//! is the **last line** of stdout, and a significant regression makes
+//! the exit code nonzero (this is what `scripts/perf_gate.sh` wires
+//! into CI). `--current PATH` compares two existing files without
+//! running anything; `--derate F` pretends the run was `F`× slower — a
+//! self-test proving the gate trips.
+//!
 //! Exit codes: 0 success, 1 runtime failure (contained worker panic,
-//! watchdog timeout, failed verification), 2 usage error. User errors
-//! print a one-line typed message, never a backtrace.
+//! watchdog timeout, failed verification, perf regression), 2 usage
+//! error. User errors print a one-line typed message, never a
+//! backtrace.
 
 use bwfft::baselines::{reference_impl, simulate_baseline, BaselineKind};
+use bwfft::bench::compare::{compare, derate, verdict_json, GateConfig};
+use bwfft::bench::measure::MeasureConfig;
+use bwfft::bench::record::{bench_filename, read_file, write_file, BenchReport};
+use bwfft::bench::stats::StatsConfig;
+use bwfft::bench::suite::SuiteKind;
+use bwfft::bench::run_suite;
 use bwfft::core::exec_sim::{simulate, SimOptions};
 use bwfft::core::{exec_real, Dims, FftPlan};
 use bwfft::kernels::Direction;
@@ -35,7 +55,7 @@ use bwfft::trace::TraceCollector;
 use bwfft::tuner::{wisdom, HostFingerprint, PlanCache, Tuner, TunerOptions, Wisdom, WisdomLoad};
 use bwfft::BwfftError;
 use std::collections::HashMap;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -87,6 +107,9 @@ usage:
   bwfft-cli stream --machine NAME
   bwfft-cli tune --dims KxNxM [--inverse] [--model-only] [--plan-stats] [--wisdom PATH]
                 [--profile[=json]]
+  bwfft-cli bench [--suite smoke|fast|full] [--reps N] [--warmup N] [--seed S]
+                  [--machine NAME] [--out PATH] [--derate F]
+                  [--compare BASELINE [--current PATH]] [--threshold PCT]
 machines: kabylake | haswell4770 | amdfx | haswell2667 | opteron6276";
 
 fn run(args: &[String]) -> Result<(), CliError> {
@@ -111,6 +134,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "run" => cmd_run(&opts),
         "simulate" => cmd_simulate(&opts),
         "tune" => cmd_tune(&opts),
+        "bench" => cmd_bench(&opts),
         "stream" => {
             let spec = machine_by_name(opts.get("machine").ok_or_else(|| usage("--machine required"))?)
                 .map_err(usage)?;
@@ -205,7 +229,12 @@ fn cmd_run(opts: &HashMap<String, String>) -> Result<(), CliError> {
     for d in &plan.degradations {
         println!("note: degraded to fused executor: {d}");
     }
-    let mut data = AlignedVec::from_slice(&signal::random_complex(total, 42));
+    let seed: u64 = opts
+        .get("seed")
+        .map(|s| s.parse().map_err(|_| usage("bad --seed")))
+        .transpose()?
+        .unwrap_or(42);
+    let mut data = AlignedVec::from_slice(&signal::random_complex(total, seed));
     let original = data.clone();
     let mut work = AlignedVec::<Complex64>::zeroed(total);
     let t0 = std::time::Instant::now();
@@ -419,6 +448,108 @@ fn cmd_simulate(opts: &HashMap<String, String>) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `bench`: run the canonical statistical suite, write the versioned
+/// `BENCH_*.json` record, and optionally gate against a baseline. With
+/// both `--compare` and `--current` nothing is run — the two existing
+/// files are compared directly (the CI gate's replay mode).
+fn cmd_bench(opts: &HashMap<String, String>) -> Result<(), CliError> {
+    let gate = GateConfig {
+        threshold_pct: opts
+            .get("threshold")
+            .map(|s| s.parse().map_err(|_| usage("bad --threshold")))
+            .transpose()?
+            .unwrap_or_else(|| GateConfig::default().threshold_pct),
+    };
+    let derate_factor: Option<f64> = opts
+        .get("derate")
+        .map(|s| s.parse().map_err(|_| usage("bad --derate")))
+        .transpose()?;
+
+    // Replay mode: compare two existing BENCH files, run nothing.
+    if let Some(cur_path) = opts.get("current") {
+        let base_path = opts
+            .get("compare")
+            .ok_or_else(|| usage("--current requires --compare BASELINE"))?;
+        let base = load_bench(base_path)?;
+        let mut cur = load_bench(cur_path)?;
+        if let Some(f) = derate_factor {
+            derate(&mut cur, f);
+        }
+        return finish_compare(&base, &cur, &gate);
+    }
+
+    let kind = match opts.get("suite") {
+        None => SuiteKind::Smoke,
+        Some(s) => SuiteKind::parse(s)
+            .ok_or_else(|| usage(format!("unknown --suite `{s}` (smoke|fast|full)")))?,
+    };
+    let mut mcfg = MeasureConfig::default();
+    if let Some(r) = opts.get("reps") {
+        mcfg.reps = r.parse().map_err(|_| usage("bad --reps"))?;
+        if mcfg.reps == 0 {
+            return Err(usage("--reps must be at least 1"));
+        }
+    }
+    if let Some(w) = opts.get("warmup") {
+        mcfg.warmup = w.parse().map_err(|_| usage("bad --warmup"))?;
+    }
+    if let Some(s) = opts.get("seed") {
+        mcfg.seed = s.parse().map_err(|_| usage("bad --seed"))?;
+    }
+    let anchor = match opts.get("machine") {
+        Some(name) => machine_by_name(name).map_err(usage)?,
+        None => presets::kaby_lake_7700k(),
+    };
+    println!(
+        "bench: {} suite, {} reps + {} warmup, seed {}, STREAM roofline {:.1} GB/s ({})",
+        kind.label(),
+        mcfg.reps,
+        mcfg.warmup,
+        mcfg.seed,
+        anchor.total_dram_bw_gbs(),
+        anchor.name
+    );
+    let mut report = run_suite(kind, &mcfg, &StatsConfig::default(), &anchor, true)
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    if let Some(f) = derate_factor {
+        derate(&mut report, f);
+        println!("note: record derated {f}x (gate self-test)");
+    }
+    let out = opts
+        .get("out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(bench_filename(&report.git_rev)));
+    write_file(&out, &report).map_err(|e| CliError::Runtime(e.to_string()))?;
+    println!("wrote {} ({} suites, rev {})", out.display(), report.suites.len(), report.git_rev);
+    if let Some(base_path) = opts.get("compare") {
+        let base = load_bench(base_path)?;
+        return finish_compare(&base, &report, &gate);
+    }
+    Ok(())
+}
+
+fn load_bench(path: &str) -> Result<BenchReport, CliError> {
+    read_file(Path::new(path)).map_err(|e| CliError::Runtime(e.to_string()))
+}
+
+/// Prints the human diff table, then the machine-readable verdict as
+/// the last stdout line, and turns a failed gate into a nonzero exit
+/// whose message names every regressed suite and stage.
+fn finish_compare(
+    base: &BenchReport,
+    cur: &BenchReport,
+    gate: &GateConfig,
+) -> Result<(), CliError> {
+    let cmp = compare(base, cur, gate);
+    println!("{cmp}");
+    println!("{}", verdict_json(&cmp));
+    if cmp.gate_passes() {
+        Ok(())
+    } else {
+        Err(CliError::Runtime(cmp.failure_summary()))
+    }
+}
+
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut out = HashMap::new();
     let mut i = 0;
@@ -456,6 +587,15 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
                 | "inject-panic"
                 | "timeout-ms"
                 | "wisdom"
+                | "seed"
+                | "suite"
+                | "reps"
+                | "warmup"
+                | "out"
+                | "compare"
+                | "current"
+                | "threshold"
+                | "derate"
         ) {
             let v = args
                 .get(i + 1)
@@ -687,6 +827,76 @@ mod tests {
             .map(|s| s.to_string())
             .collect();
         run(&args).unwrap();
+    }
+
+    fn bench_args(extra: &[&str]) -> Vec<String> {
+        ["bench", "--suite", "smoke", "--reps", "2", "--warmup", "1"]
+            .iter()
+            .chain(extra)
+            .map(|s| s.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn bench_writes_versioned_record_and_gates_derated_rerun() {
+        let dir = std::env::temp_dir().join("bwfft-cli-bench-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let baseline = dir.join("BENCH_base.json");
+        let current = dir.join("BENCH_cur.json");
+
+        run(&bench_args(&["--out", baseline.to_str().unwrap()])).unwrap();
+        let rep = read_file(&baseline).unwrap();
+        assert_eq!(rep.schema, "bwfft-bench/1");
+        assert_eq!(rep.suite_kind, "smoke");
+        assert!(!rep.suites.is_empty());
+        assert!(rep.suites.iter().all(|s| !s.stages.is_empty()));
+
+        // Same suite derated 3× must trip the gate with a runtime error
+        // naming the regressed suite and its worst stage.
+        let args = bench_args(&[
+            "--out", current.to_str().unwrap(),
+            "--derate", "3",
+            "--compare", baseline.to_str().unwrap(),
+        ]);
+        match run(&args) {
+            Err(CliError::Runtime(msg)) => {
+                assert!(msg.contains("regression"), "{msg}");
+                assert!(msg.contains("fig9:64x64"), "{msg}");
+                assert!(msg.contains("stage"), "{msg}");
+            }
+            other => panic!("derated compare must fail the gate, got {other:?}"),
+        }
+
+        // Replay mode: the two files compare without re-running, and an
+        // un-derated self-compare passes.
+        let args: Vec<String> = [
+            "bench",
+            "--compare", baseline.to_str().unwrap(),
+            "--current", baseline.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        run(&args).unwrap();
+    }
+
+    #[test]
+    fn bench_flag_validation() {
+        let args: Vec<String> = ["bench", "--suite", "warp"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(matches!(run(&args), Err(CliError::Usage(_))));
+        let args: Vec<String> = ["bench", "--current", "x.json"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(matches!(run(&args), Err(CliError::Usage(_))));
+        let args: Vec<String> = ["bench", "--reps", "0"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(matches!(run(&args), Err(CliError::Usage(_))));
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! | [`trace`] | span recorder, overlap accounting, roofline reports |
 //! | [`tuner`] | autotuner, concurrent plan cache, persistent wisdom |
 //! | [`baselines`] | MKL-like / FFTW-like / slab–pencil comparators |
+//! | [`bench`] | statistical benchmark harness, `BENCH_*.json` records, regression gate |
 //!
 //! ## Quickstart
 //!
@@ -71,6 +72,7 @@
 mod error;
 
 pub use bwfft_baselines as baselines;
+pub use bwfft_bench as bench;
 pub use bwfft_core as core;
 pub use bwfft_kernels as kernels;
 pub use bwfft_machine as machine;
