@@ -33,10 +33,10 @@ use bwfft_machine::MachineSpec;
 use bwfft_tuner::HostFingerprint;
 use std::fmt;
 
-use measure::{measure_plan, MeasureConfig};
+use measure::{measure_plan, measure_plan_paired, Measured, MeasureConfig};
 use record::{BenchReport, StageMetric, SuiteResult};
 use stats::StatsConfig;
-use suite::{suite, SuiteKind};
+use suite::{suite, SuiteCase, SuiteKind};
 
 /// Why a suite run could not produce a record. Each variant names the
 /// suite key so a CI failure is attributable without a backtrace.
@@ -84,53 +84,125 @@ pub fn run_suite(
                     error,
                 }
             })?;
-        let summary =
-            stats::summarize(&measured.times_ns, stats_cfg).map_err(|error| {
-                HarnessError::Stats {
-                    key: case.key.clone(),
-                    error,
-                }
-            })?;
-        let gflops = if summary.median_ns > 0.0 {
-            plan.pseudo_flops() / summary.median_ns
-        } else {
-            0.0
-        };
+        let result = suite_result(&case, &plan, measured, measure_cfg, stats_cfg)?;
         if progress {
             println!(
                 "  {:<34} median {:>10.3} ms  ±{:>4.1}%  {:>6.2} GF/s  ({} reps, {} rejected)",
                 case.key,
-                summary.median_ns / 1e6,
-                summary.ci_halfwidth_pct(),
-                gflops,
-                summary.n_raw,
-                summary.rejected()
+                result.stats.median_ns / 1e6,
+                result.stats.ci_halfwidth_pct(),
+                result.gflops,
+                result.stats.n_raw,
+                result.stats.rejected()
             );
         }
-        suites.push(SuiteResult {
-            key: case.key.clone(),
-            label: case.dims.label(),
-            executor: measured.executor,
-            p_d: plan.p_d,
-            p_c: plan.p_c,
-            buffer_elems: plan.buffer_elems,
-            warmup: measure_cfg.warmup,
-            stats: summary,
-            gflops,
-            stages: measured
-                .trace
-                .stages
-                .iter()
-                .map(|s| StageMetric {
-                    stage: s.stage,
-                    overlap_fraction: s.overlap_fraction,
-                    achieved_gbs: s.achieved_gbs,
-                    percent_of_stream: s.percent_of_achievable,
-                })
-                .collect(),
-        });
+        suites.push(result);
     }
-    Ok(BenchReport {
+    Ok(assemble_report(kind, measure_cfg, anchor, stream_gbs, suites))
+}
+
+/// Runs the canonical suite with rep-level paired measurement (see
+/// [`measure_plan_paired`]) and returns both records as
+/// `(plain, guarded)`. This is what the integrity-overhead gate runs:
+/// comparing the pair with the ordinary regression gate asserts the
+/// guards' cost with machine drift cancelled out.
+pub fn run_suite_paired(
+    kind: SuiteKind,
+    measure_cfg: &MeasureConfig,
+    stats_cfg: &StatsConfig,
+    anchor: &MachineSpec,
+    progress: bool,
+) -> Result<(BenchReport, BenchReport), HarnessError> {
+    let stream_gbs = anchor.total_dram_bw_gbs();
+    let mut plain_suites = Vec::new();
+    let mut guarded_suites = Vec::new();
+    for case in suite(kind) {
+        let plan = case.build_plan().map_err(|error| HarnessError::Plan {
+            key: case.key.clone(),
+            error,
+        })?;
+        let (plain, guarded) = measure_plan_paired(&plan, measure_cfg, Some(stream_gbs))
+            .map_err(|error| HarnessError::Exec {
+                key: case.key.clone(),
+                error,
+            })?;
+        let plain = suite_result(&case, &plan, plain, measure_cfg, stats_cfg)?;
+        let guarded = suite_result(&case, &plan, guarded, measure_cfg, stats_cfg)?;
+        if progress {
+            let delta = if plain.stats.median_ns > 0.0 {
+                (guarded.stats.median_ns - plain.stats.median_ns) / plain.stats.median_ns * 100.0
+            } else {
+                0.0
+            };
+            println!(
+                "  {:<34} plain {:>10.3} ms  guarded {:>10.3} ms  ({:+.1}%)",
+                case.key,
+                plain.stats.median_ns / 1e6,
+                guarded.stats.median_ns / 1e6,
+                delta
+            );
+        }
+        plain_suites.push(plain);
+        guarded_suites.push(guarded);
+    }
+    Ok((
+        assemble_report(kind, measure_cfg, anchor, stream_gbs, plain_suites),
+        assemble_report(kind, measure_cfg, anchor, stream_gbs, guarded_suites),
+    ))
+}
+
+/// Folds one case's measurement into the record row the BENCH schema
+/// stores — shared by the plain and paired suite runners.
+fn suite_result(
+    case: &SuiteCase,
+    plan: &FftPlan,
+    measured: Measured,
+    measure_cfg: &MeasureConfig,
+    stats_cfg: &StatsConfig,
+) -> Result<SuiteResult, HarnessError> {
+    let summary = stats::summarize(&measured.times_ns, stats_cfg).map_err(|error| {
+        HarnessError::Stats {
+            key: case.key.clone(),
+            error,
+        }
+    })?;
+    let gflops = if summary.median_ns > 0.0 {
+        plan.pseudo_flops() / summary.median_ns
+    } else {
+        0.0
+    };
+    Ok(SuiteResult {
+        key: case.key.clone(),
+        label: case.dims.label(),
+        executor: measured.executor,
+        p_d: plan.p_d,
+        p_c: plan.p_c,
+        buffer_elems: plan.buffer_elems,
+        warmup: measure_cfg.warmup,
+        stats: summary,
+        gflops,
+        stages: measured
+            .trace
+            .stages
+            .iter()
+            .map(|s| StageMetric {
+                stage: s.stage,
+                overlap_fraction: s.overlap_fraction,
+                achieved_gbs: s.achieved_gbs,
+                percent_of_stream: s.percent_of_achievable,
+            })
+            .collect(),
+    })
+}
+
+fn assemble_report(
+    kind: SuiteKind,
+    measure_cfg: &MeasureConfig,
+    anchor: &MachineSpec,
+    stream_gbs: f64,
+    suites: Vec<SuiteResult>,
+) -> BenchReport {
+    BenchReport {
         schema: record::SCHEMA_VERSION.to_string(),
         git_rev: record::detect_git_rev(),
         suite_kind: kind.label().to_string(),
@@ -139,7 +211,7 @@ pub fn run_suite(
         anchor_machine: anchor.name.to_string(),
         stream_gbs,
         suites,
-    })
+    }
 }
 
 /// The 3D size sweep of Figs. 1 and 11 (all exponent combinations of

@@ -12,6 +12,7 @@
 use bwfft_core::exec_real::{execute_with, ExecConfig};
 use bwfft_core::{profile, CoreError, FftPlan};
 use bwfft_num::{signal, AlignedVec, Complex64};
+use bwfft_pipeline::IntegrityConfig;
 use bwfft_trace::{TraceCollector, TraceReport};
 use std::sync::Arc;
 use std::time::Instant;
@@ -26,6 +27,13 @@ pub struct MeasureConfig {
     /// Seed of the deterministic input signal; the same seed yields the
     /// same input, element for element, across runs and machines.
     pub seed: u64,
+    /// Arm the steady-state integrity guards (buffer canaries,
+    /// per-block checksums) in the timed repetitions. Used to measure
+    /// the guards' overhead against a plain record. The whole-run
+    /// Parseval check is excluded: it is a per-run verification like
+    /// `--verify`, not an always-on guard, and its two fixed full-array
+    /// passes would swamp the per-block cost on small suite shapes.
+    pub integrity: bool,
 }
 
 impl Default for MeasureConfig {
@@ -34,6 +42,7 @@ impl Default for MeasureConfig {
             warmup: 2,
             reps: 5,
             seed: 42,
+            integrity: false,
         }
     }
 }
@@ -63,7 +72,14 @@ pub fn measure_plan(
     let input = signal::random_complex(total, cfg.seed);
     let mut data = AlignedVec::from_slice(&input);
     let mut work = AlignedVec::<Complex64>::zeroed(total);
-    let untraced = ExecConfig::default();
+    let untraced = ExecConfig {
+        integrity: if cfg.integrity {
+            IntegrityConfig::full()
+        } else {
+            IntegrityConfig::default()
+        },
+        ..ExecConfig::default()
+    };
 
     for _ in 0..cfg.warmup {
         data.copy_from_slice(&input);
@@ -91,6 +107,75 @@ pub fn measure_plan(
         trace,
         executor,
     })
+}
+
+/// Measures `plan` twice per timed iteration — one plain rep and one
+/// with the integrity guards armed — and returns both samples as
+/// `(plain, guarded)`. Interleaving at the rep level means slow
+/// machine drift (thermal throttling, background load) biases both
+/// samples equally, so the pair supports a much tighter overhead
+/// threshold than two back-to-back [`measure_plan`] runs, which on a
+/// shared machine drift apart by more than the guards cost.
+/// `cfg.integrity` is ignored: the guarded side always runs
+/// [`IntegrityConfig::full`], the plain side never does.
+pub fn measure_plan_paired(
+    plan: &FftPlan,
+    cfg: &MeasureConfig,
+    stream_gbs: Option<f64>,
+) -> Result<(Measured, Measured), CoreError> {
+    let total = plan.dims.total();
+    let input = signal::random_complex(total, cfg.seed);
+    let mut data = AlignedVec::from_slice(&input);
+    let mut work = AlignedVec::<Complex64>::zeroed(total);
+    let plain = ExecConfig::default();
+    let guarded = ExecConfig {
+        integrity: IntegrityConfig::full(),
+        ..ExecConfig::default()
+    };
+
+    for _ in 0..cfg.warmup {
+        data.copy_from_slice(&input);
+        execute_with(plan, &mut data, &mut work, &plain)?;
+        data.copy_from_slice(&input);
+        execute_with(plan, &mut data, &mut work, &guarded)?;
+    }
+
+    let mut plain_ns = Vec::with_capacity(cfg.reps);
+    let mut guarded_ns = Vec::with_capacity(cfg.reps);
+    let mut executor = String::new();
+    for rep in 0..cfg.reps {
+        // Alternate which side goes first so neither sample
+        // systematically inherits the other's cache/scheduler state.
+        let order: [(&ExecConfig, &mut Vec<f64>); 2] = if rep.is_multiple_of(2) {
+            [(&plain, &mut plain_ns), (&guarded, &mut guarded_ns)]
+        } else {
+            [(&guarded, &mut guarded_ns), (&plain, &mut plain_ns)]
+        };
+        for (exec_cfg, times) in order {
+            data.copy_from_slice(&input);
+            let t0 = Instant::now();
+            let report = execute_with(plan, &mut data, &mut work, exec_cfg)?;
+            times.push(t0.elapsed().as_nanos() as f64);
+            executor = executor_label(&report.executor);
+        }
+    }
+
+    let (trace, traced_executor) = trace_once(plan, stream_gbs, cfg.seed)?;
+    if executor.is_empty() {
+        executor = traced_executor;
+    }
+    Ok((
+        Measured {
+            times_ns: plain_ns,
+            trace: trace.clone(),
+            executor: executor.clone(),
+        },
+        Measured {
+            times_ns: guarded_ns,
+            trace,
+            executor,
+        },
+    ))
 }
 
 /// Runs `plan` once with tracing enabled and aggregates the spans into
@@ -138,6 +223,7 @@ mod tests {
                 warmup: 1,
                 reps: 3,
                 seed: 7,
+                ..MeasureConfig::default()
             },
             Some(40.0),
         )
@@ -146,6 +232,54 @@ mod tests {
         assert!(m.times_ns.iter().all(|t| *t > 0.0));
         assert_eq!(m.trace.stages.len(), 2);
         assert_eq!(m.executor, "pipelined");
+    }
+
+    #[test]
+    fn integrity_armed_measurement_succeeds() {
+        // Guards on: the timed reps run with canaries + checksums +
+        // Parseval, and a clean plan must never trip them.
+        let plan = FftPlan::builder(Dims::d2(16, 32))
+            .threads(1, 1)
+            .build()
+            .unwrap();
+        let m = measure_plan(
+            &plan,
+            &MeasureConfig {
+                warmup: 1,
+                reps: 2,
+                seed: 7,
+                integrity: true,
+            },
+            None,
+        )
+        .unwrap();
+        assert_eq!(m.times_ns.len(), 2);
+    }
+
+    #[test]
+    fn paired_measurement_yields_matched_samples() {
+        // Both sides of the pair must carry one time per rep and agree
+        // on the executor — they timed the exact same plan.
+        let plan = FftPlan::builder(Dims::d2(16, 32))
+            .threads(1, 1)
+            .build()
+            .unwrap();
+        let (plain, guarded) = measure_plan_paired(
+            &plan,
+            &MeasureConfig {
+                warmup: 1,
+                reps: 3,
+                seed: 7,
+                integrity: false,
+            },
+            None,
+        )
+        .unwrap();
+        assert_eq!(plain.times_ns.len(), 3);
+        assert_eq!(guarded.times_ns.len(), 3);
+        assert!(plain.times_ns.iter().all(|t| *t > 0.0));
+        assert!(guarded.times_ns.iter().all(|t| *t > 0.0));
+        assert_eq!(plain.executor, guarded.executor);
     }
 
     #[test]

@@ -9,7 +9,8 @@
 
 use crate::plan::PlanError;
 use bwfft_machine::EngineError;
-use bwfft_pipeline::PipelineError;
+use bwfft_num::AllocError;
+use bwfft_pipeline::{IntegrityKind, PipelineError};
 
 /// Why a core-level operation failed.
 #[derive(Clone, Debug, PartialEq)]
@@ -29,6 +30,33 @@ pub enum CoreError {
     },
     /// The plan wants more sockets than the simulated machine has.
     SocketMismatch { plan: usize, machine: usize },
+    /// A core-level integrity guard fired (currently the opt-in
+    /// whole-run Parseval/energy check; pipeline-level canary/checksum
+    /// guards arrive wrapped in [`CoreError::Pipeline`] and are
+    /// re-keyed to this variant by [`CoreError::integrity_kind`]'s
+    /// callers where a flat view is wanted).
+    Integrity {
+        /// Stage the guard fired in (0 for whole-run guards).
+        stage: usize,
+        /// Block index at the detection point (0 for whole-run guards).
+        block: usize,
+        kind: IntegrityKind,
+    },
+    /// A buffer allocation was refused; the supervisor answers this by
+    /// shrinking the plan's buffer and retrying.
+    Allocation(AllocError),
+}
+
+impl CoreError {
+    /// The integrity kind of this error, whether it is a core-level
+    /// guard or a wrapped pipeline guard; `None` for everything else.
+    pub fn integrity_kind(&self) -> Option<IntegrityKind> {
+        match self {
+            CoreError::Integrity { kind, .. } => Some(*kind),
+            CoreError::Pipeline(PipelineError::Integrity { kind, .. }) => Some(*kind),
+            _ => None,
+        }
+    }
 }
 
 impl From<PlanError> for CoreError {
@@ -49,6 +77,12 @@ impl From<EngineError> for CoreError {
     }
 }
 
+impl From<AllocError> for CoreError {
+    fn from(e: AllocError) -> Self {
+        CoreError::Allocation(e)
+    }
+}
+
 impl core::fmt::Display for CoreError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
@@ -64,6 +98,11 @@ impl core::fmt::Display for CoreError {
                 f,
                 "plan wants {plan} sockets, machine has {machine}"
             ),
+            CoreError::Integrity { stage, block, kind } => write!(
+                f,
+                "integrity guard: {kind} at stage {stage}, block {block}"
+            ),
+            CoreError::Allocation(e) => write!(f, "allocation: {e}"),
         }
     }
 }
@@ -74,6 +113,7 @@ impl std::error::Error for CoreError {
             CoreError::Plan(e) => Some(e),
             CoreError::Pipeline(e) => Some(e),
             CoreError::Engine(e) => Some(e),
+            CoreError::Allocation(e) => Some(e),
             _ => None,
         }
     }
@@ -102,6 +142,37 @@ mod tests {
         assert!(e.to_string().contains("data has 4"));
         let e = CoreError::SocketMismatch { plan: 2, machine: 1 };
         assert!(e.to_string().contains("2 sockets"));
+        let e = CoreError::Integrity {
+            stage: 0,
+            block: 0,
+            kind: IntegrityKind::Energy,
+        };
+        assert!(e.to_string().contains("Parseval"));
+        let e: CoreError = AllocError {
+            what: "double buffer",
+            bytes: 1 << 40,
+        }
+        .into();
+        assert!(e.to_string().starts_with("allocation:"));
+    }
+
+    #[test]
+    fn integrity_kind_flattens_both_layers() {
+        let core_level = CoreError::Integrity {
+            stage: 0,
+            block: 0,
+            kind: IntegrityKind::Energy,
+        };
+        assert_eq!(core_level.integrity_kind(), Some(IntegrityKind::Energy));
+        let wrapped: CoreError = PipelineError::Integrity {
+            stage: 1,
+            block: 2,
+            kind: IntegrityKind::Checksum,
+        }
+        .into();
+        assert_eq!(wrapped.integrity_kind(), Some(IntegrityKind::Checksum));
+        let other = CoreError::SocketMismatch { plan: 2, machine: 1 };
+        assert_eq!(other.integrity_kind(), None);
     }
 
     #[test]

@@ -14,13 +14,15 @@ use bwfft_kernels::batch::BatchFft;
 use bwfft_kernels::transpose::{
     load_contiguous, store_through_write_matrix, write_matrix_packets,
 };
-use bwfft_num::Complex64;
+use bwfft_num::{check_alloc_budget, try_vec_zeroed, Complex64};
 use bwfft_pipeline::buffer::partition;
 use bwfft_pipeline::exec::{
     ComputeFn, LoadFn, PipelineCallbacks, PipelineConfig, PipelineReport, StoreFn,
+    INJECTED_FAULT_PREFIX,
 };
 use bwfft_pipeline::{
-    run_pipeline, AdaptiveWatchdog, DoubleBuffer, FaultPlan, PinStatus, PipelineError,
+    run_pipeline, AdaptiveWatchdog, DoubleBuffer, FaultPlan, IntegrityConfig, IntegrityKind,
+    PinStatus, PipelineError,
 };
 use bwfft_spl::gather_scatter::WriteMatrix;
 use bwfft_trace::{MarkKind, Phase, ThreadTracer, TraceCollector, TraceRole};
@@ -46,6 +48,15 @@ pub struct ExecConfig {
     /// Measured-epoch watchdog: stall detection from observed iteration
     /// times rather than an assumed `iter_timeout` constant.
     pub adaptive_watchdog: Option<AdaptiveWatchdog>,
+    /// Pipeline integrity guards (buffer canaries, per-block
+    /// checksums), forwarded to every stage's pipeline run. Off by
+    /// default.
+    pub integrity: IntegrityConfig,
+    /// Opt-in whole-run Parseval check: after the transform, the output
+    /// spectrum's energy must equal `N ×` the input's (both transform
+    /// directions are unnormalized). A violation surfaces as
+    /// [`CoreError::Integrity`] with [`IntegrityKind::Energy`].
+    pub verify_energy: bool,
 }
 
 /// What a successful execution reports back: which executor actually
@@ -134,13 +145,29 @@ pub fn execute_with(
         }
     }
 
+    let energy_in = cfg.verify_energy.then(|| spectral_energy(data));
+
     // Graceful degradation: a plan built against a host profile that
     // cannot sustain the pipeline dispatches to the fused executor.
-    if plan.executor == ExecutorKind::Fused {
-        return fused_impl(plan, data, work, cfg.trace.as_deref());
-    }
+    let report = if plan.executor == ExecutorKind::Fused {
+        fused_impl(plan, data, work, cfg)?
+    } else {
+        pipelined_impl(plan, data, work, cfg)?
+    };
 
-    let buffer = DoubleBuffer::new(plan.buffer_elems);
+    if let Some(e_in) = energy_in {
+        verify_parseval(plan, data, e_in)?;
+    }
+    Ok(report)
+}
+
+fn pipelined_impl(
+    plan: &FftPlan,
+    data: &mut [Complex64],
+    work: &mut [Complex64],
+    cfg: &ExecConfig,
+) -> Result<ExecReport, CoreError> {
+    let buffer = alloc_double_buffer(plan, cfg)?;
     let n_stages = plan.stages().len();
     let mut last_report = PipelineReport::default();
     for (s, stage) in plan.stages().iter().enumerate() {
@@ -161,6 +188,57 @@ pub fn execute_with(
         pin_failures: last_report.pin_failures,
         pin_status: last_report.pin_status,
     })
+}
+
+/// Allocates the shared double buffer through the fallible path,
+/// honoring an injected allocation budget ([`FaultPlan::fail_alloc_over`]).
+fn alloc_double_buffer(plan: &FftPlan, cfg: &ExecConfig) -> Result<DoubleBuffer, CoreError> {
+    let bytes = 2 * plan.buffer_elems * core::mem::size_of::<Complex64>();
+    let budget = cfg.fault.as_ref().and_then(|f| f.fail_alloc_over);
+    check_alloc_budget("double buffer", bytes, budget)?;
+    Ok(DoubleBuffer::try_new(plan.buffer_elems)?)
+}
+
+/// Sum of squared magnitudes. Four fixed accumulator lanes break the
+/// additive dependency chain so the loop vectorizes; the lane count is
+/// constant, so the (re-associated) rounding is still deterministic and
+/// sits far inside `verify_parseval`'s 1e-6 relative tolerance.
+fn spectral_energy(xs: &[Complex64]) -> f64 {
+    let mut lanes = [0.0f64; 4];
+    let mut chunks = xs.chunks_exact(4);
+    for c in &mut chunks {
+        for (lane, v) in lanes.iter_mut().zip(c) {
+            *lane += v.re * v.re + v.im * v.im;
+        }
+    }
+    let tail: f64 = chunks
+        .remainder()
+        .iter()
+        .map(|v| v.re * v.re + v.im * v.im)
+        .sum();
+    lanes.iter().sum::<f64>() + tail
+}
+
+/// Parseval/energy-budget invariant: for an unnormalized length-`N`
+/// transform (either direction), output energy = `N ×` input energy.
+fn verify_parseval(
+    plan: &FftPlan,
+    out: &[Complex64],
+    energy_in: f64,
+) -> Result<(), CoreError> {
+    let n = plan.dims.total() as f64;
+    let expected = n * energy_in;
+    let got = spectral_energy(out);
+    // Relative tolerance well above FFT rounding (~ε·log N) but far
+    // below any real corruption; absolute floor covers all-zero input.
+    if (got - expected).abs() > 1e-6 * expected.abs() + 1e-12 {
+        return Err(CoreError::Integrity {
+            stage: 0,
+            block: 0,
+            kind: IntegrityKind::Energy,
+        });
+    }
+    Ok(())
 }
 
 fn run_stage(
@@ -237,6 +315,7 @@ fn run_stage(
             stage: stage_idx,
             trace: cfg.trace.clone(),
             adaptive_watchdog: cfg.adaptive_watchdog,
+            integrity: cfg.integrity,
         },
         PipelineCallbacks {
             loaders,
@@ -252,7 +331,7 @@ pub fn fft3d_forward(
     plan: &FftPlan,
     data: &mut [Complex64],
 ) -> Result<ExecReport, CoreError> {
-    let mut work = vec![Complex64::ZERO; data.len()];
+    let mut work = try_vec_zeroed::<Complex64>(data.len(), "fft3d workspace")?;
     execute(plan, data, &mut work)
 }
 
@@ -268,19 +347,23 @@ pub fn execute_fused(
     data: &mut [Complex64],
     work: &mut [Complex64],
 ) -> Result<ExecReport, CoreError> {
-    fused_impl(plan, data, work, None)
+    fused_impl(plan, data, work, &ExecConfig::default())
 }
 
 fn fused_impl(
     plan: &FftPlan,
     data: &mut [Complex64],
     work: &mut [Complex64],
-    trace: Option<&TraceCollector>,
+    cfg: &ExecConfig,
 ) -> Result<ExecReport, CoreError> {
     check_lengths(plan, data, work)?;
+    let trace = cfg.trace.as_deref();
+    let fault = cfg.fault.clone().unwrap_or_default();
     let total = plan.dims.total();
     let b = plan.buffer_elems;
-    let mut buf = vec![Complex64::ZERO; b];
+    let bytes = b * core::mem::size_of::<Complex64>();
+    check_alloc_budget("fused scratch", bytes, fault.fail_alloc_over)?;
+    let mut buf = try_vec_zeroed::<Complex64>(b, "fused scratch")?;
     let n_stages = plan.stages().len();
     for (s, stage) in plan.stages().iter().enumerate() {
         let (src, dst): (&[Complex64], &mut [Complex64]) = if s % 2 == 0 {
@@ -297,6 +380,44 @@ fn fused_impl(
         let mut kernel =
             BatchFft::with_variant(stage.fft_size, stage.lanes, plan.dir, plan.kernel);
         for blk in 0..total / b {
+            // The fused executor honors the fault plan with thread-0
+            // semantics (it *is* every role's thread 0): a stall sleeps
+            // in place, a panic site becomes a typed error without
+            // unwinding. Corruption sites are ignored — they model
+            // stray writes between pipeline handoffs, and fused has no
+            // handoffs — which is also what makes fused a viable
+            // escalation target under a corruption fault.
+            if let Some(st) = &fault.stall {
+                if st.site.thread == 0 && st.site.iter == blk {
+                    if let Some(t) = trace {
+                        t.mark(
+                            MarkKind::FaultInjected,
+                            format!("stall: fused executor at block {blk}"),
+                            Some(st.duration.as_nanos() as f64),
+                        );
+                    }
+                    std::thread::sleep(st.duration);
+                }
+            }
+            if let Some(site) = fault.panic_at {
+                if site.thread == 0 && site.iter == blk {
+                    if let Some(t) = trace {
+                        t.mark(
+                            MarkKind::FaultInjected,
+                            format!("panic: fused executor at block {blk}"),
+                            None,
+                        );
+                    }
+                    return Err(CoreError::Pipeline(PipelineError::WorkerPanicked {
+                        role: site.role,
+                        thread: 0,
+                        iter: blk,
+                        message: format!(
+                            "{INJECTED_FAULT_PREFIX}: fused executor at iteration {blk}"
+                        ),
+                    }));
+                }
+            }
             let span = data_tracer.start();
             buf.copy_from_slice(&src[blk * b..(blk + 1) * b]);
             data_tracer.finish(span, Phase::Load, blk);
@@ -832,5 +953,152 @@ mod fault_tests {
             .unwrap();
         assert_eq!(plan.executor, ExecutorKind::Pipelined);
         assert!(plan.degradations.is_empty());
+    }
+
+    #[test]
+    fn alloc_budget_fault_yields_typed_allocation_error() {
+        let plan = FftPlan::builder(Dims::d3(8, 8, 8))
+            .buffer_elems(64)
+            .build()
+            .unwrap();
+        let mut data = vec![Complex64::ZERO; 512];
+        let mut work = vec![Complex64::ZERO; 512];
+        // The double buffer needs 2·64·16 = 2048 bytes; budget 1 KiB.
+        let cfg = ExecConfig {
+            fault: Some(FaultPlan::none().with_alloc_budget(1024)),
+            ..Default::default()
+        };
+        let err = execute_with(&plan, &mut data, &mut work, &cfg).unwrap_err();
+        match err {
+            CoreError::Allocation(e) => {
+                assert_eq!(e.what, "double buffer");
+                assert_eq!(e.bytes, 2048);
+            }
+            other => panic!("expected Allocation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fused_scratch_respects_alloc_budget() {
+        let host = HostProfile { cpus: 1, pin_works: true, llc_bytes: None };
+        let plan = FftPlan::builder(Dims::d3(8, 8, 8))
+            .buffer_elems(64)
+            .threads(2, 2)
+            .host(host)
+            .build()
+            .unwrap();
+        assert_eq!(plan.executor, ExecutorKind::Fused);
+        let mut data = vec![Complex64::ZERO; 512];
+        let mut work = vec![Complex64::ZERO; 512];
+        let cfg = ExecConfig {
+            fault: Some(FaultPlan::none().with_alloc_budget(512)),
+            ..Default::default()
+        };
+        let err = execute_with(&plan, &mut data, &mut work, &cfg).unwrap_err();
+        assert!(
+            matches!(err, CoreError::Allocation(_)),
+            "expected Allocation, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn integrity_guards_and_energy_check_pass_on_clean_runs() {
+        let (k, n, m) = (8usize, 8, 8);
+        let x = random_complex(k * n * m, 92);
+        let plan = FftPlan::builder(Dims::d3(k, n, m))
+            .buffer_elems(128)
+            .threads(2, 2)
+            .build()
+            .unwrap();
+        let mut data = x.clone();
+        let mut work = vec![Complex64::ZERO; x.len()];
+        let cfg = ExecConfig {
+            integrity: IntegrityConfig::full(),
+            verify_energy: true,
+            ..Default::default()
+        };
+        execute_with(&plan, &mut data, &mut work, &cfg).unwrap();
+        // Guards must not perturb the numbers.
+        let mut expect = x.clone();
+        let mut w2 = vec![Complex64::ZERO; x.len()];
+        execute(&plan, &mut expect, &mut w2).unwrap();
+        assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn corruption_is_detected_by_checksum_guard_end_to_end() {
+        use bwfft_pipeline::FaultPhase;
+        let plan = FftPlan::builder(Dims::d3(8, 8, 8))
+            .buffer_elems(64)
+            .threads(1, 1)
+            .build()
+            .unwrap();
+        let x = random_complex(512, 93);
+        let mut data = x.clone();
+        let mut work = vec![Complex64::ZERO; 512];
+        let cfg = ExecConfig {
+            integrity: IntegrityConfig::full(),
+            iter_timeout: Some(Duration::from_secs(5)),
+            fault: Some(FaultPlan::corrupt_at(
+                bwfft_pipeline::Role::Data,
+                0,
+                1,
+                FaultPhase::Load,
+            )),
+            ..Default::default()
+        };
+        let err = execute_with(&plan, &mut data, &mut work, &cfg).unwrap_err();
+        assert_eq!(err.integrity_kind(), Some(IntegrityKind::Checksum));
+    }
+
+    #[test]
+    fn corruption_with_guards_off_fails_energy_check() {
+        use bwfft_pipeline::FaultPhase;
+        let plan = FftPlan::builder(Dims::d3(8, 8, 8))
+            .buffer_elems(64)
+            .threads(1, 1)
+            .build()
+            .unwrap();
+        let x = random_complex(512, 94);
+        let mut data = x.clone();
+        let mut work = vec![Complex64::ZERO; 512];
+        let cfg = ExecConfig {
+            verify_energy: true,
+            fault: Some(FaultPlan::corrupt_at(
+                bwfft_pipeline::Role::Data,
+                0,
+                1,
+                FaultPhase::Load,
+            )),
+            ..Default::default()
+        };
+        let err = execute_with(&plan, &mut data, &mut work, &cfg).unwrap_err();
+        assert_eq!(err.integrity_kind(), Some(IntegrityKind::Energy));
+    }
+
+    #[test]
+    fn fused_honors_panic_fault_as_typed_error() {
+        let host = HostProfile { cpus: 1, pin_works: true, llc_bytes: None };
+        let plan = FftPlan::builder(Dims::d3(8, 8, 8))
+            .buffer_elems(64)
+            .threads(2, 2)
+            .host(host)
+            .build()
+            .unwrap();
+        assert_eq!(plan.executor, ExecutorKind::Fused);
+        let mut data = vec![Complex64::ZERO; 512];
+        let mut work = vec![Complex64::ZERO; 512];
+        let cfg = ExecConfig {
+            fault: Some(FaultPlan::panic_at(Role::Compute, 0, 1)),
+            ..Default::default()
+        };
+        let err = execute_with(&plan, &mut data, &mut work, &cfg).unwrap_err();
+        match err {
+            CoreError::Pipeline(PipelineError::WorkerPanicked { iter, message, .. }) => {
+                assert_eq!(iter, 1);
+                assert!(message.contains("fused"), "message: {message}");
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
     }
 }

@@ -48,8 +48,14 @@ pub mod host;
 pub mod metrics;
 pub mod plan;
 pub mod profile;
+pub mod reference;
+pub mod supervisor;
 
 pub use error::CoreError;
 pub use exec_real::{ExecConfig, ExecReport};
 pub use host::{DegradationReason, ExecutorKind, HostProfile};
 pub use plan::{Dims, FftPlan, FftPlanBuilder, PlanError};
+pub use reference::execute_reference;
+pub use supervisor::{
+    RecoveryAction, RecoveryEvent, RecoveryTier, RetryPolicy, SupervisedReport, Supervisor,
+};

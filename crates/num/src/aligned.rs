@@ -9,6 +9,7 @@
 use core::ops::{Deref, DerefMut};
 use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
 
+use crate::alloc::AllocError;
 use crate::CACHELINE_BYTES;
 
 /// A `Vec`-like owned slice whose storage is aligned to 64 bytes.
@@ -34,20 +35,36 @@ impl<T> AlignedVec<T> {
     where
         T: Copy,
     {
+        match Self::try_zeroed(len) {
+            Ok(v) => v,
+            Err(_) => handle_alloc_error(Self::layout(len)),
+        }
+    }
+
+    /// Fallible [`zeroed`](Self::zeroed): a refused allocation comes
+    /// back as a typed [`AllocError`] instead of aborting, so callers
+    /// sizing multi-gigabyte buffers can shrink and retry.
+    pub fn try_zeroed(len: usize) -> Result<Self, AllocError>
+    where
+        T: Copy,
+    {
         assert!(core::mem::size_of::<T>() > 0, "zero-sized T not supported");
         let layout = Self::layout(len);
         if len == 0 {
-            return Self {
+            return Ok(Self {
                 ptr: core::ptr::NonNull::dangling(),
                 len: 0,
-            };
+            });
         }
         // Safety: layout has nonzero size here.
         let raw = unsafe { alloc_zeroed(layout) };
-        let Some(ptr) = core::ptr::NonNull::new(raw as *mut T) else {
-            handle_alloc_error(layout)
-        };
-        Self { ptr, len }
+        match core::ptr::NonNull::new(raw as *mut T) {
+            Some(ptr) => Ok(Self { ptr, len }),
+            None => Err(AllocError {
+                what: "AlignedVec",
+                bytes: layout.size(),
+            }),
+        }
     }
 
     /// Builds an aligned copy of `src`.
@@ -80,6 +97,18 @@ impl<T> AlignedVec<T> {
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Raw base pointer of the allocation (dangling when empty).
+    ///
+    /// For callers that must form *disjoint subrange* slices across
+    /// threads without materializing a whole-buffer reference — forming
+    /// `&self[..]` while another thread holds `&mut` into a disjoint
+    /// subrange is an aliasing violation under the stacked-borrows
+    /// model even though the ranges never overlap.
+    #[inline]
+    pub fn base_ptr(&self) -> *mut T {
+        self.ptr.as_ptr()
     }
 
     #[inline]
@@ -162,6 +191,14 @@ mod tests {
         let v = AlignedVec::<f64>::zeroed(0);
         assert!(v.is_empty());
         assert_eq!(v.as_slice(), &[] as &[f64]);
+    }
+
+    #[test]
+    fn try_zeroed_matches_zeroed_on_success() {
+        let v = AlignedVec::<Complex64>::try_zeroed(96).unwrap();
+        assert_eq!(v.len(), 96);
+        assert_eq!(v.as_slice().as_ptr() as usize % 64, 0);
+        assert!(AlignedVec::<Complex64>::try_zeroed(0).unwrap().is_empty());
     }
 
     #[test]

@@ -1,0 +1,89 @@
+//! Fallible allocation for the large buffers of the workspace.
+//!
+//! The transforms this workspace targets are multi-gigabyte; a failed
+//! `Vec` growth must surface as a typed error the planner can answer
+//! (shrink the buffer, retry) instead of an OOM abort. Every large
+//! allocation in the executors and the tuner goes through
+//! [`try_vec_zeroed`] / [`AlignedVec::try_zeroed`](crate::AlignedVec::try_zeroed);
+//! infallible paths remain only for small, plan-bounded scratch.
+
+/// A denied allocation request, as a value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AllocError {
+    /// What the allocation was for (e.g. "double buffer", "work array").
+    pub what: &'static str,
+    /// Requested size in bytes.
+    pub bytes: usize,
+}
+
+impl core::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "allocation of {} bytes for {} failed", self.bytes, self.what)
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// Allocates a zero-initialized `Vec<T>` of `len` elements, returning a
+/// typed [`AllocError`] instead of aborting when the allocator refuses.
+///
+/// Built on `try_reserve_exact`, so the request is answered by the real
+/// allocator — there is no overcommit-probing trickery here; on Linux
+/// the OOM killer can still strike later, but an honest refusal (ulimit,
+/// cgroup memory ceiling, 32-bit address space) comes back as a value.
+pub fn try_vec_zeroed<T: Copy + Default>(
+    len: usize,
+    what: &'static str,
+) -> Result<Vec<T>, AllocError> {
+    let mut v: Vec<T> = Vec::new();
+    v.try_reserve_exact(len).map_err(|_| AllocError {
+        what,
+        bytes: len.saturating_mul(core::mem::size_of::<T>()),
+    })?;
+    v.resize(len, T::default());
+    Ok(v)
+}
+
+/// Checks a request of `bytes` against an injected allocation budget
+/// (`None` ≡ unlimited). Fault-injection plumbing: the executors call
+/// this with `FaultPlan::fail_alloc_over` before allocating, so tests
+/// can drive the OOM-recovery path deterministically on machines with
+/// plenty of memory.
+pub fn check_alloc_budget(
+    what: &'static str,
+    bytes: usize,
+    budget: Option<usize>,
+) -> Result<(), AllocError> {
+    match budget {
+        Some(limit) if bytes > limit => Err(AllocError { what, bytes }),
+        _ => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_requests_succeed() {
+        let v = try_vec_zeroed::<f64>(1024, "test").unwrap();
+        assert_eq!(v.len(), 1024);
+        assert!(v.iter().all(|x| *x == 0.0));
+    }
+
+    #[test]
+    fn impossible_requests_are_typed_errors() {
+        // isize::MAX bytes can never be reserved.
+        let e = try_vec_zeroed::<f64>(usize::MAX / 16, "huge").unwrap_err();
+        assert_eq!(e.what, "huge");
+        assert!(e.to_string().contains("huge"));
+    }
+
+    #[test]
+    fn budget_check_is_exact() {
+        assert!(check_alloc_budget("b", 100, None).is_ok());
+        assert!(check_alloc_budget("b", 100, Some(100)).is_ok());
+        let e = check_alloc_budget("b", 101, Some(100)).unwrap_err();
+        assert_eq!(e, AllocError { what: "b", bytes: 101 });
+    }
+}

@@ -16,12 +16,14 @@
 //! * [`signal`] — deterministic test-signal generators.
 
 pub mod aligned;
+pub mod alloc;
 pub mod compare;
 pub mod complex;
 pub mod signal;
 pub mod split;
 
 pub use aligned::AlignedVec;
+pub use alloc::{check_alloc_budget, try_vec_zeroed, AllocError};
 pub use complex::Complex64;
 
 /// Number of bytes in a cacheline on every machine the paper targets.

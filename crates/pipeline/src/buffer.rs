@@ -7,8 +7,37 @@
 //! threads transform the other; the executor hands out disjoint
 //! mutable views across threads through a checked unsafe API.
 
+use bwfft_num::alloc::AllocError;
 use bwfft_num::{AlignedVec, Complex64};
 use core::cell::UnsafeCell;
+
+/// Elements in each canary region framing the buffer halves (one full
+/// cacheline of `Complex64`, so the canaries never share a line with
+/// payload data).
+pub const CANARY_ELEMS: usize = 4;
+
+/// Bit pattern stamped into every canary element's real part (the
+/// imaginary part carries its complement). A quiet-NaN payload nothing
+/// in the FFT pipeline could produce by arithmetic.
+const CANARY_RE_BITS: u64 = 0x7FF8_DEAD_C0DE_5AFE;
+
+#[inline]
+fn canary_value() -> Complex64 {
+    Complex64::new(f64::from_bits(CANARY_RE_BITS), f64::from_bits(!CANARY_RE_BITS))
+}
+
+#[inline]
+fn is_canary(c: Complex64) -> bool {
+    c.re.to_bits() == CANARY_RE_BITS && c.im.to_bits() == !CANARY_RE_BITS
+}
+
+/// Elements in the *middle* guard region between the two halves: one
+/// canary cacheline plus the padding needed to keep the second half on
+/// a 64-byte boundary.
+#[inline]
+fn mid_elems(half_elems: usize) -> usize {
+    CANARY_ELEMS + (CANARY_ELEMS - half_elems % CANARY_ELEMS) % CANARY_ELEMS
+}
 
 /// A cacheline-aligned double buffer shared between pipeline threads.
 ///
@@ -17,6 +46,21 @@ use core::cell::UnsafeCell;
 /// borrow checker cannot express across the barrier-synchronized
 /// executor loop. All aliasing obligations are concentrated in
 /// [`DoubleBuffer::half_range_mut`].
+///
+/// # Guard layout
+///
+/// The two payload halves are framed by three canary regions:
+///
+/// ```text
+/// [c0: 4][ half 0: b elems ][c1: 4 + pad][ half 1: b elems ][c2: 4]
+/// ```
+///
+/// Each canary holds a fixed NaN-boxed bit pattern no FFT phase can
+/// produce. [`check_canaries`](Self::check_canaries) verifies all three
+/// regions; the executor calls it at handoff barriers when integrity
+/// guards are enabled, so a phase writing outside its slice is caught
+/// at the next barrier instead of silently corrupting a neighbor. The
+/// middle region is padded so both halves start on a 64-byte boundary.
 pub struct DoubleBuffer {
     storage: UnsafeCell<AlignedVec<Complex64>>,
     half_elems: usize,
@@ -25,23 +69,58 @@ pub struct DoubleBuffer {
 // Safety: all concurrent access goes through the unsafe accessors whose
 // contracts require disjointness; the executor upholds them via the
 // pipeline schedule (data and compute halves never coincide, shares
-// within a half are disjoint ranges).
+// within a half are disjoint ranges). Canary reads touch only the guard
+// regions, which no well-formed view overlaps.
 unsafe impl Sync for DoubleBuffer {}
 
 impl DoubleBuffer {
     /// Allocates a zeroed double buffer with halves of `half_elems`.
+    ///
+    /// # Panics
+    /// Panics if the allocation is refused; use
+    /// [`try_new`](Self::try_new) where failure must be recoverable.
     pub fn new(half_elems: usize) -> Self {
-        assert!(half_elems > 0);
-        Self {
-            storage: UnsafeCell::new(AlignedVec::zeroed(2 * half_elems)),
-            half_elems,
+        match Self::try_new(half_elems) {
+            Ok(buf) => buf,
+            Err(e) => panic!("double buffer allocation failed: {e}"),
         }
+    }
+
+    /// Fallible [`new`](Self::new): a refused allocation comes back as
+    /// a typed [`AllocError`] so planners can shrink `b` and retry.
+    pub fn try_new(half_elems: usize) -> Result<Self, AllocError> {
+        assert!(half_elems > 0);
+        let mid = mid_elems(half_elems);
+        let total = 2 * CANARY_ELEMS + mid + 2 * half_elems;
+        let mut storage = AlignedVec::<Complex64>::try_zeroed(total)?;
+        let fill = canary_value();
+        for slot in &mut storage[..CANARY_ELEMS] {
+            *slot = fill;
+        }
+        let mid_start = CANARY_ELEMS + half_elems;
+        for slot in &mut storage[mid_start..mid_start + mid] {
+            *slot = fill;
+        }
+        for slot in &mut storage[total - CANARY_ELEMS..] {
+            *slot = fill;
+        }
+        Ok(Self {
+            storage: UnsafeCell::new(storage),
+            half_elems,
+        })
     }
 
     /// Elements per half (the paper's `b`).
     #[inline]
     pub fn half_elems(&self) -> usize {
         self.half_elems
+    }
+
+    /// Element offset of a half's payload within the guarded storage.
+    #[inline]
+    fn payload_offset(&self, half: usize) -> usize {
+        debug_assert!(half < 2);
+        CANARY_ELEMS + half * (self.half_elems + mid_elems(self.half_elems))
     }
 
     /// Shared view of a whole half. The caller must guarantee no thread
@@ -54,8 +133,8 @@ impl DoubleBuffer {
     #[inline]
     pub unsafe fn half(&self, half: usize) -> &[Complex64] {
         debug_assert!(half < 2);
-        let v = &*self.storage.get();
-        &v.as_slice()[half * self.half_elems..(half + 1) * self.half_elems]
+        let base = (*self.storage.get()).base_ptr();
+        core::slice::from_raw_parts(base.add(self.payload_offset(half)), self.half_elems)
     }
 
     /// Mutable view of `range` within a half.
@@ -73,12 +152,39 @@ impl DoubleBuffer {
     ) -> &mut [Complex64] {
         debug_assert!(half < 2);
         debug_assert!(range.end <= self.half_elems);
-        let v = &mut *self.storage.get();
-        let base = half * self.half_elems;
-        &mut v.as_mut_slice()[base + range.start..base + range.end]
+        let base = (*self.storage.get()).base_ptr();
+        core::slice::from_raw_parts_mut(
+            base.add(self.payload_offset(half) + range.start),
+            range.len(),
+        )
     }
 
-    /// Exclusive access to the full storage (setup/teardown only).
+    /// Verifies all three canary regions still hold the guard pattern.
+    ///
+    /// Safe to call concurrently with payload access: canary regions are
+    /// disjoint from every well-formed half view, and a *mal*-formed
+    /// writer that raced into a guard region is exactly what this check
+    /// exists to report.
+    pub fn check_canaries(&self) -> bool {
+        let mid = mid_elems(self.half_elems);
+        let total = 2 * CANARY_ELEMS + mid + 2 * self.half_elems;
+        // Safety: reads stay within the allocation and touch only the
+        // guard regions (see above).
+        unsafe {
+            let base = (*self.storage.get()).base_ptr();
+            let region_ok = |start: usize, len: usize| {
+                core::slice::from_raw_parts(base.add(start), len)
+                    .iter()
+                    .all(|&c| is_canary(c))
+            };
+            region_ok(0, CANARY_ELEMS)
+                && region_ok(CANARY_ELEMS + self.half_elems, mid)
+                && region_ok(total - CANARY_ELEMS, CANARY_ELEMS)
+        }
+    }
+
+    /// Exclusive access to the full *guarded* storage — canary regions
+    /// included (setup/teardown and guard tests only).
     pub fn storage_mut(&mut self) -> &mut [Complex64] {
         self.storage.get_mut().as_mut_slice()
     }
@@ -153,26 +259,67 @@ mod tests {
 
     #[test]
     fn halves_are_disjoint_and_sized() {
-        let mut buf = DoubleBuffer::new(128);
+        let buf = DoubleBuffer::new(128);
         assert_eq!(buf.half_elems(), 128);
-        assert_eq!(buf.storage_mut().len(), 256);
         // Safety: exclusive test access.
         unsafe {
             let h0 = buf.half_range_mut(0, 0..128);
             h0[0] = Complex64::new(1.0, 0.0);
+            h0[127] = Complex64::new(2.0, 0.0);
         }
         unsafe {
             let h1 = buf.half(1);
             assert_eq!(h1[0], Complex64::ZERO);
+            assert_eq!(h1[127], Complex64::ZERO);
             let h0 = buf.half(0);
             assert_eq!(h0[0], Complex64::new(1.0, 0.0));
+        }
+        // Payload writes at the half boundaries never disturb the guards.
+        assert!(buf.check_canaries());
+    }
+
+    #[test]
+    fn both_halves_are_cacheline_aligned() {
+        // Halves whose element count is and is not a multiple of a
+        // cacheline; the middle guard's padding must absorb both.
+        for b in [64usize, 100, 128, 130] {
+            let buf = DoubleBuffer::new(b);
+            // Safety: exclusive test access, shared views only.
+            unsafe {
+                assert_eq!(buf.half(0).as_ptr() as usize % 64, 0, "b={b} half 0");
+                assert_eq!(buf.half(1).as_ptr() as usize % 64, 0, "b={b} half 1");
+            }
+            assert!(buf.check_canaries(), "b={b}");
         }
     }
 
     #[test]
-    fn buffer_is_cacheline_aligned() {
-        let mut buf = DoubleBuffer::new(64);
+    fn guarded_storage_includes_canary_regions() {
+        let mut buf = DoubleBuffer::new(128);
+        // 128 % 4 == 0, so the middle guard is exactly one canary line.
+        assert_eq!(buf.storage_mut().len(), 256 + 3 * CANARY_ELEMS);
         assert_eq!(buf.storage_mut().as_ptr() as usize % 64, 0);
+    }
+
+    #[test]
+    fn clobbered_canary_is_detected() {
+        for region_probe in [
+            0usize,                        // head guard
+            CANARY_ELEMS + 128,            // middle guard, first element
+            CANARY_ELEMS + 128 + CANARY_ELEMS + 128, // tail guard
+        ] {
+            let mut buf = DoubleBuffer::new(128);
+            assert!(buf.check_canaries());
+            buf.storage_mut()[region_probe] = Complex64::new(0.0, 0.0);
+            assert!(!buf.check_canaries(), "probe at {region_probe}");
+        }
+    }
+
+    #[test]
+    fn try_new_matches_new() {
+        let buf = DoubleBuffer::try_new(96).unwrap();
+        assert_eq!(buf.half_elems(), 96);
+        assert!(buf.check_canaries());
     }
 
     #[test]

@@ -58,6 +58,30 @@ impl core::fmt::Display for ConfigError {
 
 impl std::error::Error for ConfigError {}
 
+/// What kind of integrity invariant a guard found violated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IntegrityKind {
+    /// A canary word framing a double-buffer half was overwritten —
+    /// some phase wrote outside its slice.
+    Canary,
+    /// The per-block checksum carried load → compute → store changed
+    /// between handoffs — buffer contents were silently corrupted.
+    Checksum,
+    /// The per-run Parseval/energy-budget invariant failed — the output
+    /// spectrum's energy does not match the input's.
+    Energy,
+}
+
+impl core::fmt::Display for IntegrityKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            IntegrityKind::Canary => write!(f, "buffer canary clobbered"),
+            IntegrityKind::Checksum => write!(f, "block checksum mismatch"),
+            IntegrityKind::Energy => write!(f, "Parseval energy invariant violated"),
+        }
+    }
+}
+
 /// Why a pipeline run failed.
 #[derive(Clone, Debug, PartialEq)]
 pub enum PipelineError {
@@ -83,6 +107,16 @@ pub enum PipelineError {
         /// Pipeline step index at which the wait timed out.
         iter: usize,
         timeout: Duration,
+    },
+    /// An integrity guard (canary, checksum, energy invariant) detected
+    /// silent data corruption; the run was aborted before the corrupt
+    /// block could reach the output.
+    Integrity {
+        /// Pipeline stage the guard fired in.
+        stage: usize,
+        /// Block (or step, for canaries) index at the detection point.
+        block: usize,
+        kind: IntegrityKind,
     },
 }
 
@@ -114,6 +148,10 @@ impl core::fmt::Display for PipelineError {
                 f,
                 "{role:?} worker {thread} timed out after {timeout:?} waiting at step {iter} \
                  (a peer is stalled)"
+            ),
+            PipelineError::Integrity { stage, block, kind } => write!(
+                f,
+                "integrity guard: {kind} at stage {stage}, block {block}"
             ),
         }
     }
@@ -147,6 +185,15 @@ mod tests {
             timeout: Duration::from_millis(50),
         };
         assert!(e.to_string().contains("timed out"));
+        let e = PipelineError::Integrity {
+            stage: 1,
+            block: 4,
+            kind: IntegrityKind::Checksum,
+        };
+        assert!(e.to_string().contains("checksum mismatch"));
+        assert!(e.to_string().contains("stage 1"));
+        assert!(IntegrityKind::Canary.to_string().contains("canary"));
+        assert!(IntegrityKind::Energy.to_string().contains("Parseval"));
     }
 
     #[test]

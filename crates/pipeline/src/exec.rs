@@ -38,14 +38,14 @@
 
 use crate::affinity::{self, PinStatus};
 use crate::buffer::{partition, DoubleBuffer};
-use crate::error::{ConfigError, PipelineError};
-use crate::fault::FaultPlan;
+use crate::error::{ConfigError, IntegrityKind, PipelineError};
+use crate::fault::{FaultPhase, FaultPlan};
 use crate::roles::Role;
 use crate::schedule::{PipelineStep, Schedule};
 use bwfft_num::Complex64;
 use bwfft_trace::{MarkKind, Phase, ThreadTracer, TraceCollector, TraceRole};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -100,6 +100,121 @@ pub struct PipelineConfig {
     /// slowest *observed* step instead of a caller-guessed constant.
     /// Takes precedence over [`iter_timeout`](Self::iter_timeout).
     pub adaptive_watchdog: Option<AdaptiveWatchdog>,
+    /// Integrity guards (canaries, per-block checksums). Disabled by
+    /// default: a disabled guard costs nothing on the hot path.
+    pub integrity: IntegrityConfig,
+}
+
+/// Which integrity guards a pipeline run arms.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IntegrityConfig {
+    /// Verify the buffer's canary regions at each handoff barrier; a
+    /// clobbered canary aborts the run with
+    /// [`PipelineError::Integrity`] of kind
+    /// [`IntegrityKind::Canary`].
+    pub canaries: bool,
+    /// Carry an order-independent per-block checksum load → compute →
+    /// store: each phase accumulates its share's checksum and the last
+    /// thread to arrive at the next phase compares, so silent buffer
+    /// corruption between handoffs aborts the run with
+    /// [`IntegrityKind::Checksum`] instead of producing a wrong answer.
+    pub checksums: bool,
+}
+
+impl IntegrityConfig {
+    /// All guards on.
+    pub fn full() -> Self {
+        IntegrityConfig {
+            canaries: true,
+            checksums: true,
+        }
+    }
+
+    /// True when any guard is armed.
+    pub fn enabled(self) -> bool {
+        self.canaries || self.checksums
+    }
+}
+
+/// Order-independent checksum of a complex slice: the wrapping sum of
+/// every component's bit pattern. Addition commutes, so partial sums
+/// over any disjoint cover of a block combine to the same total — each
+/// thread checksums only its own share, under the load *or* the compute
+/// partition, with no extra synchronization.
+/// Four independent accumulators break the loop-carried dependency so
+/// the reduction vectorizes; wrapping addition commutes, so the total
+/// is identical to the naive fold. This runs once per phase per block —
+/// it is the dominant cost of `IntegrityConfig::checksums` and must
+/// stay near memory speed.
+#[inline]
+fn block_checksum(xs: &[Complex64]) -> u64 {
+    let mut lanes = [0u64; 4];
+    let mut chunks = xs.chunks_exact(4);
+    for c in &mut chunks {
+        for (lane, v) in lanes.iter_mut().zip(c) {
+            *lane = lane
+                .wrapping_add(v.re.to_bits())
+                .wrapping_add(v.im.to_bits());
+        }
+    }
+    let mut sum = lanes
+        .iter()
+        .fold(0u64, |acc, lane| acc.wrapping_add(*lane));
+    for v in chunks.remainder() {
+        sum = sum
+            .wrapping_add(v.re.to_bits())
+            .wrapping_add(v.im.to_bits());
+    }
+    sum
+}
+
+/// One checksum accumulator: partial sums and an arrival count.
+#[derive(Default)]
+struct ChecksumSlot {
+    sum: AtomicU64,
+    arrivals: AtomicUsize,
+}
+
+impl ChecksumSlot {
+    /// Adds a partial checksum; returns the arrival count including this
+    /// one. AcqRel ordering makes every earlier arrival's partial sum
+    /// visible to the last arriver, which does the comparison.
+    fn add(&self, partial: u64) -> usize {
+        self.sum.fetch_add(partial, Ordering::AcqRel);
+        self.arrivals.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    fn total(&self) -> u64 {
+        self.sum.load(Ordering::Acquire)
+    }
+}
+
+/// Per-block checksum ledger: one slot per (block, handoff point).
+///
+/// `loaded[blk]` is accumulated by the data threads as they load,
+/// `pre_compute[blk]` by the compute threads just before the kernel
+/// (last arriver compares it against `loaded[blk]`), `computed[blk]`
+/// just after the kernel, and `pre_store[blk]` by the data threads just
+/// before the store (last arriver compares against `computed[blk]`).
+/// The pipeline's own barriers order each accumulation phase before its
+/// comparison phase, so no extra synchronization is needed.
+struct ChecksumLedger {
+    loaded: Vec<ChecksumSlot>,
+    pre_compute: Vec<ChecksumSlot>,
+    computed: Vec<ChecksumSlot>,
+    pre_store: Vec<ChecksumSlot>,
+}
+
+impl ChecksumLedger {
+    fn new(blocks: usize) -> Self {
+        let make = || (0..blocks).map(|_| ChecksumSlot::default()).collect();
+        ChecksumLedger {
+            loaded: make(),
+            pre_compute: make(),
+            computed: make(),
+            pre_store: make(),
+        }
+    }
 }
 
 /// Watchdog policy that scales with measured iteration time.
@@ -143,6 +258,7 @@ impl Default for PipelineConfig {
             stage: 0,
             trace: None,
             adaptive_watchdog: None,
+            integrity: IntegrityConfig::default(),
         }
     }
 }
@@ -336,18 +452,24 @@ struct RunCtx<'r> {
     /// adaptive watchdog so stall detection uses measured, not assumed,
     /// iteration times.
     epoch_ns: &'r AtomicU64,
+    integrity: IntegrityConfig,
+    /// Checksum ledger; present iff `integrity.checksums`.
+    ledger: Option<&'r ChecksumLedger>,
+    /// Data / compute thread counts (checksum arrival quotas).
+    p_d: usize,
+    p_c: usize,
 }
 
 impl RunCtx<'_> {
-    /// Sleeps if a stall fault targets `(role, thread)` at block `blk`,
-    /// recording the injection as a trace mark.
-    fn maybe_stall(&self, role: Role, thread: usize, blk: usize) {
-        if let Some((iter, dur)) = self.fault.stall_for(role, thread) {
+    /// Sleeps if a stall fault targets `(role, thread, phase)` at block
+    /// `blk`, recording the injection as a trace mark.
+    fn maybe_stall(&self, role: Role, thread: usize, blk: usize, phase: FaultPhase) {
+        if let Some((iter, dur)) = self.fault.stall_for(role, thread, phase) {
             if iter == blk {
                 if let Some(t) = self.trace {
                     t.mark(
                         MarkKind::FaultInjected,
-                        format!("stall: {role:?} worker {thread} at block {blk}"),
+                        format!("stall: {role:?} worker {thread} at block {blk} ({phase:?})"),
                         Some(dur.as_nanos() as f64),
                     );
                 }
@@ -356,20 +478,90 @@ impl RunCtx<'_> {
         }
     }
 
-    /// True when a panic fault targets `(role, thread)` at block `blk`;
-    /// records the injection as a trace mark when it is about to fire.
-    fn injects_panic(&self, role: Role, thread: usize, blk: usize) -> bool {
-        let fires = self.fault.panic_site_for(role, thread) == Some(blk);
+    /// True when a panic fault targets `(role, thread, phase)` at block
+    /// `blk`; records the injection as a trace mark when it is about to
+    /// fire.
+    fn injects_panic(&self, role: Role, thread: usize, blk: usize, phase: FaultPhase) -> bool {
+        let fires = self.fault.panic_site_for(role, thread, phase) == Some(blk);
         if fires {
             if let Some(t) = self.trace {
                 t.mark(
                     MarkKind::FaultInjected,
-                    format!("panic: {role:?} worker {thread} at block {blk}"),
+                    format!("panic: {role:?} worker {thread} at block {blk} ({phase:?})"),
                     None,
                 );
             }
         }
         fires
+    }
+
+    /// Silently corrupts one element of `share` if a corruption fault
+    /// targets `(role, thread, phase)` at block `blk`. Called *after*
+    /// the phase's checksum was accumulated, so the corruption models a
+    /// stray write between handoffs: only the next integrity guard (or
+    /// nothing, when guards are off) stands between it and the output.
+    fn maybe_corrupt(
+        &self,
+        role: Role,
+        thread: usize,
+        blk: usize,
+        phase: FaultPhase,
+        share: &mut [Complex64],
+    ) {
+        if self.fault.corrupt_for(role, thread, phase) == Some(blk) && !share.is_empty() {
+            if let Some(t) = self.trace {
+                t.mark(
+                    MarkKind::FaultInjected,
+                    format!("corrupt: {role:?} worker {thread} at block {blk} ({phase:?})"),
+                    None,
+                );
+            }
+            // A deliberately *visible* corruption (O(1) absolute, not a
+            // low-bit flip): detectable by the checksum guard exactly,
+            // and by energy/reference comparisons when guards are off.
+            let v = share[0];
+            share[0] = Complex64::new(v.re + 1.0, v.im - 1.0);
+        }
+    }
+
+    /// Canary sweep at a handoff barrier (thread 0 of the data role
+    /// only — one sweep per step is enough and keeps the cost O(1)).
+    /// Returns false after tripping the failure cell.
+    fn canaries_ok(&self, thread: usize, step: usize) -> bool {
+        if !self.integrity.canaries || thread != 0 {
+            return true;
+        }
+        if self.buffer.check_canaries() {
+            return true;
+        }
+        self.fail.trip(PipelineError::Integrity {
+            stage: self.stage,
+            block: step,
+            kind: IntegrityKind::Canary,
+        });
+        false
+    }
+
+    /// Accumulates `partial` into `slot` and, when this call is the last
+    /// of `quota` arrivals, compares against `reference`'s total.
+    /// Returns false after tripping the failure cell on a mismatch.
+    fn checksum_handoff(
+        &self,
+        slot: &ChecksumSlot,
+        reference: &ChecksumSlot,
+        quota: usize,
+        partial: u64,
+        blk: usize,
+    ) -> bool {
+        if slot.add(partial) == quota && slot.total() != reference.total() {
+            self.fail.trip(PipelineError::Integrity {
+                stage: self.stage,
+                block: blk,
+                kind: IntegrityKind::Checksum,
+            });
+            return false;
+        }
+        true
     }
 
     /// Record a completed step duration for the adaptive watchdog.
@@ -416,13 +608,35 @@ fn data_thread_loop(ctx: &RunCtx<'_>, j: usize, load: &mut LoadFn<'_>, store: &m
             return;
         }
         if let Some(blk) = step.store {
+            ctx.maybe_stall(Role::Data, j, blk, FaultPhase::Store);
             // Safety: between the previous global barrier and the data
             // barrier below, half `blk % 2` is only read (by data
             // threads); compute threads work on the other half
             // (schedule invariant).
             let half = unsafe { ctx.buffer.half(PipelineStep::half_of(blk)) };
+            if let Some(ledger) = ctx.ledger {
+                // Last arriver compares against the post-compute sum:
+                // corruption after the kernel stops (most of) the block
+                // from reaching the output as a silent wrong answer.
+                let partial = block_checksum(&half[load_range.clone()]);
+                if !ctx.checksum_handoff(
+                    &ledger.pre_store[blk],
+                    &ledger.computed[blk],
+                    ctx.p_d,
+                    partial,
+                    blk,
+                ) {
+                    return;
+                }
+            }
+            let inject = ctx.injects_panic(Role::Data, j, blk, FaultPhase::Store);
             let span = tracer.start();
-            let ok = contained_phase(ctx.fail, Role::Data, j, blk, || store(blk, half));
+            let ok = contained_phase(ctx.fail, Role::Data, j, blk, || {
+                if inject {
+                    panic!("{INJECTED_FAULT_PREFIX}: Data worker {j} at iteration {blk} (store)");
+                }
+                store(blk, half);
+            });
             tracer.finish(span, Phase::Store, blk);
             if !ok {
                 return;
@@ -445,15 +659,18 @@ fn data_thread_loop(ctx: &RunCtx<'_>, j: usize, load: &mut LoadFn<'_>, store: &m
                 return;
             }
         }
+        if !ctx.canaries_ok(j, step.step) {
+            return;
+        }
         if let Some(blk) = step.load {
-            ctx.maybe_stall(Role::Data, j, blk);
+            ctx.maybe_stall(Role::Data, j, blk, FaultPhase::Load);
             let range = load_range.clone();
             // Safety: load shares are disjoint across data threads; all
             // stores of this half completed at the data barrier; compute
             // is on the other half.
             let share =
                 unsafe { ctx.buffer.half_range_mut(PipelineStep::half_of(blk), range.clone()) };
-            let inject = ctx.injects_panic(Role::Data, j, blk);
+            let inject = ctx.injects_panic(Role::Data, j, blk, FaultPhase::Load);
             let span = tracer.start();
             let ok = contained_phase(ctx.fail, Role::Data, j, blk, || {
                 if inject {
@@ -465,6 +682,14 @@ fn data_thread_loop(ctx: &RunCtx<'_>, j: usize, load: &mut LoadFn<'_>, store: &m
             if !ok {
                 return;
             }
+            // Safety: reborrow of this thread's own disjoint share (the
+            // closure above consumed the first view).
+            let share =
+                unsafe { ctx.buffer.half_range_mut(PipelineStep::half_of(blk), range.clone()) };
+            if let Some(ledger) = ctx.ledger {
+                ledger.loaded[blk].add(block_checksum(share));
+            }
+            ctx.maybe_corrupt(Role::Data, j, blk, FaultPhase::Load, share);
         }
         let budget = ctx.effective_timeout();
         let span = tracer.start();
@@ -482,6 +707,9 @@ fn data_thread_loop(ctx: &RunCtx<'_>, j: usize, load: &mut LoadFn<'_>, store: &m
                 });
                 return;
             }
+        }
+        if !ctx.canaries_ok(j, step.step) {
+            return;
         }
     }
 }
@@ -505,14 +733,29 @@ fn compute_thread_loop(ctx: &RunCtx<'_>, j: usize, compute: &mut ComputeFn<'_>, 
             None
         };
         if let Some(blk) = step.compute {
-            ctx.maybe_stall(Role::Compute, j, blk);
+            ctx.maybe_stall(Role::Compute, j, blk, FaultPhase::Compute);
             let range = compute_range.clone();
             // Safety: compute shares are disjoint across compute threads
             // and the compute half is untouched by data threads this
             // step.
             let share =
                 unsafe { ctx.buffer.half_range_mut(PipelineStep::half_of(blk), range.clone()) };
-            let inject = ctx.injects_panic(Role::Compute, j, blk);
+            if let Some(ledger) = ctx.ledger {
+                // Last arriver compares against the loaders' sum: any
+                // corruption between the load handoff and the kernel is
+                // caught before its output can be stored.
+                let partial = block_checksum(share);
+                if !ctx.checksum_handoff(
+                    &ledger.pre_compute[blk],
+                    &ledger.loaded[blk],
+                    ctx.p_c,
+                    partial,
+                    blk,
+                ) {
+                    return;
+                }
+            }
+            let inject = ctx.injects_panic(Role::Compute, j, blk, FaultPhase::Compute);
             let span = tracer.start();
             let ok = contained_phase(ctx.fail, Role::Compute, j, blk, || {
                 if inject {
@@ -524,6 +767,13 @@ fn compute_thread_loop(ctx: &RunCtx<'_>, j: usize, compute: &mut ComputeFn<'_>, 
             if !ok {
                 return;
             }
+            // Safety: reborrow of this thread's own disjoint share.
+            let share =
+                unsafe { ctx.buffer.half_range_mut(PipelineStep::half_of(blk), range.clone()) };
+            if let Some(ledger) = ctx.ledger {
+                ledger.computed[blk].add(block_checksum(share));
+            }
+            ctx.maybe_corrupt(Role::Compute, j, blk, FaultPhase::Compute, share);
         }
         let budget = ctx.effective_timeout();
         let span = tracer.start();
@@ -630,6 +880,10 @@ pub fn run_pipeline(
     let global_barrier = AbortableBarrier::new(p_d + p_c);
     let empty_fault = FaultPlan::none();
     let epoch_ns = AtomicU64::new(0);
+    let ledger = cfg
+        .integrity
+        .checksums
+        .then(|| ChecksumLedger::new(cfg.iters));
     let ctx = RunCtx {
         buffer,
         schedule: &schedule,
@@ -642,6 +896,10 @@ pub fn run_pipeline(
         trace: cfg.trace.as_deref(),
         watchdog: cfg.adaptive_watchdog,
         epoch_ns: &epoch_ns,
+        integrity: cfg.integrity,
+        ledger: ledger.as_ref(),
+        p_d,
+        p_c,
     };
     let ctx_ref = &ctx;
     let pins = cfg.pin_cpus.clone();
@@ -718,6 +976,16 @@ mod tests {
     struct Out(Mutex<Vec<Complex64>>);
 
     fn run_identity_pipeline(p_d: usize, p_c: usize, blocks: usize, b: usize) {
+        run_identity_pipeline_with(p_d, p_c, blocks, b, IntegrityConfig::default());
+    }
+
+    fn run_identity_pipeline_with(
+        p_d: usize,
+        p_c: usize,
+        blocks: usize,
+        b: usize,
+        integrity: IntegrityConfig,
+    ) {
         // Pipeline that computes out[block] = 2·x[block] (identity
         // permutation on store) — verifies plumbing and scheduling.
         let n = blocks * b;
@@ -760,6 +1028,7 @@ mod tests {
             &buffer,
             &PipelineConfig {
                 iters: blocks,
+                integrity,
                 ..PipelineConfig::default()
             },
             PipelineCallbacks {
@@ -1321,6 +1590,170 @@ mod tests {
                 assert!(timeout < Duration::from_secs(5));
             }
             other => panic!("expected StageTimeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_integrity_guards_pass_on_fault_free_runs() {
+        // The guards must never false-positive: same correctness check
+        // as the plain identity runs, with every guard armed.
+        run_identity_pipeline_with(1, 1, 4, 64, IntegrityConfig::full());
+        run_identity_pipeline_with(2, 2, 8, 64, IntegrityConfig::full());
+        run_identity_pipeline_with(4, 3, 6, 96, IntegrityConfig::full());
+    }
+
+    #[test]
+    fn load_phase_corruption_is_caught_by_checksum_guard() {
+        let buffer = DoubleBuffer::new(32);
+        let err = run_pipeline(
+            &buffer,
+            &PipelineConfig {
+                iters: 5,
+                integrity: IntegrityConfig {
+                    checksums: true,
+                    canaries: false,
+                },
+                fault: Some(FaultPlan::corrupt_at(Role::Data, 0, 1, FaultPhase::Load)),
+                iter_timeout: Some(Duration::from_secs(5)),
+                ..PipelineConfig::default()
+            },
+            noop_callbacks(2, 2),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            PipelineError::Integrity {
+                stage: 0,
+                block: 1,
+                kind: crate::error::IntegrityKind::Checksum,
+            }
+        );
+    }
+
+    #[test]
+    fn compute_phase_corruption_is_caught_before_store() {
+        let buffer = DoubleBuffer::new(32);
+        let err = run_pipeline(
+            &buffer,
+            &PipelineConfig {
+                iters: 5,
+                integrity: IntegrityConfig::full(),
+                fault: Some(FaultPlan::corrupt_at(
+                    Role::Compute,
+                    0,
+                    2,
+                    FaultPhase::Compute,
+                )),
+                iter_timeout: Some(Duration::from_secs(5)),
+                ..PipelineConfig::default()
+            },
+            noop_callbacks(1, 1),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            PipelineError::Integrity {
+                stage: 0,
+                block: 2,
+                kind: crate::error::IntegrityKind::Checksum,
+            }
+        );
+    }
+
+    #[test]
+    fn corruption_with_guards_off_is_silent() {
+        // Documents the hazard the guards exist for: with checksums off
+        // the corrupted run completes "successfully".
+        let buffer = DoubleBuffer::new(32);
+        run_pipeline(
+            &buffer,
+            &PipelineConfig {
+                iters: 5,
+                fault: Some(FaultPlan::corrupt_at(Role::Data, 0, 1, FaultPhase::Load)),
+                ..PipelineConfig::default()
+            },
+            noop_callbacks(1, 1),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn clobbered_canary_aborts_run() {
+        let mut buffer = DoubleBuffer::new(32);
+        // Simulate an out-of-slice write landing in the middle guard.
+        let probe = crate::buffer::CANARY_ELEMS + 32;
+        buffer.storage_mut()[probe] = Complex64::ZERO;
+        let err = run_pipeline(
+            &buffer,
+            &PipelineConfig {
+                iters: 4,
+                integrity: IntegrityConfig {
+                    canaries: true,
+                    checksums: false,
+                },
+                iter_timeout: Some(Duration::from_secs(5)),
+                ..PipelineConfig::default()
+            },
+            noop_callbacks(1, 1),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                PipelineError::Integrity {
+                    kind: crate::error::IntegrityKind::Canary,
+                    ..
+                }
+            ),
+            "expected canary integrity error, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn store_phase_panic_is_contained() {
+        silence_injected_panic_reports();
+        let buffer = DoubleBuffer::new(16);
+        let err = run_pipeline(
+            &buffer,
+            &PipelineConfig {
+                iters: 4,
+                fault: Some(FaultPlan::panic_at_phase(
+                    Role::Data,
+                    0,
+                    1,
+                    FaultPhase::Store,
+                )),
+                iter_timeout: Some(Duration::from_secs(5)),
+                ..PipelineConfig::default()
+            },
+            noop_callbacks(1, 1),
+        )
+        .unwrap_err();
+        match err {
+            PipelineError::WorkerPanicked {
+                role,
+                iter,
+                message,
+                ..
+            } => {
+                assert_eq!(role, Role::Data);
+                assert_eq!(iter, 1);
+                assert!(message.contains("(store)"), "message: {message}");
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checksum_is_order_independent_over_partitions() {
+        let xs = random_complex(64, 7);
+        let whole = block_checksum(&xs);
+        for parts in [1usize, 2, 3, 5, 64] {
+            let split: u64 = partition(64, parts)
+                .into_iter()
+                .map(|r| block_checksum(&xs[r]))
+                .fold(0u64, u64::wrapping_add);
+            assert_eq!(split, whole, "parts={parts}");
         }
     }
 

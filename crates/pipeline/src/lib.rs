@@ -14,8 +14,11 @@
 //! The executor never lets a worker panic cross the library boundary:
 //! failures come back as typed [`error::PipelineError`] values, a
 //! shared abort flag drains surviving threads (no deadlock), and
-//! [`fault::FaultPlan`] injects panics/stalls/pin-denials for
-//! resilience testing. See the `exec` module docs for the model.
+//! [`fault::FaultPlan`] injects panics/stalls/corruptions/pin-denials
+//! for resilience testing. See the `exec` module docs for the model.
+//! Opt-in integrity guards ([`exec::IntegrityConfig`]) — buffer
+//! canaries and per-block checksums — convert silent corruption into
+//! typed [`error::PipelineError::Integrity`] failures.
 
 pub mod affinity;
 pub mod buffer;
@@ -27,8 +30,11 @@ pub mod schedule;
 
 pub use affinity::PinStatus;
 pub use buffer::{split_disjoint, BufferError, DoubleBuffer};
-pub use error::{ConfigError, PipelineError};
-pub use exec::{run_pipeline, AdaptiveWatchdog, PipelineCallbacks, PipelineConfig, PipelineReport};
-pub use fault::{FaultPlan, FaultSite, StallFault};
+pub use error::{ConfigError, IntegrityKind, PipelineError};
+pub use exec::{
+    run_pipeline, AdaptiveWatchdog, IntegrityConfig, PipelineCallbacks, PipelineConfig,
+    PipelineReport,
+};
+pub use fault::{FaultPhase, FaultPlan, FaultSite, StallFault};
 pub use roles::{Role, RoleAssignment};
 pub use schedule::{PipelineStep, Schedule};

@@ -127,6 +127,10 @@ pub enum MarkKind {
     TunerTrial,
     /// The candidate the tuner picked; `value_ns` is its score.
     TunerWinner,
+    /// A supervisor recovery step (retry, buffer shrink, executor
+    /// escalation); label describes the step, `value_ns` the backoff
+    /// slept before it, when any.
+    Recovery,
 }
 
 impl MarkKind {
@@ -137,6 +141,7 @@ impl MarkKind {
             MarkKind::FaultInjected => "fault_injected",
             MarkKind::TunerTrial => "tuner_trial",
             MarkKind::TunerWinner => "tuner_winner",
+            MarkKind::Recovery => "recovery",
         }
     }
 
@@ -147,6 +152,7 @@ impl MarkKind {
             "fault_injected" => Some(MarkKind::FaultInjected),
             "tuner_trial" => Some(MarkKind::TunerTrial),
             "tuner_winner" => Some(MarkKind::TunerWinner),
+            "recovery" => Some(MarkKind::Recovery),
             _ => None,
         }
     }
@@ -196,6 +202,7 @@ mod tests {
             MarkKind::FaultInjected,
             MarkKind::TunerTrial,
             MarkKind::TunerWinner,
+            MarkKind::Recovery,
         ] {
             assert_eq!(MarkKind::from_token(k.token()), Some(k));
         }

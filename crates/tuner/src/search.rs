@@ -29,7 +29,7 @@ use bwfft_core::exec_sim::{simulate, simulate_no_overlap, SimOptions};
 use bwfft_core::{Dims, ExecutorKind, FftPlan, HostProfile};
 use bwfft_kernels::{Direction, KernelVariant};
 use bwfft_machine::{presets, MachineSpec};
-use bwfft_num::Complex64;
+use bwfft_num::{try_vec_zeroed, Complex64};
 use bwfft_trace::{MarkKind, TraceCollector};
 use std::sync::Arc;
 use std::time::Instant;
@@ -242,8 +242,12 @@ impl Tuner {
     ) -> Result<TuningRecord, TunerError> {
         let total = dims.total();
         let input = bwfft_num::signal::random_complex(total, 7);
-        let mut data = vec![Complex64::ZERO; total];
-        let mut work = vec![Complex64::ZERO; total];
+        // Timing arrays are the tuner's biggest allocations; an honest
+        // refusal surfaces as a typed error instead of an abort.
+        let mut data = try_vec_zeroed::<Complex64>(total, "tuner timing data")
+            .map_err(|e| TunerError::from(bwfft_core::CoreError::Allocation(e)))?;
+        let mut work = try_vec_zeroed::<Complex64>(total, "tuner timing work")
+            .map_err(|e| TunerError::from(bwfft_core::CoreError::Allocation(e)))?;
         let cfg = ExecConfig::default();
 
         let mut best: Option<TuningRecord> = None;

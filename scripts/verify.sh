@@ -101,4 +101,77 @@ print("bench gate: OK")
 ' || { echo "bench smoke FAILED: bad verdict json:"; tail -n 1 "$benchdir/gate.out"; exit 1; }
 echo "bench smoke: OK"
 
+echo "== soak smoke (chaos harness: never wrong, never a panic) =="
+# A short seeded pass over the full fault matrix with the supervisor in
+# charge; any silent corruption or panic is a hard failure.
+soak_out="$(cargo run -q --bin bwfft-cli -- soak --iters 24 --seed 7)"
+echo "$soak_out" | grep -q "soak contract holds" \
+  || { echo "soak smoke FAILED:"; echo "$soak_out"; exit 1; }
+echo "soak smoke: OK"
+
+echo "== recovery smoke (escalation ladder + recovery marks in profile) =="
+# A fault that kills both real executors must escalate to the reference
+# tier, still verify, and export recovery marks in the profile JSON.
+rec_out="$(cargo run -q --bin bwfft-cli -- run --dims 8x8x16 --threads 2,2 \
+  --integrity --recover --verify --inject-panic compute,0,1 --timeout-ms 2000 \
+  --profile=json)"
+echo "$rec_out" | grep -q "recovered at the reference tier" \
+  || { echo "recovery smoke FAILED: no escalation to reference in:"; echo "$rec_out"; exit 1; }
+echo "$rec_out" | tail -n 1 | python3 -c '
+import json, sys
+
+rep = json.load(sys.stdin)
+marks = [m for m in rep.get("marks", []) if m["kind"] == "recovery"]
+assert marks, "profile JSON lacks recovery marks"
+assert any("recovered at reference" in m["label"] for m in marks), marks
+print("recovery smoke: OK")
+' || { echo "recovery smoke FAILED: bad profile json"; exit 1; }
+
+echo "== integrity overhead gate (guards must cost < 3% median, fast suite) =="
+# Deterministic half: replay-compare the committed record pair (one
+# paired fast-suite run with the guards armed on the guarded side).
+# This asserts the recorded overhead without running anything.
+if ! cargo run -q --bin bwfft-cli -- bench \
+     --current benchmarks/BENCH_integrity_guarded.json \
+     --compare benchmarks/BENCH_integrity_plain.json \
+     --threshold 3 > "$benchdir/integrity_replay.out" 2>&1; then
+  echo "integrity overhead gate FAILED: committed record pair exceeds 3% median:"
+  cat "$benchdir/integrity_replay.out"
+  exit 1
+fi
+echo "integrity overhead gate (recorded pair): OK (< 3% median)"
+# Live half (full mode only): a fresh paired run — every timed
+# iteration alternates one plain and one guarded rep so machine drift
+# cancels out of the pair. Even paired, a single sub-ms shape on this
+# 1-CPU VM can spike +25% from scheduler noise, so the live rule is
+# shaped for what it exists to catch — a *systematic* guard-cost
+# increase: fail on three or more CI-separated regressions beyond 3%
+# (a real cost change shows on most pipelined shapes at once), or any
+# single shape beyond the catastrophic 40% line.
+if [ "$fast" -eq 1 ]; then
+  echo "integrity overhead gate (live): skipped (--fast; run the full gate locally)"
+else
+  if ! cargo run -q --release --bin bwfft-cli -- bench --suite fast --reps 15 --warmup 3 \
+       --integrity --baseline-out "$benchdir/BENCH_plain.json" \
+       --out "$benchdir/BENCH_guarded.json" \
+       --threshold 40 > "$benchdir/integrity.out" 2>&1; then
+    echo "integrity overhead gate FAILED: a guarded shape regressed beyond 40%:"
+    cat "$benchdir/integrity.out"
+    exit 1
+  fi
+  tail -n 1 "$benchdir/integrity.out" | python3 -c '
+import json, sys
+
+v = json.load(sys.stdin)
+assert v["schema"] == "bwfft-bench-verdict/1", v["schema"]
+bad = [p for p in v["pairs"] if p["delta_pct"] > 3.0 and p["ci_separated"]]
+if len(bad) >= 3:
+    names = ", ".join("{} {:+.1f}%".format(p["key"], p["delta_pct"]) for p in bad)
+    print(f"systematic guard overhead beyond 3% median on {len(bad)} shapes: {names}")
+    sys.exit(1)
+print(f"live paired run: {len(bad)} isolated shape(s) beyond 3% (noise allowance < 3)")
+' || { echo "integrity overhead gate FAILED: systematic cost increase:"; cat "$benchdir/integrity.out"; exit 1; }
+  echo "integrity overhead gate (live): OK (no systematic increase)"
+fi
+
 echo "verify: OK"

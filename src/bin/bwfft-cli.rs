@@ -4,15 +4,17 @@
 //! ```text
 //! bwfft-cli machines
 //! bwfft-cli run --dims 64x64x64 --threads 2,2 [--buffer 16384] [--inverse] [--verify]
-//!               [--adapt] [--inject-panic ROLE,T,I] [--timeout-ms N] [--seed S]
-//!               [--profile[=json]] [--machine NAME]
+//!               [--adapt] [--integrity] [--recover] [--inject-panic ROLE,T,I]
+//!               [--timeout-ms N] [--seed S] [--profile[=json]] [--machine NAME]
 //! bwfft-cli simulate --dims 512x512x512 --machine kabylake [--sockets 2] [--baselines]
 //! bwfft-cli stream --machine haswell2667
 //! bwfft-cli tune --dims 64x64 [--inverse] [--model-only] [--plan-stats] [--wisdom PATH]
 //!               [--profile[=json]]
 //! bwfft-cli bench [--suite smoke|fast|full] [--reps N] [--warmup N] [--seed S]
 //!                 [--machine NAME] [--out PATH] [--derate F]
+//!                 [--integrity [--baseline-out PATH]]
 //!                 [--compare BASELINE [--current PATH]] [--threshold PCT]
+//! bwfft-cli soak [--iters N] [--seed S] [--stall-ms N]
 //! ```
 //!
 //! `--profile` traces the run and prints the per-stage roofline/overlap
@@ -29,12 +31,36 @@
 //! the exit code nonzero (this is what `scripts/perf_gate.sh` wires
 //! into CI). `--current PATH` compares two existing files without
 //! running anything; `--derate F` pretends the run was `F`× slower — a
-//! self-test proving the gate trips.
+//! self-test proving the gate trips. `--integrity` arms the
+//! steady-state guards (canaries + checksums) in the timed reps;
+//! adding `--baseline-out PATH` switches to *paired* measurement —
+//! every timed iteration runs one plain and one guarded rep, so slow
+//! machine drift cancels out of the pair. The plain record goes to
+//! PATH, the guarded one to `--out`, and the two are gated against
+//! each other automatically (unless an explicit `--compare` overrides
+//! the baseline). This is how the integrity-overhead budget in
+//! `scripts/verify.sh` is enforced.
 //!
-//! Exit codes: 0 success, 1 runtime failure (contained worker panic,
-//! watchdog timeout, failed verification, perf regression), 2 usage
-//! error. User errors print a one-line typed message, never a
-//! backtrace.
+//! `run --integrity` arms every integrity guard (buffer canaries,
+//! per-block checksums, the whole-run Parseval check); `run --recover`
+//! executes under the retry/backoff supervisor, which escalates
+//! pipelined → fused → reference on repeated failure and prints the
+//! recovery trail (also visible as `recovery` marks under
+//! `--profile`). `soak` drives the randomized chaos harness for a
+//! seeded number of iterations and fails (exit 1) on any contract
+//! violation.
+//!
+//! ## Exit-code discipline
+//!
+//! | code | class | errors |
+//! |------|-------|--------|
+//! | 0 | success | — |
+//! | 1 | runtime fault | `WorkerPanicked`, `StageTimeout`, `Simulation`, `Integrity`, `Allocation`, failed verification, perf regression, soak contract violation, non-usage `Tuner` |
+//! | 2 | usage | `Plan`, `Config`, `InputLength`, `SocketMismatch`, bad-wisdom `Tuner`, bad flags |
+//!
+//! The mapping is `BwfftError::is_usage()`; `exit_code_discipline` in
+//! the test module asserts it variant by variant. User errors print a
+//! one-line typed message, never a backtrace.
 
 use bwfft::baselines::{reference_impl, simulate_baseline, BaselineKind};
 use bwfft::bench::compare::{compare, derate, verdict_json, GateConfig};
@@ -42,15 +68,16 @@ use bwfft::bench::measure::MeasureConfig;
 use bwfft::bench::record::{bench_filename, read_file, write_file, BenchReport};
 use bwfft::bench::stats::StatsConfig;
 use bwfft::bench::suite::SuiteKind;
-use bwfft::bench::run_suite;
+use bwfft::bench::{run_suite, run_suite_paired};
 use bwfft::core::exec_sim::{simulate, SimOptions};
-use bwfft::core::{exec_real, Dims, FftPlan};
+use bwfft::core::{exec_real, Dims, FftPlan, RetryPolicy, Supervisor};
 use bwfft::kernels::Direction;
 use bwfft::machine::stream::stream_triad;
 use bwfft::machine::{presets, MachineSpec};
 use bwfft::num::compare::rel_l2_error;
 use bwfft::num::{signal, AlignedVec, Complex64};
-use bwfft::pipeline::{AdaptiveWatchdog, FaultPlan, Role};
+use bwfft::pipeline::{AdaptiveWatchdog, FaultPlan, IntegrityConfig, Role};
+use bwfft::soak::{run_soak, SoakConfig};
 use bwfft::trace::TraceCollector;
 use bwfft::tuner::{wisdom, HostFingerprint, PlanCache, Tuner, TunerOptions, Wisdom, WisdomLoad};
 use bwfft::BwfftError;
@@ -101,15 +128,17 @@ const USAGE: &str = "\
 usage:
   bwfft-cli machines
   bwfft-cli run --dims KxNxM [--threads D,C] [--buffer B] [--inverse] [--verify]
-                [--adapt] [--inject-panic ROLE,T,I] [--timeout-ms N]
-                [--profile[=json]] [--machine NAME]
+                [--adapt] [--integrity] [--recover] [--inject-panic ROLE,T,I]
+                [--timeout-ms N] [--profile[=json]] [--machine NAME]
   bwfft-cli simulate --dims KxNxM --machine NAME [--sockets S] [--baselines]
   bwfft-cli stream --machine NAME
   bwfft-cli tune --dims KxNxM [--inverse] [--model-only] [--plan-stats] [--wisdom PATH]
                 [--profile[=json]]
   bwfft-cli bench [--suite smoke|fast|full] [--reps N] [--warmup N] [--seed S]
                   [--machine NAME] [--out PATH] [--derate F]
+                  [--integrity [--baseline-out PATH]]
                   [--compare BASELINE [--current PATH]] [--threshold PCT]
+  bwfft-cli soak [--iters N] [--seed S] [--stall-ms N]
 machines: kabylake | haswell4770 | amdfx | haswell2667 | opteron6276";
 
 fn run(args: &[String]) -> Result<(), CliError> {
@@ -135,6 +164,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "simulate" => cmd_simulate(&opts),
         "tune" => cmd_tune(&opts),
         "bench" => cmd_bench(&opts),
+        "soak" => cmd_soak(&opts),
         "stream" => {
             let spec = machine_by_name(opts.get("machine").ok_or_else(|| usage("--machine required"))?)
                 .map_err(usage)?;
@@ -200,6 +230,12 @@ fn cmd_run(opts: &HashMap<String, String>) -> Result<(), CliError> {
         exec_cfg.fault = Some(parse_fault(spec).map_err(usage)?);
         bwfft::pipeline::fault::silence_injected_panic_reports();
     }
+    if opts.contains_key("integrity") {
+        // Arm every guard: buffer canaries and per-block checksums in
+        // the pipeline, plus the whole-run Parseval check.
+        exec_cfg.integrity = IntegrityConfig::full();
+        exec_cfg.verify_energy = true;
+    }
     if let Some(ms) = opts.get("timeout-ms") {
         let ms: u64 = ms.parse().map_err(|_| usage("bad --timeout-ms"))?;
         exec_cfg.iter_timeout = Some(std::time::Duration::from_millis(ms));
@@ -238,13 +274,39 @@ fn cmd_run(opts: &HashMap<String, String>) -> Result<(), CliError> {
     let original = data.clone();
     let mut work = AlignedVec::<Complex64>::zeroed(total);
     let t0 = std::time::Instant::now();
-    let report = exec_real::execute_with(&plan, &mut data, &mut work, &exec_cfg)
-        .map_err(|e| CliError::from(BwfftError::from(e)))?;
+    let (report, executor_label) = if opts.contains_key("recover") {
+        // Supervised execution: bounded retry/backoff per tier, then
+        // escalation pipelined → fused → reference. The recovery trail
+        // is printed here and (with --profile) exported as `recovery`
+        // marks.
+        let sup = Supervisor::new(RetryPolicy::default());
+        let rep = sup
+            .run(&plan, &mut data, &mut work, &exec_cfg)
+            .map_err(|e| CliError::from(BwfftError::from(e)))?;
+        if rep.recovered() {
+            println!(
+                "recovered at the {} tier after {} attempt(s):",
+                rep.tier, rep.attempts
+            );
+            for ev in &rep.events {
+                println!(
+                    "  {} {} attempt {}: {}",
+                    ev.action, ev.tier, ev.attempt, ev.error
+                );
+            }
+        }
+        let label = rep.tier.to_string();
+        (rep.exec.unwrap_or_default(), label)
+    } else {
+        let rep = exec_real::execute_with(&plan, &mut data, &mut work, &exec_cfg)
+            .map_err(|e| CliError::from(BwfftError::from(e)))?;
+        let label = format!("{:?}", rep.executor).to_lowercase();
+        (rep, label)
+    };
     let dt = t0.elapsed();
     let gflops = plan.pseudo_flops() / dt.as_nanos() as f64;
     println!(
-        "done in {dt:.2?} — {gflops:.2} pseudo-Gflop/s on this host ({:?} executor)",
-        report.executor
+        "done in {dt:.2?} — {gflops:.2} pseudo-Gflop/s on this host ({executor_label} executor)"
     );
     if report.pin_failures > 0 {
         println!(
@@ -292,11 +354,49 @@ fn cmd_run(opts: &HashMap<String, String>) -> Result<(), CliError> {
             let noted = if opts.contains_key("machine") { "" } else { " (default; set --machine)" };
             println!("achievable bandwidth reference: {bw:.1} GB/s from {}{noted}", spec.name);
         }
-        let executor = format!("{:?}", report.executor).to_lowercase();
-        let rep = bwfft::core::profile::profile_report(collector, &plan, &executor, Some(bw));
+        let rep =
+            bwfft::core::profile::profile_report(collector, &plan, &executor_label, Some(bw));
         emit_profile(&rep, json);
     }
     Ok(())
+}
+
+/// `soak`: the seeded chaos harness. Every iteration runs a random
+/// shape under a random fault (or none) with all integrity guards
+/// armed and the supervisor in charge, then checks the output against
+/// the pencil-pencil reference. The contract — every run is either
+/// correct or a typed error, never a wrong answer, never a panic —
+/// failing is exit code 1.
+fn cmd_soak(opts: &HashMap<String, String>) -> Result<(), CliError> {
+    let mut cfg = SoakConfig::default();
+    if let Some(n) = opts.get("iters") {
+        cfg.iters = n.parse().map_err(|_| usage("bad --iters"))?;
+        if cfg.iters == 0 {
+            return Err(usage("--iters must be at least 1"));
+        }
+    }
+    if let Some(s) = opts.get("seed") {
+        cfg.seed = s.parse().map_err(|_| usage("bad --seed"))?;
+    }
+    if let Some(ms) = opts.get("stall-ms") {
+        let ms: u64 = ms.parse().map_err(|_| usage("bad --stall-ms"))?;
+        cfg.stall = std::time::Duration::from_millis(ms);
+    }
+    println!(
+        "soak: {} iteration(s), seed {:#x}, full fault matrix, integrity guards on",
+        cfg.iters, cfg.seed
+    );
+    let report = run_soak(&cfg).map_err(CliError::from)?;
+    println!("{}", report.render());
+    if report.holds() {
+        println!("soak contract holds: never wrong, never a panic");
+        Ok(())
+    } else {
+        Err(CliError::Runtime(format!(
+            "soak contract violated: {} silent corruption(s) in {} iteration(s)",
+            report.silent_corruptions, report.iterations
+        )))
+    }
 }
 
 /// Parses `ROLE,THREAD,ITER` (e.g. `compute,0,3`) into a fault plan.
@@ -496,21 +596,46 @@ fn cmd_bench(opts: &HashMap<String, String>) -> Result<(), CliError> {
     if let Some(s) = opts.get("seed") {
         mcfg.seed = s.parse().map_err(|_| usage("bad --seed"))?;
     }
+    mcfg.integrity = opts.contains_key("integrity");
+    let baseline_out = opts.get("baseline-out").map(PathBuf::from);
+    if baseline_out.is_some() && !mcfg.integrity {
+        return Err(usage(
+            "--baseline-out requires --integrity (it is the plain side of a paired overhead run)",
+        ));
+    }
     let anchor = match opts.get("machine") {
         Some(name) => machine_by_name(name).map_err(usage)?,
         None => presets::kaby_lake_7700k(),
     };
     println!(
-        "bench: {} suite, {} reps + {} warmup, seed {}, STREAM roofline {:.1} GB/s ({})",
+        "bench: {} suite, {} reps + {} warmup, seed {}, STREAM roofline {:.1} GB/s ({}){}",
         kind.label(),
         mcfg.reps,
         mcfg.warmup,
         mcfg.seed,
         anchor.total_dram_bw_gbs(),
-        anchor.name
+        anchor.name,
+        match (mcfg.integrity, baseline_out.is_some()) {
+            (true, true) => ", paired plain/guarded reps",
+            (true, false) => ", integrity guards on",
+            _ => "",
+        }
     );
-    let mut report = run_suite(kind, &mcfg, &StatsConfig::default(), &anchor, true)
-        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    let (mut report, paired_plain) = if let Some(base_path) = &baseline_out {
+        let (plain, guarded) = run_suite_paired(kind, &mcfg, &StatsConfig::default(), &anchor, true)
+            .map_err(|e| CliError::Runtime(e.to_string()))?;
+        write_file(base_path, &plain).map_err(|e| CliError::Runtime(e.to_string()))?;
+        println!(
+            "wrote {} (plain half of the pair, {} suites)",
+            base_path.display(),
+            plain.suites.len()
+        );
+        (guarded, Some(plain))
+    } else {
+        let report = run_suite(kind, &mcfg, &StatsConfig::default(), &anchor, true)
+            .map_err(|e| CliError::Runtime(e.to_string()))?;
+        (report, None)
+    };
     if let Some(f) = derate_factor {
         derate(&mut report, f);
         println!("note: record derated {f}x (gate self-test)");
@@ -524,6 +649,9 @@ fn cmd_bench(opts: &HashMap<String, String>) -> Result<(), CliError> {
     if let Some(base_path) = opts.get("compare") {
         let base = load_bench(base_path)?;
         return finish_compare(&base, &report, &gate);
+    }
+    if let Some(plain) = paired_plain {
+        return finish_compare(&plain, &report, &gate);
     }
     Ok(())
 }
@@ -573,7 +701,14 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         // Boolean flags take no value.
         if matches!(
             name,
-            "inverse" | "verify" | "baselines" | "adapt" | "model-only" | "plan-stats"
+            "inverse"
+                | "verify"
+                | "baselines"
+                | "adapt"
+                | "model-only"
+                | "plan-stats"
+                | "integrity"
+                | "recover"
         ) {
             out.insert(name.to_string(), String::new());
             i += 1;
@@ -592,10 +727,13 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
                 | "reps"
                 | "warmup"
                 | "out"
+                | "baseline-out"
                 | "compare"
                 | "current"
                 | "threshold"
                 | "derate"
+                | "iters"
+                | "stall-ms"
         ) {
             let v = args
                 .get(i + 1)
@@ -713,6 +851,60 @@ mod tests {
             }
             other => panic!("expected runtime error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn exit_code_discipline() {
+        // The doc-comment table, asserted variant by variant: integrity
+        // trips and allocation refusals are runtime faults (exit 1),
+        // never usage errors (exit 2).
+        use bwfft::core::PlanError;
+        use bwfft::num::AllocError;
+        use bwfft::pipeline::IntegrityKind;
+        let e = CliError::from(BwfftError::Integrity {
+            stage: 1,
+            block: 3,
+            kind: IntegrityKind::Checksum,
+        });
+        assert!(matches!(e, CliError::Runtime(_)), "{e:?}");
+        let e = CliError::from(BwfftError::Allocation(AllocError {
+            what: "double buffer",
+            bytes: 1 << 40,
+        }));
+        assert!(matches!(e, CliError::Runtime(_)), "{e:?}");
+        let e = CliError::from(BwfftError::Plan(PlanError::NotPow2("n", 12)));
+        assert!(matches!(e, CliError::Usage(_)), "{e:?}");
+    }
+
+    #[test]
+    fn recovering_run_survives_a_fault_that_kills_both_executors() {
+        // compute thread 0 at block 1 bites the pipelined AND the fused
+        // executor; --recover escalates to the reference tier and
+        // --verify proves the answer is still right.
+        let args: Vec<String> = [
+            "run", "--dims", "8x8x16", "--threads", "2,2",
+            "--integrity", "--recover", "--verify",
+            "--inject-panic", "compute,0,1", "--timeout-ms", "2000",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        run(&args).unwrap();
+    }
+
+    #[test]
+    fn soak_subcommand_smoke() {
+        let args: Vec<String> = ["soak", "--iters", "8", "--seed", "7"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        run(&args).unwrap();
+        // Bad iteration counts are usage errors.
+        let args: Vec<String> = ["soak", "--iters", "0"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(matches!(run(&args), Err(CliError::Usage(_))));
     }
 
     #[test]

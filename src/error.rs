@@ -25,8 +25,8 @@
 
 use bwfft_core::{CoreError, ExecReport, FftPlan, PlanError};
 use bwfft_machine::EngineError;
-use bwfft_num::Complex64;
-use bwfft_pipeline::{ConfigError, PipelineError, Role};
+use bwfft_num::{AllocError, Complex64};
+use bwfft_pipeline::{ConfigError, IntegrityKind, PipelineError, Role};
 use bwfft_tuner::TunerError;
 use std::time::Duration;
 
@@ -68,6 +68,22 @@ pub enum BwfftError {
     /// version/host mismatches of a wisdom file are *not* errors — they
     /// degrade to re-tuning (`bwfft_tuner::RetuneReason`).
     Tuner(TunerError),
+    /// An integrity guard (buffer canary, per-block checksum, or the
+    /// whole-run Parseval/energy invariant) detected silent data
+    /// corruption; the run was aborted rather than returning a wrong
+    /// answer. Flattened from both the pipeline-level and core-level
+    /// guard variants.
+    Integrity {
+        /// FFT stage the guard fired in (0 for whole-run guards).
+        stage: usize,
+        /// Block index at the detection point (0 for whole-run guards).
+        block: usize,
+        kind: IntegrityKind,
+    },
+    /// A buffer allocation was refused (OOM or an injected allocation
+    /// budget). Recoverable: the supervisor answers it by shrinking the
+    /// plan's buffer and retrying.
+    Allocation(AllocError),
 }
 
 impl BwfftError {
@@ -124,7 +140,16 @@ impl From<PipelineError> for BwfftError {
                 iter,
                 timeout,
             },
+            PipelineError::Integrity { stage, block, kind } => {
+                BwfftError::Integrity { stage, block, kind }
+            }
         }
+    }
+}
+
+impl From<AllocError> for BwfftError {
+    fn from(e: AllocError) -> Self {
+        BwfftError::Allocation(e)
     }
 }
 
@@ -158,6 +183,10 @@ impl From<CoreError> for BwfftError {
             CoreError::SocketMismatch { plan, machine } => {
                 BwfftError::SocketMismatch { plan, machine }
             }
+            CoreError::Integrity { stage, block, kind } => {
+                BwfftError::Integrity { stage, block, kind }
+            }
+            CoreError::Allocation(a) => BwfftError::Allocation(a),
         }
     }
 }
@@ -195,6 +224,11 @@ impl std::fmt::Display for BwfftError {
                 write!(f, "plan wants {plan} sockets, machine has {machine}")
             }
             BwfftError::Tuner(e) => write!(f, "tuner: {e}"),
+            BwfftError::Integrity { stage, block, kind } => write!(
+                f,
+                "integrity guard: {kind} at stage {stage}, block {block}"
+            ),
+            BwfftError::Allocation(e) => write!(f, "allocation: {e}"),
         }
     }
 }
@@ -291,6 +325,41 @@ mod tests {
         let mut short = vec![Complex64::ZERO; 8];
         let err = plan.execute(&mut short, &mut work).unwrap_err();
         assert!(matches!(err, BwfftError::InputLength { what: "data", .. }));
+    }
+
+    #[test]
+    fn integrity_and_allocation_flatten_as_runtime_faults() {
+        // Pipeline-level guard trip and core-level (energy) guard trip
+        // flatten to the same facade variant; both are runtime faults
+        // (exit 1), never usage errors.
+        let e: BwfftError = CoreError::Pipeline(PipelineError::Integrity {
+            stage: 1,
+            block: 4,
+            kind: IntegrityKind::Checksum,
+        })
+        .into();
+        assert!(
+            matches!(e, BwfftError::Integrity { stage: 1, block: 4, kind: IntegrityKind::Checksum })
+        );
+        assert!(!e.is_usage());
+        let e: BwfftError = CoreError::Integrity {
+            stage: 0,
+            block: 0,
+            kind: IntegrityKind::Energy,
+        }
+        .into();
+        assert!(matches!(e, BwfftError::Integrity { kind: IntegrityKind::Energy, .. }));
+        assert!(!e.is_usage());
+        assert!(e.to_string().contains("integrity guard"));
+
+        let e: BwfftError = CoreError::Allocation(AllocError {
+            what: "double buffer",
+            bytes: 1 << 40,
+        })
+        .into();
+        assert!(matches!(e, BwfftError::Allocation(_)));
+        assert!(!e.is_usage());
+        assert!(e.to_string().contains("allocation"));
     }
 
     #[test]

@@ -70,6 +70,7 @@
 //! ```
 
 mod error;
+pub mod soak;
 
 pub use bwfft_baselines as baselines;
 pub use bwfft_bench as bench;
@@ -82,3 +83,4 @@ pub use bwfft_spl as spl;
 pub use bwfft_trace as trace;
 pub use bwfft_tuner as tuner;
 pub use error::{BwfftError, PlanExecute};
+pub use soak::{run_soak, SoakConfig, SoakReport};

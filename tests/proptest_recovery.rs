@@ -1,0 +1,155 @@
+//! Property tests of the recovery subsystem.
+//!
+//! Two properties the unit tests only spot-check:
+//!
+//! 1. **Supervisor determinism** — for any conformance shape, fault
+//!    kind, fault site, and input seed, two supervised runs take the
+//!    same recovery trail (tier, attempts, actions, errors, backoffs)
+//!    and produce the same output.
+//! 2. **Guards never false-positive** — with every integrity guard
+//!    armed (canaries, checksums, Parseval) a fault-free run succeeds
+//!    on every conformance shape, thread split, and executor, and the
+//!    answer matches the pencil-pencil reference.
+
+use bwfft::baselines::reference_impl;
+use bwfft::core::exec_real::ExecConfig;
+use bwfft::core::{Dims, ExecutorKind, FftPlan, RetryPolicy, Supervisor};
+use bwfft::num::compare::{fft_tolerance, rel_l2_error};
+use bwfft::num::signal::random_complex;
+use bwfft::num::Complex64;
+use bwfft::pipeline::{FaultPhase, FaultPlan, IntegrityConfig, Role};
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// The conformance shapes the soak harness rotates through: 2D and 3D,
+/// two buffer sizes, all small enough to keep a property case cheap.
+fn shape(i: usize) -> (Dims, usize) {
+    match i % 3 {
+        0 => (Dims::d2(16, 32), 128),
+        1 => (Dims::d3(8, 8, 16), 128),
+        _ => (Dims::d3(8, 16, 16), 256),
+    }
+}
+
+fn fast_policy() -> RetryPolicy {
+    RetryPolicy {
+        backoff_base: Duration::from_micros(50),
+        backoff_cap: Duration::from_millis(1),
+        ..RetryPolicy::default()
+    }
+}
+
+/// One fault drawn from the (cheap) kinds: worker panic, handoff
+/// corruption, or an allocation budget. Stalls are excluded only
+/// because their injected sleeps dominate a property run's wall-clock.
+fn fault(kind: usize, role_i: usize, thread: usize, iter: usize) -> FaultPlan {
+    let role = if role_i == 0 { Role::Data } else { Role::Compute };
+    let phase = if role == Role::Compute {
+        FaultPhase::Compute
+    } else if iter.is_multiple_of(2) {
+        FaultPhase::Load
+    } else {
+        FaultPhase::Store
+    };
+    match kind % 3 {
+        0 => FaultPlan::panic_at(role, thread, iter),
+        1 => FaultPlan::corrupt_at(role, thread, iter, phase),
+        _ => FaultPlan::none().with_alloc_budget(1024),
+    }
+}
+
+fn trail(rep: &bwfft::core::SupervisedReport) -> Vec<(String, usize, String, String, Duration)> {
+    rep.events
+        .iter()
+        .map(|e| {
+            (
+                e.tier.to_string(),
+                e.attempt,
+                e.action.to_string(),
+                e.error.clone(),
+                e.backoff,
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn supervised_recovery_is_deterministic(
+        shape_i in 0usize..3,
+        kind in 0usize..3,
+        role_i in 0usize..2,
+        thread in 0usize..2,
+        iter in 0usize..4,
+        seed in 0u64..1_000_000,
+    ) {
+        bwfft::pipeline::fault::silence_injected_panic_reports();
+        let (dims, b) = shape(shape_i);
+        let plan = FftPlan::builder(dims)
+            .buffer_elems(b)
+            .threads(2, 2)
+            .build()
+            .unwrap();
+        let x = random_complex(dims.total(), seed);
+        let cfg = ExecConfig {
+            fault: Some(fault(kind, role_i, thread, iter)),
+            integrity: IntegrityConfig::full(),
+            verify_energy: true,
+            ..ExecConfig::default()
+        };
+        let sup = Supervisor::new(fast_policy());
+
+        let mut outcomes = Vec::new();
+        for _ in 0..2 {
+            let mut data = x.clone();
+            let mut work = vec![Complex64::ZERO; x.len()];
+            match sup.run(&plan, &mut data, &mut work, &cfg) {
+                Ok(rep) => outcomes.push(Ok((rep.tier, rep.attempts, trail(&rep), data))),
+                Err(e) => outcomes.push(Err(e.to_string())),
+            }
+        }
+        prop_assert_eq!(&outcomes[0], &outcomes[1]);
+    }
+
+    #[test]
+    fn integrity_guards_never_false_positive(
+        shape_i in 0usize..3,
+        threads_i in 0usize..3,
+        fused in 0usize..2,
+        seed in 0u64..1_000_000,
+    ) {
+        let (dims, b) = shape(shape_i);
+        let (p_d, p_c) = [(1, 1), (2, 2), (1, 2)][threads_i];
+        let mut plan = FftPlan::builder(dims)
+            .buffer_elems(b)
+            .threads(p_d, p_c)
+            .build()
+            .unwrap();
+        if fused == 1 {
+            plan.executor = ExecutorKind::Fused;
+        }
+        let cfg = ExecConfig {
+            integrity: IntegrityConfig::full(),
+            verify_energy: true,
+            ..ExecConfig::default()
+        };
+        let mut data = random_complex(dims.total(), seed);
+        let want = {
+            let mut r = data.clone();
+            match dims {
+                Dims::Three { k, n, m } => {
+                    reference_impl::pencil_fft_3d(&mut r, k, n, m, plan.dir)
+                }
+                Dims::Two { n, m } => reference_impl::pencil_fft_2d(&mut r, n, m, plan.dir),
+            }
+            r
+        };
+        let mut work = vec![Complex64::ZERO; data.len()];
+        let rep = bwfft::core::exec_real::execute_with(&plan, &mut data, &mut work, &cfg);
+        prop_assert!(rep.is_ok(), "guard false-positive: {:?}", rep.err());
+        let err = rel_l2_error(&data, &want);
+        prop_assert!(err <= fft_tolerance(want.len()), "wrong answer: {err:.2e}");
+    }
+}
