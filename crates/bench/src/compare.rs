@@ -96,6 +96,10 @@ pub struct PairDelta {
     pub verdict: Verdict,
     /// For regressions: the stage that lost the most ground.
     pub worst_stage: Option<StageDelta>,
+    /// Service suites only: tail-latency delta (positive = slower),
+    /// gated like the median. Percentiles carry no bootstrap interval,
+    /// so the p99 check is threshold-only.
+    pub serve_p99_delta_pct: Option<f64>,
 }
 
 /// The full comparison — what the gate renders, serializes and exits on.
@@ -139,7 +143,12 @@ impl CompareReport {
                     .as_ref()
                     .map(|s| format!(", {s}"))
                     .unwrap_or_default();
-                format!("{} +{:.1}%{stage}", p.key, p.delta_pct)
+                let p99 = p
+                    .serve_p99_delta_pct
+                    .filter(|d| *d > self.threshold_pct)
+                    .map(|d| format!(", p99 {d:+.1}%"))
+                    .unwrap_or_default();
+                format!("{} +{:.1}%{p99}{stage}", p.key, p.delta_pct)
             })
             .collect();
         format!(
@@ -196,7 +205,17 @@ pub fn compare(base: &BenchReport, cur: &BenchReport, cfg: &GateConfig) -> Compa
         };
         let slower_separated = c.stats.ci_lo_ns > b.stats.ci_hi_ns;
         let faster_separated = c.stats.ci_hi_ns < b.stats.ci_lo_ns;
-        let verdict = if delta_pct > cfg.threshold_pct && slower_separated {
+        // Service suites additionally gate the p99 tail: a single
+        // point estimate with no CI, so threshold-only.
+        let serve_p99_delta_pct = match (&b.serve, &c.serve) {
+            (Some(bm), Some(cm)) if bm.p99_ns > 0.0 => {
+                Some(100.0 * (cm.p99_ns - bm.p99_ns) / bm.p99_ns)
+            }
+            _ => None,
+        };
+        let p99_regressed =
+            serve_p99_delta_pct.is_some_and(|d| d > cfg.threshold_pct);
+        let verdict = if (delta_pct > cfg.threshold_pct && slower_separated) || p99_regressed {
             Verdict::Regression
         } else if delta_pct < -cfg.threshold_pct && faster_separated {
             Verdict::Improvement
@@ -211,6 +230,7 @@ pub fn compare(base: &BenchReport, cur: &BenchReport, cfg: &GateConfig) -> Compa
             ci_separated: slower_separated || faster_separated,
             verdict,
             worst_stage: (verdict == Verdict::Regression).then(|| worst_stage(b, c)).flatten(),
+            serve_p99_delta_pct,
         });
     }
     CompareReport {
@@ -255,11 +275,14 @@ impl fmt::Display for CompareReport {
         )?;
         writeln!(f, "{}", "-".repeat(88))?;
         for p in &self.pairs {
-            let stage = p
+            let mut stage = p
                 .worst_stage
                 .as_ref()
                 .map(|s| format!(" ← {s}"))
                 .unwrap_or_default();
+            if let Some(d) = p.serve_p99_delta_pct {
+                stage.push_str(&format!(" [p99 {d:+.1}%]"));
+            }
             writeln!(
                 f,
                 "{:<34} {:>12.3} {:>12.3} {:>+7.1}%  {}{}",
@@ -326,6 +349,11 @@ pub fn verdict_json(report: &CompareReport) -> String {
             Some(s) => out.push_str(&format!("{}", s.stage)),
             None => out.push_str("null"),
         }
+        out.push_str(",\"serve_p99_delta_pct\":");
+        match p.serve_p99_delta_pct {
+            Some(d) => push_f64(&mut out, d),
+            None => out.push_str("null"),
+        }
         out.push('}');
     }
     out.push_str("],\"unpaired\":[");
@@ -359,6 +387,11 @@ pub fn derate(report: &mut BenchReport, factor: f64) {
         s.stats.max_ns *= factor;
         s.stats.mad_ns *= factor;
         s.gflops /= factor;
+        if let Some(m) = &mut s.serve {
+            m.p50_ns *= factor;
+            m.p99_ns *= factor;
+            m.requests_per_sec /= factor;
+        }
         for st in &mut s.stages {
             st.overlap_fraction /= factor;
             st.achieved_gbs = st.achieved_gbs.map(|v| v / factor);
@@ -370,7 +403,7 @@ pub fn derate(report: &mut BenchReport, factor: f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::record::{StageMetric, SuiteResult, SCHEMA_VERSION};
+    use crate::record::{ServeMetrics, StageMetric, SuiteResult, SCHEMA_VERSION};
     use crate::stats::SampleSummary;
     use bwfft_tuner::HostFingerprint;
 
@@ -408,7 +441,28 @@ mod tests {
                     percent_of_stream: Some(40.0),
                 },
             ],
+            serve: None,
         }
+    }
+
+    /// A service suite: tight latency CI plus serve columns.
+    fn serve_suite(key: &str, median: f64, p99: f64) -> SuiteResult {
+        let mut s = suite_result(key, median, median * 0.01);
+        s.executor = "serve".to_string();
+        s.stages.clear();
+        s.serve = Some(ServeMetrics {
+            requests_per_sec: 1e9 / median,
+            p50_ns: median,
+            p99_ns: p99,
+            submitted: 32,
+            completed: 30,
+            rejected: 1,
+            deadline_exceeded: 1,
+            failed: 0,
+            degraded: 2,
+            breaker_trips: 0,
+        });
+        s
     }
 
     fn report(rev: &str, suites: Vec<SuiteResult>) -> BenchReport {
@@ -516,6 +570,56 @@ mod tests {
         assert_eq!(obj["gate_passes"].as_bool(), Some(false));
         let pairs = obj["pairs"].as_arr().unwrap();
         assert_eq!(pairs[0].as_obj().unwrap()["verdict"].as_str(), Some("regression"));
+    }
+
+    #[test]
+    fn serve_p99_regression_is_gated_without_ci() {
+        // Median unchanged (same tight CI), but the p99 tail blew out
+        // 40%: the pair must regress on the tail alone.
+        let base = report("a", vec![serve_suite("serve:k", 1e6, 2e6)]);
+        let cur = report("b", vec![serve_suite("serve:k", 1e6, 2.8e6)]);
+        let cmp = compare(&base, &cur, &GateConfig::default());
+        let p = &cmp.pairs[0];
+        assert_eq!(p.verdict, Verdict::Regression);
+        assert!((p.serve_p99_delta_pct.unwrap() - 40.0).abs() < 1e-9);
+        assert!(!cmp.gate_passes());
+        let summary = cmp.failure_summary();
+        assert!(summary.contains("p99 +40.0%"), "{summary}");
+        // And the machine verdict carries the tail delta.
+        let json = verdict_json(&cmp);
+        let v = bwfft_trace::value::parse_document(&json).unwrap();
+        let pairs = v.as_obj().unwrap()["pairs"].as_arr().unwrap();
+        let d = pairs[0].as_obj().unwrap()["serve_p99_delta_pct"]
+            .as_f64()
+            .unwrap();
+        assert!((d - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serve_p99_within_threshold_passes() {
+        let base = report("a", vec![serve_suite("serve:k", 1e6, 2e6)]);
+        let cur = report("b", vec![serve_suite("serve:k", 1e6, 2.08e6)]);
+        let cmp = compare(&base, &cur, &GateConfig::default());
+        assert_eq!(cmp.pairs[0].verdict, Verdict::Unchanged);
+        assert!(cmp.gate_passes());
+        // Ordinary suites (no serve columns) carry a null delta.
+        let plain = report("a", vec![suite_result("k1", 1e6, 1e4)]);
+        let cmp = compare(&plain, &plain, &GateConfig::default());
+        assert_eq!(cmp.pairs[0].serve_p99_delta_pct, None);
+    }
+
+    #[test]
+    fn derate_scales_serve_columns() {
+        let mut rep = report("a", vec![serve_suite("serve:k", 1e6, 2e6)]);
+        let before = rep.suites[0].serve.clone().unwrap();
+        derate(&mut rep, 2.0);
+        let after = rep.suites[0].serve.clone().unwrap();
+        assert!((after.p50_ns - before.p50_ns * 2.0).abs() < 1e-9);
+        assert!((after.p99_ns - before.p99_ns * 2.0).abs() < 1e-9);
+        assert!((after.requests_per_sec - before.requests_per_sec / 2.0).abs() < 1e-9);
+        // A derated serve run must therefore fail its own baseline.
+        let base = report("a", vec![serve_suite("serve:k", 1e6, 2e6)]);
+        assert!(!compare(&base, &rep, &GateConfig::default()).gate_passes());
     }
 
     #[test]

@@ -22,6 +22,7 @@
 pub mod compare;
 pub mod measure;
 pub mod record;
+pub mod serve_bench;
 pub mod stats;
 pub mod suite;
 
@@ -45,6 +46,7 @@ pub enum HarnessError {
     Plan { key: String, error: bwfft_core::PlanError },
     Exec { key: String, error: bwfft_core::CoreError },
     Stats { key: String, error: stats::StatsError },
+    Serve { key: String, error: bwfft_serve::ServeError },
 }
 
 impl fmt::Display for HarnessError {
@@ -53,6 +55,7 @@ impl fmt::Display for HarnessError {
             HarnessError::Plan { key, error } => write!(f, "suite {key}: planning failed: {error}"),
             HarnessError::Exec { key, error } => write!(f, "suite {key}: execution failed: {error}"),
             HarnessError::Stats { key, error } => write!(f, "suite {key}: statistics failed: {error}"),
+            HarnessError::Serve { key, error } => write!(f, "suite {key}: serving failed: {error}"),
         }
     }
 }
@@ -192,6 +195,7 @@ fn suite_result(
                 percent_of_stream: s.percent_of_achievable,
             })
             .collect(),
+        serve: None,
     })
 }
 

@@ -38,6 +38,33 @@ pub struct StageMetric {
     pub percent_of_stream: Option<f64>,
 }
 
+/// Service-mode columns: what an open-loop `bwfft-cli bench --suite
+/// serve` run measured. Latency percentiles are over completed
+/// requests, submission to completion; the outcome counts are the
+/// drained [`ServeReport`](bwfft_serve::ServeReport)'s accounting, so
+/// `submitted == completed + deadline_exceeded + failed` in any record
+/// this crate writes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeMetrics {
+    /// Completed requests per wall-clock second of the driver run.
+    pub requests_per_sec: f64,
+    /// Median completed-request latency, ns.
+    pub p50_ns: f64,
+    /// 99th-percentile completed-request latency, ns (nearest-rank).
+    pub p99_ns: f64,
+    pub submitted: u64,
+    pub completed: u64,
+    /// Shed at admission, all reasons.
+    pub rejected: u64,
+    pub deadline_exceeded: u64,
+    pub failed: u64,
+    /// Completions produced below the pipelined tier (fused or
+    /// reference).
+    pub degraded: u64,
+    /// Downward breaker transitions during the run.
+    pub breaker_trips: u64,
+}
+
 /// One suite case's result.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SuiteResult {
@@ -59,6 +86,10 @@ pub struct SuiteResult {
     /// Pseudo-Gflop/s at the median (`5·N·log2(N) / median`).
     pub gflops: f64,
     pub stages: Vec<StageMetric>,
+    /// Service-mode columns; `None` for ordinary executor suites.
+    /// Optional and additive, so pre-serve `bwfft-bench/1` documents
+    /// (including the checked-in seed baseline) still parse.
+    pub serve: Option<ServeMetrics>,
 }
 
 /// A complete benchmark record — the unit of the perf trajectory.
@@ -177,6 +208,29 @@ pub fn to_json(report: &BenchReport) -> String {
         ] {
             out.push_str(&format!(",\"{name}\":"));
             push_f64(&mut out, v);
+        }
+        if let Some(m) = &s.serve {
+            out.push_str(&format!(
+                ",\"serve\":{{\"submitted\":{},\"completed\":{},\"rejected\":{},\
+                 \"deadline_exceeded\":{},\"failed\":{},\"degraded\":{},\
+                 \"breaker_trips\":{}",
+                m.submitted,
+                m.completed,
+                m.rejected,
+                m.deadline_exceeded,
+                m.failed,
+                m.degraded,
+                m.breaker_trips
+            ));
+            for (name, v) in [
+                ("requests_per_sec", m.requests_per_sec),
+                ("p50_ns", m.p50_ns),
+                ("p99_ns", m.p99_ns),
+            ] {
+                out.push_str(&format!(",\"{name}\":"));
+                push_f64(&mut out, v);
+            }
+            out.push('}');
         }
         out.push_str(",\"stages\":[");
         for (j, st) in s.stages.iter().enumerate() {
@@ -313,6 +367,35 @@ pub fn from_json(src: &str) -> Result<BenchReport, BenchJsonError> {
                 },
                 gflops: as_f64(get(s, "gflops")?, "gflops")?,
                 stages,
+                // Optional: documents written before service-mode
+                // suites existed simply lack the field.
+                serve: match s.get("serve") {
+                    None => None,
+                    Some(v) => {
+                        let m = as_obj(v, "serve")?;
+                        Some(ServeMetrics {
+                            requests_per_sec: as_f64(
+                                get(m, "requests_per_sec")?,
+                                "requests_per_sec",
+                            )?,
+                            p50_ns: as_f64(get(m, "p50_ns")?, "p50_ns")?,
+                            p99_ns: as_f64(get(m, "p99_ns")?, "p99_ns")?,
+                            submitted: as_u64(get(m, "submitted")?, "submitted")?,
+                            completed: as_u64(get(m, "completed")?, "completed")?,
+                            rejected: as_u64(get(m, "rejected")?, "rejected")?,
+                            deadline_exceeded: as_u64(
+                                get(m, "deadline_exceeded")?,
+                                "deadline_exceeded",
+                            )?,
+                            failed: as_u64(get(m, "failed")?, "failed")?,
+                            degraded: as_u64(get(m, "degraded")?, "degraded")?,
+                            breaker_trips: as_u64(
+                                get(m, "breaker_trips")?,
+                                "breaker_trips",
+                            )?,
+                        })
+                    }
+                },
             })
         })
         .collect::<Result<Vec<_>, BenchJsonError>>()?;
@@ -431,6 +514,7 @@ mod tests {
                         percent_of_stream: None,
                     },
                 ],
+                serve: None,
             }],
         }
     }
@@ -440,6 +524,55 @@ mod tests {
         let rep = sample_report();
         let back = from_json(&to_json(&rep)).unwrap();
         assert_eq!(back, rep);
+    }
+
+    #[test]
+    fn serve_metrics_round_trip_and_stay_optional() {
+        let mut rep = sample_report();
+        rep.suite_kind = "serve".to_string();
+        rep.suites[0].key = "serve:16x32:w2".to_string();
+        rep.suites[0].executor = "serve".to_string();
+        rep.suites[0].serve = Some(ServeMetrics {
+            requests_per_sec: 1234.5,
+            p50_ns: 80_000.0,
+            p99_ns: 250_000.5,
+            submitted: 64,
+            completed: 60,
+            rejected: 3,
+            deadline_exceeded: 2,
+            failed: 2,
+            degraded: 5,
+            breaker_trips: 1,
+        });
+        let json = to_json(&rep);
+        assert!(json.contains("\"serve\":{"));
+        assert!(json.contains("\"p99_ns\":"));
+        assert!(json.contains("\"requests_per_sec\":"));
+        let back = from_json(&json).unwrap();
+        assert_eq!(back, rep);
+        // A plain suite row emits no serve object at all, so pre-serve
+        // consumers of bwfft-bench/1 never see the new field.
+        let plain = to_json(&sample_report());
+        assert!(!plain.contains("\"serve\""));
+    }
+
+    #[test]
+    fn serve_object_with_missing_field_is_a_schema_error() {
+        let mut rep = sample_report();
+        rep.suites[0].serve = Some(ServeMetrics {
+            requests_per_sec: 1.0,
+            p50_ns: 1.0,
+            p99_ns: 1.0,
+            submitted: 1,
+            completed: 1,
+            rejected: 0,
+            deadline_exceeded: 0,
+            failed: 0,
+            degraded: 0,
+            breaker_trips: 0,
+        });
+        let json = to_json(&rep).replace("\"p99_ns\"", "\"p99_typo\"");
+        assert!(matches!(from_json(&json), Err(BenchJsonError::Schema(_))));
     }
 
     #[test]

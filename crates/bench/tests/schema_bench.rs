@@ -4,7 +4,8 @@
 //! must be deliberate — bump the `/N` suffix and update DESIGN.md §9.
 
 use bwfft_bench::record::{
-    from_json, to_json, BenchJsonError, BenchReport, StageMetric, SuiteResult, SCHEMA_VERSION,
+    from_json, to_json, BenchJsonError, BenchReport, ServeMetrics, StageMetric, SuiteResult,
+    SCHEMA_VERSION,
 };
 use bwfft_bench::stats::SampleSummary;
 use bwfft_tuner::HostFingerprint;
@@ -56,6 +57,7 @@ fn pinned_report() -> BenchReport {
                     percent_of_stream: None,
                 },
             ],
+            serve: None,
         }],
     }
 }
@@ -102,14 +104,36 @@ fn stage_strategy() -> impl Strategy<Value = StageMetric> {
         })
 }
 
+/// Service-mode columns with finite floats; presence toggled by the
+/// paired boolean (no `prop::option` in the vendored shim).
+fn serve_strategy() -> impl Strategy<Value = Option<ServeMetrics>> {
+    (any::<bool>(), 1.0f64..1e6, 1.0f64..1e9, any::<u32>(), 0u32..8).prop_map(
+        |(present, rps, p50, counts, trips)| {
+            present.then(|| ServeMetrics {
+                requests_per_sec: rps,
+                p50_ns: p50,
+                p99_ns: p50 * 3.5,
+                submitted: u64::from(counts),
+                completed: u64::from(counts / 2),
+                rejected: u64::from(counts % 7),
+                deadline_exceeded: u64::from(counts % 3),
+                failed: u64::from(counts % 2),
+                degraded: u64::from(counts % 5),
+                breaker_trips: u64::from(trips),
+            })
+        },
+    )
+}
+
 fn suite_strategy() -> impl Strategy<Value = SuiteResult> {
     (
         any::<u32>(),
         1usize..=8,
         prop::collection::vec(1.0f64..1e12, 1..6),
         prop::collection::vec(stage_strategy(), 0..4),
+        serve_strategy(),
     )
-        .prop_map(|(key_id, threads, times, stages)| {
+        .prop_map(|(key_id, threads, times, stages, serve)| {
             let key = format!("fig9:{}x{}:pipelined", key_id % 512, key_id % 256);
             let n = times.len();
             let med = times[n / 2];
@@ -133,6 +157,7 @@ fn suite_strategy() -> impl Strategy<Value = SuiteResult> {
                 },
                 gflops: 1e3 / med,
                 stages,
+                serve,
             }
         })
 }

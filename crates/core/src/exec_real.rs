@@ -21,8 +21,8 @@ use bwfft_pipeline::exec::{
     INJECTED_FAULT_PREFIX,
 };
 use bwfft_pipeline::{
-    run_pipeline, AdaptiveWatchdog, DoubleBuffer, FaultPlan, IntegrityConfig, IntegrityKind,
-    PinStatus, PipelineError,
+    run_pipeline, AdaptiveWatchdog, CancelToken, DoubleBuffer, FaultPlan, IntegrityConfig,
+    IntegrityKind, PinStatus, PipelineError,
 };
 use bwfft_spl::gather_scatter::WriteMatrix;
 use bwfft_trace::{MarkKind, Phase, ThreadTracer, TraceCollector, TraceRole};
@@ -57,6 +57,11 @@ pub struct ExecConfig {
     /// directions are unnormalized). A violation surfaces as
     /// [`CoreError::Integrity`] with [`IntegrityKind::Energy`].
     pub verify_energy: bool,
+    /// Cooperative cancellation: forwarded to every stage's pipeline
+    /// run (polled at step boundaries) and checked per block by the
+    /// fused executor. A fired token surfaces as
+    /// [`PipelineError::Cancelled`] wrapped in [`CoreError::Pipeline`].
+    pub cancel: Option<CancelToken>,
 }
 
 /// What a successful execution reports back: which executor actually
@@ -316,6 +321,7 @@ fn run_stage(
             trace: cfg.trace.clone(),
             adaptive_watchdog: cfg.adaptive_watchdog,
             integrity: cfg.integrity,
+            cancel: cfg.cancel.clone(),
         },
         PipelineCallbacks {
             loaders,
@@ -380,6 +386,15 @@ fn fused_impl(
         let mut kernel =
             BatchFft::with_variant(stage.fft_size, stage.lanes, plan.dir, plan.kernel);
         for blk in 0..total / b {
+            // Same cancellation contract as the pipeline: polled at
+            // block granularity, so a fused request under a deadline
+            // frees its worker instead of finishing the whole schedule.
+            if let Some(reason) = cfg.cancel.as_ref().and_then(CancelToken::fired) {
+                return Err(CoreError::Pipeline(PipelineError::Cancelled {
+                    iter: blk,
+                    reason,
+                }));
+            }
             // The fused executor honors the fault plan with thread-0
             // semantics (it *is* every role's thread 0): a stall sleeps
             // in place, a panic site becomes a typed error without
@@ -1100,5 +1115,62 @@ mod fault_tests {
             }
             other => panic!("expected WorkerPanicked, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn cancelled_token_aborts_both_executors_with_typed_error() {
+        use bwfft_pipeline::{CancelReason, CancelToken};
+        // Pipelined path.
+        let plan = FftPlan::builder(Dims::d3(8, 8, 8))
+            .buffer_elems(64)
+            .threads(2, 2)
+            .build()
+            .unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let cfg = ExecConfig {
+            cancel: Some(token),
+            ..Default::default()
+        };
+        let mut data = vec![Complex64::ZERO; 512];
+        let mut work = vec![Complex64::ZERO; 512];
+        let err = execute_with(&plan, &mut data, &mut work, &cfg).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CoreError::Pipeline(PipelineError::Cancelled {
+                    reason: CancelReason::Shutdown,
+                    ..
+                })
+            ),
+            "pipelined: expected Cancelled, got {err:?}"
+        );
+        // Fused path: an already-expired deadline cancels at block 0.
+        let token = CancelToken::with_deadline(std::time::Instant::now());
+        let cfg = ExecConfig {
+            cancel: Some(token),
+            ..Default::default()
+        };
+        let err = execute_fused_cfg(&plan, &mut data, &mut work, &cfg).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CoreError::Pipeline(PipelineError::Cancelled {
+                    iter: 0,
+                    reason: CancelReason::Deadline,
+                })
+            ),
+            "fused: expected Cancelled, got {err:?}"
+        );
+    }
+
+    /// Test-only shim: fused executor with an explicit config.
+    fn execute_fused_cfg(
+        plan: &FftPlan,
+        data: &mut [Complex64],
+        work: &mut [Complex64],
+        cfg: &ExecConfig,
+    ) -> Result<ExecReport, CoreError> {
+        fused_impl(plan, data, work, cfg)
     }
 }

@@ -31,7 +31,7 @@ use crate::exec_real::{execute_with, ExecConfig, ExecReport};
 use crate::host::ExecutorKind;
 use crate::plan::{FftPlan, PlanError};
 use crate::reference::execute_reference;
-use bwfft_num::Complex64;
+use bwfft_num::{try_vec_zeroed, Complex64};
 use bwfft_pipeline::{AdaptiveWatchdog, PipelineError};
 use bwfft_trace::MarkKind;
 use std::time::Duration;
@@ -205,9 +205,13 @@ impl Supervisor {
     ) -> Result<SupervisedReport, CoreError> {
         // Snapshot for retry-from-consistent-state. A failed attempt
         // leaves `data`/`work` unspecified; each retry restores the
-        // input first. Plain `to_vec`: the snapshot is supervisor
-        // bookkeeping, exempt from any injected allocation budget.
-        let snapshot: Vec<Complex64> = data.to_vec();
+        // input first. Allocated fallibly exactly once, up front: a
+        // refused snapshot is a typed Allocation error before any
+        // attempt runs, and every retry reuses this one buffer, so
+        // concurrent supervised callers never re-allocate (and never
+        // double-count an allocation budget) on the restore path.
+        let mut snapshot: Vec<Complex64> = try_vec_zeroed(data.len(), "supervisor snapshot")?;
+        snapshot.copy_from_slice(data);
 
         let mut cfg = cfg.clone();
         if cfg.adaptive_watchdog.is_none() && cfg.iter_timeout.is_none() {
@@ -241,6 +245,13 @@ impl Supervisor {
                 match result {
                     Ok(exec) => break Ok(exec),
                     Err(e) if is_usage(&e) => return Err(e),
+                    // Cancellation (deadline or drain) is a verdict,
+                    // not a fault: retrying or escalating a cancelled
+                    // request would keep burning its worker past the
+                    // deadline. Return the typed error immediately.
+                    Err(e @ CoreError::Pipeline(PipelineError::Cancelled { .. })) => {
+                        return Err(e)
+                    }
                     Err(e @ CoreError::Allocation(_)) => {
                         last_err = Some(e.clone());
                         if shrinks >= self.policy.max_shrinks {
@@ -599,6 +610,43 @@ mod tests {
             ));
         }
         assert_eq!(trails[0], trails[1]);
+    }
+
+    #[test]
+    fn cancelled_run_returns_immediately_without_recovery() {
+        use bwfft_pipeline::{CancelReason, CancelToken};
+        let plan = small_plan();
+        let x = random_complex(plan.dims.total(), 208);
+        let mut data = x.clone();
+        let mut work = vec![bwfft_num::Complex64::ZERO; x.len()];
+        let token = CancelToken::new();
+        token.cancel();
+        let trace = Arc::new(TraceCollector::new());
+        let cfg = ExecConfig {
+            cancel: Some(token),
+            trace: Some(trace.clone()),
+            ..ExecConfig::default()
+        };
+        let sup = Supervisor::new(fast_policy());
+        let err = sup.run(&plan, &mut data, &mut work, &cfg).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CoreError::Pipeline(PipelineError::Cancelled {
+                    reason: CancelReason::Shutdown,
+                    ..
+                })
+            ),
+            "expected Cancelled, got {err:?}"
+        );
+        // No retry, no escalation: a cancelled request must free its
+        // worker, not climb the recovery ladder.
+        let recovery_marks = trace
+            .take_events()
+            .into_iter()
+            .filter(|e| matches!(e, TraceEvent::Mark(m) if m.kind == MarkKind::Recovery))
+            .count();
+        assert_eq!(recovery_marks, 0);
     }
 
     #[test]

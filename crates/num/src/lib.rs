@@ -19,12 +19,14 @@ pub mod aligned;
 pub mod alloc;
 pub mod compare;
 pub mod complex;
+pub mod pool;
 pub mod signal;
 pub mod split;
 
 pub use aligned::AlignedVec;
 pub use alloc::{check_alloc_budget, try_vec_zeroed, AllocError};
 pub use complex::Complex64;
+pub use pool::{BufferPool, PoolStats, PooledBuf};
 
 /// Number of bytes in a cacheline on every machine the paper targets.
 pub const CACHELINE_BYTES: usize = 64;

@@ -1,0 +1,149 @@
+//! Cooperative cancellation for pipeline runs.
+//!
+//! A [`CancelToken`] is a cheap, cloneable handle a caller keeps while a
+//! run is in flight. The worker loops poll it at the top of every
+//! pipeline step (the same place they poll the shared abort flag), so a
+//! cancelled or deadline-expired run drains at the next barrier instead
+//! of hanging its threads: the first worker to observe the token trips
+//! the run's failure cell with a typed
+//! [`PipelineError::Cancelled`](crate::error::PipelineError::Cancelled)
+//! and every peer exits through the normal abort path.
+//!
+//! Two sources of cancellation exist, and the error records which fired:
+//!
+//! * an explicit [`cancel`](CancelToken::cancel) call
+//!   ([`CancelReason::Shutdown`]) — e.g. a serving front end draining
+//!   its workers;
+//! * a wall-clock deadline attached at construction
+//!   ([`CancelReason::Deadline`]) — e.g. a per-request latency budget.
+//!
+//! A run with no token configured pays nothing: the worker loops skip
+//! the poll entirely.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Why a run was cancelled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CancelReason {
+    /// The token's wall-clock deadline passed before the run finished.
+    Deadline,
+    /// The owner cancelled explicitly (drain/shutdown).
+    Shutdown,
+}
+
+impl core::fmt::Display for CancelReason {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CancelReason::Deadline => write!(f, "deadline exceeded"),
+            CancelReason::Shutdown => write!(f, "shutdown requested"),
+        }
+    }
+}
+
+/// Cloneable cancellation handle shared between a run's owner and its
+/// worker threads. See the module docs for the polling contract.
+#[derive(Clone, Debug)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token with no deadline; fires only on [`cancel`](Self::cancel).
+    pub fn new() -> Self {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: None,
+        }
+    }
+
+    /// A token that additionally fires once `deadline` passes.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: Some(deadline),
+        }
+    }
+
+    /// Requests cancellation. Idempotent; an explicit cancel reports
+    /// [`CancelReason::Shutdown`] even when a deadline is also armed.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// True once the token has fired (explicitly or by deadline).
+    pub fn is_cancelled(&self) -> bool {
+        self.fired().is_some()
+    }
+
+    /// The reason the token fired, or `None` while it is still live.
+    /// An explicit [`cancel`](Self::cancel) wins over a passed deadline
+    /// so drains report as shutdowns, not spurious deadline misses.
+    pub fn fired(&self) -> Option<CancelReason> {
+        if self.flag.load(Ordering::Acquire) {
+            return Some(CancelReason::Shutdown);
+        }
+        match self.deadline {
+            Some(d) if Instant::now() >= d => Some(CancelReason::Deadline),
+            _ => None,
+        }
+    }
+
+    /// The configured deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn explicit_cancel_fires_with_shutdown_reason() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert_eq!(t.fired(), None);
+        t.cancel();
+        assert!(t.is_cancelled());
+        assert_eq!(t.fired(), Some(CancelReason::Shutdown));
+    }
+
+    #[test]
+    fn clones_share_the_flag() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        c.cancel();
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn passed_deadline_fires_with_deadline_reason() {
+        let t = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert_eq!(t.fired(), Some(CancelReason::Deadline));
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn future_deadline_is_live_and_explicit_cancel_wins() {
+        let t = CancelToken::with_deadline(Instant::now() + Duration::from_secs(3600));
+        assert_eq!(t.fired(), None);
+        t.cancel();
+        assert_eq!(t.fired(), Some(CancelReason::Shutdown));
+    }
+
+    #[test]
+    fn reasons_render() {
+        assert!(CancelReason::Deadline.to_string().contains("deadline"));
+        assert!(CancelReason::Shutdown.to_string().contains("shutdown"));
+    }
+}

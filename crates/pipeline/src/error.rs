@@ -6,6 +6,7 @@
 //! [`PipelineError::StageTimeout`]. `bwfft-core` converts these into
 //! its own error type and the facade into `BwfftError`.
 
+use crate::cancel::CancelReason;
 use crate::roles::Role;
 use core::time::Duration;
 
@@ -118,6 +119,14 @@ pub enum PipelineError {
         block: usize,
         kind: IntegrityKind,
     },
+    /// The run's [`crate::CancelToken`] fired (per-request deadline or
+    /// an explicit drain); the workers drained cooperatively at the
+    /// next step boundary instead of finishing the schedule.
+    Cancelled {
+        /// Pipeline step index at which a worker observed the token.
+        iter: usize,
+        reason: CancelReason,
+    },
 }
 
 impl From<ConfigError> for PipelineError {
@@ -153,6 +162,9 @@ impl core::fmt::Display for PipelineError {
                 f,
                 "integrity guard: {kind} at stage {stage}, block {block}"
             ),
+            PipelineError::Cancelled { iter, reason } => {
+                write!(f, "run cancelled at step {iter}: {reason}")
+            }
         }
     }
 }
@@ -194,6 +206,17 @@ mod tests {
         assert!(e.to_string().contains("stage 1"));
         assert!(IntegrityKind::Canary.to_string().contains("canary"));
         assert!(IntegrityKind::Energy.to_string().contains("Parseval"));
+        let e = PipelineError::Cancelled {
+            iter: 5,
+            reason: CancelReason::Deadline,
+        };
+        assert!(e.to_string().contains("step 5"));
+        assert!(e.to_string().contains("deadline"));
+        let e = PipelineError::Cancelled {
+            iter: 0,
+            reason: CancelReason::Shutdown,
+        };
+        assert!(e.to_string().contains("shutdown"));
     }
 
     #[test]

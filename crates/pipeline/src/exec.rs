@@ -38,6 +38,7 @@
 
 use crate::affinity::{self, PinStatus};
 use crate::buffer::{partition, DoubleBuffer};
+use crate::cancel::CancelToken;
 use crate::error::{ConfigError, IntegrityKind, PipelineError};
 use crate::fault::{FaultPhase, FaultPlan};
 use crate::roles::Role;
@@ -103,6 +104,11 @@ pub struct PipelineConfig {
     /// Integrity guards (canaries, per-block checksums). Disabled by
     /// default: a disabled guard costs nothing on the hot path.
     pub integrity: IntegrityConfig,
+    /// Cooperative cancellation: workers poll the token at every step
+    /// boundary and abort the run with [`PipelineError::Cancelled`]
+    /// when it fires (per-request deadline or explicit drain). `None`
+    /// (the default) skips the poll entirely.
+    pub cancel: Option<CancelToken>,
 }
 
 /// Which integrity guards a pipeline run arms.
@@ -259,6 +265,7 @@ impl Default for PipelineConfig {
             trace: None,
             adaptive_watchdog: None,
             integrity: IntegrityConfig::default(),
+            cancel: None,
         }
     }
 }
@@ -458,6 +465,8 @@ struct RunCtx<'r> {
     /// Data / compute thread counts (checksum arrival quotas).
     p_d: usize,
     p_c: usize,
+    /// Cooperative cancellation token; polled at step boundaries.
+    cancel: Option<&'r CancelToken>,
 }
 
 impl RunCtx<'_> {
@@ -587,6 +596,19 @@ impl RunCtx<'_> {
         }
     }
 
+    /// Polls the cancellation token at a step boundary. Returns false —
+    /// after tripping the failure cell with a typed `Cancelled` error —
+    /// when the token has fired; the caller drains like any other
+    /// abort. Costs one atomic load per step when a token is present,
+    /// nothing when it is not.
+    fn cancel_ok(&self, step: usize) -> bool {
+        if let Some(reason) = self.cancel.and_then(CancelToken::fired) {
+            self.fail.trip(PipelineError::Cancelled { iter: step, reason });
+            return false;
+        }
+        true
+    }
+
     /// Pin the calling thread per config, honoring `deny_pinning`.
     fn pin(&self, pins: &Option<Vec<usize>>, slot: usize) -> Option<PinStatus> {
         let cpu = pins.as_ref().map(|p| p[slot])?;
@@ -604,7 +626,7 @@ impl RunCtx<'_> {
 fn data_thread_loop(ctx: &RunCtx<'_>, j: usize, load: &mut LoadFn<'_>, store: &mut StoreFn<'_>, load_range: core::ops::Range<usize>) {
     let mut tracer = ThreadTracer::new(ctx.trace, TraceRole::Data, j, ctx.stage);
     for step in ctx.schedule.steps() {
-        if ctx.fail.is_aborted() {
+        if ctx.fail.is_aborted() || !ctx.cancel_ok(step.step) {
             return;
         }
         if let Some(blk) = step.store {
@@ -719,7 +741,7 @@ fn compute_thread_loop(ctx: &RunCtx<'_>, j: usize, compute: &mut ComputeFn<'_>, 
     let mut tracer = ThreadTracer::new(ctx.trace, TraceRole::Compute, j, ctx.stage);
     let adaptive = ctx.watchdog.is_some();
     for step in ctx.schedule.steps() {
-        if ctx.fail.is_aborted() {
+        if ctx.fail.is_aborted() || !ctx.cancel_ok(step.step) {
             return;
         }
         // Only compute-active steps feed the watchdog measurement:
@@ -900,6 +922,7 @@ pub fn run_pipeline(
         ledger: ledger.as_ref(),
         p_d,
         p_c,
+        cancel: cfg.cancel.as_ref(),
     };
     let ctx_ref = &ctx;
     let pins = cfg.pin_cpus.clone();
@@ -1380,6 +1403,105 @@ mod tests {
         assert!(
             matches!(err, PipelineError::StageTimeout { .. }),
             "expected StageTimeout, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn cancelled_token_aborts_before_any_work() {
+        let buffer = DoubleBuffer::new(16);
+        let token = CancelToken::new();
+        token.cancel();
+        let touched = AtomicUsize::new(0);
+        let t = &touched;
+        let mut callbacks = noop_callbacks(1, 1);
+        callbacks.computes = vec![Box::new(move |_, _, _| {
+            t.fetch_add(1, Ordering::SeqCst);
+        })];
+        let err = run_pipeline(
+            &buffer,
+            &PipelineConfig {
+                iters: 4,
+                cancel: Some(token),
+                ..PipelineConfig::default()
+            },
+            callbacks,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            PipelineError::Cancelled {
+                iter: 0,
+                reason: crate::cancel::CancelReason::Shutdown
+            }
+        );
+        assert_eq!(touched.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn expired_deadline_yields_deadline_cancellation() {
+        let buffer = DoubleBuffer::new(16);
+        let token = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        let err = run_pipeline(
+            &buffer,
+            &PipelineConfig {
+                iters: 4,
+                cancel: Some(token),
+                ..PipelineConfig::default()
+            },
+            noop_callbacks(1, 1),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                PipelineError::Cancelled {
+                    reason: crate::cancel::CancelReason::Deadline,
+                    ..
+                }
+            ),
+            "expected deadline cancellation, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn mid_run_cancel_drains_all_threads() {
+        // A compute callback cancels the run at block 1; every thread
+        // must drain (the scope join below would hang otherwise) and
+        // the typed error must surface.
+        let buffer = DoubleBuffer::new(32);
+        let token = CancelToken::new();
+        let cancel_from_worker = token.clone();
+        let mut callbacks = noop_callbacks(2, 2);
+        callbacks.computes = (0..2)
+            .map(|_| {
+                let tok = cancel_from_worker.clone();
+                Box::new(move |blk: usize, _: usize, _: &mut [Complex64]| {
+                    if blk == 1 {
+                        tok.cancel();
+                    }
+                }) as ComputeFn
+            })
+            .collect();
+        let err = run_pipeline(
+            &buffer,
+            &PipelineConfig {
+                iters: 8,
+                cancel: Some(token),
+                iter_timeout: Some(Duration::from_secs(5)),
+                ..PipelineConfig::default()
+            },
+            callbacks,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                PipelineError::Cancelled {
+                    reason: crate::cancel::CancelReason::Shutdown,
+                    ..
+                }
+            ),
+            "expected shutdown cancellation, got {err:?}"
         );
     }
 

@@ -22,6 +22,7 @@
 
 pub mod affinity;
 pub mod buffer;
+pub mod cancel;
 pub mod error;
 pub mod exec;
 pub mod fault;
@@ -30,6 +31,7 @@ pub mod schedule;
 
 pub use affinity::PinStatus;
 pub use buffer::{split_disjoint, BufferError, DoubleBuffer};
+pub use cancel::{CancelReason, CancelToken};
 pub use error::{ConfigError, IntegrityKind, PipelineError};
 pub use exec::{
     run_pipeline, AdaptiveWatchdog, IntegrityConfig, PipelineCallbacks, PipelineConfig,

@@ -1,0 +1,38 @@
+//! `bwfft-serve` — an overload-safe concurrent FFT service.
+//!
+//! This crate turns the workspace's plan/execute facade into a request
+//! executor whose **failure behavior under load is a contract**:
+//!
+//! * **Admission control** — a bounded MPMC queue plus an in-flight
+//!   byte budget (the same [`check_alloc_budget`] discipline the
+//!   executors use) and a shape-keyed
+//!   [`BufferPool`](bwfft_num::BufferPool). Any exhausted limit sheds
+//!   the request *immediately* with a typed
+//!   [`ServeError::Rejected`] — the service never queues unboundedly.
+//! * **Deadlines** — every admitted request carries a
+//!   [`CancelToken`](bwfft_pipeline::CancelToken); workers poll it at
+//!   pipeline barriers, so a timed-out request frees its worker with a
+//!   typed [`RequestOutcome::DeadlineExceeded`] instead of hanging.
+//! * **Degradation governor** — a circuit [`Breaker`] over the
+//!   supervisor's recovery-tier ladder: consecutive failures or
+//!   deadline misses degrade new admissions pipelined → fused →
+//!   reference → reject-fast, with count-based half-open probing to
+//!   recover. Every transition is a trace mark and a
+//!   [`ServeReport`] entry.
+//! * **Graceful drain** — [`FftServer::shutdown`] stops admission,
+//!   finishes every in-flight and queued request, and reports
+//!   per-request outcomes. The accounting must balance:
+//!   `submitted == completed + deadline_exceeded + failed`, and every
+//!   ticket resolves to exactly one outcome.
+//!
+//! [`check_alloc_budget`]: bwfft_num::check_alloc_budget
+
+pub mod breaker;
+pub mod error;
+pub mod request;
+pub mod server;
+
+pub use breaker::{Admission, Breaker, BreakerConfig, BreakerLevel, BreakerTransition};
+pub use error::{RejectReason, ServeError};
+pub use request::{FftRequest, RequestOutcome, Ticket};
+pub use server::{FftServer, RejectCounts, ServeConfig, ServeReport};

@@ -1,0 +1,896 @@
+//! The concurrent request executor: bounded queue, admission control,
+//! deadline cancellation, degradation governor, graceful drain.
+//!
+//! The overload contract, in one paragraph: `submit` either admits a
+//! request (returning a [`Ticket`] that is guaranteed to resolve to
+//! exactly one [`RequestOutcome`]) or sheds it immediately with a typed
+//! [`ServeError::Rejected`] — the service never queues unboundedly and
+//! never makes the caller guess. Admission walks the cheap checks
+//! first: drain flag, queue depth, then the in-flight byte budget
+//! (through the same [`check_alloc_budget`] discipline the executors
+//! use), then the breaker, and finally the shape-keyed
+//! [`BufferPool`], whose exhaustion is just another typed rejection.
+//! Admitted requests carry a [`CancelToken`] armed with their deadline;
+//! workers poll it at pipeline barriers, so a timed-out request frees
+//! its worker instead of hanging it. Shutdown stops admission, drains
+//! the queue (every queued request still terminates with its one
+//! outcome), joins the workers, and returns a [`ServeReport`] whose
+//! accounting must balance: `submitted == completed +
+//! deadline_exceeded + failed`.
+
+use crate::breaker::{Admission, Breaker, BreakerConfig, BreakerLevel, BreakerTransition};
+use crate::error::{RejectReason, ServeError};
+use crate::request::{FftRequest, OutcomeCell, RequestOutcome, Ticket};
+use bwfft_core::exec_real::ExecConfig;
+use bwfft_core::{
+    execute_reference, CoreError, Dims, ExecutorKind, FftPlan, RecoveryTier, RetryPolicy,
+    Supervisor,
+};
+use bwfft_kernels::Direction;
+use bwfft_num::{check_alloc_budget, BufferPool, Complex64, PoolStats, PooledBuf};
+use bwfft_pipeline::{CancelReason, CancelToken, FaultPlan, IntegrityConfig, PipelineError};
+use bwfft_trace::{MarkKind, TraceCollector};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Service configuration. The defaults are deliberately small: two
+/// workers, a sixteen-deep queue, no budgets — callers that want the
+/// overload contract to bite set `byte_budget` / `pool_cap_bytes`.
+#[derive(Clone)]
+pub struct ServeConfig {
+    /// Worker threads executing requests. `0` is a synchronous mode
+    /// used by deterministic tests: nothing runs until
+    /// [`FftServer::shutdown`] drains the queue inline.
+    pub workers: usize,
+    /// Bounded queue depth; submissions beyond it are shed.
+    pub queue_capacity: usize,
+    /// Cap on the working-set bytes of all in-flight (queued +
+    /// executing) requests, enforced at admission.
+    pub byte_budget: Option<usize>,
+    /// Byte cap of the buffer pool (idle + outstanding). Defaults to
+    /// `byte_budget` when unset.
+    pub pool_cap_bytes: Option<usize>,
+    /// Deadline applied to requests that do not carry their own.
+    pub default_deadline: Option<Duration>,
+    /// Degradation governor thresholds.
+    pub breaker: BreakerConfig,
+    /// Per-request recovery budget (retries, backoff, escalation).
+    pub retry: RetryPolicy,
+    /// Pipeline integrity guards armed for every request.
+    pub integrity: IntegrityConfig,
+    /// Arm the whole-run Parseval/energy check on every request, so
+    /// corruption that slips between the block-level guards still
+    /// fails typed instead of completing wrong.
+    pub verify_energy: bool,
+    /// Mark sink for admission, breaker, and drain events.
+    pub trace: Option<Arc<TraceCollector>>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 16,
+            byte_budget: None,
+            pool_cap_bytes: None,
+            default_deadline: None,
+            breaker: BreakerConfig::default(),
+            retry: RetryPolicy::default(),
+            integrity: IntegrityConfig::default(),
+            verify_energy: false,
+            trace: None,
+        }
+    }
+}
+
+/// Rejections by reason, as counted at admission.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RejectCounts {
+    pub queue_full: u64,
+    pub byte_budget: u64,
+    pub pool_exhausted: u64,
+    pub breaker_open: u64,
+    pub shutting_down: u64,
+}
+
+impl RejectCounts {
+    pub fn total(&self) -> u64 {
+        self.queue_full
+            + self.byte_budget
+            + self.pool_exhausted
+            + self.breaker_open
+            + self.shutting_down
+    }
+}
+
+/// What the service did over its lifetime (or up to a snapshot).
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// Requests admitted past every admission check.
+    pub submitted: u64,
+    pub completed: u64,
+    pub deadline_exceeded: u64,
+    pub failed: u64,
+    /// Completions that needed any supervisor recovery step.
+    pub recovered_runs: u64,
+    /// Shed at admission (disjoint from `submitted`).
+    pub rejected: RejectCounts,
+    /// Completions by producing tier: pipelined, fused, reference.
+    pub tier_completed: [u64; 3],
+    /// Breaker position when the report was taken.
+    pub breaker_level: BreakerLevel,
+    /// Every breaker transition, in order.
+    pub breaker_transitions: Vec<BreakerTransition>,
+    /// Buffer-pool counters.
+    pub pool: PoolStats,
+}
+
+impl ServeReport {
+    /// Admitted requests that have terminated so far.
+    pub fn outcomes(&self) -> u64 {
+        self.completed + self.deadline_exceeded + self.failed
+    }
+
+    /// The drained-service invariant: every admitted request terminated
+    /// with exactly one outcome, and tier accounting matches. Only
+    /// meaningful after [`FftServer::shutdown`].
+    pub fn holds(&self) -> bool {
+        self.submitted == self.outcomes()
+            && self.tier_completed.iter().sum::<u64>() == self.completed
+    }
+}
+
+struct QueueState {
+    queue: VecDeque<QueuedRequest>,
+    shutting_down: bool,
+    /// Working-set bytes of queued + executing requests. Decremented
+    /// when a request's outcome is delivered.
+    in_flight_bytes: usize,
+}
+
+struct QueuedRequest {
+    plan: FftPlan,
+    data: PooledBuf<Complex64>,
+    work: PooledBuf<Complex64>,
+    /// The request's own payload allocation, reused as output storage.
+    result: Vec<Complex64>,
+    token: CancelToken,
+    tier: RecoveryTier,
+    fault: Option<FaultPlan>,
+    submitted_at: Instant,
+    bytes: usize,
+    cell: Arc<OutcomeCell>,
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    failed: AtomicU64,
+    recovered_runs: AtomicU64,
+    tier_completed: [AtomicU64; 3],
+    rej_queue_full: AtomicU64,
+    rej_byte_budget: AtomicU64,
+    rej_pool: AtomicU64,
+    rej_breaker: AtomicU64,
+    rej_shutdown: AtomicU64,
+}
+
+type PlanKey = (Dims, Direction, usize, usize, usize);
+
+struct Shared {
+    queue: Mutex<QueueState>,
+    available: Condvar,
+    breaker: Breaker,
+    pool: BufferPool<Complex64>,
+    counters: Counters,
+    plans: Mutex<HashMap<PlanKey, FftPlan>>,
+    supervisor: Supervisor,
+    integrity: IntegrityConfig,
+    verify_energy: bool,
+    trace: Option<Arc<TraceCollector>>,
+    byte_budget: Option<usize>,
+    queue_capacity: usize,
+    default_deadline: Option<Duration>,
+}
+
+fn lock_tolerant<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn tier_index(tier: RecoveryTier) -> usize {
+    match tier {
+        RecoveryTier::Pipelined => 0,
+        RecoveryTier::Fused => 1,
+        RecoveryTier::Reference => 2,
+    }
+}
+
+/// The concurrent FFT service.
+pub struct FftServer {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl FftServer {
+    /// Starts the worker threads and returns the running server.
+    pub fn start(cfg: ServeConfig) -> FftServer {
+        let pool_cap = cfg.pool_cap_bytes.or(cfg.byte_budget);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                shutting_down: false,
+                in_flight_bytes: 0,
+            }),
+            available: Condvar::new(),
+            breaker: Breaker::new(cfg.breaker),
+            pool: BufferPool::new(pool_cap),
+            counters: Counters::default(),
+            plans: Mutex::new(HashMap::new()),
+            supervisor: Supervisor::new(cfg.retry),
+            integrity: cfg.integrity,
+            verify_energy: cfg.verify_energy,
+            trace: cfg.trace,
+            byte_budget: cfg.byte_budget,
+            queue_capacity: cfg.queue_capacity,
+            default_deadline: cfg.default_deadline,
+        });
+        let workers = (0..cfg.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("bwfft-serve-{i}"))
+                    .spawn(move || worker_loop(&shared))
+            })
+            .filter_map(Result::ok)
+            .collect();
+        FftServer { shared, workers }
+    }
+
+    /// Admits or sheds one request. On admission the returned ticket is
+    /// guaranteed to resolve to exactly one outcome, even across
+    /// shutdown. On rejection the request's payload comes back inside
+    /// the error-free path — the service holds nothing for it.
+    pub fn submit(&self, req: FftRequest) -> Result<Ticket, ServeError> {
+        // Usage validation first: a malformed descriptor is the
+        // caller's bug, not load, and must not depend on service state.
+        let total = req.dims.total();
+        if req.input.len() != total {
+            return Err(ServeError::InputLength {
+                expected: total,
+                got: req.input.len(),
+            });
+        }
+        let plan = self.plan_for(&req)?;
+
+        let shared = &self.shared;
+        let bytes = req.working_bytes();
+        let mut q = lock_tolerant(&shared.queue);
+        if q.shutting_down {
+            return Err(self.reject(RejectReason::ShuttingDown));
+        }
+        let depth = q.queue.len();
+        if depth >= shared.queue_capacity {
+            return Err(self.reject(RejectReason::QueueFull {
+                depth,
+                capacity: shared.queue_capacity,
+            }));
+        }
+        if let Err(e) =
+            check_alloc_budget("serve admission", q.in_flight_bytes + bytes, shared.byte_budget)
+        {
+            return Err(self.reject(RejectReason::ByteBudget(e)));
+        }
+        let (tier, probe) = match shared.breaker.admit() {
+            Admission::Reject => return Err(self.reject(RejectReason::BreakerOpen)),
+            Admission::Admit { tier, probe } => (tier, probe),
+        };
+        let mut data = match shared.pool.acquire(total) {
+            Ok(b) => b,
+            Err(e) => return Err(self.reject(RejectReason::PoolExhausted(e))),
+        };
+        let work = match shared.pool.acquire(total) {
+            Ok(b) => b,
+            Err(e) => return Err(self.reject(RejectReason::PoolExhausted(e))),
+        };
+
+        let submitted_at = Instant::now();
+        let token = match req.deadline.or(shared.default_deadline) {
+            Some(d) => CancelToken::with_deadline(submitted_at + d),
+            None => CancelToken::new(),
+        };
+        data.as_mut_slice().copy_from_slice(&req.input);
+        let cell = OutcomeCell::new();
+        let ticket = Ticket {
+            cell: Arc::clone(&cell),
+        };
+        if probe {
+            if let Some(trace) = shared.trace.as_ref() {
+                trace.mark(MarkKind::Serve, "probe admitted", None);
+            }
+        }
+        q.queue.push_back(QueuedRequest {
+            plan,
+            data,
+            work,
+            result: req.input,
+            token,
+            tier,
+            fault: req.fault,
+            submitted_at,
+            bytes,
+            cell,
+        });
+        q.in_flight_bytes += bytes;
+        shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        drop(q);
+        shared.available.notify_one();
+        Ok(ticket)
+    }
+
+    /// Stops admitting, finishes all in-flight and queued work, joins
+    /// the workers, and reports. Idempotent: a second call returns the
+    /// same final report.
+    pub fn shutdown(&mut self) -> ServeReport {
+        self.begin_drain();
+        for h in self.workers.drain(..) {
+            // A worker that panicked already delivered no further
+            // outcomes; the residual drain below still terminates every
+            // queued request, keeping the exactly-one-outcome contract.
+            let _ = h.join();
+        }
+        self.drain_residual();
+        if let Some(trace) = self.shared.trace.as_ref() {
+            trace.mark(MarkKind::Serve, "drain complete", None);
+        }
+        self.snapshot()
+    }
+
+    /// Point-in-time counters. Accounting (`holds`) is only expected to
+    /// balance after [`shutdown`](Self::shutdown).
+    pub fn snapshot(&self) -> ServeReport {
+        let c = &self.shared.counters;
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        ServeReport {
+            submitted: load(&c.submitted),
+            completed: load(&c.completed),
+            deadline_exceeded: load(&c.deadline_exceeded),
+            failed: load(&c.failed),
+            recovered_runs: load(&c.recovered_runs),
+            rejected: RejectCounts {
+                queue_full: load(&c.rej_queue_full),
+                byte_budget: load(&c.rej_byte_budget),
+                pool_exhausted: load(&c.rej_pool),
+                breaker_open: load(&c.rej_breaker),
+                shutting_down: load(&c.rej_shutdown),
+            },
+            tier_completed: [
+                load(&c.tier_completed[0]),
+                load(&c.tier_completed[1]),
+                load(&c.tier_completed[2]),
+            ],
+            breaker_level: self.shared.breaker.level(),
+            breaker_transitions: self.shared.breaker.transitions(),
+            pool: self.shared.pool.stats(),
+        }
+    }
+
+    /// Queued (not yet executing) requests.
+    pub fn queue_depth(&self) -> usize {
+        lock_tolerant(&self.shared.queue).queue.len()
+    }
+
+    /// Working-set bytes of queued + executing requests.
+    pub fn in_flight_bytes(&self) -> usize {
+        lock_tolerant(&self.shared.queue).in_flight_bytes
+    }
+
+    /// The degradation governor's current position.
+    pub fn breaker_level(&self) -> BreakerLevel {
+        self.shared.breaker.level()
+    }
+
+    fn plan_for(&self, req: &FftRequest) -> Result<FftPlan, ServeError> {
+        let key: PlanKey = (req.dims, req.dir, req.buffer_elems, req.threads.0, req.threads.1);
+        let mut plans = lock_tolerant(&self.shared.plans);
+        if let Some(plan) = plans.get(&key) {
+            return Ok(plan.clone());
+        }
+        let plan = FftPlan::builder(req.dims)
+            .direction(req.dir)
+            .buffer_elems(req.buffer_elems)
+            .threads(req.threads.0, req.threads.1)
+            .build()
+            .map_err(|error| ServeError::InvalidRequest { error })?;
+        plans.insert(key, plan.clone());
+        Ok(plan)
+    }
+
+    fn reject(&self, reason: RejectReason) -> ServeError {
+        let c = &self.shared.counters;
+        let counter = match reason {
+            RejectReason::QueueFull { .. } => &c.rej_queue_full,
+            RejectReason::ByteBudget(_) => &c.rej_byte_budget,
+            RejectReason::PoolExhausted(_) => &c.rej_pool,
+            RejectReason::BreakerOpen => &c.rej_breaker,
+            RejectReason::ShuttingDown => &c.rej_shutdown,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        if let Some(trace) = self.shared.trace.as_ref() {
+            trace.mark(MarkKind::Serve, format!("reject: {reason}"), None);
+        }
+        ServeError::Rejected { reason }
+    }
+
+    fn begin_drain(&self) {
+        let mut q = lock_tolerant(&self.shared.queue);
+        if !q.shutting_down {
+            q.shutting_down = true;
+            if let Some(trace) = self.shared.trace.as_ref() {
+                trace.mark(MarkKind::Serve, "drain: admission closed", None);
+            }
+        }
+        drop(q);
+        self.shared.available.notify_all();
+    }
+
+    /// Executes anything still queued on the calling thread. With
+    /// `workers > 0` the queue is normally empty by the time the
+    /// workers have joined; with `workers == 0` this *is* the executor.
+    fn drain_residual(&self) {
+        loop {
+            let req = lock_tolerant(&self.shared.queue).queue.pop_front();
+            match req {
+                Some(r) => execute_request(&self.shared, r),
+                None => return,
+            }
+        }
+    }
+}
+
+impl Drop for FftServer {
+    fn drop(&mut self) {
+        self.begin_drain();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        self.drain_residual();
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let req = {
+            let mut q = lock_tolerant(&shared.queue);
+            loop {
+                if let Some(r) = q.queue.pop_front() {
+                    break Some(r);
+                }
+                if q.shutting_down {
+                    break None;
+                }
+                q = shared
+                    .available
+                    .wait(q)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        match req {
+            Some(r) => execute_request(shared, r),
+            None => return,
+        }
+    }
+}
+
+/// Runs one admitted request to its single outcome: executes at the
+/// breaker-assigned tier, classifies the verdict, feeds the breaker,
+/// releases the pooled working set, and only then delivers the outcome
+/// (so a waiter that immediately resubmits sees the freed budget and a
+/// settled breaker).
+fn execute_request(shared: &Arc<Shared>, req: QueuedRequest) {
+    let QueuedRequest {
+        plan,
+        mut data,
+        mut work,
+        mut result,
+        token,
+        tier,
+        fault,
+        submitted_at,
+        bytes,
+        cell,
+    } = req;
+
+    let verdict = run_at_tier(shared, &plan, &mut data, &mut work, &token, tier, &fault);
+    let latency = submitted_at.elapsed();
+    let c = &shared.counters;
+    let outcome = match verdict {
+        Ok((tier, recovered)) => {
+            c.completed.fetch_add(1, Ordering::Relaxed);
+            c.tier_completed[tier_index(tier)].fetch_add(1, Ordering::Relaxed);
+            if recovered {
+                c.recovered_runs.fetch_add(1, Ordering::Relaxed);
+            }
+            breaker_feedback(shared, true);
+            result.copy_from_slice(data.as_slice());
+            RequestOutcome::Completed {
+                output: result,
+                tier,
+                recovered,
+                latency,
+            }
+        }
+        Err(CoreError::Pipeline(PipelineError::Cancelled {
+            reason: CancelReason::Deadline,
+            ..
+        })) => {
+            c.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            breaker_feedback(shared, false);
+            RequestOutcome::DeadlineExceeded { latency }
+        }
+        Err(error) => {
+            c.failed.fetch_add(1, Ordering::Relaxed);
+            breaker_feedback(shared, false);
+            RequestOutcome::Failed { error, latency }
+        }
+    };
+
+    // Return the working set and release the admission budget before
+    // the outcome becomes visible.
+    drop(data);
+    drop(work);
+    lock_tolerant(&shared.queue).in_flight_bytes -= bytes;
+    cell.deliver(outcome);
+}
+
+fn run_at_tier(
+    shared: &Shared,
+    plan: &FftPlan,
+    data: &mut PooledBuf<Complex64>,
+    work: &mut PooledBuf<Complex64>,
+    token: &CancelToken,
+    tier: RecoveryTier,
+    fault: &Option<FaultPlan>,
+) -> Result<(RecoveryTier, bool), CoreError> {
+    if let Some(reason) = token.fired() {
+        // Expired while queued: never touch a worker's executor.
+        return Err(CoreError::Pipeline(PipelineError::Cancelled {
+            iter: 0,
+            reason,
+        }));
+    }
+    match tier {
+        RecoveryTier::Reference => {
+            execute_reference(plan, data.as_mut_slice())?;
+            Ok((RecoveryTier::Reference, false))
+        }
+        start => {
+            let cfg = ExecConfig {
+                fault: fault.clone(),
+                trace: shared.trace.clone(),
+                integrity: shared.integrity,
+                verify_energy: shared.verify_energy,
+                cancel: Some(token.clone()),
+                ..ExecConfig::default()
+            };
+            let mut plan = plan.clone();
+            if start == RecoveryTier::Fused {
+                plan.executor = ExecutorKind::Fused;
+            }
+            let rep = shared
+                .supervisor
+                .run(&plan, data.as_mut_slice(), work.as_mut_slice(), &cfg)?;
+            Ok((rep.tier, rep.recovered()))
+        }
+    }
+}
+
+fn breaker_feedback(shared: &Shared, ok: bool) {
+    let transition = if ok {
+        shared.breaker.on_success()
+    } else {
+        shared.breaker.on_failure()
+    };
+    if let (Some(t), Some(trace)) = (transition, shared.trace.as_ref()) {
+        trace.mark(MarkKind::Serve, t.to_string(), None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwfft_num::compare::{fft_tolerance, rel_l2_error};
+    use bwfft_num::signal::random_complex;
+
+    const DIMS: Dims = Dims::Two { n: 16, m: 32 };
+    const TOTAL: usize = 512;
+
+    fn request(seed: u64) -> FftRequest {
+        FftRequest::new(DIMS, random_complex(TOTAL, seed)).buffer_elems(128)
+    }
+
+    fn reference_of(seed: u64) -> Vec<Complex64> {
+        let plan = FftPlan::builder(DIMS).buffer_elems(128).build().unwrap();
+        let mut data = random_complex(TOTAL, seed);
+        execute_reference(&plan, &mut data).unwrap();
+        data
+    }
+
+    #[test]
+    fn completed_requests_match_the_reference_and_accounting_balances() {
+        let mut server = FftServer::start(ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        });
+        // Two waves: the second reuses the first wave's shelved
+        // buffers, so the steady state is allocation-free.
+        for wave in 0..2 {
+            let tickets: Vec<(u64, Ticket)> = (0..4)
+                .map(|i| {
+                    let seed = wave * 4 + i;
+                    (seed, server.submit(request(seed)).unwrap())
+                })
+                .collect();
+            for (seed, t) in tickets {
+                match t.wait() {
+                    RequestOutcome::Completed { output, .. } => {
+                        let expect = reference_of(seed);
+                        assert!(rel_l2_error(&output, &expect) <= fft_tolerance(TOTAL));
+                    }
+                    other => panic!("request {seed} did not complete: {other:?}"),
+                }
+            }
+        }
+        let report = server.shutdown();
+        assert!(report.holds(), "{report:?}");
+        assert_eq!(report.completed, 8);
+        assert_eq!(report.rejected.total(), 0);
+        // Steady state reuses pooled buffers: 8 requests, far fewer
+        // allocations than acquires.
+        assert!(report.pool.hits > 0);
+    }
+
+    #[test]
+    fn queue_depth_is_bounded_and_overflow_is_shed() {
+        let mut server = FftServer::start(ServeConfig {
+            workers: 0,
+            queue_capacity: 2,
+            ..ServeConfig::default()
+        });
+        let t1 = server.submit(request(1)).unwrap();
+        let t2 = server.submit(request(2)).unwrap();
+        let err = server.submit(request(3)).unwrap_err();
+        match err {
+            ServeError::Rejected {
+                reason: RejectReason::QueueFull { depth, capacity },
+            } => {
+                assert_eq!((depth, capacity), (2, 2));
+            }
+            other => panic!("wrong rejection: {other}"),
+        }
+        assert_eq!(server.queue_depth(), 2);
+        let report = server.shutdown();
+        assert!(matches!(t1.wait(), RequestOutcome::Completed { .. }));
+        assert!(matches!(t2.wait(), RequestOutcome::Completed { .. }));
+        assert!(report.holds(), "{report:?}");
+        assert_eq!(report.rejected.queue_full, 1);
+        assert_eq!(report.completed, 2);
+    }
+
+    #[test]
+    fn byte_budget_sheds_before_any_buffer_is_taken() {
+        let one_request = 2 * TOTAL * core::mem::size_of::<Complex64>();
+        let mut server = FftServer::start(ServeConfig {
+            workers: 0,
+            byte_budget: Some(one_request),
+            ..ServeConfig::default()
+        });
+        let t = server.submit(request(1)).unwrap();
+        assert_eq!(server.in_flight_bytes(), one_request);
+        let err = server.submit(request(2)).unwrap_err();
+        match err {
+            ServeError::Rejected {
+                reason: RejectReason::ByteBudget(e),
+            } => {
+                assert_eq!(e.what, "serve admission");
+                assert_eq!(e.bytes, 2 * one_request);
+            }
+            other => panic!("wrong rejection: {other}"),
+        }
+        let report = server.shutdown();
+        assert!(matches!(t.wait(), RequestOutcome::Completed { .. }));
+        assert!(report.holds());
+        assert_eq!(report.rejected.byte_budget, 1);
+        assert_eq!(server.in_flight_bytes(), 0);
+    }
+
+    #[test]
+    fn pool_exhaustion_is_a_typed_admission_rejection() {
+        let one_request = 2 * TOTAL * core::mem::size_of::<Complex64>();
+        let mut server = FftServer::start(ServeConfig {
+            workers: 0,
+            pool_cap_bytes: Some(one_request),
+            ..ServeConfig::default()
+        });
+        let _t = server.submit(request(1)).unwrap();
+        let err = server.submit(request(2)).unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::Rejected {
+                reason: RejectReason::PoolExhausted(_)
+            }
+        ));
+        let report = server.shutdown();
+        assert!(report.holds());
+        assert_eq!(report.rejected.pool_exhausted, 1);
+        assert_eq!(report.pool.exhausted, 1);
+    }
+
+    #[test]
+    fn expired_deadline_terminates_without_executing() {
+        let mut server = FftServer::start(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        let t = server
+            .submit(request(1).deadline(Duration::ZERO))
+            .unwrap();
+        match t.wait() {
+            RequestOutcome::DeadlineExceeded { .. } => {}
+            other => panic!("expected deadline miss, got {other:?}"),
+        }
+        let report = server.shutdown();
+        assert!(report.holds());
+        assert_eq!(report.deadline_exceeded, 1);
+        assert_eq!(report.completed, 0);
+    }
+
+    #[test]
+    fn malformed_descriptors_are_usage_errors_not_load_shedding() {
+        let mut server = FftServer::start(ServeConfig {
+            workers: 0,
+            ..ServeConfig::default()
+        });
+        let short = FftRequest::new(DIMS, vec![Complex64::default(); TOTAL - 1]);
+        assert!(matches!(
+            server.submit(short),
+            Err(ServeError::InputLength { expected: 512, got: 511 })
+        ));
+        // Dimension 12 is not a power of two: plan construction fails.
+        let bad = FftRequest::new(Dims::d2(12, 32), vec![Complex64::default(); 384]);
+        match server.submit(bad) {
+            Err(e @ ServeError::InvalidRequest { .. }) => assert!(e.is_usage()),
+            other => panic!("expected invalid request, got {other:?}"),
+        }
+        let report = server.shutdown();
+        // Usage errors are neither admissions nor rejections.
+        assert_eq!(report.submitted, 0);
+        assert_eq!(report.rejected.total(), 0);
+    }
+
+    #[test]
+    fn breaker_trips_to_open_probes_and_recovers_deterministically() {
+        let mut server = FftServer::start(ServeConfig {
+            workers: 1,
+            breaker: BreakerConfig {
+                failure_threshold: 2,
+                success_threshold: 2,
+                probe_interval: 3,
+            },
+            ..ServeConfig::default()
+        });
+        // Six deadline misses walk the breaker Normal -> Fused ->
+        // Reference -> Open. Sequential submit-then-wait keeps every
+        // state change ordered.
+        for seed in 0..6 {
+            let t = server
+                .submit(request(seed).deadline(Duration::ZERO))
+                .unwrap();
+            assert!(matches!(t.wait(), RequestOutcome::DeadlineExceeded { .. }));
+        }
+        assert_eq!(server.breaker_level(), BreakerLevel::Open);
+        // Open: two rejections, then the third submission is the probe.
+        for seed in [10, 11] {
+            assert!(matches!(
+                server.submit(request(seed)),
+                Err(ServeError::Rejected {
+                    reason: RejectReason::BreakerOpen
+                })
+            ));
+        }
+        let probe = server.submit(request(12)).unwrap();
+        match probe.wait() {
+            RequestOutcome::Completed { tier, .. } => {
+                assert_eq!(tier, RecoveryTier::Reference);
+            }
+            other => panic!("probe should complete, got {other:?}"),
+        }
+        assert_eq!(server.breaker_level(), BreakerLevel::Reference);
+        // Two successes per step back up: Reference -> Fused -> Normal.
+        for seed in 13..17 {
+            let t = server.submit(request(seed)).unwrap();
+            assert!(matches!(t.wait(), RequestOutcome::Completed { .. }));
+        }
+        assert_eq!(server.breaker_level(), BreakerLevel::Normal);
+        let report = server.shutdown();
+        assert!(report.holds(), "{report:?}");
+        let trail: Vec<(BreakerLevel, &str)> = report
+            .breaker_transitions
+            .iter()
+            .map(|t| (t.to, t.trigger))
+            .collect();
+        assert_eq!(
+            trail,
+            [
+                (BreakerLevel::Fused, "consecutive failures"),
+                (BreakerLevel::Reference, "consecutive failures"),
+                (BreakerLevel::Open, "consecutive failures"),
+                (BreakerLevel::Reference, "probe success"),
+                (BreakerLevel::Fused, "consecutive successes"),
+                (BreakerLevel::Normal, "consecutive successes"),
+            ]
+        );
+        assert_eq!(report.rejected.breaker_open, 2);
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work_and_drains_queued_requests() {
+        let mut server = FftServer::start(ServeConfig {
+            workers: 0,
+            ..ServeConfig::default()
+        });
+        let tickets: Vec<Ticket> =
+            (0..3).map(|s| server.submit(request(s)).unwrap()).collect();
+        let report = server.shutdown();
+        assert!(report.holds(), "{report:?}");
+        assert_eq!(report.completed, 3);
+        for t in tickets {
+            assert!(matches!(t.wait(), RequestOutcome::Completed { .. }));
+        }
+        // Admission is closed after shutdown; the report is idempotent.
+        assert!(matches!(
+            server.submit(request(9)),
+            Err(ServeError::Rejected {
+                reason: RejectReason::ShuttingDown
+            })
+        ));
+        let again = server.shutdown();
+        assert_eq!(again.completed, 3);
+        assert_eq!(again.rejected.shutting_down, 1);
+    }
+
+    #[test]
+    fn injected_faults_recover_through_the_supervisor_and_count() {
+        use bwfft_pipeline::Role;
+        let mut server = FftServer::start(ServeConfig {
+            workers: 1,
+            retry: RetryPolicy {
+                backoff_base: Duration::from_micros(50),
+                backoff_cap: Duration::from_millis(1),
+                ..RetryPolicy::default()
+            },
+            ..ServeConfig::default()
+        });
+        bwfft_pipeline::fault::silence_injected_panic_reports();
+        let req = request(1)
+            .threads(1, 1)
+            .fault(FaultPlan::panic_at(Role::Compute, 0, 0));
+        let t = server.submit(req).unwrap();
+        match t.wait() {
+            RequestOutcome::Completed {
+                output, recovered, ..
+            } => {
+                assert!(recovered, "persistent fault must need recovery");
+                let expect = reference_of(1);
+                assert!(rel_l2_error(&output, &expect) <= fft_tolerance(TOTAL));
+            }
+            other => panic!("expected recovered completion, got {other:?}"),
+        }
+        let report = server.shutdown();
+        assert!(report.holds());
+        assert_eq!(report.recovered_runs, 1);
+    }
+}

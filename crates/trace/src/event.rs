@@ -131,6 +131,9 @@ pub enum MarkKind {
     /// escalation); label describes the step, `value_ns` the backoff
     /// slept before it, when any.
     Recovery,
+    /// A serving-layer event (admission rejection, breaker transition,
+    /// drain); label describes it.
+    Serve,
 }
 
 impl MarkKind {
@@ -142,6 +145,7 @@ impl MarkKind {
             MarkKind::TunerTrial => "tuner_trial",
             MarkKind::TunerWinner => "tuner_winner",
             MarkKind::Recovery => "recovery",
+            MarkKind::Serve => "serve",
         }
     }
 
@@ -153,6 +157,7 @@ impl MarkKind {
             "tuner_trial" => Some(MarkKind::TunerTrial),
             "tuner_winner" => Some(MarkKind::TunerWinner),
             "recovery" => Some(MarkKind::Recovery),
+            "serve" => Some(MarkKind::Serve),
             _ => None,
         }
     }
@@ -203,6 +208,7 @@ mod tests {
             MarkKind::TunerTrial,
             MarkKind::TunerWinner,
             MarkKind::Recovery,
+            MarkKind::Serve,
         ] {
             assert_eq!(MarkKind::from_token(k.token()), Some(k));
         }

@@ -109,6 +109,35 @@ echo "$soak_out" | grep -q "soak contract holds" \
   || { echo "soak smoke FAILED:"; echo "$soak_out"; exit 1; }
 echo "soak smoke: OK"
 
+echo "== serve smoke (overload matrix + open-loop latency record) =="
+# A short seeded pass over the concurrent overload matrix (burst /
+# oversized / faults / shutdown races): every submission must terminate
+# with exactly one typed outcome and every completion must verify.
+serve_soak_out="$(cargo run -q --bin bwfft-cli -- soak --iters 4 --seed 7 \
+  --serve --serve-iters 12)"
+echo "$serve_soak_out" | grep -q "serve soak contract holds" \
+  || { echo "serve soak smoke FAILED:"; echo "$serve_soak_out"; exit 1; }
+# The open-loop latency bench must emit a valid record whose service
+# columns balance, and a self-compare must pass the p99 gate path.
+cargo run -q --bin bwfft-cli -- bench --suite serve --requests 16 --workers 2 \
+  --queue-depth 8 --seed 42 --out "$benchdir/BENCH_serve.json" > /dev/null
+python3 -c '
+import json, sys
+
+rep = json.load(open(sys.argv[1]))
+assert rep["schema"] == "bwfft-bench/1", rep["schema"]
+assert rep["suite_kind"] == "serve", rep["suite_kind"]
+m = rep["suites"][0]["serve"]
+assert m["submitted"] == m["completed"] + m["deadline_exceeded"] + m["failed"], m
+assert m["p99_ns"] >= m["p50_ns"] >= 0.0, m
+print("serve record: OK")
+' "$benchdir/BENCH_serve.json" \
+  || { echo "serve smoke FAILED: invalid serve record"; exit 1; }
+cargo run -q --bin bwfft-cli -- bench --current "$benchdir/BENCH_serve.json" \
+  --compare "$benchdir/BENCH_serve.json" > /dev/null \
+  || { echo "serve smoke FAILED: self-compare tripped the gate"; exit 1; }
+echo "serve smoke: OK"
+
 echo "== recovery smoke (escalation ladder + recovery marks in profile) =="
 # A fault that kills both real executors must escalate to the reference
 # tier, still verify, and export recovery marks in the profile JSON.

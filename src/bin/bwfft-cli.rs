@@ -14,7 +14,10 @@
 //!                 [--machine NAME] [--out PATH] [--derate F]
 //!                 [--integrity [--baseline-out PATH]]
 //!                 [--compare BASELINE [--current PATH]] [--threshold PCT]
-//! bwfft-cli soak [--iters N] [--seed S] [--stall-ms N]
+//! bwfft-cli soak [--iters N] [--seed S] [--stall-ms N] [--serve [--serve-iters N]]
+//! bwfft-cli serve --requests N [--dims KxNxM] [--buffer B] [--threads D,C]
+//!                 [--workers W] [--queue-depth Q] [--byte-budget BYTES]
+//!                 [--deadline-ms N] [--arrival-us N] [--seed S]
 //! ```
 //!
 //! `--profile` traces the run and prints the per-stage roofline/overlap
@@ -50,22 +53,35 @@
 //! seeded number of iterations and fails (exit 1) on any contract
 //! violation.
 //!
+//! `serve` drives the overload-safe concurrent service
+//! (`bwfft-serve`) with an open-loop request schedule and prints the
+//! drained report: completions with p50/p99 latency, rejections by
+//! reason, deadline misses, degradation-governor transitions. `bench
+//! --suite serve` runs the same driver through the statistical harness
+//! and writes a `bwfft-bench/1` record whose service row carries
+//! requests/sec, p50/p99 and the outcome counts; `--compare` then
+//! gates the p99 tail exactly like medians.
+//!
 //! ## Exit-code discipline
 //!
 //! | code | class | errors |
 //! |------|-------|--------|
 //! | 0 | success | — |
+//! | 0 | serve drained | graceful drain: every submission got exactly one typed outcome; shed requests (`queue_full`, `byte_budget`, `pool_exhausted`, `breaker_open`, `shutting_down`) and `deadline-exceeded` outcomes are counted and reported, not faults |
 //! | 1 | runtime fault | `WorkerPanicked`, `StageTimeout`, `Simulation`, `Integrity`, `Allocation`, failed verification, perf regression, soak contract violation, non-usage `Tuner` |
-//! | 2 | usage | `Plan`, `Config`, `InputLength`, `SocketMismatch`, bad-wisdom `Tuner`, bad flags |
+//! | 1 | serve fault | `Failed` request outcomes, drain accounting that does not balance, serve-soak contract violation |
+//! | 2 | usage | `Plan`, `Config`, `InputLength`, `SocketMismatch`, bad-wisdom `Tuner`, bad flags, serve `InvalidRequest`/`InputLength` (malformed descriptors are the caller's fault, never load shedding) |
 //!
-//! The mapping is `BwfftError::is_usage()`; `exit_code_discipline` in
-//! the test module asserts it variant by variant. User errors print a
-//! one-line typed message, never a backtrace.
+//! The mapping is `BwfftError::is_usage()` / `ServeError::is_usage()`;
+//! `exit_code_discipline` and `serve_exit_code_discipline` in the test
+//! module assert it variant by variant. User errors print a one-line
+//! typed message, never a backtrace.
 
 use bwfft::baselines::{reference_impl, simulate_baseline, BaselineKind};
 use bwfft::bench::compare::{compare, derate, verdict_json, GateConfig};
 use bwfft::bench::measure::MeasureConfig;
 use bwfft::bench::record::{bench_filename, read_file, write_file, BenchReport};
+use bwfft::bench::serve_bench::{run_open_loop, run_serve_suite, ServeBenchConfig};
 use bwfft::bench::stats::StatsConfig;
 use bwfft::bench::suite::SuiteKind;
 use bwfft::bench::{run_suite, run_suite_paired};
@@ -77,7 +93,8 @@ use bwfft::machine::{presets, MachineSpec};
 use bwfft::num::compare::rel_l2_error;
 use bwfft::num::{signal, AlignedVec, Complex64};
 use bwfft::pipeline::{AdaptiveWatchdog, FaultPlan, IntegrityConfig, Role};
-use bwfft::soak::{run_soak, SoakConfig};
+use bwfft::serve::ServeError;
+use bwfft::soak::{run_serve_soak, run_soak, ServeSoakConfig, SoakConfig};
 use bwfft::trace::TraceCollector;
 use bwfft::tuner::{wisdom, HostFingerprint, PlanCache, Tuner, TunerOptions, Wisdom, WisdomLoad};
 use bwfft::BwfftError;
@@ -96,6 +113,18 @@ enum CliError {
 
 impl From<BwfftError> for CliError {
     fn from(e: BwfftError) -> Self {
+        if e.is_usage() {
+            CliError::Usage(e.to_string())
+        } else {
+            CliError::Runtime(e.to_string())
+        }
+    }
+}
+
+impl From<ServeError> for CliError {
+    fn from(e: ServeError) -> Self {
+        // Malformed descriptors are the caller's fault (exit 2); load
+        // shedding surfaced as an error is a runtime condition (exit 1).
         if e.is_usage() {
             CliError::Usage(e.to_string())
         } else {
@@ -134,11 +163,15 @@ usage:
   bwfft-cli stream --machine NAME
   bwfft-cli tune --dims KxNxM [--inverse] [--model-only] [--plan-stats] [--wisdom PATH]
                 [--profile[=json]]
-  bwfft-cli bench [--suite smoke|fast|full] [--reps N] [--warmup N] [--seed S]
+  bwfft-cli bench [--suite smoke|fast|full|serve] [--reps N] [--warmup N] [--seed S]
                   [--machine NAME] [--out PATH] [--derate F]
                   [--integrity [--baseline-out PATH]]
                   [--compare BASELINE [--current PATH]] [--threshold PCT]
-  bwfft-cli soak [--iters N] [--seed S] [--stall-ms N]
+                  [--requests N] [--workers W] [--arrival-us N]
+  bwfft-cli soak [--iters N] [--seed S] [--stall-ms N] [--serve [--serve-iters N]]
+  bwfft-cli serve --requests N [--dims KxNxM] [--buffer B] [--threads D,C]
+                  [--workers W] [--queue-depth Q] [--byte-budget BYTES]
+                  [--deadline-ms N] [--arrival-us N] [--seed S]
 machines: kabylake | haswell4770 | amdfx | haswell2667 | opteron6276";
 
 fn run(args: &[String]) -> Result<(), CliError> {
@@ -165,6 +198,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "tune" => cmd_tune(&opts),
         "bench" => cmd_bench(&opts),
         "soak" => cmd_soak(&opts),
+        "serve" => cmd_serve(&opts),
         "stream" => {
             let spec = machine_by_name(opts.get("machine").ok_or_else(|| usage("--machine required"))?)
                 .map_err(usage)?;
@@ -388,15 +422,173 @@ fn cmd_soak(opts: &HashMap<String, String>) -> Result<(), CliError> {
     );
     let report = run_soak(&cfg).map_err(CliError::from)?;
     println!("{}", report.render());
-    if report.holds() {
-        println!("soak contract holds: never wrong, never a panic");
-        Ok(())
-    } else {
-        Err(CliError::Runtime(format!(
+    if !report.holds() {
+        return Err(CliError::Runtime(format!(
             "soak contract violated: {} silent corruption(s) in {} iteration(s)",
             report.silent_corruptions, report.iterations
-        )))
+        )));
     }
+    println!("soak contract holds: never wrong, never a panic");
+    if opts.contains_key("serve") {
+        // The concurrent overload matrix: burst arrivals, oversized
+        // requests, injected faults mid-flight, shutdown races.
+        let mut scfg = ServeSoakConfig {
+            seed: cfg.seed,
+            ..ServeSoakConfig::default()
+        };
+        if let Some(n) = opts.get("serve-iters") {
+            scfg.iters = n.parse().map_err(|_| usage("bad --serve-iters"))?;
+            if scfg.iters == 0 {
+                return Err(usage("--serve-iters must be at least 1"));
+            }
+        }
+        println!(
+            "serve soak: {} lifecycle(s), seed {:#x}, overload matrix \
+             (burst / oversized / faults / shutdown races)",
+            scfg.iters, scfg.seed
+        );
+        let sreport = run_serve_soak(&scfg).map_err(CliError::from)?;
+        println!("{}", sreport.render());
+        if !sreport.holds() {
+            return Err(CliError::Runtime(format!(
+                "serve soak contract violated: {} oracle mismatch(es), \
+                 {} unbalanced lifecycle(s)",
+                sreport.oracle_mismatches, sreport.unbalanced_lifecycles
+            )));
+        }
+        println!("serve soak contract holds: one typed outcome per request, never wrong");
+    }
+    Ok(())
+}
+
+/// Builds the open-loop driver config from `serve` / `bench --suite
+/// serve` flags.
+fn serve_bench_config(opts: &HashMap<String, String>) -> Result<ServeBenchConfig, CliError> {
+    let mut cfg = ServeBenchConfig::default();
+    if let Some(d) = opts.get("dims") {
+        cfg.dims = parse_dims(d).map_err(usage)?;
+    }
+    if let Some(b) = opts.get("buffer") {
+        cfg.buffer_elems = b.parse().map_err(|_| usage("bad --buffer"))?;
+    }
+    if let Some(t) = opts.get("threads") {
+        cfg.threads = parse_pair(t).map_err(usage)?;
+    }
+    if let Some(n) = opts.get("requests") {
+        cfg.requests = n.parse().map_err(|_| usage("bad --requests"))?;
+        if cfg.requests == 0 {
+            return Err(usage("--requests must be at least 1"));
+        }
+    }
+    if let Some(w) = opts.get("workers") {
+        cfg.workers = w.parse().map_err(|_| usage("bad --workers"))?;
+        if cfg.workers == 0 {
+            return Err(usage("--workers must be at least 1"));
+        }
+    }
+    if let Some(q) = opts.get("queue-depth") {
+        cfg.queue_capacity = q.parse().map_err(|_| usage("bad --queue-depth"))?;
+        if cfg.queue_capacity == 0 {
+            return Err(usage("--queue-depth must be at least 1"));
+        }
+    }
+    if let Some(b) = opts.get("byte-budget") {
+        cfg.byte_budget = Some(b.parse().map_err(|_| usage("bad --byte-budget"))?);
+    }
+    if let Some(ms) = opts.get("deadline-ms") {
+        let ms: u64 = ms.parse().map_err(|_| usage("bad --deadline-ms"))?;
+        cfg.deadline = Some(std::time::Duration::from_millis(ms));
+    }
+    if let Some(us) = opts.get("arrival-us") {
+        let us: u64 = us.parse().map_err(|_| usage("bad --arrival-us"))?;
+        cfg.arrival = std::time::Duration::from_micros(us);
+    }
+    if let Some(s) = opts.get("seed") {
+        cfg.seed = s.parse().map_err(|_| usage("bad --seed"))?;
+    }
+    Ok(cfg)
+}
+
+/// `serve`: throw an open-loop request schedule at the concurrent
+/// service and print the drained report. A graceful drain — every
+/// submission resolved to exactly one typed outcome — is exit 0 even
+/// when requests were shed or timed out (that is the service working
+/// as specified); `Failed` outcomes or unbalanced accounting are
+/// exit 1.
+fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), CliError> {
+    let cfg = serve_bench_config(opts)?;
+    println!(
+        "serve: {} open-loop request(s) of {} (b = {}), {} worker(s), queue depth {}{}{}{}",
+        cfg.requests,
+        cfg.dims.label(),
+        cfg.buffer_elems,
+        cfg.workers,
+        cfg.queue_capacity,
+        match cfg.byte_budget {
+            Some(b) => format!(", byte budget {b}"),
+            None => String::new(),
+        },
+        match cfg.deadline {
+            Some(d) => format!(", deadline {d:?}"),
+            None => String::new(),
+        },
+        if cfg.arrival.is_zero() {
+            ", burst arrivals".to_string()
+        } else {
+            format!(", {:?} inter-arrival", cfg.arrival)
+        },
+    );
+    let run = run_open_loop(&cfg).map_err(CliError::from)?;
+    let rep = &run.report;
+    let m = &run.metrics;
+    println!(
+        "drained in {:.2?}: {} completed ({} recovered), {} rejected, \
+         {} deadline-exceeded, {} failed",
+        run.elapsed, m.completed, rep.recovered_runs, m.rejected, m.deadline_exceeded, m.failed
+    );
+    let rj = &rep.rejected;
+    if rj.total() > 0 {
+        println!(
+            "  shed by reason: queue_full {}, byte_budget {}, pool_exhausted {}, \
+             breaker_open {}, shutting_down {}",
+            rj.queue_full, rj.byte_budget, rj.pool_exhausted, rj.breaker_open, rj.shutting_down
+        );
+    }
+    println!(
+        "tiers: pipelined {}, fused {}, reference {}; breaker ended {:?} \
+         ({} transition(s))",
+        rep.tier_completed[0],
+        rep.tier_completed[1],
+        rep.tier_completed[2],
+        rep.breaker_level,
+        rep.breaker_transitions.len()
+    );
+    for t in &rep.breaker_transitions {
+        println!("  {t}");
+    }
+    if m.completed > 0 {
+        println!(
+            "throughput {:.0} req/s; latency p50 {:.3} ms, p99 {:.3} ms",
+            m.requests_per_sec,
+            m.p50_ns / 1e6,
+            m.p99_ns / 1e6
+        );
+    }
+    if !rep.holds() {
+        return Err(CliError::Runtime(format!(
+            "serve accounting violated: {} admitted but {} outcome(s) delivered",
+            rep.submitted,
+            rep.outcomes()
+        )));
+    }
+    if m.failed > 0 {
+        return Err(CliError::Runtime(format!(
+            "{} request(s) failed with typed errors",
+            m.failed
+        )));
+    }
+    println!("serve contract holds: every submission terminated with one typed outcome");
+    Ok(())
 }
 
 /// Parses `ROLE,THREAD,ITER` (e.g. `compute,0,3`) into a fault plan.
@@ -578,10 +770,15 @@ fn cmd_bench(opts: &HashMap<String, String>) -> Result<(), CliError> {
         return finish_compare(&base, &cur, &gate);
     }
 
+    // The service-latency suite routes through the open-loop driver
+    // instead of the executor measurement loop.
+    if opts.get("suite").map(String::as_str) == Some("serve") {
+        return cmd_bench_serve(opts, &gate, derate_factor);
+    }
     let kind = match opts.get("suite") {
         None => SuiteKind::Smoke,
         Some(s) => SuiteKind::parse(s)
-            .ok_or_else(|| usage(format!("unknown --suite `{s}` (smoke|fast|full)")))?,
+            .ok_or_else(|| usage(format!("unknown --suite `{s}` (smoke|fast|full|serve)")))?,
     };
     let mut mcfg = MeasureConfig::default();
     if let Some(r) = opts.get("reps") {
@@ -656,6 +853,62 @@ fn cmd_bench(opts: &HashMap<String, String>) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `bench --suite serve`: the open-loop latency bench. Writes a
+/// single-row `bwfft-bench/1` record whose service columns carry
+/// requests/sec, p50/p99 and the outcome counts, then gates against a
+/// baseline like any other suite (the p99 tail is threshold-gated).
+fn cmd_bench_serve(
+    opts: &HashMap<String, String>,
+    gate: &GateConfig,
+    derate_factor: Option<f64>,
+) -> Result<(), CliError> {
+    let cfg = serve_bench_config(opts)?;
+    println!(
+        "bench: serve suite, {} open-loop request(s) of {}, {} worker(s), seed {}",
+        cfg.requests,
+        cfg.dims.label(),
+        cfg.workers,
+        cfg.seed
+    );
+    let mut report = run_serve_suite(&cfg, &StatsConfig::default())
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    if let Some(f) = derate_factor {
+        derate(&mut report, f);
+        println!("note: record derated {f}x (gate self-test)");
+    }
+    let s = &report.suites[0];
+    if let Some(m) = &s.serve {
+        println!(
+            "  {:<34} {:.0} req/s  p50 {:>8.3} ms  p99 {:>8.3} ms  \
+             ({} completed, {} rejected, {} deadline-exceeded, {} failed)",
+            s.key,
+            m.requests_per_sec,
+            m.p50_ns / 1e6,
+            m.p99_ns / 1e6,
+            m.completed,
+            m.rejected,
+            m.deadline_exceeded,
+            m.failed
+        );
+    }
+    let out = opts
+        .get("out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(bench_filename(&report.git_rev)));
+    write_file(&out, &report).map_err(|e| CliError::Runtime(e.to_string()))?;
+    println!(
+        "wrote {} ({} suites, rev {})",
+        out.display(),
+        report.suites.len(),
+        report.git_rev
+    );
+    if let Some(base_path) = opts.get("compare") {
+        let base = load_bench(base_path)?;
+        return finish_compare(&base, &report, gate);
+    }
+    Ok(())
+}
+
 fn load_bench(path: &str) -> Result<BenchReport, CliError> {
     read_file(Path::new(path)).map_err(|e| CliError::Runtime(e.to_string()))
 }
@@ -709,6 +962,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
                 | "plan-stats"
                 | "integrity"
                 | "recover"
+                | "serve"
         ) {
             out.insert(name.to_string(), String::new());
             i += 1;
@@ -734,6 +988,13 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
                 | "derate"
                 | "iters"
                 | "stall-ms"
+                | "serve-iters"
+                | "requests"
+                | "workers"
+                | "queue-depth"
+                | "byte-budget"
+                | "deadline-ms"
+                | "arrival-us"
         ) {
             let v = args
                 .get(i + 1)
@@ -908,6 +1169,118 @@ mod tests {
     }
 
     #[test]
+    fn soak_serve_matrix_smoke() {
+        let args: Vec<String> = [
+            "soak", "--iters", "4", "--seed", "7", "--serve", "--serve-iters", "4",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        run(&args).unwrap();
+        let args: Vec<String> = ["soak", "--iters", "4", "--serve", "--serve-iters", "0"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(matches!(run(&args), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn serve_exit_code_discipline() {
+        // The serve rows of the doc-comment table, variant by variant:
+        // every load-shedding rejection is a runtime condition (exit
+        // 1) when surfaced as an error; malformed descriptors are
+        // usage (exit 2); a graceful drain is exit 0 (asserted by the
+        // drain tests below).
+        use bwfft::core::PlanError;
+        use bwfft::num::AllocError;
+        use bwfft::serve::RejectReason;
+        let rejections = [
+            RejectReason::QueueFull {
+                depth: 4,
+                capacity: 4,
+            },
+            RejectReason::ByteBudget(AllocError {
+                what: "serve admission",
+                bytes: 1 << 20,
+            }),
+            RejectReason::PoolExhausted(AllocError {
+                what: "buffer pool",
+                bytes: 1 << 20,
+            }),
+            RejectReason::BreakerOpen,
+            RejectReason::ShuttingDown,
+        ];
+        for reason in rejections {
+            let e = CliError::from(ServeError::Rejected { reason });
+            assert!(matches!(e, CliError::Runtime(_)), "{e:?}");
+        }
+        let e = CliError::from(ServeError::InvalidRequest {
+            error: PlanError::NotPow2("n", 12),
+        });
+        assert!(matches!(e, CliError::Usage(_)), "{e:?}");
+        let e = CliError::from(ServeError::InputLength {
+            expected: 512,
+            got: 8,
+        });
+        assert!(matches!(e, CliError::Usage(_)), "{e:?}");
+    }
+
+    #[test]
+    fn serve_subcommand_drains_cleanly() {
+        let args: Vec<String> = [
+            "serve", "--requests", "8", "--dims", "16x32", "--buffer", "128",
+            "--workers", "2", "--seed", "3",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        run(&args).unwrap();
+    }
+
+    #[test]
+    fn serve_drains_to_exit_zero_even_when_every_deadline_expires() {
+        // Deadline misses are typed outcomes of a working service, not
+        // faults: the drained run exits 0.
+        let args: Vec<String> = [
+            "serve", "--requests", "6", "--dims", "16x32", "--buffer", "128",
+            "--deadline-ms", "0",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        run(&args).unwrap();
+    }
+
+    #[test]
+    fn serve_drains_to_exit_zero_under_burst_shedding() {
+        // A shallow queue under burst arrivals sheds load with typed
+        // rejections; the drain still balances and exits 0.
+        let args: Vec<String> = [
+            "serve", "--requests", "16", "--dims", "16x32", "--buffer", "128",
+            "--workers", "1", "--queue-depth", "1",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        run(&args).unwrap();
+    }
+
+    #[test]
+    fn serve_flag_validation() {
+        for bad in [
+            vec!["serve", "--requests", "0"],
+            vec!["serve", "--requests", "4", "--workers", "0"],
+            vec!["serve", "--requests", "4", "--queue-depth", "0"],
+            // A non-power-of-two shape is a usage error (InvalidRequest
+            // from plan validation), not load shedding.
+            vec!["serve", "--requests", "1", "--dims", "12x10"],
+        ] {
+            let args: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            assert!(matches!(run(&args), Err(CliError::Usage(_))), "{bad:?}");
+        }
+    }
+
+    #[test]
     fn tune_command_runs_model_only() {
         let args: Vec<String> = ["tune", "--dims", "32x32", "--model-only", "--plan-stats"]
             .iter()
@@ -1061,6 +1434,60 @@ mod tests {
 
         // Replay mode: the two files compare without re-running, and an
         // un-derated self-compare passes.
+        let args: Vec<String> = [
+            "bench",
+            "--compare", baseline.to_str().unwrap(),
+            "--current", baseline.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        run(&args).unwrap();
+    }
+
+    #[test]
+    fn bench_serve_suite_records_metrics_and_gates_p99() {
+        let dir = std::env::temp_dir().join("bwfft-cli-bench-serve-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let baseline = dir.join("BENCH_serve_base.json");
+
+        let base_args: Vec<String> = [
+            "bench", "--suite", "serve", "--requests", "8", "--workers", "2",
+            "--seed", "5", "--out", baseline.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        run(&base_args).unwrap();
+        let rep = read_file(&baseline).unwrap();
+        assert_eq!(rep.schema, "bwfft-bench/1");
+        assert_eq!(rep.suite_kind, "serve");
+        assert_eq!(rep.suites.len(), 1);
+        let m = rep.suites[0].serve.as_ref().expect("serve metrics column");
+        assert_eq!(m.submitted, m.completed + m.deadline_exceeded + m.failed);
+        assert!(m.p99_ns >= m.p50_ns);
+
+        // A derated rerun inflates the tail; the p99 threshold gate
+        // must name it even without CI separation.
+        let current = dir.join("BENCH_serve_cur.json");
+        let cur_args: Vec<String> = [
+            "bench", "--suite", "serve", "--requests", "8", "--workers", "2",
+            "--seed", "5", "--derate", "3",
+            "--out", current.to_str().unwrap(),
+            "--compare", baseline.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        match run(&cur_args) {
+            Err(CliError::Runtime(msg)) => {
+                assert!(msg.contains("regression"), "{msg}");
+                assert!(msg.contains("p99"), "{msg}");
+            }
+            other => panic!("derated serve compare must fail the gate, got {other:?}"),
+        }
+
+        // Replay self-compare of the serve record passes the gate.
         let args: Vec<String> = [
             "bench",
             "--compare", baseline.to_str().unwrap(),

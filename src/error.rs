@@ -26,7 +26,7 @@
 use bwfft_core::{CoreError, ExecReport, FftPlan, PlanError};
 use bwfft_machine::EngineError;
 use bwfft_num::{AllocError, Complex64};
-use bwfft_pipeline::{ConfigError, IntegrityKind, PipelineError, Role};
+use bwfft_pipeline::{CancelReason, ConfigError, IntegrityKind, PipelineError, Role};
 use bwfft_tuner::TunerError;
 use std::time::Duration;
 
@@ -84,6 +84,17 @@ pub enum BwfftError {
     /// budget). Recoverable: the supervisor answers it by shrinking the
     /// plan's buffer and retrying.
     Allocation(AllocError),
+    /// The run's cancellation token fired — a per-request deadline
+    /// passed or the owner drained the executor. The workers exited
+    /// cooperatively at the next step boundary; the supervisor never
+    /// retries this (retrying a cancelled request keeps burning its
+    /// worker past the deadline).
+    Cancelled {
+        /// Pipeline step (or fused block) at which a worker observed
+        /// the token.
+        iter: usize,
+        reason: CancelReason,
+    },
 }
 
 impl BwfftError {
@@ -143,6 +154,7 @@ impl From<PipelineError> for BwfftError {
             PipelineError::Integrity { stage, block, kind } => {
                 BwfftError::Integrity { stage, block, kind }
             }
+            PipelineError::Cancelled { iter, reason } => BwfftError::Cancelled { iter, reason },
         }
     }
 }
@@ -229,6 +241,9 @@ impl std::fmt::Display for BwfftError {
                 "integrity guard: {kind} at stage {stage}, block {block}"
             ),
             BwfftError::Allocation(e) => write!(f, "allocation: {e}"),
+            BwfftError::Cancelled { iter, reason } => {
+                write!(f, "run cancelled at step {iter}: {reason}")
+            }
         }
     }
 }
@@ -360,6 +375,27 @@ mod tests {
         assert!(matches!(e, BwfftError::Allocation(_)));
         assert!(!e.is_usage());
         assert!(e.to_string().contains("allocation"));
+    }
+
+    #[test]
+    fn cancellation_flattens_as_a_runtime_fault() {
+        let e: BwfftError = CoreError::Pipeline(PipelineError::Cancelled {
+            iter: 3,
+            reason: CancelReason::Deadline,
+        })
+        .into();
+        assert!(matches!(
+            e,
+            BwfftError::Cancelled { iter: 3, reason: CancelReason::Deadline }
+        ));
+        assert!(!e.is_usage());
+        assert!(e.to_string().contains("deadline"));
+        let e: BwfftError = PipelineError::Cancelled {
+            iter: 0,
+            reason: CancelReason::Shutdown,
+        }
+        .into();
+        assert!(e.to_string().contains("shutdown"));
     }
 
     #[test]

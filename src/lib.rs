@@ -21,6 +21,7 @@
 //! | [`tuner`] | autotuner, concurrent plan cache, persistent wisdom |
 //! | [`baselines`] | MKL-like / FFTW-like / slab–pencil comparators |
 //! | [`bench`] | statistical benchmark harness, `BENCH_*.json` records, regression gate |
+//! | [`serve`] | overload-safe concurrent FFT service: admission control, deadlines, degradation, drain |
 //!
 //! ## Quickstart
 //!
@@ -79,8 +80,12 @@ pub use bwfft_kernels as kernels;
 pub use bwfft_machine as machine;
 pub use bwfft_num as num;
 pub use bwfft_pipeline as pipeline;
+pub use bwfft_serve as serve;
 pub use bwfft_spl as spl;
 pub use bwfft_trace as trace;
 pub use bwfft_tuner as tuner;
 pub use error::{BwfftError, PlanExecute};
-pub use soak::{run_soak, SoakConfig, SoakReport};
+pub use soak::{
+    run_serve_soak, run_soak, ServeScenario, ServeSoakConfig, ServeSoakReport, SoakConfig,
+    SoakReport,
+};

@@ -324,6 +324,259 @@ fn record_success(report: &mut SoakReport, rep: &SupervisedReport) {
     report.tier_finishes[t] += 1;
 }
 
+// ---------------------------------------------------------------------------
+// Serve overload matrix
+// ---------------------------------------------------------------------------
+
+/// The overload scenarios the serve soak rotates through, also the
+/// index space of [`ServeSoakReport::scenario_counts`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeScenario {
+    /// Burst arrivals into a shallow queue: shedding expected.
+    Burst = 0,
+    /// Requests larger than the byte budget mixed with ones that fit.
+    Oversized = 1,
+    /// Injected faults mid-flight: the supervisor must recover or fail
+    /// typed, never corrupt.
+    Faults = 2,
+    /// Shutdown racing submissions, with some already-expired
+    /// deadlines in the queue.
+    ShutdownRace = 3,
+}
+
+const SERVE_SCENARIOS: usize = 4;
+
+/// Serve soak parameters. Each iteration is one full server lifecycle
+/// (start → submissions → drain → per-ticket verification).
+#[derive(Clone, Debug)]
+pub struct ServeSoakConfig {
+    /// Server lifecycles to run (scenarios rotate).
+    pub iters: usize,
+    /// Seed for scenario draws and signal data.
+    pub seed: u64,
+}
+
+impl Default for ServeSoakConfig {
+    fn default() -> Self {
+        ServeSoakConfig {
+            iters: 12,
+            seed: 0x5E7E_F00D,
+        }
+    }
+}
+
+/// Aggregated serve-soak outcome. Worker scheduling makes the exact
+/// split between counters run-dependent; the *contract* columns
+/// (`oracle_mismatches`, `unbalanced_lifecycles`) must stay zero on
+/// every run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServeSoakReport {
+    /// Server lifecycles executed.
+    pub lifecycles: usize,
+    /// Iterations by scenario, indexed by [`ServeScenario`].
+    pub scenario_counts: [usize; SERVE_SCENARIOS],
+    /// Submission attempts across all lifecycles.
+    pub attempts: u64,
+    /// Admitted past every admission check.
+    pub submitted: u64,
+    pub completed: u64,
+    pub rejected: u64,
+    pub deadline_exceeded: u64,
+    pub failed: u64,
+    /// Completions that needed supervisor recovery.
+    pub recovered: u64,
+    /// Completions whose output did NOT match the pencil oracle. The
+    /// invariant under test: must stay zero.
+    pub oracle_mismatches: u64,
+    /// Lifecycles whose drained report failed its own accounting, or
+    /// whose per-ticket outcome tally disagreed with it. Must stay
+    /// zero: every submission terminates with exactly one typed
+    /// outcome.
+    pub unbalanced_lifecycles: u64,
+}
+
+impl ServeSoakReport {
+    /// The serve contract: every attempt accounted for (admitted or
+    /// shed), every admitted request terminated exactly once, no
+    /// completed output diverged from the oracle.
+    pub fn holds(&self) -> bool {
+        self.oracle_mismatches == 0
+            && self.unbalanced_lifecycles == 0
+            && self.attempts == self.submitted + self.rejected
+            && self.submitted == self.completed + self.deadline_exceeded + self.failed
+    }
+
+    /// Human-readable one-screen summary.
+    pub fn render(&self) -> String {
+        format!(
+            "serve soak: {} lifecycles — {} attempts: {} completed, \
+             {} rejected, {} deadline-exceeded, {} failed ({} recovered)\n\
+             scenarios: burst {}, oversized {}, faults {}, shutdown-race {}\n\
+             oracle mismatches: {}, unbalanced lifecycles: {}\n\
+             contract: {}",
+            self.lifecycles,
+            self.attempts,
+            self.completed,
+            self.rejected,
+            self.deadline_exceeded,
+            self.failed,
+            self.recovered,
+            self.scenario_counts[0],
+            self.scenario_counts[1],
+            self.scenario_counts[2],
+            self.scenario_counts[3],
+            self.oracle_mismatches,
+            self.unbalanced_lifecycles,
+            if self.holds() { "HOLDS" } else { "VIOLATED" },
+        )
+    }
+}
+
+/// One lifecycle's submissions: inputs kept for oracle checks.
+struct ServeProbe {
+    dims: Dims,
+    input: Vec<Complex64>,
+    ticket: bwfft_serve::Ticket,
+}
+
+/// Runs the concurrent overload matrix against `bwfft-serve`. Each
+/// iteration builds a fresh server under one [`ServeScenario`], throws
+/// a randomized batch at it, drains, and verifies every ticket:
+/// completed outputs against the pencil oracle, and the per-ticket
+/// outcome tally against the drained [`bwfft_serve::ServeReport`].
+pub fn run_serve_soak(cfg: &ServeSoakConfig) -> Result<ServeSoakReport, BwfftError> {
+    use bwfft_serve::{FftRequest, FftServer, RequestOutcome, ServeConfig, ServeError};
+
+    silence_injected_panic_reports();
+    let mut rng = XorShift64Star::new(cfg.seed);
+    let mut report = ServeSoakReport::default();
+
+    for i in 0..cfg.iters {
+        let scenario = match i % SERVE_SCENARIOS {
+            0 => ServeScenario::Burst,
+            1 => ServeScenario::Oversized,
+            2 => ServeScenario::Faults,
+            _ => ServeScenario::ShutdownRace,
+        };
+        report.lifecycles += 1;
+        report.scenario_counts[scenario as usize] += 1;
+
+        // The smallest shape's working set prices the byte budget so
+        // the Oversized scenario always has requests that cannot fit.
+        let small_bytes = 2 * Dims::d2(16, 32).total() * std::mem::size_of::<Complex64>();
+        let server_cfg = match scenario {
+            ServeScenario::Burst => ServeConfig {
+                workers: 2,
+                queue_capacity: 2,
+                ..ServeConfig::default()
+            },
+            ServeScenario::Oversized => ServeConfig {
+                workers: 1,
+                queue_capacity: 8,
+                byte_budget: Some(small_bytes + small_bytes / 2),
+                ..ServeConfig::default()
+            },
+            ServeScenario::Faults => ServeConfig {
+                workers: 2,
+                queue_capacity: 8,
+                // Same guard set as the supervisor soak: injected
+                // corruption must fail typed, never complete wrong.
+                integrity: IntegrityConfig::full(),
+                verify_energy: true,
+                ..ServeConfig::default()
+            },
+            ServeScenario::ShutdownRace => ServeConfig {
+                workers: 2,
+                queue_capacity: 8,
+                ..ServeConfig::default()
+            },
+        };
+        let mut server = FftServer::start(server_cfg);
+
+        let batch = 4 + rng.below(5) as usize;
+        let mut probes = Vec::with_capacity(batch);
+        let mut rejected = 0u64;
+        for _ in 0..batch {
+            let (dims, b) = match scenario {
+                // Keep every request admissible-by-size except in the
+                // Oversized scenario, where the larger 3D shapes bust
+                // the byte budget by construction.
+                ServeScenario::Oversized => shape_for(&mut rng),
+                _ => (Dims::d2(16, 32), 128),
+            };
+            let input = random_complex(dims.total(), rng.next_u64());
+            let mut req = FftRequest::new(dims, input.clone())
+                .buffer_elems(b)
+                .threads(2, 2);
+            if scenario == ServeScenario::Faults {
+                let (role, thread, iter, phase) = random_site(&mut rng, 4);
+                req = match rng.below(2) {
+                    0 => req.fault(FaultPlan::panic_at_phase(role, thread, iter, phase)),
+                    _ => req.fault(FaultPlan::corrupt_at(role, thread, iter, phase)),
+                };
+            }
+            if scenario == ServeScenario::ShutdownRace && rng.below(3) == 0 {
+                // Already expired: must still terminate exactly once.
+                req = req.deadline(Duration::ZERO);
+            }
+            report.attempts += 1;
+            match server.submit(req) {
+                Ok(ticket) => probes.push(ServeProbe { dims, input, ticket }),
+                Err(ServeError::Rejected { .. }) => rejected += 1,
+                // A usage error here is a harness bug, not an outcome.
+                Err(ServeError::InvalidRequest { error }) => return Err(error.into()),
+                Err(ServeError::InputLength { expected, got }) => {
+                    return Err(BwfftError::InputLength {
+                        what: "serve soak request",
+                        expected,
+                        got,
+                    })
+                }
+            }
+        }
+
+        // ShutdownRace drains immediately with work still queued and
+        // in flight; the other scenarios drain after the batch too —
+        // the report is only meaningful once drained.
+        let drained = server.shutdown();
+
+        let mut completed = 0u64;
+        let mut deadline_exceeded = 0u64;
+        let mut failed = 0u64;
+        for probe in probes {
+            match probe.ticket.wait() {
+                RequestOutcome::Completed { output, .. } => {
+                    completed += 1;
+                    let want = oracle(probe.dims, &probe.input);
+                    if rel_l2_error(&output, &want) > fft_tolerance(want.len()) {
+                        report.oracle_mismatches += 1;
+                    }
+                }
+                RequestOutcome::DeadlineExceeded { .. } => deadline_exceeded += 1,
+                RequestOutcome::Failed { .. } => failed += 1,
+            }
+        }
+
+        // Exactly-one-outcome accounting: the drained report must
+        // balance on its own *and* agree with what the tickets said.
+        let balanced = drained.holds()
+            && drained.completed == completed
+            && drained.deadline_exceeded == deadline_exceeded
+            && drained.failed == failed
+            && drained.rejected.total() == rejected;
+        if !balanced {
+            report.unbalanced_lifecycles += 1;
+        }
+        report.submitted += drained.submitted;
+        report.completed += completed;
+        report.rejected += rejected;
+        report.deadline_exceeded += deadline_exceeded;
+        report.failed += failed;
+        report.recovered += drained.recovered_runs;
+    }
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -358,6 +611,30 @@ mod tests {
         .unwrap();
         // Fault draws differ with overwhelming probability.
         assert_ne!(a.fault_counts, b.fault_counts);
+    }
+
+    #[test]
+    fn serve_soak_contract_holds_across_the_matrix() {
+        let cfg = ServeSoakConfig { iters: 8, seed: 11 };
+        let r = run_serve_soak(&cfg).unwrap();
+        assert!(r.holds(), "contract violated:\n{}", r.render());
+        assert_eq!(r.lifecycles, 8);
+        // The rotation covers every scenario within 8 lifecycles.
+        assert!(r.scenario_counts.iter().all(|&c| c == 2));
+        assert!(r.completed > 0, "{}", r.render());
+        // Oversized requests bust the byte budget regardless of worker
+        // timing, so the matrix always exercises load shedding.
+        assert!(r.rejected > 0, "{}", r.render());
+    }
+
+    #[test]
+    fn serve_soak_fault_lifecycles_recover_or_fail_typed() {
+        // Scenario index 2 (Faults) only: every completion matched the
+        // oracle (holds() checked it) even with panics and corruption
+        // injected mid-flight.
+        let r = run_serve_soak(&ServeSoakConfig { iters: 4, seed: 99 }).unwrap();
+        assert!(r.holds(), "contract violated:\n{}", r.render());
+        assert_eq!(r.scenario_counts[ServeScenario::Faults as usize], 1);
     }
 
     #[test]
