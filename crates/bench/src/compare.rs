@@ -442,6 +442,7 @@ mod tests {
                 },
             ],
             serve: None,
+            ooc: None,
         }
     }
 
@@ -461,6 +462,8 @@ mod tests {
             failed: 0,
             degraded: 2,
             breaker_trips: 0,
+            plan_cache_hits: 28,
+            plan_cache_misses: 4,
         });
         s
     }

@@ -47,6 +47,7 @@ pub enum HarnessError {
     Exec { key: String, error: bwfft_core::CoreError },
     Stats { key: String, error: stats::StatsError },
     Serve { key: String, error: bwfft_serve::ServeError },
+    Ooc { key: String, error: bwfft_ooc::OocError },
 }
 
 impl fmt::Display for HarnessError {
@@ -56,6 +57,9 @@ impl fmt::Display for HarnessError {
             HarnessError::Exec { key, error } => write!(f, "suite {key}: execution failed: {error}"),
             HarnessError::Stats { key, error } => write!(f, "suite {key}: statistics failed: {error}"),
             HarnessError::Serve { key, error } => write!(f, "suite {key}: serving failed: {error}"),
+            HarnessError::Ooc { key, error } => {
+                write!(f, "suite {key}: out-of-core run failed: {error}")
+            }
         }
     }
 }
@@ -101,7 +105,116 @@ pub fn run_suite(
         }
         suites.push(result);
     }
+    // The storage tier rides along on the trajectory suites (not smoke:
+    // verify.sh has its own ooc smoke, and not the paired integrity
+    // run, whose gate pairs in-memory reps only). The rows are new keys
+    // (`ooc:*`), which the compare gate treats as unpaired — additive,
+    // never a regression against pre-ooc baselines.
+    if matches!(kind, SuiteKind::Fast | SuiteKind::Full) {
+        for case in ooc_suite_cases(kind) {
+            let result = ooc_suite_result(&case, measure_cfg, stats_cfg)?;
+            if progress {
+                println!(
+                    "  {:<34} median {:>10.3} ms  ±{:>4.1}%  {:>6.2} GB/s storage  ({} reps)",
+                    case.key,
+                    result.stats.median_ns / 1e6,
+                    result.stats.ci_halfwidth_pct(),
+                    result.ooc.as_ref().map_or(0.0, |m| m.storage_gbs),
+                    result.stats.n_raw
+                );
+            }
+            suites.push(result);
+        }
+    }
     Ok(assemble_report(kind, measure_cfg, anchor, stream_gbs, suites))
+}
+
+/// One storage-tier trajectory case: a 1D size streamed under a budget
+/// a quarter of its payload, so every stage really blocks.
+struct OocSuiteCase {
+    key: String,
+    n: usize,
+    budget_bytes: usize,
+}
+
+fn ooc_suite_cases(kind: SuiteKind) -> Vec<OocSuiteCase> {
+    let mut sizes = vec![1usize << 14];
+    if matches!(kind, SuiteKind::Full) {
+        sizes.push(1 << 16);
+    }
+    sizes
+        .into_iter()
+        .map(|n| OocSuiteCase {
+            key: format!("ooc:n{n}"),
+            n,
+            budget_bytes: n * 16 / 4,
+        })
+        .collect()
+}
+
+/// Measures one out-of-core case: warmup runs untimed, then `reps`
+/// timed end-to-end runs (stream + oracle each rep), summarized like
+/// any other suite row. The traced stage columns stay empty — storage
+/// attribution lives in the `ooc` column instead.
+fn ooc_suite_result(
+    case: &OocSuiteCase,
+    measure_cfg: &MeasureConfig,
+    stats_cfg: &StatsConfig,
+) -> Result<SuiteResult, HarnessError> {
+    let cfg = bwfft_ooc::OocConfig {
+        budget_bytes: case.budget_bytes,
+        ..bwfft_ooc::OocConfig::default()
+    };
+    let oracle_cfg = bwfft_ooc::OracleConfig::default();
+    let run = || {
+        bwfft_ooc::run_generated(case.n, measure_cfg.seed, &cfg, &oracle_cfg).map_err(|error| {
+            HarnessError::Ooc {
+                key: case.key.clone(),
+                error,
+            }
+        })
+    };
+    for _ in 0..measure_cfg.warmup {
+        run()?;
+    }
+    let mut times_ns = Vec::with_capacity(measure_cfg.reps);
+    let mut last = run()?;
+    times_ns.push(last.report.wall_ns as f64);
+    for _ in 1..measure_cfg.reps {
+        last = run()?;
+        times_ns.push(last.report.wall_ns as f64);
+    }
+    let summary = stats::summarize(&times_ns, stats_cfg).map_err(|error| HarnessError::Stats {
+        key: case.key.clone(),
+        error,
+    })?;
+    let gflops = if summary.median_ns > 0.0 {
+        5.0 * case.n as f64 * (case.n as f64).log2() / summary.median_ns
+    } else {
+        0.0
+    };
+    Ok(SuiteResult {
+        key: case.key.clone(),
+        label: format!("n{}", case.n),
+        executor: "ooc".to_string(),
+        p_d: last.plan.p_d,
+        p_c: last.plan.p_c,
+        buffer_elems: last.plan.half_elems,
+        warmup: measure_cfg.warmup,
+        stats: summary,
+        gflops,
+        stages: Vec::new(),
+        serve: None,
+        ooc: Some(record::OocMetrics {
+            storage_gbs: last.report.storage_gbs(),
+            bytes_read: last.report.bytes_read,
+            bytes_written: last.report.bytes_written,
+            io_ns: last.report.io_ns,
+            retries: last.report.retries as u64,
+            serial_fallbacks: last.report.serial_fallbacks as u64,
+            faults_hit: last.report.faults_hit as u64,
+        }),
+    })
 }
 
 /// Runs the canonical suite with rep-level paired measurement (see
@@ -196,6 +309,7 @@ fn suite_result(
             })
             .collect(),
         serve: None,
+        ooc: None,
     })
 }
 

@@ -63,6 +63,31 @@ pub struct ServeMetrics {
     pub degraded: u64,
     /// Downward breaker transitions during the run.
     pub breaker_trips: u64,
+    /// Shared plan-cache hits across the run (requests that skipped
+    /// plan construction). Zero in records written before the service
+    /// routed through the cache.
+    pub plan_cache_hits: u64,
+    /// Shared plan-cache misses (first-arrival plan builds).
+    pub plan_cache_misses: u64,
+}
+
+/// Out-of-core columns: what a streamed storage-tier run measured.
+/// Byte counts cover all five four-step stages (each reads and writes
+/// the full payload once); `io_ns` is time spent inside positioned
+/// read/write calls summed over the soft-DMA threads.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OocMetrics {
+    /// End-to-end storage throughput, GB/s: (read + written) / wall.
+    pub storage_gbs: f64,
+    pub bytes_read: u64,
+    pub bytes_written: u64,
+    pub io_ns: u64,
+    /// Pipelined attempts beyond the first, summed over stages.
+    pub retries: u64,
+    /// Stages that fell through to the serial tier.
+    pub serial_fallbacks: u64,
+    /// Injected storage faults absorbed by the retry ladder.
+    pub faults_hit: u64,
 }
 
 /// One suite case's result.
@@ -90,6 +115,10 @@ pub struct SuiteResult {
     /// Optional and additive, so pre-serve `bwfft-bench/1` documents
     /// (including the checked-in seed baseline) still parse.
     pub serve: Option<ServeMetrics>,
+    /// Out-of-core columns; `None` for every in-memory suite. Optional
+    /// and additive like `serve`, so older documents still parse and
+    /// non-ooc rows emit nothing.
+    pub ooc: Option<OocMetrics>,
 }
 
 /// A complete benchmark record — the unit of the perf trajectory.
@@ -213,14 +242,16 @@ pub fn to_json(report: &BenchReport) -> String {
             out.push_str(&format!(
                 ",\"serve\":{{\"submitted\":{},\"completed\":{},\"rejected\":{},\
                  \"deadline_exceeded\":{},\"failed\":{},\"degraded\":{},\
-                 \"breaker_trips\":{}",
+                 \"breaker_trips\":{},\"plan_cache_hits\":{},\"plan_cache_misses\":{}",
                 m.submitted,
                 m.completed,
                 m.rejected,
                 m.deadline_exceeded,
                 m.failed,
                 m.degraded,
-                m.breaker_trips
+                m.breaker_trips,
+                m.plan_cache_hits,
+                m.plan_cache_misses
             ));
             for (name, v) in [
                 ("requests_per_sec", m.requests_per_sec),
@@ -230,6 +261,21 @@ pub fn to_json(report: &BenchReport) -> String {
                 out.push_str(&format!(",\"{name}\":"));
                 push_f64(&mut out, v);
             }
+            out.push('}');
+        }
+        if let Some(m) = &s.ooc {
+            out.push_str(&format!(
+                ",\"ooc\":{{\"bytes_read\":{},\"bytes_written\":{},\"io_ns\":{},\
+                 \"retries\":{},\"serial_fallbacks\":{},\"faults_hit\":{},\
+                 \"storage_gbs\":",
+                m.bytes_read,
+                m.bytes_written,
+                m.io_ns,
+                m.retries,
+                m.serial_fallbacks,
+                m.faults_hit
+            ));
+            push_f64(&mut out, m.storage_gbs);
             out.push('}');
         }
         out.push_str(",\"stages\":[");
@@ -393,6 +439,35 @@ pub fn from_json(src: &str) -> Result<BenchReport, BenchJsonError> {
                                 get(m, "breaker_trips")?,
                                 "breaker_trips",
                             )?,
+                            // Lenient: records written before the
+                            // service routed through the plan cache
+                            // carry no counters; read them as zero.
+                            plan_cache_hits: match m.get("plan_cache_hits") {
+                                None => 0,
+                                Some(v) => as_u64(v, "plan_cache_hits")?,
+                            },
+                            plan_cache_misses: match m.get("plan_cache_misses") {
+                                None => 0,
+                                Some(v) => as_u64(v, "plan_cache_misses")?,
+                            },
+                        })
+                    }
+                },
+                ooc: match s.get("ooc") {
+                    None => None,
+                    Some(v) => {
+                        let m = as_obj(v, "ooc")?;
+                        Some(OocMetrics {
+                            storage_gbs: as_f64(get(m, "storage_gbs")?, "storage_gbs")?,
+                            bytes_read: as_u64(get(m, "bytes_read")?, "bytes_read")?,
+                            bytes_written: as_u64(get(m, "bytes_written")?, "bytes_written")?,
+                            io_ns: as_u64(get(m, "io_ns")?, "io_ns")?,
+                            retries: as_u64(get(m, "retries")?, "retries")?,
+                            serial_fallbacks: as_u64(
+                                get(m, "serial_fallbacks")?,
+                                "serial_fallbacks",
+                            )?,
+                            faults_hit: as_u64(get(m, "faults_hit")?, "faults_hit")?,
                         })
                     }
                 },
@@ -515,6 +590,7 @@ mod tests {
                     },
                 ],
                 serve: None,
+                ooc: None,
             }],
         }
     }
@@ -543,9 +619,12 @@ mod tests {
             failed: 2,
             degraded: 5,
             breaker_trips: 1,
+            plan_cache_hits: 58,
+            plan_cache_misses: 2,
         });
         let json = to_json(&rep);
         assert!(json.contains("\"serve\":{"));
+        assert!(json.contains("\"plan_cache_hits\":58"));
         assert!(json.contains("\"p99_ns\":"));
         assert!(json.contains("\"requests_per_sec\":"));
         let back = from_json(&json).unwrap();
@@ -570,9 +649,65 @@ mod tests {
             failed: 0,
             degraded: 0,
             breaker_trips: 0,
+            plan_cache_hits: 0,
+            plan_cache_misses: 0,
         });
         let json = to_json(&rep).replace("\"p99_ns\"", "\"p99_typo\"");
         assert!(matches!(from_json(&json), Err(BenchJsonError::Schema(_))));
+    }
+
+    #[test]
+    fn serve_without_plan_cache_counters_parses_as_zero() {
+        // Pre-cache serve records lack the counters entirely; they must
+        // load with both read as zero, not fail the schema.
+        let mut rep = sample_report();
+        rep.suites[0].serve = Some(ServeMetrics {
+            requests_per_sec: 1.0,
+            p50_ns: 1.0,
+            p99_ns: 1.0,
+            submitted: 4,
+            completed: 4,
+            rejected: 0,
+            deadline_exceeded: 0,
+            failed: 0,
+            degraded: 0,
+            breaker_trips: 0,
+            plan_cache_hits: 0,
+            plan_cache_misses: 0,
+        });
+        let json = to_json(&rep)
+            .replace(",\"plan_cache_hits\":0,\"plan_cache_misses\":0", "");
+        let back = from_json(&json).unwrap();
+        assert_eq!(back, rep);
+    }
+
+    #[test]
+    fn ooc_metrics_round_trip_and_stay_optional() {
+        let mut rep = sample_report();
+        rep.suites[0].key = "ooc:n16384".to_string();
+        rep.suites[0].executor = "ooc".to_string();
+        rep.suites[0].ooc = Some(OocMetrics {
+            storage_gbs: 3.25,
+            bytes_read: 1_310_720,
+            bytes_written: 1_310_720,
+            io_ns: 456_789,
+            retries: 1,
+            serial_fallbacks: 0,
+            faults_hit: 1,
+        });
+        let json = to_json(&rep);
+        assert!(json.contains("\"ooc\":{"));
+        assert!(json.contains("\"storage_gbs\":"));
+        let back = from_json(&json).unwrap();
+        assert_eq!(back, rep);
+        // Plain rows emit no ooc object, so the seed baseline and every
+        // pre-ooc consumer of bwfft-bench/1 are untouched.
+        let plain = to_json(&sample_report());
+        assert!(!plain.contains("\"ooc\""));
+        // A missing field inside an emitted ooc object is still a
+        // schema error — the leniency is only for the absent column.
+        let bad = json.replace("\"faults_hit\"", "\"faults_typo\"");
+        assert!(matches!(from_json(&bad), Err(BenchJsonError::Schema(_))));
     }
 
     #[test]

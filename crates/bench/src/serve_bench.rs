@@ -146,6 +146,8 @@ pub fn run_open_loop(cfg: &ServeBenchConfig) -> Result<ServeBenchResult, ServeEr
             .iter()
             .filter(|t| t.to > t.from)
             .count() as u64,
+        plan_cache_hits: report.plan_cache.hits,
+        plan_cache_misses: report.plan_cache.misses,
     };
     Ok(ServeBenchResult {
         metrics,
@@ -190,6 +192,7 @@ pub fn run_serve_suite(
         gflops,
         stages: Vec::new(),
         serve: Some(run.metrics),
+        ooc: None,
     };
     Ok(BenchReport {
         schema: crate::record::SCHEMA_VERSION.to_string(),
@@ -234,6 +237,10 @@ mod tests {
         );
         assert_eq!(run.latencies_ns.len() as u64, run.report.completed);
         assert!(run.latencies_ns.windows(2).all(|w| w[0] <= w[1]));
+        // Every submission resolves its plan before admission, and all
+        // share one shape: exactly one build, the rest are cache hits.
+        assert_eq!(run.metrics.plan_cache_misses, 1);
+        assert_eq!(run.metrics.plan_cache_hits, cfg.requests as u64 - 1);
         if run.report.completed > 0 {
             assert!(run.metrics.p50_ns > 0.0);
             assert!(run.metrics.p99_ns >= run.metrics.p50_ns);

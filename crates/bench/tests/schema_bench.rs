@@ -4,8 +4,8 @@
 //! must be deliberate — bump the `/N` suffix and update DESIGN.md §9.
 
 use bwfft_bench::record::{
-    from_json, to_json, BenchJsonError, BenchReport, ServeMetrics, StageMetric, SuiteResult,
-    SCHEMA_VERSION,
+    from_json, to_json, BenchJsonError, BenchReport, OocMetrics, ServeMetrics, StageMetric,
+    SuiteResult, SCHEMA_VERSION,
 };
 use bwfft_bench::stats::SampleSummary;
 use bwfft_tuner::HostFingerprint;
@@ -58,6 +58,7 @@ fn pinned_report() -> BenchReport {
                 },
             ],
             serve: None,
+            ooc: None,
         }],
     }
 }
@@ -120,6 +121,26 @@ fn serve_strategy() -> impl Strategy<Value = Option<ServeMetrics>> {
                 failed: u64::from(counts % 2),
                 degraded: u64::from(counts % 5),
                 breaker_trips: u64::from(trips),
+                plan_cache_hits: u64::from(counts / 3),
+                plan_cache_misses: u64::from(counts % 11),
+            })
+        },
+    )
+}
+
+/// Out-of-core columns with finite floats; presence toggled by the
+/// paired boolean (no `prop::option` in the vendored shim).
+fn ooc_strategy() -> impl Strategy<Value = Option<OocMetrics>> {
+    (any::<bool>(), 0.1f64..100.0, any::<u32>(), 0u32..4).prop_map(
+        |(present, gbs, bytes, faults)| {
+            present.then(|| OocMetrics {
+                storage_gbs: gbs,
+                bytes_read: u64::from(bytes) * 5,
+                bytes_written: u64::from(bytes) * 5,
+                io_ns: u64::from(bytes) * 17,
+                retries: u64::from(faults),
+                serial_fallbacks: 0,
+                faults_hit: u64::from(faults),
             })
         },
     )
@@ -132,8 +153,9 @@ fn suite_strategy() -> impl Strategy<Value = SuiteResult> {
         prop::collection::vec(1.0f64..1e12, 1..6),
         prop::collection::vec(stage_strategy(), 0..4),
         serve_strategy(),
+        ooc_strategy(),
     )
-        .prop_map(|(key_id, threads, times, stages, serve)| {
+        .prop_map(|(key_id, threads, times, stages, serve, ooc)| {
             let key = format!("fig9:{}x{}:pipelined", key_id % 512, key_id % 256);
             let n = times.len();
             let med = times[n / 2];
@@ -158,6 +180,7 @@ fn suite_strategy() -> impl Strategy<Value = SuiteResult> {
                 gflops: 1e3 / med,
                 stages,
                 serve,
+                ooc,
             }
         })
 }

@@ -1,0 +1,138 @@
+//! Typed errors for the out-of-core tier.
+//!
+//! Everything that can go wrong — an infeasible problem/budget pairing,
+//! a storage failure that survived the retry ladder, or an oracle
+//! verdict against the produced spectrum — surfaces as a variant here;
+//! the library never panics on these paths.
+
+use bwfft_num::alloc::AllocError;
+use bwfft_num::Complex64;
+use bwfft_pipeline::PipelineError;
+use std::fmt;
+
+/// Why an out-of-core plan or run failed.
+#[derive(Debug)]
+pub enum OocError {
+    /// The transform length must be a power of two (the four-step
+    /// split and the Stockham row kernels both require it).
+    NotPow2 { n: usize },
+    /// The transform is too small to split out of core (`n < 4`);
+    /// an in-RAM plan is the right tool.
+    TooSmall { n: usize },
+    /// The working-memory budget cannot hold even one row of the
+    /// n1×n2 decomposition in each double-buffer half.
+    BudgetTooSmall { needed: usize, budget: usize },
+    /// The working buffer itself failed to allocate.
+    Alloc(AllocError),
+    /// A storage operation failed outside any retryable stage
+    /// (creating the workspace, sizing a store, oracle reads).
+    Io { context: &'static str, message: String },
+    /// One streamed stage kept failing after every retry and the
+    /// serial fallback; `last` renders the final cause.
+    StageExhausted {
+        stage: &'static str,
+        attempts: usize,
+        last: String,
+    },
+    /// The pipeline executor rejected a stage for a non-I/O reason
+    /// (worker panic, watchdog, integrity guard) on the final attempt.
+    Pipeline {
+        stage: &'static str,
+        error: PipelineError,
+    },
+    /// A sampled output bin disagreed with the direct DFT of the
+    /// stored input beyond tolerance.
+    OracleMismatch {
+        bin: usize,
+        expected: Complex64,
+        got: Complex64,
+        err: f64,
+        tol: f64,
+    },
+    /// The streamed energies violate Parseval beyond tolerance.
+    ParsevalMismatch {
+        input_energy: f64,
+        output_energy: f64,
+        rel_err: f64,
+        tol: f64,
+    },
+}
+
+impl fmt::Display for OocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OocError::NotPow2 { n } => {
+                write!(f, "out-of-core transform length {n} is not a power of two")
+            }
+            OocError::TooSmall { n } => {
+                write!(f, "transform length {n} is too small to run out of core")
+            }
+            OocError::BudgetTooSmall { needed, budget } => write!(
+                f,
+                "working-memory budget of {budget} B cannot hold the decomposition \
+                 (needs at least {needed} B)"
+            ),
+            OocError::Alloc(e) => write!(f, "working buffer allocation failed: {e}"),
+            OocError::Io { context, message } => write!(f, "storage failure in {context}: {message}"),
+            OocError::StageExhausted {
+                stage,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "stage {stage} failed after {attempts} attempts (pipelined retries + serial \
+                 fallback); last error: {last}"
+            ),
+            OocError::Pipeline { stage, error } => {
+                write!(f, "pipeline failure in stage {stage}: {error}")
+            }
+            OocError::OracleMismatch {
+                bin,
+                expected,
+                got,
+                err,
+                tol,
+            } => write!(
+                f,
+                "spot-check oracle rejected bin {bin}: expected {expected}, stored {got} \
+                 (|Δ| = {err:.3e} > tol {tol:.3e})"
+            ),
+            OocError::ParsevalMismatch {
+                input_energy,
+                output_energy,
+                rel_err,
+                tol,
+            } => write!(
+                f,
+                "streamed Parseval check failed: input energy {input_energy:.6e}, \
+                 output energy {output_energy:.6e}, relative error {rel_err:.3e} > tol {tol:.3e}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for OocError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OocError::Alloc(e) => Some(e),
+            OocError::Pipeline { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+impl From<AllocError> for OocError {
+    fn from(e: AllocError) -> Self {
+        OocError::Alloc(e)
+    }
+}
+
+impl OocError {
+    /// Wraps an I/O error with the operation that hit it.
+    pub fn io(context: &'static str, e: std::io::Error) -> Self {
+        OocError::Io {
+            context,
+            message: e.to_string(),
+        }
+    }
+}

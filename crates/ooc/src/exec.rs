@@ -1,0 +1,684 @@
+//! The streaming out-of-core executor.
+//!
+//! A 1D transform of length `n = n1·n2` runs as five storage-to-storage
+//! stages, each of which reads one store and writes another (so every
+//! stage is idempotent and safely retryable):
+//!
+//! | stage | name             | src (rows×cols) | dst           | compute              |
+//! |-------|------------------|-----------------|---------------|----------------------|
+//! | 0     | `transpose-in`   | input `n1×n2`   | `t1` `n2×n1`  | none                 |
+//! | 1     | `dft-n1-twiddle` | `t1` `n2×n1`    | `s1` `n2×n1`  | row DFT + `ω_N^{a₂k₁}` |
+//! | 2     | `transpose-mid`  | `s1` `n2×n1`    | `t2` `n1×n2`  | none                 |
+//! | 3     | `dft-n2`         | `t2` `n1×n2`    | `s2` `n1×n2`  | row DFT              |
+//! | 4     | `transpose-out`  | `s2` `n1×n2`    | out `n2×n1`   | none                 |
+//!
+//! Reading the output store row-major yields `Y[k]` in natural order.
+//!
+//! Every stage streams whole-row blocks through the shared
+//! [`DoubleBuffer`] with the Table II soft-DMA roles: `p_d` data
+//! threads issue positioned reads/writes against the stores while
+//! `p_c` compute threads run the batched Stockham kernels on the other
+//! half. Storage failures (real or injected) are absorbed by a
+//! per-stage recovery ladder — bounded pipelined retries with backoff,
+//! then a single-threaded serial fallback — because a stage that
+//! rereads its (never-overwritten) source is exactly repeatable.
+
+use crate::error::OocError;
+use crate::plan::{OocConfig, OocFault, OocFaultKind, OocPlan, BYTES_PER_HALF_ELEM};
+use crate::store::{OocStore, ELEM_BYTES};
+use bwfft_kernels::batch::BatchFft;
+use bwfft_kernels::Direction;
+use bwfft_num::alloc::{check_alloc_budget, try_vec_zeroed};
+use bwfft_num::Complex64;
+use bwfft_pipeline::buffer::{partition, DoubleBuffer};
+use bwfft_pipeline::exec::{run_pipeline, PipelineCallbacks, PipelineConfig};
+use bwfft_trace::MarkKind;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Stage names, in execution order (indices match [`OocFault::stage`]).
+pub const STAGE_NAMES: [&str; 5] = [
+    "transpose-in",
+    "dft-n1-twiddle",
+    "transpose-mid",
+    "dft-n2",
+    "transpose-out",
+];
+
+/// What one out-of-core run did.
+#[derive(Clone, Debug, Default)]
+pub struct OocReport {
+    pub n: usize,
+    pub n1: usize,
+    pub n2: usize,
+    pub half_elems: usize,
+    /// Payload bytes read from storage across all stages and retries.
+    pub bytes_read: u64,
+    /// Payload bytes written to storage across all stages and retries.
+    pub bytes_written: u64,
+    /// Wall nanoseconds spent inside positioned storage I/O calls.
+    pub io_ns: u64,
+    /// End-to-end wall nanoseconds for all five stages.
+    pub wall_ns: u64,
+    /// Pipelined stage attempts that failed and were retried.
+    pub retries: u32,
+    /// Stages that degraded to the single-threaded serial tier.
+    pub serial_fallbacks: u32,
+    /// Injected faults that actually fired.
+    pub faults_hit: u32,
+}
+
+impl OocReport {
+    /// Achieved storage bandwidth over the whole run, bytes/ns ≡ GB/s.
+    pub fn storage_gbs(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        (self.bytes_read + self.bytes_written) as f64 / self.wall_ns as f64
+    }
+}
+
+/// The four-step twiddle `ω_N^{a₂·k₁}` (conjugated for inverse), with
+/// the exponent reduced exactly so huge `n` loses no precision.
+pub fn twiddle(a2: usize, k1: usize, n: usize, dir: Direction) -> Complex64 {
+    let t = ((a2 as u128 * k1 as u128) % n as u128) as u64;
+    let w = Complex64::root_of_unity(t as i64, n as u64);
+    match dir {
+        Direction::Forward => w,
+        Direction::Inverse => w.conj(),
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum StageKind {
+    Transpose,
+    Dft { twiddle: bool },
+}
+
+struct Stage<'a> {
+    index: usize,
+    name: &'static str,
+    src: &'a OocStore,
+    dst: &'a OocStore,
+    kind: StageKind,
+}
+
+/// Counters and the first-error slot shared by the per-thread I/O
+/// closures of one stage attempt (callbacks cannot return `Result`).
+#[derive(Default)]
+struct IoShared {
+    err: Mutex<Option<String>>,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    io_ns: AtomicU64,
+    faults_hit: AtomicU32,
+}
+
+impl IoShared {
+    fn set_err(&self, msg: String) {
+        let mut slot = self.err.lock().unwrap_or_else(|e| e.into_inner());
+        if slot.is_none() {
+            *slot = Some(msg);
+        }
+    }
+
+    fn has_err(&self) -> bool {
+        self.err
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_some()
+    }
+
+    fn take_err(&self) -> Option<String> {
+        self.err.lock().unwrap_or_else(|e| e.into_inner()).take()
+    }
+}
+
+/// One-shot fault arming shared across stages and retry attempts: the
+/// injected fault fires at most once per run, so the first retry after
+/// it observes healthy storage.
+struct FaultOnce {
+    fault: Option<OocFault>,
+    consumed: AtomicBool,
+}
+
+impl FaultOnce {
+    fn new(fault: Option<OocFault>) -> Self {
+        FaultOnce {
+            fault,
+            consumed: AtomicBool::new(false),
+        }
+    }
+
+    fn fires(&self, stage: usize, iter: usize, kind: OocFaultKind) -> bool {
+        match self.fault {
+            Some(f) if f.stage == stage && f.iter == iter && f.kind == kind => self
+                .consumed
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok(),
+            _ => false,
+        }
+    }
+}
+
+/// Reads a span of `buf.len()` elements starting at `(row, col)` in
+/// row-major logical order, splitting positioned reads at row ends.
+fn read_span(
+    store: &OocStore,
+    mut row: usize,
+    mut col: usize,
+    buf: &mut [Complex64],
+) -> std::io::Result<()> {
+    let mut i = 0;
+    while i < buf.len() {
+        let take = (store.cols() - col).min(buf.len() - i);
+        store.read_row_segment(row, col, &mut buf[i..i + take])?;
+        i += take;
+        row += 1;
+        col = 0;
+    }
+    Ok(())
+}
+
+fn mark_recovery(cfg: &OocConfig, label: String) {
+    if let Some(trace) = cfg.trace.as_ref() {
+        trace.mark(MarkKind::Recovery, label, None);
+    }
+}
+
+/// Data-thread load role: `(block, element offset, destination half)`.
+type LoaderFn<'a> = Box<dyn FnMut(usize, usize, &mut [Complex64]) + Send + 'a>;
+/// Data-thread store role: `(block, finished half)`.
+type StorerFn<'a> = Box<dyn FnMut(usize, &[Complex64]) + Send + 'a>;
+/// Compute role: `(block, element offset, half slice)`.
+type ComputeFn<'a> = Box<dyn FnMut(usize, usize, &mut [Complex64]) + Send + 'a>;
+
+/// Runs one stage through the double-buffered pipeline. I/O problems
+/// surface through `io`; pipeline-level failures return directly.
+fn run_stage_pipelined(
+    stage: &Stage<'_>,
+    plan: &OocPlan,
+    cfg: &OocConfig,
+    buffer: &DoubleBuffer,
+    io: &IoShared,
+    fault: &FaultOnce,
+) -> Result<(), OocError> {
+    let r = stage.src.rows();
+    let c = stage.src.cols();
+    let br = (buffer.half_elems() / c).min(r).max(1);
+    let iters = r / br;
+    let b = br * c;
+    let idx = stage.index;
+
+    let mut loaders: Vec<LoaderFn<'_>> = Vec::new();
+    for _ in 0..plan.p_d {
+        let src = stage.src;
+        loaders.push(Box::new(move |blk, off, share| {
+            if share.is_empty() {
+                return;
+            }
+            if fault.fires(idx, blk, OocFaultKind::Read) {
+                io.faults_hit.fetch_add(1, Ordering::Relaxed);
+                io.set_err(format!("injected read fault at stage {idx} block {blk}"));
+            }
+            if io.has_err() {
+                share.fill(Complex64::ZERO);
+                return;
+            }
+            let row0 = blk * br + off / c;
+            let col0 = off % c;
+            let t0 = Instant::now();
+            let res = read_span(src, row0, col0, share);
+            io.io_ns
+                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            match res {
+                Ok(()) => {
+                    io.bytes_read
+                        .fetch_add((share.len() * ELEM_BYTES) as u64, Ordering::Relaxed);
+                }
+                Err(e) => {
+                    io.set_err(format!("read at stage {idx} block {blk}: {e}"));
+                    share.fill(Complex64::ZERO);
+                }
+            }
+        }));
+    }
+
+    let mut storers: Vec<StorerFn<'_>> = Vec::new();
+    match stage.kind {
+        StageKind::Dft { .. } => {
+            // Partition the block's rows across the data threads; each
+            // storer writes its rows straight through (same shape).
+            for range in partition(br, plan.p_d) {
+                let dst = stage.dst;
+                storers.push(Box::new(move |blk, half| {
+                    if range.is_empty() {
+                        return;
+                    }
+                    if fault.fires(idx, blk, OocFaultKind::Write) {
+                        io.faults_hit.fetch_add(1, Ordering::Relaxed);
+                        io.set_err(format!("injected write fault at stage {idx} block {blk}"));
+                    }
+                    if io.has_err() {
+                        return;
+                    }
+                    let buf = &half[range.start * c..range.end * c];
+                    let t0 = Instant::now();
+                    let res = dst.write_rows(blk * br + range.start, buf);
+                    io.io_ns
+                        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    match res {
+                        Ok(()) => {
+                            io.bytes_written
+                                .fetch_add((buf.len() * ELEM_BYTES) as u64, Ordering::Relaxed);
+                        }
+                        Err(e) => io.set_err(format!("write at stage {idx} block {blk}: {e}")),
+                    }
+                }));
+            }
+        }
+        StageKind::Transpose => {
+            // Partition the destination rows (source columns): storer t
+            // gathers its columns out of the block and writes each as a
+            // contiguous `br`-element run of the destination row.
+            for range in partition(c, plan.p_d) {
+                let dst = stage.dst;
+                let mut scratch = vec![Complex64::ZERO; br];
+                storers.push(Box::new(move |blk, half| {
+                    if range.is_empty() {
+                        return;
+                    }
+                    if fault.fires(idx, blk, OocFaultKind::Write) {
+                        io.faults_hit.fetch_add(1, Ordering::Relaxed);
+                        io.set_err(format!("injected write fault at stage {idx} block {blk}"));
+                    }
+                    if io.has_err() {
+                        return;
+                    }
+                    for col in range.clone() {
+                        for (j, slot) in scratch.iter_mut().enumerate() {
+                            *slot = half[col + j * c];
+                        }
+                        let t0 = Instant::now();
+                        let res = dst.write_row_segment(col, blk * br, &scratch);
+                        io.io_ns
+                            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        match res {
+                            Ok(()) => {
+                                io.bytes_written.fetch_add(
+                                    (scratch.len() * ELEM_BYTES) as u64,
+                                    Ordering::Relaxed,
+                                );
+                            }
+                            Err(e) => {
+                                io.set_err(format!("write at stage {idx} block {blk}: {e}"));
+                                return;
+                            }
+                        }
+                    }
+                }));
+            }
+        }
+    }
+
+    let mut computes: Vec<ComputeFn<'_>> = Vec::new();
+    for _ in 0..plan.p_c {
+        match stage.kind {
+            StageKind::Transpose => computes.push(Box::new(|_, _, _| {})),
+            StageKind::Dft { twiddle: tw } => {
+                let mut kernel = BatchFft::new(c, 1, plan.dir);
+                let n = plan.n;
+                let dir = plan.dir;
+                computes.push(Box::new(move |blk, off, share| {
+                    if share.is_empty() || io.has_err() {
+                        return;
+                    }
+                    kernel.run(share);
+                    if tw {
+                        let row0 = blk * br + off / c;
+                        for (j, row) in share.chunks_mut(c).enumerate() {
+                            let a2 = row0 + j;
+                            for (k1, v) in row.iter_mut().enumerate() {
+                                *v *= twiddle(a2, k1, n, dir);
+                            }
+                        }
+                    }
+                }));
+            }
+        }
+    }
+
+    let pcfg = PipelineConfig {
+        iters,
+        load_unit: c.min(b),
+        compute_unit: c.min(b),
+        stage: stage.index,
+        trace: cfg.trace.clone(),
+        integrity: cfg.integrity,
+        ..PipelineConfig::default()
+    };
+    run_pipeline(
+        buffer,
+        &pcfg,
+        PipelineCallbacks {
+            loaders,
+            storers,
+            computes,
+        },
+    )
+    .map_err(|error| OocError::Pipeline {
+        stage: stage.name,
+        error,
+    })?;
+    Ok(())
+}
+
+/// The degraded tier: one thread, one block in flight, plain loops.
+/// Identical arithmetic to the pipelined path (same kernels, same
+/// twiddles), so degrading never changes the answer.
+fn run_stage_serial(
+    stage: &Stage<'_>,
+    plan: &OocPlan,
+    half_elems: usize,
+    io: &IoShared,
+    fault: &FaultOnce,
+) -> Result<(), OocError> {
+    let r = stage.src.rows();
+    let c = stage.src.cols();
+    let br = (half_elems / c).min(r).max(1);
+    let iters = r / br;
+    let idx = stage.index;
+    let mut block = try_vec_zeroed::<Complex64>(br * c, "ooc serial block")?;
+    let mut scratch = try_vec_zeroed::<Complex64>(br, "ooc serial gather")?;
+    let mut kernel = match stage.kind {
+        StageKind::Dft { .. } => Some(BatchFft::new(c, 1, plan.dir)),
+        StageKind::Transpose => None,
+    };
+    for blk in 0..iters {
+        let row0 = blk * br;
+        if fault.fires(idx, blk, OocFaultKind::Read) {
+            io.faults_hit.fetch_add(1, Ordering::Relaxed);
+            return Err(OocError::Io {
+                context: stage.name,
+                message: format!("injected read fault at block {blk} (serial tier)"),
+            });
+        }
+        let t0 = Instant::now();
+        stage
+            .src
+            .read_rows(row0, &mut block)
+            .map_err(|e| OocError::io(stage.name, e))?;
+        io.io_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        io.bytes_read
+            .fetch_add((block.len() * ELEM_BYTES) as u64, Ordering::Relaxed);
+        if let StageKind::Dft { twiddle: tw } = stage.kind {
+            if let Some(k) = kernel.as_mut() {
+                k.run(&mut block);
+            }
+            if tw {
+                for (j, row) in block.chunks_mut(c).enumerate() {
+                    let a2 = row0 + j;
+                    for (k1, v) in row.iter_mut().enumerate() {
+                        *v *= twiddle(a2, k1, plan.n, plan.dir);
+                    }
+                }
+            }
+        }
+        if fault.fires(idx, blk, OocFaultKind::Write) {
+            io.faults_hit.fetch_add(1, Ordering::Relaxed);
+            return Err(OocError::Io {
+                context: stage.name,
+                message: format!("injected write fault at block {blk} (serial tier)"),
+            });
+        }
+        let t0 = Instant::now();
+        match stage.kind {
+            StageKind::Dft { .. } => {
+                stage
+                    .dst
+                    .write_rows(row0, &block)
+                    .map_err(|e| OocError::io(stage.name, e))?;
+            }
+            StageKind::Transpose => {
+                for col in 0..c {
+                    for (j, slot) in scratch.iter_mut().enumerate() {
+                        *slot = block[col + j * c];
+                    }
+                    stage
+                        .dst
+                        .write_row_segment(col, row0, &scratch)
+                        .map_err(|e| OocError::io(stage.name, e))?;
+                }
+            }
+        }
+        io.io_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        io.bytes_written
+            .fetch_add((block.len() * ELEM_BYTES) as u64, Ordering::Relaxed);
+    }
+    Ok(())
+}
+
+/// Runs one stage under the recovery ladder: pipelined attempts with
+/// backoff, then the serial tier, then a typed exhaustion error.
+#[allow(clippy::too_many_arguments)]
+fn run_stage_recovered(
+    stage: &Stage<'_>,
+    plan: &OocPlan,
+    cfg: &OocConfig,
+    buffer: &DoubleBuffer,
+    io: &IoShared,
+    fault: &FaultOnce,
+    retries: &mut u32,
+    serial_fallbacks: &mut u32,
+) -> Result<(), OocError> {
+    let attempts = cfg.retry.max_attempts.max(1);
+    let mut last = String::new();
+    let mut backoff = cfg.retry.backoff_base;
+    for attempt in 0..attempts {
+        // A fresh attempt starts with a clean error slot; the stage
+        // rewrites its whole destination, so reruns are idempotent.
+        let _ = io.take_err();
+        let outcome = run_stage_pipelined(stage, plan, cfg, buffer, io, fault);
+        match outcome {
+            Ok(()) => match io.take_err() {
+                None => return Ok(()),
+                Some(msg) => last = msg,
+            },
+            Err(e) => last = e.to_string(),
+        }
+        *retries += 1;
+        mark_recovery(
+            cfg,
+            format!(
+                "ooc {} attempt {} failed: {last}; retrying",
+                stage.name,
+                attempt + 1
+            ),
+        );
+        if attempt + 1 < attempts && !backoff.is_zero() {
+            std::thread::sleep(backoff.min(cfg.retry.backoff_cap));
+            backoff = backoff
+                .saturating_mul(cfg.retry.backoff_factor.max(1))
+                .min(cfg.retry.backoff_cap);
+        }
+    }
+    *serial_fallbacks += 1;
+    mark_recovery(
+        cfg,
+        format!("ooc {} degraded to serial tier", stage.name),
+    );
+    let _ = io.take_err();
+    run_stage_serial(stage, plan, buffer.half_elems(), io, fault).map_err(|e| {
+        OocError::StageExhausted {
+            stage: stage.name,
+            attempts: attempts + 1,
+            last: if last.is_empty() {
+                e.to_string()
+            } else {
+                format!("{e} (after pipelined: {last})")
+            },
+        }
+    })
+}
+
+/// Executes the planned transform: `input` is an `n1 × n2` store of the
+/// signal, `output` an `n2 × n1` store that receives the spectrum in
+/// natural row-major order. Scratch stores live in `ws` (removed when
+/// the workspace drops); the input store is never written, so the
+/// oracle can re-read it afterwards.
+pub fn execute(
+    plan: &OocPlan,
+    cfg: &OocConfig,
+    ws: &crate::workspace::Workspace,
+    input: &OocStore,
+    output: &OocStore,
+) -> Result<OocReport, OocError> {
+    if input.rows() != plan.n1 || input.cols() != plan.n2 {
+        return Err(OocError::Io {
+            context: "input store shape",
+            message: format!(
+                "expected {}x{}, got {}x{}",
+                plan.n1,
+                plan.n2,
+                input.rows(),
+                input.cols()
+            ),
+        });
+    }
+    if output.rows() != plan.n2 || output.cols() != plan.n1 {
+        return Err(OocError::Io {
+            context: "output store shape",
+            message: format!(
+                "expected {}x{}, got {}x{}",
+                plan.n2,
+                plan.n1,
+                output.rows(),
+                output.cols()
+            ),
+        });
+    }
+    check_alloc_budget(
+        "ooc working buffer",
+        plan.half_elems * BYTES_PER_HALF_ELEM,
+        Some(cfg.budget_bytes),
+    )?;
+    let buffer = DoubleBuffer::try_new(plan.half_elems)?;
+
+    let t1 = OocStore::create(&ws.path("t1.bin"), plan.n2, plan.n1, plan.stride_cols_n1)?;
+    let s1 = OocStore::create(&ws.path("s1.bin"), plan.n2, plan.n1, plan.stride_cols_n1)?;
+    let t2 = OocStore::create(&ws.path("t2.bin"), plan.n1, plan.n2, plan.stride_cols_n2)?;
+    let s2 = OocStore::create(&ws.path("s2.bin"), plan.n1, plan.n2, plan.stride_cols_n2)?;
+
+    let stages = [
+        Stage {
+            index: 0,
+            name: STAGE_NAMES[0],
+            src: input,
+            dst: &t1,
+            kind: StageKind::Transpose,
+        },
+        Stage {
+            index: 1,
+            name: STAGE_NAMES[1],
+            src: &t1,
+            dst: &s1,
+            kind: StageKind::Dft { twiddle: true },
+        },
+        Stage {
+            index: 2,
+            name: STAGE_NAMES[2],
+            src: &s1,
+            dst: &t2,
+            kind: StageKind::Transpose,
+        },
+        Stage {
+            index: 3,
+            name: STAGE_NAMES[3],
+            src: &t2,
+            dst: &s2,
+            kind: StageKind::Dft { twiddle: false },
+        },
+        Stage {
+            index: 4,
+            name: STAGE_NAMES[4],
+            src: &s2,
+            dst: output,
+            kind: StageKind::Transpose,
+        },
+    ];
+
+    let io = IoShared::default();
+    let fault = FaultOnce::new(cfg.fault);
+    let mut retries = 0u32;
+    let mut serial_fallbacks = 0u32;
+    let wall0 = Instant::now();
+    for stage in &stages {
+        run_stage_recovered(
+            stage,
+            plan,
+            cfg,
+            &buffer,
+            &io,
+            &fault,
+            &mut retries,
+            &mut serial_fallbacks,
+        )?;
+    }
+    Ok(OocReport {
+        n: plan.n,
+        n1: plan.n1,
+        n2: plan.n2,
+        half_elems: plan.half_elems,
+        bytes_read: io.bytes_read.load(Ordering::Relaxed),
+        bytes_written: io.bytes_written.load(Ordering::Relaxed),
+        io_ns: io.io_ns.load(Ordering::Relaxed),
+        wall_ns: wall0.elapsed().as_nanos() as u64,
+        retries,
+        serial_fallbacks,
+        faults_hit: io.faults_hit.load(Ordering::Relaxed),
+    })
+}
+
+/// The same five-stage arithmetic run serially in RAM — the equality
+/// oracle for tests: streaming, blocking, and retries must never
+/// change a single bit relative to this.
+pub fn four_step_in_ram(plan: &OocPlan, x: &[Complex64]) -> Vec<Complex64> {
+    let (n1, n2) = (plan.n1, plan.n2);
+    debug_assert_eq!(x.len(), plan.n);
+    // transpose-in: n1×n2 → n2×n1
+    let mut a = vec![Complex64::ZERO; plan.n];
+    for a1 in 0..n1 {
+        for a2 in 0..n2 {
+            a[a2 * n1 + a1] = x[a1 * n2 + a2];
+        }
+    }
+    // dft-n1-twiddle over rows of length n1
+    let mut k = BatchFft::new(n1, 1, plan.dir);
+    k.run(&mut a);
+    for a2 in 0..n2 {
+        for k1 in 0..n1 {
+            a[a2 * n1 + k1] *= twiddle(a2, k1, plan.n, plan.dir);
+        }
+    }
+    // transpose-mid: n2×n1 → n1×n2
+    let mut b = vec![Complex64::ZERO; plan.n];
+    for a2 in 0..n2 {
+        for k1 in 0..n1 {
+            b[k1 * n2 + a2] = a[a2 * n1 + k1];
+        }
+    }
+    // dft-n2 over rows of length n2
+    let mut k = BatchFft::new(n2, 1, plan.dir);
+    k.run(&mut b);
+    // transpose-out: n1×n2 → n2×n1, read row-major ≡ natural order
+    let mut y = vec![Complex64::ZERO; plan.n];
+    for k1 in 0..n1 {
+        for k2 in 0..n2 {
+            y[k2 * n1 + k1] = b[k1 * n2 + k2];
+        }
+    }
+    y
+}

@@ -1,0 +1,111 @@
+//! # bwfft-ooc — out-of-core streaming FFTs
+//!
+//! The storage-backed execution tier: 1D transforms whose working set
+//! exceeds RAM, streamed as padded blocks from file-backed stores
+//! through an LLC-sized double buffer — the paper's soft-DMA machinery
+//! (`bwfft-pipeline`) pointed one level deeper in the hierarchy, after
+//! the Colfax EFFT construction (see PAPERS.md and DESIGN.md §12).
+//!
+//! The decomposition is the four-step split of `core::fft1d`
+//! generalized to five read-one-store/write-another stages (transpose,
+//! row DFT + twiddle, transpose, row DFT, transpose), each streamed
+//! with `p_d` soft-DMA threads overlapping positioned storage I/O
+//! against `p_c` compute threads. Stores pad their row strides by the
+//! `bwfft-machine` conflict rule so power-of-two column walks don't
+//! collapse the LLC to its associativity ([`store::padded_stride`]).
+//!
+//! Because a stage's source is never overwritten, storage faults are
+//! absorbed by rerunning the stage: a bounded pipelined retry ladder,
+//! then a single-threaded serial tier, then a typed error. Correctness
+//! at sizes where no in-RAM reference exists comes from the sampled
+//! spot-check + streamed-Parseval oracle ([`oracle::verify`]).
+//!
+//! ```no_run
+//! use bwfft_ooc::{run_generated, OocConfig, OracleConfig};
+//!
+//! // A transform 4× larger than the working-memory budget, verified.
+//! let cfg = OocConfig { budget_bytes: 1 << 18, ..OocConfig::default() };
+//! let out = run_generated(1 << 16, 7, &cfg, &OracleConfig::default()).unwrap();
+//! assert_eq!(out.oracle.bins_checked, 16);
+//! ```
+
+pub mod error;
+pub mod exec;
+pub mod oracle;
+pub mod plan;
+pub mod store;
+pub mod workspace;
+
+pub use error::OocError;
+pub use exec::{execute, four_step_in_ram, OocReport, STAGE_NAMES};
+pub use oracle::{verify, OracleConfig, OracleReport};
+pub use plan::{plan, OocConfig, OocFault, OocFaultKind, OocPlan};
+pub use store::{padded_stride, OocStore};
+pub use workspace::Workspace;
+
+use bwfft_num::signal::SplitMix64;
+use bwfft_num::Complex64;
+
+/// Everything a verified end-to-end run produced.
+#[derive(Clone, Debug)]
+pub struct OocOutcome {
+    pub plan: OocPlan,
+    pub report: OocReport,
+    pub oracle: OracleReport,
+}
+
+/// Streams the reproducible pseudo-random signal `seed` into `store`
+/// row by row — the same element sequence as
+/// `bwfft_num::signal::random_complex(rows·cols, seed)`, without ever
+/// materializing it whole.
+pub fn fill_random(store: &OocStore, seed: u64) -> Result<(), OocError> {
+    let mut rng = SplitMix64::new(seed);
+    let mut row = bwfft_num::alloc::try_vec_zeroed::<Complex64>(store.cols(), "ooc signal row")?;
+    for r in 0..store.rows() {
+        for slot in row.iter_mut() {
+            *slot = rng.next_complex();
+        }
+        store
+            .write_rows(r, &row)
+            .map_err(|e| OocError::io("signal fill", e))?;
+    }
+    Ok(())
+}
+
+/// Plans, materializes a seeded random input store, executes, and
+/// verifies — the whole lifecycle in one call, inside a private
+/// workspace that is removed on return (success *and* failure).
+pub fn run_generated(
+    n: usize,
+    seed: u64,
+    cfg: &OocConfig,
+    oracle_cfg: &OracleConfig,
+) -> Result<OocOutcome, OocError> {
+    run_generated_in(n, seed, cfg, oracle_cfg, None)
+}
+
+/// [`run_generated`] with an explicit parent directory for the
+/// workspace (tests point this at an observable temp root).
+pub fn run_generated_in(
+    n: usize,
+    seed: u64,
+    cfg: &OocConfig,
+    oracle_cfg: &OracleConfig,
+    parent: Option<&std::path::Path>,
+) -> Result<OocOutcome, OocError> {
+    let p = plan::plan(n, cfg)?;
+    let ws = match parent {
+        Some(dir) => Workspace::create_under(dir)?,
+        None => Workspace::create()?,
+    };
+    let input = OocStore::create(&ws.path("input.bin"), p.n1, p.n2, p.stride_cols_n2)?;
+    fill_random(&input, seed)?;
+    let output = OocStore::create(&ws.path("output.bin"), p.n2, p.n1, p.stride_cols_n1)?;
+    let report = exec::execute(&p, cfg, &ws, &input, &output)?;
+    let oracle = oracle::verify(&input, &output, &p, oracle_cfg)?;
+    Ok(OocOutcome {
+        plan: p,
+        report,
+        oracle,
+    })
+}

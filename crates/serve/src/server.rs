@@ -23,14 +23,14 @@ use crate::error::{RejectReason, ServeError};
 use crate::request::{FftRequest, OutcomeCell, RequestOutcome, Ticket};
 use bwfft_core::exec_real::ExecConfig;
 use bwfft_core::{
-    execute_reference, CoreError, Dims, ExecutorKind, FftPlan, RecoveryTier, RetryPolicy,
+    execute_reference, CoreError, ExecutorKind, FftPlan, HostProfile, RecoveryTier, RetryPolicy,
     Supervisor,
 };
-use bwfft_kernels::Direction;
 use bwfft_num::{check_alloc_budget, BufferPool, Complex64, PoolStats, PooledBuf};
 use bwfft_pipeline::{CancelReason, CancelToken, FaultPlan, IntegrityConfig, PipelineError};
 use bwfft_trace::{MarkKind, TraceCollector};
-use std::collections::{HashMap, VecDeque};
+use bwfft_tuner::{CacheStats, HostFingerprint, PlanCache, PlanVariant, Tuner, TunerOptions};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
@@ -125,6 +125,9 @@ pub struct ServeReport {
     pub breaker_transitions: Vec<BreakerTransition>,
     /// Buffer-pool counters.
     pub pool: PoolStats,
+    /// Sharded plan-cache counters: every admitted request resolves its
+    /// plan through the cache, so repeated shapes show up as hits here.
+    pub plan_cache: CacheStats,
 }
 
 impl ServeReport {
@@ -151,7 +154,7 @@ struct QueueState {
 }
 
 struct QueuedRequest {
-    plan: FftPlan,
+    plan: Arc<FftPlan>,
     data: PooledBuf<Complex64>,
     work: PooledBuf<Complex64>,
     /// The request's own payload allocation, reused as output storage.
@@ -179,15 +182,16 @@ struct Counters {
     rej_shutdown: AtomicU64,
 }
 
-type PlanKey = (Dims, Direction, usize, usize, usize);
-
 struct Shared {
     queue: Mutex<QueueState>,
     available: Condvar,
     breaker: Breaker,
     pool: BufferPool<Complex64>,
     counters: Counters,
-    plans: Mutex<HashMap<PlanKey, FftPlan>>,
+    /// Sharded plan cache (DESIGN.md §10): default-knob requests are
+    /// tuned once per shape, explicit-knob requests are pinned
+    /// variants; either way repeated shapes skip plan construction.
+    plan_cache: PlanCache,
     supervisor: Supervisor,
     integrity: IntegrityConfig,
     verify_energy: bool,
@@ -229,7 +233,15 @@ impl FftServer {
             breaker: Breaker::new(cfg.breaker),
             pool: BufferPool::new(pool_cap),
             counters: Counters::default(),
-            plans: Mutex::new(HashMap::new()),
+            plan_cache: PlanCache::new(
+                Tuner::new(TunerOptions {
+                    // Model-only: admission must never spend time on
+                    // measurement reps; the analytic model picks knobs.
+                    model_only: true,
+                    ..TunerOptions::for_host(&HostProfile::detect())
+                }),
+                HostFingerprint::detect(),
+            ),
             supervisor: Supervisor::new(cfg.retry),
             integrity: cfg.integrity,
             verify_energy: cfg.verify_energy,
@@ -375,6 +387,7 @@ impl FftServer {
             breaker_level: self.shared.breaker.level(),
             breaker_transitions: self.shared.breaker.transitions(),
             pool: self.shared.pool.stats(),
+            plan_cache: self.shared.plan_cache.stats(),
         }
     }
 
@@ -393,20 +406,35 @@ impl FftServer {
         self.shared.breaker.level()
     }
 
-    fn plan_for(&self, req: &FftRequest) -> Result<FftPlan, ServeError> {
-        let key: PlanKey = (req.dims, req.dir, req.buffer_elems, req.threads.0, req.threads.1);
-        let mut plans = lock_tolerant(&self.shared.plans);
-        if let Some(plan) = plans.get(&key) {
-            return Ok(plan.clone());
+    fn plan_for(&self, req: &FftRequest) -> Result<Arc<FftPlan>, ServeError> {
+        // Default knobs (buffer 0 = planner default, single-threaded)
+        // mean the caller left the choice to us: route through the
+        // tuner so the whole service shares one model-picked plan per
+        // shape. Explicit knobs pin a variant entry instead — tuned and
+        // pinned plans for the same shape never alias.
+        // On tuner failure (a shape the model cannot cost) fall
+        // through to a plain default-knob build so the request still
+        // gets the typed builder verdict.
+        if req.buffer_elems == 0 && req.threads == (1, 1) {
+            if let Ok(plan) = self.shared.plan_cache.get_or_tune(req.dims, req.dir) {
+                return Ok(plan);
+            }
         }
-        let plan = FftPlan::builder(req.dims)
-            .direction(req.dir)
-            .buffer_elems(req.buffer_elems)
-            .threads(req.threads.0, req.threads.1)
-            .build()
-            .map_err(|error| ServeError::InvalidRequest { error })?;
-        plans.insert(key, plan.clone());
-        Ok(plan)
+        let variant = PlanVariant {
+            buffer_elems: req.buffer_elems,
+            p_d: req.threads.0,
+            p_c: req.threads.1,
+        };
+        self.shared
+            .plan_cache
+            .get_or_build(req.dims, req.dir, variant, || {
+                FftPlan::builder(req.dims)
+                    .direction(req.dir)
+                    .buffer_elems(req.buffer_elems)
+                    .threads(req.threads.0, req.threads.1)
+                    .build()
+            })
+            .map_err(|error| ServeError::InvalidRequest { error })
     }
 
     fn reject(&self, reason: RejectReason) -> ServeError {
@@ -602,6 +630,7 @@ fn breaker_feedback(shared: &Shared, ok: bool) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bwfft_core::Dims;
     use bwfft_num::compare::{fft_tolerance, rel_l2_error};
     use bwfft_num::signal::random_complex;
 
@@ -651,6 +680,38 @@ mod tests {
         // Steady state reuses pooled buffers: 8 requests, far fewer
         // allocations than acquires.
         assert!(report.pool.hits > 0);
+    }
+
+    #[test]
+    fn repeated_shapes_resolve_plans_through_the_cache() {
+        let mut server = FftServer::start(ServeConfig {
+            workers: 0,
+            ..ServeConfig::default()
+        });
+        // Explicit knobs pin one variant entry: the first submission
+        // builds it, the rest hit.
+        let tickets: Vec<Ticket> = (0..3)
+            .map(|s| server.submit(request(s)).unwrap())
+            .collect();
+        let stats = server.snapshot().plan_cache;
+        assert_eq!((stats.hits, stats.misses), (2, 1), "{stats:?}");
+        // Default knobs route through the tuner under a separate
+        // (non-aliasing) tuned entry: one more miss, then a hit.
+        let deft = server
+            .submit(FftRequest::new(DIMS, random_complex(TOTAL, 99)))
+            .unwrap();
+        let deft2 = server
+            .submit(FftRequest::new(DIMS, random_complex(TOTAL, 100)))
+            .unwrap();
+        let report = server.shutdown();
+        for t in tickets {
+            assert!(matches!(t.wait(), RequestOutcome::Completed { .. }));
+        }
+        assert!(matches!(deft.wait(), RequestOutcome::Completed { .. }));
+        assert!(matches!(deft2.wait(), RequestOutcome::Completed { .. }));
+        assert!(report.holds(), "{report:?}");
+        assert_eq!(report.plan_cache.misses, 2, "{:?}", report.plan_cache);
+        assert_eq!(report.plan_cache.hits, 3, "{:?}", report.plan_cache);
     }
 
     #[test]

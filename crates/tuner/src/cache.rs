@@ -30,12 +30,28 @@ pub const SHARDS: usize = 8;
 /// Default capacity per shard before eviction kicks in.
 pub const CAPACITY_PER_SHARD: usize = 64;
 
-/// Cache key: what plan, which way, on which machine shape.
+/// Pinned plan knobs for an explicitly-configured request. A serving
+/// path that names its buffer size and thread split caches under the
+/// variant instead of the tuned entry, so tuned and pinned plans for
+/// the same shape never alias.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PlanVariant {
+    /// Buffer half size in elements (0 = planner default).
+    pub buffer_elems: usize,
+    pub p_d: usize,
+    pub p_c: usize,
+}
+
+/// Cache key: what plan, which way, on which machine shape — and, for
+/// explicitly-pinned plans, which knob variant.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct PlanKey {
     pub dims: Dims,
     pub dir: Direction,
     pub fingerprint: HostFingerprint,
+    /// `None` for tuned entries; `Some` for pinned variants inserted
+    /// through [`PlanCache::get_or_build`].
+    pub variant: Option<PlanVariant>,
 }
 
 /// Counter snapshot from [`PlanCache::stats`].
@@ -48,7 +64,9 @@ pub struct CacheStats {
 
 struct Entry {
     plan: Arc<FftPlan>,
-    record: TuningRecord,
+    /// `None` for pinned variants — they carry no search result and are
+    /// excluded from wisdom export.
+    record: Option<TuningRecord>,
     /// Monotonic use stamp for least-recently-used eviction.
     last_used: u64,
 }
@@ -112,6 +130,7 @@ impl PlanCache {
             dims,
             dir,
             fingerprint: self.fingerprint.clone(),
+            variant: None,
         }
     }
 
@@ -149,7 +168,46 @@ impl PlanCache {
             key,
             Entry {
                 plan: Arc::clone(&plan),
-                record,
+                record: Some(record),
+                last_used: stamp,
+            },
+        );
+        Ok(plan)
+    }
+
+    /// Returns the cached plan for an explicitly-pinned `variant` of
+    /// `(dims, dir)`, building and inserting it on first request via
+    /// `build`. Same single-build guarantee as [`Self::get_or_tune`]:
+    /// the shard lock is held across the build, so concurrent requests
+    /// for the same variant serialize into one build plus hits. Pinned
+    /// entries never alias tuned ones and are excluded from wisdom
+    /// export.
+    pub fn get_or_build<E>(
+        &self,
+        dims: Dims,
+        dir: Direction,
+        variant: PlanVariant,
+        build: impl FnOnce() -> Result<FftPlan, E>,
+    ) -> Result<Arc<FftPlan>, E> {
+        let key = PlanKey {
+            variant: Some(variant),
+            ..self.key(dims, dir)
+        };
+        let mut map = self.shard(&key);
+        let stamp = self.tick();
+        if let Some(entry) = map.get_mut(&key) {
+            entry.last_used = stamp;
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(&entry.plan));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let plan = Arc::new(build()?);
+        Self::evict_if_full(&mut map, self.capacity_per_shard, &self.evictions);
+        map.insert(
+            key,
+            Entry {
+                plan: Arc::clone(&plan),
+                record: None,
                 last_used: stamp,
             },
         );
@@ -194,20 +252,21 @@ impl PlanCache {
             key,
             Entry {
                 plan,
-                record: record.clone(),
+                record: Some(record.clone()),
                 last_used: stamp,
             },
         );
         Ok(())
     }
 
-    /// Every cached tuning record (for wisdom export). Order is
+    /// Every cached tuning record (for wisdom export). Pinned variant
+    /// entries carry no record and are skipped. Order is
     /// deterministic: sorted by the record's dims label and direction.
     pub fn export_records(&self) -> Vec<TuningRecord> {
         let mut out: Vec<TuningRecord> = Vec::new();
         for shard in &self.shards {
             let map = shard.lock().unwrap_or_else(PoisonError::into_inner);
-            out.extend(map.values().map(|e| e.record.clone()));
+            out.extend(map.values().filter_map(|e| e.record.clone()));
         }
         out.sort_by(|a, b| {
             (a.dims.label(), format!("{:?}", a.dir))
@@ -361,6 +420,99 @@ mod tests {
         let recs = cache.export_records();
         assert_eq!(recs.len(), 2);
         assert!(recs[0].dims.label() <= recs[1].dims.label());
+    }
+
+    fn build_variant(dims: Dims, v: PlanVariant) -> Result<FftPlan, bwfft_core::PlanError> {
+        FftPlan::builder(dims)
+            .direction(Direction::Forward)
+            .buffer_elems(v.buffer_elems)
+            .threads(v.p_d, v.p_c)
+            .build()
+    }
+
+    #[test]
+    fn pinned_variant_hits_on_repeat_and_builds_once() {
+        let cache = model_cache();
+        let dims = Dims::d2(64, 64);
+        let v = PlanVariant {
+            buffer_elems: 256,
+            p_d: 1,
+            p_c: 1,
+        };
+        let a = cache
+            .get_or_build(dims, Direction::Forward, v, || build_variant(dims, v))
+            .unwrap();
+        let b = cache
+            .get_or_build(dims, Direction::Forward, v, || -> Result<_, bwfft_core::PlanError> {
+                panic!("second request must not rebuild")
+            })
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1), "{s:?}");
+    }
+
+    #[test]
+    fn distinct_variants_do_not_alias() {
+        let cache = model_cache();
+        let dims = Dims::d2(64, 64);
+        let small = PlanVariant {
+            buffer_elems: 256,
+            p_d: 1,
+            p_c: 1,
+        };
+        let wide = PlanVariant {
+            buffer_elems: 512,
+            p_d: 2,
+            p_c: 1,
+        };
+        let a = cache
+            .get_or_build(dims, Direction::Forward, small, || {
+                build_variant(dims, small)
+            })
+            .unwrap();
+        let b = cache
+            .get_or_build(dims, Direction::Forward, wide, || build_variant(dims, wide))
+            .unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn pinned_variants_never_alias_tuned_entries_or_export() {
+        let cache = model_cache();
+        let dims = Dims::d2(64, 64);
+        cache.get_or_tune(dims, Direction::Forward).unwrap();
+        let v = PlanVariant {
+            buffer_elems: 256,
+            p_d: 1,
+            p_c: 1,
+        };
+        cache
+            .get_or_build(dims, Direction::Forward, v, || build_variant(dims, v))
+            .unwrap();
+        // Two distinct entries for the same shape...
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().misses, 2);
+        // ...but only the tuned one carries wisdom.
+        assert_eq!(cache.export_records().len(), 1);
+    }
+
+    #[test]
+    fn get_or_build_propagates_the_builder_error() {
+        let cache = model_cache();
+        // A 2D shape whose row is not a power of two fails to plan.
+        let dims = Dims::d2(3, 64);
+        let v = PlanVariant {
+            buffer_elems: 0,
+            p_d: 1,
+            p_c: 1,
+        };
+        let err = cache.get_or_build(dims, Direction::Forward, v, || build_variant(dims, v));
+        assert!(err.is_err());
+        // The failure is not cached: nothing was inserted.
+        assert!(cache.is_empty());
     }
 
     #[test]

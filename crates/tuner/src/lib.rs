@@ -36,7 +36,7 @@ pub mod fingerprint;
 pub mod search;
 pub mod wisdom;
 
-pub use cache::{CacheStats, PlanCache, PlanKey};
+pub use cache::{CacheStats, PlanCache, PlanKey, PlanVariant};
 pub use error::TunerError;
 pub use fingerprint::HostFingerprint;
 pub use search::{host_model, Tuner, TunerOptions, TuningRecord};

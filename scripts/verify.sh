@@ -138,6 +138,18 @@ cargo run -q --bin bwfft-cli -- bench --current "$benchdir/BENCH_serve.json" \
   || { echo "serve smoke FAILED: self-compare tripped the gate"; exit 1; }
 echo "serve smoke: OK"
 
+echo "== ooc smoke (out-of-core run survives an injected read fault) =="
+# A file-backed transform 4x larger than its working-memory budget,
+# with one injected stage-1 read fault: the retry ladder must absorb
+# it (faults_hit=1, no wrong answer) and the sampled oracle must hold.
+ooc_out="$(cargo run -q --bin bwfft-cli -- ooc --n 4096 --budget 16384 \
+  --bins 8 --seed 7 --inject-io-fault read,1,0)"
+echo "$ooc_out" | grep -q "ooc contract holds" \
+  || { echo "ooc smoke FAILED: oracle contract line missing in:"; echo "$ooc_out"; exit 1; }
+echo "$ooc_out" | grep -q "faults_hit=1" \
+  || { echo "ooc smoke FAILED: injected fault did not fire in:"; echo "$ooc_out"; exit 1; }
+echo "ooc smoke: OK"
+
 echo "== recovery smoke (escalation ladder + recovery marks in profile) =="
 # A fault that kills both real executors must escalate to the reference
 # tier, still verify, and export recovery marks in the profile JSON.

@@ -18,6 +18,8 @@
 //! bwfft-cli serve --requests N [--dims KxNxM] [--buffer B] [--threads D,C]
 //!                 [--workers W] [--queue-depth Q] [--byte-budget BYTES]
 //!                 [--deadline-ms N] [--arrival-us N] [--seed S]
+//! bwfft-cli ooc --n N [--budget BYTES] [--bins K] [--seed S] [--inverse]
+//!               [--threads D,C] [--inject-io-fault KIND,STAGE,ITER]
 //! ```
 //!
 //! `--profile` traces the run and prints the per-stage roofline/overlap
@@ -53,6 +55,15 @@
 //! seeded number of iterations and fails (exit 1) on any contract
 //! violation.
 //!
+//! `ooc` runs the out-of-core streaming tier (`bwfft-ooc`): a seeded
+//! 1D transform staged through file-backed stores under a working
+//! memory budget, verified by the sampled spot-check oracle and the
+//! streamed Parseval identity. `--inject-io-fault read,1,0` arms a
+//! one-shot storage fault (kind, stage index 0–4, block iteration) that
+//! the stage-level retry ladder must absorb; the report line counts
+//! `faults_hit` and retries so `scripts/verify.sh` can assert the
+//! recovery actually happened.
+//!
 //! `serve` drives the overload-safe concurrent service
 //! (`bwfft-serve`) with an open-loop request schedule and prints the
 //! drained report: completions with p50/p99 latency, rejections by
@@ -68,7 +79,7 @@
 //! |------|-------|--------|
 //! | 0 | success | — |
 //! | 0 | serve drained | graceful drain: every submission got exactly one typed outcome; shed requests (`queue_full`, `byte_budget`, `pool_exhausted`, `breaker_open`, `shutting_down`) and `deadline-exceeded` outcomes are counted and reported, not faults |
-//! | 1 | runtime fault | `WorkerPanicked`, `StageTimeout`, `Simulation`, `Integrity`, `Allocation`, failed verification, perf regression, soak contract violation, non-usage `Tuner` |
+//! | 1 | runtime fault | `WorkerPanicked`, `StageTimeout`, `Simulation`, `Integrity`, `Allocation`, failed verification, perf regression, soak contract violation, non-usage `Tuner`, every typed `ooc` failure (infeasible size/budget, exhausted stage ladder, oracle or Parseval mismatch) |
 //! | 1 | serve fault | `Failed` request outcomes, drain accounting that does not balance, serve-soak contract violation |
 //! | 2 | usage | `Plan`, `Config`, `InputLength`, `SocketMismatch`, bad-wisdom `Tuner`, bad flags, serve `InvalidRequest`/`InputLength` (malformed descriptors are the caller's fault, never load shedding) |
 //!
@@ -92,6 +103,7 @@ use bwfft::machine::stream::stream_triad;
 use bwfft::machine::{presets, MachineSpec};
 use bwfft::num::compare::rel_l2_error;
 use bwfft::num::{signal, AlignedVec, Complex64};
+use bwfft::ooc::{OocConfig, OocFault, OocFaultKind, OracleConfig};
 use bwfft::pipeline::{AdaptiveWatchdog, FaultPlan, IntegrityConfig, Role};
 use bwfft::serve::ServeError;
 use bwfft::soak::{run_serve_soak, run_soak, ServeSoakConfig, SoakConfig};
@@ -172,6 +184,8 @@ usage:
   bwfft-cli serve --requests N [--dims KxNxM] [--buffer B] [--threads D,C]
                   [--workers W] [--queue-depth Q] [--byte-budget BYTES]
                   [--deadline-ms N] [--arrival-us N] [--seed S]
+  bwfft-cli ooc --n N [--budget BYTES] [--bins K] [--seed S] [--inverse]
+                [--threads D,C] [--inject-io-fault KIND,STAGE,ITER]
 machines: kabylake | haswell4770 | amdfx | haswell2667 | opteron6276";
 
 fn run(args: &[String]) -> Result<(), CliError> {
@@ -199,6 +213,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "bench" => cmd_bench(&opts),
         "soak" => cmd_soak(&opts),
         "serve" => cmd_serve(&opts),
+        "ooc" => cmd_ooc(&opts),
         "stream" => {
             let spec = machine_by_name(opts.get("machine").ok_or_else(|| usage("--machine required"))?)
                 .map_err(usage)?;
@@ -563,6 +578,10 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), CliError> {
         rep.breaker_level,
         rep.breaker_transitions.len()
     );
+    println!(
+        "plan cache: hits={} misses={} evictions={}",
+        rep.plan_cache.hits, rep.plan_cache.misses, rep.plan_cache.evictions
+    );
     for t in &rep.breaker_transitions {
         println!("  {t}");
     }
@@ -589,6 +608,134 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), CliError> {
     }
     println!("serve contract holds: every submission terminated with one typed outcome");
     Ok(())
+}
+
+/// `ooc`: the out-of-core streaming tier. Plans the four-step split for
+/// a size that does not fit the working budget, streams it through
+/// file-backed padded stores in a private workspace, and verifies with
+/// the sampled spot-check + streamed-Parseval oracle. Typed failures
+/// (infeasible budget, exhausted stage ladder, oracle mismatch) are
+/// exit 1; malformed flags are exit 2.
+fn cmd_ooc(opts: &HashMap<String, String>) -> Result<(), CliError> {
+    let n: usize = opts
+        .get("n")
+        .ok_or_else(|| usage("--n required"))?
+        .parse()
+        .map_err(|_| usage("bad --n"))?;
+    let mut cfg = OocConfig::default();
+    if opts.contains_key("inverse") {
+        cfg.dir = Direction::Inverse;
+    }
+    if let Some(b) = opts.get("budget") {
+        cfg.budget_bytes = b.parse().map_err(|_| usage("bad --budget"))?;
+        if cfg.budget_bytes == 0 {
+            return Err(usage("--budget must be at least 1 byte"));
+        }
+    }
+    if let Some(t) = opts.get("threads") {
+        let (p_d, p_c) = parse_pair(t).map_err(usage)?;
+        if p_d == 0 || p_c == 0 {
+            return Err(usage("--threads counts must be at least 1"));
+        }
+        cfg.p_d = p_d;
+        cfg.p_c = p_c;
+    }
+    if let Some(spec) = opts.get("inject-io-fault") {
+        cfg.fault = Some(parse_io_fault(spec).map_err(usage)?);
+    }
+    let mut oracle_cfg = OracleConfig::default();
+    if let Some(k) = opts.get("bins") {
+        oracle_cfg.bins = k.parse().map_err(|_| usage("bad --bins"))?;
+        if oracle_cfg.bins == 0 {
+            return Err(usage("--bins must be at least 1"));
+        }
+    }
+    let seed: u64 = opts
+        .get("seed")
+        .map(|s| s.parse().map_err(|_| usage("bad --seed")))
+        .transpose()?
+        .unwrap_or(42);
+    println!(
+        "ooc: n = {n} ({} {:?}), budget {} B, {}+{} threads, oracle {} bin(s), seed {seed}{}",
+        fmt_bytes(n as u64 * 16),
+        cfg.dir,
+        cfg.budget_bytes,
+        cfg.p_d,
+        cfg.p_c,
+        oracle_cfg.bins,
+        match &cfg.fault {
+            Some(f) => format!(
+                ", injected {:?} fault at stage {} iter {}",
+                f.kind, f.stage, f.iter
+            ),
+            None => String::new(),
+        }
+    );
+    let out = bwfft::ooc::run_generated(n, seed, &cfg, &oracle_cfg)
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    let p = &out.plan;
+    let r = &out.report;
+    println!(
+        "plan: {} × {} split, {} elems/half buffer ({} of data resident), \
+         strides {}/{} cols",
+        p.n1,
+        p.n2,
+        p.half_elems,
+        fmt_bytes(p.half_elems as u64 * 16),
+        p.stride_cols_n1,
+        p.stride_cols_n2
+    );
+    println!(
+        "streamed {} read + {} written in {:.2?} ({:.2} GB/s storage), \
+         retries={} serial_fallbacks={} faults_hit={}",
+        fmt_bytes(r.bytes_read),
+        fmt_bytes(r.bytes_written),
+        std::time::Duration::from_nanos(r.wall_ns),
+        r.storage_gbs(),
+        r.retries,
+        r.serial_fallbacks,
+        r.faults_hit
+    );
+    let o = &out.oracle;
+    println!(
+        "oracle: {} bin(s), max |Δ| {:.2e} (tol {:.2e}); Parseval rel err {:.2e}",
+        o.bins_checked, o.max_abs_err, o.tol, o.parseval_rel_err
+    );
+    println!("ooc contract holds: sampled spot-check and streamed Parseval agree");
+    Ok(())
+}
+
+fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 20 {
+        format!("{:.1} MiB", b as f64 / (1u64 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1} KiB", b as f64 / 1024.0)
+    } else {
+        format!("{b} B")
+    }
+}
+
+/// Parses `KIND,STAGE,ITER` (e.g. `read,1,0`) into a one-shot storage
+/// fault for the ooc tier.
+fn parse_io_fault(s: &str) -> Result<OocFault, String> {
+    let parts: Vec<&str> = s.split(',').collect();
+    let [kind, stage, iter] = parts[..] else {
+        return Err("--inject-io-fault needs KIND,STAGE,ITER".into());
+    };
+    let kind = match kind {
+        "read" => OocFaultKind::Read,
+        "write" => OocFaultKind::Write,
+        other => return Err(format!("bad fault kind `{other}` (read|write)")),
+    };
+    let stage: usize = stage.parse().map_err(|_| "bad fault stage".to_string())?;
+    if stage >= bwfft::ooc::STAGE_NAMES.len() {
+        return Err(format!(
+            "fault stage {stage} out of range (0..{})",
+            bwfft::ooc::STAGE_NAMES.len() - 1
+        ));
+    }
+    let iter = iter.parse().map_err(|_| "bad fault iter".to_string())?;
+    Ok(OocFault { stage, iter, kind })
 }
 
 /// Parses `ROLE,THREAD,ITER` (e.g. `compute,0,3`) into a fault plan.
@@ -995,6 +1142,10 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
                 | "byte-budget"
                 | "deadline-ms"
                 | "arrival-us"
+                | "n"
+                | "budget"
+                | "bins"
+                | "inject-io-fault"
         ) {
             let v = args
                 .get(i + 1)
@@ -1516,6 +1667,57 @@ mod tests {
             .map(|s| s.to_string())
             .collect();
         assert!(matches!(run(&args), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn ooc_subcommand_completes_with_injected_fault() {
+        // A transform 4× the working budget, one injected read fault:
+        // the ladder retries, the oracle passes, exit is clean.
+        let args: Vec<String> = [
+            "ooc", "--n", "4096", "--budget", "16384", "--bins", "8",
+            "--seed", "7", "--inject-io-fault", "read,1,0",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        run(&args).unwrap();
+    }
+
+    #[test]
+    fn ooc_exit_code_discipline() {
+        // Typed tier failures are runtime faults (exit 1)...
+        for bad in [
+            vec!["ooc", "--n", "1000"],            // not a power of two
+            vec!["ooc", "--n", "2"],               // below the 4-elem floor
+            vec!["ooc", "--n", "65536", "--budget", "1"], // infeasible budget
+        ] {
+            let args: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            assert!(matches!(run(&args), Err(CliError::Runtime(_))), "{bad:?}");
+        }
+        // ...while malformed flags are usage errors (exit 2).
+        for bad in [
+            vec!["ooc"],                                   // --n required
+            vec!["ooc", "--n", "banana"],
+            vec!["ooc", "--n", "4096", "--budget", "0"],
+            vec!["ooc", "--n", "4096", "--bins", "0"],
+            vec!["ooc", "--n", "4096", "--threads", "0,2"],
+            vec!["ooc", "--n", "4096", "--inject-io-fault", "read,9,0"],
+            vec!["ooc", "--n", "4096", "--inject-io-fault", "rread,1,0"],
+            vec!["ooc", "--n", "4096", "--inject-io-fault", "read,1"],
+        ] {
+            let args: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            assert!(matches!(run(&args), Err(CliError::Usage(_))), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn io_fault_spec_parses() {
+        let f = parse_io_fault("write,3,2").unwrap();
+        assert_eq!(f.kind, OocFaultKind::Write);
+        assert_eq!(f.stage, 3);
+        assert_eq!(f.iter, 2);
+        assert!(parse_io_fault("read,5,0").is_err());
+        assert!(parse_io_fault("read").is_err());
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! | [`baselines`] | MKL-like / FFTW-like / slab–pencil comparators |
 //! | [`bench`] | statistical benchmark harness, `BENCH_*.json` records, regression gate |
 //! | [`serve`] | overload-safe concurrent FFT service: admission control, deadlines, degradation, drain |
+//! | [`ooc`] | out-of-core streaming tier: file-backed transforms larger than RAM, sampled oracles |
 //!
 //! ## Quickstart
 //!
@@ -79,6 +80,7 @@ pub use bwfft_core as core;
 pub use bwfft_kernels as kernels;
 pub use bwfft_machine as machine;
 pub use bwfft_num as num;
+pub use bwfft_ooc as ooc;
 pub use bwfft_pipeline as pipeline;
 pub use bwfft_serve as serve;
 pub use bwfft_spl as spl;
