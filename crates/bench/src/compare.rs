@@ -443,6 +443,7 @@ mod tests {
             ],
             serve: None,
             ooc: None,
+            real: None,
         }
     }
 

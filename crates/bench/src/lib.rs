@@ -125,6 +125,30 @@ pub fn run_suite(
             }
             suites.push(result);
         }
+        // Real-transform rows ride along the same way: new keys
+        // (`r2c:*`, `conv:*`) the compare gate treats as unpaired, so
+        // they are additive against pre-real baselines. The `real`
+        // column carries the acceptance number — packed bytes/element
+        // must sit below the complex path's measured in the same loop.
+        for case in real_suite_cases(kind) {
+            let result = real_suite_result(&case, measure_cfg, stats_cfg)?;
+            if progress {
+                let (bpe, cbpe) = result
+                    .real
+                    .as_ref()
+                    .map_or((0.0, 0.0), |m| (m.bytes_per_elem, m.complex_bytes_per_elem));
+                println!(
+                    "  {:<34} median {:>10.3} ms  ±{:>4.1}%  {:>5.1} vs {:>5.1} B/elem  ({} reps)",
+                    case.key,
+                    result.stats.median_ns / 1e6,
+                    result.stats.ci_halfwidth_pct(),
+                    bpe,
+                    cbpe,
+                    result.stats.n_raw
+                );
+            }
+            suites.push(result);
+        }
     }
     Ok(assemble_report(kind, measure_cfg, anchor, stream_gbs, suites))
 }
@@ -213,6 +237,169 @@ fn ooc_suite_result(
             retries: last.report.retries as u64,
             serial_fallbacks: last.report.serial_fallbacks as u64,
             faults_hit: last.report.faults_hit as u64,
+        }),
+        real: None,
+    })
+}
+
+/// One real-transform trajectory case: a 1D size run through the
+/// packed half-spectrum path (`conv == false`) or the fused spectral
+/// convolution (`conv == true`), against the same-size complex path
+/// timed back to back in the same rep loop.
+struct RealSuiteCase {
+    key: String,
+    n: usize,
+    conv: bool,
+}
+
+fn real_suite_cases(kind: SuiteKind) -> Vec<RealSuiteCase> {
+    let mut sizes = vec![1usize << 14];
+    if matches!(kind, SuiteKind::Full) {
+        sizes.push(1 << 16);
+    }
+    let mut out = Vec::new();
+    for n in sizes {
+        out.push(RealSuiteCase {
+            key: format!("r2c:n{n}"),
+            n,
+            conv: false,
+        });
+        out.push(RealSuiteCase {
+            key: format!("conv:n{n}"),
+            n,
+            conv: true,
+        });
+    }
+    out
+}
+
+/// Measures one real-transform case. Each timed rep runs the real
+/// path and the same-size complex path back to back on the same
+/// input, so the `real` column's ratio has machine drift cancelled
+/// out. Byte counts follow the array-I/O model (DESIGN.md §13): what
+/// each path reads and writes at its boundary, not internal transform
+/// traffic — `r2c` moves `8n` real bytes in and `16·(n/2+1)` packed
+/// bytes out where the complex path moves `16n` in and `16n` out; the
+/// fused convolution never materializes the product spectrum where
+/// the complex pipeline writes and re-reads both full spectra.
+fn real_suite_result(
+    case: &RealSuiteCase,
+    measure_cfg: &MeasureConfig,
+    stats_cfg: &StatsConfig,
+) -> Result<SuiteResult, HarnessError> {
+    use bwfft_kernels::plan1d::Fft1d;
+    use bwfft_kernels::realfft::{RealFft1d, SpectralConv1d};
+    use bwfft_kernels::Direction;
+    use bwfft_num::Complex64;
+
+    let n = case.n;
+    let half = n / 2 + 1;
+    let mut rng = bwfft_num::signal::SplitMix64::new(measure_cfg.seed);
+    let x: Vec<f64> = (0..n).map(|_| rng.next_f64() * 2.0 - 1.0).collect();
+    let kernel: Vec<f64> = (0..n).map(|_| rng.next_f64() * 2.0 - 1.0).collect();
+    let xc: Vec<Complex64> = x.iter().map(|&v| Complex64::new(v, 0.0)).collect();
+
+    let mut real_plan = RealFft1d::new(n);
+    let mut conv_plan = SpectralConv1d::new(&kernel);
+    let mut fwd = Fft1d::new(n, Direction::Forward);
+    let mut inv = Fft1d::new(n, Direction::Inverse);
+    let mut spec = vec![Complex64::ZERO; half];
+    let mut buf_r = vec![0.0f64; n];
+    let mut buf_c = vec![Complex64::ZERO; n];
+    let mut gspec = xc.clone();
+    fwd.run(&mut gspec);
+
+    // One matched rep: (real-path ns, complex-path ns).
+    let mut rep = |real_plan: &mut RealFft1d, conv_plan: &mut SpectralConv1d| {
+        let real_ns = if case.conv {
+            buf_r.copy_from_slice(&x);
+            let t = std::time::Instant::now();
+            conv_plan.run(&mut buf_r);
+            t.elapsed().as_nanos() as f64
+        } else {
+            let t = std::time::Instant::now();
+            real_plan.r2c(&x, &mut spec);
+            t.elapsed().as_nanos() as f64
+        };
+        let complex_ns = if case.conv {
+            buf_c.copy_from_slice(&xc);
+            let t = std::time::Instant::now();
+            fwd.run(&mut buf_c);
+            for (a, b) in buf_c.iter_mut().zip(&gspec) {
+                *a *= *b;
+            }
+            inv.run_normalized(&mut buf_c);
+            t.elapsed().as_nanos() as f64
+        } else {
+            buf_c.copy_from_slice(&xc);
+            let t = std::time::Instant::now();
+            fwd.run(&mut buf_c);
+            t.elapsed().as_nanos() as f64
+        };
+        (real_ns, complex_ns)
+    };
+    for _ in 0..measure_cfg.warmup {
+        rep(&mut real_plan, &mut conv_plan);
+    }
+    let mut real_ns = Vec::with_capacity(measure_cfg.reps);
+    let mut complex_ns = Vec::with_capacity(measure_cfg.reps);
+    for _ in 0..measure_cfg.reps {
+        let (r, c) = rep(&mut real_plan, &mut conv_plan);
+        real_ns.push(r);
+        complex_ns.push(c);
+    }
+    let summary = stats::summarize(&real_ns, stats_cfg).map_err(|error| HarnessError::Stats {
+        key: case.key.clone(),
+        error,
+    })?;
+    let complex_summary =
+        stats::summarize(&complex_ns, stats_cfg).map_err(|error| HarnessError::Stats {
+            key: case.key.clone(),
+            error,
+        })?;
+
+    let (packed_bytes, complex_bytes) = if case.conv {
+        // Fused: x in, result out, kernel spectrum in; the product
+        // spectrum is never materialized. Complex pipeline: x in,
+        // spectrum out, kernel spectrum in, product out, product in,
+        // result out.
+        (
+            (8 * n + 8 * n + 16 * half) as u64,
+            (16 * n as u64) * 6,
+        )
+    } else {
+        ((8 * n + 16 * half) as u64, 32 * n as u64)
+    };
+    let median_ns = summary.median_ns;
+    let gflops = if median_ns > 0.0 {
+        5.0 * n as f64 * (n as f64).log2() / median_ns
+    } else {
+        0.0
+    };
+    Ok(SuiteResult {
+        key: case.key.clone(),
+        label: format!("n{n}"),
+        executor: "realfft".to_string(),
+        p_d: 0,
+        p_c: 1,
+        buffer_elems: 0,
+        warmup: measure_cfg.warmup,
+        stats: summary,
+        gflops,
+        stages: Vec::new(),
+        serve: None,
+        ooc: None,
+        real: Some(record::RealMetrics {
+            packed_bytes,
+            complex_bytes,
+            bytes_per_elem: packed_bytes as f64 / n as f64,
+            complex_bytes_per_elem: complex_bytes as f64 / n as f64,
+            effective_gbs: if median_ns > 0.0 {
+                packed_bytes as f64 / median_ns
+            } else {
+                0.0
+            },
+            complex_median_ns: complex_summary.median_ns,
         }),
     })
 }
@@ -310,6 +497,7 @@ fn suite_result(
             .collect(),
         serve: None,
         ooc: None,
+        real: None,
     })
 }
 

@@ -90,6 +90,27 @@ pub struct OocMetrics {
     pub faults_hit: u64,
 }
 
+/// Real-transform columns: how the packed half-spectrum path
+/// (`r2c:*` rows) or the fused spectral convolution (`conv:*` rows)
+/// compares against the complex path for the same logical transform,
+/// measured back to back on the same input in the same rep loop.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RealMetrics {
+    /// Bytes one real-path pass moves (reals + packed bins).
+    pub packed_bytes: u64,
+    /// Bytes the complex path moves for the same logical transform.
+    pub complex_bytes: u64,
+    /// `packed_bytes / N` — the acceptance number; must sit below
+    /// `complex_bytes_per_elem` (§13's ~2× win).
+    pub bytes_per_elem: f64,
+    /// `complex_bytes / N` for the baseline run in the same loop.
+    pub complex_bytes_per_elem: f64,
+    /// `packed_bytes / median_ns` — effective GB/s of the real path.
+    pub effective_gbs: f64,
+    /// Median of the same-size complex-path baseline, for the ratio.
+    pub complex_median_ns: f64,
+}
+
 /// One suite case's result.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SuiteResult {
@@ -119,6 +140,10 @@ pub struct SuiteResult {
     /// and additive like `serve`, so older documents still parse and
     /// non-ooc rows emit nothing.
     pub ooc: Option<OocMetrics>,
+    /// Real-transform columns; `None` for every complex-path suite.
+    /// Optional and additive like `serve`/`ooc`, so older documents
+    /// still parse and non-real rows emit nothing.
+    pub real: Option<RealMetrics>,
 }
 
 /// A complete benchmark record — the unit of the perf trajectory.
@@ -276,6 +301,22 @@ pub fn to_json(report: &BenchReport) -> String {
                 m.faults_hit
             ));
             push_f64(&mut out, m.storage_gbs);
+            out.push('}');
+        }
+        if let Some(m) = &s.real {
+            out.push_str(&format!(
+                ",\"real\":{{\"packed_bytes\":{},\"complex_bytes\":{}",
+                m.packed_bytes, m.complex_bytes
+            ));
+            for (name, v) in [
+                ("bytes_per_elem", m.bytes_per_elem),
+                ("complex_bytes_per_elem", m.complex_bytes_per_elem),
+                ("effective_gbs", m.effective_gbs),
+                ("complex_median_ns", m.complex_median_ns),
+            ] {
+                out.push_str(&format!(",\"{name}\":"));
+                push_f64(&mut out, v);
+            }
             out.push('}');
         }
         out.push_str(",\"stages\":[");
@@ -471,6 +512,29 @@ pub fn from_json(src: &str) -> Result<BenchReport, BenchJsonError> {
                         })
                     }
                 },
+                real: match s.get("real") {
+                    None => None,
+                    Some(v) => {
+                        let m = as_obj(v, "real")?;
+                        Some(RealMetrics {
+                            packed_bytes: as_u64(get(m, "packed_bytes")?, "packed_bytes")?,
+                            complex_bytes: as_u64(get(m, "complex_bytes")?, "complex_bytes")?,
+                            bytes_per_elem: as_f64(
+                                get(m, "bytes_per_elem")?,
+                                "bytes_per_elem",
+                            )?,
+                            complex_bytes_per_elem: as_f64(
+                                get(m, "complex_bytes_per_elem")?,
+                                "complex_bytes_per_elem",
+                            )?,
+                            effective_gbs: as_f64(get(m, "effective_gbs")?, "effective_gbs")?,
+                            complex_median_ns: as_f64(
+                                get(m, "complex_median_ns")?,
+                                "complex_median_ns",
+                            )?,
+                        })
+                    }
+                },
             })
         })
         .collect::<Result<Vec<_>, BenchJsonError>>()?;
@@ -591,6 +655,7 @@ mod tests {
                 ],
                 serve: None,
                 ooc: None,
+                real: None,
             }],
         }
     }
@@ -707,6 +772,34 @@ mod tests {
         // A missing field inside an emitted ooc object is still a
         // schema error — the leniency is only for the absent column.
         let bad = json.replace("\"faults_hit\"", "\"faults_typo\"");
+        assert!(matches!(from_json(&bad), Err(BenchJsonError::Schema(_))));
+    }
+
+    #[test]
+    fn real_metrics_round_trip_and_stay_optional() {
+        let mut rep = sample_report();
+        rep.suites[0].key = "r2c:n16384".to_string();
+        rep.suites[0].executor = "realfft".to_string();
+        rep.suites[0].real = Some(RealMetrics {
+            packed_bytes: 262_160,
+            complex_bytes: 524_288,
+            bytes_per_elem: 16.000_976_562_5,
+            complex_bytes_per_elem: 32.0,
+            effective_gbs: 2.125,
+            complex_median_ns: 234_567.0,
+        });
+        let json = to_json(&rep);
+        assert!(json.contains("\"real\":{"));
+        assert!(json.contains("\"bytes_per_elem\":"));
+        let back = from_json(&json).unwrap();
+        assert_eq!(back, rep);
+        // Plain rows emit no real object, so the seed baseline and
+        // every pre-real consumer of bwfft-bench/1 are untouched.
+        let plain = to_json(&sample_report());
+        assert!(!plain.contains("\"real\""));
+        // A missing field inside an emitted real object is still a
+        // schema error — the leniency is only for the absent column.
+        let bad = json.replace("\"effective_gbs\"", "\"effective_typo\"");
         assert!(matches!(from_json(&bad), Err(BenchJsonError::Schema(_))));
     }
 

@@ -193,6 +193,7 @@ pub fn run_serve_suite(
         stages: Vec::new(),
         serve: Some(run.metrics),
         ooc: None,
+        real: None,
     };
     Ok(BenchReport {
         schema: crate::record::SCHEMA_VERSION.to_string(),

@@ -4,8 +4,8 @@
 //! must be deliberate — bump the `/N` suffix and update DESIGN.md §9.
 
 use bwfft_bench::record::{
-    from_json, to_json, BenchJsonError, BenchReport, OocMetrics, ServeMetrics, StageMetric,
-    SuiteResult, SCHEMA_VERSION,
+    from_json, to_json, BenchJsonError, BenchReport, OocMetrics, RealMetrics, ServeMetrics,
+    StageMetric, SuiteResult, SCHEMA_VERSION,
 };
 use bwfft_bench::stats::SampleSummary;
 use bwfft_tuner::HostFingerprint;
@@ -59,6 +59,7 @@ fn pinned_report() -> BenchReport {
             ],
             serve: None,
             ooc: None,
+            real: None,
         }],
     }
 }
@@ -76,6 +77,34 @@ fn schema_snapshot_is_byte_exact() {
     assert!(!json.contains('\n'), "BENCH records must stay single-line");
     // And the snapshot parses back to the identical report.
     assert_eq!(from_json(SNAPSHOT).unwrap(), pinned_report());
+}
+
+#[test]
+fn real_column_snapshot_presence_and_absence() {
+    // Absence: the pinned snapshot above carries no "real" key, so a
+    // pre-real consumer of bwfft-bench/1 sees byte-identical output.
+    assert!(!SNAPSHOT.contains("\"real\""));
+    // Presence: the same report with the column filled emits the real
+    // object between the row scalars and the stages array, and it
+    // must be exactly these bytes (n = 16384 packed vs complex).
+    let mut rep = pinned_report();
+    rep.suites[0].real = Some(RealMetrics {
+        packed_bytes: 262_160,
+        complex_bytes: 524_288,
+        bytes_per_elem: 16.000_976_562_5,
+        complex_bytes_per_elem: 32.0,
+        effective_gbs: 2.5,
+        complex_median_ns: 234567.0,
+    });
+    let expected = SNAPSHOT.replace(
+        ",\"stages\":[",
+        ",\"real\":{\"packed_bytes\":262160,\"complex_bytes\":524288,\
+         \"bytes_per_elem\":16.0009765625,\"complex_bytes_per_elem\":32.0,\
+         \"effective_gbs\":2.5,\"complex_median_ns\":234567.0},\"stages\":[",
+    );
+    let json = to_json(&rep);
+    assert_eq!(json, expected);
+    assert_eq!(from_json(&json).unwrap(), rep);
 }
 
 #[test]
@@ -128,6 +157,28 @@ fn serve_strategy() -> impl Strategy<Value = Option<ServeMetrics>> {
     )
 }
 
+/// Real-transform columns with finite floats; presence toggled by the
+/// paired boolean (no `prop::option` in the vendored shim). The
+/// generated rows respect the §13 invariant the compare gate checks:
+/// packed bytes/element strictly below the complex path's.
+fn real_strategy() -> impl Strategy<Value = Option<RealMetrics>> {
+    (any::<bool>(), 8u32..1 << 24, 1.0f64..1e9).prop_map(|(present, n, median)| {
+        present.then(|| {
+            let n = u64::from(n);
+            let packed = 8 * n + 16 * (n / 2 + 1);
+            let complex = 32 * n;
+            RealMetrics {
+                packed_bytes: packed,
+                complex_bytes: complex,
+                bytes_per_elem: packed as f64 / n as f64,
+                complex_bytes_per_elem: complex as f64 / n as f64,
+                effective_gbs: packed as f64 / median,
+                complex_median_ns: median * 1.75,
+            }
+        })
+    })
+}
+
 /// Out-of-core columns with finite floats; presence toggled by the
 /// paired boolean (no `prop::option` in the vendored shim).
 fn ooc_strategy() -> impl Strategy<Value = Option<OocMetrics>> {
@@ -152,10 +203,9 @@ fn suite_strategy() -> impl Strategy<Value = SuiteResult> {
         1usize..=8,
         prop::collection::vec(1.0f64..1e12, 1..6),
         prop::collection::vec(stage_strategy(), 0..4),
-        serve_strategy(),
-        ooc_strategy(),
+        (serve_strategy(), ooc_strategy(), real_strategy()),
     )
-        .prop_map(|(key_id, threads, times, stages, serve, ooc)| {
+        .prop_map(|(key_id, threads, times, stages, (serve, ooc, real))| {
             let key = format!("fig9:{}x{}:pipelined", key_id % 512, key_id % 256);
             let n = times.len();
             let med = times[n / 2];
@@ -181,6 +231,7 @@ fn suite_strategy() -> impl Strategy<Value = SuiteResult> {
                 stages,
                 serve,
                 ooc,
+                real,
             }
         })
 }

@@ -48,6 +48,7 @@ pub mod host;
 pub mod metrics;
 pub mod plan;
 pub mod profile;
+pub mod real;
 pub mod reference;
 pub mod supervisor;
 
@@ -55,6 +56,7 @@ pub use error::CoreError;
 pub use exec_real::{ExecConfig, ExecReport};
 pub use host::{DegradationReason, ExecutorKind, HostProfile};
 pub use plan::{Dims, FftPlan, FftPlanBuilder, PlanError};
+pub use real::{ConvReport, RealFftPlan, RealFftPlanBuilder, SpectralConvPlan};
 pub use reference::execute_reference;
 pub use supervisor::{
     RecoveryAction, RecoveryEvent, RecoveryTier, RetryPolicy, SupervisedReport, Supervisor,

@@ -17,6 +17,8 @@
 //! * [`simd`] — AVX2/FMA paths with runtime dispatch and portable
 //!   fallbacks, plus non-temporal streaming copy.
 //! * [`plan1d`] — a small planner wrapping the 1D kernels.
+//! * [`realfft`] — real-input transforms (r2c/c2r) via the half-length
+//!   complex FFT, and the fused spectral-convolution pass (§13).
 
 pub mod batch;
 pub mod bluestein;
@@ -24,6 +26,7 @@ pub mod layout;
 pub mod plan1d;
 pub mod radix2;
 pub mod radix4;
+pub mod realfft;
 pub mod reference;
 pub mod simd;
 pub mod splitradix;

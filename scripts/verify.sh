@@ -150,6 +150,26 @@ echo "$ooc_out" | grep -q "faults_hit=1" \
   || { echo "ooc smoke FAILED: injected fault did not fire in:"; echo "$ooc_out"; exit 1; }
 echo "ooc smoke: OK"
 
+echo "== r2c smoke (packed half-spectrum path: differential + Parseval + round trip) =="
+r2c_out="$(cargo run -q --bin bwfft-cli -- r2c --dims 16x32 --threads 2,2 --verify)"
+echo "$r2c_out" | grep -q "r2c contract holds" \
+  || { echo "r2c smoke FAILED: contract line missing in:"; echo "$r2c_out"; exit 1; }
+echo "r2c smoke: OK"
+
+echo "== conv smoke (fused spectral convolution: impulse identity + oracles) =="
+conv_out="$(cargo run -q --bin bwfft-cli -- conv --dims 16x32 --impulse --verify)"
+echo "$conv_out" | grep -q "conv contract holds" \
+  || { echo "conv smoke FAILED: contract line missing in:"; echo "$conv_out"; exit 1; }
+# The real path rides the same recovery ladder: a compute panic
+# mid-stage must escalate, and every check must still hold.
+conv_rec_out="$(cargo run -q --bin bwfft-cli -- conv --dims 8x16 --impulse --verify \
+  --recover --integrity --inject-panic compute,0,1 --timeout-ms 2000)"
+echo "$conv_rec_out" | grep -q "recovered at the" \
+  || { echo "conv recovery smoke FAILED: no recovery in:"; echo "$conv_rec_out"; exit 1; }
+echo "$conv_rec_out" | grep -q "conv contract holds" \
+  || { echo "conv recovery smoke FAILED: contract broke in:"; echo "$conv_rec_out"; exit 1; }
+echo "conv smoke: OK"
+
 echo "== recovery smoke (escalation ladder + recovery marks in profile) =="
 # A fault that kills both real executors must escalate to the reference
 # tier, still verify, and export recovery marks in the profile JSON.

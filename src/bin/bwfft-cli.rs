@@ -20,6 +20,11 @@
 //!                 [--deadline-ms N] [--arrival-us N] [--seed S]
 //! bwfft-cli ooc --n N [--budget BYTES] [--bins K] [--seed S] [--inverse]
 //!               [--threads D,C] [--inject-io-fault KIND,STAGE,ITER]
+//! bwfft-cli r2c --dims KxNxM [--threads D,C] [--buffer B] [--seed S] [--verify]
+//!               [--integrity] [--recover] [--inject-panic ROLE,T,I] [--timeout-ms N]
+//! bwfft-cli conv --dims KxNxM [--threads D,C] [--buffer B] [--seed S] [--impulse]
+//!                [--verify] [--integrity] [--recover] [--inject-panic ROLE,T,I]
+//!                [--timeout-ms N]
 //! ```
 //!
 //! `--profile` traces the run and prints the per-stage roofline/overlap
@@ -64,6 +69,19 @@
 //! `faults_hit` and retries so `scripts/verify.sh` can assert the
 //! recovery actually happened.
 //!
+//! `r2c` runs a real-input transform through the packed half-spectrum
+//! path (DESIGN.md §13): r2c, the unnormalized c2r round-trip, the
+//! packed-Parseval identity, and (with `--verify`) a differential
+//! check against the reference tier. `conv` runs the planned *fused*
+//! spectral convolution (`r2c → multiply fused into the merge stream →
+//! c2r`) against a random kernel or — with `--impulse` — the unit
+//! impulse, whose convolution must reproduce the input exactly;
+//! `--verify` compares against the unfused reference pipeline and, on
+//! small sizes, the direct O(n²) oracle. Both take the same
+//! fault-tolerance flags as `run` (`--integrity`, `--recover`,
+//! `--inject-panic`, `--timeout-ms`) and follow the §6 exit-code
+//! discipline.
+//!
 //! `serve` drives the overload-safe concurrent service
 //! (`bwfft-serve`) with an open-loop request schedule and prints the
 //! drained report: completions with p50/p99 latency, rejections by
@@ -105,6 +123,7 @@ use bwfft::num::compare::rel_l2_error;
 use bwfft::num::{signal, AlignedVec, Complex64};
 use bwfft::ooc::{OocConfig, OocFault, OocFaultKind, OracleConfig};
 use bwfft::pipeline::{AdaptiveWatchdog, FaultPlan, IntegrityConfig, Role};
+use bwfft::real::{packed_spectrum_energy, RealFftPlan, SpectralConvPlan};
 use bwfft::serve::ServeError;
 use bwfft::soak::{run_serve_soak, run_soak, ServeSoakConfig, SoakConfig};
 use bwfft::trace::TraceCollector;
@@ -186,6 +205,11 @@ usage:
                   [--deadline-ms N] [--arrival-us N] [--seed S]
   bwfft-cli ooc --n N [--budget BYTES] [--bins K] [--seed S] [--inverse]
                 [--threads D,C] [--inject-io-fault KIND,STAGE,ITER]
+  bwfft-cli r2c --dims KxNxM [--threads D,C] [--buffer B] [--seed S] [--verify]
+                [--integrity] [--recover] [--inject-panic ROLE,T,I] [--timeout-ms N]
+  bwfft-cli conv --dims KxNxM [--threads D,C] [--buffer B] [--seed S] [--impulse]
+                 [--verify] [--integrity] [--recover] [--inject-panic ROLE,T,I]
+                 [--timeout-ms N]
 machines: kabylake | haswell4770 | amdfx | haswell2667 | opteron6276";
 
 fn run(args: &[String]) -> Result<(), CliError> {
@@ -214,6 +238,8 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "soak" => cmd_soak(&opts),
         "serve" => cmd_serve(&opts),
         "ooc" => cmd_ooc(&opts),
+        "r2c" => cmd_r2c(&opts),
+        "conv" => cmd_conv(&opts),
         "stream" => {
             let spec = machine_by_name(opts.get("machine").ok_or_else(|| usage("--machine required"))?)
                 .map_err(usage)?;
@@ -705,6 +731,320 @@ fn cmd_ooc(opts: &HashMap<String, String>) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Fault-tolerance knobs shared by `r2c` and `conv` (same flags as
+/// `run`): `--inject-panic`, `--integrity`, `--timeout-ms` / adaptive
+/// watchdog.
+fn real_exec_cfg(opts: &HashMap<String, String>) -> Result<bwfft::core::ExecConfig, CliError> {
+    let mut exec_cfg = bwfft::core::ExecConfig::default();
+    if let Some(spec) = opts.get("inject-panic") {
+        exec_cfg.fault = Some(parse_fault(spec).map_err(usage)?);
+        bwfft::pipeline::fault::silence_injected_panic_reports();
+    }
+    if opts.contains_key("integrity") {
+        exec_cfg.integrity = IntegrityConfig::full();
+        exec_cfg.verify_energy = true;
+    }
+    if let Some(ms) = opts.get("timeout-ms") {
+        let ms: u64 = ms.parse().map_err(|_| usage("bad --timeout-ms"))?;
+        exec_cfg.iter_timeout = Some(std::time::Duration::from_millis(ms));
+    } else {
+        exec_cfg.adaptive_watchdog = Some(AdaptiveWatchdog {
+            min: std::time::Duration::from_millis(250),
+            ..AdaptiveWatchdog::default()
+        });
+    }
+    Ok(exec_cfg)
+}
+
+/// Builds the real-transform plan the `r2c`/`conv` subcommands share.
+fn real_plan_from_opts(opts: &HashMap<String, String>) -> Result<RealFftPlan, CliError> {
+    let dims = parse_dims(opts.get("dims").ok_or_else(|| usage("--dims required"))?)
+        .map_err(usage)?;
+    let (p_d, p_c) = opts
+        .get("threads")
+        .map(|s| parse_pair(s))
+        .transpose()
+        .map_err(usage)?
+        .unwrap_or((2, 2));
+    let mut builder = RealFftPlan::builder(dims).threads(p_d, p_c);
+    if let Some(b) = opts.get("buffer") {
+        builder = builder.buffer_elems(b.parse().map_err(|_| usage("bad --buffer"))?);
+    }
+    if opts.contains_key("adapt") {
+        builder = builder.adapt_to_host();
+    }
+    builder
+        .build()
+        .map_err(|e| CliError::from(BwfftError::from(e)))
+}
+
+fn random_real_field(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = signal::SplitMix64::new(seed);
+    (0..n).map(|_| rng.next_f64() * 2.0 - 1.0).collect()
+}
+
+/// Prints the recovery trail of one supervised leg, mirroring `run
+/// --recover`'s format.
+fn print_recovery(rep: &bwfft::core::SupervisedReport, leg: &str) {
+    if rep.recovered() {
+        println!(
+            "{leg}: recovered at the {} tier after {} attempt(s):",
+            rep.tier, rep.attempts
+        );
+        for ev in &rep.events {
+            println!("  {} {} attempt {}: {}", ev.action, ev.tier, ev.attempt, ev.error);
+        }
+    }
+}
+
+/// `r2c`: a real-input transform through the packed half-spectrum path
+/// (DESIGN.md §13). Runs r2c on a seeded real field, round-trips it
+/// through the unnormalized c2r, checks the packed-Parseval identity,
+/// and with `--verify` also matches the spectrum against the reference
+/// tier bin by bin. The bytes summary states the real-path win over
+/// the complex path for the same logical transform.
+fn cmd_r2c(opts: &HashMap<String, String>) -> Result<(), CliError> {
+    let plan = real_plan_from_opts(opts)?;
+    let exec_cfg = real_exec_cfg(opts)?;
+    let seed: u64 = opts
+        .get("seed")
+        .map(|s| s.parse().map_err(|_| usage("bad --seed")))
+        .transpose()?
+        .unwrap_or(42);
+    let n = plan.real_elems();
+    // Complex path for the same logical transform: N complex in + N
+    // complex out. Real path: N doubles in, N/2+rows packed bins out.
+    let packed_bytes = 8 * n as u64 + 16 * plan.spectrum_elems() as u64;
+    let complex_bytes = 32 * n as u64;
+    println!(
+        "r2c {} — {} packed bins vs {} complex bins; {} vs {} moved \
+         ({:.1} vs 32.0 bytes/elem)",
+        plan.dims().label(),
+        plan.spectrum_elems(),
+        n,
+        fmt_bytes(packed_bytes),
+        fmt_bytes(complex_bytes),
+        packed_bytes as f64 / n as f64
+    );
+    let x = random_real_field(n, seed);
+    let mut work = vec![Complex64::ZERO; plan.packed_elems()];
+    let mut spec = vec![Complex64::ZERO; plan.spectrum_elems()];
+    let t0 = std::time::Instant::now();
+    if opts.contains_key("recover") {
+        let sup = Supervisor::new(RetryPolicy::default());
+        let rep = sup_err(plan.r2c_supervised(&sup, &x, &mut work, &mut spec, &exec_cfg))?;
+        print_recovery(&rep, "r2c");
+    } else {
+        sup_err(plan.r2c_with(&x, &mut work, &mut spec, &exec_cfg))?;
+    }
+    let dt = t0.elapsed();
+    println!("forward r2c done in {dt:.2?}");
+
+    // Packed Parseval: N·Σx² must equal the weighted spectrum energy.
+    let e_x: f64 = x.iter().map(|v| v * v).sum();
+    let e_p = packed_spectrum_energy(&spec, plan.rows());
+    let parseval_rel = (e_p - n as f64 * e_x).abs() / (n as f64 * e_x);
+    println!("packed Parseval rel err = {parseval_rel:.2e}");
+    if parseval_rel > 1e-9 {
+        return Err(CliError::Runtime("packed Parseval identity FAILED".into()));
+    }
+
+    // Round trip: c2r(r2c(x)) must be N·x.
+    let mut back = vec![0.0; n];
+    sup_err(plan.c2r(&spec, &mut work, &mut back))?;
+    bwfft::real::normalize(&mut back);
+    let roundtrip_err = back
+        .iter()
+        .zip(&x)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max);
+    println!("c2r round-trip max |Δ| = {roundtrip_err:.2e}");
+    if roundtrip_err > 1e-10 {
+        return Err(CliError::Runtime("c2r round-trip FAILED".into()));
+    }
+
+    if opts.contains_key("verify") {
+        let mut want = vec![Complex64::ZERO; plan.spectrum_elems()];
+        sup_err(plan.r2c_reference(&x, &mut want))?;
+        let scale = want.iter().map(|v| v.abs()).fold(1.0, f64::max);
+        let max_err = spec
+            .iter()
+            .zip(&want)
+            .map(|(a, b)| (*a - *b).abs())
+            .fold(0.0, f64::max)
+            / scale;
+        println!("verification vs reference tier: rel max err = {max_err:.2e}");
+        if max_err > 1e-11 {
+            return Err(CliError::Runtime("verification FAILED".into()));
+        }
+        println!("verification passed");
+    }
+    println!("r2c contract holds: Parseval and round-trip verified on the packed path");
+    Ok(())
+}
+
+/// `conv`: the planned fused spectral convolution. The kernel is a
+/// seeded random field, or with `--impulse` the unit impulse — whose
+/// circular convolution must reproduce the input exactly. `--verify`
+/// compares against the unfused reference-tier pipeline (and on sizes
+/// ≤ 4096 elements also the direct O(n²) oracle).
+fn cmd_conv(opts: &HashMap<String, String>) -> Result<(), CliError> {
+    let plan = real_plan_from_opts(opts)?;
+    let exec_cfg = real_exec_cfg(opts)?;
+    let seed: u64 = opts
+        .get("seed")
+        .map(|s| s.parse().map_err(|_| usage("bad --seed")))
+        .transpose()?
+        .unwrap_or(42);
+    let n = plan.real_elems();
+    let impulse = opts.contains_key("impulse");
+    let kernel: Vec<f64> = if impulse {
+        let mut g = vec![0.0; n];
+        g[0] = 1.0;
+        g
+    } else {
+        random_real_field(n, seed.wrapping_add(1))
+    };
+    let dims_label = plan.dims().label();
+    // Fused path traffic: fold (8N read), half-width transform, the
+    // in-place multiply-merge, and the unfold (8N write) — the packed
+    // product spectrum is never materialized. The complex path would
+    // run three full-length transforms.
+    println!(
+        "conv {} with {} kernel — fused spectral path, {} packed bins \
+         (product spectrum never materialized)",
+        dims_label,
+        if impulse { "impulse" } else { "random" },
+        plan.spectrum_elems()
+    );
+    let conv = SpectralConvPlan::new(plan, &kernel)
+        .map_err(|e| CliError::from(BwfftError::from(e)))?;
+    let x = random_real_field(n, seed);
+    let mut got = x.clone();
+    let mut work = vec![Complex64::ZERO; conv.plan().packed_elems()];
+    let t0 = std::time::Instant::now();
+    if opts.contains_key("recover") {
+        let sup = Supervisor::new(RetryPolicy::default());
+        let rep = sup_err(conv.convolve_supervised(&sup, &mut got, &mut work, &exec_cfg))?;
+        print_recovery(&rep.forward, "forward leg");
+        print_recovery(&rep.inverse, "inverse leg");
+        if rep.recovered() {
+            println!(
+                "recovered at the {} tier after {} attempt(s)",
+                rep.worst_tier(),
+                rep.attempts()
+            );
+        }
+    } else {
+        sup_err(conv.convolve_with(&mut got, &mut work, &exec_cfg))?;
+    }
+    let dt = t0.elapsed();
+    println!("fused convolution done in {dt:.2?}");
+
+    if impulse {
+        // conv(x, δ) == x, exactly (to round-off).
+        let max_err = got
+            .iter()
+            .zip(&x)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        println!("impulse identity max |Δ| = {max_err:.2e}");
+        if max_err > 1e-10 {
+            return Err(CliError::Runtime("impulse identity FAILED".into()));
+        }
+    }
+    if opts.contains_key("verify") {
+        // Unfused reference pipeline: r2c both operands on the
+        // reference tier, multiply the packed spectra, c2r, /N.
+        let plan = conv.plan();
+        let mut xs = vec![Complex64::ZERO; plan.spectrum_elems()];
+        let mut gs = vec![Complex64::ZERO; plan.spectrum_elems()];
+        sup_err(plan.r2c_reference(&x, &mut xs))?;
+        sup_err(plan.r2c_reference(&kernel, &mut gs))?;
+        for (a, b) in xs.iter_mut().zip(&gs) {
+            *a *= *b;
+        }
+        let mut want = vec![0.0; n];
+        sup_err(plan.c2r_reference(&xs, &mut want))?;
+        bwfft::real::normalize(&mut want);
+        let scale = want.iter().map(|v| v.abs()).fold(1.0, f64::max);
+        let rel_err = got
+            .iter()
+            .zip(&want)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+            / scale;
+        println!("verification vs unfused reference pipeline: rel max err = {rel_err:.2e}");
+        if rel_err > 1e-10 {
+            return Err(CliError::Runtime("verification FAILED".into()));
+        }
+        if n <= 4096 {
+            let direct = conv_direct_nd(&x, &kernel, conv.plan().dims());
+            let d_err = got
+                .iter()
+                .zip(&direct)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max)
+                / scale;
+            println!("verification vs direct O(n²) oracle: rel max err = {d_err:.2e}");
+            if d_err > 1e-9 {
+                return Err(CliError::Runtime("direct-oracle verification FAILED".into()));
+            }
+        }
+        println!("verification passed");
+    }
+    println!("conv contract holds: fused spectral convolution verified");
+    Ok(())
+}
+
+/// Direct multidimensional circular convolution, the O(n²) oracle for
+/// `conv --verify` on small sizes.
+fn conv_direct_nd(x: &[f64], g: &[f64], dims: Dims) -> Vec<f64> {
+    let shape: Vec<usize> = match dims {
+        Dims::Two { n, m } => vec![n, m],
+        Dims::Three { k, n, m } => vec![k, n, m],
+    };
+    let total: usize = shape.iter().product();
+    let strides: Vec<usize> = {
+        let mut s = vec![1usize; shape.len()];
+        for i in (0..shape.len() - 1).rev() {
+            s[i] = s[i + 1] * shape[i + 1];
+        }
+        s
+    };
+    let coords = |mut idx: usize| -> Vec<usize> {
+        shape
+            .iter()
+            .zip(&strides)
+            .map(|(_, &st)| {
+                let c = idx / st;
+                idx %= st;
+                c
+            })
+            .collect()
+    };
+    let mut out = vec![0.0; total];
+    for (i, o) in out.iter_mut().enumerate() {
+        let ci = coords(i);
+        for (j, xj) in x.iter().enumerate() {
+            let cj = coords(j);
+            let gi: usize = ci
+                .iter()
+                .zip(&cj)
+                .zip(shape.iter().zip(&strides))
+                .map(|((&a, &b), (&d, &st))| ((d + a - b) % d) * st)
+                .sum();
+            *o += xj * g[gi];
+        }
+    }
+    out
+}
+
+/// Maps a core-layer result into the CLI error discipline.
+fn sup_err<T>(r: Result<T, bwfft::core::CoreError>) -> Result<T, CliError> {
+    r.map_err(|e| CliError::from(BwfftError::from(e)))
+}
+
 fn fmt_bytes(b: u64) -> String {
     if b >= 1 << 20 {
         format!("{:.1} MiB", b as f64 / (1u64 << 20) as f64)
@@ -1110,6 +1450,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
                 | "integrity"
                 | "recover"
                 | "serve"
+                | "impulse"
         ) {
             out.insert(name.to_string(), String::new());
             i += 1;

@@ -23,6 +23,7 @@
 //! | [`bench`] | statistical benchmark harness, `BENCH_*.json` records, regression gate |
 //! | [`serve`] | overload-safe concurrent FFT service: admission control, deadlines, degradation, drain |
 //! | [`ooc`] | out-of-core streaming tier: file-backed transforms larger than RAM, sampled oracles |
+//! | [`real`] | real-input transforms (r2c/c2r), fused spectral convolution, spectral Poisson solve |
 //!
 //! ## Quickstart
 //!
@@ -72,6 +73,7 @@
 //! ```
 
 mod error;
+pub mod real;
 pub mod soak;
 
 pub use bwfft_baselines as baselines;

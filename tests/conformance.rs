@@ -296,3 +296,179 @@ fn parseval_invariant_2d_plan() {
         assert!(rel < 1e-12, "2D Parseval violated ({}) rel {rel:.2e}", variant.token());
     }
 }
+
+// ---------------------------------------------------------------------------
+// Real-input (r2c/c2r) differential conformance — DESIGN.md §13.
+//
+// Contract: for every size in the golden grid, the packed r2c output
+// matches the full complex FFT of the same (complexified) real input
+// restricted to bins `0..=n/2`, under the same [`POW2_ULP_BOUND`]; the
+// unnormalized c2r inverts it (`c2r(r2c(x)) = n·x`). The split-merge
+// pass adds one complex multiply-add per bin on top of the half-length
+// transform, so it inherits the power-of-two bound with no slack of
+// its own.
+// ---------------------------------------------------------------------------
+
+use bwfft::num::signal::SplitMix64;
+use bwfft::real::{RealFft1d, RealFftPlan};
+
+/// Real-valued golden inputs mirroring [`golden_inputs`]: impulses,
+/// the constant field, a cosine tone, and a seeded random field.
+fn golden_real_inputs(n: usize, seed: u64) -> Vec<(String, Vec<f64>)> {
+    let mut imp = vec![0.0; n];
+    imp[0] = 1.0;
+    let mut inputs = vec![
+        ("impulse@0".to_string(), imp),
+        ("constant".to_string(), vec![1.0; n]),
+    ];
+    if n > 2 {
+        let mut shifted = vec![0.0; n];
+        shifted[n / 3] = 1.0;
+        inputs.push((format!("impulse@{}", n / 3), shifted));
+        let tone: Vec<f64> = (0..n)
+            .map(|j| (2.0 * std::f64::consts::PI * j as f64 / n as f64).cos())
+            .collect();
+        inputs.push(("cos-tone@1".to_string(), tone));
+    }
+    let mut rng = SplitMix64::new(seed);
+    inputs.push((
+        "random".to_string(),
+        (0..n).map(|_| rng.next_f64() * 2.0 - 1.0).collect(),
+    ));
+    inputs
+}
+
+fn complexify(x: &[f64]) -> Vec<Complex64> {
+    x.iter().map(|&v| Complex64::new(v, 0.0)).collect()
+}
+
+#[test]
+fn r2c_matches_complex_fft_half_spectrum_golden_grid() {
+    for n in [2usize, 4, 8, 16, 64, 256, 1024] {
+        for (input_name, x) in golden_real_inputs(n, 7900 + n as u64) {
+            let full = dft_naive(&complexify(&x), Direction::Forward);
+            let reference: Vec<Complex64> = full[..=n / 2].to_vec();
+            let mut plan = RealFft1d::new(n);
+            let mut got = vec![Complex64::ZERO; plan.packed_len()];
+            plan.r2c(&x, &mut got);
+            assert_ulp_close(
+                &got,
+                &reference,
+                POW2_ULP_BOUND,
+                &format!("r2c n={n} on {input_name}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn c2r_inverts_r2c_golden_grid() {
+    for n in [2usize, 4, 8, 16, 64, 256, 1024] {
+        for (input_name, x) in golden_real_inputs(n, 8000 + n as u64) {
+            let mut plan = RealFft1d::new(n);
+            let mut spec = vec![Complex64::ZERO; plan.packed_len()];
+            let mut back = vec![0.0; n];
+            plan.r2c(&x, &mut spec);
+            plan.c2r(&spec, &mut back);
+            let expect: Vec<Complex64> =
+                x.iter().map(|&v| Complex64::new(v * n as f64, 0.0)).collect();
+            assert_ulp_close(
+                &complexify(&back),
+                &expect,
+                POW2_ULP_BOUND,
+                &format!("c2r∘r2c n={n} on {input_name}"),
+            );
+        }
+    }
+}
+
+/// The multidimensional packed layout: row `s`, packed column `kf`
+/// holds the full complex FFT's bin `(s, kf)` for `kf ∈ 0..=m/2`.
+#[test]
+fn r2c_plan_matches_complex_fft_2d_both_tiers() {
+    let (n, m) = (16usize, 32);
+    let hp = m / 2 + 1;
+    let plan = RealFftPlan::builder(Dims::d2(n, m))
+        .threads(2, 2)
+        .build()
+        .unwrap();
+    for (input_name, x) in golden_real_inputs(n * m, 8100) {
+        let full = dft2_naive(&complexify(&x), n, m, Direction::Forward);
+        let mut reference = vec![Complex64::ZERO; n * hp];
+        for s in 0..n {
+            reference[s * hp..(s + 1) * hp].copy_from_slice(&full[s * m..s * m + hp]);
+        }
+        let mut work = vec![Complex64::ZERO; plan.packed_elems()];
+        let mut pipelined = vec![Complex64::ZERO; plan.spectrum_elems()];
+        plan.r2c(&x, &mut work, &mut pipelined).unwrap();
+        assert_ulp_close(
+            &pipelined,
+            &reference,
+            POW2_ULP_BOUND,
+            &format!("2D r2c pipelined on {input_name}"),
+        );
+        let mut refout = vec![Complex64::ZERO; plan.spectrum_elems()];
+        plan.r2c_reference(&x, &mut refout).unwrap();
+        assert_ulp_close(
+            &refout,
+            &reference,
+            POW2_ULP_BOUND,
+            &format!("2D r2c reference tier on {input_name}"),
+        );
+        // And the inverse recovers n·m·x through both tiers.
+        let expect: Vec<Complex64> = x
+            .iter()
+            .map(|&v| Complex64::new(v * (n * m) as f64, 0.0))
+            .collect();
+        let mut back = vec![0.0; n * m];
+        plan.c2r(&pipelined, &mut work, &mut back).unwrap();
+        assert_ulp_close(
+            &complexify(&back),
+            &expect,
+            POW2_ULP_BOUND,
+            &format!("2D c2r pipelined on {input_name}"),
+        );
+        plan.c2r_reference(&refout, &mut back).unwrap();
+        assert_ulp_close(
+            &complexify(&back),
+            &expect,
+            POW2_ULP_BOUND,
+            &format!("2D c2r reference tier on {input_name}"),
+        );
+    }
+}
+
+#[test]
+fn r2c_plan_matches_complex_fft_3d_both_tiers() {
+    let (k, n, m) = (8usize, 8, 16);
+    let hp = m / 2 + 1;
+    let plan = RealFftPlan::builder(Dims::d3(k, n, m))
+        .threads(2, 2)
+        .build()
+        .unwrap();
+    for (input_name, x) in golden_real_inputs(k * n * m, 8200) {
+        let full = dft3_naive(&complexify(&x), k, n, m, Direction::Forward);
+        let rows = k * n;
+        let mut reference = vec![Complex64::ZERO; rows * hp];
+        for s in 0..rows {
+            reference[s * hp..(s + 1) * hp].copy_from_slice(&full[s * m..s * m + hp]);
+        }
+        let mut work = vec![Complex64::ZERO; plan.packed_elems()];
+        let mut got = vec![Complex64::ZERO; plan.spectrum_elems()];
+        plan.r2c(&x, &mut work, &mut got).unwrap();
+        assert_ulp_close(
+            &got,
+            &reference,
+            POW2_ULP_BOUND,
+            &format!("3D r2c pipelined on {input_name}"),
+        );
+        let mut refout = vec![Complex64::ZERO; plan.spectrum_elems()];
+        plan.r2c_reference(&x, &mut refout).unwrap();
+        assert_ulp_close(
+            &refout,
+            &reference,
+            POW2_ULP_BOUND,
+            &format!("3D r2c reference tier on {input_name}"),
+        );
+    }
+}

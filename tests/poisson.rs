@@ -1,0 +1,40 @@
+//! Lock-down for `examples/poisson_solver.rs`: the example and this
+//! test share `bwfft::real::solve_poisson_3d`, so the residual bound
+//! the example prints is asserted in CI and the example cannot
+//! silently rot.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use bwfft::real::solve_poisson_3d;
+
+#[test]
+fn poisson_solve_meets_documented_bounds() {
+    // Same grid and thread split as the example.
+    let report = solve_poisson_3d(32, 2, 2, 2048).expect("poisson solve");
+    assert_eq!(report.n, 32);
+    assert!(
+        report.max_err < 1e-10,
+        "manufactured-solution error {:.3e} above the example's bound",
+        report.max_err
+    );
+    assert!(
+        report.max_residual < 1e-7,
+        "spectral residual {:.3e} above the example's bound",
+        report.max_residual
+    );
+}
+
+#[test]
+fn poisson_solve_scales_down_to_small_grids() {
+    // A smaller grid with the default buffer: the entry point must not
+    // depend on the example's exact knobs.
+    let report = solve_poisson_3d(16, 1, 1, 0).expect("small poisson solve");
+    assert!(report.max_err < 1e-11, "16³ error {:.3e}", report.max_err);
+    assert!(report.max_residual < 1e-8);
+}
+
+#[test]
+fn poisson_rejects_bad_grids_as_usage_errors() {
+    let err = solve_poisson_3d(12, 1, 1, 0).expect_err("non-pow2 grid");
+    assert!(err.is_usage(), "plan errors are usage errors: {err}");
+}
