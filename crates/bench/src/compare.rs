@@ -29,11 +29,19 @@ use std::fmt;
 pub struct GateConfig {
     /// Median slowdown (percent) below which a pair is never flagged.
     pub threshold_pct: f64,
+    /// Skip the serve p99 tail rule and gate the median alone. The
+    /// tail of one open-loop run is a point estimate with no CI, so
+    /// gates whose claim is about the *median* (the metrics overhead
+    /// pair) opt out of it rather than flake on scheduler outliers.
+    pub median_only: bool,
 }
 
 impl Default for GateConfig {
     fn default() -> Self {
-        GateConfig { threshold_pct: 5.0 }
+        GateConfig {
+            threshold_pct: 5.0,
+            median_only: false,
+        }
     }
 }
 
@@ -213,8 +221,8 @@ pub fn compare(base: &BenchReport, cur: &BenchReport, cfg: &GateConfig) -> Compa
             }
             _ => None,
         };
-        let p99_regressed =
-            serve_p99_delta_pct.is_some_and(|d| d > cfg.threshold_pct);
+        let p99_regressed = !cfg.median_only
+            && serve_p99_delta_pct.is_some_and(|d| d > cfg.threshold_pct);
         let verdict = if (delta_pct > cfg.threshold_pct && slower_separated) || p99_regressed {
             Verdict::Regression
         } else if delta_pct < -cfg.threshold_pct && faster_separated {

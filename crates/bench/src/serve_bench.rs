@@ -20,9 +20,11 @@ use crate::record::{BenchReport, ServeMetrics, SuiteResult};
 use crate::stats::{self, StatsConfig};
 use crate::HarnessError;
 use bwfft_core::Dims;
+use bwfft_metrics::{FlightRecorder, Registry};
 use bwfft_num::signal::random_complex;
 use bwfft_serve::{FftRequest, FftServer, RequestOutcome, ServeConfig, ServeError, ServeReport};
 use bwfft_tuner::HostFingerprint;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// One open-loop run's shape and load profile.
@@ -42,6 +44,12 @@ pub struct ServeBenchConfig {
     /// Per-request deadline, if any.
     pub deadline: Option<Duration>,
     pub seed: u64,
+    /// Metrics registry handed to the server (scraped via
+    /// `FftServer::stats` just before the drain). `None` measures the
+    /// metrics-off side of an overhead pair.
+    pub metrics: Option<Arc<Registry>>,
+    /// Flight recorder handed to the server.
+    pub flight: Option<Arc<FlightRecorder>>,
 }
 
 impl Default for ServeBenchConfig {
@@ -57,6 +65,8 @@ impl Default for ServeBenchConfig {
             byte_budget: None,
             deadline: None,
             seed: 42,
+            metrics: None,
+            flight: None,
         }
     }
 }
@@ -95,6 +105,8 @@ pub fn run_open_loop(cfg: &ServeBenchConfig) -> Result<ServeBenchResult, ServeEr
         queue_capacity: cfg.queue_capacity,
         byte_budget: cfg.byte_budget,
         default_deadline: cfg.deadline,
+        metrics: cfg.metrics.clone(),
+        flight: cfg.flight.clone(),
         ..ServeConfig::default()
     });
     let total = cfg.dims.total();
@@ -114,6 +126,12 @@ pub fn run_open_loop(cfg: &ServeBenchConfig) -> Result<ServeBenchResult, ServeEr
         if !cfg.arrival.is_zero() && i + 1 < cfg.requests {
             std::thread::sleep(cfg.arrival);
         }
+    }
+    if cfg.metrics.is_some() {
+        // One scrape before the drain syncs pool and plan-cache
+        // counters into the registry (the phase histograms and outcome
+        // counters update live from the workers).
+        let _ = server.stats();
     }
     let report = server.shutdown();
     let mut latencies_ns: Vec<f64> = Vec::with_capacity(tickets.len());
@@ -205,6 +223,36 @@ pub fn run_serve_suite(
         stream_gbs: 0.0,
         suites: vec![suite],
     })
+}
+
+/// Runs the serve suite twice on identical schedules — metrics off,
+/// then metrics on (registry + flight recorder armed) — and returns
+/// `(off, on)`. Gating `on` against `off` with the ordinary compare
+/// threshold is the instrumentation-overhead contract: the whole
+/// observability layer must cost less than the gate's percentage on
+/// the median service latency.
+pub fn run_serve_suite_paired(
+    cfg: &ServeBenchConfig,
+    stats_cfg: &StatsConfig,
+) -> Result<(BenchReport, BenchReport), HarnessError> {
+    let off_cfg = ServeBenchConfig {
+        metrics: None,
+        flight: None,
+        ..cfg.clone()
+    };
+    // A discarded warmup pass absorbs one-time costs (plan search,
+    // allocator growth, page faults) that would otherwise be billed
+    // entirely to whichever half runs first and swamp the ~0.1%
+    // instrument cost this pair exists to measure.
+    let _ = run_serve_suite(&off_cfg, stats_cfg)?;
+    let off = run_serve_suite(&off_cfg, stats_cfg)?;
+    let on_cfg = ServeBenchConfig {
+        metrics: Some(Arc::new(Registry::new())),
+        flight: Some(FlightRecorder::new(16)),
+        ..cfg.clone()
+    };
+    let on = run_serve_suite(&on_cfg, stats_cfg)?;
+    Ok((off, on))
 }
 
 #[cfg(test)]

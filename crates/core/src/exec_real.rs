@@ -62,6 +62,10 @@ pub struct ExecConfig {
     /// fused executor. A fired token surfaces as
     /// [`PipelineError::Cancelled`] wrapped in [`CoreError::Pipeline`].
     pub cancel: Option<CancelToken>,
+    /// Metrics registry for recovery accounting (`core.recovery.*`).
+    /// `None` (the default) keeps execution metric-free; the supervisor
+    /// is the only consumer, so the per-block hot path never sees it.
+    pub metrics: Option<Arc<bwfft_metrics::Registry>>,
 }
 
 /// What a successful execution reports back: which executor actually

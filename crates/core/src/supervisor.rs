@@ -363,6 +363,15 @@ impl Supervisor {
                 ns,
             );
         }
+        if let Some(reg) = &cfg.metrics {
+            // Recovery is the cold path by construction, so the
+            // rare-path name lookups are fine here.
+            reg.add("core.recovery.events", 1);
+            reg.add(&format!("core.recovery.{}", ev.action), 1);
+            if !ev.backoff.is_zero() {
+                reg.observe("core.recovery.backoff_ns", ev.backoff.as_nanos() as u64);
+            }
+        }
         events.push(ev);
     }
 }

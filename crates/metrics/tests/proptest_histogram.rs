@@ -1,0 +1,114 @@
+//! Property tests for the log2 histogram (DESIGN.md §14).
+//!
+//! The contracts the scrape/diff/stat pipeline builds on:
+//!
+//! * `merge` is associative and commutative, and conserves `count`,
+//!   `sum`, and every bucket — shard snapshots combine in any order;
+//! * every quantile of a non-empty snapshot lies inside `[min, max]`,
+//!   and quantiles are monotone in `q`;
+//! * empty and one-sample snapshots never panic anywhere in the API;
+//! * `diff` after `merge` recovers the added half exactly (the
+//!   cumulative-scrape identity behind `bwfft-cli stat`).
+
+use bwfft_metrics::{HistogramSnapshot, Registry};
+use proptest::prelude::*;
+
+/// Builds a snapshot from raw samples through the real recording path.
+fn snap(values: &[u64]) -> HistogramSnapshot {
+    let r = Registry::new();
+    let h = r.histogram("h");
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// Latency/byte-count-plausible samples, including 0 and huge values.
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(
+        prop_oneof![Just(0u64), 1u64..1_000_000, any::<u64>()],
+        0..48,
+    )
+}
+
+proptest! {
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in samples(),
+        b in samples(),
+        c in samples(),
+    ) {
+        let (sa, sb, sc) = (snap(&a), snap(&b), snap(&c));
+        prop_assert_eq!(sa.merge(&sb), sb.merge(&sa));
+        prop_assert_eq!(
+            sa.merge(&sb).merge(&sc),
+            sa.merge(&sb.merge(&sc))
+        );
+    }
+
+    #[test]
+    fn merge_conserves_count_sum_and_buckets(a in samples(), b in samples()) {
+        let (sa, sb) = (snap(&a), snap(&b));
+        let m = sa.merge(&sb);
+        prop_assert_eq!(m.count, sa.count + sb.count);
+        prop_assert_eq!(m.sum, sa.sum.saturating_add(sb.sum));
+        for i in 0..m.buckets.len() {
+            prop_assert_eq!(m.buckets[i], sa.buckets[i] + sb.buckets[i]);
+        }
+        // Bucket totals always re-add to the count.
+        prop_assert_eq!(m.buckets.iter().sum::<u64>(), m.count);
+    }
+
+    #[test]
+    fn quantiles_stay_within_bounds_and_are_monotone(
+        values in prop::collection::vec(any::<u64>(), 1..48),
+        qs in prop::collection::vec(0.0f64..1.0, 1..8),
+    ) {
+        let s = snap(&values);
+        let lo = *values.iter().min().unwrap();
+        let hi = *values.iter().max().unwrap();
+        prop_assert_eq!((s.min, s.max), (lo, hi));
+        let mut sorted = qs.clone();
+        sorted.sort_by(f64::total_cmp);
+        let mut prev = None;
+        for q in sorted {
+            let v = s.quantile(q).unwrap();
+            prop_assert!((lo..=hi).contains(&v), "q={q} -> {v} outside [{lo}, {hi}]");
+            if let Some(p) = prev {
+                prop_assert!(v >= p, "quantile not monotone: q={q} gave {v} < {p}");
+            }
+            prev = Some(v);
+        }
+    }
+
+    #[test]
+    fn empty_and_one_sample_never_panic(v in any::<u64>(), q in 0.0f64..1.0) {
+        let empty = HistogramSnapshot::empty();
+        prop_assert_eq!(empty.quantile(q), None);
+        prop_assert_eq!(empty.mean(), None);
+        prop_assert_eq!(empty.merge(&empty).count, 0);
+
+        let one = snap(&[v]);
+        prop_assert_eq!(one.count, 1);
+        prop_assert_eq!(one.quantile(q), Some(v.clamp(one.min, one.max)));
+        // Merging with empty is the identity on every field.
+        prop_assert_eq!(one.merge(&empty), one.clone());
+        prop_assert_eq!(empty.merge(&one), one);
+    }
+
+    #[test]
+    fn diff_recovers_the_merged_half(a in samples(), b in samples()) {
+        // The cumulative-scrape identity: scrape A, record more (B),
+        // scrape A+B — the window diff must be exactly B's histogram.
+        let (sa, sb) = (snap(&a), snap(&b));
+        // `merge` saturates `sum`; the scrape identity only holds while
+        // the cumulative sum has not overflowed u64 (always true for
+        // real scrapes — nanosecond sums overflow after ~584 years).
+        prop_assume!(sa.sum.checked_add(sb.sum).is_some());
+        let later = sa.merge(&sb);
+        let window = later.diff(&sa);
+        prop_assert_eq!(window.count, sb.count);
+        prop_assert_eq!(window.sum, sb.sum);
+        prop_assert_eq!(&window.buckets, &sb.buckets);
+    }
+}

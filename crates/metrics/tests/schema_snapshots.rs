@@ -1,0 +1,129 @@
+//! Schema tests for `bwfft-metrics/1` and `bwfft-flight/1`: exact
+//! byte-level snapshots of pinned documents, lossless round trips, and
+//! version rejection. Any change to the emitted bytes must be
+//! deliberate — bump the `/N` suffix and update DESIGN.md §14.
+
+use bwfft_metrics::{
+    FlightDump, FlightMark, FlightSpan, MetricsError, MetricsSnapshot, Registry, RequestFlight,
+    FLIGHT_SCHEMA_VERSION, METRICS_SCHEMA_VERSION,
+};
+use bwfft_trace::{MarkKind, Phase, TraceRole};
+
+fn pinned_metrics() -> MetricsSnapshot {
+    let reg = Registry::new();
+    reg.set_counter("serve.completed", 42);
+    reg.set_counter("serve.submitted", 50);
+    reg.set_gauge("serve.queue_depth", 3.0);
+    reg.set_gauge("serve.pool_hit_rate", 0.875);
+    let h = reg.histogram("serve.request_ns");
+    h.record(100);
+    h.record(5000);
+    h.record(5000);
+    let mut snap = reg.snapshot();
+    snap.uptime_ns = 123456789;
+    snap
+}
+
+const PINNED_METRICS_JSON: &str = r#"{"schema":"bwfft-metrics/1","uptime_ns":123456789,"counters":{"serve.completed":42,"serve.submitted":50},"gauges":{"serve.pool_hit_rate":0.875,"serve.queue_depth":3.0},"histograms":{"serve.request_ns":{"count":3,"sum":10100,"min":100,"max":5000,"buckets":[[6,1],[12,2]]}}}"#;
+
+fn pinned_dump() -> FlightDump {
+    FlightDump {
+        trigger: "breaker:normal->fused".to_string(),
+        at_ns: 9999,
+        requests: vec![RequestFlight {
+            request_id: 7,
+            label: "2D 16x32".to_string(),
+            outcome: "deadline_exceeded".to_string(),
+            tier: String::new(),
+            start_ns: 1000,
+            end_ns: 9000,
+            spans: vec![FlightSpan {
+                role: TraceRole::Compute,
+                thread: 1,
+                stage: 0,
+                block: 3,
+                phase: Phase::Compute,
+                start_ns: 10,
+                end_ns: 20,
+            }],
+            marks: vec![FlightMark {
+                kind: MarkKind::Serve,
+                label: "breaker normal->fused".to_string(),
+                at_ns: 15,
+                value_ns: Some(2.5),
+            }],
+        }],
+    }
+}
+
+const PINNED_FLIGHT_JSON: &str = r#"{"schema":"bwfft-flight/1","trigger":"breaker:normal->fused","at_ns":9999,"requests":[{"id":7,"label":"2D 16x32","outcome":"deadline_exceeded","tier":"","start_ns":1000,"end_ns":9000,"spans":[{"role":"compute","thread":1,"stage":0,"block":3,"phase":"compute","start_ns":10,"end_ns":20}],"marks":[{"kind":"serve","label":"breaker normal->fused","at_ns":15,"value_ns":2.5}]}]}"#;
+
+#[test]
+fn metrics_snapshot_bytes_are_pinned() {
+    assert_eq!(pinned_metrics().to_json(), PINNED_METRICS_JSON);
+}
+
+#[test]
+fn metrics_snapshot_round_trips_losslessly() {
+    let snap = pinned_metrics();
+    let back = MetricsSnapshot::from_json(&snap.to_json()).expect("parses");
+    assert_eq!(back, snap);
+    assert_eq!(back.to_json(), PINNED_METRICS_JSON, "byte-stable");
+}
+
+#[test]
+fn empty_metrics_snapshot_round_trips() {
+    let empty = MetricsSnapshot::empty();
+    let back = MetricsSnapshot::from_json(&empty.to_json()).expect("parses");
+    assert_eq!(back, empty);
+}
+
+#[test]
+fn metrics_version_mismatch_is_rejected() {
+    let doc = PINNED_METRICS_JSON.replace("bwfft-metrics/1", "bwfft-metrics/2");
+    match MetricsSnapshot::from_json(&doc) {
+        Err(MetricsError::Version { found, expected }) => {
+            assert_eq!(found, "bwfft-metrics/2");
+            assert_eq!(expected, METRICS_SCHEMA_VERSION);
+        }
+        other => panic!("expected version error, got {other:?}"),
+    }
+}
+
+#[test]
+fn flight_dump_bytes_are_pinned() {
+    assert_eq!(pinned_dump().to_json(), PINNED_FLIGHT_JSON);
+}
+
+#[test]
+fn flight_dump_round_trips_losslessly() {
+    let dump = pinned_dump();
+    let back = FlightDump::from_json(&dump.to_json()).expect("parses");
+    assert_eq!(back, dump);
+    assert_eq!(back.to_json(), PINNED_FLIGHT_JSON, "byte-stable");
+}
+
+#[test]
+fn flight_version_mismatch_is_rejected() {
+    let doc = PINNED_FLIGHT_JSON.replace("bwfft-flight/1", "bwfft-flight/9");
+    match FlightDump::from_json(&doc) {
+        Err(MetricsError::Version { found, expected }) => {
+            assert_eq!(found, "bwfft-flight/9");
+            assert_eq!(expected, FLIGHT_SCHEMA_VERSION);
+        }
+        other => panic!("expected version error, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_documents_fail_typed_not_panic() {
+    for doc in [
+        "",
+        "{",
+        r#"{"schema":"bwfft-metrics/1"}"#,
+        r#"{"schema":"bwfft-flight/1","trigger":"x"}"#,
+    ] {
+        assert!(MetricsSnapshot::from_json(doc).is_err());
+        assert!(FlightDump::from_json(doc).is_err());
+    }
+}

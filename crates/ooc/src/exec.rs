@@ -616,7 +616,19 @@ pub fn execute(
     let mut serial_fallbacks = 0u32;
     let wall0 = Instant::now();
     for stage in &stages {
-        run_stage_recovered(
+        // Per-stage metrics are deltas of the run-wide accumulators
+        // captured around each stage, so the hot I/O loops stay
+        // untouched.
+        let before = cfg.metrics.as_ref().map(|_| {
+            (
+                io.bytes_read.load(Ordering::Relaxed),
+                io.bytes_written.load(Ordering::Relaxed),
+                retries,
+                serial_fallbacks,
+            )
+        });
+        let stage_t0 = cfg.metrics.as_ref().map(|_| Instant::now());
+        let verdict = run_stage_recovered(
             stage,
             plan,
             cfg,
@@ -625,7 +637,32 @@ pub fn execute(
             &fault,
             &mut retries,
             &mut serial_fallbacks,
-        )?;
+        );
+        if let (Some(reg), Some((r0, w0, rt0, sf0))) = (cfg.metrics.as_ref(), before) {
+            reg.add(
+                &format!("ooc.{}.bytes_read", stage.name),
+                io.bytes_read.load(Ordering::Relaxed) - r0,
+            );
+            reg.add(
+                &format!("ooc.{}.bytes_written", stage.name),
+                io.bytes_written.load(Ordering::Relaxed) - w0,
+            );
+            reg.add(
+                &format!("ooc.{}.retries", stage.name),
+                u64::from(retries - rt0),
+            );
+            reg.add(
+                &format!("ooc.{}.serial_fallbacks", stage.name),
+                u64::from(serial_fallbacks - sf0),
+            );
+            if let Some(t0) = stage_t0 {
+                reg.observe(
+                    &format!("ooc.{}.stage_ns", stage.name),
+                    t0.elapsed().as_nanos() as u64,
+                );
+            }
+        }
+        verdict?;
     }
     Ok(OocReport {
         n: plan.n,

@@ -66,6 +66,9 @@ pub struct OocConfig {
     pub fault: Option<OocFault>,
     /// Span/mark sink shared with the in-RAM executors.
     pub trace: Option<Arc<TraceCollector>>,
+    /// Metrics registry for per-stage storage accounting
+    /// (`ooc.<stage>.*`). `None` keeps the run metric-free.
+    pub metrics: Option<Arc<bwfft_metrics::Registry>>,
 }
 
 impl Default for OocConfig {
@@ -84,6 +87,7 @@ impl Default for OocConfig {
             integrity: IntegrityConfig::default(),
             fault: None,
             trace: None,
+            metrics: None,
         }
     }
 }

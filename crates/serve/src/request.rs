@@ -167,10 +167,22 @@ impl OutcomeCell {
 
 /// Handle to one admitted request.
 pub struct Ticket {
+    /// Server-assigned request id (1-based, unique per server). The
+    /// same id keys the request's metrics phase timings and its
+    /// flight-recorder entry, so a dumped span tree reconciles with the
+    /// ticket's outcome.
+    pub(crate) id: u64,
     pub(crate) cell: Arc<OutcomeCell>,
 }
 
 impl Ticket {
+    /// The server-assigned request id (matches the `id` field of this
+    /// request's `bwfft-flight/1` entry, when the flight recorder is
+    /// armed).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
     /// Blocks until the request terminates and returns its single
     /// outcome. Always returns: the drain contract delivers an outcome
     /// for every admitted request, including across shutdown.
@@ -181,7 +193,7 @@ impl Ticket {
 
 impl core::fmt::Debug for Ticket {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.debug_struct("Ticket").finish()
+        f.debug_struct("Ticket").field("id", &self.id).finish()
     }
 }
 
@@ -208,8 +220,10 @@ mod tests {
     fn ticket_delivers_exactly_one_outcome_across_threads() {
         let cell = OutcomeCell::new();
         let ticket = Ticket {
+            id: 7,
             cell: Arc::clone(&cell),
         };
+        assert_eq!(ticket.id(), 7);
         let deliverer = std::thread::spawn(move || {
             cell.deliver(RequestOutcome::DeadlineExceeded {
                 latency: Duration::from_millis(1),

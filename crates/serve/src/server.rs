@@ -26,6 +26,7 @@ use bwfft_core::{
     execute_reference, CoreError, ExecutorKind, FftPlan, HostProfile, RecoveryTier, RetryPolicy,
     Supervisor,
 };
+use bwfft_metrics::{Counter, FlightRecorder, Gauge, Histogram, Registry};
 use bwfft_num::{check_alloc_budget, BufferPool, Complex64, PoolStats, PooledBuf};
 use bwfft_pipeline::{CancelReason, CancelToken, FaultPlan, IntegrityConfig, PipelineError};
 use bwfft_trace::{MarkKind, TraceCollector};
@@ -66,6 +67,16 @@ pub struct ServeConfig {
     pub verify_energy: bool,
     /// Mark sink for admission, breaker, and drain events.
     pub trace: Option<Arc<TraceCollector>>,
+    /// Live metrics registry. When set, the server pre-registers its
+    /// phase histograms, outcome counters and state gauges at start
+    /// and updates them per request with single relaxed atomics; when
+    /// `None` every would-be update is one branch (the
+    /// [`bwfft_metrics`] disabled-handle contract).
+    pub metrics: Option<Arc<Registry>>,
+    /// Flight recorder. When set, every finished request deposits its
+    /// span tree, and breaker degradations / integrity trips / worker
+    /// panics freeze a `bwfft-flight/1` dump of the last K requests.
+    pub flight: Option<Arc<FlightRecorder>>,
 }
 
 impl Default for ServeConfig {
@@ -81,6 +92,8 @@ impl Default for ServeConfig {
             integrity: IntegrityConfig::default(),
             verify_energy: false,
             trace: None,
+            metrics: None,
+            flight: None,
         }
     }
 }
@@ -154,6 +167,8 @@ struct QueueState {
 }
 
 struct QueuedRequest {
+    /// Server-assigned id; mirrors [`Ticket::id`].
+    id: u64,
     plan: Arc<FftPlan>,
     data: PooledBuf<Complex64>,
     work: PooledBuf<Complex64>,
@@ -165,6 +180,62 @@ struct QueuedRequest {
     submitted_at: Instant,
     bytes: usize,
     cell: Arc<OutcomeCell>,
+}
+
+/// Pre-registered metric handles (the serving hot path never touches
+/// the registry's shard locks). Named `Instruments` because
+/// `bwfft_bench::record::ServeMetrics` already names the bench-record
+/// column set.
+struct Instruments {
+    queue_wait_ns: Histogram,
+    plan_resolve_ns: Histogram,
+    execute_ns: Histogram,
+    /// Execute time of requests the supervisor had to recover — the
+    /// "recovery" phase of the per-request timing quartet.
+    recovery_ns: Histogram,
+    request_ns: Histogram,
+    submitted: Counter,
+    completed: Counter,
+    deadline_exceeded: Counter,
+    failed: Counter,
+    rejected: Counter,
+    recovered_runs: Counter,
+    queue_depth: Gauge,
+    in_flight_bytes: Gauge,
+    /// Breaker position as its ladder index: 0 normal … 3 open.
+    breaker_level: Gauge,
+    pool_hit_rate: Gauge,
+}
+
+impl Instruments {
+    fn new(reg: &Registry) -> Instruments {
+        Instruments {
+            queue_wait_ns: reg.histogram("serve.queue_wait_ns"),
+            plan_resolve_ns: reg.histogram("serve.plan_resolve_ns"),
+            execute_ns: reg.histogram("serve.execute_ns"),
+            recovery_ns: reg.histogram("serve.recovery_ns"),
+            request_ns: reg.histogram("serve.request_ns"),
+            submitted: reg.counter("serve.submitted"),
+            completed: reg.counter("serve.completed"),
+            deadline_exceeded: reg.counter("serve.deadline_exceeded"),
+            failed: reg.counter("serve.failed"),
+            rejected: reg.counter("serve.rejected"),
+            recovered_runs: reg.counter("serve.recovered_runs"),
+            queue_depth: reg.gauge("serve.queue_depth"),
+            in_flight_bytes: reg.gauge("serve.in_flight_bytes"),
+            breaker_level: reg.gauge("serve.breaker_level"),
+            pool_hit_rate: reg.gauge("serve.pool_hit_rate"),
+        }
+    }
+}
+
+fn breaker_gauge_value(level: BreakerLevel) -> f64 {
+    match level {
+        BreakerLevel::Normal => 0.0,
+        BreakerLevel::Fused => 1.0,
+        BreakerLevel::Reference => 2.0,
+        BreakerLevel::Open => 3.0,
+    }
 }
 
 #[derive(Default)]
@@ -196,6 +267,10 @@ struct Shared {
     integrity: IntegrityConfig,
     verify_energy: bool,
     trace: Option<Arc<TraceCollector>>,
+    metrics: Option<Arc<Registry>>,
+    inst: Option<Instruments>,
+    flight: Option<Arc<FlightRecorder>>,
+    next_request_id: AtomicU64,
     byte_budget: Option<usize>,
     queue_capacity: usize,
     default_deadline: Option<Duration>,
@@ -246,6 +321,10 @@ impl FftServer {
             integrity: cfg.integrity,
             verify_energy: cfg.verify_energy,
             trace: cfg.trace,
+            inst: cfg.metrics.as_deref().map(Instruments::new),
+            metrics: cfg.metrics,
+            flight: cfg.flight,
+            next_request_id: AtomicU64::new(0),
             byte_budget: cfg.byte_budget,
             queue_capacity: cfg.queue_capacity,
             default_deadline: cfg.default_deadline,
@@ -276,9 +355,13 @@ impl FftServer {
                 got: req.input.len(),
             });
         }
-        let plan = self.plan_for(&req)?;
-
         let shared = &self.shared;
+        let plan_t0 = shared.inst.as_ref().map(|_| Instant::now());
+        let plan = self.plan_for(&req)?;
+        if let (Some(inst), Some(t0)) = (shared.inst.as_ref(), plan_t0) {
+            inst.plan_resolve_ns.record_duration(t0.elapsed());
+        }
+
         let bytes = req.working_bytes();
         let mut q = lock_tolerant(&shared.queue);
         if q.shutting_down {
@@ -315,8 +398,10 @@ impl FftServer {
             None => CancelToken::new(),
         };
         data.as_mut_slice().copy_from_slice(&req.input);
+        let id = shared.next_request_id.fetch_add(1, Ordering::Relaxed) + 1;
         let cell = OutcomeCell::new();
         let ticket = Ticket {
+            id,
             cell: Arc::clone(&cell),
         };
         if probe {
@@ -325,6 +410,7 @@ impl FftServer {
             }
         }
         q.queue.push_back(QueuedRequest {
+            id,
             plan,
             data,
             work,
@@ -338,6 +424,11 @@ impl FftServer {
         });
         q.in_flight_bytes += bytes;
         shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        if let Some(inst) = shared.inst.as_ref() {
+            inst.submitted.inc();
+            inst.queue_depth.set(q.queue.len() as f64);
+            inst.in_flight_bytes.set(q.in_flight_bytes as f64);
+        }
         drop(q);
         shared.available.notify_one();
         Ok(ticket)
@@ -389,6 +480,44 @@ impl FftServer {
             pool: self.shared.pool.stats(),
             plan_cache: self.shared.plan_cache.stats(),
         }
+    }
+
+    /// The metrics scrape source: a mid-flight [`ServeReport`] snapshot
+    /// (identical to [`snapshot`](Self::snapshot) — drain accounting is
+    /// untouched and `holds()` is still only meaningful after
+    /// [`shutdown`](Self::shutdown)) that *also* refreshes the
+    /// registry's externally accumulated state: plan-cache and
+    /// buffer-pool counters, queue/byte/breaker gauges, and the pool
+    /// hit rate. Callers exporting `bwfft-metrics/1` call `stats()`
+    /// then `Registry::snapshot()`, so a scrape is always coherent with
+    /// the report it rode in on.
+    pub fn stats(&self) -> ServeReport {
+        let report = self.snapshot();
+        if let Some(reg) = self.shared.metrics.as_ref() {
+            report.plan_cache.record_into(reg);
+            reg.set_counter("serve.pool.hits", report.pool.hits);
+            reg.set_counter("serve.pool.misses", report.pool.misses);
+            reg.set_counter("serve.pool.exhausted", report.pool.exhausted);
+            reg.set_gauge("serve.pool.idle_bytes", report.pool.idle_bytes as f64);
+            reg.set_gauge(
+                "serve.pool.outstanding_bytes",
+                report.pool.outstanding_bytes as f64,
+            );
+            if let Some(inst) = self.shared.inst.as_ref() {
+                let acquires = report.pool.hits + report.pool.misses;
+                inst.pool_hit_rate.set(if acquires == 0 {
+                    0.0
+                } else {
+                    report.pool.hits as f64 / acquires as f64
+                });
+                inst.breaker_level
+                    .set(breaker_gauge_value(report.breaker_level));
+                let q = lock_tolerant(&self.shared.queue);
+                inst.queue_depth.set(q.queue.len() as f64);
+                inst.in_flight_bytes.set(q.in_flight_bytes as f64);
+            }
+        }
+        report
     }
 
     /// Queued (not yet executing) requests.
@@ -447,6 +576,9 @@ impl FftServer {
             RejectReason::ShuttingDown => &c.rej_shutdown,
         };
         counter.fetch_add(1, Ordering::Relaxed);
+        if let Some(inst) = self.shared.inst.as_ref() {
+            inst.rejected.inc();
+        }
         if let Some(trace) = self.shared.trace.as_ref() {
             trace.mark(MarkKind::Serve, format!("reject: {reason}"), None);
         }
@@ -520,6 +652,7 @@ fn worker_loop(shared: &Arc<Shared>) {
 /// settled breaker).
 fn execute_request(shared: &Arc<Shared>, req: QueuedRequest) {
     let QueuedRequest {
+        id,
         plan,
         mut data,
         mut work,
@@ -532,8 +665,33 @@ fn execute_request(shared: &Arc<Shared>, req: QueuedRequest) {
         cell,
     } = req;
 
-    let verdict = run_at_tier(shared, &plan, &mut data, &mut work, &token, tier, &fault);
+    if let Some(inst) = shared.inst.as_ref() {
+        inst.queue_wait_ns.record_duration(submitted_at.elapsed());
+    }
+    // With the flight recorder armed each request gets its own span
+    // sink, so the recorder can keep whole per-request span trees; the
+    // shared profile collector still receives every mark.
+    let flight_trace = shared
+        .flight
+        .as_ref()
+        .map(|_| Arc::new(TraceCollector::new()));
+    let flight_start_ns = shared.flight.as_ref().map(|f| f.now_ns());
+    let exec_t0 = shared.inst.as_ref().map(|_| Instant::now());
+
+    let trace = flight_trace.clone().or_else(|| shared.trace.clone());
+    let verdict = run_at_tier(shared, &plan, &mut data, &mut work, &token, tier, &fault, trace);
     let latency = submitted_at.elapsed();
+
+    // Classify flight-dump triggers before the verdict is consumed:
+    // integrity trips and worker panics dump; recoverable noise the
+    // supervisor absorbed does not.
+    let error_trigger = match &verdict {
+        Err(e) if e.integrity_kind().is_some() => Some("integrity"),
+        Err(CoreError::Pipeline(PipelineError::WorkerPanicked { .. })) => Some("panic"),
+        _ => None,
+    };
+
+    let ok = verdict.is_ok();
     let c = &shared.counters;
     let outcome = match verdict {
         Ok((tier, recovered)) => {
@@ -542,7 +700,6 @@ fn execute_request(shared: &Arc<Shared>, req: QueuedRequest) {
             if recovered {
                 c.recovered_runs.fetch_add(1, Ordering::Relaxed);
             }
-            breaker_feedback(shared, true);
             result.copy_from_slice(data.as_slice());
             RequestOutcome::Completed {
                 output: result,
@@ -556,24 +713,96 @@ fn execute_request(shared: &Arc<Shared>, req: QueuedRequest) {
             ..
         })) => {
             c.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
-            breaker_feedback(shared, false);
             RequestOutcome::DeadlineExceeded { latency }
         }
         Err(error) => {
             c.failed.fetch_add(1, Ordering::Relaxed);
-            breaker_feedback(shared, false);
             RequestOutcome::Failed { error, latency }
         }
     };
+    let transition = breaker_feedback(shared, ok);
+
+    if let Some(inst) = shared.inst.as_ref() {
+        if let Some(t0) = exec_t0 {
+            let exec = t0.elapsed();
+            inst.execute_ns.record_duration(exec);
+            if matches!(
+                outcome,
+                RequestOutcome::Completed {
+                    recovered: true,
+                    ..
+                }
+            ) {
+                inst.recovery_ns.record_duration(exec);
+            }
+        }
+        inst.request_ns.record_duration(latency);
+        match &outcome {
+            RequestOutcome::Completed { recovered, .. } => {
+                inst.completed.inc();
+                if *recovered {
+                    inst.recovered_runs.inc();
+                }
+            }
+            RequestOutcome::DeadlineExceeded { .. } => inst.deadline_exceeded.inc(),
+            RequestOutcome::Failed { .. } => inst.failed.inc(),
+        }
+        inst.breaker_level
+            .set(breaker_gauge_value(shared.breaker.level()));
+    }
+
+    if let (Some(flight), Some(start_ns)) = (shared.flight.as_ref(), flight_start_ns) {
+        let events = flight_trace
+            .as_ref()
+            .map(|t| t.take_events())
+            .unwrap_or_default();
+        let tier_tok = match &outcome {
+            RequestOutcome::Completed { tier, .. } => tier.to_string(),
+            _ => String::new(),
+        };
+        flight.record_raw(
+            id,
+            plan.dims.label(),
+            outcome.token().to_string(),
+            tier_tok,
+            start_ns,
+            flight.now_ns(),
+            events,
+        );
+        // Trigger matrix: a breaker *degradation* (never the recovery
+        // climb back up), an integrity trip, a worker panic. The
+        // current request is recorded first, so it is always part of
+        // the dump it caused.
+        if let Some(t) = transition.as_ref() {
+            if t.to > t.from {
+                flight.trigger(&format!(
+                    "breaker:{}->{}",
+                    t.from.token(),
+                    t.to.token()
+                ));
+            }
+        }
+        if let Some(cause) = error_trigger {
+            flight.trigger(cause);
+        }
+    }
 
     // Return the working set and release the admission budget before
     // the outcome becomes visible.
     drop(data);
     drop(work);
-    lock_tolerant(&shared.queue).in_flight_bytes -= bytes;
+    {
+        let mut q = lock_tolerant(&shared.queue);
+        q.in_flight_bytes -= bytes;
+        if let Some(inst) = shared.inst.as_ref() {
+            inst.queue_depth.set(q.queue.len() as f64);
+            inst.in_flight_bytes.set(q.in_flight_bytes as f64);
+        }
+    }
     cell.deliver(outcome);
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_at_tier(
     shared: &Shared,
     plan: &FftPlan,
@@ -582,6 +811,7 @@ fn run_at_tier(
     token: &CancelToken,
     tier: RecoveryTier,
     fault: &Option<FaultPlan>,
+    trace: Option<Arc<TraceCollector>>,
 ) -> Result<(RecoveryTier, bool), CoreError> {
     if let Some(reason) = token.fired() {
         // Expired while queued: never touch a worker's executor.
@@ -598,7 +828,8 @@ fn run_at_tier(
         start => {
             let cfg = ExecConfig {
                 fault: fault.clone(),
-                trace: shared.trace.clone(),
+                trace,
+                metrics: shared.metrics.clone(),
                 integrity: shared.integrity,
                 verify_energy: shared.verify_energy,
                 cancel: Some(token.clone()),
@@ -616,15 +847,16 @@ fn run_at_tier(
     }
 }
 
-fn breaker_feedback(shared: &Shared, ok: bool) {
+fn breaker_feedback(shared: &Shared, ok: bool) -> Option<BreakerTransition> {
     let transition = if ok {
         shared.breaker.on_success()
     } else {
         shared.breaker.on_failure()
     };
-    if let (Some(t), Some(trace)) = (transition, shared.trace.as_ref()) {
+    if let (Some(t), Some(trace)) = (transition.as_ref(), shared.trace.as_ref()) {
         trace.mark(MarkKind::Serve, t.to_string(), None);
     }
+    transition
 }
 
 #[cfg(test)]
@@ -953,5 +1185,109 @@ mod tests {
         let report = server.shutdown();
         assert!(report.holds());
         assert_eq!(report.recovered_runs, 1);
+    }
+
+    #[test]
+    fn metrics_registry_reflects_the_request_lifecycle() {
+        let reg = Arc::new(Registry::new());
+        let mut server = FftServer::start(ServeConfig {
+            workers: 1,
+            metrics: Some(Arc::clone(&reg)),
+            ..ServeConfig::default()
+        });
+        for seed in 0..3 {
+            let t = server.submit(request(seed)).unwrap();
+            assert!(matches!(t.wait(), RequestOutcome::Completed { .. }));
+        }
+        // stats() is the scrape source: it syncs pool/plan-cache
+        // counters and gauges into the registry mid-flight.
+        let live = server.stats();
+        assert!(live.holds(), "{live:?}");
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters.get("serve.submitted"), Some(&3));
+        assert_eq!(snap.counters.get("serve.completed"), Some(&3));
+        assert_eq!(snap.counters.get("serve.rejected"), Some(&0));
+        assert_eq!(
+            snap.counters.get("tuner.plan_cache.misses"),
+            Some(&1),
+            "{:?}",
+            snap.counters
+        );
+        for h in [
+            "serve.request_ns",
+            "serve.queue_wait_ns",
+            "serve.plan_resolve_ns",
+            "serve.execute_ns",
+        ] {
+            let hist = snap.histograms.get(h).unwrap_or_else(|| panic!("{h}"));
+            assert_eq!(hist.count, 3, "{h}: {hist:?}");
+            assert!(hist.quantile(0.99) >= Some(hist.min), "{h}");
+        }
+        // All three succeeded on the normal tier with pooled reuse.
+        assert_eq!(snap.gauges.get("serve.breaker_level"), Some(&0.0));
+        assert!(snap.gauges.get("serve.pool_hit_rate").copied().unwrap_or(0.0) > 0.0);
+        assert_eq!(snap.gauges.get("serve.queue_depth"), Some(&0.0));
+        let report = server.shutdown();
+        assert!(report.holds(), "{report:?}");
+    }
+
+    #[test]
+    fn flight_recorder_dumps_every_breaker_degradation_with_matching_ids() {
+        let reg = Arc::new(Registry::new());
+        let flight = FlightRecorder::new(8);
+        let mut server = FftServer::start(ServeConfig {
+            workers: 1,
+            breaker: BreakerConfig {
+                failure_threshold: 2,
+                success_threshold: 2,
+                probe_interval: 3,
+            },
+            metrics: Some(Arc::clone(&reg)),
+            flight: Some(Arc::clone(&flight)),
+            ..ServeConfig::default()
+        });
+        // Six sequential deadline misses: Normal -> Fused -> Reference
+        // -> Open, one flight dump per degradation.
+        let mut ids = Vec::new();
+        for seed in 0..6 {
+            let t = server
+                .submit(request(seed).deadline(Duration::ZERO))
+                .unwrap();
+            ids.push(t.id());
+            assert!(matches!(t.wait(), RequestOutcome::DeadlineExceeded { .. }));
+        }
+        let dumps = flight.dumps();
+        let triggers: Vec<&str> = dumps.iter().map(|d| d.trigger.as_str()).collect();
+        assert_eq!(
+            triggers,
+            [
+                "breaker:normal->fused",
+                "breaker:fused->reference",
+                "breaker:reference->open",
+            ]
+        );
+        // The request that caused each trip is part of its own dump,
+        // and every dumped id belongs to a ticket we hold.
+        for (dump, expect_last) in dumps.iter().zip([ids[1], ids[3], ids[5]]) {
+            let last = dump.requests.last().expect("dump has requests");
+            assert_eq!(last.request_id, expect_last);
+            assert_eq!(last.outcome, "deadline_exceeded");
+            for r in &dump.requests {
+                assert!(ids.contains(&r.request_id), "unknown id {}", r.request_id);
+            }
+            // Dumps survive a JSON round trip byte-identically.
+            let json = dump.to_json();
+            let back = crate::server::tests::parse_dump(&json);
+            assert_eq!(back.to_json(), json);
+        }
+        let report = server.shutdown();
+        assert!(report.holds(), "{report:?}");
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters.get("serve.deadline_exceeded"), Some(&6));
+        assert_eq!(snap.gauges.get("serve.breaker_level"), Some(&3.0));
+    }
+
+    fn parse_dump(json: &str) -> bwfft_metrics::FlightDump {
+        bwfft_metrics::FlightDump::from_json(json).expect("flight dump parses")
     }
 }

@@ -139,7 +139,14 @@ impl<'c> ThreadTracer<'c> {
             role,
             thread,
             stage,
-            local: Vec::new(),
+            // Pre-size the buffer when enabled so the per-span push
+            // never reallocates mid-pipeline (64 covers typical
+            // blocks-per-thread with barrier spans included).
+            local: if collector.is_some() {
+                Vec::with_capacity(64)
+            } else {
+                Vec::new()
+            },
         }
     }
 

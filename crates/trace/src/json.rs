@@ -5,7 +5,10 @@
 //! formatting, so `from_json(to_json(r)) == r` holds exactly
 //! (property-tested in `tests/proptest_trace.rs`). Non-finite floats —
 //! which the aggregation never produces but a defensive parser must
-//! assume — are emitted as `null`.
+//! assume — are pinned to the string sentinels `"NaN"` / `"Infinity"` /
+//! `"-Infinity"` (see [`crate::value::push_f64`]), which
+//! [`crate::value::Value::as_f64`] maps back, so even degenerate
+//! reports round-trip instead of losing fields to `null`.
 //!
 //! Schema (`bwfft-trace/1`):
 //!

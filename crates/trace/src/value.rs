@@ -58,6 +58,13 @@ impl Value {
         match self {
             Value::Int(i) => Some(*i as f64),
             Value::Num(n) => Some(*n),
+            // The pinned non-finite sentinels emitted by [`push_f64`].
+            Value::Str(s) => match s.as_str() {
+                "NaN" => Some(f64::NAN),
+                "Infinity" => Some(f64::INFINITY),
+                "-Infinity" => Some(f64::NEG_INFINITY),
+                _ => None,
+            },
             _ => None,
         }
     }
@@ -125,12 +132,22 @@ pub fn push_escaped(out: &mut String, s: &str) {
 }
 
 /// Appends a float with Rust's shortest representation that round-trips
-/// through `str::parse::<f64>` exactly; non-finite values become `null`.
+/// through `str::parse::<f64>` exactly.
+///
+/// JSON has no literal for non-finite floats, so they are pinned to the
+/// string sentinels `"NaN"`, `"Infinity"` and `"-Infinity"`;
+/// [`Value::as_f64`] maps the sentinels back, so every schema parser
+/// built on it round-trips non-finite values losslessly instead of
+/// silently degrading them to `null`.
 pub fn push_f64(out: &mut String, v: f64) {
     if v.is_finite() {
         out.push_str(&format!("{v:?}"));
+    } else if v.is_nan() {
+        out.push_str("\"NaN\"");
+    } else if v > 0.0 {
+        out.push_str("\"Infinity\"");
     } else {
-        out.push_str("null");
+        out.push_str("\"-Infinity\"");
     }
 }
 
@@ -405,6 +422,33 @@ mod tests {
         push_f64(&mut s, f64::NAN);
         s.push(':');
         push_opt_f64(&mut s, None);
-        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\":0.1:null:null");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\":0.1:\"NaN\":null");
+    }
+
+    #[test]
+    fn non_finite_floats_round_trip_through_pinned_sentinels() {
+        // The pinned encoding: NaN -> "NaN", +inf -> "Infinity",
+        // -inf -> "-Infinity". Every emitted document stays parseable
+        // and as_f64 recovers the exact non-finite value.
+        let mut s = String::new();
+        s.push('[');
+        push_f64(&mut s, f64::NAN);
+        s.push(',');
+        push_f64(&mut s, f64::INFINITY);
+        s.push(',');
+        push_f64(&mut s, f64::NEG_INFINITY);
+        s.push(',');
+        push_opt_f64(&mut s, Some(f64::NAN));
+        s.push(']');
+        assert_eq!(s, "[\"NaN\",\"Infinity\",\"-Infinity\",\"NaN\"]");
+        let v = parse_document(&s).unwrap();
+        let arr = v.as_arr().unwrap();
+        assert!(arr[0].as_f64().unwrap().is_nan());
+        assert_eq!(arr[1].as_f64(), Some(f64::INFINITY));
+        assert_eq!(arr[2].as_f64(), Some(f64::NEG_INFINITY));
+        assert!(arr[3].as_opt_f64().unwrap().unwrap().is_nan());
+        // Ordinary strings still refuse numeric coercion.
+        assert_eq!(Value::Str("nan".into()).as_f64(), None);
+        assert_eq!(Value::Str("1.5".into()).as_f64(), None);
     }
 }

@@ -62,6 +62,17 @@ pub struct CacheStats {
     pub evictions: u64,
 }
 
+impl CacheStats {
+    /// Mirrors this snapshot into a metrics registry as the
+    /// `tuner.plan_cache.*` counters. The cache's own atomics stay the
+    /// source of truth; scrapers call this to sync before a snapshot.
+    pub fn record_into(&self, reg: &bwfft_metrics::Registry) {
+        reg.set_counter("tuner.plan_cache.hits", self.hits);
+        reg.set_counter("tuner.plan_cache.misses", self.misses);
+        reg.set_counter("tuner.plan_cache.evictions", self.evictions);
+    }
+}
+
 struct Entry {
     plan: Arc<FftPlan>,
     /// `None` for pinned variants — they carry no search result and are

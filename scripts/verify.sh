@@ -235,4 +235,77 @@ print(f"live paired run: {len(bad)} isolated shape(s) beyond 3% (noise allowance
   echo "integrity overhead gate (live): OK (no systematic increase)"
 fi
 
+echo "== metrics smoke (serve --metrics=json, stat, prometheus text) =="
+# A paced serve run with the periodic sink armed: stdout must carry at
+# least two bwfft-metrics/1 snapshot lines (periodic + final), and the
+# final one is the last line by contract.
+cargo run -q --bin bwfft-cli -- serve --requests 12 --arrival-us 5000 \
+  --metrics=json --metrics-every-ms 20 > "$benchdir/serve_metrics.out"
+snaps=$(grep -c '"schema":"bwfft-metrics/1"' "$benchdir/serve_metrics.out")
+[ "$snaps" -ge 2 ] \
+  || { echo "metrics smoke FAILED: expected >=2 snapshots, got $snaps"; exit 1; }
+tail -n 1 "$benchdir/serve_metrics.out" | python3 -c '
+import json, sys
+
+snap = json.load(sys.stdin)
+assert snap["schema"] == "bwfft-metrics/1", snap["schema"]
+c = snap["counters"]
+assert c["serve.submitted"] == 12 and c["serve.completed"] == 12, c
+h = snap["histograms"]["serve.request_ns"]
+assert h["count"] == 12 and h["min"] <= h["max"], h
+assert sum(n for _, n in h["buckets"]) == h["count"], h
+print("serve --metrics=json: OK")
+' || { echo "metrics smoke FAILED: bad final snapshot"; exit 1; }
+# stat must diff the first periodic snapshot against the final one —
+# fed the raw transcripts (it reads the last parseable JSON line).
+grep '"schema":"bwfft-metrics/1"' "$benchdir/serve_metrics.out" | head -n 1 \
+  > "$benchdir/stat_from.json"
+tail -n 1 "$benchdir/serve_metrics.out" > "$benchdir/stat_to.json"
+stat_out="$(cargo run -q --bin bwfft-cli -- stat \
+  --from "$benchdir/stat_from.json" --to "$benchdir/stat_to.json")"
+echo "$stat_out" | grep -q "serve.completed" \
+  || { echo "metrics smoke FAILED: stat lacks counter table:"; echo "$stat_out"; exit 1; }
+echo "$stat_out" | grep -q "serve.request_ns" \
+  || { echo "metrics smoke FAILED: stat lacks histogram table:"; echo "$stat_out"; exit 1; }
+# The default export is Prometheus text: typed families, final values.
+prom_out="$(cargo run -q --bin bwfft-cli -- serve --requests 4 --metrics)"
+echo "$prom_out" | grep -q "^# TYPE serve_completed counter" \
+  || { echo "metrics smoke FAILED: prometheus TYPE line missing"; exit 1; }
+echo "$prom_out" | grep -q "^serve_submitted 4" \
+  || { echo "metrics smoke FAILED: prometheus counter value missing"; exit 1; }
+echo "metrics smoke: OK"
+
+echo "== metrics overhead gate (instruments must cost < 2% median, serve pair) =="
+# Deterministic half: replay-compare the committed paired record
+# (metrics+flight armed vs bare, same shape and schedule). Asserts the
+# recorded overhead without running anything.
+if ! cargo run -q --bin bwfft-cli -- bench \
+     --current benchmarks/BENCH_metrics_on.json \
+     --compare benchmarks/BENCH_metrics_off.json \
+     --threshold 2 > "$benchdir/metrics_replay.out" 2>&1; then
+  echo "metrics overhead gate FAILED: committed record pair exceeds 2% median:"
+  cat "$benchdir/metrics_replay.out"
+  exit 1
+fi
+echo "metrics overhead gate (recorded pair): OK (< 2% median)"
+# Live half (full mode only): a fresh paired run. Open-loop medians on
+# a shared VM jitter a few percent either way, so the live rule only
+# catches a *catastrophic* instrument-cost change (>25% median, the
+# built-in pair gate is median-only); the committed pair above carries
+# the precise < 2% claim.
+if [ "$fast" -eq 1 ]; then
+  echo "metrics overhead gate (live): skipped (--fast; run the full gate locally)"
+else
+  if ! cargo run -q --release --bin bwfft-cli -- bench --suite serve \
+       --dims 64x64 --buffer 512 --requests 96 --workers 2 --queue-depth 16 \
+       --arrival-us 2500 --seed 42 --metrics-overhead --threshold 25 \
+       --baseline-out "$benchdir/BENCH_metrics_off.json" \
+       --out "$benchdir/BENCH_metrics_on.json" > "$benchdir/metrics_live.out" 2>&1; then
+    echo "metrics overhead gate FAILED: live paired run beyond 25% median:"
+    cat "$benchdir/metrics_live.out"
+    exit 1
+  fi
+  echo "metrics overhead gate (live): OK (no catastrophic increase)"
+fi
+
 echo "verify: OK"

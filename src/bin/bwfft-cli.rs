@@ -91,6 +91,20 @@
 //! requests/sec, p50/p99 and the outcome counts; `--compare` then
 //! gates the p99 tail exactly like medians.
 //!
+//! `serve --metrics` arms the live registry and the flight recorder:
+//! Prometheus text (or, with `--metrics=json`, one-line
+//! `bwfft-metrics/1` JSON as stdout's **last line**) is emitted at the
+//! end of the run, every `--metrics-every-ms` milliseconds while it is
+//! running, and any `bwfft-flight/1` dumps the recorder captured
+//! (breaker degradations, integrity trips, panics) are printed before
+//! the final snapshot. `stat --from A.json --to B.json` diffs two
+//! snapshot transcripts into per-second rates and interval
+//! percentiles. `bench --suite serve --metrics-overhead --baseline-out
+//! PATH` measures the paired metrics-off/metrics-on runs and gates the
+//! instrumentation overhead with the ordinary compare threshold — this
+//! is how the `< 2%` budget in `scripts/verify.sh` and the CI
+//! `metrics-overhead` job is enforced.
+//!
 //! ## Exit-code discipline
 //!
 //! | code | class | errors |
@@ -110,7 +124,9 @@ use bwfft::baselines::{reference_impl, simulate_baseline, BaselineKind};
 use bwfft::bench::compare::{compare, derate, verdict_json, GateConfig};
 use bwfft::bench::measure::MeasureConfig;
 use bwfft::bench::record::{bench_filename, read_file, write_file, BenchReport};
-use bwfft::bench::serve_bench::{run_open_loop, run_serve_suite, ServeBenchConfig};
+use bwfft::bench::serve_bench::{
+    run_open_loop, run_serve_suite, run_serve_suite_paired, ServeBenchConfig,
+};
 use bwfft::bench::stats::StatsConfig;
 use bwfft::bench::suite::SuiteKind;
 use bwfft::bench::{run_suite, run_suite_paired};
@@ -119,6 +135,7 @@ use bwfft::core::{exec_real, Dims, FftPlan, RetryPolicy, Supervisor};
 use bwfft::kernels::Direction;
 use bwfft::machine::stream::stream_triad;
 use bwfft::machine::{presets, MachineSpec};
+use bwfft::metrics::{FlightRecorder, MetricsSnapshot, Registry};
 use bwfft::num::compare::rel_l2_error;
 use bwfft::num::{signal, AlignedVec, Complex64};
 use bwfft::ooc::{OocConfig, OocFault, OocFaultKind, OracleConfig};
@@ -199,10 +216,13 @@ usage:
                   [--integrity [--baseline-out PATH]]
                   [--compare BASELINE [--current PATH]] [--threshold PCT]
                   [--requests N] [--workers W] [--arrival-us N]
+                  [--metrics-overhead --baseline-out PATH]
   bwfft-cli soak [--iters N] [--seed S] [--stall-ms N] [--serve [--serve-iters N]]
   bwfft-cli serve --requests N [--dims KxNxM] [--buffer B] [--threads D,C]
                   [--workers W] [--queue-depth Q] [--byte-budget BYTES]
                   [--deadline-ms N] [--arrival-us N] [--seed S]
+                  [--metrics[=json|prom]] [--metrics-every-ms N]
+  bwfft-cli stat --from A.json --to B.json
   bwfft-cli ooc --n N [--budget BYTES] [--bins K] [--seed S] [--inverse]
                 [--threads D,C] [--inject-io-fault KIND,STAGE,ITER]
   bwfft-cli r2c --dims KxNxM [--threads D,C] [--buffer B] [--seed S] [--verify]
@@ -237,6 +257,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "bench" => cmd_bench(&opts),
         "soak" => cmd_soak(&opts),
         "serve" => cmd_serve(&opts),
+        "stat" => cmd_stat(&opts),
         "ooc" => cmd_ooc(&opts),
         "r2c" => cmd_r2c(&opts),
         "conv" => cmd_conv(&opts),
@@ -251,6 +272,31 @@ fn run(args: &[String]) -> Result<(), CliError> {
             Ok(())
         }
         other => Err(usage(format!("unknown command `{other}`"))),
+    }
+}
+
+/// How `--metrics[=json|prom]` was requested: `None` = off,
+/// `Some(false)` = Prometheus text (the bare default), `Some(true)` =
+/// one-line `bwfft-metrics/1` JSON.
+fn metrics_mode(opts: &HashMap<String, String>) -> Result<Option<bool>, CliError> {
+    match opts.get("metrics").map(String::as_str) {
+        None => Ok(None),
+        Some("" | "prom") => Ok(Some(false)),
+        Some("json") => Ok(Some(true)),
+        Some(other) => Err(usage(format!(
+            "bad --metrics format `{other}` (expected `--metrics`, `--metrics=json` or `--metrics=prom`)"
+        ))),
+    }
+}
+
+/// Renders one metrics snapshot in the requested exposition format.
+/// JSON is one line so scripted consumers can take stdout's last line;
+/// Prometheus text is the multi-line scrape page.
+fn emit_metrics(snap: &MetricsSnapshot, json: bool) {
+    if json {
+        println!("{}", snap.to_json());
+    } else {
+        print!("{}", snap.to_prometheus());
     }
 }
 
@@ -557,7 +603,22 @@ fn serve_bench_config(opts: &HashMap<String, String>) -> Result<ServeBenchConfig
 /// as specified); `Failed` outcomes or unbalanced accounting are
 /// exit 1.
 fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), CliError> {
-    let cfg = serve_bench_config(opts)?;
+    let mut cfg = serve_bench_config(opts)?;
+    let metrics_json = metrics_mode(opts)?;
+    let every_ms: Option<u64> = opts
+        .get("metrics-every-ms")
+        .map(|s| s.parse().map_err(|_| usage("bad --metrics-every-ms")))
+        .transpose()?;
+    if every_ms == Some(0) {
+        return Err(usage("--metrics-every-ms must be at least 1"));
+    }
+    if every_ms.is_some() && metrics_json.is_none() {
+        return Err(usage("--metrics-every-ms requires --metrics[=json|prom]"));
+    }
+    let registry = metrics_json.map(|_| Arc::new(Registry::new()));
+    let flight = metrics_json.map(|_| FlightRecorder::new(16));
+    cfg.metrics = registry.clone();
+    cfg.flight = flight.clone();
     println!(
         "serve: {} open-loop request(s) of {} (b = {}), {} worker(s), queue depth {}{}{}{}",
         cfg.requests,
@@ -579,7 +640,34 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), CliError> {
             format!(", {:?} inter-arrival", cfg.arrival)
         },
     );
-    let run = run_open_loop(&cfg).map_err(CliError::from)?;
+    // Periodic sink: a scraper thread prints live registry snapshots
+    // while the open-loop schedule runs. Pool/plan-cache counters sync
+    // on the pre-drain scrape; everything else updates live.
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let sink = match (&registry, every_ms) {
+        (Some(reg), Some(ms)) => {
+            let reg = Arc::clone(reg);
+            let stop = Arc::clone(&stop);
+            let json = metrics_json == Some(true);
+            Some(std::thread::spawn(move || {
+                let tick = std::time::Duration::from_millis(ms);
+                loop {
+                    std::thread::sleep(tick);
+                    if stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        break;
+                    }
+                    emit_metrics(&reg.snapshot(), json);
+                }
+            }))
+        }
+        _ => None,
+    };
+    let run = run_open_loop(&cfg);
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    if let Some(h) = sink {
+        let _ = h.join();
+    }
+    let run = run.map_err(CliError::from)?;
     let rep = &run.report;
     let m = &run.metrics;
     println!(
@@ -633,7 +721,98 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), CliError> {
         )));
     }
     println!("serve contract holds: every submission terminated with one typed outcome");
+    if let Some(f) = &flight {
+        let dumps = f.take_dumps();
+        if !dumps.is_empty() {
+            println!("flight recorder: {} dump(s)", dumps.len());
+            for d in &dumps {
+                if metrics_json == Some(true) {
+                    println!("{}", d.to_json());
+                } else {
+                    println!(
+                        "  {} at {} ns: {} request(s) captured",
+                        d.trigger,
+                        d.at_ns,
+                        d.requests.len()
+                    );
+                }
+            }
+        }
+    }
+    // Final snapshot last, so `--metrics=json` consumers can take
+    // stdout's last line.
+    if let (Some(reg), Some(json)) = (&registry, metrics_json) {
+        emit_metrics(&reg.snapshot(), json);
+    }
     Ok(())
+}
+
+/// `stat`: diffs two `bwfft-metrics/1` snapshots (each file may be a
+/// whole `serve --metrics=json` transcript — the last parseable line
+/// wins) and pretty-prints the window as rates and interval
+/// percentiles.
+fn cmd_stat(opts: &HashMap<String, String>) -> Result<(), CliError> {
+    let from = load_metrics_snapshot(opts.get("from").ok_or_else(|| usage("--from required"))?)?;
+    let to = load_metrics_snapshot(opts.get("to").ok_or_else(|| usage("--to required"))?)?;
+    let d = to.diff(&from);
+    let secs = d.uptime_ns as f64 / 1e9;
+    println!("window: {:.3} s", secs);
+    if !d.counters.is_empty() {
+        println!("{:<36} {:>12} {:>12}", "counter", "delta", "per-sec");
+        for (name, v) in &d.counters {
+            let rate = if secs > 0.0 { *v as f64 / secs } else { 0.0 };
+            println!("{name:<36} {v:>12} {rate:>12.1}");
+        }
+    }
+    if !d.gauges.is_empty() {
+        println!("{:<36} {:>12}", "gauge", "now");
+        for (name, v) in &d.gauges {
+            println!("{name:<36} {v:>12.1}");
+        }
+    }
+    if !d.histograms.is_empty() {
+        println!(
+            "{:<36} {:>10} {:>10} {:>10} {:>10}",
+            "histogram", "count", "p50", "p99", "max"
+        );
+        for (name, h) in &d.histograms {
+            if h.count == 0 {
+                continue;
+            }
+            println!(
+                "{:<36} {:>10} {:>10} {:>10} {:>10}",
+                name,
+                h.count,
+                h.p50().unwrap_or(0),
+                h.p99().unwrap_or(0),
+                h.max
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Reads the **last** line of `path` that parses as a
+/// `bwfft-metrics/1` snapshot, so redirected `serve --metrics=json`
+/// transcripts work unedited.
+fn load_metrics_snapshot(path: &str) -> Result<MetricsSnapshot, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Runtime(format!("cannot read {path}: {e}")))?;
+    let mut last_err = None;
+    for line in text.lines().rev() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match MetricsSnapshot::from_json(line) {
+            Ok(snap) => return Ok(snap),
+            Err(e) => last_err = last_err.or(Some(e)),
+        }
+    }
+    Err(CliError::Runtime(match last_err {
+        Some(e) => format!("{path}: no bwfft-metrics/1 snapshot line ({e})"),
+        None => format!("{path}: empty file"),
+    }))
 }
 
 /// `ooc`: the out-of-core streaming tier. Plans the four-step split for
@@ -1238,6 +1417,7 @@ fn cmd_bench(opts: &HashMap<String, String>) -> Result<(), CliError> {
             .map(|s| s.parse().map_err(|_| usage("bad --threshold")))
             .transpose()?
             .unwrap_or_else(|| GateConfig::default().threshold_pct),
+        ..GateConfig::default()
     };
     let derate_factor: Option<f64> = opts
         .get("derate")
@@ -1350,15 +1530,40 @@ fn cmd_bench_serve(
     derate_factor: Option<f64>,
 ) -> Result<(), CliError> {
     let cfg = serve_bench_config(opts)?;
+    let overhead_pair = opts.contains_key("metrics-overhead");
+    let baseline_out = opts.get("baseline-out").map(PathBuf::from);
+    if overhead_pair && baseline_out.is_none() {
+        return Err(usage(
+            "--metrics-overhead requires --baseline-out PATH (the metrics-off half of the pair)",
+        ));
+    }
     println!(
-        "bench: serve suite, {} open-loop request(s) of {}, {} worker(s), seed {}",
+        "bench: serve suite, {} open-loop request(s) of {}, {} worker(s), seed {}{}",
         cfg.requests,
         cfg.dims.label(),
         cfg.workers,
-        cfg.seed
+        cfg.seed,
+        if overhead_pair {
+            ", paired metrics-off/metrics-on runs"
+        } else {
+            ""
+        }
     );
-    let mut report = run_serve_suite(&cfg, &StatsConfig::default())
-        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    let (mut report, paired_off) = if overhead_pair {
+        let (off, on) = run_serve_suite_paired(&cfg, &StatsConfig::default())
+            .map_err(|e| CliError::Runtime(e.to_string()))?;
+        let base_path = baseline_out.as_deref().unwrap_or(Path::new("BENCH_metrics_off.json"));
+        write_file(base_path, &off).map_err(|e| CliError::Runtime(e.to_string()))?;
+        println!(
+            "wrote {} (metrics-off half of the pair)",
+            base_path.display()
+        );
+        (on, Some(off))
+    } else {
+        let report = run_serve_suite(&cfg, &StatsConfig::default())
+            .map_err(|e| CliError::Runtime(e.to_string()))?;
+        (report, None)
+    };
     if let Some(f) = derate_factor {
         derate(&mut report, f);
         println!("note: record derated {f}x (gate self-test)");
@@ -1392,6 +1597,17 @@ fn cmd_bench_serve(
     if let Some(base_path) = opts.get("compare") {
         let base = load_bench(base_path)?;
         return finish_compare(&base, &report, gate);
+    }
+    if let Some(off) = paired_off {
+        // The overhead gate: metrics-on median latency vs the
+        // metrics-off half of the same pair. Median-only — the claim
+        // under test is median overhead, and a single run's p99 is a
+        // point estimate that would flake on scheduler outliers.
+        let overhead_gate = GateConfig {
+            median_only: true,
+            ..*gate
+        };
+        return finish_compare(&off, &report, &overhead_gate);
     }
     Ok(())
 }
@@ -1435,6 +1651,14 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             i += 1;
             continue;
         }
+        // `--metrics` follows the same glued-`=` convention:
+        // standalone (Prometheus text) or `--metrics=json`.
+        if name == "metrics" || name.starts_with("metrics=") {
+            let val = name.strip_prefix("metrics=").unwrap_or("");
+            out.insert("metrics".to_string(), val.to_string());
+            i += 1;
+            continue;
+        }
         if let Some((key, _)) = name.split_once('=') {
             return Err(format!("--{key} does not take `=VALUE`"));
         }
@@ -1451,6 +1675,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
                 | "recover"
                 | "serve"
                 | "impulse"
+                | "metrics-overhead"
         ) {
             out.insert(name.to_string(), String::new());
             i += 1;
@@ -1487,6 +1712,9 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
                 | "budget"
                 | "bins"
                 | "inject-io-fault"
+                | "metrics-every-ms"
+                | "from"
+                | "to"
         ) {
             let v = args
                 .get(i + 1)
@@ -1852,6 +2080,83 @@ mod tests {
         // `=` on any other flag is rejected.
         let args: Vec<String> = ["--dims=8x8"].iter().map(|s| s.to_string()).collect();
         assert!(parse_flags(&args).is_err());
+    }
+
+    #[test]
+    fn metrics_flag_parses_both_forms() {
+        let args: Vec<String> = ["--metrics"].iter().map(|s| s.to_string()).collect();
+        let f = parse_flags(&args).unwrap();
+        assert_eq!(metrics_mode(&f).unwrap(), Some(false), "bare = prometheus");
+
+        let args: Vec<String> = ["--metrics=prom"].iter().map(|s| s.to_string()).collect();
+        let f = parse_flags(&args).unwrap();
+        assert_eq!(metrics_mode(&f).unwrap(), Some(false));
+
+        let args: Vec<String> = ["--metrics=json"].iter().map(|s| s.to_string()).collect();
+        let f = parse_flags(&args).unwrap();
+        assert_eq!(metrics_mode(&f).unwrap(), Some(true));
+
+        let args: Vec<String> = ["--metrics=xml"].iter().map(|s| s.to_string()).collect();
+        let f = parse_flags(&args).unwrap();
+        assert!(matches!(metrics_mode(&f), Err(CliError::Usage(_))));
+
+        assert_eq!(metrics_mode(&HashMap::new()).unwrap(), None);
+    }
+
+    #[test]
+    fn metrics_every_ms_requires_metrics() {
+        let args: Vec<String> = ["serve", "--requests", "1", "--metrics-every-ms", "5"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(matches!(run(&args), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn metrics_overhead_requires_baseline_out() {
+        let args: Vec<String> = ["bench", "--suite", "serve", "--metrics-overhead"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(matches!(run(&args), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn stat_requires_both_files() {
+        let args: Vec<String> = ["stat"].iter().map(|s| s.to_string()).collect();
+        assert!(matches!(run(&args), Err(CliError::Usage(_))));
+        // A present flag but unreadable file is a runtime error, not
+        // a usage error.
+        let args: Vec<String> = ["stat", "--from", "/nonexistent.json", "--to", "/n2.json"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(matches!(run(&args), Err(CliError::Runtime(_))));
+    }
+
+    #[test]
+    fn served_metrics_run_emits_final_snapshot_semantics() {
+        // The registry path end-to-end without stdout capture: arm a
+        // registry exactly as cmd_serve does and check the snapshot
+        // carries the request lifecycle.
+        use bwfft::metrics::Registry;
+        use bwfft::serve::{FftRequest, FftServer, ServeConfig};
+        let reg = std::sync::Arc::new(Registry::new());
+        let mut server = FftServer::start(ServeConfig {
+            workers: 1,
+            metrics: Some(reg.clone()),
+            ..ServeConfig::default()
+        });
+        let dims = bwfft::core::Dims::d2(8, 16);
+        let data = bwfft::num::signal::random_complex(dims.total(), 7);
+        let t = server.submit(FftRequest::new(dims, data)).unwrap();
+        let _ = t.wait();
+        let _ = server.stats();
+        server.shutdown();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters.get("serve.completed"), Some(&1));
+        let parsed = bwfft::metrics::MetricsSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(parsed, snap, "snapshot JSON round-trips");
     }
 
     #[test]

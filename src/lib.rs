@@ -18,6 +18,7 @@
 //! | [`pipeline`] | Table II schedules, thread roles, the real executor |
 //! | [`core`] | the double-buffered 2D/3D FFT plans and both executors |
 //! | [`trace`] | span recorder, overlap accounting, roofline reports |
+//! | [`metrics`] | lock-free counters/gauges/histograms, snapshots, flight recorder |
 //! | [`tuner`] | autotuner, concurrent plan cache, persistent wisdom |
 //! | [`baselines`] | MKL-like / FFTW-like / slab–pencil comparators |
 //! | [`bench`] | statistical benchmark harness, `BENCH_*.json` records, regression gate |
@@ -81,6 +82,7 @@ pub use bwfft_bench as bench;
 pub use bwfft_core as core;
 pub use bwfft_kernels as kernels;
 pub use bwfft_machine as machine;
+pub use bwfft_metrics as metrics;
 pub use bwfft_num as num;
 pub use bwfft_ooc as ooc;
 pub use bwfft_pipeline as pipeline;

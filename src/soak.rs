@@ -393,6 +393,18 @@ pub struct ServeSoakReport {
     /// zero: every submission terminates with exactly one typed
     /// outcome.
     pub unbalanced_lifecycles: u64,
+    /// Breaker degradations observed across the Faults lifecycles
+    /// (downward transitions in the drained report).
+    pub breaker_trips: u64,
+    /// `breaker:*`-triggered flight-recorder dumps captured across the
+    /// Faults lifecycles. The observability contract: one dump per
+    /// degradation, so this must equal `breaker_trips`.
+    pub flight_dumps: u64,
+    /// Flight dumps that failed reconciliation — a request id the
+    /// lifecycle never issued, an outcome disagreeing with the ticket's
+    /// own, or a `bwfft-flight/1` round trip that was not
+    /// byte-identical. Must stay zero.
+    pub unreconciled_dumps: u64,
 }
 
 impl ServeSoakReport {
@@ -404,6 +416,8 @@ impl ServeSoakReport {
             && self.unbalanced_lifecycles == 0
             && self.attempts == self.submitted + self.rejected
             && self.submitted == self.completed + self.deadline_exceeded + self.failed
+            && self.flight_dumps == self.breaker_trips
+            && self.unreconciled_dumps == 0
     }
 
     /// Human-readable one-screen summary.
@@ -413,6 +427,7 @@ impl ServeSoakReport {
              {} rejected, {} deadline-exceeded, {} failed ({} recovered)\n\
              scenarios: burst {}, oversized {}, faults {}, shutdown-race {}\n\
              oracle mismatches: {}, unbalanced lifecycles: {}\n\
+             breaker trips: {}, flight dumps: {}, unreconciled dumps: {}\n\
              contract: {}",
             self.lifecycles,
             self.attempts,
@@ -427,6 +442,9 @@ impl ServeSoakReport {
             self.scenario_counts[3],
             self.oracle_mismatches,
             self.unbalanced_lifecycles,
+            self.breaker_trips,
+            self.flight_dumps,
+            self.unreconciled_dumps,
             if self.holds() { "HOLDS" } else { "VIOLATED" },
         )
     }
@@ -464,6 +482,8 @@ pub fn run_serve_soak(cfg: &ServeSoakConfig) -> Result<ServeSoakReport, BwfftErr
         // The smallest shape's working set prices the byte budget so
         // the Oversized scenario always has requests that cannot fit.
         let small_bytes = 2 * Dims::d2(16, 32).total() * std::mem::size_of::<Complex64>();
+        let flight = (scenario == ServeScenario::Faults)
+            .then(|| bwfft_metrics::FlightRecorder::new(16));
         let server_cfg = match scenario {
             ServeScenario::Burst => ServeConfig {
                 workers: 2,
@@ -483,6 +503,17 @@ pub fn run_serve_soak(cfg: &ServeSoakConfig) -> Result<ServeSoakReport, BwfftErr
                 // corruption must fail typed, never complete wrong.
                 integrity: IntegrityConfig::full(),
                 verify_energy: true,
+                // Hair-trigger breaker: the guaranteed expired-deadline
+                // request in every Faults batch trips it, and the
+                // flight recorder must produce a reconcilable dump for
+                // every degradation (checked after the drain).
+                breaker: bwfft_serve::BreakerConfig {
+                    failure_threshold: 1,
+                    success_threshold: 2,
+                    probe_interval: 4,
+                },
+                metrics: Some(std::sync::Arc::new(bwfft_metrics::Registry::new())),
+                flight: flight.clone(),
                 ..ServeConfig::default()
             },
             ServeScenario::ShutdownRace => ServeConfig {
@@ -496,7 +527,7 @@ pub fn run_serve_soak(cfg: &ServeSoakConfig) -> Result<ServeSoakReport, BwfftErr
         let batch = 4 + rng.below(5) as usize;
         let mut probes = Vec::with_capacity(batch);
         let mut rejected = 0u64;
-        for _ in 0..batch {
+        for j in 0..batch {
             let (dims, b) = match scenario {
                 // Keep every request admissible-by-size except in the
                 // Oversized scenario, where the larger 3D shapes bust
@@ -509,11 +540,19 @@ pub fn run_serve_soak(cfg: &ServeSoakConfig) -> Result<ServeSoakReport, BwfftErr
                 .buffer_elems(b)
                 .threads(2, 2);
             if scenario == ServeScenario::Faults {
-                let (role, thread, iter, phase) = random_site(&mut rng, 4);
-                req = match rng.below(2) {
-                    0 => req.fault(FaultPlan::panic_at_phase(role, thread, iter, phase)),
-                    _ => req.fault(FaultPlan::corrupt_at(role, thread, iter, phase)),
-                };
+                if j == 0 {
+                    // Guaranteed breaker failure: an already-expired
+                    // deadline terminates `DeadlineExceeded`, which the
+                    // hair-trigger breaker answers with a degradation —
+                    // and the flight recorder must dump it.
+                    req = req.deadline(Duration::ZERO);
+                } else {
+                    let (role, thread, iter, phase) = random_site(&mut rng, 4);
+                    req = match rng.below(2) {
+                        0 => req.fault(FaultPlan::panic_at_phase(role, thread, iter, phase)),
+                        _ => req.fault(FaultPlan::corrupt_at(role, thread, iter, phase)),
+                    };
+                }
             }
             if scenario == ServeScenario::ShutdownRace && rng.below(3) == 0 {
                 // Already expired: must still terminate exactly once.
@@ -543,8 +582,13 @@ pub fn run_serve_soak(cfg: &ServeSoakConfig) -> Result<ServeSoakReport, BwfftErr
         let mut completed = 0u64;
         let mut deadline_exceeded = 0u64;
         let mut failed = 0u64;
+        let mut outcome_tokens: std::collections::HashMap<u64, &'static str> =
+            std::collections::HashMap::new();
         for probe in probes {
-            match probe.ticket.wait() {
+            let id = probe.ticket.id();
+            let outcome = probe.ticket.wait();
+            outcome_tokens.insert(id, outcome.token());
+            match outcome {
                 RequestOutcome::Completed { output, .. } => {
                     completed += 1;
                     let want = oracle(probe.dims, &probe.input);
@@ -554,6 +598,30 @@ pub fn run_serve_soak(cfg: &ServeSoakConfig) -> Result<ServeSoakReport, BwfftErr
                 }
                 RequestOutcome::DeadlineExceeded { .. } => deadline_exceeded += 1,
                 RequestOutcome::Failed { .. } => failed += 1,
+            }
+        }
+
+        if let Some(flight) = &flight {
+            // One dump per breaker degradation, and every dump's span
+            // trees must reconcile with the per-ticket tally: known
+            // request ids, agreeing outcomes, byte-stable JSON.
+            report.breaker_trips += drained
+                .breaker_transitions
+                .iter()
+                .filter(|t| t.to > t.from)
+                .count() as u64;
+            for dump in flight.take_dumps() {
+                if dump.trigger.starts_with("breaker:") {
+                    report.flight_dumps += 1;
+                }
+                let reconciles = dump.requests.iter().all(|r| {
+                    outcome_tokens.get(&r.request_id) == Some(&r.outcome.as_str())
+                }) && bwfft_metrics::FlightDump::from_json(&dump.to_json())
+                    .map(|back| back.to_json() == dump.to_json())
+                    .unwrap_or(false);
+                if !reconciles {
+                    report.unreconciled_dumps += 1;
+                }
             }
         }
 
@@ -625,6 +693,14 @@ mod tests {
         // Oversized requests bust the byte budget regardless of worker
         // timing, so the matrix always exercises load shedding.
         assert!(r.rejected > 0, "{}", r.render());
+        // Every Faults lifecycle trips its hair-trigger breaker at
+        // least once, and holds() already pinned dumps == trips with
+        // zero unreconciled.
+        assert!(
+            r.breaker_trips as usize >= r.scenario_counts[ServeScenario::Faults as usize],
+            "{}",
+            r.render()
+        );
     }
 
     #[test]
@@ -635,6 +711,10 @@ mod tests {
         let r = run_serve_soak(&ServeSoakConfig { iters: 4, seed: 99 }).unwrap();
         assert!(r.holds(), "contract violated:\n{}", r.render());
         assert_eq!(r.scenario_counts[ServeScenario::Faults as usize], 1);
+        // The injected breaker trip produced its parseable, reconciled
+        // flight dump (equality is part of holds()).
+        assert!(r.breaker_trips >= 1, "{}", r.render());
+        assert_eq!(r.unreconciled_dumps, 0);
     }
 
     #[test]
