@@ -237,6 +237,8 @@ fn ooc_suite_result(
             retries: last.report.retries as u64,
             serial_fallbacks: last.report.serial_fallbacks as u64,
             faults_hit: last.report.faults_hit as u64,
+            resumed_bytes: last.report.resumed_bytes,
+            reverified_blocks: last.report.reverified_blocks,
         }),
         real: None,
     })

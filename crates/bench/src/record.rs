@@ -88,6 +88,15 @@ pub struct OocMetrics {
     pub serial_fallbacks: u64,
     /// Injected storage faults absorbed by the retry ladder.
     pub faults_hit: u64,
+    /// Bytes moved while replaying a crashed run from its checkpoint
+    /// journal (resume-mode read + write traffic). Zero for fresh
+    /// runs, and omitted from the emitted record together with
+    /// `reverified_blocks` when both are zero, so pre-crash-safe
+    /// documents stay byte-identical.
+    pub resumed_bytes: u64,
+    /// Journaled block checksums re-verified against the scratch
+    /// stores before a resume was trusted.
+    pub reverified_blocks: u64,
 }
 
 /// Real-transform columns: how the packed half-spectrum path
@@ -291,8 +300,7 @@ pub fn to_json(report: &BenchReport) -> String {
         if let Some(m) = &s.ooc {
             out.push_str(&format!(
                 ",\"ooc\":{{\"bytes_read\":{},\"bytes_written\":{},\"io_ns\":{},\
-                 \"retries\":{},\"serial_fallbacks\":{},\"faults_hit\":{},\
-                 \"storage_gbs\":",
+                 \"retries\":{},\"serial_fallbacks\":{},\"faults_hit\":{}",
                 m.bytes_read,
                 m.bytes_written,
                 m.io_ns,
@@ -300,6 +308,16 @@ pub fn to_json(report: &BenchReport) -> String {
                 m.serial_fallbacks,
                 m.faults_hit
             ));
+            // Resume columns only appear when a resume actually
+            // happened, so fresh-run rows (and the seed baseline)
+            // keep their pre-crash-safe bytes.
+            if m.resumed_bytes != 0 || m.reverified_blocks != 0 {
+                out.push_str(&format!(
+                    ",\"resumed_bytes\":{},\"reverified_blocks\":{}",
+                    m.resumed_bytes, m.reverified_blocks
+                ));
+            }
+            out.push_str(",\"storage_gbs\":");
             push_f64(&mut out, m.storage_gbs);
             out.push('}');
         }
@@ -509,6 +527,17 @@ pub fn from_json(src: &str) -> Result<BenchReport, BenchJsonError> {
                                 "serial_fallbacks",
                             )?,
                             faults_hit: as_u64(get(m, "faults_hit")?, "faults_hit")?,
+                            // Lenient: rows written before the
+                            // crash-safe tier (or fresh runs, which
+                            // omit the pair) read as zero.
+                            resumed_bytes: match m.get("resumed_bytes") {
+                                None => 0,
+                                Some(v) => as_u64(v, "resumed_bytes")?,
+                            },
+                            reverified_blocks: match m.get("reverified_blocks") {
+                                None => 0,
+                                Some(v) => as_u64(v, "reverified_blocks")?,
+                            },
                         })
                     }
                 },
@@ -759,12 +788,26 @@ mod tests {
             retries: 1,
             serial_fallbacks: 0,
             faults_hit: 1,
+            resumed_bytes: 0,
+            reverified_blocks: 0,
         });
         let json = to_json(&rep);
         assert!(json.contains("\"ooc\":{"));
         assert!(json.contains("\"storage_gbs\":"));
+        // Fresh runs carry no resume traffic, so the pair is omitted
+        // and pre-crash-safe consumers see unchanged bytes.
+        assert!(!json.contains("resumed_bytes"));
         let back = from_json(&json).unwrap();
         assert_eq!(back, rep);
+        // A resumed run emits the pair and round-trips losslessly.
+        let mut resumed = rep.clone();
+        if let Some(m) = &mut resumed.suites[0].ooc {
+            m.resumed_bytes = 655_360;
+            m.reverified_blocks = 48;
+        }
+        let rjson = to_json(&resumed);
+        assert!(rjson.contains("\"resumed_bytes\":655360,\"reverified_blocks\":48"));
+        assert_eq!(from_json(&rjson).unwrap(), resumed);
         // Plain rows emit no ooc object, so the seed baseline and every
         // pre-ooc consumer of bwfft-bench/1 are untouched.
         let plain = to_json(&sample_report());

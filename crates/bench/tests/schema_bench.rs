@@ -108,6 +108,48 @@ fn real_column_snapshot_presence_and_absence() {
 }
 
 #[test]
+fn ooc_resume_column_snapshot_presence_and_absence() {
+    // Absence: a fresh (non-resumed) ooc row must emit exactly the
+    // pre-crash-safe bytes — no `resumed_bytes`/`reverified_blocks`
+    // keys — so existing baselines and consumers are untouched.
+    let mut rep = pinned_report();
+    rep.suites[0].ooc = Some(OocMetrics {
+        storage_gbs: 3.25,
+        bytes_read: 1_310_720,
+        bytes_written: 1_310_720,
+        io_ns: 456_789,
+        retries: 1,
+        serial_fallbacks: 0,
+        faults_hit: 1,
+        resumed_bytes: 0,
+        reverified_blocks: 0,
+    });
+    let absent = SNAPSHOT.replace(
+        ",\"stages\":[",
+        ",\"ooc\":{\"bytes_read\":1310720,\"bytes_written\":1310720,\
+         \"io_ns\":456789,\"retries\":1,\"serial_fallbacks\":0,\
+         \"faults_hit\":1,\"storage_gbs\":3.25},\"stages\":[",
+    );
+    let json = to_json(&rep);
+    assert_eq!(json, absent);
+    assert_eq!(from_json(&json).unwrap(), rep);
+
+    // Presence: a resumed row emits the pair between `faults_hit` and
+    // `storage_gbs`, byte-exact.
+    if let Some(m) = &mut rep.suites[0].ooc {
+        m.resumed_bytes = 344_064;
+        m.reverified_blocks = 38;
+    }
+    let present = absent.replace(
+        ",\"storage_gbs\":3.25",
+        ",\"resumed_bytes\":344064,\"reverified_blocks\":38,\"storage_gbs\":3.25",
+    );
+    let json = to_json(&rep);
+    assert_eq!(json, present);
+    assert_eq!(from_json(&json).unwrap(), rep);
+}
+
+#[test]
 fn other_versions_are_rejected_not_misread() {
     let altered = SNAPSHOT.replace("bwfft-bench/1", "bwfft-bench/999");
     match from_json(&altered) {
@@ -182,8 +224,14 @@ fn real_strategy() -> impl Strategy<Value = Option<RealMetrics>> {
 /// Out-of-core columns with finite floats; presence toggled by the
 /// paired boolean (no `prop::option` in the vendored shim).
 fn ooc_strategy() -> impl Strategy<Value = Option<OocMetrics>> {
-    (any::<bool>(), 0.1f64..100.0, any::<u32>(), 0u32..4).prop_map(
-        |(present, gbs, bytes, faults)| {
+    (
+        any::<bool>(),
+        0.1f64..100.0,
+        any::<u32>(),
+        0u32..4,
+        (any::<bool>(), any::<u32>(), 0u32..128),
+    )
+        .prop_map(|(present, gbs, bytes, faults, resume)| {
             present.then(|| OocMetrics {
                 storage_gbs: gbs,
                 bytes_read: u64::from(bytes) * 5,
@@ -192,9 +240,18 @@ fn ooc_strategy() -> impl Strategy<Value = Option<OocMetrics>> {
                 retries: u64::from(faults),
                 serial_fallbacks: 0,
                 faults_hit: u64::from(faults),
+                // Toggled so the round-trip exercises both the
+                // omitted-pair and emitted-pair encodings. `max(1)`
+                // keeps the "present" arm genuinely present (an
+                // all-zero pair is encoded as absent by design).
+                resumed_bytes: if resume.0 {
+                    u64::from(resume.1).max(1)
+                } else {
+                    0
+                },
+                reverified_blocks: if resume.0 { u64::from(resume.2) } else { 0 },
             })
-        },
-    )
+        })
 }
 
 fn suite_strategy() -> impl Strategy<Value = SuiteResult> {

@@ -9,6 +9,158 @@ use bwfft_num::alloc::AllocError;
 use bwfft_num::Complex64;
 use bwfft_pipeline::PipelineError;
 use std::fmt;
+use std::path::PathBuf;
+
+/// Why a checkpoint journal could not be created, appended, or
+/// replayed. Torn/corrupt *tails* are not errors — recovery truncates
+/// them to the last clean frame — so these fire only for an unusable
+/// journal: unreadable storage, no valid header, the wrong schema, or
+/// a CRC-valid record that violates the record schema (version skew).
+#[derive(Debug)]
+pub enum JournalError {
+    /// A journal file operation failed.
+    Io { context: &'static str, message: String },
+    /// The file's first frame is not a valid header frame (empty file,
+    /// foreign file, or a header torn mid-write before its fsync).
+    NoHeader,
+    /// The header names a schema this build does not speak.
+    Schema { found: String },
+    /// A frame passed its CRC but violates the record schema.
+    Record { offset: u64, message: String },
+    /// `Journal::create` refused to clobber an existing journal.
+    AlreadyExists { path: PathBuf },
+}
+
+impl JournalError {
+    pub(crate) fn io(context: &'static str, e: std::io::Error) -> Self {
+        JournalError::Io {
+            context,
+            message: e.to_string(),
+        }
+    }
+
+    pub(crate) fn record(offset: u64, message: impl Into<String>) -> Self {
+        JournalError::Record {
+            offset,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io { context, message } => {
+                write!(f, "journal failure in {context}: {message}")
+            }
+            JournalError::NoHeader => {
+                write!(f, "journal has no valid header frame (empty, torn, or not a journal)")
+            }
+            JournalError::Schema { found } => {
+                write!(f, "journal schema {found:?} is not the supported bwfft-ooc-journal/1")
+            }
+            JournalError::Record { offset, message } => {
+                write!(f, "journal record at byte {offset} is invalid: {message}")
+            }
+            JournalError::AlreadyExists { path } => write!(
+                f,
+                "journal already exists at {}; pass --resume to continue it or remove the workspace",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+/// Why a resume request could not be honored. Every variant is a
+/// refusal *before* any stage runs — a resume never produces a wrong
+/// answer; it produces the transform or one of these.
+#[derive(Debug)]
+pub enum ResumeError {
+    /// `--resume` was requested but the workspace has no journal.
+    JournalMissing { path: PathBuf },
+    /// The journal header was written by a different plan or run
+    /// identity than the one requesting the resume.
+    PlanMismatch {
+        field: &'static str,
+        journaled: u64,
+        requested: u64,
+    },
+    /// The input store's streamed fingerprint no longer matches the
+    /// one bound in the header: the input was corrupted or replaced.
+    InputFingerprint { journaled: u64, computed: u64 },
+    /// A store the journal says holds completed work is gone.
+    ScratchMissing { store: &'static str, path: PathBuf },
+    /// A journaled block's re-verified checksum disagrees with the
+    /// bytes now in the scratch store: post-crash corruption.
+    ScratchCorrupt {
+        stage: &'static str,
+        block: usize,
+        journaled: u64,
+        computed: u64,
+    },
+    /// A journaled record indexes a block past the stage's block count
+    /// under the (validated) plan — the journal is self-inconsistent.
+    BlockOutOfRange {
+        stage: &'static str,
+        block: usize,
+        blocks: usize,
+    },
+}
+
+impl fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResumeError::JournalMissing { path } => write!(
+                f,
+                "cannot resume: no checkpoint journal at {}",
+                path.display()
+            ),
+            ResumeError::PlanMismatch {
+                field,
+                journaled,
+                requested,
+            } => write!(
+                f,
+                "cannot resume: journal {field} = {journaled} but the requested run has \
+                 {field} = {requested}"
+            ),
+            ResumeError::InputFingerprint { journaled, computed } => write!(
+                f,
+                "cannot resume: input store fingerprint {computed:#018x} does not match the \
+                 journaled {journaled:#018x} (input corrupted or replaced)"
+            ),
+            ResumeError::ScratchMissing { store, path } => write!(
+                f,
+                "cannot resume: journaled work references missing store {store} at {}",
+                path.display()
+            ),
+            ResumeError::ScratchCorrupt {
+                stage,
+                block,
+                journaled,
+                computed,
+            } => write!(
+                f,
+                "resume re-verify rejected stage {stage} block {block}: stored bytes checksum \
+                 {computed:#018x}, journal committed {journaled:#018x} (scratch corrupted \
+                 after the crash)"
+            ),
+            ResumeError::BlockOutOfRange {
+                stage,
+                block,
+                blocks,
+            } => write!(
+                f,
+                "journal records block {block} for stage {stage}, but the plan streams only \
+                 {blocks} blocks there"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {}
 
 /// Why an out-of-core plan or run failed.
 #[derive(Debug)]
@@ -56,6 +208,15 @@ pub enum OocError {
         rel_err: f64,
         tol: f64,
     },
+    /// The checkpoint journal could not be created, appended, or
+    /// replayed.
+    Journal(JournalError),
+    /// A resume request was refused before any stage ran.
+    Resume(ResumeError),
+    /// An injected crash point halted the run after committing its
+    /// journal record (test/soak hook; the `Halt` flavor of a real
+    /// `abort`). The workspace is kept; resume from it.
+    CrashPoint { stage: &'static str, block: usize },
 }
 
 impl fmt::Display for OocError {
@@ -107,6 +268,12 @@ impl fmt::Display for OocError {
                 "streamed Parseval check failed: input energy {input_energy:.6e}, \
                  output energy {output_energy:.6e}, relative error {rel_err:.3e} > tol {tol:.3e}"
             ),
+            OocError::Journal(e) => write!(f, "checkpoint journal failure: {e}"),
+            OocError::Resume(e) => write!(f, "{e}"),
+            OocError::CrashPoint { stage, block } => write!(
+                f,
+                "run halted at injected crash point: stage {stage} block {block} journaled"
+            ),
         }
     }
 }
@@ -116,8 +283,22 @@ impl std::error::Error for OocError {
         match self {
             OocError::Alloc(e) => Some(e),
             OocError::Pipeline { error, .. } => Some(error),
+            OocError::Journal(e) => Some(e),
+            OocError::Resume(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<JournalError> for OocError {
+    fn from(e: JournalError) -> Self {
+        OocError::Journal(e)
+    }
+}
+
+impl From<ResumeError> for OocError {
+    fn from(e: ResumeError) -> Self {
+        OocError::Resume(e)
     }
 }
 

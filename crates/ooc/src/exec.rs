@@ -23,17 +23,21 @@
 //! then a single-threaded serial fallback — because a stage that
 //! rereads its (never-overwritten) source is exactly repeatable.
 
-use crate::error::OocError;
-use crate::plan::{OocConfig, OocFault, OocFaultKind, OocPlan, BYTES_PER_HALF_ELEM};
+use crate::error::{OocError, ResumeError};
+use crate::journal::{Journal, JournalState};
+use crate::plan::{
+    CrashMode, CrashPoint, OocConfig, OocFault, OocFaultKind, OocPlan, ResumeVerify,
+    BYTES_PER_HALF_ELEM,
+};
 use crate::store::{OocStore, ELEM_BYTES};
 use bwfft_kernels::batch::BatchFft;
 use bwfft_kernels::Direction;
 use bwfft_num::alloc::{check_alloc_budget, try_vec_zeroed};
 use bwfft_num::Complex64;
 use bwfft_pipeline::buffer::{partition, DoubleBuffer};
-use bwfft_pipeline::exec::{run_pipeline, PipelineCallbacks, PipelineConfig};
+use bwfft_pipeline::exec::{block_checksum, run_pipeline, PipelineCallbacks, PipelineConfig};
 use bwfft_trace::MarkKind;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -67,6 +71,21 @@ pub struct OocReport {
     pub serial_fallbacks: u32,
     /// Injected faults that actually fired.
     pub faults_hit: u32,
+    /// True when the run continued a checkpoint journal instead of
+    /// starting from the input.
+    pub resumed: bool,
+    /// Journaled-complete blocks the resume skipped instead of
+    /// recomputing (across all stages).
+    pub skipped_blocks: u64,
+    /// Journaled block checksums the resume re-verified against the
+    /// scratch stores before trusting them.
+    pub reverified_blocks: u64,
+    /// Blocks re-executed in the journal-frontier (in-flight) stage —
+    /// the rework bound: never more than one stage's blocks.
+    pub rework_blocks: u64,
+    /// Payload bytes this run moved when resumed (0 for fresh runs):
+    /// the storage cost of finishing instead of restarting.
+    pub resumed_bytes: u64,
 }
 
 impl OocReport {
@@ -113,6 +132,10 @@ struct IoShared {
     bytes_written: AtomicU64,
     io_ns: AtomicU64,
     faults_hit: AtomicU32,
+    /// Latched by a `CrashMode::Halt` crash point: the ladder must
+    /// stop the run with a typed error instead of retrying it back to
+    /// health (a retried "crash" would prove nothing).
+    halt: AtomicBool,
 }
 
 impl IoShared {
@@ -162,6 +185,71 @@ impl FaultOnce {
     }
 }
 
+/// Per-run checkpoint context: where completion records go and which
+/// (if any) injected crash point is armed.
+struct CkptCtx<'a> {
+    journal: &'a Journal,
+    crash: Option<CrashPoint>,
+}
+
+impl CkptCtx<'_> {
+    /// Fires the armed crash point for `(stage, block)` — called only
+    /// *after* that block's journal record is durable, the worst
+    /// possible instant for the resume logic.
+    fn maybe_crash(&self, stage: usize, block: usize, io: &IoShared) {
+        let Some(cp) = self.crash else { return };
+        if cp.stage != stage || cp.block != block {
+            return;
+        }
+        match cp.mode {
+            CrashMode::Abort => std::process::abort(),
+            CrashMode::Halt => {
+                io.halt.store(true, Ordering::Release);
+                io.set_err(format!(
+                    "injected crash point halted run at stage {stage} block {block}"
+                ));
+            }
+        }
+    }
+}
+
+/// Per-attempt completion tracker for one pipelined stage: each storer
+/// folds the order-independent checksum of its share into the block's
+/// slot; the last of `expected` arrivals owns the durable commit.
+struct StageCommit<'a, 'b> {
+    ctx: &'b CkptCtx<'a>,
+    stage: usize,
+    /// Wrapping partial-checksum accumulator per local block.
+    sums: Vec<AtomicU64>,
+    /// Arrival count per local block.
+    arrivals: Vec<AtomicUsize>,
+    /// Non-empty storer partitions — arrivals needed for a commit.
+    expected: usize,
+}
+
+impl StageCommit<'_, '_> {
+    /// One storer finished its share of local block `local` (global
+    /// block index `actual`) with partial checksum `partial`.
+    fn arrive(&self, local: usize, actual: usize, partial: u64, io: &IoShared) {
+        self.sums[local].fetch_add(partial, Ordering::Relaxed);
+        // AcqRel on the counter: the release half publishes this
+        // thread's sum, the acquire half (in the last arriver) sees
+        // every other storer's.
+        let n = self.arrivals[local].fetch_add(1, Ordering::AcqRel) + 1;
+        if n == self.expected {
+            let sum = self.sums[local].load(Ordering::Acquire);
+            if let Err(e) = self.ctx.journal.append_block(self.stage, actual, sum) {
+                io.set_err(format!(
+                    "journal append at stage {} block {actual}: {e}",
+                    self.stage
+                ));
+                return;
+            }
+            self.ctx.maybe_crash(self.stage, actual, io);
+        }
+    }
+}
+
 /// Reads a span of `buf.len()` elements starting at `(row, col)` in
 /// row-major logical order, splitting positioned reads at row ends.
 fn read_span(
@@ -194,8 +282,12 @@ type StorerFn<'a> = Box<dyn FnMut(usize, &[Complex64]) + Send + 'a>;
 /// Compute role: `(block, element offset, half slice)`.
 type ComputeFn<'a> = Box<dyn FnMut(usize, usize, &mut [Complex64]) + Send + 'a>;
 
-/// Runs one stage through the double-buffered pipeline. I/O problems
-/// surface through `io`; pipeline-level failures return directly.
+/// Runs one stage through the double-buffered pipeline, streaming only
+/// the blocks listed in `pending` (a resume skips journaled-complete
+/// ones; a fresh run lists them all). I/O problems surface through
+/// `io`; pipeline-level failures return directly. When `ckpt` is set,
+/// every fully stored block commits a durable journal record.
+#[allow(clippy::too_many_arguments)]
 fn run_stage_pipelined(
     stage: &Stage<'_>,
     plan: &OocPlan,
@@ -203,13 +295,31 @@ fn run_stage_pipelined(
     buffer: &DoubleBuffer,
     io: &IoShared,
     fault: &FaultOnce,
+    pending: &[usize],
+    ckpt: Option<&CkptCtx<'_>>,
 ) -> Result<(), OocError> {
     let r = stage.src.rows();
     let c = stage.src.cols();
     let br = (buffer.half_elems() / c).min(r).max(1);
-    let iters = r / br;
+    let iters = pending.len();
     let b = br * c;
     let idx = stage.index;
+
+    // Fresh commit slots per attempt: a retried stage re-accumulates
+    // from zero (its storers rewrite every pending block).
+    let storer_parts = match stage.kind {
+        StageKind::Dft { .. } => partition(br, plan.p_d),
+        StageKind::Transpose => partition(c, plan.p_d),
+    };
+    let expected = storer_parts.iter().filter(|p| !p.is_empty()).count();
+    let commit = ckpt.map(|ctx| StageCommit {
+        ctx,
+        stage: idx,
+        sums: (0..iters).map(|_| AtomicU64::new(0)).collect(),
+        arrivals: (0..iters).map(|_| AtomicUsize::new(0)).collect(),
+        expected,
+    });
+    let commit = commit.as_ref();
 
     let mut loaders: Vec<LoaderFn<'_>> = Vec::new();
     for _ in 0..plan.p_d {
@@ -218,6 +328,7 @@ fn run_stage_pipelined(
             if share.is_empty() {
                 return;
             }
+            let blk = pending[blk];
             if fault.fires(idx, blk, OocFaultKind::Read) {
                 io.faults_hit.fetch_add(1, Ordering::Relaxed);
                 io.set_err(format!("injected read fault at stage {idx} block {blk}"));
@@ -250,12 +361,13 @@ fn run_stage_pipelined(
         StageKind::Dft { .. } => {
             // Partition the block's rows across the data threads; each
             // storer writes its rows straight through (same shape).
-            for range in partition(br, plan.p_d) {
+            for range in storer_parts {
                 let dst = stage.dst;
-                storers.push(Box::new(move |blk, half| {
+                storers.push(Box::new(move |local, half| {
                     if range.is_empty() {
                         return;
                     }
+                    let blk = pending[local];
                     if fault.fires(idx, blk, OocFaultKind::Write) {
                         io.faults_hit.fetch_add(1, Ordering::Relaxed);
                         io.set_err(format!("injected write fault at stage {idx} block {blk}"));
@@ -272,6 +384,9 @@ fn run_stage_pipelined(
                         Ok(()) => {
                             io.bytes_written
                                 .fetch_add((buf.len() * ELEM_BYTES) as u64, Ordering::Relaxed);
+                            if let Some(cm) = commit {
+                                cm.arrive(local, blk, block_checksum(buf), io);
+                            }
                         }
                         Err(e) => io.set_err(format!("write at stage {idx} block {blk}: {e}")),
                     }
@@ -282,13 +397,14 @@ fn run_stage_pipelined(
             // Partition the destination rows (source columns): storer t
             // gathers its columns out of the block and writes each as a
             // contiguous `br`-element run of the destination row.
-            for range in partition(c, plan.p_d) {
+            for range in storer_parts {
                 let dst = stage.dst;
                 let mut scratch = vec![Complex64::ZERO; br];
-                storers.push(Box::new(move |blk, half| {
+                storers.push(Box::new(move |local, half| {
                     if range.is_empty() {
                         return;
                     }
+                    let blk = pending[local];
                     if fault.fires(idx, blk, OocFaultKind::Write) {
                         io.faults_hit.fetch_add(1, Ordering::Relaxed);
                         io.set_err(format!("injected write fault at stage {idx} block {blk}"));
@@ -296,6 +412,7 @@ fn run_stage_pipelined(
                     if io.has_err() {
                         return;
                     }
+                    let mut partial = 0u64;
                     for col in range.clone() {
                         for (j, slot) in scratch.iter_mut().enumerate() {
                             *slot = half[col + j * c];
@@ -310,12 +427,16 @@ fn run_stage_pipelined(
                                     (scratch.len() * ELEM_BYTES) as u64,
                                     Ordering::Relaxed,
                                 );
+                                partial = partial.wrapping_add(block_checksum(&scratch));
                             }
                             Err(e) => {
                                 io.set_err(format!("write at stage {idx} block {blk}: {e}"));
                                 return;
                             }
                         }
+                    }
+                    if let Some(cm) = commit {
+                        cm.arrive(local, blk, partial, io);
                     }
                 }));
             }
@@ -336,7 +457,7 @@ fn run_stage_pipelined(
                     }
                     kernel.run(share);
                     if tw {
-                        let row0 = blk * br + off / c;
+                        let row0 = pending[blk] * br + off / c;
                         for (j, row) in share.chunks_mut(c).enumerate() {
                             let a2 = row0 + j;
                             for (k1, v) in row.iter_mut().enumerate() {
@@ -383,11 +504,12 @@ fn run_stage_serial(
     half_elems: usize,
     io: &IoShared,
     fault: &FaultOnce,
+    pending: &[usize],
+    ckpt: Option<&CkptCtx<'_>>,
 ) -> Result<(), OocError> {
     let r = stage.src.rows();
     let c = stage.src.cols();
     let br = (half_elems / c).min(r).max(1);
-    let iters = r / br;
     let idx = stage.index;
     let mut block = try_vec_zeroed::<Complex64>(br * c, "ooc serial block")?;
     let mut scratch = try_vec_zeroed::<Complex64>(br, "ooc serial gather")?;
@@ -395,7 +517,7 @@ fn run_stage_serial(
         StageKind::Dft { .. } => Some(BatchFft::new(c, 1, plan.dir)),
         StageKind::Transpose => None,
     };
-    for blk in 0..iters {
+    for &blk in pending {
         let row0 = blk * br;
         if fault.fires(idx, blk, OocFaultKind::Read) {
             io.faults_hit.fetch_add(1, Ordering::Relaxed);
@@ -457,6 +579,28 @@ fn run_stage_serial(
             .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         io.bytes_written
             .fetch_add((block.len() * ELEM_BYTES) as u64, Ordering::Relaxed);
+        if let Some(ctx) = ckpt {
+            // The serial tier writes the whole block itself, so the
+            // order-independent checksum of the block buffer *is* the
+            // checksum of the bytes on disk (transposed or not — the
+            // multiset of elements is identical).
+            ctx.journal
+                .append_block(idx, blk, block_checksum(&block))
+                .map_err(OocError::Journal)?;
+            if let Some(cp) = ctx.crash {
+                if cp.stage == idx && cp.block == blk {
+                    match cp.mode {
+                        CrashMode::Abort => std::process::abort(),
+                        CrashMode::Halt => {
+                            return Err(OocError::CrashPoint {
+                                stage: stage.name,
+                                block: blk,
+                            })
+                        }
+                    }
+                }
+            }
+        }
     }
     Ok(())
 }
@@ -471,6 +615,8 @@ fn run_stage_recovered(
     buffer: &DoubleBuffer,
     io: &IoShared,
     fault: &FaultOnce,
+    pending: &[usize],
+    ckpt: Option<&CkptCtx<'_>>,
     retries: &mut u32,
     serial_fallbacks: &mut u32,
 ) -> Result<(), OocError> {
@@ -479,9 +625,18 @@ fn run_stage_recovered(
     let mut backoff = cfg.retry.backoff_base;
     for attempt in 0..attempts {
         // A fresh attempt starts with a clean error slot; the stage
-        // rewrites its whole destination, so reruns are idempotent.
+        // rewrites its whole (pending) destination, so reruns are
+        // idempotent.
         let _ = io.take_err();
-        let outcome = run_stage_pipelined(stage, plan, cfg, buffer, io, fault);
+        let outcome = run_stage_pipelined(stage, plan, cfg, buffer, io, fault, pending, ckpt);
+        // An injected crash point is not a storage fault: retrying it
+        // away would defeat the drill. Surface it typed, immediately.
+        if io.halt.load(Ordering::Acquire) {
+            return Err(OocError::CrashPoint {
+                stage: stage.name,
+                block: cfg.checkpoint.crash.map_or(0, |cp| cp.block),
+            });
+        }
         match outcome {
             Ok(()) => match io.take_err() {
                 None => return Ok(()),
@@ -511,14 +666,19 @@ fn run_stage_recovered(
         format!("ooc {} degraded to serial tier", stage.name),
     );
     let _ = io.take_err();
-    run_stage_serial(stage, plan, buffer.half_elems(), io, fault).map_err(|e| {
-        OocError::StageExhausted {
-            stage: stage.name,
-            attempts: attempts + 1,
-            last: if last.is_empty() {
-                e.to_string()
-            } else {
-                format!("{e} (after pipelined: {last})")
+    run_stage_serial(stage, plan, buffer.half_elems(), io, fault, pending, ckpt).map_err(|e| {
+        match e {
+            // Typed crash/journal refusals are verdicts in their own
+            // right, not one more storage failure to roll up.
+            OocError::CrashPoint { .. } | OocError::Journal(_) => e,
+            e => OocError::StageExhausted {
+                stage: stage.name,
+                attempts: attempts + 1,
+                last: if last.is_empty() {
+                    e.to_string()
+                } else {
+                    format!("{e} (after pipelined: {last})")
+                },
             },
         }
     })
@@ -535,6 +695,82 @@ pub fn execute(
     ws: &crate::workspace::Workspace,
     input: &OocStore,
     output: &OocStore,
+) -> Result<OocReport, OocError> {
+    execute_resumable(plan, cfg, ws, input, output, None, None)
+}
+
+/// Order-independent checksum of the destination region a stage block
+/// covers — the resume re-verify read-back. For a DFT stage the block
+/// is `br` whole destination rows; for a transpose it is the
+/// `br`-column band `[blk·br, blk·br + br)` of every destination row.
+/// Either way the element multiset equals what the storers checksummed
+/// when the block was journaled.
+fn stage_block_read_checksum(
+    stage: &Stage<'_>,
+    br: usize,
+    blk: usize,
+    buf: &mut Vec<Complex64>,
+) -> Result<u64, OocError> {
+    let c = stage.src.cols();
+    match stage.kind {
+        StageKind::Dft { .. } => {
+            buf.clear();
+            buf.resize(br * c, Complex64::ZERO);
+            stage
+                .dst
+                .read_rows(blk * br, buf)
+                .map_err(|e| OocError::io("resume re-verify read", e))?;
+            Ok(block_checksum(buf))
+        }
+        StageKind::Transpose => {
+            buf.clear();
+            buf.resize(br, Complex64::ZERO);
+            let mut sum = 0u64;
+            for row in 0..c {
+                stage
+                    .dst
+                    .read_row_segment(row, blk * br, buf)
+                    .map_err(|e| OocError::io("resume re-verify read", e))?;
+                sum = sum.wrapping_add(block_checksum(buf));
+            }
+            Ok(sum)
+        }
+    }
+}
+
+/// Evenly spaced sample of the journaled block indices of one stage,
+/// per the configured [`ResumeVerify`] policy.
+fn verify_sample(blocks: &[usize], policy: ResumeVerify) -> Vec<usize> {
+    match policy {
+        ResumeVerify::All => blocks.to_vec(),
+        ResumeVerify::Sample(k) => {
+            let k = k.min(blocks.len());
+            if k == 0 {
+                return Vec::new();
+            }
+            let step = blocks.len().div_ceil(k).max(1);
+            blocks.iter().copied().step_by(step).take(k).collect()
+        }
+    }
+}
+
+/// [`execute`] with crash-safety: when `journal` is set every completed
+/// block commits a durable record, and when `resume` carries a
+/// recovered [`JournalState`] the run validates it against the plan
+/// geometry, re-verifies a sampled subset of journaled block checksums
+/// against the scratch stores, skips everything the journal proves
+/// done, and re-executes only the frontier stage's unjournaled blocks
+/// (plus all later, never-started stages) — bounded rework by
+/// construction.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_resumable(
+    plan: &OocPlan,
+    cfg: &OocConfig,
+    ws: &crate::workspace::Workspace,
+    input: &OocStore,
+    output: &OocStore,
+    journal: Option<&Journal>,
+    resume: Option<&JournalState>,
 ) -> Result<OocReport, OocError> {
     if input.rows() != plan.n1 || input.cols() != plan.n2 {
         return Err(OocError::Io {
@@ -567,115 +803,265 @@ pub fn execute(
     )?;
     let buffer = DoubleBuffer::try_new(plan.half_elems)?;
 
-    let t1 = OocStore::create(&ws.path("t1.bin"), plan.n2, plan.n1, plan.stride_cols_n1)?;
-    let s1 = OocStore::create(&ws.path("s1.bin"), plan.n2, plan.n1, plan.stride_cols_n1)?;
-    let t2 = OocStore::create(&ws.path("t2.bin"), plan.n1, plan.n2, plan.stride_cols_n2)?;
-    let s2 = OocStore::create(&ws.path("s2.bin"), plan.n1, plan.n2, plan.stride_cols_n2)?;
+    // On resume, scratch the journal credits with completed work must
+    // still exist — `open_or_create` would silently hand back zeroed
+    // stores and the (sampled!) re-verify might not catch it.
+    let scratch_shapes: [(&'static str, usize, usize, usize); 4] = [
+        ("t1.bin", plan.n2, plan.n1, plan.stride_cols_n1),
+        ("s1.bin", plan.n2, plan.n1, plan.stride_cols_n1),
+        ("t2.bin", plan.n1, plan.n2, plan.stride_cols_n2),
+        ("s2.bin", plan.n1, plan.n2, plan.stride_cols_n2),
+    ];
+    if let Some(st) = resume {
+        for (k, (name, ..)) in scratch_shapes.iter().enumerate() {
+            let credited = st.stage_done[k].is_some() || !st.blocks[k].is_empty();
+            if credited && !ws.path(name).exists() {
+                return Err(ResumeError::ScratchMissing {
+                    store: name,
+                    path: ws.path(name),
+                }
+                .into());
+            }
+        }
+    }
+    let mut scratch = Vec::with_capacity(4);
+    for (name, rows, cols, stride) in scratch_shapes {
+        let store = if resume.is_some() {
+            OocStore::open_or_create(&ws.path(name), rows, cols, stride)?
+        } else {
+            OocStore::create(&ws.path(name), rows, cols, stride)?
+        };
+        scratch.push(store);
+    }
+    let (t1, s1, t2, s2) = (&scratch[0], &scratch[1], &scratch[2], &scratch[3]);
 
     let stages = [
         Stage {
             index: 0,
             name: STAGE_NAMES[0],
             src: input,
-            dst: &t1,
+            dst: t1,
             kind: StageKind::Transpose,
         },
         Stage {
             index: 1,
             name: STAGE_NAMES[1],
-            src: &t1,
-            dst: &s1,
+            src: t1,
+            dst: s1,
             kind: StageKind::Dft { twiddle: true },
         },
         Stage {
             index: 2,
             name: STAGE_NAMES[2],
-            src: &s1,
-            dst: &t2,
+            src: s1,
+            dst: t2,
             kind: StageKind::Transpose,
         },
         Stage {
             index: 3,
             name: STAGE_NAMES[3],
-            src: &t2,
-            dst: &s2,
+            src: t2,
+            dst: s2,
             kind: StageKind::Dft { twiddle: false },
         },
         Stage {
             index: 4,
             name: STAGE_NAMES[4],
-            src: &s2,
+            src: s2,
             dst: output,
             kind: StageKind::Transpose,
         },
     ];
 
+    // Per-stage block geometry: must match what the journaled run
+    // used, which the header guarantees (same n1/n2/half_elems).
+    let geom: Vec<(usize, usize)> = stages
+        .iter()
+        .map(|s| {
+            let r = s.src.rows();
+            let c = s.src.cols();
+            let br = (plan.half_elems / c).min(r).max(1);
+            (br, r / br)
+        })
+        .collect();
+
+    // Validate the recovered state against the plan geometry before
+    // trusting a single record.
+    let mut reverified_blocks = 0u64;
+    if let Some(st) = resume {
+        for (k, stage) in stages.iter().enumerate() {
+            let (br, iters) = geom[k];
+            if let Some(m) = st.stage_done[k] {
+                if m != iters {
+                    return Err(ResumeError::PlanMismatch {
+                        field: "stage_blocks",
+                        journaled: m as u64,
+                        requested: iters as u64,
+                    }
+                    .into());
+                }
+            }
+            if let Some((&max_blk, _)) = st.blocks[k].iter().next_back() {
+                if max_blk >= iters {
+                    return Err(ResumeError::BlockOutOfRange {
+                        stage: stage.name,
+                        block: max_blk,
+                        blocks: iters,
+                    }
+                    .into());
+                }
+            }
+            // Re-verify journaled checksums against the bytes actually
+            // in the store — a crash can corrupt what it already
+            // "completed", and skipping a corrupt block would launder
+            // the corruption into the final spectrum.
+            let journaled: Vec<usize> = st.blocks[k].keys().copied().collect();
+            let mut buf = Vec::new();
+            for blk in verify_sample(&journaled, cfg.checkpoint.resume_verify) {
+                let computed = stage_block_read_checksum(stage, br, blk, &mut buf)?;
+                let committed = st.blocks[k][&blk];
+                if computed != committed {
+                    return Err(ResumeError::ScratchCorrupt {
+                        stage: stage.name,
+                        block: blk,
+                        journaled: committed,
+                        computed,
+                    }
+                    .into());
+                }
+                reverified_blocks += 1;
+            }
+        }
+        if let Some(trace) = cfg.trace.as_ref() {
+            let frontier = st.frontier();
+            trace.mark(
+                MarkKind::Resume,
+                format!(
+                    "ooc resume: frontier {}, {} journaled blocks, {} re-verified",
+                    STAGE_NAMES.get(frontier).copied().unwrap_or("complete"),
+                    st.journaled_blocks(),
+                    reverified_blocks
+                ),
+                None,
+            );
+        }
+    }
+
+    let ckpt_ctx = journal.map(|j| CkptCtx {
+        journal: j,
+        crash: cfg.checkpoint.crash,
+    });
+    let ckpt = ckpt_ctx.as_ref();
+    let frontier = resume.map(JournalState::frontier);
+
     let io = IoShared::default();
     let fault = FaultOnce::new(cfg.fault);
     let mut retries = 0u32;
     let mut serial_fallbacks = 0u32;
+    let mut skipped_blocks = 0u64;
+    let mut rework_blocks = 0u64;
     let wall0 = Instant::now();
     for stage in &stages {
-        // Per-stage metrics are deltas of the run-wide accumulators
-        // captured around each stage, so the hot I/O loops stay
-        // untouched.
-        let before = cfg.metrics.as_ref().map(|_| {
-            (
-                io.bytes_read.load(Ordering::Relaxed),
-                io.bytes_written.load(Ordering::Relaxed),
-                retries,
-                serial_fallbacks,
-            )
-        });
-        let stage_t0 = cfg.metrics.as_ref().map(|_| Instant::now());
-        let verdict = run_stage_recovered(
-            stage,
-            plan,
-            cfg,
-            &buffer,
-            &io,
-            &fault,
-            &mut retries,
-            &mut serial_fallbacks,
-        );
-        if let (Some(reg), Some((r0, w0, rt0, sf0))) = (cfg.metrics.as_ref(), before) {
-            reg.add(
-                &format!("ooc.{}.bytes_read", stage.name),
-                io.bytes_read.load(Ordering::Relaxed) - r0,
-            );
-            reg.add(
-                &format!("ooc.{}.bytes_written", stage.name),
-                io.bytes_written.load(Ordering::Relaxed) - w0,
-            );
-            reg.add(
-                &format!("ooc.{}.retries", stage.name),
-                u64::from(retries - rt0),
-            );
-            reg.add(
-                &format!("ooc.{}.serial_fallbacks", stage.name),
-                u64::from(serial_fallbacks - sf0),
-            );
-            if let Some(t0) = stage_t0 {
-                reg.observe(
-                    &format!("ooc.{}.stage_ns", stage.name),
-                    t0.elapsed().as_nanos() as u64,
-                );
-            }
+        let k = stage.index;
+        let (_, iters) = geom[k];
+        if resume.is_some_and(|st| st.stage_done[k].is_some()) {
+            skipped_blocks += iters as u64;
+            continue;
         }
-        verdict?;
+        let pending: Vec<usize> = match resume {
+            Some(st) if !st.blocks[k].is_empty() => (0..iters)
+                .filter(|b| !st.blocks[k].contains_key(b))
+                .collect(),
+            _ => (0..iters).collect(),
+        };
+        skipped_blocks += (iters - pending.len()) as u64;
+        if frontier == Some(k) {
+            rework_blocks += pending.len() as u64;
+        }
+        if !pending.is_empty() {
+            // Per-stage metrics are deltas of the run-wide accumulators
+            // captured around each stage, so the hot I/O loops stay
+            // untouched.
+            let before = cfg.metrics.as_ref().map(|_| {
+                (
+                    io.bytes_read.load(Ordering::Relaxed),
+                    io.bytes_written.load(Ordering::Relaxed),
+                    retries,
+                    serial_fallbacks,
+                )
+            });
+            let stage_t0 = cfg.metrics.as_ref().map(|_| Instant::now());
+            let verdict = run_stage_recovered(
+                stage,
+                plan,
+                cfg,
+                &buffer,
+                &io,
+                &fault,
+                &pending,
+                ckpt,
+                &mut retries,
+                &mut serial_fallbacks,
+            );
+            if let (Some(reg), Some((r0, w0, rt0, sf0))) = (cfg.metrics.as_ref(), before) {
+                reg.add(
+                    &format!("ooc.{}.bytes_read", stage.name),
+                    io.bytes_read.load(Ordering::Relaxed) - r0,
+                );
+                reg.add(
+                    &format!("ooc.{}.bytes_written", stage.name),
+                    io.bytes_written.load(Ordering::Relaxed) - w0,
+                );
+                reg.add(
+                    &format!("ooc.{}.retries", stage.name),
+                    u64::from(retries - rt0),
+                );
+                reg.add(
+                    &format!("ooc.{}.serial_fallbacks", stage.name),
+                    u64::from(serial_fallbacks - sf0),
+                );
+                if let Some(t0) = stage_t0 {
+                    reg.observe(
+                        &format!("ooc.{}.stage_ns", stage.name),
+                        t0.elapsed().as_nanos() as u64,
+                    );
+                }
+            }
+            verdict?;
+        }
+        if let Some(j) = journal {
+            // The stage record commits only after every block record:
+            // a resume that sees it may skip the stage wholesale.
+            j.append_stage(k, iters).map_err(OocError::Journal)?;
+        }
+    }
+    let bytes_read = io.bytes_read.load(Ordering::Relaxed);
+    let bytes_written = io.bytes_written.load(Ordering::Relaxed);
+    let resumed = resume.is_some();
+    if let (Some(reg), true) = (cfg.metrics.as_ref(), resumed) {
+        reg.add("ooc.resume.runs", 1);
+        reg.add("ooc.resume.skipped_blocks", skipped_blocks);
+        reg.add("ooc.resume.reverified_blocks", reverified_blocks);
+        reg.add("ooc.resume.rework_blocks", rework_blocks);
+        reg.add("ooc.resume.resumed_bytes", bytes_read + bytes_written);
     }
     Ok(OocReport {
         n: plan.n,
         n1: plan.n1,
         n2: plan.n2,
         half_elems: plan.half_elems,
-        bytes_read: io.bytes_read.load(Ordering::Relaxed),
-        bytes_written: io.bytes_written.load(Ordering::Relaxed),
+        bytes_read,
+        bytes_written,
         io_ns: io.io_ns.load(Ordering::Relaxed),
         wall_ns: wall0.elapsed().as_nanos() as u64,
         retries,
         serial_fallbacks,
         faults_hit: io.faults_hit.load(Ordering::Relaxed),
+        resumed,
+        skipped_blocks,
+        reverified_blocks,
+        rework_blocks,
+        resumed_bytes: if resumed { bytes_read + bytes_written } else { 0 },
     })
 }
 

@@ -1,0 +1,608 @@
+//! The durable checkpoint journal (`bwfft-ooc-journal/1`).
+//!
+//! A crash must never cost more than one in-flight stage of rework, so
+//! every out-of-core checkpointed run appends a completion record per
+//! `(stage, block)` — carrying the order-independent block checksum of
+//! the bytes written — to an append-only journal in the workspace. The
+//! file starts with a header that binds the plan (`n`, the `n1×n2`
+//! split, the half size, strides, direction, budget, seed, and an
+//! input fingerprint), so a resume against a different plan is a typed
+//! [`ResumeError`], never a silently wrong answer.
+//!
+//! **Commit protocol.** Each record is one frame:
+//!
+//! ```text
+//! <len> <crc32-hex8> <json>\n
+//! ```
+//!
+//! where `len` is the decimal byte length of the JSON payload and the
+//! CRC-32 (IEEE, reflected) covers exactly those payload bytes. A frame
+//! is appended with positioned `write` then `fsync(file)`; the journal
+//! file itself is fsync'd and its *directory* fsync'd at creation, so
+//! the header is durable before any stage may complete. A record is
+//! committed if and only if its complete frame is on disk — a torn
+//! tail fails the length or CRC check and recovery truncates to the
+//! last clean frame instead of misparsing it.
+//!
+//! **Recovery.** [`Journal::recover`] walks frames from the start: the
+//! first frame must be a valid header (else a typed
+//! [`JournalError`]); every following well-formed frame folds into a
+//! [`JournalState`] (duplicate `(stage, block)` records are last-wins —
+//! a stage retry deterministically rewrites its destination, so the
+//! newest checksum is the one on disk); the first malformed frame ends
+//! the clean prefix and everything after it is dropped (and truncated
+//! away before new appends). Corruption *behind* a valid CRC is caught
+//! one level up: resume re-verifies journaled block checksums against
+//! the scratch stores ([`crate::exec`]).
+//!
+//! The payloads are hand-rolled JSON on [`bwfft_trace::value`] (no
+//! serde in this environment), with fixed key order so the byte-exact
+//! schema snapshot test can pin the format.
+
+use crate::error::{JournalError, ResumeError};
+use crate::plan::OocPlan;
+use bwfft_kernels::Direction;
+use bwfft_trace::value::{parse_document, Value};
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Journal schema identifier, bumped on any frame/field change.
+pub const JOURNAL_SCHEMA: &str = "bwfft-ooc-journal/1";
+
+/// File name of the journal inside a workspace.
+pub const JOURNAL_FILE: &str = "journal.bwfft";
+
+/// Number of streamed stages a journal tracks (see `exec::STAGE_NAMES`).
+pub const JOURNAL_STAGES: usize = 5;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) — the frame
+/// guard. Bitwise, table-free: journal frames are tens of bytes, so
+/// this is nowhere near a hot path.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+fn dir_token(dir: Direction) -> &'static str {
+    match dir {
+        Direction::Forward => "forward",
+        Direction::Inverse => "inverse",
+    }
+}
+
+fn dir_from_token(tok: &str) -> Option<Direction> {
+    match tok {
+        "forward" => Some(Direction::Forward),
+        "inverse" => Some(Direction::Inverse),
+        _ => None,
+    }
+}
+
+/// Frames `json` for the on-disk journal: length, CRC, payload.
+pub fn encode_frame(json: &str) -> String {
+    format!("{} {:08x} {}\n", json.len(), crc32(json.as_bytes()), json)
+}
+
+/// The header frame: everything a resume must match before it may
+/// trust a single completion record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JournalHeader {
+    pub n: usize,
+    pub n1: usize,
+    pub n2: usize,
+    pub half_elems: usize,
+    pub stride_cols_n1: usize,
+    pub stride_cols_n2: usize,
+    pub dir: Direction,
+    pub budget_bytes: u64,
+    pub seed: u64,
+    /// Order-independent checksum of the full input signal payload.
+    pub input_fp: u64,
+}
+
+impl JournalHeader {
+    /// Binds `plan` + run identity into a header.
+    pub fn for_plan(plan: &OocPlan, budget_bytes: usize, seed: u64, input_fp: u64) -> Self {
+        JournalHeader {
+            n: plan.n,
+            n1: plan.n1,
+            n2: plan.n2,
+            half_elems: plan.half_elems,
+            stride_cols_n1: plan.stride_cols_n1,
+            stride_cols_n2: plan.stride_cols_n2,
+            dir: plan.dir,
+            budget_bytes: budget_bytes as u64,
+            seed,
+            input_fp,
+        }
+    }
+
+    /// Typed mismatch if this journal was written by a different plan
+    /// or run identity than the one now requesting the resume.
+    pub fn matches(
+        &self,
+        plan: &OocPlan,
+        budget_bytes: usize,
+        seed: u64,
+    ) -> Result<(), ResumeError> {
+        let checks: [(&'static str, u64, u64); 9] = [
+            ("n", self.n as u64, plan.n as u64),
+            ("n1", self.n1 as u64, plan.n1 as u64),
+            ("n2", self.n2 as u64, plan.n2 as u64),
+            ("half_elems", self.half_elems as u64, plan.half_elems as u64),
+            (
+                "stride_cols_n1",
+                self.stride_cols_n1 as u64,
+                plan.stride_cols_n1 as u64,
+            ),
+            (
+                "stride_cols_n2",
+                self.stride_cols_n2 as u64,
+                plan.stride_cols_n2 as u64,
+            ),
+            (
+                "dir",
+                (self.dir == Direction::Inverse) as u64,
+                (plan.dir == Direction::Inverse) as u64,
+            ),
+            ("budget_bytes", self.budget_bytes, budget_bytes as u64),
+            ("seed", self.seed, seed),
+        ];
+        for (field, journaled, requested) in checks {
+            if journaled != requested {
+                return Err(ResumeError::PlanMismatch {
+                    field,
+                    journaled,
+                    requested,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn emit(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\"schema\":\"");
+        s.push_str(JOURNAL_SCHEMA);
+        s.push_str("\",\"kind\":\"header\"");
+        s.push_str(&format!(
+            ",\"n\":{},\"n1\":{},\"n2\":{},\"half_elems\":{}",
+            self.n, self.n1, self.n2, self.half_elems
+        ));
+        s.push_str(&format!(
+            ",\"stride_cols_n1\":{},\"stride_cols_n2\":{}",
+            self.stride_cols_n1, self.stride_cols_n2
+        ));
+        s.push_str(&format!(
+            ",\"dir\":\"{}\",\"budget_bytes\":{},\"seed\":{},\"input_fp\":{}}}",
+            dir_token(self.dir),
+            self.budget_bytes,
+            self.seed,
+            self.input_fp
+        ));
+        s
+    }
+
+    fn from_value(v: &Value, offset: u64) -> Result<JournalHeader, JournalError> {
+        let obj = v
+            .as_obj()
+            .ok_or_else(|| JournalError::record(offset, "header frame is not an object"))?;
+        let schema = obj.get("schema").and_then(Value::as_str).unwrap_or("");
+        if schema != JOURNAL_SCHEMA {
+            return Err(JournalError::Schema {
+                found: schema.to_string(),
+            });
+        }
+        let field = |name: &'static str| -> Result<u64, JournalError> {
+            obj.get(name)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| JournalError::record(offset, format!("header missing {name}")))
+        };
+        let dir_tok = obj
+            .get("dir")
+            .and_then(Value::as_str)
+            .ok_or_else(|| JournalError::record(offset, "header missing dir"))?;
+        let dir = dir_from_token(dir_tok)
+            .ok_or_else(|| JournalError::record(offset, format!("unknown direction {dir_tok}")))?;
+        Ok(JournalHeader {
+            n: field("n")? as usize,
+            n1: field("n1")? as usize,
+            n2: field("n2")? as usize,
+            half_elems: field("half_elems")? as usize,
+            stride_cols_n1: field("stride_cols_n1")? as usize,
+            stride_cols_n2: field("stride_cols_n2")? as usize,
+            dir,
+            budget_bytes: field("budget_bytes")?,
+            seed: field("seed")?,
+            input_fp: field("input_fp")?,
+        })
+    }
+}
+
+fn emit_block(stage: usize, block: usize, checksum: u64) -> String {
+    format!("{{\"kind\":\"block\",\"stage\":{stage},\"block\":{block},\"checksum\":{checksum}}}")
+}
+
+fn emit_stage(stage: usize, blocks: usize) -> String {
+    format!("{{\"kind\":\"stage\",\"stage\":{stage},\"blocks\":{blocks}}}")
+}
+
+/// Everything the clean prefix of a journal asserts about the run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct JournalState {
+    /// `Some(blocks)` once a stage's completion record is committed.
+    pub stage_done: [Option<usize>; JOURNAL_STAGES],
+    /// Committed `(block → checksum)` records per stage (last wins).
+    pub blocks: [BTreeMap<usize, u64>; JOURNAL_STAGES],
+}
+
+impl JournalState {
+    /// First stage without a completion record (`JOURNAL_STAGES` when
+    /// the whole transform is journaled complete).
+    pub fn frontier(&self) -> usize {
+        self.stage_done
+            .iter()
+            .position(Option::is_none)
+            .unwrap_or(JOURNAL_STAGES)
+    }
+
+    /// Total committed block records across all stages.
+    pub fn journaled_blocks(&self) -> usize {
+        self.blocks.iter().map(BTreeMap::len).sum()
+    }
+}
+
+/// What [`Journal::recover`] salvaged from an on-disk journal.
+#[derive(Clone, Debug)]
+pub struct Recovered {
+    pub header: JournalHeader,
+    pub state: JournalState,
+    /// Byte length of the clean frame prefix; appends resume here.
+    pub clean_bytes: u64,
+    /// Bytes past the clean prefix (torn tail / garbage) that were
+    /// dropped, never misparsed.
+    pub dropped_bytes: u64,
+    /// Committed non-header records in the clean prefix.
+    pub records: u64,
+}
+
+/// One frame decoded from `buf[pos..]`, or `None` when the bytes from
+/// `pos` on do not form a complete valid frame (clean-prefix end).
+fn decode_frame(buf: &[u8], pos: usize) -> Option<(&str, usize)> {
+    let rest = &buf[pos..];
+    // <len> digits (bounded so garbage can't scan forever).
+    let mut i = 0;
+    while i < rest.len() && i < 9 && rest[i].is_ascii_digit() {
+        i += 1;
+    }
+    if i == 0 || i >= rest.len() || rest[i] != b' ' {
+        return None;
+    }
+    let len: usize = std::str::from_utf8(&rest[..i]).ok()?.parse().ok()?;
+    let crc_start = i + 1;
+    let crc_end = crc_start + 8;
+    if crc_end >= rest.len() || rest[crc_end] != b' ' {
+        return None;
+    }
+    let crc_hex = std::str::from_utf8(&rest[crc_start..crc_end]).ok()?;
+    let want_crc = u32::from_str_radix(crc_hex, 16).ok()?;
+    let json_start = crc_end + 1;
+    let json_end = json_start.checked_add(len)?;
+    if json_end >= rest.len() || rest[json_end] != b'\n' {
+        return None;
+    }
+    let json = &rest[json_start..json_end];
+    if crc32(json) != want_crc {
+        return None;
+    }
+    let json = std::str::from_utf8(json).ok()?;
+    Some((json, pos + json_end + 1))
+}
+
+/// A live append handle on a journal file.
+///
+/// Appends are serialized under a mutex (the last-arriving storer of a
+/// block commits its record), positioned at a tracked offset so no
+/// seek state is shared, and fsync'd before [`Journal::append_block`]
+/// returns — a block is only ever *reported* complete after its record
+/// is durable.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    inner: Mutex<AppendState>,
+}
+
+#[derive(Debug)]
+struct AppendState {
+    file: File,
+    offset: u64,
+}
+
+impl Journal {
+    /// Creates a fresh journal (refusing to clobber an existing one)
+    /// and durably commits the header: frame write, `fsync(file)`,
+    /// then `fsync` of the containing directory so the file's
+    /// existence survives a crash too.
+    pub fn create(path: &Path, header: &JournalHeader) -> Result<Journal, JournalError> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(path)
+            .map_err(|e| {
+                if e.kind() == std::io::ErrorKind::AlreadyExists {
+                    JournalError::AlreadyExists {
+                        path: path.to_path_buf(),
+                    }
+                } else {
+                    JournalError::io("journal create", e)
+                }
+            })?;
+        let frame = encode_frame(&header.emit());
+        file.write_all_at(frame.as_bytes(), 0)
+            .map_err(|e| JournalError::io("journal header write", e))?;
+        file.sync_all()
+            .map_err(|e| JournalError::io("journal header fsync", e))?;
+        if let Some(dir) = path.parent() {
+            File::open(dir)
+                .and_then(|d| d.sync_all())
+                .map_err(|e| JournalError::io("journal dir fsync", e))?;
+        }
+        Ok(Journal {
+            path: path.to_path_buf(),
+            inner: Mutex::new(AppendState {
+                file,
+                offset: frame.len() as u64,
+            }),
+        })
+    }
+
+    /// Reopens a recovered journal for appending: the torn tail past
+    /// `clean_bytes` is truncated away (durably) so replay and append
+    /// agree on the frame boundary.
+    pub fn open_append(path: &Path, clean_bytes: u64) -> Result<Journal, JournalError> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(|e| JournalError::io("journal open", e))?;
+        file.set_len(clean_bytes)
+            .map_err(|e| JournalError::io("journal truncate", e))?;
+        file.sync_all()
+            .map_err(|e| JournalError::io("journal truncate fsync", e))?;
+        Ok(Journal {
+            path: path.to_path_buf(),
+            inner: Mutex::new(AppendState {
+                file,
+                offset: clean_bytes,
+            }),
+        })
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn append(&self, json: &str) -> Result<(), JournalError> {
+        let frame = encode_frame(json);
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner
+            .file
+            .write_all_at(frame.as_bytes(), inner.offset)
+            .map_err(|e| JournalError::io("journal append", e))?;
+        inner
+            .file
+            .sync_data()
+            .map_err(|e| JournalError::io("journal fsync", e))?;
+        inner.offset += frame.len() as u64;
+        Ok(())
+    }
+
+    /// Durably records that `block` of `stage` is fully on disk with
+    /// the given order-independent checksum of its written elements.
+    pub fn append_block(&self, stage: usize, block: usize, checksum: u64) -> Result<(), JournalError> {
+        self.append(&emit_block(stage, block, checksum))
+    }
+
+    /// Durably records that all `blocks` blocks of `stage` completed.
+    pub fn append_stage(&self, stage: usize, blocks: usize) -> Result<(), JournalError> {
+        self.append(&emit_stage(stage, blocks))
+    }
+
+    /// Replays a journal file into its clean-prefix state. Typed
+    /// errors only for an unusable journal (unreadable, no valid
+    /// header, wrong schema, or a CRC-valid record that violates the
+    /// schema); torn or corrupt *tails* are clean-prefix truncations,
+    /// reported via `dropped_bytes`, never misparsed.
+    pub fn recover(path: &Path) -> Result<Recovered, JournalError> {
+        let buf = std::fs::read(path).map_err(|e| JournalError::io("journal read", e))?;
+        let (header_json, mut pos) = decode_frame(&buf, 0).ok_or(JournalError::NoHeader)?;
+        let header_val = parse_document(header_json)
+            .map_err(|e| JournalError::record(0, format!("header JSON: {e}")))?;
+        let header = JournalHeader::from_value(&header_val, 0)?;
+        let mut state = JournalState::default();
+        let mut records = 0u64;
+        while pos < buf.len() {
+            let Some((json, next)) = decode_frame(&buf, pos) else {
+                break;
+            };
+            let offset = pos as u64;
+            // A frame whose CRC validates but whose JSON does not parse
+            // cannot come from a torn write — it is version skew or a
+            // bug, and silently dropping it could hide committed work.
+            let val = parse_document(json)
+                .map_err(|e| JournalError::record(offset, format!("record JSON: {e}")))?;
+            let obj = val
+                .as_obj()
+                .ok_or_else(|| JournalError::record(offset, "record is not an object"))?;
+            match obj.get("kind").and_then(Value::as_str) {
+                Some("block") => {
+                    let (stage, block, sum) = block_fields(obj, offset)?;
+                    state.blocks[stage].insert(block, sum);
+                }
+                Some("stage") => {
+                    let stage = stage_field(obj, offset)?;
+                    let blocks = obj
+                        .get("blocks")
+                        .and_then(Value::as_usize)
+                        .ok_or_else(|| JournalError::record(offset, "stage record missing blocks"))?;
+                    state.stage_done[stage] = Some(blocks);
+                }
+                Some("header") => {
+                    return Err(JournalError::record(offset, "duplicate header frame"));
+                }
+                // Unknown kinds are additive schema evolution: skip.
+                Some(_) => {}
+                None => return Err(JournalError::record(offset, "record missing kind")),
+            }
+            records += 1;
+            pos = next;
+        }
+        Ok(Recovered {
+            header,
+            state,
+            clean_bytes: pos as u64,
+            dropped_bytes: (buf.len() - pos) as u64,
+            records,
+        })
+    }
+}
+
+fn stage_field(obj: &BTreeMap<String, Value>, offset: u64) -> Result<usize, JournalError> {
+    let stage = obj
+        .get("stage")
+        .and_then(Value::as_usize)
+        .ok_or_else(|| JournalError::record(offset, "record missing stage"))?;
+    if stage >= JOURNAL_STAGES {
+        return Err(JournalError::record(offset, format!("stage {stage} out of range")));
+    }
+    Ok(stage)
+}
+
+fn block_fields(
+    obj: &BTreeMap<String, Value>,
+    offset: u64,
+) -> Result<(usize, usize, u64), JournalError> {
+    let stage = stage_field(obj, offset)?;
+    let block = obj
+        .get("block")
+        .and_then(Value::as_usize)
+        .ok_or_else(|| JournalError::record(offset, "block record missing block"))?;
+    let sum = obj
+        .get("checksum")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| JournalError::record(offset, "block record missing checksum"))?;
+    Ok((stage, block, sum))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwfft_machine::presets;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("bwfft-journal-unit-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn header() -> JournalHeader {
+        let cfg = crate::plan::OocConfig {
+            budget_bytes: 1 << 16,
+            spec: presets::kaby_lake_7700k(),
+            ..Default::default()
+        };
+        let p = crate::plan::plan(1 << 12, &cfg).unwrap();
+        JournalHeader::for_plan(&p, cfg.budget_bytes, 7, 0xDEAD_BEEF)
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The classic check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn create_append_recover_round_trips() {
+        let path = tmp("roundtrip.bwfft");
+        let _ = std::fs::remove_file(&path);
+        let h = header();
+        let j = Journal::create(&path, &h).unwrap();
+        j.append_block(0, 0, 11).unwrap();
+        j.append_block(0, 1, 22).unwrap();
+        j.append_block(0, 1, 33).unwrap(); // retry: last wins
+        j.append_stage(0, 2).unwrap();
+        j.append_block(1, 0, 44).unwrap();
+        let rec = Journal::recover(&path).unwrap();
+        assert_eq!(rec.header, h);
+        assert_eq!(rec.dropped_bytes, 0);
+        assert_eq!(rec.records, 5);
+        assert_eq!(rec.state.stage_done[0], Some(2));
+        assert_eq!(rec.state.blocks[0].get(&1), Some(&33));
+        assert_eq!(rec.state.blocks[1].get(&0), Some(&44));
+        assert_eq!(rec.state.frontier(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_misparsed() {
+        let path = tmp("torn.bwfft");
+        let _ = std::fs::remove_file(&path);
+        let j = Journal::create(&path, &header()).unwrap();
+        j.append_block(2, 5, 99).unwrap();
+        let full = std::fs::metadata(&path).unwrap().len();
+        // Tear off the last 3 bytes of the final frame.
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(full - 3).unwrap();
+        drop(f);
+        let rec = Journal::recover(&path).unwrap();
+        assert!(rec.state.blocks[2].is_empty(), "torn record must not commit");
+        assert_eq!(rec.dropped_bytes, full - 3 - rec.clean_bytes);
+        // Reopen for append truncates to the clean prefix.
+        let j = Journal::open_append(&path, rec.clean_bytes).unwrap();
+        j.append_block(2, 5, 100).unwrap();
+        let rec = Journal::recover(&path).unwrap();
+        assert_eq!(rec.state.blocks[2].get(&5), Some(&100));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn refuses_to_clobber_an_existing_journal() {
+        let path = tmp("exists.bwfft");
+        let _ = std::fs::remove_file(&path);
+        let _j = Journal::create(&path, &header()).unwrap();
+        match Journal::create(&path, &header()) {
+            Err(JournalError::AlreadyExists { .. }) => {}
+            other => panic!("expected AlreadyExists, got {other:?}"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn header_mismatch_is_typed() {
+        let cfg = crate::plan::OocConfig {
+            budget_bytes: 1 << 16,
+            ..Default::default()
+        };
+        let p = crate::plan::plan(1 << 12, &cfg).unwrap();
+        let h = JournalHeader::for_plan(&p, cfg.budget_bytes, 7, 1);
+        assert!(h.matches(&p, cfg.budget_bytes, 7).is_ok());
+        match h.matches(&p, cfg.budget_bytes, 8) {
+            Err(ResumeError::PlanMismatch { field: "seed", .. }) => {}
+            other => panic!("expected seed mismatch, got {other:?}"),
+        }
+        let q = crate::plan::plan(1 << 14, &cfg).unwrap();
+        assert!(h.matches(&q, cfg.budget_bytes, 7).is_err());
+    }
+}

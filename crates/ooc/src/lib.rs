@@ -31,20 +31,27 @@
 
 pub mod error;
 pub mod exec;
+pub mod journal;
 pub mod oracle;
 pub mod plan;
 pub mod store;
 pub mod workspace;
 
-pub use error::OocError;
-pub use exec::{execute, four_step_in_ram, OocReport, STAGE_NAMES};
+pub use error::{JournalError, OocError, ResumeError};
+pub use exec::{execute, execute_resumable, four_step_in_ram, OocReport, STAGE_NAMES};
+pub use journal::{Journal, JournalHeader, JournalState, Recovered, JOURNAL_FILE, JOURNAL_SCHEMA};
 pub use oracle::{verify, OracleConfig, OracleReport};
-pub use plan::{plan, OocConfig, OocFault, OocFaultKind, OocPlan};
+pub use plan::{
+    plan, CheckpointConfig, CrashMode, CrashPoint, OocConfig, OocFault, OocFaultKind, OocPlan,
+    ResumeVerify,
+};
 pub use store::{padded_stride, OocStore};
-pub use workspace::Workspace;
+pub use workspace::{gc_stale, Workspace, WORKSPACE_PREFIX};
 
 use bwfft_num::signal::SplitMix64;
 use bwfft_num::Complex64;
+use bwfft_pipeline::exec::block_checksum;
+use std::path::Path;
 
 /// Everything a verified end-to-end run produced.
 #[derive(Clone, Debug)]
@@ -59,8 +66,16 @@ pub struct OocOutcome {
 /// `bwfft_num::signal::random_complex(rows·cols, seed)`, without ever
 /// materializing it whole.
 pub fn fill_random(store: &OocStore, seed: u64) -> Result<(), OocError> {
+    fill_random_fingerprinted(store, seed).map(|_| ())
+}
+
+/// [`fill_random`] that also returns the order-independent checksum of
+/// the whole signal — the input fingerprint a checkpoint journal binds
+/// in its header.
+pub fn fill_random_fingerprinted(store: &OocStore, seed: u64) -> Result<u64, OocError> {
     let mut rng = SplitMix64::new(seed);
     let mut row = bwfft_num::alloc::try_vec_zeroed::<Complex64>(store.cols(), "ooc signal row")?;
+    let mut fp = 0u64;
     for r in 0..store.rows() {
         for slot in row.iter_mut() {
             *slot = rng.next_complex();
@@ -68,8 +83,24 @@ pub fn fill_random(store: &OocStore, seed: u64) -> Result<(), OocError> {
         store
             .write_rows(r, &row)
             .map_err(|e| OocError::io("signal fill", e))?;
+        fp = fp.wrapping_add(block_checksum(&row));
     }
-    Ok(())
+    Ok(fp)
+}
+
+/// Streams the store's payload (padding excluded) into the same
+/// order-independent checksum [`fill_random_fingerprinted`] computed —
+/// the resume-time check that the input is still the journaled one.
+pub fn input_fingerprint(store: &OocStore) -> Result<u64, OocError> {
+    let mut row = bwfft_num::alloc::try_vec_zeroed::<Complex64>(store.cols(), "ooc signal row")?;
+    let mut fp = 0u64;
+    for r in 0..store.rows() {
+        store
+            .read_rows(r, &mut row)
+            .map_err(|e| OocError::io("fingerprint read", e))?;
+        fp = fp.wrapping_add(block_checksum(&row));
+    }
+    Ok(fp)
 }
 
 /// Plans, materializes a seeded random input store, executes, and
@@ -108,4 +139,130 @@ pub fn run_generated_in(
         report,
         oracle,
     })
+}
+
+/// How a checkpointed run uses its workspace directory.
+#[derive(Clone, Copy, Debug)]
+pub struct CheckpointRun<'a> {
+    /// The workspace directory — fixed, because a resumed process must
+    /// land exactly where the crashed one worked.
+    pub dir: &'a Path,
+    /// Continue an existing journal instead of starting fresh.
+    pub resume: bool,
+    /// Keep the workspace even on success (debugging aid).
+    pub keep: bool,
+}
+
+/// The crash-safe lifecycle: like [`run_generated`], but in a fixed
+/// workspace with a durable `bwfft-ooc-journal/1` checkpoint journal.
+///
+/// Fresh runs (`resume: false`) refuse to clobber an existing journal
+/// (typed [`JournalError::AlreadyExists`] — pass `resume: true` or
+/// remove the workspace). Resumed runs replay the journal's clean
+/// prefix, validate its header against the requested plan and the
+/// input store's fingerprint, re-verify journaled block checksums per
+/// [`plan::CheckpointConfig::resume_verify`], skip completed work, and
+/// finish the transform through the usual retry ladder and oracle.
+///
+/// On *any* failure the workspace (scratch + journal) is kept so the
+/// run can be resumed or examined — that is the whole point; callers
+/// print the path. On success it is removed unless `run.keep`.
+pub fn run_checkpointed(
+    n: usize,
+    seed: u64,
+    cfg: &OocConfig,
+    oracle_cfg: &OracleConfig,
+    run: &CheckpointRun<'_>,
+) -> Result<OocOutcome, OocError> {
+    let mut ws = Workspace::at(run.dir)?;
+    if run.keep {
+        ws.keep();
+    }
+    let out = run_checkpointed_in(n, seed, cfg, oracle_cfg, run, &ws);
+    if out.is_err() {
+        // Keep-on-crash: a typed failure must preserve the evidence
+        // and the resume frontier, not destroy them.
+        ws.keep();
+    }
+    out
+}
+
+fn run_checkpointed_in(
+    n: usize,
+    seed: u64,
+    cfg: &OocConfig,
+    oracle_cfg: &OracleConfig,
+    run: &CheckpointRun<'_>,
+    ws: &Workspace,
+) -> Result<OocOutcome, OocError> {
+    let p = plan::plan(n, cfg)?;
+    let jpath = ws.path(JOURNAL_FILE);
+    let input_path = ws.path("input.bin");
+    let output_path = ws.path("output.bin");
+    if run.resume {
+        if !jpath.exists() {
+            return Err(ResumeError::JournalMissing { path: jpath }.into());
+        }
+        let rec = Journal::recover(&jpath).map_err(OocError::Journal)?;
+        rec.header.matches(&p, cfg.budget_bytes, seed)?;
+        if !input_path.exists() {
+            return Err(ResumeError::ScratchMissing {
+                store: "input.bin",
+                path: input_path,
+            }
+            .into());
+        }
+        let input = OocStore::open(&input_path, p.n1, p.n2, p.stride_cols_n2)?;
+        let fp = input_fingerprint(&input)?;
+        if fp != rec.header.input_fp {
+            return Err(ResumeError::InputFingerprint {
+                journaled: rec.header.input_fp,
+                computed: fp,
+            }
+            .into());
+        }
+        let stage4_credited =
+            rec.state.stage_done[4].is_some() || !rec.state.blocks[4].is_empty();
+        if stage4_credited && !output_path.exists() {
+            return Err(ResumeError::ScratchMissing {
+                store: "output.bin",
+                path: output_path,
+            }
+            .into());
+        }
+        let output = OocStore::open_or_create(&output_path, p.n2, p.n1, p.stride_cols_n1)?;
+        let journal = Journal::open_append(&jpath, rec.clean_bytes).map_err(OocError::Journal)?;
+        let report = exec::execute_resumable(
+            &p,
+            cfg,
+            ws,
+            &input,
+            &output,
+            Some(&journal),
+            Some(&rec.state),
+        )?;
+        let oracle = oracle::verify(&input, &output, &p, oracle_cfg)?;
+        Ok(OocOutcome {
+            plan: p,
+            report,
+            oracle,
+        })
+    } else {
+        if jpath.exists() {
+            return Err(OocError::Journal(JournalError::AlreadyExists { path: jpath }));
+        }
+        let input = OocStore::create(&input_path, p.n1, p.n2, p.stride_cols_n2)?;
+        let fp = fill_random_fingerprinted(&input, seed)?;
+        let header = JournalHeader::for_plan(&p, cfg.budget_bytes, seed, fp);
+        let journal = Journal::create(&jpath, &header).map_err(OocError::Journal)?;
+        let output = OocStore::create(&output_path, p.n2, p.n1, p.stride_cols_n1)?;
+        let report =
+            exec::execute_resumable(&p, cfg, ws, &input, &output, Some(&journal), None)?;
+        let oracle = oracle::verify(&input, &output, &p, oracle_cfg)?;
+        Ok(OocOutcome {
+            plan: p,
+            report,
+            oracle,
+        })
+    }
 }

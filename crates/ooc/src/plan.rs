@@ -44,6 +44,55 @@ pub struct OocFault {
     pub kind: OocFaultKind,
 }
 
+/// How a resume re-checks journaled block checksums against the bytes
+/// actually in the scratch stores before trusting them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResumeVerify {
+    /// Re-verify up to this many evenly spaced blocks per stage —
+    /// cheap spot coverage proportional to nothing (the default).
+    Sample(usize),
+    /// Re-verify every journaled block (the kill-soak setting: any
+    /// bit-flipped scratch block *must* be caught, not sampled past).
+    All,
+}
+
+impl Default for ResumeVerify {
+    fn default() -> Self {
+        ResumeVerify::Sample(4)
+    }
+}
+
+/// What an injected crash point does once its journal record commits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashMode {
+    /// `std::process::abort()` — a real hard kill (no destructors, no
+    /// unwinding), the CLI child's flavor in the kill/restart soak.
+    Abort,
+    /// Stop the run with a typed [`crate::OocError::CrashPoint`] —
+    /// the in-process flavor for library tests, which cannot abort
+    /// the test runner.
+    Halt,
+}
+
+/// Crash the run immediately after the journal record for
+/// `(stage, block)` is durably committed — the most adversarial
+/// instant, because the record exists but nothing after it does.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashPoint {
+    pub stage: usize,
+    pub block: usize,
+    pub mode: CrashMode,
+}
+
+/// Checkpointing knobs, consulted only when a run carries a journal.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CheckpointConfig {
+    /// Resume-time checksum re-verification policy.
+    pub resume_verify: ResumeVerify,
+    /// Injected crash point (kill-soak / crash-safety drills).
+    pub crash: Option<CrashPoint>,
+}
+
 /// Caller knobs for an out-of-core run.
 #[derive(Clone, Debug)]
 pub struct OocConfig {
@@ -69,6 +118,9 @@ pub struct OocConfig {
     /// Metrics registry for per-stage storage accounting
     /// (`ooc.<stage>.*`). `None` keeps the run metric-free.
     pub metrics: Option<Arc<bwfft_metrics::Registry>>,
+    /// Checkpointing knobs; inert unless the run carries a journal
+    /// (see [`crate::run_checkpointed`]).
+    pub checkpoint: CheckpointConfig,
 }
 
 impl Default for OocConfig {
@@ -88,6 +140,7 @@ impl Default for OocConfig {
             fault: None,
             trace: None,
             metrics: None,
+            checkpoint: CheckpointConfig::default(),
         }
     }
 }

@@ -96,6 +96,62 @@ impl OocStore {
         })
     }
 
+    /// Opens an existing backing file *without* truncating it — the
+    /// resume path, where the file's current contents are the point.
+    /// The file must exist and be exactly the size `create` would have
+    /// produced; anything else means the store belongs to a different
+    /// plan and trusting it would corrupt the transform.
+    pub fn open(
+        path: &Path,
+        rows: usize,
+        cols: usize,
+        stride: usize,
+    ) -> Result<OocStore, OocError> {
+        debug_assert!(stride >= cols);
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(|e| OocError::io("store open", e))?;
+        let want = (rows * stride * ELEM_BYTES) as u64;
+        let have = file
+            .metadata()
+            .map_err(|e| OocError::io("store stat", e))?
+            .len();
+        if have != want {
+            return Err(OocError::Io {
+                context: "store open",
+                message: format!(
+                    "{} is {have} bytes, expected {want} for {rows}x{cols} stride {stride}",
+                    path.display()
+                ),
+            });
+        }
+        Ok(OocStore {
+            file: Arc::new(file),
+            path: path.to_path_buf(),
+            rows,
+            cols,
+            stride,
+        })
+    }
+
+    /// [`open`](Self::open) when the file exists, [`create`](Self::create)
+    /// otherwise — scratch stores on the resume path, where a stage may
+    /// or may not have gotten far enough to need its destination.
+    pub fn open_or_create(
+        path: &Path,
+        rows: usize,
+        cols: usize,
+        stride: usize,
+    ) -> Result<OocStore, OocError> {
+        if path.exists() {
+            Self::open(path, rows, cols, stride)
+        } else {
+            Self::create(path, rows, cols, stride)
+        }
+    }
+
     /// Creates a store whose stride is [`padded_stride`] for `spec`.
     pub fn create_padded(
         path: &Path,

@@ -9,8 +9,13 @@
 use crate::error::OocError;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, SystemTime};
 
 static WORKSPACE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Directory-name prefix shared by generated workspaces; [`gc_stale`]
+/// only ever touches directories carrying it.
+pub const WORKSPACE_PREFIX: &str = "bwfft-ooc-";
 
 /// A uniquely named scratch directory, removed on drop.
 #[derive(Debug)]
@@ -23,9 +28,22 @@ impl Workspace {
     /// Creates a fresh directory under `parent`.
     pub fn create_under(parent: &Path) -> Result<Workspace, OocError> {
         let seq = WORKSPACE_SEQ.fetch_add(1, Ordering::Relaxed);
-        let dir = parent.join(format!("bwfft-ooc-{}-{}", std::process::id(), seq));
+        let dir = parent.join(format!("{WORKSPACE_PREFIX}{}-{}", std::process::id(), seq));
         std::fs::create_dir_all(&dir).map_err(|e| OocError::io("workspace create", e))?;
         Ok(Workspace { dir, keep: false })
+    }
+
+    /// Adopts a caller-chosen directory (created if absent, reused if
+    /// present) — the checkpointed lifecycle, where a resumed process
+    /// must land in the *same* directory the crashed one used. The
+    /// workspace owns the directory: it is still removed on drop
+    /// unless [`keep`](Self::keep) is called.
+    pub fn at(dir: &Path) -> Result<Workspace, OocError> {
+        std::fs::create_dir_all(dir).map_err(|e| OocError::io("workspace create", e))?;
+        Ok(Workspace {
+            dir: dir.to_path_buf(),
+            keep: false,
+        })
     }
 
     /// Creates a fresh directory under the system temp dir.
@@ -47,6 +65,40 @@ impl Workspace {
     pub fn keep(&mut self) {
         self.keep = true;
     }
+}
+
+/// Removes workspaces under `parent` whose directory name carries
+/// [`WORKSPACE_PREFIX`] and whose last modification is older than
+/// `older_than` — the `workspace gc` helper for scratch kept alive by
+/// crashed or keep-on-failure runs that nobody came back to resume.
+/// Returns the removed paths. Only prefix-named directories are ever
+/// touched, so pointing this at a shared temp root is safe.
+pub fn gc_stale(parent: &Path, older_than: Duration) -> Result<Vec<PathBuf>, OocError> {
+    let mut removed = Vec::new();
+    let entries = std::fs::read_dir(parent).map_err(|e| OocError::io("workspace gc scan", e))?;
+    let now = SystemTime::now();
+    for entry in entries {
+        let entry = entry.map_err(|e| OocError::io("workspace gc scan", e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if !name.starts_with(WORKSPACE_PREFIX) {
+            continue;
+        }
+        let path = entry.path();
+        if !path.is_dir() {
+            continue;
+        }
+        let age = entry
+            .metadata()
+            .and_then(|m| m.modified())
+            .ok()
+            .and_then(|t| now.duration_since(t).ok());
+        if age.is_some_and(|a| a >= older_than) {
+            std::fs::remove_dir_all(&path).map_err(|e| OocError::io("workspace gc remove", e))?;
+            removed.push(path);
+        }
+    }
+    Ok(removed)
 }
 
 impl Drop for Workspace {
@@ -71,6 +123,43 @@ mod tests {
         assert!(dir.exists());
         drop(ws);
         assert!(!dir.exists());
+    }
+
+    #[test]
+    fn at_reuses_an_existing_directory() {
+        let root = std::env::temp_dir().join(format!(
+            "{WORKSPACE_PREFIX}at-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let mut ws = Workspace::at(&root).unwrap();
+        std::fs::write(ws.path("crumb.bin"), b"x").unwrap();
+        ws.keep();
+        drop(ws);
+        // A second adoption sees the surviving contents.
+        let ws = Workspace::at(&root).unwrap();
+        assert!(ws.path("crumb.bin").exists());
+        drop(ws); // not kept: removed
+        assert!(!root.exists());
+    }
+
+    #[test]
+    fn gc_removes_only_stale_prefixed_dirs() {
+        let parent = std::env::temp_dir().join(format!("bwfft-gc-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&parent);
+        std::fs::create_dir_all(&parent).unwrap();
+        let stale = parent.join(format!("{WORKSPACE_PREFIX}stale"));
+        let foreign = parent.join("keep-me");
+        std::fs::create_dir_all(&stale).unwrap();
+        std::fs::create_dir_all(&foreign).unwrap();
+        // Everything is younger than an hour: nothing to collect.
+        assert!(gc_stale(&parent, Duration::from_secs(3600)).unwrap().is_empty());
+        // Zero threshold: the prefixed dir goes, the foreign one stays.
+        let removed = gc_stale(&parent, Duration::ZERO).unwrap();
+        assert_eq!(removed, vec![stale.clone()]);
+        assert!(!stale.exists());
+        assert!(foreign.exists());
+        std::fs::remove_dir_all(&parent).unwrap();
     }
 
     #[test]

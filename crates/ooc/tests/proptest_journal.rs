@@ -1,0 +1,265 @@
+//! Adversarial property tests for the checkpoint journal, plus the
+//! byte-exact `bwfft-ooc-journal/1` schema snapshot.
+//!
+//! The safety contract under test: whatever bytes end up in a journal
+//! file — truncated, bit-flipped, duplicated, or followed by garbage —
+//! recovery must return a typed [`JournalError`] or the clean prefix of
+//! genuinely committed records. It must never panic, and it must never
+//! invent a completion record that was not appended ("false complete"
+//! is the one failure mode that could launder a wrong answer).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use bwfft_kernels::Direction;
+use bwfft_ooc::{Journal, JournalError, JournalHeader, JOURNAL_SCHEMA};
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static CASE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn scratch_file() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bwfft-journal-prop-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("j{}.bwfft", CASE_SEQ.fetch_add(1, Ordering::Relaxed)))
+}
+
+fn header() -> JournalHeader {
+    JournalHeader {
+        n: 4096,
+        n1: 64,
+        n2: 64,
+        half_elems: 256,
+        stride_cols_n1: 72,
+        stride_cols_n2: 72,
+        dir: Direction::Forward,
+        budget_bytes: 16384,
+        seed: 7,
+        input_fp: 12345,
+    }
+}
+
+/// One logical append the generator may choose.
+#[derive(Clone, Debug)]
+enum Rec {
+    Block { stage: usize, block: usize, sum: u64 },
+    Stage { stage: usize, blocks: usize },
+}
+
+fn arb_recs() -> impl Strategy<Value = Vec<Rec>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0usize..5, 0usize..32, any::<u64>())
+                .prop_map(|(stage, block, sum)| Rec::Block { stage, block, sum }),
+            (0usize..5, 1usize..32).prop_map(|(stage, blocks)| Rec::Stage { stage, blocks }),
+        ],
+        0..24,
+    )
+}
+
+/// Block facts `(stage, block, checksum)` genuinely committed.
+type BlockFacts = HashSet<(usize, usize, u64)>;
+/// Stage-complete facts `(stage, blocks)` genuinely committed.
+type StageFacts = HashSet<(usize, usize)>;
+
+/// Writes a journal of `recs` and returns its path plus the sets of
+/// facts that were genuinely committed.
+fn write_journal(recs: &[Rec]) -> (PathBuf, BlockFacts, StageFacts) {
+    let path = scratch_file();
+    let _ = std::fs::remove_file(&path);
+    let j = Journal::create(&path, &header()).unwrap();
+    let mut blocks = HashSet::new();
+    let mut stages = HashSet::new();
+    for r in recs {
+        match *r {
+            Rec::Block { stage, block, sum } => {
+                j.append_block(stage, block, sum).unwrap();
+                blocks.insert((stage, block, sum));
+            }
+            Rec::Stage { stage, blocks: b } => {
+                j.append_stage(stage, b).unwrap();
+                stages.insert((stage, b));
+            }
+        }
+    }
+    (path, blocks, stages)
+}
+
+/// The "never false complete" check: every fact in a recovered state
+/// must have been appended, byte for byte.
+fn assert_no_invented_records(
+    state: &bwfft_ooc::JournalState,
+    blocks: &HashSet<(usize, usize, u64)>,
+    stages: &HashSet<(usize, usize)>,
+) {
+    for (stage, map) in state.blocks.iter().enumerate() {
+        for (&block, &sum) in map {
+            assert!(
+                blocks.contains(&(stage, block, sum)),
+                "recovered block ({stage},{block})={sum} was never appended"
+            );
+        }
+    }
+    for (stage, done) in state.stage_done.iter().enumerate() {
+        if let Some(b) = done {
+            assert!(
+                stages.contains(&(stage, *b)),
+                "recovered stage record ({stage},{b}) was never appended"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A journal recovered untouched reproduces exactly the appended
+    /// facts, with last-wins duplicate semantics.
+    #[test]
+    fn untouched_recovery_is_exact(recs in arb_recs()) {
+        let (path, blocks, stages) = write_journal(&recs);
+        let rec = Journal::recover(&path).unwrap();
+        prop_assert_eq!(rec.dropped_bytes, 0);
+        prop_assert_eq!(rec.records, recs.len() as u64);
+        assert_no_invented_records(&rec.state, &blocks, &stages);
+        // Last-wins: the final append for each key is what survives.
+        let mut last_sum = std::collections::HashMap::new();
+        let mut last_stage = std::collections::HashMap::new();
+        for r in &recs {
+            match *r {
+                Rec::Block { stage, block, sum } => { last_sum.insert((stage, block), sum); }
+                Rec::Stage { stage, blocks } => { last_stage.insert(stage, blocks); }
+            }
+        }
+        for ((stage, block), sum) in last_sum {
+            prop_assert_eq!(rec.state.blocks[stage].get(&block), Some(&sum));
+        }
+        for (stage, b) in last_stage {
+            prop_assert_eq!(rec.state.stage_done[stage], Some(b));
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Truncation at any byte boundary: either a typed error (the
+    /// header itself is gone) or the clean prefix — never a panic,
+    /// never an invented record.
+    #[test]
+    fn arbitrary_truncation_is_safe(recs in arb_recs(), cut in any::<usize>()) {
+        let (path, blocks, stages) = write_journal(&recs);
+        let full = std::fs::read(&path).unwrap();
+        let keep = cut % (full.len() + 1);
+        std::fs::write(&path, &full[..keep]).unwrap();
+        match Journal::recover(&path) {
+            Ok(rec) => {
+                assert_no_invented_records(&rec.state, &blocks, &stages);
+                prop_assert!(rec.clean_bytes <= keep as u64);
+            }
+            Err(JournalError::NoHeader) => {
+                // Legal only if the cut reached into the header frame
+                // (which ends at the file's first newline).
+                let header_len = full.iter().position(|&b| b == b'\n').unwrap() + 1;
+                prop_assert!(keep < header_len, "NoHeader despite intact header frame");
+            }
+            Err(e) => return Err(TestCaseError::Fail(format!("unexpected error: {e}"))),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// A single flipped bit anywhere: typed error or clean prefix,
+    /// never a panic, never an invented record (CRC-32 catches every
+    /// single-bit error within a frame).
+    #[test]
+    fn arbitrary_bit_flip_is_safe(
+        recs in arb_recs(),
+        at in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        let (path, blocks, stages) = write_journal(&recs);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let i = at % bytes.len();
+        bytes[i] ^= 1 << bit;
+        std::fs::write(&path, &bytes).unwrap();
+        match Journal::recover(&path) {
+            Ok(rec) => assert_no_invented_records(&rec.state, &blocks, &stages),
+            Err(
+                JournalError::NoHeader
+                | JournalError::Schema { .. }
+                | JournalError::Record { .. },
+            ) => {}
+            Err(e) => return Err(TestCaseError::Fail(format!("unexpected error: {e}"))),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Arbitrary garbage appended after the clean frames: recovery
+    /// never panics and never invents records; a tail that happens to
+    /// frame-decode but violates the record schema is a typed error.
+    #[test]
+    fn garbage_tail_is_safe(recs in arb_recs(), tail in prop::collection::vec(any::<u8>(), 1..64)) {
+        let (path, blocks, stages) = write_journal(&recs);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&tail);
+        std::fs::write(&path, &bytes).unwrap();
+        match Journal::recover(&path) {
+            Ok(rec) => {
+                assert_no_invented_records(&rec.state, &blocks, &stages);
+                prop_assert!(rec.dropped_bytes >= 1, "garbage tail cannot be clean");
+            }
+            Err(JournalError::Record { .. }) => {}
+            Err(e) => return Err(TestCaseError::Fail(format!("unexpected error: {e}"))),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+/// The `bwfft-ooc-journal/1` on-disk format, byte for byte. If this
+/// test changes, the schema version must be bumped: a crashed run's
+/// journal written by the previous build must either replay exactly or
+/// be refused with a typed error — never reinterpreted.
+#[test]
+fn journal_schema_snapshot_is_byte_exact() {
+    let path = scratch_file();
+    let _ = std::fs::remove_file(&path);
+    let j = Journal::create(&path, &header()).unwrap();
+    j.append_block(0, 0, 42).unwrap();
+    j.append_block(1, 3, 17).unwrap();
+    j.append_stage(0, 16).unwrap();
+    let got = std::fs::read_to_string(&path).unwrap();
+    let want = concat!(
+        "193 ec280865 {\"schema\":\"bwfft-ooc-journal/1\",\"kind\":\"header\",",
+        "\"n\":4096,\"n1\":64,\"n2\":64,\"half_elems\":256,",
+        "\"stride_cols_n1\":72,\"stride_cols_n2\":72,\"dir\":\"forward\",",
+        "\"budget_bytes\":16384,\"seed\":7,\"input_fp\":12345}\n",
+        "50 09bbf2fd {\"kind\":\"block\",\"stage\":0,\"block\":0,\"checksum\":42}\n",
+        "50 bcd2d636 {\"kind\":\"block\",\"stage\":1,\"block\":3,\"checksum\":17}\n",
+        "38 ef4a3b86 {\"kind\":\"stage\",\"stage\":0,\"blocks\":16}\n",
+    );
+    assert_eq!(got, want, "bwfft-ooc-journal/1 bytes drifted — bump the schema version");
+    assert_eq!(JOURNAL_SCHEMA, "bwfft-ooc-journal/1");
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// A journal whose header names a future schema is refused, typed.
+#[test]
+fn future_schema_is_refused() {
+    let path = scratch_file();
+    let _ = std::fs::remove_file(&path);
+    let payload = "{\"schema\":\"bwfft-ooc-journal/2\",\"kind\":\"header\"}";
+    std::fs::write(&path, bwfft_ooc::journal::encode_frame(payload)).unwrap();
+    match Journal::recover(&path) {
+        Err(JournalError::Schema { found }) => assert_eq!(found, "bwfft-ooc-journal/2"),
+        other => panic!("expected Schema error, got {other:?}"),
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// An empty or non-journal file is `NoHeader`, not a crash.
+#[test]
+fn empty_and_foreign_files_are_typed() {
+    let path = scratch_file();
+    std::fs::write(&path, b"").unwrap();
+    assert!(matches!(Journal::recover(&path), Err(JournalError::NoHeader)));
+    std::fs::write(&path, b"not a journal at all\n").unwrap();
+    assert!(matches!(Journal::recover(&path), Err(JournalError::NoHeader)));
+    std::fs::remove_file(&path).unwrap();
+}

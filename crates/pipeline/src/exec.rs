@@ -153,7 +153,7 @@ impl IntegrityConfig {
 /// it is the dominant cost of `IntegrityConfig::checksums` and must
 /// stay near memory speed.
 #[inline]
-fn block_checksum(xs: &[Complex64]) -> u64 {
+pub fn block_checksum(xs: &[Complex64]) -> u64 {
     let mut lanes = [0u64; 4];
     let mut chunks = xs.chunks_exact(4);
     for c in &mut chunks {

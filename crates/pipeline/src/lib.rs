@@ -34,8 +34,8 @@ pub use buffer::{split_disjoint, BufferError, DoubleBuffer};
 pub use cancel::{CancelReason, CancelToken};
 pub use error::{ConfigError, IntegrityKind, PipelineError};
 pub use exec::{
-    run_pipeline, AdaptiveWatchdog, IntegrityConfig, PipelineCallbacks, PipelineConfig,
-    PipelineReport,
+    block_checksum, run_pipeline, AdaptiveWatchdog, IntegrityConfig, PipelineCallbacks,
+    PipelineConfig, PipelineReport,
 };
 pub use fault::{FaultPhase, FaultPlan, FaultSite, StallFault};
 pub use roles::{Role, RoleAssignment};

@@ -59,6 +59,12 @@ pub struct ServeConfig {
     pub breaker: BreakerConfig,
     /// Per-request recovery budget (retries, backoff, escalation).
     pub retry: RetryPolicy,
+    /// Ceiling on the `max_attempts` a per-request [`RetryPolicy`]
+    /// override may request. `None` admits any override; with a
+    /// ceiling set, over-budget requests are shed typed
+    /// (`retry_budget`) at admission — one caller cannot buy unbounded
+    /// retry work on a shared service.
+    pub retry_ceiling: Option<usize>,
     /// Pipeline integrity guards armed for every request.
     pub integrity: IntegrityConfig,
     /// Arm the whole-run Parseval/energy check on every request, so
@@ -89,6 +95,7 @@ impl Default for ServeConfig {
             default_deadline: None,
             breaker: BreakerConfig::default(),
             retry: RetryPolicy::default(),
+            retry_ceiling: None,
             integrity: IntegrityConfig::default(),
             verify_energy: false,
             trace: None,
@@ -106,6 +113,7 @@ pub struct RejectCounts {
     pub pool_exhausted: u64,
     pub breaker_open: u64,
     pub shutting_down: u64,
+    pub retry_budget: u64,
 }
 
 impl RejectCounts {
@@ -115,6 +123,7 @@ impl RejectCounts {
             + self.pool_exhausted
             + self.breaker_open
             + self.shutting_down
+            + self.retry_budget
     }
 }
 
@@ -177,6 +186,11 @@ struct QueuedRequest {
     token: CancelToken,
     tier: RecoveryTier,
     fault: Option<FaultPlan>,
+    /// Per-request policy overrides (admission already enforced the
+    /// retry ceiling); `None` fields fall back to the server defaults.
+    retry: Option<RetryPolicy>,
+    integrity: Option<IntegrityConfig>,
+    verify_energy: Option<bool>,
     submitted_at: Instant,
     bytes: usize,
     cell: Arc<OutcomeCell>,
@@ -251,6 +265,7 @@ struct Counters {
     rej_pool: AtomicU64,
     rej_breaker: AtomicU64,
     rej_shutdown: AtomicU64,
+    rej_retry_budget: AtomicU64,
 }
 
 struct Shared {
@@ -272,6 +287,7 @@ struct Shared {
     flight: Option<Arc<FlightRecorder>>,
     next_request_id: AtomicU64,
     byte_budget: Option<usize>,
+    retry_ceiling: Option<usize>,
     queue_capacity: usize,
     default_deadline: Option<Duration>,
 }
@@ -326,6 +342,7 @@ impl FftServer {
             flight: cfg.flight,
             next_request_id: AtomicU64::new(0),
             byte_budget: cfg.byte_budget,
+            retry_ceiling: cfg.retry_ceiling,
             queue_capacity: cfg.queue_capacity,
             default_deadline: cfg.default_deadline,
         });
@@ -360,6 +377,19 @@ impl FftServer {
         let plan = self.plan_for(&req)?;
         if let (Some(inst), Some(t0)) = (shared.inst.as_ref(), plan_t0) {
             inst.plan_resolve_ns.record_duration(t0.elapsed());
+        }
+
+        // Retry-budget ceiling: a per-request policy override must not
+        // buy more recovery work than the server is willing to sell.
+        // Checked before any state is held — the verdict depends only
+        // on the request and the configuration.
+        if let (Some(ceiling), Some(policy)) = (shared.retry_ceiling, req.retry.as_ref()) {
+            if policy.max_attempts > ceiling {
+                return Err(self.reject(RejectReason::RetryBudget {
+                    requested: policy.max_attempts,
+                    ceiling,
+                }));
+            }
         }
 
         let bytes = req.working_bytes();
@@ -418,6 +448,9 @@ impl FftServer {
             token,
             tier,
             fault: req.fault,
+            retry: req.retry,
+            integrity: req.integrity,
+            verify_energy: req.verify_energy,
             submitted_at,
             bytes,
             cell,
@@ -469,6 +502,7 @@ impl FftServer {
                 pool_exhausted: load(&c.rej_pool),
                 breaker_open: load(&c.rej_breaker),
                 shutting_down: load(&c.rej_shutdown),
+                retry_budget: load(&c.rej_retry_budget),
             },
             tier_completed: [
                 load(&c.tier_completed[0]),
@@ -574,6 +608,7 @@ impl FftServer {
             RejectReason::PoolExhausted(_) => &c.rej_pool,
             RejectReason::BreakerOpen => &c.rej_breaker,
             RejectReason::ShuttingDown => &c.rej_shutdown,
+            RejectReason::RetryBudget { .. } => &c.rej_retry_budget,
         };
         counter.fetch_add(1, Ordering::Relaxed);
         if let Some(inst) = self.shared.inst.as_ref() {
@@ -660,10 +695,18 @@ fn execute_request(shared: &Arc<Shared>, req: QueuedRequest) {
         token,
         tier,
         fault,
+        retry,
+        integrity,
+        verify_energy,
         submitted_at,
         bytes,
         cell,
     } = req;
+    let overrides = ExecOverrides {
+        retry,
+        integrity,
+        verify_energy,
+    };
 
     if let Some(inst) = shared.inst.as_ref() {
         inst.queue_wait_ns.record_duration(submitted_at.elapsed());
@@ -679,7 +722,9 @@ fn execute_request(shared: &Arc<Shared>, req: QueuedRequest) {
     let exec_t0 = shared.inst.as_ref().map(|_| Instant::now());
 
     let trace = flight_trace.clone().or_else(|| shared.trace.clone());
-    let verdict = run_at_tier(shared, &plan, &mut data, &mut work, &token, tier, &fault, trace);
+    let verdict = run_at_tier(
+        shared, &plan, &mut data, &mut work, &token, tier, &fault, &overrides, trace,
+    );
     let latency = submitted_at.elapsed();
 
     // Classify flight-dump triggers before the verdict is consumed:
@@ -802,6 +847,13 @@ fn execute_request(shared: &Arc<Shared>, req: QueuedRequest) {
     cell.deliver(outcome);
 }
 
+/// Per-request execution policy overrides, already past admission.
+struct ExecOverrides {
+    retry: Option<RetryPolicy>,
+    integrity: Option<IntegrityConfig>,
+    verify_energy: Option<bool>,
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_at_tier(
     shared: &Shared,
@@ -811,6 +863,7 @@ fn run_at_tier(
     token: &CancelToken,
     tier: RecoveryTier,
     fault: &Option<FaultPlan>,
+    overrides: &ExecOverrides,
     trace: Option<Arc<TraceCollector>>,
 ) -> Result<(RecoveryTier, bool), CoreError> {
     if let Some(reason) = token.fired() {
@@ -830,8 +883,8 @@ fn run_at_tier(
                 fault: fault.clone(),
                 trace,
                 metrics: shared.metrics.clone(),
-                integrity: shared.integrity,
-                verify_energy: shared.verify_energy,
+                integrity: overrides.integrity.unwrap_or(shared.integrity),
+                verify_energy: overrides.verify_energy.unwrap_or(shared.verify_energy),
                 cancel: Some(token.clone()),
                 ..ExecConfig::default()
             };
@@ -839,9 +892,19 @@ fn run_at_tier(
             if start == RecoveryTier::Fused {
                 plan.executor = ExecutorKind::Fused;
             }
-            let rep = shared
-                .supervisor
-                .run(&plan, data.as_mut_slice(), work.as_mut_slice(), &cfg)?;
+            // A per-request retry policy gets its own supervisor —
+            // construction is a couple of field copies, nothing shared.
+            let rep = match overrides.retry.clone() {
+                Some(policy) => Supervisor::new(policy).run(
+                    &plan,
+                    data.as_mut_slice(),
+                    work.as_mut_slice(),
+                    &cfg,
+                )?,
+                None => shared
+                    .supervisor
+                    .run(&plan, data.as_mut_slice(), work.as_mut_slice(), &cfg)?,
+            };
             Ok((rep.tier, rep.recovered()))
         }
     }
@@ -944,6 +1007,98 @@ mod tests {
         assert!(report.holds(), "{report:?}");
         assert_eq!(report.plan_cache.misses, 2, "{:?}", report.plan_cache);
         assert_eq!(report.plan_cache.hits, 3, "{:?}", report.plan_cache);
+    }
+
+    #[test]
+    fn over_ceiling_retry_budgets_are_shed_typed() {
+        let mut server = FftServer::start(ServeConfig {
+            workers: 0,
+            retry_ceiling: Some(3),
+            ..ServeConfig::default()
+        });
+        // Over the ceiling: shed at the door, nothing queued.
+        let greedy = RetryPolicy {
+            max_attempts: 8,
+            ..RetryPolicy::default()
+        };
+        let err = server.submit(request(1).retry(greedy)).unwrap_err();
+        match err {
+            ServeError::Rejected {
+                reason: reason @ RejectReason::RetryBudget { requested: 8, ceiling: 3 },
+            } => assert_eq!(reason.token(), "retry_budget"),
+            other => panic!("wrong rejection: {other}"),
+        }
+        assert_eq!(server.queue_depth(), 0);
+        // At the ceiling: admitted and completed with its own budget.
+        let frugal = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        };
+        let t = server.submit(request(2).retry(frugal)).unwrap();
+        let report = server.shutdown();
+        assert!(matches!(t.wait(), RequestOutcome::Completed { .. }));
+        assert!(report.holds(), "{report:?}");
+        assert_eq!(report.rejected.retry_budget, 1);
+        assert_eq!(report.completed, 1);
+    }
+
+    #[test]
+    fn without_a_ceiling_any_retry_override_is_admitted() {
+        let mut server = FftServer::start(ServeConfig {
+            workers: 0,
+            ..ServeConfig::default()
+        });
+        let greedy = RetryPolicy {
+            max_attempts: 64,
+            ..RetryPolicy::default()
+        };
+        let t = server.submit(request(1).retry(greedy)).unwrap();
+        let report = server.shutdown();
+        assert!(matches!(t.wait(), RequestOutcome::Completed { .. }));
+        assert!(report.holds(), "{report:?}");
+        assert_eq!(report.rejected.total(), 0);
+    }
+
+    #[test]
+    fn per_request_integrity_override_recovers_injected_corruption() {
+        bwfft_pipeline::fault::silence_injected_panic_reports();
+        // Server default: guards OFF. The request arms the full set
+        // itself — corruption must be detected on its run and recovered
+        // (pipelined detects, fused has no handoffs to corrupt).
+        let mut server = FftServer::start(ServeConfig {
+            workers: 1,
+            retry: RetryPolicy {
+                backoff_base: Duration::from_micros(100),
+                backoff_cap: Duration::from_millis(2),
+                ..RetryPolicy::default()
+            },
+            ..ServeConfig::default()
+        });
+        let seed = 77;
+        let req = request(seed)
+            .threads(2, 2)
+            .integrity(IntegrityConfig::full())
+            .verify_energy(true)
+            .fault(FaultPlan::corrupt_at(
+                bwfft_pipeline::Role::Data,
+                0,
+                1,
+                bwfft_pipeline::FaultPhase::Load,
+            ));
+        let t = server.submit(req).unwrap();
+        let report = server.shutdown();
+        match t.wait() {
+            RequestOutcome::Completed {
+                output, recovered, ..
+            } => {
+                assert!(recovered, "guards must have caught the corruption");
+                let expect = reference_of(seed);
+                assert!(rel_l2_error(&output, &expect) <= fft_tolerance(TOTAL));
+            }
+            other => panic!("expected recovered completion, got {other:?}"),
+        }
+        assert!(report.holds(), "{report:?}");
+        assert_eq!(report.recovered_runs, 1);
     }
 
     #[test]

@@ -134,6 +134,10 @@ pub enum MarkKind {
     /// A serving-layer event (admission rejection, breaker transition,
     /// drain); label describes it.
     Serve,
+    /// A crash-recovery resume event (out-of-core checkpoint journal
+    /// replay: frontier stage, skipped/re-verified block counts); label
+    /// describes it.
+    Resume,
 }
 
 impl MarkKind {
@@ -146,6 +150,7 @@ impl MarkKind {
             MarkKind::TunerWinner => "tuner_winner",
             MarkKind::Recovery => "recovery",
             MarkKind::Serve => "serve",
+            MarkKind::Resume => "resume",
         }
     }
 
@@ -158,6 +163,7 @@ impl MarkKind {
             "tuner_winner" => Some(MarkKind::TunerWinner),
             "recovery" => Some(MarkKind::Recovery),
             "serve" => Some(MarkKind::Serve),
+            "resume" => Some(MarkKind::Resume),
             _ => None,
         }
     }
@@ -209,6 +215,7 @@ mod tests {
             MarkKind::TunerWinner,
             MarkKind::Recovery,
             MarkKind::Serve,
+            MarkKind::Resume,
         ] {
             assert_eq!(MarkKind::from_token(k.token()), Some(k));
         }

@@ -150,6 +150,32 @@ echo "$ooc_out" | grep -q "faults_hit=1" \
   || { echo "ooc smoke FAILED: injected fault did not fire in:"; echo "$ooc_out"; exit 1; }
 echo "ooc smoke: OK"
 
+echo "== ooc crash smoke (SIGABRT mid-stage, resume from the journal) =="
+# Kill a checkpointed run right after block 0 of stage 3 commits its
+# journal record (the child genuinely dies by SIGABRT, exit 134), then
+# resume in a fresh process: the journal must skip every finished
+# block, re-verify the journaled checksums, and the sampled oracle
+# must still hold (DESIGN.md §15).
+cargo build -q --bin bwfft-cli
+crashdir="$benchdir/ooc-crash"
+rc=0
+./target/debug/bwfft-cli ooc --n 4096 --budget 16384 --seed 7 \
+  --workspace "$crashdir" --crash-at 3,0 > /dev/null 2>&1 || rc=$?
+[ "$rc" -eq 134 ] \
+  || { echo "ooc crash smoke FAILED: expected SIGABRT (exit 134), got $rc"; exit 1; }
+[ -f "$crashdir/journal.bwfft" ] \
+  || { echo "ooc crash smoke FAILED: killed run left no journal"; exit 1; }
+resume_out="$(./target/debug/bwfft-cli ooc --n 4096 --budget 16384 --seed 7 \
+  --workspace "$crashdir" --resume --resume-verify all)"
+echo "$resume_out" | grep -q "ooc contract holds" \
+  || { echo "ooc crash smoke FAILED: oracle broke after resume in:"; echo "$resume_out"; exit 1; }
+echo "$resume_out" | grep -q "resume: resumed=true" \
+  || { echo "ooc crash smoke FAILED: resume line missing in:"; echo "$resume_out"; exit 1; }
+skipped=$(echo "$resume_out" | sed -n 's/.*skipped_blocks=\([0-9]*\).*/\1/p')
+[ "${skipped:-0}" -gt 0 ] \
+  || { echo "ooc crash smoke FAILED: no blocks skipped on resume in:"; echo "$resume_out"; exit 1; }
+echo "ooc crash smoke: OK (skipped_blocks=$skipped)"
+
 echo "== r2c smoke (packed half-spectrum path: differential + Parseval + round trip) =="
 r2c_out="$(cargo run -q --bin bwfft-cli -- r2c --dims 16x32 --threads 2,2 --verify)"
 echo "$r2c_out" | grep -q "r2c contract holds" \

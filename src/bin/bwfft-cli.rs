@@ -15,11 +15,15 @@
 //!                 [--integrity [--baseline-out PATH]]
 //!                 [--compare BASELINE [--current PATH]] [--threshold PCT]
 //! bwfft-cli soak [--iters N] [--seed S] [--stall-ms N] [--serve [--serve-iters N]]
+//!                [--ooc-kill [--ooc-dir PATH]]
 //! bwfft-cli serve --requests N [--dims KxNxM] [--buffer B] [--threads D,C]
 //!                 [--workers W] [--queue-depth Q] [--byte-budget BYTES]
 //!                 [--deadline-ms N] [--arrival-us N] [--seed S]
 //! bwfft-cli ooc --n N [--budget BYTES] [--bins K] [--seed S] [--inverse]
 //!               [--threads D,C] [--inject-io-fault KIND,STAGE,ITER]
+//!               [--workspace PATH [--resume] [--keep-workspace]
+//!                [--resume-verify sample:K|all] [--crash-at STAGE,BLOCK]]
+//! bwfft-cli workspace gc --dir PATH [--older-than-secs N]
 //! bwfft-cli r2c --dims KxNxM [--threads D,C] [--buffer B] [--seed S] [--verify]
 //!               [--integrity] [--recover] [--inject-panic ROLE,T,I] [--timeout-ms N]
 //! bwfft-cli conv --dims KxNxM [--threads D,C] [--buffer B] [--seed S] [--impulse]
@@ -69,6 +73,25 @@
 //! `faults_hit` and retries so `scripts/verify.sh` can assert the
 //! recovery actually happened.
 //!
+//! `ooc --workspace PATH` switches to the crash-safe lifecycle
+//! (DESIGN.md §15): the run works in the named directory and commits a
+//! durable `bwfft-ooc-journal/1` checkpoint record per completed block.
+//! If the process dies — crash, OOM-kill, power cut, or the test-only
+//! `--crash-at STAGE,BLOCK` abort — the workspace is kept and `ooc
+//! --workspace PATH --resume` continues from the journal: it validates
+//! the journaled plan and input fingerprint, re-verifies stored block
+//! checksums per `--resume-verify` (default `sample:4`; `all` for
+//! drills), skips completed work, and reruns at most the one in-flight
+//! stage. The `resume:` report line carries the machine-parseable
+//! skipped/re-verified/rework counters that `soak --ooc-kill`,
+//! `tests/ooc_crash.rs` and the CI `ooc-crash` smoke assert. `workspace
+//! gc` sweeps abandoned unnamed scratch directories; named checkpoint
+//! workspaces are never touched. `soak --ooc-kill` runs the
+//! kill/restart drill: child `ooc` processes aborted at seeded
+//! (stage, block) points across all five stages, journals torn,
+//! scratch blocks bit-flipped, then resumed — never wrong, never a
+//! panic, rework bounded by one stage.
+//!
 //! `r2c` runs a real-input transform through the packed half-spectrum
 //! path (DESIGN.md §13): r2c, the unnormalized c2r round-trip, the
 //! packed-Parseval identity, and (with `--verify`) a differential
@@ -111,7 +134,7 @@
 //! |------|-------|--------|
 //! | 0 | success | — |
 //! | 0 | serve drained | graceful drain: every submission got exactly one typed outcome; shed requests (`queue_full`, `byte_budget`, `pool_exhausted`, `breaker_open`, `shutting_down`) and `deadline-exceeded` outcomes are counted and reported, not faults |
-//! | 1 | runtime fault | `WorkerPanicked`, `StageTimeout`, `Simulation`, `Integrity`, `Allocation`, failed verification, perf regression, soak contract violation, non-usage `Tuner`, every typed `ooc` failure (infeasible size/budget, exhausted stage ladder, oracle or Parseval mismatch) |
+//! | 1 | runtime fault | `WorkerPanicked`, `StageTimeout`, `Simulation`, `Integrity`, `Allocation`, failed verification, perf regression, soak contract violation, non-usage `Tuner`, every typed `ooc` failure (infeasible size/budget, exhausted stage ladder, oracle or Parseval mismatch, journal clobber/corruption, resume plan or fingerprint mismatch, scratch corruption) |
 //! | 1 | serve fault | `Failed` request outcomes, drain accounting that does not balance, serve-soak contract violation |
 //! | 2 | usage | `Plan`, `Config`, `InputLength`, `SocketMismatch`, bad-wisdom `Tuner`, bad flags, serve `InvalidRequest`/`InputLength` (malformed descriptors are the caller's fault, never load shedding) |
 //!
@@ -138,11 +161,16 @@ use bwfft::machine::{presets, MachineSpec};
 use bwfft::metrics::{FlightRecorder, MetricsSnapshot, Registry};
 use bwfft::num::compare::rel_l2_error;
 use bwfft::num::{signal, AlignedVec, Complex64};
-use bwfft::ooc::{OocConfig, OocFault, OocFaultKind, OracleConfig};
+use bwfft::ooc::{
+    gc_stale, run_checkpointed, CheckpointRun, CrashMode, CrashPoint, OocConfig, OocFault,
+    OocFaultKind, OracleConfig, ResumeVerify,
+};
 use bwfft::pipeline::{AdaptiveWatchdog, FaultPlan, IntegrityConfig, Role};
 use bwfft::real::{packed_spectrum_energy, RealFftPlan, SpectralConvPlan};
 use bwfft::serve::ServeError;
-use bwfft::soak::{run_serve_soak, run_soak, ServeSoakConfig, SoakConfig};
+use bwfft::soak::{
+    run_ooc_kill_soak, run_serve_soak, run_soak, OocKillSoakConfig, ServeSoakConfig, SoakConfig,
+};
 use bwfft::trace::TraceCollector;
 use bwfft::tuner::{wisdom, HostFingerprint, PlanCache, Tuner, TunerOptions, Wisdom, WisdomLoad};
 use bwfft::BwfftError;
@@ -218,6 +246,7 @@ usage:
                   [--requests N] [--workers W] [--arrival-us N]
                   [--metrics-overhead --baseline-out PATH]
   bwfft-cli soak [--iters N] [--seed S] [--stall-ms N] [--serve [--serve-iters N]]
+                 [--ooc-kill [--ooc-dir PATH]]
   bwfft-cli serve --requests N [--dims KxNxM] [--buffer B] [--threads D,C]
                   [--workers W] [--queue-depth Q] [--byte-budget BYTES]
                   [--deadline-ms N] [--arrival-us N] [--seed S]
@@ -225,6 +254,9 @@ usage:
   bwfft-cli stat --from A.json --to B.json
   bwfft-cli ooc --n N [--budget BYTES] [--bins K] [--seed S] [--inverse]
                 [--threads D,C] [--inject-io-fault KIND,STAGE,ITER]
+                [--workspace PATH [--resume] [--keep-workspace]
+                 [--resume-verify sample:K|all] [--crash-at STAGE,BLOCK]]
+  bwfft-cli workspace gc --dir PATH [--older-than-secs N]
   bwfft-cli r2c --dims KxNxM [--threads D,C] [--buffer B] [--seed S] [--verify]
                 [--integrity] [--recover] [--inject-panic ROLE,T,I] [--timeout-ms N]
   bwfft-cli conv --dims KxNxM [--threads D,C] [--buffer B] [--seed S] [--impulse]
@@ -236,6 +268,18 @@ fn run(args: &[String]) -> Result<(), CliError> {
     let Some(cmd) = args.first() else {
         return Err(usage("missing command"));
     };
+    // `workspace` takes a positional subaction before its flags.
+    if cmd == "workspace" {
+        return match args.get(1).map(String::as_str) {
+            Some("gc") => {
+                let opts = parse_flags(&args[2..]).map_err(usage)?;
+                cmd_workspace_gc(&opts)
+            }
+            _ => Err(usage(
+                "workspace takes the `gc` subaction: workspace gc --dir PATH [--older-than-secs N]",
+            )),
+        };
+    }
     let opts = parse_flags(&args[1..]).map_err(usage)?;
     match cmd.as_str() {
         "machines" => {
@@ -545,6 +589,35 @@ fn cmd_soak(opts: &HashMap<String, String>) -> Result<(), CliError> {
         }
         println!("serve soak contract holds: one typed outcome per request, never wrong");
     }
+    if opts.contains_key("ooc-kill") {
+        // The kill/restart drill: real child processes aborted
+        // mid-stage, journals torn, scratch bit-flipped, then resumed.
+        let mut kcfg = OocKillSoakConfig {
+            seed: cfg.seed,
+            ..OocKillSoakConfig::default()
+        };
+        if let Some(d) = opts.get("ooc-dir") {
+            kcfg.parent = Some(PathBuf::from(d));
+        }
+        println!(
+            "ooc kill soak: {} kill/resume cycle(s), seed {:#x}, n = {}, \
+             budget {} B (tamper matrix: torn tail / garbage tail / scratch flip)",
+            kcfg.iters, kcfg.seed, kcfg.n, kcfg.budget_bytes
+        );
+        let kreport = run_ooc_kill_soak(&kcfg).map_err(|e| CliError::Runtime(e.to_string()))?;
+        println!("{}", kreport.render());
+        if !kreport.holds() {
+            return Err(CliError::Runtime(format!(
+                "ooc kill soak contract violated: {} wrong answer(s), {} panic(s), \
+                 {} unbounded rework, {} unexpected exit(s)",
+                kreport.wrong_answers,
+                kreport.panics,
+                kreport.unbounded_rework,
+                kreport.unexpected_child_exits
+            )));
+        }
+        println!("ooc kill soak contract holds: never wrong, never a panic, bounded rework");
+    }
     Ok(())
 }
 
@@ -848,6 +921,22 @@ fn cmd_ooc(opts: &HashMap<String, String>) -> Result<(), CliError> {
     if let Some(spec) = opts.get("inject-io-fault") {
         cfg.fault = Some(parse_io_fault(spec).map_err(usage)?);
     }
+    let workspace = opts.get("workspace").map(PathBuf::from);
+    let resume = opts.contains_key("resume");
+    let keep = opts.contains_key("keep-workspace");
+    if workspace.is_none()
+        && (resume || keep || opts.contains_key("resume-verify") || opts.contains_key("crash-at"))
+    {
+        return Err(usage(
+            "--resume/--keep-workspace/--resume-verify/--crash-at require --workspace PATH",
+        ));
+    }
+    if let Some(v) = opts.get("resume-verify") {
+        cfg.checkpoint.resume_verify = parse_resume_verify(v).map_err(usage)?;
+    }
+    if let Some(spec) = opts.get("crash-at") {
+        cfg.checkpoint.crash = Some(parse_crash_point(spec).map_err(usage)?);
+    }
     let mut oracle_cfg = OracleConfig::default();
     if let Some(k) = opts.get("bins") {
         oracle_cfg.bins = k.parse().map_err(|_| usage("bad --bins"))?;
@@ -876,8 +965,25 @@ fn cmd_ooc(opts: &HashMap<String, String>) -> Result<(), CliError> {
             None => String::new(),
         }
     );
-    let out = bwfft::ooc::run_generated(n, seed, &cfg, &oracle_cfg)
-        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    let out = match &workspace {
+        Some(dir) => {
+            println!(
+                "checkpoint: workspace {} ({})",
+                dir.display(),
+                if resume { "resuming journal" } else { "fresh journal" }
+            );
+            let run = CheckpointRun { dir, resume, keep };
+            run_checkpointed(n, seed, &cfg, &oracle_cfg, &run).map_err(|e| {
+                eprintln!(
+                    "note: workspace kept at {}; rerun with --resume to continue",
+                    dir.display()
+                );
+                CliError::Runtime(e.to_string())
+            })?
+        }
+        None => bwfft::ooc::run_generated(n, seed, &cfg, &oracle_cfg)
+            .map_err(|e| CliError::Runtime(e.to_string()))?,
+    };
     let p = &out.plan;
     let r = &out.report;
     println!(
@@ -901,6 +1007,14 @@ fn cmd_ooc(opts: &HashMap<String, String>) -> Result<(), CliError> {
         r.serial_fallbacks,
         r.faults_hit
     );
+    if workspace.is_some() {
+        // Machine-parseable for the kill/restart harness and verify.sh.
+        println!(
+            "resume: resumed={} skipped_blocks={} reverified_blocks={} \
+             rework_blocks={} resumed_bytes={}",
+            r.resumed, r.skipped_blocks, r.reverified_blocks, r.rework_blocks, r.resumed_bytes
+        );
+    }
     let o = &out.oracle;
     println!(
         "oracle: {} bin(s), max |Δ| {:.2e} (tol {:.2e}); Parseval rel err {:.2e}",
@@ -1255,6 +1369,66 @@ fn parse_io_fault(s: &str) -> Result<OocFault, String> {
     }
     let iter = iter.parse().map_err(|_| "bad fault iter".to_string())?;
     Ok(OocFault { stage, iter, kind })
+}
+
+/// Parses `sample:K` or `all` into a resume re-verification policy.
+fn parse_resume_verify(s: &str) -> Result<ResumeVerify, String> {
+    if s == "all" {
+        return Ok(ResumeVerify::All);
+    }
+    if let Some(k) = s.strip_prefix("sample:") {
+        let k: usize = k
+            .parse()
+            .map_err(|_| "bad --resume-verify sample count".to_string())?;
+        if k == 0 {
+            return Err("--resume-verify sample count must be at least 1".into());
+        }
+        return Ok(ResumeVerify::Sample(k));
+    }
+    Err(format!("bad --resume-verify `{s}` (sample:K|all)"))
+}
+
+/// Parses `STAGE,BLOCK` into an abort-mode crash point: the process
+/// genuinely dies mid-stage, which is what the kill/restart drill and
+/// the CI crash smoke need.
+fn parse_crash_point(s: &str) -> Result<CrashPoint, String> {
+    let (stage, block) = s.split_once(',').ok_or("--crash-at needs STAGE,BLOCK")?;
+    let stage: usize = stage.parse().map_err(|_| "bad crash stage".to_string())?;
+    if stage >= bwfft::ooc::STAGE_NAMES.len() {
+        return Err(format!(
+            "crash stage {stage} out of range (0..{})",
+            bwfft::ooc::STAGE_NAMES.len() - 1
+        ));
+    }
+    let block = block.parse().map_err(|_| "bad crash block".to_string())?;
+    Ok(CrashPoint {
+        stage,
+        block,
+        mode: CrashMode::Abort,
+    })
+}
+
+/// `workspace gc`: sweep abandoned `bwfft-ooc-*` scratch directories
+/// under `--dir` whose last write is older than the threshold. Named
+/// checkpoint workspaces (kept on crash for resume) are never touched.
+fn cmd_workspace_gc(opts: &HashMap<String, String>) -> Result<(), CliError> {
+    let dir = PathBuf::from(opts.get("dir").ok_or_else(|| usage("--dir required"))?);
+    let secs: u64 = opts
+        .get("older-than-secs")
+        .map(|s| s.parse().map_err(|_| usage("bad --older-than-secs")))
+        .transpose()?
+        .unwrap_or(24 * 3600);
+    let removed = gc_stale(&dir, std::time::Duration::from_secs(secs))
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    for p in &removed {
+        println!("removed {}", p.display());
+    }
+    println!(
+        "workspace gc: {} stale workspace(s) removed under {} (threshold {secs}s)",
+        removed.len(),
+        dir.display()
+    );
+    Ok(())
 }
 
 /// Parses `ROLE,THREAD,ITER` (e.g. `compute,0,3`) into a fault plan.
@@ -1676,6 +1850,9 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
                 | "serve"
                 | "impulse"
                 | "metrics-overhead"
+                | "resume"
+                | "keep-workspace"
+                | "ooc-kill"
         ) {
             out.insert(name.to_string(), String::new());
             i += 1;
@@ -1715,6 +1892,12 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
                 | "metrics-every-ms"
                 | "from"
                 | "to"
+                | "workspace"
+                | "resume-verify"
+                | "crash-at"
+                | "dir"
+                | "older-than-secs"
+                | "ooc-dir"
         ) {
             let v = args
                 .get(i + 1)

@@ -92,6 +92,6 @@ pub use bwfft_trace as trace;
 pub use bwfft_tuner as tuner;
 pub use error::{BwfftError, PlanExecute};
 pub use soak::{
-    run_serve_soak, run_soak, ServeScenario, ServeSoakConfig, ServeSoakReport, SoakConfig,
-    SoakReport,
+    run_ooc_kill_soak, run_serve_soak, run_soak, OocKillSoakConfig, OocKillSoakReport, OocTamper,
+    ServeScenario, ServeSoakConfig, ServeSoakReport, SoakConfig, SoakReport,
 };

@@ -645,6 +645,338 @@ pub fn run_serve_soak(cfg: &ServeSoakConfig) -> Result<ServeSoakReport, BwfftErr
     Ok(report)
 }
 
+// ---------------------------------------------------------------------------
+// Out-of-core kill/restart drill
+// ---------------------------------------------------------------------------
+
+/// What the drill does to the kept workspace between the kill and the
+/// resume, also the index space of
+/// [`OocKillSoakReport::tamper_counts`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OocTamper {
+    /// Resume the workspace exactly as the dead process left it.
+    None = 0,
+    /// Tear bytes off the journal tail — the on-disk state after a
+    /// power cut mid-append.
+    TornTail = 1,
+    /// Append raw garbage after the last clean frame — a torn append
+    /// that made it partway to disk.
+    GarbageTail = 2,
+    /// Flip one payload bit inside a journal-credited scratch block —
+    /// storage corruption the resume re-verification must refuse.
+    ScratchFlip = 3,
+}
+
+const OOC_TAMPERS: usize = 4;
+
+/// Kill/restart drill parameters. Every iteration spawns a real
+/// `bwfft-cli ooc` child, aborts it at a seeded (stage, block) point,
+/// optionally tampers with the kept workspace, and resumes.
+#[derive(Clone, Debug)]
+pub struct OocKillSoakConfig {
+    /// Path to the `bwfft-cli` binary to spawn. Defaults to the
+    /// running executable (the CLI drills itself); integration tests
+    /// point this at `CARGO_BIN_EXE_bwfft-cli`.
+    pub cli: std::path::PathBuf,
+    /// Kill → (tamper) → resume cycles. The crash stage rotates so any
+    /// `iters >= 5` covers every stage.
+    pub iters: usize,
+    /// Seed for crash blocks and tamper draws.
+    pub seed: u64,
+    /// Transform length for every cycle.
+    pub n: usize,
+    /// Working-memory budget — small, so every stage has many blocks
+    /// and a mid-stage kill leaves real work on both sides.
+    pub budget_bytes: usize,
+    /// Parent directory for the per-cycle workspaces (default: the
+    /// system temp dir).
+    pub parent: Option<std::path::PathBuf>,
+}
+
+impl Default for OocKillSoakConfig {
+    fn default() -> Self {
+        OocKillSoakConfig {
+            cli: std::env::current_exe().unwrap_or_default(),
+            iters: 10,
+            seed: 0x0CC1_4B17,
+            n: 1 << 12,
+            budget_bytes: 16 * 1024,
+            parent: None,
+        }
+    }
+}
+
+/// Aggregated kill/restart outcome. The contract columns
+/// (`wrong_answers`, `panics`, `unbounded_rework`,
+/// `unexpected_child_exits`) must stay zero on every run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OocKillSoakReport {
+    /// Kill → resume cycles executed.
+    pub iterations: usize,
+    /// Children that really died at the armed crash point (SIGABRT).
+    pub kills: usize,
+    /// Resumes that completed with a passing oracle.
+    pub resumed_ok: usize,
+    /// Resumes the checkpoint layer *refused* with a typed error —
+    /// the correct outcome for [`OocTamper::ScratchFlip`].
+    pub detected_corruptions: usize,
+    /// Cycles by tamper mode, indexed by [`OocTamper`].
+    pub tamper_counts: [usize; OOC_TAMPERS],
+    /// Resumes whose child printed a failing oracle line or silently
+    /// accepted corrupted scratch. Must stay zero.
+    pub wrong_answers: usize,
+    /// Resume children that died by signal or printed a panic instead
+    /// of a typed error. Must stay zero.
+    pub panics: usize,
+    /// Resumes whose rework exceeded one stage's blocks. Must stay
+    /// zero: the bound is the whole point of the journal.
+    pub unbounded_rework: usize,
+    /// Children that neither aborted at the crash point (kill leg) nor
+    /// produced the expected typed/clean outcome (resume leg). Must
+    /// stay zero.
+    pub unexpected_child_exits: usize,
+    /// Blocks the resumes skipped as journal-credited.
+    pub total_skipped_blocks: u64,
+    /// Blocks the resumes re-executed.
+    pub total_rework_blocks: u64,
+}
+
+impl OocKillSoakReport {
+    /// The crash-safety contract: every kill really killed, every
+    /// resume either finished right or refused typed, rework bounded.
+    pub fn holds(&self) -> bool {
+        self.wrong_answers == 0
+            && self.panics == 0
+            && self.unbounded_rework == 0
+            && self.unexpected_child_exits == 0
+            && self.kills == self.iterations
+            && self.resumed_ok + self.detected_corruptions == self.iterations
+    }
+
+    /// Human-readable one-screen summary.
+    pub fn render(&self) -> String {
+        format!(
+            "ooc kill soak: {} cycles — {} killed, {} resumed clean, \
+             {} corruptions refused typed\n\
+             tampers: none {}, torn-tail {}, garbage-tail {}, scratch-flip {}\n\
+             skipped {} block(s), reworked {} block(s)\n\
+             wrong answers: {}, panics: {}, unbounded rework: {}, \
+             unexpected exits: {}\n\
+             contract: {}",
+            self.iterations,
+            self.kills,
+            self.resumed_ok,
+            self.detected_corruptions,
+            self.tamper_counts[0],
+            self.tamper_counts[1],
+            self.tamper_counts[2],
+            self.tamper_counts[3],
+            self.total_skipped_blocks,
+            self.total_rework_blocks,
+            self.wrong_answers,
+            self.panics,
+            self.unbounded_rework,
+            self.unexpected_child_exits,
+            if self.holds() { "HOLDS" } else { "VIOLATED" },
+        )
+    }
+}
+
+/// Blocks streamed by `stage`, mirroring the executor's geometry: the
+/// stage reads its source matrix in `br`-row bands.
+fn ooc_stage_blocks(p: &bwfft_ooc::OocPlan, stage: usize) -> usize {
+    let (r, c) = match stage {
+        1 | 2 => (p.n2, p.n1),
+        _ => (p.n1, p.n2),
+    };
+    let br = (p.half_elems / c).min(r).max(1);
+    r / br
+}
+
+/// The store each stage writes — the one whose journal-credited blocks
+/// a scratch-flip tamper corrupts.
+fn ooc_stage_dst(stage: usize) -> &'static str {
+    ["t1.bin", "s1.bin", "t2.bin", "s2.bin", "output.bin"][stage]
+}
+
+/// Parses the CLI's machine-parseable `resume:` line into
+/// (resumed, skipped_blocks, reverified_blocks, rework_blocks).
+fn parse_resume_line(stdout: &str) -> Option<(bool, u64, u64, u64)> {
+    let line = stdout.lines().find(|l| l.starts_with("resume: "))?;
+    let mut resumed = None;
+    let mut skipped = None;
+    let mut reverified = None;
+    let mut rework = None;
+    for pair in line.trim_start_matches("resume: ").split_whitespace() {
+        let (k, v) = pair.split_once('=')?;
+        match k {
+            "resumed" => resumed = v.parse().ok(),
+            "skipped_blocks" => skipped = v.parse().ok(),
+            "reverified_blocks" => reverified = v.parse().ok(),
+            "rework_blocks" => rework = v.parse().ok(),
+            _ => {}
+        }
+    }
+    Some((resumed?, skipped?, reverified?, rework?))
+}
+
+/// Runs one `bwfft-cli ooc` child and captures its output.
+fn spawn_ooc_child(
+    cfg: &OocKillSoakConfig,
+    dir: &std::path::Path,
+    extra: &[&str],
+) -> Result<std::process::Output, bwfft_ooc::OocError> {
+    let n = cfg.n.to_string();
+    let budget = cfg.budget_bytes.to_string();
+    let seed = cfg.seed.to_string();
+    std::process::Command::new(&cfg.cli)
+        .arg("ooc")
+        .args(["--n", &n, "--budget", &budget, "--seed", &seed])
+        .args(["--workspace"])
+        .arg(dir)
+        .args(extra)
+        .output()
+        .map_err(|e| bwfft_ooc::OocError::io("spawn ooc child", e))
+}
+
+/// Runs the kill/restart drill: real child processes aborted at seeded
+/// (stage, block) points across every stage, workspaces torn and
+/// bit-flipped between kill and resume, then resumed and verified.
+/// Returns `Err` only on harness failures (the CLI binary cannot be
+/// spawned, a workspace cannot be prepared) — every child outcome,
+/// including refusals, is folded into the report.
+pub fn run_ooc_kill_soak(cfg: &OocKillSoakConfig) -> Result<OocKillSoakReport, bwfft_ooc::OocError> {
+    use std::os::unix::process::ExitStatusExt;
+
+    let plan = bwfft_ooc::plan(
+        cfg.n,
+        &bwfft_ooc::OocConfig {
+            budget_bytes: cfg.budget_bytes,
+            ..bwfft_ooc::OocConfig::default()
+        },
+    )?;
+    let parent = cfg
+        .parent
+        .clone()
+        .unwrap_or_else(std::env::temp_dir);
+    let mut rng = XorShift64Star::new(cfg.seed);
+    let mut report = OocKillSoakReport::default();
+
+    for i in 0..cfg.iters {
+        report.iterations += 1;
+        let stage = i % bwfft_ooc::STAGE_NAMES.len();
+        let blocks = ooc_stage_blocks(&plan, stage);
+        let block = rng.below(blocks as u64) as usize;
+        let tamper = match rng.below(OOC_TAMPERS as u64) {
+            0 => OocTamper::None,
+            1 => OocTamper::TornTail,
+            2 => OocTamper::GarbageTail,
+            _ => OocTamper::ScratchFlip,
+        };
+        report.tamper_counts[tamper as usize] += 1;
+
+        let dir = parent.join(format!("ooc-kill-{}-{i}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Kill leg: the child must die by SIGABRT at the armed point,
+        // leaving a journal behind.
+        let crash = format!("{stage},{block}");
+        let out = spawn_ooc_child(cfg, &dir, &["--crash-at", &crash])?;
+        let aborted = out.status.signal().is_some();
+        let journal = dir.join(bwfft_ooc::JOURNAL_FILE);
+        if aborted && journal.exists() {
+            report.kills += 1;
+        } else {
+            report.unexpected_child_exits += 1;
+            let _ = std::fs::remove_dir_all(&dir);
+            continue;
+        }
+
+        // Tamper leg: damage the workspace the way real crashes do.
+        match tamper {
+            OocTamper::None => {}
+            OocTamper::TornTail => {
+                // Tear up to ~a third of a frame off the tail: at most
+                // the last committed record is lost.
+                let len = std::fs::metadata(&journal)
+                    .map_err(|e| bwfft_ooc::OocError::io("stat journal", e))?
+                    .len();
+                let torn = len.saturating_sub(1 + rng.below(16));
+                let f = std::fs::OpenOptions::new()
+                    .write(true)
+                    .open(&journal)
+                    .map_err(|e| bwfft_ooc::OocError::io("open journal", e))?;
+                f.set_len(torn)
+                    .map_err(|e| bwfft_ooc::OocError::io("tear journal", e))?;
+            }
+            OocTamper::GarbageTail => {
+                use std::io::Write;
+                let mut f = std::fs::OpenOptions::new()
+                    .append(true)
+                    .open(&journal)
+                    .map_err(|e| bwfft_ooc::OocError::io("open journal", e))?;
+                f.write_all(b"57 deadbeef {\"kind\":\"blo")
+                    .map_err(|e| bwfft_ooc::OocError::io("garbage append", e))?;
+            }
+            OocTamper::ScratchFlip => {
+                use std::os::unix::fs::FileExt;
+                // Byte 0 of the crashed stage's destination sits in
+                // block 0, which the journal credits (blocks 0..=B
+                // committed before the abort) and `--resume-verify
+                // all` must therefore re-check.
+                let victim = dir.join(ooc_stage_dst(stage));
+                let f = std::fs::OpenOptions::new()
+                    .read(true)
+                    .write(true)
+                    .open(&victim)
+                    .map_err(|e| bwfft_ooc::OocError::io("open scratch", e))?;
+                let mut b = [0u8; 1];
+                f.read_exact_at(&mut b, 0)
+                    .map_err(|e| bwfft_ooc::OocError::io("read scratch", e))?;
+                b[0] ^= 0x10;
+                f.write_all_at(&b, 0)
+                    .map_err(|e| bwfft_ooc::OocError::io("flip scratch", e))?;
+            }
+        }
+
+        // Resume leg: full re-verification, then judge the outcome.
+        let out = spawn_ooc_child(cfg, &dir, &["--resume", "--resume-verify", "all"])?;
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        if out.status.signal().is_some() || stderr.contains("panicked") {
+            report.panics += 1;
+        } else if tamper == OocTamper::ScratchFlip {
+            // The one tamper a resume must *refuse*: typed exit 1
+            // naming the corrupt block, nothing resumed, no output.
+            if out.status.code() == Some(1) && stderr.contains("scratch") {
+                report.detected_corruptions += 1;
+            } else if out.status.success() {
+                report.wrong_answers += 1;
+            } else {
+                report.unexpected_child_exits += 1;
+            }
+        } else if out.status.success() {
+            match parse_resume_line(&stdout) {
+                Some((true, skipped, _reverified, rework))
+                    if stdout.contains("ooc contract holds") =>
+                {
+                    report.resumed_ok += 1;
+                    report.total_skipped_blocks += skipped;
+                    report.total_rework_blocks += rework;
+                    if rework > blocks as u64 {
+                        report.unbounded_rework += 1;
+                    }
+                }
+                _ => report.wrong_answers += 1,
+            }
+        } else {
+            report.unexpected_child_exits += 1;
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

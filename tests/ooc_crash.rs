@@ -1,0 +1,169 @@
+//! Real kill → restart drills for the crash-safe out-of-core tier,
+//! driven through the actual `bwfft-cli` binary: the child process
+//! genuinely dies by SIGABRT mid-stage (`--crash-at`), and a second
+//! process resumes from the durable journal.
+//!
+//! The in-process (Halt-mode) variants of these scenarios live in
+//! `crates/ooc/tests/ooc_resume.rs`; this file proves the same
+//! contract survives an actual process boundary — nothing cached in
+//! RAM, only what was fsynced.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use bwfft::soak::{run_ooc_kill_soak, OocKillSoakConfig};
+use std::os::unix::process::ExitStatusExt;
+use std::path::PathBuf;
+use std::process::Command;
+
+const CLI: &str = env!("CARGO_BIN_EXE_bwfft-cli");
+
+/// 4096 points under a 16 KiB budget: 64×64 split, 16 blocks in every
+/// one of the 5 stages (mirrors `ooc_resume.rs`).
+const N: &str = "4096";
+const BUDGET: &str = "16384";
+const SEED: &str = "7";
+const BLOCKS_PER_STAGE: u64 = 16;
+
+fn test_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bwfft-ooc-crash-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn ooc(dir: &PathBuf, extra: &[&str]) -> std::process::Output {
+    Command::new(CLI)
+        .args(["ooc", "--n", N, "--budget", BUDGET, "--seed", SEED, "--workspace"])
+        .arg(dir)
+        .args(extra)
+        .output()
+        .expect("spawn bwfft-cli")
+}
+
+/// Pulls `key=value` off the machine-parseable `resume:` line.
+fn resume_counter(stdout: &str, key: &str) -> u64 {
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with("resume: "))
+        .unwrap_or_else(|| panic!("no resume line in:\n{stdout}"));
+    line.split_whitespace()
+        .find_map(|pair| pair.strip_prefix(&format!("{key}=")))
+        .unwrap_or_else(|| panic!("no {key} in: {line}"))
+        .parse()
+        .unwrap()
+}
+
+#[test]
+fn sigabrt_mid_stage_then_resume_finishes_with_exact_counters() {
+    let dir = test_dir("basic");
+    // Kill: abort after block 2 of stage 3 commits its journal record.
+    let out = ooc(&dir, &["--crash-at", "3,2"]);
+    assert_eq!(
+        out.status.signal(),
+        Some(libc_sigabrt()),
+        "child must die by SIGABRT, got {:?}",
+        out.status
+    );
+    assert!(
+        dir.join("journal.bwfft").exists(),
+        "killed run must leave its journal"
+    );
+
+    // Restart: a brand-new process with nothing but the disk state.
+    let out = ooc(&dir, &["--resume", "--resume-verify", "all"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "resume failed:\n{stdout}");
+    // Blocks commit in pipeline order, so the abort at (3, 2) left
+    // exactly stages 0-2 complete plus blocks 0..=2 of stage 3.
+    assert_eq!(resume_counter(&stdout, "skipped_blocks"), 3 * BLOCKS_PER_STAGE + 3);
+    assert_eq!(resume_counter(&stdout, "rework_blocks"), BLOCKS_PER_STAGE - 3);
+    assert_eq!(resume_counter(&stdout, "reverified_blocks"), 3 * BLOCKS_PER_STAGE + 3);
+    assert!(resume_counter(&stdout, "resumed_bytes") > 0);
+    assert!(
+        stdout.contains("ooc contract holds"),
+        "oracle must pass after resume:\n{stdout}"
+    );
+    assert!(!dir.exists(), "successful resume removes the workspace");
+}
+
+#[test]
+fn kill_matrix_across_every_stage_holds() {
+    // The full drill through the soak harness, pointed at the real
+    // binary: one kill per stage, seeded tampers, bounded rework.
+    let cfg = OocKillSoakConfig {
+        cli: PathBuf::from(CLI),
+        iters: 5,
+        seed: 0xD1211,
+        parent: Some(std::env::temp_dir()),
+        ..OocKillSoakConfig::default()
+    };
+    let report = run_ooc_kill_soak(&cfg).expect("harness ran");
+    assert!(report.holds(), "kill soak violated:\n{}", report.render());
+    assert_eq!(report.kills, 5, "{}", report.render());
+}
+
+#[test]
+fn resume_with_wrong_seed_is_a_typed_refusal() {
+    let dir = test_dir("wrong-seed");
+    let out = ooc(&dir, &["--crash-at", "1,4"]);
+    assert!(out.status.signal().is_some());
+    let out = Command::new(CLI)
+        .args(["ooc", "--n", N, "--budget", BUDGET, "--seed", "8", "--workspace"])
+        .arg(&dir)
+        .arg("--resume")
+        .output()
+        .expect("spawn bwfft-cli");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(1), "typed runtime refusal:\n{stderr}");
+    assert!(
+        stderr.contains("seed"),
+        "refusal must name the mismatched field:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("--resume"),
+        "failure must print the resume hint:\n{stderr}"
+    );
+    // The refusal must not have damaged anything: the right seed still
+    // resumes to completion.
+    let out = ooc(&dir, &["--resume"]);
+    assert!(out.status.success());
+}
+
+#[test]
+fn fresh_run_refuses_to_clobber_a_crashed_workspace() {
+    let dir = test_dir("clobber");
+    let out = ooc(&dir, &["--crash-at", "2,1"]);
+    assert!(out.status.signal().is_some());
+    // Re-running *without* --resume must refuse, exit 1, keep the dir.
+    let out = ooc(&dir, &[]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(dir.join("journal.bwfft").exists());
+    let out = ooc(&dir, &["--resume"]);
+    assert!(out.status.success());
+}
+
+#[test]
+fn workspace_gc_sweeps_only_stale_unnamed_workspaces() {
+    let parent = test_dir("gc-parent");
+    std::fs::create_dir_all(parent.join("bwfft-ooc-stale1")).unwrap();
+    std::fs::create_dir_all(parent.join("bwfft-ooc-stale2")).unwrap();
+    std::fs::create_dir_all(parent.join("my-checkpoint")).unwrap();
+    let out = Command::new(CLI)
+        .args(["workspace", "gc", "--older-than-secs", "0", "--dir"])
+        .arg(&parent)
+        .output()
+        .expect("spawn bwfft-cli");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("2 stale workspace(s) removed"), "{stdout}");
+    assert!(!parent.join("bwfft-ooc-stale1").exists());
+    assert!(!parent.join("bwfft-ooc-stale2").exists());
+    assert!(
+        parent.join("my-checkpoint").exists(),
+        "named checkpoint workspaces are never gc'd"
+    );
+    let _ = std::fs::remove_dir_all(&parent);
+}
+
+/// SIGABRT without pulling in libc: the value is POSIX-fixed.
+fn libc_sigabrt() -> i32 {
+    6
+}
